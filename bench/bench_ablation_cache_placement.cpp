@@ -1,0 +1,86 @@
+// Ablation: fid2path resolution placement — per-MDS collectors (the
+// paper's design) vs centralized resolution at the aggregator.
+//
+// The paper puts Algorithm 1 (and its LRU cache) in the collector on
+// each MDS: "the processing takes place at the MDSs and aggregation at
+// the MGS" (Section V-D5). The alternative — forwarding raw changelog
+// tuples and resolving at the MGS — serializes the dominant per-event
+// cost. This ablation models both placements over 1-4 MDSs.
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/service_station.hpp"
+
+using namespace fsmon;
+
+namespace {
+
+using std::chrono::nanoseconds;
+
+// Iota profile costs: cached processing ~105us per record; forwarding a
+// raw tuple costs only the base parse+publish share.
+const common::Duration kProcessCost = nanoseconds(104600);
+const common::Duration kForwardCost = nanoseconds(20000);
+const common::Duration kAggregatorBase = nanoseconds(20000);
+constexpr double kPerMdsRate = 9593;
+
+double run(std::uint32_t mds_count, bool resolve_at_collectors,
+           common::Duration duration = std::chrono::seconds(5)) {
+  sim::Engine engine;
+  std::vector<std::unique_ptr<sim::ServiceStation>> collectors;
+  for (std::uint32_t i = 0; i < mds_count; ++i)
+    collectors.push_back(
+        std::make_unique<sim::ServiceStation>(engine, "collector" + std::to_string(i)));
+  sim::ServiceStation aggregator(engine, "aggregator");
+
+  const common::Duration collector_service =
+      resolve_at_collectors ? kProcessCost : kForwardCost;
+  const common::Duration aggregator_service =
+      resolve_at_collectors ? kAggregatorBase : kAggregatorBase + kProcessCost;
+
+  std::uint64_t reported = 0;
+  const auto interval = common::from_seconds(1.0 / kPerMdsRate);
+  for (std::uint32_t m = 0; m < mds_count; ++m) {
+    auto arrival = std::make_shared<std::function<void()>>();
+    sim::ServiceStation* collector = collectors[m].get();
+    *arrival = [&, arrival, collector] {
+      if (engine.now().time_since_epoch() >= duration) return;
+      collector->submit(collector_service, [&] {
+        aggregator.submit(aggregator_service, [&] {
+          if (engine.now().time_since_epoch() <= duration) ++reported;
+        });
+      });
+      engine.schedule(interval, *arrival);
+    };
+    engine.schedule(interval * m / static_cast<std::int64_t>(mds_count), *arrival);
+  }
+  engine.run_until(common::TimePoint{} + duration + std::chrono::seconds(1));
+  return static_cast<double>(reported) / common::to_seconds(duration);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Ablation: fid2path resolution at per-MDS collectors vs at the aggregator");
+
+  bench::Table table({"MDSs", "Generated ev/s", "Collector-side (paper) ev/s",
+                      "Aggregator-side ev/s", "Speedup"});
+  for (std::uint32_t mds : {1u, 2u, 4u}) {
+    const double generated = kPerMdsRate * mds;
+    const double at_collectors = run(mds, true);
+    const double at_aggregator = run(mds, false);
+    table.add_row({std::to_string(mds), bench::fmt(generated),
+                   bench::fmt(at_collectors), bench::fmt(at_aggregator),
+                   bench::fmt(at_collectors / at_aggregator, 2) + "x"});
+  }
+  table.print();
+  std::printf(
+      "Shape: with one MDS the placements tie (one serial resolution\n"
+      "stage either way); with DNE multi-MDS stores, centralized\n"
+      "resolution caps the whole site at ~8k ev/s while the paper's\n"
+      "per-MDS placement scales linearly — the architectural reason\n"
+      "FSMonitor distributes Algorithm 1 to the collectors.\n");
+  return 0;
+}

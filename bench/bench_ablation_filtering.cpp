@@ -1,0 +1,105 @@
+// Ablation: filter placement — aggregator-side vs consumer-side.
+//
+// The paper's stated design choice (Section IV "Consumption"): "This
+// filtering of events is not done at the aggregator in order to
+// alleviate potential overheads if a large number of consumers were to
+// ask to monitor different files and directories."
+//
+// With aggregator-side filtering, the serial aggregator evaluates every
+// consumer's rule for every event; its service time grows linearly with
+// the consumer count and eventually caps the pipeline. With
+// consumer-side filtering, each consumer evaluates only its own rules,
+// in parallel, and the aggregator cost stays flat. This ablation sweeps
+// the consumer count on an Iota-rate stream and reports the sustainable
+// throughput of each placement.
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/service_station.hpp"
+
+using namespace fsmon;
+
+namespace {
+
+using std::chrono::microseconds;
+
+constexpr double kArrivalRate = 38372;  // 4-MDS Iota aggregate
+const common::Duration kAggregatorBase = microseconds(20);
+const common::Duration kFilterCost = microseconds(2);  // one rule evaluation
+const common::Duration kConsumerBase = microseconds(5);
+
+struct Outcome {
+  double delivered_rate = 0;
+  double aggregator_cpu = 0;
+};
+
+Outcome run(std::size_t consumers, bool filter_at_aggregator,
+            common::Duration duration = std::chrono::seconds(5)) {
+  sim::Engine engine;
+  sim::ServiceStation aggregator(engine, "aggregator");
+  std::vector<std::unique_ptr<sim::ServiceStation>> consumer_stations;
+  for (std::size_t i = 0; i < consumers; ++i)
+    consumer_stations.push_back(
+        std::make_unique<sim::ServiceStation>(engine, "consumer" + std::to_string(i)));
+
+  std::uint64_t delivered = 0;
+  const auto interval = common::from_seconds(1.0 / kArrivalRate);
+  const common::Duration aggregator_service =
+      filter_at_aggregator
+          ? kAggregatorBase + kFilterCost * static_cast<std::int64_t>(consumers)
+          : kAggregatorBase;
+  const common::Duration consumer_service =
+      filter_at_aggregator ? kConsumerBase : kConsumerBase + kFilterCost;
+
+  auto arrival = std::make_shared<std::function<void()>>();
+  *arrival = [&, arrival] {
+    if (engine.now().time_since_epoch() >= duration) return;
+    aggregator.submit(aggregator_service, [&] {
+      // Charge CPU at completion so utilization reflects work done, not
+      // offered load (capped at 100% when saturated).
+      aggregator.usage().charge_busy(aggregator_service);
+      for (auto& consumer : consumer_stations) {
+        consumer->submit(consumer_service, [&] {
+          if (engine.now().time_since_epoch() <= duration) ++delivered;
+        });
+      }
+    });
+    engine.schedule(interval, *arrival);
+  };
+  engine.schedule(common::Duration::zero(), *arrival);
+  engine.run_until(common::TimePoint{} + duration + std::chrono::seconds(1));
+
+  Outcome outcome;
+  outcome.delivered_rate =
+      static_cast<double>(delivered) /
+      (common::to_seconds(duration) * static_cast<double>(consumers));
+  outcome.aggregator_cpu = aggregator.usage().cpu_percent(duration);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: filtering at aggregator vs at consumers (4-MDS Iota stream)");
+
+  bench::Table table({"Consumers", "Aggregator-side: ev/s per consumer",
+                      "Aggregator CPU%", "Consumer-side: ev/s per consumer",
+                      "Aggregator CPU%"});
+  for (std::size_t consumers : {1, 4, 16, 64}) {
+    const auto at_aggregator = run(consumers, true);
+    const auto at_consumer = run(consumers, false);
+    table.add_row({std::to_string(consumers),
+                   bench::fmt(at_aggregator.delivered_rate),
+                   bench::fmt(at_aggregator.aggregator_cpu, 1),
+                   bench::fmt(at_consumer.delivered_rate),
+                   bench::fmt(at_consumer.aggregator_cpu, 1)});
+  }
+  table.print();
+  std::printf(
+      "Shape: aggregator-side filtering saturates the serial aggregator\n"
+      "once base + N*filter exceeds the event inter-arrival time (~26us\n"
+      "at 38k ev/s), collapsing delivery; consumer-side filtering keeps\n"
+      "the aggregator flat at any consumer count — the paper's choice.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Section V-D2 (4-MDS aggregate) reproduction: with all four of Iota's
+// MDSs generating, FSMonitor collects in parallel and reports nearly the
+// full aggregate rate to the consumer (paper: 38 372 generated,
+// 37 948 reported events/sec).
+#include "bench/bench_util.hpp"
+#include "src/scalable/sim_driver.hpp"
+
+using namespace fsmon;
+
+int main() {
+  bench::banner("Section V-D2: Iota 4-MDS aggregate throughput");
+
+  scalable::SimConfig config;
+  config.profile = lustre::TestbedProfile::iota();
+  config.duration = std::chrono::seconds(30);
+  config.cache_size = 5000;
+  config.mds_count = 4;
+  const auto report = scalable::run_pipeline_sim(config);
+
+  bench::Table table({"Metric", "Measured vs paper"});
+  table.add_row({"Generated events/sec (4 MDSs)",
+                 bench::vs_paper(report.generated_rate, 38372)});
+  table.add_row({"Reported events/sec (consumer)",
+                 bench::vs_paper(report.reported_rate, 37948)});
+  for (int i = 0; i < 4; ++i) {
+    table.add_row({"  reported via MDS" + std::to_string(i),
+                   bench::fmt(static_cast<double>(report.per_mds_reported[i]) /
+                              common::to_seconds(config.duration))});
+  }
+  table.add_row({"Collector CPU% (avg)", bench::fmt(report.collector.cpu_percent, 2)});
+  table.add_row({"Aggregator CPU%", bench::fmt(report.aggregator.cpu_percent, 2)});
+  table.add_row({"Cache hit rate", bench::fmt(report.cache_hit_rate, 3)});
+  table.print();
+  std::printf(
+      "Shape: per-MDS parallel collection scales the single-MDS rate by\n"
+      "~4x with no event loss (\"events are queued and simply processed at\n"
+      "a lower rate than they are generated\").\n");
+  return 0;
+}

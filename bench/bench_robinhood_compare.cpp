@@ -1,0 +1,38 @@
+// Section V-D5 reproduction: FSMonitor's concurrent per-MDS collection
+// vs a Robinhood-style client-side round-robin poller on Iota with four
+// MDSs (paper: 32 459 vs 37 948 events/sec, a 14.5% advantage).
+#include "bench/bench_util.hpp"
+#include "src/scalable/sim_driver.hpp"
+
+using namespace fsmon;
+
+int main() {
+  bench::banner("Section V-D5: Comparison with Robinhood (Iota, 4 MDSs)");
+
+  scalable::SimConfig config;
+  config.profile = lustre::TestbedProfile::iota();
+  config.duration = std::chrono::seconds(30);
+  config.cache_size = 5000;
+  config.mds_count = 4;
+
+  const auto fsmonitor = scalable::run_pipeline_sim(config);
+  const auto robinhood = scalable::run_robinhood_sim(config);
+
+  bench::Table table({"System", "Events/sec (4 MDSs)", "Per-MDS average"});
+  table.add_row({"FSMonitor (concurrent collectors + MGS aggregator)",
+                 bench::vs_paper(fsmonitor.reported_rate, 37948),
+                 bench::fmt(fsmonitor.reported_rate / 4)});
+  table.add_row({"Robinhood (client-side round-robin polling)",
+                 bench::vs_paper(robinhood.reported_rate, 32459),
+                 bench::fmt(robinhood.reported_rate / 4)});
+  table.print();
+
+  const double advantage =
+      100.0 * (fsmonitor.reported_rate / robinhood.reported_rate - 1.0);
+  std::printf(
+      "FSMonitor advantage: %.1f%% (paper: 14.5%%, \"compared to iterative\n"
+      "monitoring methods used by the popular Robinhood system\"). Shape:\n"
+      "with DNE multi-MDS deployments, parallel monitoring wins.\n",
+      advantage);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table III reproduction: events reported per second by FSMonitor vs the
+// platform's native tool (FSWatch on macOS, inotifywait on Linux) under
+// Evaluate_Performance_Script at each platform's measured generation
+// rate.
+#include "bench/bench_util.hpp"
+#include "bench/local_sim.hpp"
+
+using namespace fsmon;
+
+int main() {
+  bench::banner("Table III: Events reporting rate of FSMonitor, FSWatch and inotify");
+
+  struct PaperRow {
+    localfs::PlatformProfile profile;
+    double paper_generated;
+    double paper_fsmonitor;
+    double paper_other;
+  };
+  const PaperRow rows[] = {
+      {localfs::PlatformProfile::macos(), 4503, 4467, 3004},
+      {localfs::PlatformProfile::ubuntu(), 4007, 3985, 3997},
+      {localfs::PlatformProfile::centos(), 3894, 3875, 3878},
+  };
+
+  bench::Table table({"Platform", "Events generated/sec", "FSMonitor reported/sec",
+                      "Other reported/sec", "Other tool"});
+  for (const auto& row : rows) {
+    const auto fsmonitor = bench::run_local_sim(row.profile, /*use_fsmonitor=*/true);
+    const auto other = bench::run_local_sim(row.profile, /*use_fsmonitor=*/false);
+    table.add_row({row.profile.name,
+                   bench::vs_paper(fsmonitor.generated_rate, row.paper_generated),
+                   bench::vs_paper(fsmonitor.reported_rate, row.paper_fsmonitor),
+                   bench::vs_paper(other.reported_rate, row.paper_other),
+                   row.profile.other_tool});
+  }
+  table.print();
+  std::printf(
+      "Shape check: FSMonitor ~= generation rate everywhere; FSWatch trails\n"
+      "badly on macOS; inotifywait edges out FSMonitor slightly on Linux\n"
+      "(interface-layer path parsing, Section V-C2).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table VI reproduction: event reporting rates with and without the
+// fid2path LRU cache on each Lustre testbed (one MDS, mixed
+// Evaluate_Performance_Script, cache size 5000).
+#include "bench/bench_util.hpp"
+#include "src/scalable/sim_driver.hpp"
+
+using namespace fsmon;
+
+int main() {
+  bench::banner("Table VI: Lustre Testbed Baseline Event Reporting Rates");
+
+  struct PaperColumn {
+    lustre::TestbedProfile profile;
+    double generated, no_cache, with_cache;
+  };
+  const PaperColumn columns[] = {
+      {lustre::TestbedProfile::aws(), 1366, 1053, 1348},
+      {lustre::TestbedProfile::thor(), 4509, 3968, 4487},
+      {lustre::TestbedProfile::iota(), 9593, 8162, 9487},
+  };
+
+  bench::Table table({"Row", "AWS", "Thor", "Iota"});
+  std::vector<std::string> generated{"Generated events/sec"};
+  std::vector<std::string> no_cache{"Reported events/sec without cache"};
+  std::vector<std::string> with_cache{"Reported events/sec with cache"};
+  double iota_loss_pct = 0;
+
+  for (const auto& column : columns) {
+    scalable::SimConfig config;
+    config.profile = column.profile;
+    config.duration = std::chrono::seconds(30);
+    config.cache_size = 0;
+    const auto uncached = scalable::run_pipeline_sim(config);
+    config.cache_size = 5000;
+    const auto cached = scalable::run_pipeline_sim(config);
+
+    generated.push_back(bench::vs_paper(cached.generated_rate, column.generated));
+    no_cache.push_back(bench::vs_paper(uncached.reported_rate, column.no_cache));
+    with_cache.push_back(bench::vs_paper(cached.reported_rate, column.with_cache));
+    if (column.profile.name == "Iota") {
+      iota_loss_pct =
+          100.0 * (1.0 - uncached.reported_rate / uncached.generated_rate);
+    }
+  }
+  table.add_row(std::move(generated));
+  table.add_row(std::move(no_cache));
+  table.add_row(std::move(with_cache));
+  table.print();
+
+  // Extension: quantify "no loss, only delay" — end-to-end latency of
+  // the cached vs uncached pipeline on Iota.
+  {
+    scalable::SimConfig config;
+    config.profile = lustre::TestbedProfile::iota();
+    config.duration = std::chrono::seconds(30);
+    config.cache_size = 0;
+    const auto uncached = scalable::run_pipeline_sim(config);
+    config.cache_size = 5000;
+    const auto cached = scalable::run_pipeline_sim(config);
+    std::printf(
+        "End-to-end latency on Iota (op -> consumer): with cache p50=%.1fms "
+        "p99=%.1fms; without cache p50=%.0fms p99=%.0fms max=%.0fms —\n"
+        "the uncached pipeline trades latency (queueing), never losing "
+        "events.\n",
+        cached.latency_p50_ms, cached.latency_p99_ms, uncached.latency_p50_ms,
+        uncached.latency_p99_ms, uncached.latency_max_ms);
+  }
+  std::printf(
+      "Uncached loss on Iota: %.1f%% (paper: 14.9%%). Shape: caching\n"
+      "recovers nearly the full generation rate on every testbed.\n",
+      iota_loss_pct);
+  return 0;
+}

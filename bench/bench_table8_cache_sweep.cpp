@@ -1,0 +1,49 @@
+// Table VIII reproduction: FSMonitor performance vs fid2path-cache size
+// on Iota (one MDS, mixed Evaluate_Performance_Script).
+#include "bench/bench_util.hpp"
+#include "src/scalable/sim_driver.hpp"
+
+using namespace fsmon;
+
+int main() {
+  bench::banner("Table VIII: FSMonitor performance vs. cache size (Iota, 1 MDS)");
+
+  struct PaperRow {
+    std::size_t size;
+    double cpu, memory_mb, reported;
+  };
+  const PaperRow rows[] = {
+      {200, 4.8, 88.7, 8644},  {500, 3.5, 84.3, 8997},   {1000, 2.98, 75.6, 9401},
+      {2000, 2.95, 61.3, 9453}, {5000, 2.89, 55.4, 9487}, {7500, 2.92, 60.7, 9481},
+  };
+
+  bench::Table table({"Cache Size (#fid2path)", "CPU% on collector",
+                      "Memory (MB) on collector", "Events/sec reported",
+                      "Cache hit rate"});
+  double best_rate = 0;
+  std::size_t best_size = 0;
+  for (const auto& row : rows) {
+    scalable::SimConfig config;
+    config.profile = lustre::TestbedProfile::iota();
+    config.duration = std::chrono::seconds(30);
+    config.cache_size = row.size;
+    const auto report = scalable::run_pipeline_sim(config);
+    table.add_row({std::to_string(row.size),
+                   bench::vs_paper(report.collector.cpu_percent, row.cpu, 2),
+                   bench::vs_paper(report.collector.memory_mb, row.memory_mb, 1),
+                   bench::vs_paper(report.reported_rate, row.reported),
+                   bench::fmt(report.cache_hit_rate, 3)});
+    if (report.reported_rate > best_rate) {
+      best_rate = report.reported_rate;
+      best_size = row.size;
+    }
+  }
+  table.print();
+  std::printf(
+      "Optimum observed at cache size %zu (paper: 5000). Shape: reporting\n"
+      "rate and CPU improve steeply up to ~1000-5000 entries, then flatten;\n"
+      "oversizing past the working set buys nothing and costs lookup time\n"
+      "and memory.\n",
+      best_size);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Table IX reproduction: FSMonitor events for IOR, HACC-I/O and
+// Filebench running simultaneously on the Thor testbed, monitored
+// end-to-end through the real threaded pipeline (collectors ->
+// aggregator -> consumer).
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "bench/bench_util.hpp"
+#include "src/scalable/scalable_monitor.hpp"
+#include "src/workloads/filebench.hpp"
+#include "src/workloads/hacc.hpp"
+#include "src/workloads/ior.hpp"
+
+using namespace fsmon;
+
+int main() {
+  bench::banner("Table IX: FSMonitor events for IOR, HACC-IO and Filebench (Thor)");
+
+  common::RealClock clock;
+  const auto profile = lustre::TestbedProfile::thor();
+  lustre::LustreFs fs(profile.fs_options, clock);
+  scalable::ScalableMonitorOptions options;
+  options.collector.cache_size = 5000;
+  scalable::ScalableMonitor monitor(fs, options, clock);
+
+  std::mutex mu;
+  std::vector<std::string> first_lines;
+  std::vector<std::string> last_lines;
+  std::atomic<std::uint64_t> creates{0}, deletes{0}, closes{0}, total{0};
+  auto consumer = monitor.make_consumer(
+      "client", scalable::ConsumerOptions{}, [&](const core::StdEvent& event) {
+        total.fetch_add(1);
+        if (event.kind == core::EventKind::kCreate) creates.fetch_add(1);
+        if (event.kind == core::EventKind::kDelete) deletes.fetch_add(1);
+        if (event.kind == core::EventKind::kClose) closes.fetch_add(1);
+        std::lock_guard lock(mu);
+        core::StdEvent shown = event;
+        shown.watch_root = "/mnt/lustre";
+        if (first_lines.size() < 8) first_lines.push_back(core::to_inotify_line(shown));
+        last_lines.push_back(core::to_inotify_line(shown));
+        if (last_lines.size() > 6) last_lines.erase(last_lines.begin());
+      });
+
+  if (!monitor.start().is_ok() || !consumer->start().is_ok()) return 1;
+
+  // Run all three applications "simultaneously on the Lustre clients".
+  workloads::WorkloadFootprint ior_fp, hacc_fp;
+  workloads::FilebenchReport filebench_report;
+  {
+    std::jthread ior_thread([&] {
+      workloads::LustreTarget target(fs);
+      workloads::IorOptions ior_options;
+      ior_options.processes = 128;
+      ior_fp = run_ior(target, "", ior_options);
+    });
+    std::jthread hacc_thread([&] {
+      workloads::LustreTarget target(fs);
+      workloads::HaccIoOptions hacc_options;
+      hacc_options.processes = 256;
+      hacc_fp = run_hacc_io(target, "", hacc_options);
+    });
+    std::jthread filebench_thread([&] {
+      workloads::LustreTarget target(fs);
+      workloads::FilebenchOptions fb_options;
+      fb_options.files = 50'000;
+      filebench_report = run_filebench_create(target, "", fb_options);
+    });
+  }
+
+  // Wait for the pipeline to drain: keep waiting as long as events are
+  // still flowing (progress-aware, so transient host contention does not
+  // truncate the run), and give up only after sustained silence.
+  const std::uint64_t expected =
+      ior_fp.total_ops() + hacc_fp.total_ops() + filebench_report.footprint.total_ops();
+  std::uint64_t last_total = 0;
+  auto stall_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (total.load() < expected && std::chrono::steady_clock::now() < stall_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto now_total = total.load();
+    if (now_total != last_total) {
+      last_total = now_total;
+      stall_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    }
+  }
+  consumer->stop();
+  monitor.stop();
+
+  std::printf("First standardized events observed:\n");
+  for (const auto& line : first_lines) std::printf("  %s\n", line.c_str());
+  std::printf("  ...\nLast standardized events observed:\n");
+  for (const auto& line : last_lines) std::printf("  %s\n", line.c_str());
+
+  bench::Table table({"Metric", "Measured vs paper expectation"});
+  table.add_row({"IOR (SSF, 128 procs) creates", bench::vs_paper(double(ior_fp.creates), 1)});
+  table.add_row({"IOR deletes", bench::vs_paper(double(ior_fp.deletes), 1)});
+  table.add_row(
+      {"HACC-I/O (FPP, 256 procs) creates", bench::vs_paper(double(hacc_fp.creates), 256)});
+  table.add_row({"HACC-I/O deletes", bench::vs_paper(double(hacc_fp.deletes), 256)});
+  table.add_row({"Filebench creates",
+                 bench::vs_paper(double(filebench_report.footprint.creates), 50000)});
+  table.add_row({"Filebench total size (MB)",
+                 bench::vs_paper(static_cast<double>(
+                                     filebench_report.footprint.bytes_written) /
+                                     (1024.0 * 1024.0),
+                                 782.8, 1)});
+  table.add_row({"Events delivered to consumer",
+                 bench::fmt(double(total.load())) + " of " + bench::fmt(double(expected))});
+  table.add_row({"CREATE events", bench::fmt(double(creates.load()))});
+  table.add_row({"CLOSE events", bench::fmt(double(closes.load()))});
+  table.add_row({"DELETE events", bench::fmt(double(deletes.load()))});
+  table.print();
+  std::printf(
+      "Shape: one create/delete pair for IOR's shared file, 256 pairs for\n"
+      "HACC-I/O, 50 000 creates for Filebench — all correctly reported\n"
+      "with no delay-induced loss (Section V-D6).\n");
+  return total.load() == expected ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Shared helpers for the table-reproduction benchmark binaries: aligned
+// table printing and paper-vs-measured comparison rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fsmon::bench {
+
+/// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+        widths[i] = std::max(widths[i], row[i].size());
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < cells.size() ? cells[i] : std::string();
+        std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    auto print_sep = [&] {
+      std::printf("+");
+      for (std::size_t w : widths) {
+        for (std::size_t i = 0; i < w + 2; ++i) std::printf("-");
+        std::printf("+");
+      }
+      std::printf("\n");
+    };
+    print_sep();
+    print_row(headers_);
+    print_sep();
+    for (const auto& row : rows_) print_row(row);
+    print_sep();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double value, int decimals = 0) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+/// "measured (paper P, dev%)" cell for paper-vs-measured comparisons.
+inline std::string vs_paper(double measured, double paper, int decimals = 0) {
+  char buf[96];
+  const double dev = paper == 0 ? 0 : 100.0 * (measured - paper) / paper;
+  std::snprintf(buf, sizeof(buf), "%.*f (paper %.*f, %+.1f%%)", decimals, measured,
+                decimals, paper, dev);
+  return buf;
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace fsmon::bench

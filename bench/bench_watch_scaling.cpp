@@ -1,0 +1,97 @@
+// Watch-scaling measurement (paper Sections I / II-A): "inotify's
+// default configuration can monitor approximately 512 000 directories
+// concurrently ... the inability to recursively monitor directories
+// restricts its suitability for the largest storage systems", and each
+// watcher "requires 1KB of memory" plus a recursive crawl to place.
+//
+// This bench measures, on the real kernel: the time to crawl-and-watch a
+// tree of N directories, the watch count consumed, and the implied
+// kernel memory — against FSMonitor's alternative of one subscription
+// with a recursive filtering rule (constant cost regardless of N).
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "bench/bench_util.hpp"
+#include "src/core/monitor.hpp"
+#include "src/localfs/inotify_dsi.hpp"
+
+using namespace fsmon;
+
+namespace {
+
+std::filesystem::path make_tree(std::size_t dirs) {
+  auto root = std::filesystem::temp_directory_path() / "fsmon_watch_scaling";
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  // Two-level fan-out so the crawl exercises recursion.
+  const std::size_t top = (dirs + 63) / 64;
+  std::size_t created = 0;
+  for (std::size_t i = 0; i < top && created < dirs; ++i) {
+    const auto parent = root / ("d" + std::to_string(i));
+    std::filesystem::create_directory(parent);
+    ++created;
+    for (std::size_t j = 0; j < 63 && created < dirs; ++j) {
+      std::filesystem::create_directory(parent / ("s" + std::to_string(j)));
+      ++created;
+    }
+  }
+  return root;
+}
+
+std::size_t max_user_watches() {
+  std::ifstream in("/proc/sys/fs/inotify/max_user_watches");
+  std::size_t value = 0;
+  in >> value;
+  return value;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Watch scaling: inotify per-directory watches vs FSMonitor filtering");
+
+  if (!localfs::InotifyDsi::available()) {
+    std::printf("inotify unavailable on this host; skipping the kernel measurement.\n");
+    return 0;
+  }
+  std::printf("kernel max_user_watches: %zu (paper quotes ~512 000 default)\n",
+              max_user_watches());
+
+  bench::Table table({"Directories", "inotify watches", "crawl+watch time (ms)",
+                      "kernel memory est. (MB, 1KB/watch)",
+                      "FSMonitor recursive-rule cost"});
+  for (std::size_t dirs : {std::size_t{100}, std::size_t{1000}, std::size_t{5000},
+                           std::size_t{20000}}) {
+    if (dirs + 100 > max_user_watches()) {
+      std::printf("(skipping %zu dirs: exceeds max_user_watches)\n", dirs);
+      continue;
+    }
+    const auto root = make_tree(dirs);
+    localfs::InotifyDsi dsi({root.string(), /*recursive=*/true});
+    const auto start = std::chrono::steady_clock::now();
+    const auto status = dsi.start([](core::StdEvent) {});
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - start);
+    if (!status.is_ok()) {
+      std::printf("failed at %zu dirs: %s\n", dirs, status.to_string().c_str());
+      break;
+    }
+    const std::size_t watches = dsi.watch_count();
+    dsi.stop();
+    std::filesystem::remove_all(root);
+    table.add_row({std::to_string(dirs), std::to_string(watches),
+                   bench::fmt(elapsed.count(), 1),
+                   bench::fmt(static_cast<double>(watches) / 1024.0, 2),
+                   "1 watch + 1 filter rule (constant)"});
+  }
+  table.print();
+  std::printf(
+      "Shape: inotify's cost is linear in directory count (one watch and\n"
+      "~1KB kernel memory per directory, plus a full crawl before any\n"
+      "event flows); FSMonitor's interface-layer recursive rule is O(1)\n"
+      "per watch root on storage systems with event catalogs — the\n"
+      "motivation for the scalable DSI (paper Sections I-II).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Local-platform simulation used by the Table III / Table IV benches:
+// one generator at the platform's measured baseline rate feeding one
+// monitor service station (FSMonitor's pipeline or the native
+// comparator), in virtual time.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "src/common/types.hpp"
+#include "src/localfs/platform.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/service_station.hpp"
+
+namespace fsmon::bench {
+
+struct LocalSimResult {
+  double generated_rate = 0;
+  double reported_rate = 0;
+  double cpu_percent = 0;
+  double memory_percent = 0;
+};
+
+/// Run `duration` of virtual time on `profile`; `use_fsmonitor` selects
+/// FSMonitor's costs vs the native tool's ("Other" column).
+inline LocalSimResult run_local_sim(const localfs::PlatformProfile& profile,
+                                    bool use_fsmonitor,
+                                    common::Duration duration = std::chrono::seconds(10)) {
+  sim::Engine engine;
+  sim::ServiceStation monitor(engine, "monitor");
+  const auto event_cost =
+      use_fsmonitor ? profile.fsmonitor_event_cost : profile.other_event_cost;
+  const auto event_cpu =
+      use_fsmonitor ? profile.fsmonitor_event_cpu : profile.other_event_cpu;
+
+  std::uint64_t generated = 0;
+  std::uint64_t reported = 0;
+  const auto interval = common::from_seconds(1.0 / profile.generation_rate);
+  auto arrival = std::make_shared<std::function<void()>>();
+  *arrival = [&, arrival] {
+    if (engine.now().time_since_epoch() >= duration) return;
+    ++generated;
+    monitor.usage().charge_busy(event_cpu);
+    monitor.submit(event_cost, [&] {
+      if (engine.now().time_since_epoch() <= duration) ++reported;
+    });
+    engine.schedule(interval, *arrival);
+  };
+  engine.schedule(common::Duration::zero(), *arrival);
+  engine.run_until(common::TimePoint{} + duration + std::chrono::seconds(1));
+
+  LocalSimResult result;
+  const double seconds = common::to_seconds(duration);
+  result.generated_rate = static_cast<double>(generated) / seconds;
+  result.reported_rate = static_cast<double>(reported) / seconds;
+  result.cpu_percent = monitor.usage().cpu_percent(duration);
+  const auto rss = use_fsmonitor ? profile.fsmonitor_rss_bytes : profile.other_rss_bytes;
+  result.memory_percent =
+      100.0 * static_cast<double>(rss) / static_cast<double>(profile.ram_bytes);
+  return result;
+}
+
+}  // namespace fsmon::bench

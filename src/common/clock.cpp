@@ -1,0 +1,30 @@
+#include "src/common/clock.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace fsmon::common {
+
+TimePoint RealClock::now() const {
+  return std::chrono::time_point_cast<Duration>(std::chrono::steady_clock::now());
+}
+
+void RealClock::sleep_for(Duration d) {
+  if (d.count() > 0) std::this_thread::sleep_for(d);
+}
+
+RealClock& RealClock::instance() {
+  static RealClock clock;
+  return clock;
+}
+
+void ManualClock::set(TimePoint t) {
+  const auto target = t.time_since_epoch().count();
+  auto cur = now_ns_.load(std::memory_order_acquire);
+  while (cur < target) {
+    if (now_ns_.compare_exchange_weak(cur, target, std::memory_order_acq_rel)) return;
+  }
+  if (cur > target) throw std::invalid_argument("ManualClock::set: time must not move backwards");
+}
+
+}  // namespace fsmon::common

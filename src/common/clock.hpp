@@ -1,0 +1,65 @@
+// Injectable clock abstraction.
+//
+// All time-dependent components take a `Clock&` so the same pipeline code
+// can run against wall-clock time (production, integration tests) or a
+// manually advanced clock (deterministic unit tests and the discrete-event
+// simulator in src/sim).
+#pragma once
+
+#include <atomic>
+
+#include "src/common/types.hpp"
+
+namespace fsmon::common {
+
+/// Abstract monotonic clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current point on this clock's monotonic timeline.
+  virtual TimePoint now() const = 0;
+
+  /// Block (or virtually advance) for `d`. Implementations must tolerate
+  /// zero and negative durations by returning immediately.
+  virtual void sleep_for(Duration d) = 0;
+};
+
+/// Wall-clock implementation backed by std::chrono::steady_clock.
+class RealClock final : public Clock {
+ public:
+  TimePoint now() const override;
+  void sleep_for(Duration d) override;
+
+  /// Process-wide shared instance (stateless, thread-safe).
+  static RealClock& instance();
+};
+
+/// Manually advanced clock for deterministic tests. Thread-safe: `advance`
+/// and `now` may be called concurrently; `sleep_for` advances the clock
+/// itself (single-threaded test semantics).
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = TimePoint{}) : now_ns_(start.time_since_epoch().count()) {}
+
+  TimePoint now() const override {
+    return TimePoint{Duration{now_ns_.load(std::memory_order_acquire)}};
+  }
+
+  void sleep_for(Duration d) override {
+    if (d.count() > 0) advance(d);
+  }
+
+  /// Move the clock forward by `d` (no-op for non-positive durations).
+  void advance(Duration d) {
+    if (d.count() > 0) now_ns_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+  /// Jump the clock to an absolute time (must not move backwards).
+  void set(TimePoint t);
+
+ private:
+  std::atomic<std::int64_t> now_ns_;
+};
+
+}  // namespace fsmon::common

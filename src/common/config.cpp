@@ -1,0 +1,71 @@
+#include "src/common/config.hpp"
+
+#include <stdexcept>
+
+#include "src/common/string_util.hpp"
+
+namespace fsmon::common {
+
+std::vector<std::string> Config::parse_args(int argc, const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      positional.emplace_back(arg);
+      continue;
+    }
+    set(std::string(trim(arg.substr(0, eq))), std::string(trim(arg.substr(eq + 1))));
+  }
+  return positional;
+}
+
+void Config::parse_text(std::string_view text) {
+  for (const auto& raw_line : split(text, '\n')) {
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos)
+      throw std::invalid_argument("Config: malformed line: " + std::string(line));
+    set(std::string(trim(line.substr(0, eq))), std::string(trim(line.substr(eq + 1))));
+  }
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::contains(const std::string& key) const { return entries_.count(key) != 0; }
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(const std::string& key, std::string fallback) const {
+  auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  return std::stoll(*v);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  return std::stod(*v);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  throw std::invalid_argument("Config: not a boolean: " + key + "=" + *v);
+}
+
+}  // namespace fsmon::common

@@ -1,0 +1,42 @@
+// Simple key=value configuration with typed accessors; used by bench
+// binaries and examples to override testbed profiles from the command
+// line ("key=value" arguments) or a file (one pair per line, '#'
+// comments).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsmon::common {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" tokens (e.g. argv). Unrecognized tokens (no '=')
+  /// are returned so callers can treat them as positional arguments.
+  std::vector<std::string> parse_args(int argc, const char* const* argv);
+
+  /// Parse file contents (not the filename). Lines: `key = value`.
+  void parse_text(std::string_view text);
+
+  void set(std::string key, std::string value);
+  bool contains(const std::string& key) const;
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, std::string fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace fsmon::common

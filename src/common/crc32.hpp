@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used to checksum message-queue
+// frames and event-store WAL records.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace fsmon::common {
+
+/// Compute the CRC-32 of `data`, optionally continuing from a previous
+/// value (pass the prior result as `seed` to checksum in chunks).
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t seed = 0);
+
+/// Convenience overload for text.
+std::uint32_t crc32(std::string_view text, std::uint32_t seed = 0);
+
+}  // namespace fsmon::common

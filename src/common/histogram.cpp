@@ -1,0 +1,81 @@
+#include "src/common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace fsmon::common {
+
+Histogram::Histogram() : buckets_(64, 0) {}
+
+int Histogram::bucket_index(std::uint64_t value) {
+  if (value == 0) return 0;
+  return std::min(63, static_cast<int>(std::bit_width(value)));
+}
+
+std::uint64_t Histogram::bucket_low(int index) {
+  if (index <= 0) return 0;
+  return 1ull << (index - 1);
+}
+
+void Histogram::record(std::uint64_t value) {
+  ++buckets_[static_cast<std::size_t>(bucket_index(value))];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+std::uint64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0;
+  for (int i = 0; i < 64; ++i) {
+    const double c = static_cast<double>(buckets_[static_cast<std::size_t>(i)]);
+    if (cumulative + c >= target) {
+      const double low = static_cast<double>(bucket_low(i));
+      const double high = static_cast<double>(bucket_low(i + 1));
+      const double frac = c == 0 ? 0 : (target - cumulative) / c;
+      // Interpolation within a power-of-two bucket can overshoot the
+      // true extremes; clamp to the exact observed range.
+      return std::clamp(low + frac * (high - low), static_cast<double>(min()),
+                        static_cast<double>(max_));
+    }
+    cumulative += c;
+  }
+  return static_cast<double>(max_);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+std::string Histogram::summary(const std::string& unit) const {
+  std::ostringstream os;
+  os << "count=" << count_ << " min=" << min() << unit << " mean=" << mean() << unit
+     << " p50=" << quantile(0.5) << unit << " p99=" << quantile(0.99) << unit
+     << " max=" << max_ << unit;
+  return os.str();
+}
+
+}  // namespace fsmon::common

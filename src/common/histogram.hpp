@@ -1,0 +1,45 @@
+// Latency/size histogram with exponential buckets plus exact min/max/mean.
+// Benchmarks use it to report event-processing latency distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsmon::common {
+
+class Histogram {
+ public:
+  /// Buckets are [0,1), [1,2), [2,4), ... doubling up to 2^62, in the
+  /// caller's unit (typically nanoseconds or bytes).
+  Histogram();
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const;
+  std::uint64_t max() const { return max_; }
+  double mean() const;
+
+  /// Approximate quantile (q in [0,1]) using linear interpolation within
+  /// the containing bucket.
+  double quantile(double q) const;
+
+  void merge(const Histogram& other);
+  void reset();
+
+  /// Human-readable multi-line summary.
+  std::string summary(const std::string& unit) const;
+
+ private:
+  static int bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_low(int index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace fsmon::common

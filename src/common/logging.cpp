@@ -1,0 +1,52 @@
+#include "src/common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace fsmon::common {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mu;
+std::function<void(LogLevel, const std::string&)> g_sink;
+
+void default_sink(LogLevel level, const std::string& line) {
+  std::cerr << '[' << to_string(level) << "] " << line << '\n';
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  std::lock_guard lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
+
+void log_line(LogLevel level, std::string_view component, std::string_view message) {
+  std::string line;
+  line.reserve(component.size() + message.size() + 2);
+  line.append(component).append(": ").append(message);
+  std::lock_guard lock(g_sink_mu);
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    default_sink(level, line);
+  }
+}
+
+}  // namespace fsmon::common

@@ -1,0 +1,51 @@
+// Minimal thread-safe leveled logger.
+//
+// Components log through a process-global sink; tests can swap the sink to
+// capture output. Logging is intentionally simple — the hot paths never
+// log per-event at levels above Debug.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace fsmon::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+std::string_view to_string(LogLevel level);
+
+/// Process-wide minimum level (default Warn so tests stay quiet).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Replace the sink (default writes to stderr). Pass nullptr to restore
+/// the default. The sink is called with a fully formatted line.
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
+
+/// Emit one log line if `level` passes the global threshold.
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+#define FSMON_LOG(level, component, ...)                                       \
+  do {                                                                         \
+    if (static_cast<int>(level) >= static_cast<int>(::fsmon::common::log_level())) \
+      ::fsmon::common::log_line(level, component,                              \
+                                ::fsmon::common::detail::concat(__VA_ARGS__)); \
+  } while (0)
+
+#define FSMON_DEBUG(component, ...) FSMON_LOG(::fsmon::common::LogLevel::kDebug, component, __VA_ARGS__)
+#define FSMON_INFO(component, ...) FSMON_LOG(::fsmon::common::LogLevel::kInfo, component, __VA_ARGS__)
+#define FSMON_WARN(component, ...) FSMON_LOG(::fsmon::common::LogLevel::kWarn, component, __VA_ARGS__)
+#define FSMON_ERROR(component, ...) FSMON_LOG(::fsmon::common::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace fsmon::common

@@ -1,0 +1,121 @@
+// Least-Recently-Used cache.
+//
+// This is the cache the paper's scalable collector uses to memoize
+// fid2path resolutions (Section IV, Algorithm 1; evaluated in Tables VI
+// and VIII). It is a classic doubly-linked-list + hash-map design with
+// O(1) get/put and hit/miss/eviction counters so benchmarks can report
+// cache effectiveness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace fsmon::common {
+
+/// Statistics accumulated over the lifetime of an LruCache.
+struct LruStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+
+  double hit_rate() const {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Fixed-capacity LRU cache. Not thread-safe; callers that share a cache
+/// across threads must synchronize externally (the collector owns its
+/// cache exclusively, matching the paper's per-collector cache).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  /// Capacity must be at least 1.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    if (capacity_ == 0) throw std::invalid_argument("LruCache capacity must be > 0");
+    map_.reserve(capacity_);
+  }
+
+  /// Look up `key`; promotes the entry to most-recently-used on a hit.
+  std::optional<Value> get(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Peek without promoting or counting (for tests/inspection).
+  std::optional<Value> peek(const Key& key) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second->second;
+  }
+
+  /// Insert or overwrite; the entry becomes most-recently-used. Evicts the
+  /// least-recently-used entry when at capacity.
+  void put(const Key& key, Value value) {
+    ++stats_.insertions;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) evict_one();
+    order_.emplace_front(key, std::move(value));
+    map_.emplace(key, order_.begin());
+  }
+
+  /// Remove an entry if present; returns true when something was erased.
+  /// Used when a FID is deleted (UNLNK/RMDIR) and its mapping is stale.
+  bool erase(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    order_.erase(it->second);
+    map_.erase(it);
+    return true;
+  }
+
+  bool contains(const Key& key) const { return map_.find(key) != map_.end(); }
+
+  void clear() {
+    order_.clear();
+    map_.clear();
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const LruStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = LruStats{}; }
+
+  /// Key of the least-recently-used entry (throws when empty); test hook.
+  const Key& lru_key() const {
+    if (order_.empty()) throw std::logic_error("LruCache::lru_key on empty cache");
+    return order_.back().first;
+  }
+
+ private:
+  void evict_one() {
+    auto& victim = order_.back();
+    map_.erase(victim.first);
+    order_.pop_back();
+    ++stats_.evictions;
+  }
+
+  std::size_t capacity_;
+  std::list<std::pair<Key, Value>> order_;  // front = most recent
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator, Hash> map_;
+  LruStats stats_;
+};
+
+}  // namespace fsmon::common

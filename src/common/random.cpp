@@ -1,0 +1,131 @@
+#include "src/common/random.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fsmon::common {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the four lanes with splitmix64 as the xoshiro authors recommend.
+  std::uint64_t x = seed;
+  for (auto& lane : s_) lane = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::next_below: bound must be > 0");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::next_range: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next_u64() : next_below(span));
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+double Rng::next_exponential(double rate) {
+  if (rate <= 0) throw std::invalid_argument("Rng::next_exponential: rate must be > 0");
+  double u;
+  do {
+    u = next_double();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::next_normal() {
+  double u1;
+  do {
+    u1 = next_double();
+  } while (u1 == 0.0);
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::next_gamma(double shape, double scale) {
+  if (shape <= 0 || scale <= 0)
+    throw std::invalid_argument("Rng::next_gamma: shape and scale must be > 0");
+  if (shape < 1.0) {
+    // Boost: Gamma(k) = Gamma(k+1) * U^(1/k).
+    const double u = std::max(next_double(), 1e-300);
+    return next_gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = next_normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = next_double();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v * scale;
+  }
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double skew) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  cdf_.resize(n);
+  double sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  // Binary search for the first cdf entry >= u.
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace fsmon::common

@@ -1,0 +1,57 @@
+// Deterministic random number generation and the samplers used by the
+// workload generators (Filebench's gamma-distributed file sizes, zipfian
+// path popularity for cache experiments, exponential inter-arrival times).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fsmon::common {
+
+/// xoshiro256** — fast, high-quality, and (unlike std::mt19937) with a
+/// stable, documented output sequence so workloads are reproducible across
+/// platforms and standard-library versions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). `bound` must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  bool next_bool(double p_true = 0.5);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double next_exponential(double rate);
+
+  /// Gamma(shape k, scale theta) via Marsaglia–Tsang; handles k < 1.
+  double next_gamma(double shape, double scale);
+
+  /// Normal(0,1) via Box–Muller (no cached spare: stateless per call pair).
+  double next_normal();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over {0..n-1} with precomputed CDF; used to model
+/// skewed directory popularity in cache-behaviour experiments.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double skew);
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace fsmon::common

@@ -1,0 +1,54 @@
+#include "src/common/rate_meter.hpp"
+
+namespace fsmon::common {
+
+RateMeter::RateMeter(const Clock& clock, Duration window)
+    : clock_(clock), window_(window), start_(clock.now()) {}
+
+void RateMeter::record(std::uint64_t n) {
+  const TimePoint now = clock_.now();
+  std::lock_guard lock(mu_);
+  total_ += n;
+  samples_.emplace_back(now, n);
+  window_total_ += n;
+  evict_expired(now);
+}
+
+std::uint64_t RateMeter::count() const {
+  std::lock_guard lock(mu_);
+  return total_;
+}
+
+double RateMeter::average_rate() const {
+  const TimePoint now = clock_.now();
+  std::lock_guard lock(mu_);
+  const double elapsed = to_seconds(now - start_);
+  return elapsed <= 0 ? 0.0 : static_cast<double>(total_) / elapsed;
+}
+
+double RateMeter::windowed_rate() const {
+  const TimePoint now = clock_.now();
+  std::lock_guard lock(mu_);
+  evict_expired(now);
+  const double w = to_seconds(window_);
+  return w <= 0 ? 0.0 : static_cast<double>(window_total_) / w;
+}
+
+void RateMeter::reset() {
+  const TimePoint now = clock_.now();
+  std::lock_guard lock(mu_);
+  start_ = now;
+  total_ = 0;
+  samples_.clear();
+  window_total_ = 0;
+}
+
+void RateMeter::evict_expired(TimePoint now) const {
+  const TimePoint cutoff = now - window_;
+  while (!samples_.empty() && samples_.front().first < cutoff) {
+    window_total_ -= samples_.front().second;
+    samples_.pop_front();
+  }
+}
+
+}  // namespace fsmon::common

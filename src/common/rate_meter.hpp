@@ -1,0 +1,50 @@
+// Event-rate measurement.
+//
+// RateMeter produces the "events per second" numbers reported throughout
+// the paper's evaluation (Tables III, V, VI, VIII). It records event
+// timestamps against an injected clock and reports both the lifetime
+// average rate and a sliding-window rate.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "src/common/clock.hpp"
+#include "src/common/types.hpp"
+
+namespace fsmon::common {
+
+class RateMeter {
+ public:
+  /// `window` bounds the sliding-window rate computation.
+  explicit RateMeter(const Clock& clock, Duration window = std::chrono::seconds(1));
+
+  /// Record `n` events occurring now.
+  void record(std::uint64_t n = 1);
+
+  /// Total events recorded since construction (or last reset).
+  std::uint64_t count() const;
+
+  /// Lifetime average events/second since construction (or last reset).
+  double average_rate() const;
+
+  /// Events/second over the trailing window.
+  double windowed_rate() const;
+
+  void reset();
+
+ private:
+  void evict_expired(TimePoint now) const;
+
+  const Clock& clock_;
+  const Duration window_;
+  mutable std::mutex mu_;
+  TimePoint start_;
+  std::uint64_t total_ = 0;
+  // (timestamp, count) pairs within the sliding window.
+  mutable std::deque<std::pair<TimePoint, std::uint64_t>> samples_;
+  mutable std::uint64_t window_total_ = 0;
+};
+
+}  // namespace fsmon::common

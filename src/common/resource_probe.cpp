@@ -1,0 +1,60 @@
+#include "src/common/resource_probe.hpp"
+
+#include <ctime>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+namespace fsmon::common {
+namespace {
+
+std::uint64_t process_cpu_ns() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::int64_t wall_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1'000'000'000ll + ts.tv_nsec;
+}
+
+std::uint64_t rss_bytes() {
+  std::ifstream statm("/proc/self/statm");
+  if (!statm) return 0;
+  std::uint64_t total_pages = 0, resident_pages = 0;
+  statm >> total_pages >> resident_pages;
+  return resident_pages * static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+}
+
+}  // namespace
+
+RealResourceProbe::RealResourceProbe() {
+  last_cpu_ns_ = process_cpu_ns();
+  last_wall_ns_ = wall_ns();
+}
+
+UsageSample RealResourceProbe::sample() {
+  UsageSample s;
+  const auto cpu = process_cpu_ns();
+  const auto wall = wall_ns();
+  const auto d_cpu = cpu - last_cpu_ns_;
+  const auto d_wall = wall - last_wall_ns_;
+  if (d_wall > 0) {
+    s.cpu_percent = 100.0 * static_cast<double>(d_cpu) / static_cast<double>(d_wall);
+  }
+  last_cpu_ns_ = cpu;
+  last_wall_ns_ = wall;
+  s.rss_bytes = rss_bytes();
+  return s;
+}
+
+bool RealResourceProbe::available() {
+  std::ifstream statm("/proc/self/statm");
+  return static_cast<bool>(statm);
+}
+
+}  // namespace fsmon::common

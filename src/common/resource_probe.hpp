@@ -1,0 +1,71 @@
+// Resource-usage measurement for the paper's CPU% / memory tables
+// (Tables IV, VII, VIII).
+//
+// Two flavours exist:
+//  - RealResourceProbe samples this process via /proc (Linux) — used by
+//    the real-threaded local benchmarks and examples.
+//  - ModeledUsage is the accounting record the discrete-event simulator
+//    fills from modeled busy time and component state sizes — used by the
+//    simulated Lustre testbed benchmarks where the paper's numbers are a
+//    function of the modeled costs, not of the host machine.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.hpp"
+
+namespace fsmon::common {
+
+/// One sample of process usage.
+struct UsageSample {
+  double cpu_percent = 0.0;     ///< Of one core, since the previous sample.
+  std::uint64_t rss_bytes = 0;  ///< Resident set size.
+};
+
+/// Samples this process's CPU time and RSS from /proc. CPU percentage is
+/// computed over the interval between successive sample() calls.
+class RealResourceProbe {
+ public:
+  RealResourceProbe();
+
+  /// Take a sample; the first call returns cpu_percent == 0.
+  UsageSample sample();
+
+  static bool available();
+
+ private:
+  std::uint64_t last_cpu_ns_ = 0;
+  std::int64_t last_wall_ns_ = 0;
+};
+
+/// Accumulates modeled busy-time and peak memory for one simulated
+/// component (collector, aggregator, consumer). The simulator charges
+/// busy time for each modeled operation; utilization is busy/elapsed.
+class ModeledUsage {
+ public:
+  void charge_busy(Duration d) { busy_ns_ += d.count(); }
+  void note_memory(std::uint64_t bytes) {
+    if (bytes > peak_bytes_) peak_bytes_ = bytes;
+  }
+
+  /// CPU percent of one core over `elapsed` of simulated time.
+  double cpu_percent(Duration elapsed) const {
+    return elapsed.count() <= 0
+               ? 0.0
+               : 100.0 * static_cast<double>(busy_ns_) / static_cast<double>(elapsed.count());
+  }
+
+  std::uint64_t peak_memory_bytes() const { return peak_bytes_; }
+  Duration busy() const { return Duration{busy_ns_}; }
+
+  void reset() {
+    busy_ns_ = 0;
+    peak_bytes_ = 0;
+  }
+
+ private:
+  std::int64_t busy_ns_ = 0;
+  std::uint64_t peak_bytes_ = 0;
+};
+
+}  // namespace fsmon::common

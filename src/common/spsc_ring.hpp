@@ -1,0 +1,66 @@
+// Single-producer single-consumer lock-free ring buffer.
+//
+// Used on the hot path between a DSI's event-capture thread and the
+// resolution layer where exactly one producer and one consumer exist.
+// Classic Lamport queue with C++20 atomics; capacity is rounded up to a
+// power of two so index masking is a single AND.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <vector>
+
+namespace fsmon::common {
+
+// 64 bytes covers x86-64 and most AArch64 parts; a fixed value keeps the
+// ABI stable across translation units (GCC warns that the library
+// constant may vary with -mtune).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `min_capacity` is rounded up to the next power of two (>= 2).
+  explicit SpscRing(std::size_t min_capacity)
+      : mask_(std::bit_ceil(std::max<std::size_t>(min_capacity, 2)) - 1),
+        slots_(mask_ + 1) {}
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T item) {
+    const auto head = head_.load(std::memory_order_relaxed);
+    const auto tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;
+    slots_[head & mask_] = std::move(item);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when the ring is empty.
+  std::optional<T> try_pop() {
+    const auto tail = tail_.load(std::memory_order_relaxed);
+    const auto head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    T item = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return item;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate size; exact only when called from one of the two threads
+  /// while the other is quiescent.
+  std::size_t size_approx() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace fsmon::common

@@ -1,0 +1,111 @@
+// Lightweight error handling: Status + Result<T> (an expected-like type;
+// std::expected is C++23 and this project targets C++20).
+//
+// Fallible file-system and store operations return Result<T> rather than
+// throwing: "file not found" and "FID already deleted" are ordinary
+// outcomes the monitoring pipeline must branch on (Algorithm 1's
+// fid2path error handling), not exceptional conditions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fsmon::common {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,       ///< Path or FID does not exist (fid2path's ENOENT).
+  kAlreadyExists,  ///< Create target already present.
+  kNotADirectory,
+  kIsADirectory,
+  kNotEmpty,     ///< rmdir on a non-empty directory.
+  kInvalid,      ///< Malformed argument.
+  kUnavailable,  ///< Component stopped / connection closed.
+  kCorrupt,      ///< Checksum mismatch (WAL / wire frames).
+  kOutOfRange,   ///< Record index outside retained window.
+};
+
+std::string_view to_string(ErrorCode code);
+
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    return std::string(fsmon::common::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(value_).is_ok())
+      throw std::logic_error("Result constructed from OK status without a value");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    check();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    check();
+    return std::get<T>(value_);
+  }
+  T&& take() && {
+    check();
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(value_);
+  }
+  ErrorCode code() const { return status().code(); }
+
+ private:
+  void check() const {
+    if (!is_ok())
+      throw std::logic_error("Result::value on error: " + std::get<Status>(value_).to_string());
+  }
+  std::variant<T, Status> value_;
+};
+
+inline std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kNotADirectory: return "NOT_A_DIRECTORY";
+    case ErrorCode::kIsADirectory: return "IS_A_DIRECTORY";
+    case ErrorCode::kNotEmpty: return "NOT_EMPTY";
+    case ErrorCode::kInvalid: return "INVALID";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kCorrupt: return "CORRUPT";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+  }
+  return "?";
+}
+
+}  // namespace fsmon::common

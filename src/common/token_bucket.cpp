@@ -1,0 +1,39 @@
+#include "src/common/token_bucket.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fsmon::common {
+
+TokenBucket::TokenBucket(const Clock& clock, double rate, double burst)
+    : clock_(clock), rate_(rate), burst_(burst), tokens_(burst), last_(clock.now()) {
+  if (rate <= 0 || burst <= 0)
+    throw std::invalid_argument("TokenBucket: rate and burst must be > 0");
+}
+
+void TokenBucket::refill() {
+  const TimePoint now = clock_.now();
+  const double elapsed = to_seconds(now - last_);
+  if (elapsed > 0) {
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    last_ = now;
+  }
+}
+
+bool TokenBucket::try_acquire(double n) {
+  refill();
+  if (tokens_ >= n) {
+    tokens_ -= n;
+    return true;
+  }
+  return false;
+}
+
+Duration TokenBucket::time_until_available(double n) {
+  refill();
+  if (tokens_ >= n) return Duration::zero();
+  const double deficit = n - tokens_;
+  return from_seconds(deficit / rate_);
+}
+
+}  // namespace fsmon::common

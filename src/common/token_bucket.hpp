@@ -1,0 +1,37 @@
+// Token-bucket rate limiter.
+//
+// Workload generators use this to drive the simulated clients at the
+// paper's calibrated baseline event-generation rates (e.g. Iota generating
+// 9593 metadata events/second, Table V).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/clock.hpp"
+
+namespace fsmon::common {
+
+class TokenBucket {
+ public:
+  /// `rate` tokens per second with a burst capacity of `burst` tokens.
+  TokenBucket(const Clock& clock, double rate, double burst);
+
+  /// Try to take `n` tokens; returns true on success.
+  bool try_acquire(double n = 1.0);
+
+  /// Duration until `n` tokens would be available (zero if already).
+  Duration time_until_available(double n = 1.0);
+
+  double rate() const { return rate_; }
+
+ private:
+  void refill();
+
+  const Clock& clock_;
+  const double rate_;
+  const double burst_;
+  double tokens_;
+  TimePoint last_;
+};
+
+}  // namespace fsmon::common

@@ -1,0 +1,35 @@
+// Common scalar types and small helpers shared across the FSMonitor
+// code base.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace fsmon::common {
+
+/// Nanosecond-resolution duration used throughout the library for both
+/// real and simulated (virtual) time.
+using Duration = std::chrono::nanoseconds;
+
+/// A point on a monotonic timeline. For the real clock this is
+/// steady_clock-based; for simulated clocks it is virtual time since the
+/// start of the simulation.
+using TimePoint = std::chrono::time_point<std::chrono::steady_clock, Duration>;
+
+/// Monotonically increasing identifier assigned to standardized events by
+/// the interface layer. Id 0 is reserved as "no event"/"from the start".
+using EventId = std::uint64_t;
+
+constexpr EventId kNoEventId = 0;
+
+/// Convert a duration to fractional seconds (for reporting).
+constexpr double to_seconds(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// Convert fractional seconds to a Duration.
+constexpr Duration from_seconds(double s) {
+  return std::chrono::duration_cast<Duration>(std::chrono::duration<double>(s));
+}
+
+}  // namespace fsmon::common

@@ -1,0 +1,130 @@
+#include "src/core/dialects.hpp"
+
+namespace fsmon::core {
+
+std::string_view to_string(Dialect dialect) {
+  switch (dialect) {
+    case Dialect::kInotify: return "inotify";
+    case Dialect::kKqueue: return "kqueue";
+    case Dialect::kFsEvents: return "fsevents";
+    case Dialect::kFileSystemWatcher: return "filesystemwatcher";
+  }
+  return "?";
+}
+
+std::optional<Dialect> parse_dialect(std::string_view name) {
+  static constexpr Dialect kAll[] = {Dialect::kInotify, Dialect::kKqueue, Dialect::kFsEvents,
+                                     Dialect::kFileSystemWatcher};
+  for (Dialect d : kAll) {
+    if (to_string(d) == name) return d;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::vector<std::string> inotify_tokens(const StdEvent& event) {
+  std::vector<std::string> tokens;
+  switch (event.kind) {
+    case EventKind::kCreate: tokens = {"IN_CREATE"}; break;
+    case EventKind::kModify: tokens = {"IN_MODIFY"}; break;
+    case EventKind::kAttrib: tokens = {"IN_ATTRIB"}; break;
+    case EventKind::kClose: tokens = {"IN_CLOSE_WRITE"}; break;
+    case EventKind::kOpen: tokens = {"IN_OPEN"}; break;
+    case EventKind::kDelete: tokens = {"IN_DELETE"}; break;
+    case EventKind::kMovedFrom: tokens = {"IN_MOVED_FROM"}; break;
+    case EventKind::kMovedTo: tokens = {"IN_MOVED_TO"}; break;
+  }
+  if (event.is_dir) tokens.push_back("IN_ISDIR");
+  return tokens;
+}
+
+std::vector<std::string> kqueue_tokens(const StdEvent& event) {
+  // kqueue reports per-vnode NOTE_* flags (paper Section II-A: creating
+  // and modifying a file raises NOTE_EXTEND / NOTE_WRITE; deletes are
+  // NOTE_DELETE; renames NOTE_RENAME).
+  switch (event.kind) {
+    case EventKind::kCreate: return {"NOTE_WRITE", "NOTE_EXTEND"};  // on the parent dir
+    case EventKind::kModify: return {"NOTE_WRITE"};
+    case EventKind::kAttrib: return {"NOTE_ATTRIB"};
+    case EventKind::kClose: return {"NOTE_CLOSE"};
+    case EventKind::kOpen: return {"NOTE_OPEN"};
+    case EventKind::kDelete: return {"NOTE_DELETE"};
+    case EventKind::kMovedFrom:
+    case EventKind::kMovedTo: return {"NOTE_RENAME"};
+  }
+  return {};
+}
+
+std::vector<std::string> fsevents_tokens(const StdEvent& event) {
+  std::vector<std::string> tokens;
+  switch (event.kind) {
+    case EventKind::kCreate: tokens = {"kFSEventStreamEventFlagItemCreated"}; break;
+    case EventKind::kModify: tokens = {"kFSEventStreamEventFlagItemModified"}; break;
+    case EventKind::kAttrib: tokens = {"kFSEventStreamEventFlagItemChangeOwner"}; break;
+    case EventKind::kClose: tokens = {"kFSEventStreamEventFlagItemModified"}; break;
+    case EventKind::kOpen: tokens = {};
+      break;  // FSEvents does not report opens
+    case EventKind::kDelete: tokens = {"kFSEventStreamEventFlagItemRemoved"}; break;
+    case EventKind::kMovedFrom:
+    case EventKind::kMovedTo: tokens = {"kFSEventStreamEventFlagItemRenamed"}; break;
+  }
+  if (event.is_dir) {
+    tokens.push_back("kFSEventStreamEventFlagItemIsDir");
+  } else {
+    tokens.push_back("kFSEventStreamEventFlagItemIsFile");
+  }
+  return tokens;
+}
+
+std::vector<std::string> fsw_tokens(const StdEvent& event) {
+  // FileSystemWatcher has exactly four event types (Section II-A).
+  switch (event.kind) {
+    case EventKind::kCreate: return {"Created"};
+    case EventKind::kModify:
+    case EventKind::kAttrib:
+    case EventKind::kClose:
+    case EventKind::kOpen: return {"Changed"};
+    case EventKind::kDelete: return {"Deleted"};
+    case EventKind::kMovedFrom:
+    case EventKind::kMovedTo: return {"Renamed"};
+  }
+  return {};
+}
+
+std::string join_tokens(const std::vector<std::string>& tokens, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i) out.push_back(sep);
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> native_tokens(Dialect dialect, const StdEvent& event) {
+  switch (dialect) {
+    case Dialect::kInotify: return inotify_tokens(event);
+    case Dialect::kKqueue: return kqueue_tokens(event);
+    case Dialect::kFsEvents: return fsevents_tokens(event);
+    case Dialect::kFileSystemWatcher: return fsw_tokens(event);
+  }
+  return {};
+}
+
+std::string render(Dialect dialect, const StdEvent& event) {
+  switch (dialect) {
+    case Dialect::kInotify:
+      return to_inotify_line(event);
+    case Dialect::kKqueue:
+      return event.full_path() + ' ' + join_tokens(native_tokens(dialect, event), '|');
+    case Dialect::kFsEvents:
+      return event.full_path() + ' ' + join_tokens(native_tokens(dialect, event), ' ');
+    case Dialect::kFileSystemWatcher:
+      return join_tokens(native_tokens(dialect, event), '|') + ": " + event.full_path();
+  }
+  return {};
+}
+
+}  // namespace fsmon::core

@@ -1,0 +1,42 @@
+// Event-dialect templates.
+//
+// Rather than defining yet another event representation, FSMonitor's
+// resolution layer "support[s] transformation into any of the commonly
+// defined formats (inotify, kqueue, FSEvents) by populating the
+// appropriate event template" (Section III-A2). This module implements
+// those templates: a StdEvent renders into each native dialect's event
+// name(s) and line format, so tools written against one dialect consume
+// FSMonitor output unchanged.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/event.hpp"
+
+namespace fsmon::core {
+
+enum class Dialect {
+  kInotify,            ///< IN_CREATE, IN_MODIFY, ... (the default output).
+  kKqueue,             ///< NOTE_WRITE, NOTE_EXTEND, NOTE_DELETE, ...
+  kFsEvents,           ///< ItemCreated, ItemModified, ... (macOS).
+  kFileSystemWatcher,  ///< Created, Changed, Deleted, Renamed (Windows).
+};
+
+std::string_view to_string(Dialect dialect);
+std::optional<Dialect> parse_dialect(std::string_view name);
+
+/// Native event-name token(s) for `event` in `dialect`. A single
+/// StdEvent can map to multiple native tokens (e.g. a kqueue write is
+/// NOTE_WRITE|NOTE_EXTEND); tokens are returned in canonical order.
+std::vector<std::string> native_tokens(Dialect dialect, const StdEvent& event);
+
+/// Render a full native-format line:
+///  - inotify (inotifywait format):   <root> <KIND[,ISDIR]> <path>
+///  - kqueue:                         <full_path> NOTE_X[|NOTE_Y]
+///  - FSEvents:                       <full_path> ItemX [ItemIsDir]
+///  - FileSystemWatcher:              <Kind>: <full_path>
+std::string render(Dialect dialect, const StdEvent& event);
+
+}  // namespace fsmon::core

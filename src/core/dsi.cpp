@@ -1,0 +1,58 @@
+#include "src/core/dsi.hpp"
+
+#include <algorithm>
+
+namespace fsmon::core {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+void DsiRegistry::register_dsi(std::string scheme, Factory factory, Probe probe) {
+  // Re-registering a scheme replaces the previous entry (tests swap in
+  // fakes).
+  std::erase_if(entries_, [&](const Entry& e) { return e.scheme == scheme; });
+  entries_.push_back(Entry{std::move(scheme), std::move(factory), std::move(probe)});
+}
+
+bool DsiRegistry::has_scheme(const std::string& scheme) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.scheme == scheme; });
+}
+
+std::vector<std::string> DsiRegistry::schemes() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.scheme);
+  return out;
+}
+
+Result<std::unique_ptr<DsiBase>> DsiRegistry::create(
+    const StorageDescriptor& descriptor) const {
+  if (!descriptor.scheme.empty()) {
+    for (const auto& entry : entries_) {
+      if (entry.scheme == descriptor.scheme) return entry.factory(descriptor);
+    }
+    return Status(ErrorCode::kNotFound, "no DSI for scheme: " + descriptor.scheme);
+  }
+  const Entry* best = nullptr;
+  int best_score = 0;
+  for (const auto& entry : entries_) {
+    if (!entry.probe) continue;
+    const int score = entry.probe(descriptor);
+    if (score > best_score) {
+      best = &entry;
+      best_score = score;
+    }
+  }
+  if (best == nullptr)
+    return Status(ErrorCode::kNotFound, "no DSI matches storage root: " + descriptor.root);
+  return best->factory(descriptor);
+}
+
+DsiRegistry& DsiRegistry::global() {
+  static DsiRegistry registry;
+  return registry;
+}
+
+}  // namespace fsmon::core

@@ -1,0 +1,90 @@
+// Data Storage Interface (DSI) layer.
+//
+// "The lowest level of FSMonitor is responsible for interfacing with the
+// underlying file system to capture events and report them to the
+// resolution layer ... a modular architecture via which arbitrary
+// monitoring interfaces can be integrated" (Section III-A1). A DSI wraps
+// one native monitoring facility (inotify, kqueue, FSEvents,
+// FileSystemWatcher, or the scalable Lustre monitor), converts native
+// events to StdEvent, and pushes them to a callback. The registry
+// selects the appropriate DSI for a storage descriptor — explicitly by
+// scheme, or by probing when the scheme is left empty.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/common/status.hpp"
+#include "src/core/event.hpp"
+
+namespace fsmon::core {
+
+/// Identifies a storage target to monitor.
+struct StorageDescriptor {
+  /// DSI scheme, e.g. "inotify", "kqueue", "fsevents",
+  /// "filesystemwatcher", "lustre". Empty = auto-detect via probes.
+  std::string scheme;
+  /// Root to monitor (a directory path, or a mount point for Lustre).
+  std::string root;
+  /// DSI-specific parameters (cache sizes, endpoints, ...).
+  common::Config params;
+};
+
+class DsiBase {
+ public:
+  /// Called from the DSI's capture context for every native event, after
+  /// conversion to the standard representation. Events do not yet carry
+  /// an EventId (the interface layer assigns ids).
+  using EventCallback = std::function<void(StdEvent)>;
+
+  virtual ~DsiBase() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Begin capturing; events flow to `callback` until stop(). A DSI must
+  /// tolerate start/stop/start cycles.
+  virtual common::Status start(EventCallback callback) = 0;
+  virtual void stop() = 0;
+
+  /// True while capturing.
+  virtual bool running() const = 0;
+};
+
+/// Factory + probe registry. DSIs self-describe: the probe inspects a
+/// descriptor and returns a score (>0 = usable; highest wins) so
+/// FSMonitor can "select the appropriate monitoring tool for the given
+/// storage device" when no scheme is forced.
+class DsiRegistry {
+ public:
+  using Factory =
+      std::function<common::Result<std::unique_ptr<DsiBase>>(const StorageDescriptor&)>;
+  using Probe = std::function<int(const StorageDescriptor&)>;
+
+  /// Register a DSI under `scheme`. `probe` may be null (never
+  /// auto-selected).
+  void register_dsi(std::string scheme, Factory factory, Probe probe = nullptr);
+
+  bool has_scheme(const std::string& scheme) const;
+  std::vector<std::string> schemes() const;
+
+  /// Create the DSI for `descriptor`: by scheme when set, else the
+  /// highest-scoring probe.
+  common::Result<std::unique_ptr<DsiBase>> create(const StorageDescriptor& descriptor) const;
+
+  /// Process-wide registry used by the FsMonitor facade. Built-in DSIs
+  /// register themselves here via register_builtin_dsis().
+  static DsiRegistry& global();
+
+ private:
+  struct Entry {
+    std::string scheme;
+    Factory factory;
+    Probe probe;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fsmon::core

@@ -1,0 +1,127 @@
+#include "src/core/event.hpp"
+
+#include <cstring>
+
+namespace fsmon::core {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCreate: return "CREATE";
+    case EventKind::kModify: return "MODIFY";
+    case EventKind::kAttrib: return "ATTRIB";
+    case EventKind::kClose: return "CLOSE";
+    case EventKind::kOpen: return "OPEN";
+    case EventKind::kDelete: return "DELETE";
+    case EventKind::kMovedFrom: return "MOVED_FROM";
+    case EventKind::kMovedTo: return "MOVED_TO";
+  }
+  return "?";
+}
+
+std::optional<EventKind> parse_event_kind(std::string_view text) {
+  static constexpr EventKind kAll[] = {
+      EventKind::kCreate, EventKind::kModify,    EventKind::kAttrib, EventKind::kClose,
+      EventKind::kOpen,   EventKind::kDelete,    EventKind::kMovedFrom,
+      EventKind::kMovedTo,
+  };
+  for (EventKind k : kAll) {
+    if (to_string(k) == text) return k;
+  }
+  return std::nullopt;
+}
+
+std::string StdEvent::full_path() const {
+  if (watch_root == "/" || watch_root.empty()) return path;
+  return watch_root + path;
+}
+
+std::string to_inotify_line(const StdEvent& event) {
+  std::string line;
+  line.reserve(event.watch_root.size() + event.path.size() + 24);
+  line += event.watch_root;
+  line += ' ';
+  line += to_string(event.kind);
+  if (event.is_dir) line += ",ISDIR";
+  line += ' ';
+  line += event.path;
+  return line;
+}
+
+namespace {
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+void put_string(std::vector<std::byte>& out, const std::string& s) {
+  put_u64(out, s.size());
+  for (char c : s) out.push_back(static_cast<std::byte>(c));
+}
+
+bool get_u64(std::span<const std::byte> in, std::size_t& offset, std::uint64_t& v) {
+  if (in.size() - offset < 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(in[offset + static_cast<std::size_t>(i)]) << (8 * i);
+  offset += 8;
+  return true;
+}
+
+bool get_string(std::span<const std::byte> in, std::size_t& offset, std::string& s) {
+  std::uint64_t len = 0;
+  if (!get_u64(in, offset, len)) return false;
+  if (len > (1ull << 30) || in.size() - offset < len) return false;
+  s.resize(len);
+  std::memcpy(s.data(), in.data() + offset, len);
+  offset += len;
+  return true;
+}
+
+}  // namespace
+
+void serialize_event(const StdEvent& event, std::vector<std::byte>& out) {
+  put_u64(out, event.id);
+  out.push_back(static_cast<std::byte>(event.kind));
+  out.push_back(static_cast<std::byte>(event.is_dir ? 1 : 0));
+  put_u64(out, event.cookie);
+  put_u64(out, static_cast<std::uint64_t>(event.timestamp.time_since_epoch().count()));
+  put_string(out, event.watch_root);
+  put_string(out, event.path);
+  put_string(out, event.source);
+}
+
+std::vector<std::byte> serialize_event(const StdEvent& event) {
+  std::vector<std::byte> out;
+  serialize_event(event, out);
+  return out;
+}
+
+Result<std::pair<StdEvent, std::size_t>> deserialize_event(std::span<const std::byte> in) {
+  StdEvent event;
+  std::size_t offset = 0;
+  std::uint64_t id = 0;
+  if (!get_u64(in, offset, id))
+    return Status(ErrorCode::kCorrupt, "event: truncated id");
+  event.id = id;
+  if (in.size() - offset < 2) return Status(ErrorCode::kCorrupt, "event: truncated header");
+  const auto kind_raw = static_cast<std::uint8_t>(in[offset++]);
+  if (kind_raw > static_cast<std::uint8_t>(EventKind::kMovedTo))
+    return Status(ErrorCode::kCorrupt, "event: bad kind");
+  event.kind = static_cast<EventKind>(kind_raw);
+  event.is_dir = in[offset++] != std::byte{0};
+  if (!get_u64(in, offset, event.cookie))
+    return Status(ErrorCode::kCorrupt, "event: truncated cookie");
+  std::uint64_t ts = 0;
+  if (!get_u64(in, offset, ts)) return Status(ErrorCode::kCorrupt, "event: truncated time");
+  event.timestamp = common::TimePoint{common::Duration{static_cast<std::int64_t>(ts)}};
+  if (!get_string(in, offset, event.watch_root) || !get_string(in, offset, event.path) ||
+      !get_string(in, offset, event.source))
+    return Status(ErrorCode::kCorrupt, "event: truncated strings");
+  return std::make_pair(std::move(event), offset);
+}
+
+}  // namespace fsmon::core

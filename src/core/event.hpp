@@ -1,0 +1,73 @@
+// FSMonitor's standard, file-system-independent event representation.
+//
+// The paper standardizes all event representations to the inotify format
+// "as this is the most widely used in industries" (Section II summary).
+// A StdEvent is the normalized record every DSI produces and every layer
+// above consumes; dialects.hpp renders it into the inotify, kqueue,
+// FSEvents, or FileSystemWatcher representation on demand, and
+// serialize/deserialize give the canonical binary form used on the wire
+// and in the reliable event store.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/common/types.hpp"
+
+namespace fsmon::core {
+
+/// Normalized event kinds (inotify vocabulary).
+enum class EventKind : std::uint8_t {
+  kCreate = 0,
+  kModify = 1,
+  kAttrib = 2,     ///< Permission / attribute / xattr change.
+  kClose = 3,      ///< IN_CLOSE (write or nowrite).
+  kOpen = 4,
+  kDelete = 5,
+  kMovedFrom = 6,  ///< Rename: source half.
+  kMovedTo = 7,    ///< Rename: destination half.
+};
+
+/// "CREATE", "MODIFY", ... (the names FSMonitor prints, Table II).
+std::string_view to_string(EventKind kind);
+std::optional<EventKind> parse_event_kind(std::string_view text);
+
+/// Path sentinel emitted by Algorithm 1 when both the target and its
+/// parent directory are gone before resolution.
+inline constexpr std::string_view kParentDirectoryRemoved = "ParentDirectoryRemoved";
+
+struct StdEvent {
+  common::EventId id = common::kNoEventId;  ///< Assigned by the interface layer.
+  EventKind kind = EventKind::kCreate;
+  bool is_dir = false;
+  std::string watch_root;  ///< Monitored root, e.g. "/mnt/lustre".
+  std::string path;        ///< Path relative to watch_root, e.g. "/hello.txt".
+  /// For rename pairs: cookie linking MOVED_FROM to its MOVED_TO.
+  std::uint64_t cookie = 0;
+  common::TimePoint timestamp{};
+  std::string source;  ///< Producing DSI, e.g. "inotify" or "lustre:MDT2".
+
+  /// Full path (watch_root + path).
+  std::string full_path() const;
+
+  friend bool operator==(const StdEvent&, const StdEvent&) = default;
+};
+
+/// The Table II rendering: "<watch_root> <KIND>[,ISDIR] <path>".
+std::string to_inotify_line(const StdEvent& event);
+
+/// Canonical binary serialization (little-endian, length-prefixed
+/// strings). Stable across platforms; CRC protection is applied by the
+/// transport / store framing, not here.
+void serialize_event(const StdEvent& event, std::vector<std::byte>& out);
+std::vector<std::byte> serialize_event(const StdEvent& event);
+
+/// Deserialize one event from `in`; returns the event and bytes consumed.
+common::Result<std::pair<StdEvent, std::size_t>> deserialize_event(
+    std::span<const std::byte> in);
+
+}  // namespace fsmon::core

@@ -1,0 +1,23 @@
+#include "src/core/filter.hpp"
+
+#include "src/common/string_util.hpp"
+
+namespace fsmon::core {
+
+bool FilterRule::matches(const StdEvent& event) const {
+  const std::string path = common::normalize_path(event.path);
+  const std::string rule_root = common::normalize_path(root);
+  if (!common::is_under(path, rule_root)) return false;
+  if (!recursive) {
+    // Direct children only: the parent of the event path must be exactly
+    // the rule root.
+    if (common::parent_path(path) != rule_root) return false;
+  }
+  if (!name_pattern.empty() &&
+      !common::glob_match(name_pattern, common::base_name(path)))
+    return false;
+  if (kinds && kinds->count(event.kind) == 0) return false;
+  return true;
+}
+
+}  // namespace fsmon::core

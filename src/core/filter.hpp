@@ -1,0 +1,33 @@
+// Subscription filtering rules.
+//
+// The interface layer filters events per subscriber. Recursive
+// monitoring is implemented here — "FSMonitor will monitor events
+// recursively by just modifying the filtering rule in the Interface
+// layer" (Section V-C1) instead of placing per-directory watchers the
+// way inotify must.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "src/core/event.hpp"
+
+namespace fsmon::core {
+
+struct FilterRule {
+  /// Subtree of interest, relative to the watch root ("/" = everything).
+  std::string root = "/";
+  /// When false, only events on direct children of `root` match —
+  /// inotify's single-directory semantics. When true (the FSMonitor
+  /// default extension), the whole subtree matches.
+  bool recursive = true;
+  /// Optional glob over the event's base name ("*.h5"); empty = any.
+  std::string name_pattern;
+  /// Optional restriction on event kinds; nullopt = all kinds.
+  std::optional<std::set<EventKind>> kinds;
+
+  bool matches(const StdEvent& event) const;
+};
+
+}  // namespace fsmon::core

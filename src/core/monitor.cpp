@@ -1,0 +1,75 @@
+#include "src/core/monitor.hpp"
+
+#include "src/common/string_util.hpp"
+#include "src/core/dialects.hpp"
+
+namespace fsmon::core {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+ResolutionOptions with_root(ResolutionOptions options, const std::string& root) {
+  if (!root.empty()) options.watch_root = common::normalize_path(root);
+  return options;
+}
+
+}  // namespace
+
+FsMonitor::FsMonitor(MonitorOptions options, DsiRegistry* registry, common::Clock* clock)
+    : options_(std::move(options)),
+      registry_(registry != nullptr ? registry : &DsiRegistry::global()),
+      clock_(clock != nullptr ? clock : &common::RealClock::instance()),
+      resolution_(with_root(options_.resolution, options_.storage.root), *clock_),
+      interface_(options_.interface) {}
+
+FsMonitor::~FsMonitor() { stop(); }
+
+Status FsMonitor::start() {
+  if (started_) return Status::ok();
+  auto dsi = registry_->create(options_.storage);
+  if (!dsi) return dsi.status();
+  dsi_ = std::move(dsi).take();
+  resolution_.start([this](std::vector<StdEvent> batch) { interface_.ingest(std::move(batch)); });
+  auto status = dsi_->start([this](StdEvent event) { resolution_.submit(std::move(event)); });
+  if (!status.is_ok()) {
+    resolution_.stop();
+    dsi_.reset();
+    return status;
+  }
+  started_ = true;
+  return Status::ok();
+}
+
+void FsMonitor::stop() {
+  if (!started_) return;
+  if (dsi_ != nullptr) dsi_->stop();
+  resolution_.stop();
+  started_ = false;
+}
+
+bool FsMonitor::running() const { return started_ && dsi_ != nullptr && dsi_->running(); }
+
+SubscriptionId FsMonitor::subscribe(FilterRule rule, InterfaceLayer::EventSink sink) {
+  return interface_.subscribe(std::move(rule), std::move(sink));
+}
+
+void FsMonitor::unsubscribe(SubscriptionId id) { interface_.unsubscribe(id); }
+
+Result<std::vector<StdEvent>> FsMonitor::events_since(common::EventId after_id,
+                                                      std::size_t max_events) const {
+  return interface_.events_since(after_id, max_events);
+}
+
+void FsMonitor::acknowledge(common::EventId up_to_id) { interface_.acknowledge(up_to_id); }
+
+std::size_t FsMonitor::purge() { return interface_.purge(); }
+
+std::string FsMonitor::render_line(const StdEvent& event) const {
+  return render(options_.output_dialect, event);
+}
+
+std::string FsMonitor::dsi_name() const { return dsi_ == nullptr ? "" : dsi_->name(); }
+
+}  // namespace fsmon::core

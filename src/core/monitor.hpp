@@ -1,0 +1,90 @@
+// FsMonitor facade: the public entry point tying the three layers
+// together (Figure 3): DSI -> resolution -> interface.
+//
+// Typical use:
+//
+//   core::MonitorOptions options;
+//   options.storage.scheme = "inotify";          // or empty to auto-detect
+//   options.storage.root = "/home/arnab/test";
+//   core::FsMonitor monitor(options);
+//   auto sub = monitor.subscribe({}, [](const auto& batch) {
+//     for (const auto& e : batch) std::cout << core::to_inotify_line(e) << '\n';
+//   });
+//   monitor.start();
+//   ...
+//   monitor.stop();
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/clock.hpp"
+#include "src/core/dialects.hpp"
+#include "src/core/dsi.hpp"
+#include "src/core/interface.hpp"
+#include "src/core/resolution.hpp"
+
+namespace fsmon::core {
+
+struct MonitorOptions {
+  StorageDescriptor storage;
+  ResolutionOptions resolution;
+  InterfaceOptions interface;
+  /// Render dialect used by render_line(); default is inotify, the
+  /// paper's standard representation.
+  Dialect output_dialect = Dialect::kInotify;
+};
+
+class FsMonitor {
+ public:
+  /// Creates the monitor using `registry` to pick the DSI; the global
+  /// registry by default. `clock` defaults to the real clock.
+  explicit FsMonitor(MonitorOptions options,
+                     DsiRegistry* registry = nullptr,
+                     common::Clock* clock = nullptr);
+  ~FsMonitor();
+
+  FsMonitor(const FsMonitor&) = delete;
+  FsMonitor& operator=(const FsMonitor&) = delete;
+
+  /// Select the DSI and begin capturing. Fails if no DSI matches.
+  common::Status start();
+  void stop();
+  bool running() const;
+
+  /// Register a filtered subscriber (may be called before start()).
+  SubscriptionId subscribe(FilterRule rule, InterfaceLayer::EventSink sink);
+  void unsubscribe(SubscriptionId id);
+
+  /// Replay support (requires a configured event store).
+  common::Result<std::vector<StdEvent>> events_since(common::EventId after_id,
+                                                     std::size_t max_events = SIZE_MAX) const;
+  void acknowledge(common::EventId up_to_id);
+  std::size_t purge();
+
+  /// Render an event in the configured output dialect.
+  std::string render_line(const StdEvent& event) const;
+
+  /// Name of the selected DSI (empty before start()).
+  std::string dsi_name() const;
+
+  const InterfaceLayer& interface_layer() const { return interface_; }
+  const ResolutionLayer& resolution_layer() const { return resolution_; }
+
+ private:
+  MonitorOptions options_;
+  DsiRegistry* registry_;
+  common::Clock* clock_;
+  ResolutionLayer resolution_;
+  InterfaceLayer interface_;
+  std::unique_ptr<DsiBase> dsi_;
+  bool started_ = false;
+};
+
+/// Registers every DSI built into this library (the local-fs DSIs and
+/// the scalable Lustre DSI register through their own modules; this
+/// helper is defined in src/localfs and src/scalable and linked in when
+/// those libraries are used). Declared here for discoverability.
+void register_builtin_dsis();
+
+}  // namespace fsmon::core

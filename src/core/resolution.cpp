@@ -1,0 +1,55 @@
+#include "src/core/resolution.hpp"
+
+#include "src/common/string_util.hpp"
+
+namespace fsmon::core {
+
+ResolutionLayer::ResolutionLayer(ResolutionOptions options, common::Clock& clock)
+    : options_(std::move(options)),
+      clock_(clock),
+      queue_(options_.queue_capacity, options_.overflow_policy) {
+  options_.watch_root = common::normalize_path(options_.watch_root);
+}
+
+ResolutionLayer::~ResolutionLayer() { stop(); }
+
+void ResolutionLayer::start(BatchSink sink) {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  worker_ = std::jthread([this, sink = std::move(sink)] { run(sink); });
+}
+
+void ResolutionLayer::stop() {
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+  started_.store(false);
+}
+
+bool ResolutionLayer::submit(StdEvent event) { return queue_.push(std::move(event)); }
+
+void ResolutionLayer::resolve(StdEvent& event) const {
+  // Relativize: DSIs may deliver absolute host paths or already-relative
+  // logical paths; after resolution, event.path is always the normalized
+  // path relative to the watch root and event.watch_root is the root.
+  std::string path = common::normalize_path(event.path);
+  if (options_.watch_root != "/" && common::is_under(path, options_.watch_root)) {
+    path = path.substr(options_.watch_root.size());
+    if (path.empty()) path = "/";
+  }
+  event.path = std::move(path);
+  event.watch_root = options_.watch_root;
+  if (event.timestamp == common::TimePoint{}) event.timestamp = clock_.now();
+}
+
+void ResolutionLayer::run(BatchSink sink) {
+  for (;;) {
+    auto batch = queue_.pop_batch(options_.batch_size);
+    if (batch.empty()) break;  // closed and drained
+    for (auto& event : batch) resolve(event);
+    processed_.fetch_add(batch.size(), std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    sink(std::move(batch));
+  }
+}
+
+}  // namespace fsmon::core

@@ -1,0 +1,79 @@
+// Resolution layer.
+//
+// "The resolution layer provides a multi-faceted approach to reliably
+// recording and aggregating events from the DSIs and then reporting
+// them to the interface layer. This layer includes a queue to receive
+// and manage events until they are processed ... events are then
+// processed to resolve and dereference paths" (Section III-A2).
+//
+// Events submitted by a DSI land in a bounded processing queue; a worker
+// thread drains them in batches, normalizes paths relative to the watch
+// root, stamps missing timestamps, and hands batches to the interface
+// layer's sink. Batching is the layer's main throughput optimization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/bounded_queue.hpp"
+#include "src/common/clock.hpp"
+#include "src/core/event.hpp"
+
+namespace fsmon::core {
+
+struct ResolutionOptions {
+  std::size_t queue_capacity = 65536;
+  common::OverflowPolicy overflow_policy = common::OverflowPolicy::kBlock;
+  std::size_t batch_size = 256;
+  /// Watch root used to relativize event paths.
+  std::string watch_root = "/";
+};
+
+class ResolutionLayer {
+ public:
+  /// `sink` receives processed batches on the worker thread.
+  using BatchSink = std::function<void(std::vector<StdEvent>)>;
+
+  ResolutionLayer(ResolutionOptions options, common::Clock& clock);
+  ~ResolutionLayer();
+
+  ResolutionLayer(const ResolutionLayer&) = delete;
+  ResolutionLayer& operator=(const ResolutionLayer&) = delete;
+
+  /// Start the processing thread.
+  void start(BatchSink sink);
+
+  /// Drain the queue and stop the worker. Idempotent.
+  void stop();
+
+  /// Entry point for DSIs. Returns false when the queue rejected the
+  /// event (DropNewest policy at capacity, or stopped).
+  bool submit(StdEvent event);
+
+  /// Normalize one event in place (exposed for tests): relativize the
+  /// path against the watch root, normalize separators, stamp time.
+  void resolve(StdEvent& event) const;
+
+  std::uint64_t processed() const { return processed_.load(std::memory_order_relaxed); }
+  std::uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const { return queue_.dropped(); }
+  std::size_t queue_depth() const { return queue_.size(); }
+  const ResolutionOptions& options() const { return options_; }
+
+ private:
+  void run(BatchSink sink);
+
+  ResolutionOptions options_;
+  common::Clock& clock_;
+  common::BoundedQueue<StdEvent> queue_;
+  std::jthread worker_;
+  std::atomic<bool> started_{false};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+};
+
+}  // namespace fsmon::core

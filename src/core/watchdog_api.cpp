@@ -1,0 +1,82 @@
+#include "src/core/watchdog_api.hpp"
+
+namespace fsmon::core {
+
+void HandlerDispatcher::dispatch(const StdEvent& event) {
+  ++dispatched_;
+  switch (event.kind) {
+    case EventKind::kCreate: handler_.on_created(event); return;
+    case EventKind::kModify: handler_.on_modified(event); return;
+    case EventKind::kDelete: handler_.on_deleted(event); return;
+    case EventKind::kClose: handler_.on_closed(event); return;
+    case EventKind::kAttrib: handler_.on_attrib(event); return;
+    case EventKind::kOpen: handler_.on_any_event(event); return;
+    case EventKind::kMovedFrom:
+      if (event.cookie == 0) {
+        handler_.on_moved_away(event);
+      } else {
+        pending_moves_[event.cookie] = event;
+      }
+      return;
+    case EventKind::kMovedTo: {
+      auto pending = pending_moves_.find(event.cookie);
+      if (pending != pending_moves_.end()) {
+        const StdEvent from = std::move(pending->second);
+        pending_moves_.erase(pending);
+        handler_.on_moved(from, event);
+      } else {
+        handler_.on_moved_in(event);
+      }
+      return;
+    }
+  }
+}
+
+void HandlerDispatcher::flush_pending_moves() {
+  for (auto& [cookie, event] : pending_moves_) handler_.on_moved_away(event);
+  pending_moves_.clear();
+}
+
+Observer::WatchId Observer::schedule(EventHandler& handler, FsMonitor& monitor,
+                                     const std::string& path, bool recursive) {
+  auto dispatcher = std::make_unique<HandlerDispatcher>(handler);
+  HandlerDispatcher* raw = dispatcher.get();
+  FilterRule rule;
+  rule.root = path;
+  rule.recursive = recursive;
+  // The monitor delivers batches on its resolution thread; the
+  // dispatcher itself is confined to that thread.
+  const SubscriptionId subscription =
+      monitor.subscribe(rule, [raw](const std::vector<StdEvent>& batch) {
+        for (const auto& event : batch) raw->dispatch(event);
+      });
+  std::lock_guard lock(mu_);
+  const WatchId id = next_id_++;
+  watches_.emplace(id, Watch{&monitor, subscription, std::move(dispatcher)});
+  return id;
+}
+
+void Observer::unschedule(WatchId id) {
+  std::lock_guard lock(mu_);
+  auto it = watches_.find(id);
+  if (it == watches_.end()) return;
+  it->second.monitor->unsubscribe(it->second.subscription);
+  it->second.dispatcher->flush_pending_moves();
+  watches_.erase(it);
+}
+
+void Observer::unschedule_all() {
+  std::lock_guard lock(mu_);
+  for (auto& [id, watch] : watches_) {
+    watch.monitor->unsubscribe(watch.subscription);
+    watch.dispatcher->flush_pending_moves();
+  }
+  watches_.clear();
+}
+
+std::size_t Observer::watch_count() const {
+  std::lock_guard lock(mu_);
+  return watches_.size();
+}
+
+}  // namespace fsmon::core

@@ -1,0 +1,99 @@
+// Watchdog-style convenience API.
+//
+// The paper builds its local DSIs on the Python Watchdog library
+// (Section II-A); many downstream tools are written against Watchdog's
+// handler idiom rather than a raw callback. This adapter offers the
+// same ergonomics over FsMonitor: subclass EventHandler, override the
+// on_* hooks you care about, and schedule it on an Observer with a path
+// and recursion flag.
+//
+//   class MyHandler : public core::EventHandler {
+//     void on_created(const core::StdEvent& e) override { ... }
+//     void on_moved(const core::StdEvent& from, const core::StdEvent& to) override { ... }
+//   };
+//   core::Observer observer;
+//   MyHandler handler;
+//   observer.schedule(handler, monitor, "/data", /*recursive=*/true);
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/core/monitor.hpp"
+
+namespace fsmon::core {
+
+/// Override the hooks of interest; unhandled kinds fall through to
+/// on_any_event (default: ignore).
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+
+  virtual void on_created(const StdEvent& event) { on_any_event(event); }
+  virtual void on_modified(const StdEvent& event) { on_any_event(event); }
+  virtual void on_deleted(const StdEvent& event) { on_any_event(event); }
+  virtual void on_closed(const StdEvent& event) { on_any_event(event); }
+  virtual void on_attrib(const StdEvent& event) { on_any_event(event); }
+  /// A completed rename: both halves of the pair.
+  virtual void on_moved(const StdEvent& moved_from, const StdEvent& moved_to) {
+    on_any_event(moved_from);
+    on_any_event(moved_to);
+  }
+  /// A MOVED_FROM whose partner never arrived (moved outside the watch).
+  virtual void on_moved_away(const StdEvent& moved_from) { on_any_event(moved_from); }
+  /// A MOVED_TO with no visible source (moved in from outside).
+  virtual void on_moved_in(const StdEvent& moved_to) { on_any_event(moved_to); }
+
+  virtual void on_any_event(const StdEvent& event) { (void)event; }
+};
+
+/// Dispatches a standardized event stream to a handler, pairing rename
+/// halves on their cookie. Pure and synchronous (unit-testable without
+/// a monitor); Observer drives it from live subscriptions.
+class HandlerDispatcher {
+ public:
+  explicit HandlerDispatcher(EventHandler& handler) : handler_(handler) {}
+
+  void dispatch(const StdEvent& event);
+
+  /// Flush unpaired MOVED_FROM halves as on_moved_away (call at stream
+  /// end or after a timeout).
+  void flush_pending_moves();
+
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  EventHandler& handler_;
+  std::map<std::uint64_t, StdEvent> pending_moves_;  // cookie -> MOVED_FROM
+  std::uint64_t dispatched_ = 0;
+};
+
+/// Watchdog's Observer: owns subscriptions binding handlers to watches.
+class Observer {
+ public:
+  using WatchId = std::uint64_t;
+
+  /// Subscribe `handler` to events under `path` on `monitor`. The
+  /// returned id unschedules it.
+  WatchId schedule(EventHandler& handler, FsMonitor& monitor, const std::string& path,
+                   bool recursive = true);
+  void unschedule(WatchId id);
+  void unschedule_all();
+
+  std::size_t watch_count() const;
+
+ private:
+  struct Watch {
+    FsMonitor* monitor = nullptr;
+    SubscriptionId subscription = 0;
+    std::unique_ptr<HandlerDispatcher> dispatcher;
+  };
+
+  mutable std::mutex mu_;
+  std::map<WatchId, Watch> watches_;
+  WatchId next_id_ = 1;
+};
+
+}  // namespace fsmon::core

@@ -1,0 +1,202 @@
+#include "src/eventstore/store.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/logging.hpp"
+
+namespace fsmon::eventstore {
+
+using common::ErrorCode;
+using common::Status;
+
+EventStore::EventStore(EventStoreOptions options) : options_(std::move(options)) {
+  std::filesystem::create_directories(options_.directory);
+  recover();
+}
+
+std::filesystem::path EventStore::watermark_path() const {
+  return options_.directory / "purge.watermark";
+}
+
+void EventStore::write_watermark_locked() {
+  // Small enough that a rewrite is atomic in practice; a torn write is
+  // detected as an unparsable value and ignored (conservative recovery).
+  std::ofstream out(watermark_path(), std::ios::trunc);
+  out << dropped_upto_;
+}
+
+std::filesystem::path EventStore::segment_path(common::EventId first_id) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "events-%020" PRIu64 ".wal", first_id);
+  return options_.directory / name;
+}
+
+void EventStore::recover() {
+  // Records at or below the purge watermark were dropped before the
+  // restart; skip them even if their segment file survives.
+  {
+    std::ifstream in(watermark_path());
+    common::EventId watermark = 0;
+    if (in >> watermark) dropped_upto_ = watermark;
+  }
+  // Collect segment files in name order (names embed the first id,
+  // zero-padded, so lexicographic order == id order).
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(options_.directory)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".wal")
+      paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    auto scanned = WalSegment::scan(path);
+    if (!scanned) {
+      FSMON_WARN("eventstore", "skipping unreadable segment ", path.string(), ": ",
+                 scanned.status().to_string());
+      continue;
+    }
+    Segment segment;
+    segment.path = path;
+    for (auto& record : scanned.value()) {
+      if (record.id <= dropped_upto_) continue;  // purged before restart
+      if (record.id <= last_id_) continue;  // duplicate from a re-appended tail
+      if (segment.first_id == 0) segment.first_id = record.id;
+      segment.last_id = record.id;
+      segment.bytes += record.payload.size();
+      live_bytes_ += record.payload.size();
+      last_id_ = record.id;
+      records_.push_back(StoredEvent{record.id, std::move(record.payload), false});
+    }
+    segments_.push_back(std::move(segment));
+  }
+}
+
+Status EventStore::append(common::EventId id, std::span<const std::byte> payload) {
+  std::lock_guard lock(mu_);
+  if (id <= last_id_)
+    return Status(ErrorCode::kInvalid, "event ids must be strictly increasing");
+  if (segments_.empty() || segments_.back().wal == nullptr ||
+      segments_.back().bytes >= options_.segment_bytes) {
+    roll_segment_locked();
+  }
+  Segment& active = segments_.back();
+  if (active.wal == nullptr) roll_segment_locked();
+  if (auto s = segments_.back().wal->append(id, payload); !s.is_ok()) return s;
+  if (options_.flush_each_append) {
+    if (auto s = segments_.back().wal->flush(); !s.is_ok()) return s;
+  }
+  Segment& seg = segments_.back();
+  if (seg.first_id == 0) seg.first_id = id;
+  seg.last_id = id;
+  seg.bytes += payload.size();
+  last_id_ = id;
+  records_.push_back(StoredEvent{id, std::vector<std::byte>(payload.begin(), payload.end()),
+                                 false});
+  live_bytes_ += payload.size();
+  enforce_cap_locked();
+  return Status::ok();
+}
+
+void EventStore::roll_segment_locked() {
+  if (!segments_.empty() && segments_.back().wal != nullptr) {
+    segments_.back().wal->flush();
+    segments_.back().wal.reset();  // seal
+  }
+  Segment segment;
+  segment.path = segment_path(last_id_ + 1);
+  segment.wal = std::make_unique<WalSegment>(segment.path);
+  segments_.push_back(std::move(segment));
+}
+
+void EventStore::enforce_cap_locked() {
+  if (options_.max_bytes == 0) return;
+  bool dropped = false;
+  while (live_bytes_ > options_.max_bytes && records_.size() > 1) {
+    drop_record_locked();
+    dropped = true;
+  }
+  if (dropped) write_watermark_locked();
+}
+
+void EventStore::drop_record_locked() {
+  const StoredEvent& victim = records_.front();
+  live_bytes_ -= victim.payload.size();
+  const common::EventId dropped_id = victim.id;
+  dropped_upto_ = std::max(dropped_upto_, dropped_id);
+  records_.pop_front();
+  // Delete leading segments whose records are all gone.
+  while (!segments_.empty() && segments_.front().wal == nullptr &&
+         segments_.front().last_id <= dropped_id &&
+         (records_.empty() || segments_.front().last_id < records_.front().id)) {
+    std::error_code ec;
+    std::filesystem::remove(segments_.front().path, ec);
+    segments_.erase(segments_.begin());
+  }
+}
+
+std::vector<StoredEvent> EventStore::events_since(common::EventId after_id,
+                                                  std::size_t max_events) const {
+  std::lock_guard lock(mu_);
+  std::vector<StoredEvent> out;
+  auto it = std::upper_bound(records_.begin(), records_.end(), after_id,
+                             [](common::EventId id, const StoredEvent& e) {
+                               return id < e.id;
+                             });
+  for (; it != records_.end() && out.size() < max_events; ++it) out.push_back(*it);
+  return out;
+}
+
+void EventStore::mark_reported(common::EventId up_to_id) {
+  std::lock_guard lock(mu_);
+  for (auto& record : records_) {
+    if (record.id > up_to_id) break;
+    record.reported = true;
+  }
+}
+
+std::size_t EventStore::purge_reported() {
+  std::lock_guard lock(mu_);
+  std::size_t removed = 0;
+  while (!records_.empty() && records_.front().reported) {
+    drop_record_locked();
+    ++removed;
+  }
+  if (removed > 0) write_watermark_locked();
+  return removed;
+}
+
+std::size_t EventStore::live_records() const {
+  std::lock_guard lock(mu_);
+  return records_.size();
+}
+
+std::uint64_t EventStore::live_bytes() const {
+  std::lock_guard lock(mu_);
+  return live_bytes_;
+}
+
+common::EventId EventStore::last_id() const {
+  std::lock_guard lock(mu_);
+  return last_id_;
+}
+
+common::EventId EventStore::first_id() const {
+  std::lock_guard lock(mu_);
+  return records_.empty() ? 0 : records_.front().id;
+}
+
+std::size_t EventStore::segment_count() const {
+  std::lock_guard lock(mu_);
+  return segments_.size();
+}
+
+Status EventStore::flush() {
+  std::lock_guard lock(mu_);
+  if (!segments_.empty() && segments_.back().wal != nullptr)
+    return segments_.back().wal->flush();
+  return Status::ok();
+}
+
+}  // namespace fsmon::eventstore

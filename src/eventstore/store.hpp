@@ -1,0 +1,102 @@
+// Reliable event store (the paper's MySQL substitute).
+//
+// The interface layer "provid[es] fault-tolerance by storing all events
+// received from the resolution layer into an event store (database).
+// Once events have been retrieved from FSMonitor, they are flagged as
+// having been reported and can be removed from the database. The size of
+// this database is configurable" (Section III-A3). The aggregator's
+// persister thread appends here; consumers replay historic events after
+// a failure via events_since().
+//
+// Implementation: WAL segments on disk for durability plus an in-memory
+// index ordered by event id. Records are appended strictly in id order.
+// A purge cycle removes reported records, oldest first, and deletes
+// segments that no longer hold live records; a hard size cap evicts
+// oldest records even if unreported (configurable, as in the paper).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/common/types.hpp"
+#include "src/eventstore/wal.hpp"
+
+namespace fsmon::eventstore {
+
+struct EventStoreOptions {
+  std::filesystem::path directory;
+  std::uint64_t segment_bytes = 4ull << 20;  ///< Rotate segments at this size.
+  /// Hard cap on retained payload bytes; 0 = unlimited. When exceeded the
+  /// oldest records are evicted regardless of reported flag.
+  std::uint64_t max_bytes = 0;
+  bool flush_each_append = false;  ///< Durability vs throughput knob.
+};
+
+struct StoredEvent {
+  common::EventId id = 0;
+  std::vector<std::byte> payload;
+  bool reported = false;
+};
+
+class EventStore {
+ public:
+  /// Opens the store, recovering any records already on disk.
+  explicit EventStore(EventStoreOptions options);
+
+  /// Append an event; ids must be strictly increasing.
+  common::Status append(common::EventId id, std::span<const std::byte> payload);
+
+  /// Events with id > `after_id`, oldest first, up to `max_events`.
+  std::vector<StoredEvent> events_since(common::EventId after_id,
+                                        std::size_t max_events = SIZE_MAX) const;
+
+  /// Flag all events with id <= `up_to_id` as reported.
+  void mark_reported(common::EventId up_to_id);
+
+  /// Drop reported records from the head of the store and delete any
+  /// segment files left with no live records. Returns records removed.
+  std::size_t purge_reported();
+
+  std::size_t live_records() const;
+  std::uint64_t live_bytes() const;
+  common::EventId last_id() const;
+  common::EventId first_id() const;
+  std::size_t segment_count() const;
+
+  common::Status flush();
+
+ private:
+  struct Segment {
+    std::filesystem::path path;
+    std::unique_ptr<WalSegment> wal;  ///< Null for recovered, sealed segments.
+    common::EventId first_id = 0;
+    common::EventId last_id = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  void recover();
+  void roll_segment_locked();
+  void enforce_cap_locked();
+  void drop_record_locked();
+  /// Persist the highest dropped id so recovery does not resurrect
+  /// purged records that share a segment with live ones.
+  void write_watermark_locked();
+  std::filesystem::path segment_path(common::EventId first_id) const;
+  std::filesystem::path watermark_path() const;
+
+  EventStoreOptions options_;
+  mutable std::mutex mu_;
+  std::deque<StoredEvent> records_;  // ordered by id
+  std::uint64_t live_bytes_ = 0;
+  std::vector<Segment> segments_;   // ordered; back() is active
+  common::EventId last_id_ = 0;
+  common::EventId dropped_upto_ = 0;  ///< All ids <= this are gone.
+};
+
+}  // namespace fsmon::eventstore

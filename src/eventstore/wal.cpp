@@ -1,0 +1,109 @@
+#include "src/eventstore/wal.hpp"
+
+#include <cstring>
+
+#include "src/common/crc32.hpp"
+
+namespace fsmon::eventstore {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+namespace {
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+WalSegment::WalSegment(std::filesystem::path path) : path_(std::move(path)) {
+  std::filesystem::create_directories(path_.parent_path());
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (out_) {
+    bytes_written_ = std::filesystem::exists(path_) ? std::filesystem::file_size(path_) : 0;
+  }
+}
+
+WalSegment::~WalSegment() {
+  if (out_.is_open()) out_.flush();
+}
+
+Status WalSegment::append(common::EventId id, std::span<const std::byte> payload) {
+  if (!out_) return Status(ErrorCode::kUnavailable, "wal segment not writable: " + path_.string());
+  std::vector<std::byte> record;
+  record.reserve(16 + payload.size());
+  put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  put_u64(record, id);
+  record.insert(record.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = common::crc32(std::span(record.data(), record.size()));
+  put_u32(record, crc);
+  out_.write(reinterpret_cast<const char*>(record.data()),
+             static_cast<std::streamsize>(record.size()));
+  if (!out_) return Status(ErrorCode::kUnavailable, "wal write failed");
+  bytes_written_ += record.size();
+  return Status::ok();
+}
+
+Status WalSegment::flush() {
+  out_.flush();
+  if (!out_) return Status(ErrorCode::kUnavailable, "wal flush failed");
+  return Status::ok();
+}
+
+Result<std::vector<WalRecord>> WalSegment::scan(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status(ErrorCode::kNotFound, path.string());
+  std::vector<std::byte> data;
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  data.resize(size);
+  in.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(size));
+
+  std::vector<WalRecord> records;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    if (data.size() - offset < 16) break;  // torn tail header
+    const std::uint32_t len = get_u32(data.data() + offset);
+    if (len > (1u << 30))
+      return Status(ErrorCode::kCorrupt, "wal record length corrupt in " + path.string());
+    const std::size_t total = 16ull + len;
+    if (data.size() - offset < total) break;  // torn tail body
+    const std::uint32_t expected = get_u32(data.data() + offset + total - 4);
+    const std::uint32_t actual =
+        common::crc32(std::span(data.data() + offset, total - 4));
+    if (expected != actual) {
+      // A bad CRC at the very end is a torn write; earlier means real
+      // corruption.
+      if (offset + total >= data.size()) break;
+      return Status(ErrorCode::kCorrupt, "wal CRC mismatch mid-file in " + path.string());
+    }
+    WalRecord record;
+    record.id = get_u64(data.data() + offset + 4);
+    record.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(offset + 12),
+                          data.begin() + static_cast<std::ptrdiff_t>(offset + total - 4));
+    records.push_back(std::move(record));
+    offset += total;
+  }
+  return records;
+}
+
+}  // namespace fsmon::eventstore

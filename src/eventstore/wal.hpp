@@ -1,0 +1,57 @@
+// Write-ahead log segment: the durability primitive under the reliable
+// event store.
+//
+// One segment is one file of records:
+//   u32 payload_len | u64 event_id | payload bytes | u32 crc
+// where the CRC covers length, id, and payload. Appends go through a
+// buffered writer with explicit flush; scan() recovers every intact
+// record and tolerates a torn tail (a partially written final record is
+// truncated away, matching crash semantics).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/common/types.hpp"
+
+namespace fsmon::eventstore {
+
+struct WalRecord {
+  common::EventId id = 0;
+  std::vector<std::byte> payload;
+};
+
+class WalSegment {
+ public:
+  /// Opens (creating if needed) the segment file for appending.
+  explicit WalSegment(std::filesystem::path path);
+  ~WalSegment();
+
+  WalSegment(const WalSegment&) = delete;
+  WalSegment& operator=(const WalSegment&) = delete;
+
+  common::Status append(common::EventId id, std::span<const std::byte> payload);
+
+  /// Flush buffered appends to the OS.
+  common::Status flush();
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  const std::filesystem::path& path() const { return path_; }
+
+  /// Read all intact records from a segment file. A torn final record is
+  /// ignored (crash recovery); corruption before the tail yields
+  /// kCorrupt. The file need not be open for writing by anyone.
+  static common::Result<std::vector<WalRecord>> scan(const std::filesystem::path& path);
+
+ private:
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace fsmon::eventstore

@@ -1,0 +1,186 @@
+#include "src/localfs/inotify_dsi.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+#include <poll.h>
+#include <sys/inotify.h>
+#include <unistd.h>
+
+#include "src/common/logging.hpp"
+#include "src/common/string_util.hpp"
+
+namespace fsmon::localfs {
+
+using common::ErrorCode;
+using common::Status;
+using core::EventKind;
+using core::StdEvent;
+
+namespace {
+
+constexpr std::uint32_t kWatchMask = IN_CREATE | IN_MODIFY | IN_ATTRIB | IN_CLOSE_WRITE |
+                                     IN_DELETE | IN_MOVED_FROM | IN_MOVED_TO |
+                                     IN_DELETE_SELF;
+
+common::TimePoint now_tp() {
+  return std::chrono::time_point_cast<common::Duration>(std::chrono::steady_clock::now());
+}
+
+}  // namespace
+
+InotifyDsi::InotifyDsi(InotifyDsiOptions options) : options_(std::move(options)) {}
+
+InotifyDsi::~InotifyDsi() { stop(); }
+
+bool InotifyDsi::available() {
+  const int fd = inotify_init1(IN_NONBLOCK);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+std::size_t InotifyDsi::watch_count() const {
+  std::lock_guard lock(mu_);
+  return watches_.size();
+}
+
+Status InotifyDsi::add_watch(const std::string& dir) {
+  const int wd = inotify_add_watch(fd_, dir.c_str(), kWatchMask);
+  if (wd < 0)
+    return Status(ErrorCode::kUnavailable,
+                  "inotify_add_watch(" + dir + "): " + std::strerror(errno));
+  std::lock_guard lock(mu_);
+  watches_[wd] = dir;
+  watch_by_path_[dir] = wd;
+  return Status::ok();
+}
+
+Status InotifyDsi::add_watch_recursive(const std::string& dir) {
+  if (auto s = add_watch(dir); !s.is_ok()) return s;
+  if (!options_.recursive) return Status::ok();
+  std::error_code ec;
+  for (std::filesystem::recursive_directory_iterator it(dir, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (it->is_directory(ec)) {
+      if (auto s = add_watch(it->path().string()); !s.is_ok()) {
+        FSMON_WARN("inotify", s.to_string());
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status InotifyDsi::start(EventCallback callback) {
+  if (running_.load()) return Status::ok();
+  callback_ = std::move(callback);
+  fd_ = inotify_init1(IN_NONBLOCK | IN_CLOEXEC);
+  if (fd_ < 0)
+    return Status(ErrorCode::kUnavailable,
+                  std::string("inotify_init1: ") + std::strerror(errno));
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status(ErrorCode::kUnavailable, std::string("pipe: ") + std::strerror(errno));
+  }
+  if (auto s = add_watch_recursive(options_.root); !s.is_ok()) {
+    stop();
+    return s;
+  }
+  running_.store(true);
+  reader_ = std::jthread([this](std::stop_token stop) { reader_loop(stop); });
+  return Status::ok();
+}
+
+void InotifyDsi::stop() {
+  if (reader_.joinable()) {
+    reader_.request_stop();
+    if (wake_pipe_[1] >= 0) {
+      const char byte = 'x';
+      [[maybe_unused]] auto n = ::write(wake_pipe_[1], &byte, 1);
+    }
+    reader_.join();
+  }
+  running_.store(false);
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  std::lock_guard lock(mu_);
+  watches_.clear();
+  watch_by_path_.clear();
+}
+
+void InotifyDsi::reader_loop(std::stop_token stop) {
+  alignas(inotify_event) char buffer[16 * 1024];
+  while (!stop.stop_requested()) {
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, 500);
+    if (ready <= 0) continue;
+    if (fds[1].revents & POLLIN) break;  // stop requested
+    if (!(fds[0].revents & POLLIN)) continue;
+    const ssize_t len = ::read(fd_, buffer, sizeof(buffer));
+    if (len <= 0) continue;
+    ssize_t offset = 0;
+    while (offset < len) {
+      const auto* raw = reinterpret_cast<const inotify_event*>(buffer + offset);
+      offset += static_cast<ssize_t>(sizeof(inotify_event)) + raw->len;
+      if (raw->mask & IN_Q_OVERFLOW) {
+        // The kernel dropped events; record it so callers can rescan.
+        overflows_.fetch_add(1);
+        FSMON_WARN("inotify", "kernel event queue overflow; events were lost");
+        continue;
+      }
+      std::string dir;
+      {
+        std::lock_guard lock(mu_);
+        auto it = watches_.find(raw->wd);
+        if (it == watches_.end()) continue;
+        dir = it->second;
+      }
+      if (raw->mask & IN_IGNORED) continue;
+      const std::string child =
+          raw->len > 0 ? dir + "/" + std::string(raw->name) : dir;
+      const bool is_dir = (raw->mask & IN_ISDIR) != 0;
+
+      StdEvent event;
+      event.path = child;
+      event.is_dir = is_dir;
+      event.cookie = raw->cookie;
+      event.timestamp = now_tp();
+      event.source = "inotify";
+      bool emit = true;
+      if (raw->mask & IN_CREATE) {
+        event.kind = EventKind::kCreate;
+        // New subdirectory: extend coverage (the recursive-monitoring
+        // capability inotify itself lacks).
+        if (is_dir && options_.recursive) {
+          if (auto s = add_watch(child); !s.is_ok()) FSMON_WARN("inotify", s.to_string());
+        }
+      } else if (raw->mask & IN_MODIFY) {
+        event.kind = EventKind::kModify;
+      } else if (raw->mask & IN_ATTRIB) {
+        event.kind = EventKind::kAttrib;
+      } else if (raw->mask & IN_CLOSE_WRITE) {
+        event.kind = EventKind::kClose;
+      } else if (raw->mask & IN_DELETE) {
+        event.kind = EventKind::kDelete;
+      } else if (raw->mask & IN_MOVED_FROM) {
+        event.kind = EventKind::kMovedFrom;
+      } else if (raw->mask & IN_MOVED_TO) {
+        event.kind = EventKind::kMovedTo;
+        if (is_dir && options_.recursive) {
+          if (auto s = add_watch(child); !s.is_ok()) FSMON_WARN("inotify", s.to_string());
+        }
+      } else {
+        emit = false;  // IN_DELETE_SELF etc.: watch bookkeeping only
+      }
+      if (emit && callback_) callback_(std::move(event));
+    }
+  }
+}
+
+}  // namespace fsmon::localfs

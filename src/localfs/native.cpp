@@ -1,0 +1,179 @@
+#include "src/localfs/native.hpp"
+
+#include "src/common/string_util.hpp"
+
+namespace fsmon::localfs {
+
+std::vector<NativeEvent> InotifyEmitter::on_action(const FsAction& action,
+                                                   common::TimePoint now) {
+  const std::uint32_t dir_bit = action.is_dir ? kInIsDir : 0;
+  std::vector<NativeEvent> out;
+  auto push = [&](std::uint32_t flags, const std::string& path, std::uint32_t cookie = 0) {
+    out.push_back(NativeEvent{flags, path, {}, cookie, now});
+  };
+  switch (action.kind) {
+    case FsOpKind::kCreate: push(kInCreate, action.path); break;
+    case FsOpKind::kMkdir: push(kInCreate | kInIsDir, action.path); break;
+    case FsOpKind::kModify: push(kInModify, action.path); break;
+    case FsOpKind::kOpen: push(kInOpen | dir_bit, action.path); break;
+    case FsOpKind::kClose: push(kInCloseWrite | dir_bit, action.path); break;
+    case FsOpKind::kDelete: push(kInDelete, action.path); break;
+    case FsOpKind::kRmdir: push(kInDelete | kInIsDir, action.path); break;
+    case FsOpKind::kRename: {
+      const std::uint32_t cookie = next_cookie_++;
+      push(kInMovedFrom | dir_bit, action.path, cookie);
+      push(kInMovedTo | dir_bit, action.dest_path, cookie);
+      break;
+    }
+    case FsOpKind::kAttrib: push(kInAttrib | dir_bit, action.path); break;
+  }
+  return out;
+}
+
+std::vector<NativeEvent> KqueueEmitter::on_action(const FsAction& action,
+                                                  common::TimePoint now) {
+  std::vector<NativeEvent> out;
+  auto push = [&](std::uint32_t flags, const std::string& path) {
+    out.push_back(NativeEvent{flags, path, {}, 0, now});
+  };
+  const std::string parent = common::parent_path(action.path);
+  switch (action.kind) {
+    case FsOpKind::kCreate:
+      // The new file has no vnode being watched yet; the signal is the
+      // parent directory's vnode changing.
+      push(kNoteWrite | kNoteExtend, parent);
+      break;
+    case FsOpKind::kMkdir:
+      push(kNoteWrite | kNoteLink, parent);
+      break;
+    case FsOpKind::kModify: push(kNoteWrite, action.path); break;
+    case FsOpKind::kOpen: push(kNoteOpen, action.path); break;
+    case FsOpKind::kClose: push(kNoteCloseWrite, action.path); break;
+    case FsOpKind::kDelete:
+      push(kNoteDelete, action.path);
+      push(kNoteWrite, parent);
+      break;
+    case FsOpKind::kRmdir:
+      push(kNoteDelete, action.path);
+      push(kNoteWrite | kNoteLink, parent);
+      break;
+    case FsOpKind::kRename: {
+      NativeEvent event{kNoteRename, action.path, action.dest_path, 0, now};
+      out.push_back(std::move(event));
+      push(kNoteWrite, parent);
+      const std::string dest_parent = common::parent_path(action.dest_path);
+      if (dest_parent != parent) push(kNoteWrite, dest_parent);
+      break;
+    }
+    case FsOpKind::kAttrib: push(kNoteAttrib, action.path); break;
+  }
+  return out;
+}
+
+std::vector<NativeEvent> FsEventsEmitter::age_out(common::TimePoint now) {
+  std::vector<NativeEvent> out;
+  while (!order_.empty()) {
+    auto it = pending_.find(order_.front());
+    if (it == pending_.end()) {
+      order_.pop_front();
+      continue;
+    }
+    if (window_.count() > 0 && it->second.first + window_ > now) break;
+    out.push_back(NativeEvent{it->second.flags, it->first, {}, 0, it->second.first});
+    pending_.erase(it);
+    order_.pop_front();
+  }
+  return out;
+}
+
+std::vector<NativeEvent> FsEventsEmitter::on_action(const FsAction& action,
+                                                    common::TimePoint now) {
+  std::uint32_t flags = action.is_dir ? kFseIsDir : kFseIsFile;
+  switch (action.kind) {
+    case FsOpKind::kCreate:
+    case FsOpKind::kMkdir: flags |= kFseCreated; break;
+    case FsOpKind::kModify: flags |= kFseModified; break;
+    case FsOpKind::kOpen:
+    case FsOpKind::kClose: return age_out(now);  // FSEvents reports neither
+    case FsOpKind::kDelete:
+    case FsOpKind::kRmdir: flags |= kFseRemoved; break;
+    case FsOpKind::kRename: flags |= kFseRenamed; break;
+    case FsOpKind::kAttrib: flags |= kFseInodeMetaMod; break;
+  }
+
+  std::vector<NativeEvent> out = age_out(now);
+  auto record = [&](const std::string& path, std::uint32_t f) {
+    if (window_.count() == 0) {
+      out.push_back(NativeEvent{f, path, {}, 0, now});
+      return;
+    }
+    auto [it, inserted] = pending_.try_emplace(path, Pending{f, now});
+    if (inserted) {
+      order_.push_back(path);
+    } else {
+      it->second.flags |= f;
+      ++coalesced_;
+    }
+  };
+  record(action.path, flags);
+  if (action.kind == FsOpKind::kRename) record(action.dest_path, flags);
+  return out;
+}
+
+std::vector<NativeEvent> FsEventsEmitter::flush(common::TimePoint now) {
+  std::vector<NativeEvent> out;
+  for (const auto& path : order_) {
+    auto it = pending_.find(path);
+    if (it == pending_.end()) continue;
+    out.push_back(NativeEvent{it->second.flags, path, {}, 0, now});
+  }
+  pending_.clear();
+  order_.clear();
+  return out;
+}
+
+std::size_t FswEmitter::event_cost(const NativeEvent& event) {
+  // .NET buffers 12 bytes of header plus the UTF-16 relative path per
+  // event record.
+  return 12 + 2 * (event.path.size() + event.dest_path.size());
+}
+
+bool FswEmitter::on_action(const FsAction& action, common::TimePoint now) {
+  NativeEvent event;
+  event.timestamp = now;
+  event.path = action.path;
+  switch (action.kind) {
+    case FsOpKind::kCreate:
+    case FsOpKind::kMkdir: event.flags = kFswCreated; break;
+    case FsOpKind::kModify:
+    case FsOpKind::kAttrib: event.flags = kFswChanged; break;
+    case FsOpKind::kOpen:
+    case FsOpKind::kClose: return true;  // FSW reports neither opens nor closes
+    case FsOpKind::kDelete:
+    case FsOpKind::kRmdir: event.flags = kFswDeleted; break;
+    case FsOpKind::kRename:
+      event.flags = kFswRenamed;
+      event.dest_path = action.dest_path;
+      break;
+  }
+  const std::size_t cost = event_cost(event);
+  if (used_ + cost > capacity_) {
+    ++overflows_;
+    return false;
+  }
+  used_ += cost;
+  buffer_.push_back(std::move(event));
+  return true;
+}
+
+std::vector<NativeEvent> FswEmitter::drain(std::size_t max_events) {
+  std::vector<NativeEvent> out;
+  while (!buffer_.empty() && out.size() < max_events) {
+    used_ -= event_cost(buffer_.front());
+    out.push_back(std::move(buffer_.front()));
+    buffer_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace fsmon::localfs

@@ -1,0 +1,144 @@
+// Native event dialects and emitters.
+//
+// Each platform's monitoring facility reports raw events in its own
+// vocabulary (paper Section II-A). The emitters here translate MemFs
+// actions into those raw dialects — with real flag values — so the
+// simulated DSIs exercise exactly the standardization work a real
+// backend performs: inotify masks, kqueue per-vnode NOTE_* flags that
+// require directory diffing to name the changed child, FSEvents flag
+// coalescing within a latency window, and FileSystemWatcher's four event
+// types with a bounded, overflowable buffer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/localfs/memfs.hpp"
+
+namespace fsmon::localfs {
+
+// Real inotify mask bits (linux/inotify.h).
+inline constexpr std::uint32_t kInAccess = 0x001;
+inline constexpr std::uint32_t kInModify = 0x002;
+inline constexpr std::uint32_t kInAttrib = 0x004;
+inline constexpr std::uint32_t kInCloseWrite = 0x008;
+inline constexpr std::uint32_t kInOpen = 0x020;
+inline constexpr std::uint32_t kInMovedFrom = 0x040;
+inline constexpr std::uint32_t kInMovedTo = 0x080;
+inline constexpr std::uint32_t kInCreate = 0x100;
+inline constexpr std::uint32_t kInDelete = 0x200;
+inline constexpr std::uint32_t kInIsDir = 0x40000000;
+
+// Real kqueue EVFILT_VNODE fflags (sys/event.h).
+inline constexpr std::uint32_t kNoteDelete = 0x001;
+inline constexpr std::uint32_t kNoteWrite = 0x002;
+inline constexpr std::uint32_t kNoteExtend = 0x004;
+inline constexpr std::uint32_t kNoteAttrib = 0x008;
+inline constexpr std::uint32_t kNoteLink = 0x010;
+inline constexpr std::uint32_t kNoteRename = 0x020;
+inline constexpr std::uint32_t kNoteOpen = 0x080;
+inline constexpr std::uint32_t kNoteClose = 0x100;
+inline constexpr std::uint32_t kNoteCloseWrite = 0x200;
+
+// Real FSEvents stream flags (FSEvents.h).
+inline constexpr std::uint32_t kFseCreated = 0x00000100;
+inline constexpr std::uint32_t kFseRemoved = 0x00000200;
+inline constexpr std::uint32_t kFseInodeMetaMod = 0x00000400;
+inline constexpr std::uint32_t kFseRenamed = 0x00000800;
+inline constexpr std::uint32_t kFseModified = 0x00001000;
+inline constexpr std::uint32_t kFseIsFile = 0x00010000;
+inline constexpr std::uint32_t kFseIsDir = 0x00020000;
+
+// .NET WatcherChangeTypes values.
+inline constexpr std::uint32_t kFswCreated = 1;
+inline constexpr std::uint32_t kFswDeleted = 2;
+inline constexpr std::uint32_t kFswChanged = 4;
+inline constexpr std::uint32_t kFswRenamed = 8;
+
+/// A raw event as the native facility would deliver it.
+struct NativeEvent {
+  std::uint32_t flags = 0;
+  std::string path;       ///< Event subject (dialect-specific meaning).
+  std::string dest_path;  ///< Rename destination where the dialect has one.
+  std::uint32_t cookie = 0;  ///< inotify rename-pair cookie.
+  common::TimePoint timestamp{};
+};
+
+/// inotify: one watch per directory; events name the child via the
+/// record's name field — here folded into `path`.
+class InotifyEmitter {
+ public:
+  std::vector<NativeEvent> on_action(const FsAction& action, common::TimePoint now);
+
+ private:
+  std::uint32_t next_cookie_ = 1;
+};
+
+/// kqueue: per-vnode flags. Child create/delete appears only as
+/// NOTE_WRITE on the parent directory vnode — the consumer must diff the
+/// directory to learn what changed.
+class KqueueEmitter {
+ public:
+  std::vector<NativeEvent> on_action(const FsAction& action, common::TimePoint now);
+};
+
+/// FSEvents: per-path flag words, coalesced within a latency window
+/// (the `latency` parameter of FSEventStreamCreate). A window of zero
+/// disables coalescing.
+class FsEventsEmitter {
+ public:
+  explicit FsEventsEmitter(common::Duration latency_window = {})
+      : window_(latency_window) {}
+
+  /// May emit previously held (coalesced) events that have aged out.
+  std::vector<NativeEvent> on_action(const FsAction& action, common::TimePoint now);
+
+  /// Emit every held event regardless of age.
+  std::vector<NativeEvent> flush(common::TimePoint now);
+
+  std::uint64_t coalesced() const { return coalesced_; }
+
+ private:
+  struct Pending {
+    std::uint32_t flags = 0;
+    common::TimePoint first;
+  };
+
+  std::vector<NativeEvent> age_out(common::TimePoint now);
+
+  common::Duration window_;
+  std::map<std::string, Pending> pending_;  // path -> accumulated flags
+  std::deque<std::string> order_;           // flush order (by first touch)
+  std::uint64_t coalesced_ = 0;
+};
+
+/// FileSystemWatcher: four change types delivered through a fixed-size
+/// internal buffer; overflow loses events (paper Section II-A).
+class FswEmitter {
+ public:
+  explicit FswEmitter(std::size_t buffer_bytes = 8192) : capacity_(buffer_bytes) {}
+
+  /// Returns true when the event was buffered; false on overflow (the
+  /// event is lost and the overflow counter ticks).
+  bool on_action(const FsAction& action, common::TimePoint now);
+
+  /// Consumer side: drain buffered events (frees buffer space).
+  std::vector<NativeEvent> drain(std::size_t max_events = SIZE_MAX);
+
+  std::uint64_t overflows() const { return overflows_; }
+  std::size_t buffered_bytes() const { return used_; }
+
+ private:
+  static std::size_t event_cost(const NativeEvent& event);
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::deque<NativeEvent> buffer_;
+  std::uint64_t overflows_ = 0;
+};
+
+}  // namespace fsmon::localfs

@@ -1,0 +1,42 @@
+// Local-platform profiles for the paper's Table III / Table IV
+// experiments (macOS, Ubuntu, CentOS).
+//
+// Each profile carries the platform's measured baseline event-generation
+// rate and the per-event service costs of FSMonitor and of the native
+// comparator tool (FSWatch on macOS, inotifywait on Linux), calibrated
+// from the paper's reported rates. CPU costs are per-event cycles, RAM
+// figures reproduce Table IV's memory column (0.01% of each machine's
+// RAM).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/types.hpp"
+
+namespace fsmon::localfs {
+
+struct PlatformProfile {
+  std::string name;         ///< "macOS", "Ubuntu", "CentOS"
+  std::string other_tool;   ///< "FSWatch" or "inotifywait"
+  double generation_rate = 0;  ///< Table III "Events generated per second".
+
+  // Per-event service latency (pipeline occupancy) for each monitor.
+  common::Duration fsmonitor_event_cost{};
+  common::Duration other_event_cost{};
+
+  // Per-event CPU cost for Table IV's CPU% column.
+  common::Duration fsmonitor_event_cpu{};
+  common::Duration other_event_cpu{};
+
+  // Resident memory for Table IV's Memory% column.
+  std::uint64_t ram_bytes = 0;  ///< Machine RAM (denominator).
+  std::uint64_t fsmonitor_rss_bytes = 0;
+  std::uint64_t other_rss_bytes = 0;
+
+  static PlatformProfile macos();
+  static PlatformProfile ubuntu();
+  static PlatformProfile centos();
+};
+
+}  // namespace fsmon::localfs

@@ -1,0 +1,32 @@
+// Registration of the built-in local DSIs with the global registry.
+#include <filesystem>
+#include <memory>
+
+#include "src/core/monitor.hpp"
+#include "src/localfs/inotify_dsi.hpp"
+
+namespace fsmon::core {
+
+void register_builtin_dsis() {
+  auto& registry = DsiRegistry::global();
+  if (registry.has_scheme("inotify")) return;  // idempotent
+  registry.register_dsi(
+      "inotify",
+      [](const StorageDescriptor& descriptor)
+          -> common::Result<std::unique_ptr<DsiBase>> {
+        localfs::InotifyDsiOptions options;
+        options.root = descriptor.root;
+        options.recursive = descriptor.params.get_bool("recursive", true);
+        return common::Result<std::unique_ptr<DsiBase>>(
+            std::make_unique<localfs::InotifyDsi>(std::move(options)));
+      },
+      [](const StorageDescriptor& descriptor) {
+        // Probe: usable for any real local directory when the kernel
+        // supports inotify.
+        std::error_code ec;
+        if (!std::filesystem::is_directory(descriptor.root, ec)) return 0;
+        return localfs::InotifyDsi::available() ? 10 : 0;
+      });
+}
+
+}  // namespace fsmon::core

@@ -1,0 +1,112 @@
+#include "src/lustre/changelog.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fsmon::lustre {
+
+std::string_view to_string(ChangelogType type) {
+  switch (type) {
+    case ChangelogType::kMark: return "MARK";
+    case ChangelogType::kCreat: return "CREAT";
+    case ChangelogType::kMkdir: return "MKDIR";
+    case ChangelogType::kHlink: return "HLINK";
+    case ChangelogType::kSlink: return "SLINK";
+    case ChangelogType::kMknod: return "MKNOD";
+    case ChangelogType::kUnlnk: return "UNLNK";
+    case ChangelogType::kRmdir: return "RMDIR";
+    case ChangelogType::kRenme: return "RENME";
+    case ChangelogType::kRnmto: return "RNMTO";
+    case ChangelogType::kIoctl: return "IOCTL";
+    case ChangelogType::kClose: return "CLOSE";
+    case ChangelogType::kTrunc: return "TRUNC";
+    case ChangelogType::kSattr: return "SATTR";
+    case ChangelogType::kXattr: return "XATTR";
+    case ChangelogType::kMtime: return "MTIME";
+  }
+  return "?";
+}
+
+std::string type_tag(ChangelogType type) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02u%s", static_cast<unsigned>(type),
+                std::string(to_string(type)).c_str());
+  return buf;
+}
+
+std::optional<ChangelogType> parse_changelog_type(std::string_view text) {
+  // Strip a numeric prefix if present ("01CREAT" -> "CREAT").
+  std::size_t i = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') ++i;
+  const std::string_view name = text.substr(i);
+  static constexpr ChangelogType kAll[] = {
+      ChangelogType::kMark,  ChangelogType::kCreat, ChangelogType::kMkdir,
+      ChangelogType::kHlink, ChangelogType::kSlink, ChangelogType::kMknod,
+      ChangelogType::kUnlnk, ChangelogType::kRmdir, ChangelogType::kRenme,
+      ChangelogType::kRnmto, ChangelogType::kIoctl, ChangelogType::kClose,
+      ChangelogType::kTrunc, ChangelogType::kSattr, ChangelogType::kXattr,
+      ChangelogType::kMtime,
+  };
+  for (ChangelogType t : kAll) {
+    if (to_string(t) == name) return t;
+  }
+  return std::nullopt;
+}
+
+std::string ChangelogRecord::to_line() const {
+  // Render the timestamp as HH:MM:SS.nnnnnnnnn time-of-day the way
+  // `lfs changelog` does.
+  const auto since_epoch = timestamp.time_since_epoch();
+  const auto total_ns = since_epoch.count();
+  const auto day_ns = total_ns % (24ll * 3600 * 1'000'000'000);
+  const auto secs = day_ns / 1'000'000'000;
+  const auto ns = day_ns % 1'000'000'000;
+  char timebuf[40];
+  std::snprintf(timebuf, sizeof(timebuf), "%02lld:%02lld:%02lld.%09lld",
+                static_cast<long long>(secs / 3600), static_cast<long long>((secs / 60) % 60),
+                static_cast<long long>(secs % 60), static_cast<long long>(ns));
+
+  std::ostringstream os;
+  os << index << ' ' << type_tag(type) << ' ' << timebuf << " 0x" << std::hex << flags
+     << std::dec << " t=" << to_string(target);
+  if (rename_new) os << " s=" << to_string(*rename_new);
+  if (rename_old) os << " sp=" << to_string(*rename_old);
+  if (parent) os << " p=" << to_string(*parent);
+  os << ' ' << name;
+  if (!rename_target_name.empty()) os << " -> " << rename_target_name;
+  return os.str();
+}
+
+std::uint64_t Changelog::append(ChangelogRecord record) {
+  record.index = next_index_++;
+  records_.push_back(std::move(record));
+  return records_.back().index;
+}
+
+std::vector<ChangelogRecord> Changelog::read(std::uint64_t after_index,
+                                             std::size_t max_records) const {
+  std::vector<ChangelogRecord> out;
+  if (records_.empty() || max_records == 0) return out;
+  // Records are stored in index order; binary search for the start.
+  auto it = std::upper_bound(records_.begin(), records_.end(), after_index,
+                             [](std::uint64_t idx, const ChangelogRecord& r) {
+                               return idx < r.index;
+                             });
+  for (; it != records_.end() && out.size() < max_records; ++it) out.push_back(*it);
+  return out;
+}
+
+common::Status Changelog::clear_upto(std::uint64_t index) {
+  if (index >= next_index_) {
+    return common::Status(common::ErrorCode::kOutOfRange,
+                          "changelog_clear beyond last record");
+  }
+  while (!records_.empty() && records_.front().index <= index) {
+    records_.pop_front();
+    ++purged_;
+  }
+  return common::Status::ok();
+}
+
+}  // namespace fsmon::lustre

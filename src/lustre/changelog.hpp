@@ -1,0 +1,111 @@
+// Lustre Changelog: the per-MDT metadata event journal the scalable
+// monitor consumes (paper Section IV-1, Table I).
+//
+// Every namespace operation serviced by an MDT appends one record with a
+// monotonically increasing index (the paper's "EventID"), a numbered
+// operation type ("01CREAT", "17MTIME", ...), timestamp, flags, target
+// and parent FIDs, and the target name. Rename records additionally carry
+// the s=[] / sp=[] FID pair the paper highlights.
+//
+// A changelog listener reads records from its last-consumed index and
+// periodically clears (purges) everything it has processed, exactly like
+// `lfs changelog` / `lfs changelog_clear`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/common/types.hpp"
+#include "src/lustre/fid.hpp"
+
+namespace fsmon::lustre {
+
+/// Changelog record types with Lustre's numeric codes (the two-digit
+/// prefix in "01CREAT"). Matches the paper's Section IV-1 event list.
+enum class ChangelogType : std::uint8_t {
+  kMark = 0,    // CL_MARK (internal)
+  kCreat = 1,   // CREAT: regular file creation
+  kMkdir = 2,   // MKDIR
+  kHlink = 3,   // HLINK: hard link
+  kSlink = 4,   // SLINK: soft link
+  kMknod = 5,   // MKNOD: device file
+  kUnlnk = 6,   // UNLNK: file deletion
+  kRmdir = 7,   // RMDIR
+  kRenme = 8,   // RENME: rename source record
+  kRnmto = 9,   // RNMTO: rename target record
+  kIoctl = 10,  // IOCTL
+  kClose = 11,  // CLOSE (CL_CLOSE)
+  kTrunc = 13,  // TRUNC
+  kSattr = 14,  // SATTR: attribute change
+  kXattr = 15,  // XATTR: extended attribute change
+  kMtime = 17,  // MTIME: file modification
+};
+
+/// "CREAT", "MKDIR", ... (the paper's names).
+std::string_view to_string(ChangelogType type);
+
+/// "01CREAT" style tag as printed by `lfs changelog`.
+std::string type_tag(ChangelogType type);
+
+/// Parse "CREAT" or "01CREAT"; nullopt for unknown.
+std::optional<ChangelogType> parse_changelog_type(std::string_view text);
+
+struct ChangelogRecord {
+  std::uint64_t index = 0;  ///< EventID: record number within this MDT's log.
+  ChangelogType type = ChangelogType::kMark;
+  common::TimePoint timestamp{};  ///< Virtual or real time of the operation.
+  std::uint32_t flags = 0;
+  Fid target;                 ///< t=[...]
+  std::optional<Fid> parent;  ///< p=[...]; absent for MTIME (paper Table I).
+  /// RENME only — the paper's s=[] (FID the file has been renamed to) and
+  /// sp=[] (FID of the original file).
+  std::optional<Fid> rename_new;  ///< s=[...]
+  std::optional<Fid> rename_old;  ///< sp=[...]
+  std::string name;               ///< Target name that triggered the event.
+  std::string rename_target_name;  ///< RENME: the new name (paper's second row).
+
+  /// One-line rendering in the `lfs changelog` format of Table I.
+  std::string to_line() const;
+};
+
+/// Append-only record journal with purge, per-MDT.
+class Changelog {
+ public:
+  Changelog() = default;
+
+  /// Append a record; assigns and returns its index.
+  std::uint64_t append(ChangelogRecord record);
+
+  /// Read up to `max_records` records with index > `after_index`, in
+  /// index order. Does not consume: pair with clear_upto().
+  std::vector<ChangelogRecord> read(std::uint64_t after_index, std::size_t max_records) const;
+
+  /// Purge all records with index <= `index` (lfs changelog_clear).
+  /// Clearing an index beyond the last appended record is an error.
+  common::Status clear_upto(std::uint64_t index);
+
+  /// Number of records currently retained.
+  std::size_t retained() const { return records_.size(); }
+
+  /// Index of the most recently appended record (0 when none yet).
+  std::uint64_t last_index() const { return next_index_ - 1; }
+
+  /// Lowest retained index (0 when empty).
+  std::uint64_t first_retained_index() const {
+    return records_.empty() ? 0 : records_.front().index;
+  }
+
+  std::uint64_t total_appended() const { return next_index_ - 1; }
+  std::uint64_t total_purged() const { return purged_; }
+
+ private:
+  std::deque<ChangelogRecord> records_;
+  std::uint64_t next_index_ = 1;
+  std::uint64_t purged_ = 0;
+};
+
+}  // namespace fsmon::lustre

@@ -1,0 +1,24 @@
+#include "src/lustre/fid_resolver.hpp"
+
+#include <algorithm>
+
+namespace fsmon::lustre {
+
+ResolveOutcome FidResolver::resolve(const Fid& fid) {
+  ++calls_;
+  auto path = fs_.fid2path(fid);
+  std::size_t components = 1;
+  if (path.is_ok()) {
+    components = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::count(path.value().begin(), path.value().end(), '/')));
+  } else {
+    ++failures_;
+  }
+  const common::Duration cost =
+      options_.base_cost + options_.per_component_cost * static_cast<std::int64_t>(components);
+  total_cost_ += cost;
+  if (clock_ != nullptr) clock_->sleep_for(cost);
+  return ResolveOutcome(std::move(path), cost);
+}
+
+}  // namespace fsmon::lustre

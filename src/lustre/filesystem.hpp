@@ -1,0 +1,118 @@
+// LustreFs: the assembled simulated deployment — MGS + one or more
+// MDS/MDT pairs (DNE when more than one) + an OST pool + the shared
+// namespace. Clients perform metadata operations through this facade;
+// each operation mutates the namespace and appends the corresponding
+// Changelog record(s) on the owning MDT.
+//
+// Thread safety: all public operations take an internal mutex so
+// real-threaded tests can run clients and collectors concurrently. The
+// discrete-event benchmarks run single-threaded and pay no contention.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.hpp"
+#include "src/common/status.hpp"
+#include "src/lustre/changelog.hpp"
+#include "src/lustre/mdt.hpp"
+#include "src/lustre/mgs.hpp"
+#include "src/lustre/namespace.hpp"
+#include "src/lustre/ost.hpp"
+
+namespace fsmon::lustre {
+
+struct LustreFsOptions {
+  std::string fsname = "lustre";
+  std::uint32_t mdt_count = 1;  ///< >1 enables DNE (paper: Iota has 4).
+  std::uint32_t oss_count = 1;
+  std::uint32_t osts_per_oss = 1;
+  std::uint64_t ost_capacity_bytes = 10ull << 30;
+  std::uint32_t default_stripe_count = 1;
+};
+
+/// Result of a metadata operation: the FID acted upon and the changelog
+/// record index (on mdt_index) it produced.
+struct OpResult {
+  Fid fid;
+  std::uint32_t mdt_index = 0;
+  std::uint64_t record_index = 0;
+};
+
+class LustreFs {
+ public:
+  explicit LustreFs(LustreFsOptions options, common::Clock& clock);
+
+  const LustreFsOptions& options() const { return options_; }
+  std::uint32_t mdt_count() const { return static_cast<std::uint32_t>(mds_.size()); }
+  Mds& mds(std::uint32_t index) { return *mds_.at(index); }
+  Mgs& mgs() { return mgs_; }
+  OstPool& osts() { return osts_; }
+
+  /// The namespace is shared for inspection; mutate only through ops.
+  const Namespace& ns() const { return namespace_; }
+
+  /// Serializes access for callers that read namespace + changelog
+  /// together (collectors resolving FIDs while clients mutate).
+  std::mutex& mutex() { return mu_; }
+
+  // ---- Client metadata operations. Paths are normalized internally.
+  common::Result<OpResult> create(const std::string& path);
+  common::Result<OpResult> mkdir(const std::string& path);
+  common::Result<OpResult> mknod(const std::string& path);
+  common::Result<OpResult> hardlink(const std::string& existing, const std::string& link);
+  common::Result<OpResult> softlink(const std::string& target, const std::string& link);
+  /// Write/extend a file: MTIME record (no parent FID, per Table I).
+  common::Result<OpResult> modify(const std::string& path, std::uint64_t new_size);
+  /// Close after IO: CLOSE record.
+  common::Result<OpResult> close(const std::string& path);
+  common::Result<OpResult> rename(const std::string& from, const std::string& to);
+  common::Result<OpResult> unlink(const std::string& path);
+  common::Result<OpResult> rmdir(const std::string& path);
+  common::Result<OpResult> truncate(const std::string& path, std::uint64_t size);
+  common::Result<OpResult> setattr(const std::string& path, std::uint32_t mode);
+  common::Result<OpResult> setxattr(const std::string& path);
+  common::Result<OpResult> ioctl(const std::string& path);
+
+  /// DNE placement preview: which MDT a directory created at `path`
+  /// would land on (no mutation). Lets load generators construct
+  /// per-MDT-balanced namespaces the way the paper's per-MDS clients do.
+  common::Result<std::uint32_t> preview_dir_placement(const std::string& path);
+
+  /// fid2path without cost model (the FidResolver wraps this with one).
+  common::Result<std::string> fid2path(const Fid& fid) const;
+
+  common::Result<Fid> lookup(const std::string& path) const;
+  bool exists(const std::string& path) const;
+
+  /// Total records appended across all MDT changelogs.
+  std::uint64_t total_records() const;
+
+ private:
+  struct ParentRef {
+    Fid fid;
+    std::string name;       ///< final component
+    std::uint32_t mdt = 0;  ///< MDT owning the parent inode
+  };
+
+  /// Resolve the parent directory of `path` (which need not exist).
+  common::Result<ParentRef> resolve_parent(const std::string& path);
+
+  /// DNE placement for a new inode under `parent`.
+  std::uint32_t place_inode(const Fid& parent, const std::string& name, NodeType type);
+
+  std::uint64_t append_record(std::uint32_t mdt_index, ChangelogRecord record);
+
+  LustreFsOptions options_;
+  common::Clock& clock_;
+  mutable std::mutex mu_;
+  Namespace namespace_;
+  Mgs mgs_;
+  OstPool osts_;
+  std::vector<std::unique_ptr<Mds>> mds_;
+};
+
+}  // namespace fsmon::lustre

@@ -1,0 +1,46 @@
+#include "src/lustre/mdt.hpp"
+
+#include <algorithm>
+
+namespace fsmon::lustre {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+std::string Mds::register_changelog_user() {
+  std::string id = "cl" + std::to_string(next_user_++);
+  // A new user starts at the log head: it sees only records appended
+  // after registration (Lustre semantics).
+  users_.emplace(id, mdt_.changelog().last_index());
+  return id;
+}
+
+Status Mds::deregister_changelog_user(const std::string& user_id) {
+  if (users_.erase(user_id) == 0) return Status(ErrorCode::kNotFound, user_id);
+  return Status::ok();
+}
+
+Result<std::vector<ChangelogRecord>> Mds::changelog_read(const std::string& user_id,
+                                                         std::size_t max_records) {
+  auto it = users_.find(user_id);
+  if (it == users_.end())
+    return Status(ErrorCode::kNotFound, "unregistered changelog user " + user_id);
+  return mdt_.changelog().read(it->second, max_records);
+}
+
+Status Mds::changelog_clear(const std::string& user_id, std::uint64_t index) {
+  auto it = users_.find(user_id);
+  if (it == users_.end())
+    return Status(ErrorCode::kNotFound, "unregistered changelog user " + user_id);
+  if (index > mdt_.changelog().last_index())
+    return Status(ErrorCode::kOutOfRange, "clear beyond last record");
+  it->second = std::max(it->second, index);
+  // Physically purge up to the minimum acknowledged index.
+  std::uint64_t min_cleared = index;
+  for (const auto& [id, cleared] : users_) min_cleared = std::min(min_cleared, cleared);
+  if (min_cleared > 0) return mdt_.changelog().clear_upto(min_cleared);
+  return Status::ok();
+}
+
+}  // namespace fsmon::lustre

@@ -1,0 +1,72 @@
+// Metadata Target / Metadata Server pair.
+//
+// Each MDT owns a FID allocation range and a Changelog; the MDS is the
+// service wrapper that registers changelog users (listeners) and exposes
+// read/clear, mirroring `lfs changelog` / `lfs changelog_clear` with a
+// registered user id (paper Section II-B1: "Developers can create a
+// Changelog listener and subscribe to a specific MDT").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/lustre/changelog.hpp"
+#include "src/lustre/fid.hpp"
+
+namespace fsmon::lustre {
+
+class Mdt {
+ public:
+  explicit Mdt(std::uint32_t index) : index_(index), allocator_(index) {}
+
+  std::uint32_t index() const { return index_; }
+  std::string name() const { return "MDT" + std::to_string(index_); }
+
+  FidAllocator& allocator() { return allocator_; }
+  Changelog& changelog() { return changelog_; }
+  const Changelog& changelog() const { return changelog_; }
+
+ private:
+  std::uint32_t index_;
+  FidAllocator allocator_;
+  Changelog changelog_;
+};
+
+/// Changelog-user registry + read/clear protocol on top of one MDT.
+class Mds {
+ public:
+  explicit Mds(std::uint32_t index) : mdt_(index) {}
+
+  std::uint32_t index() const { return mdt_.index(); }
+  std::string name() const { return "MDS" + std::to_string(mdt_.index()); }
+
+  Mdt& mdt() { return mdt_; }
+  const Mdt& mdt() const { return mdt_; }
+
+  /// Register a changelog user; returns the user id ("cl1", "cl2", ...).
+  std::string register_changelog_user();
+
+  /// Deregister; pending records the user had not cleared stay retained
+  /// until every remaining user clears past them.
+  common::Status deregister_changelog_user(const std::string& user_id);
+
+  /// Read up to `max_records` records newer than the user's cleared index.
+  common::Result<std::vector<ChangelogRecord>> changelog_read(const std::string& user_id,
+                                                              std::size_t max_records);
+
+  /// Acknowledge records up to `index` for this user. The log purges up
+  /// to the minimum cleared index across all registered users.
+  common::Status changelog_clear(const std::string& user_id, std::uint64_t index);
+
+  std::size_t changelog_user_count() const { return users_.size(); }
+
+ private:
+  Mdt mdt_;
+  std::map<std::string, std::uint64_t> users_;  // user id -> cleared index
+  std::uint32_t next_user_ = 1;
+};
+
+}  // namespace fsmon::lustre

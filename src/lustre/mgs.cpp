@@ -1,0 +1,39 @@
+#include "src/lustre/mgs.hpp"
+
+namespace fsmon::lustre {
+
+using common::ErrorCode;
+using common::Status;
+
+void Mgs::set_param(const std::string& key, const std::string& value) {
+  params_[key] = value;
+}
+
+std::optional<std::string> Mgs::get_param(const std::string& key) const {
+  auto it = params_.find(key);
+  if (it == params_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status Mgs::register_service(ServiceRecord record) {
+  if (record.name.empty()) return Status(ErrorCode::kInvalid, "service name required");
+  if (services_.count(record.name) != 0)
+    return Status(ErrorCode::kAlreadyExists, record.name);
+  services_.emplace(record.name, std::move(record));
+  return Status::ok();
+}
+
+Status Mgs::deregister_service(const std::string& name) {
+  if (services_.erase(name) == 0) return Status(ErrorCode::kNotFound, name);
+  return Status::ok();
+}
+
+std::vector<ServiceRecord> Mgs::services_of_kind(const std::string& kind) const {
+  std::vector<ServiceRecord> out;
+  for (const auto& [name, record] : services_) {
+    if (record.kind == kind) out.push_back(record);
+  }
+  return out;
+}
+
+}  // namespace fsmon::lustre

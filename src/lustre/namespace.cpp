@@ -1,0 +1,294 @@
+#include "src/lustre/namespace.hpp"
+
+#include <algorithm>
+
+#include "src/common/string_util.hpp"
+
+namespace fsmon::lustre {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+std::string_view to_string(NodeType type) {
+  switch (type) {
+    case NodeType::kFile: return "file";
+    case NodeType::kDirectory: return "directory";
+    case NodeType::kSymlink: return "symlink";
+    case NodeType::kDevice: return "device";
+  }
+  return "?";
+}
+
+namespace {
+// Root FID: Lustre's root is a well-known FID (FID_SEQ_ROOT); we use a
+// recognizable constant outside any allocator's range.
+constexpr Fid kRootFid{0x200000007ull, 0x1, 0x0};
+}  // namespace
+
+Namespace::Namespace() : root_(kRootFid) {
+  Inode root;
+  root.fid = root_;
+  root.type = NodeType::kDirectory;
+  root.mode = 0755;
+  // Root has no parent link; links stays empty and path_of special-cases it.
+  inodes_.emplace(root_, std::move(root));
+}
+
+Inode* Namespace::find(const Fid& fid) {
+  auto it = inodes_.find(fid);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+const Inode* Namespace::find(const Fid& fid) const {
+  auto it = inodes_.find(fid);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+Result<Fid> Namespace::lookup(std::string_view path) const {
+  const std::string norm = common::normalize_path(path);
+  Fid cur = root_;
+  if (norm == "/") return cur;
+  for (const auto& comp : common::split(norm.substr(1), '/')) {
+    const Inode* node = find(cur);
+    if (node == nullptr) return Status(ErrorCode::kNotFound, "dangling fid in path walk");
+    if (!node->is_dir()) return Status(ErrorCode::kNotADirectory, norm);
+    auto it = node->children.find(comp);
+    if (it == node->children.end()) return Status(ErrorCode::kNotFound, norm);
+    cur = it->second;
+  }
+  return cur;
+}
+
+Result<const Inode*> Namespace::stat(const Fid& fid) const {
+  const Inode* node = find(fid);
+  if (node == nullptr) return Status(ErrorCode::kNotFound, to_string(fid));
+  return node;
+}
+
+Result<std::string> Namespace::path_of(const Fid& fid) const {
+  if (fid == root_) return std::string("/");
+  std::vector<const std::string*> parts;
+  Fid cur = fid;
+  // Walk primary links up to the root; bounded by tree depth.
+  for (std::size_t depth = 0; depth < 4096; ++depth) {
+    const Inode* node = find(cur);
+    if (node == nullptr) return Status(ErrorCode::kNotFound, to_string(fid));
+    if (node->links.empty()) {
+      // Only the root has no links.
+      if (cur != root_) return Status(ErrorCode::kNotFound, "orphan inode");
+      break;
+    }
+    parts.push_back(&node->links[0].name);
+    cur = node->links[0].parent;
+  }
+  std::string path;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    path.push_back('/');
+    path += **it;
+  }
+  return path;
+}
+
+Result<Inode*> Namespace::dir_checked(const Fid& fid) {
+  Inode* node = find(fid);
+  if (node == nullptr) return Status(ErrorCode::kNotFound, to_string(fid));
+  if (!node->is_dir()) return Status(ErrorCode::kNotADirectory, to_string(fid));
+  return node;
+}
+
+Status Namespace::insert_entry(Inode& parent, const std::string& name, const Fid& child) {
+  if (name.empty() || name.find('/') != std::string::npos)
+    return Status(ErrorCode::kInvalid, "bad entry name: " + name);
+  if (!parent.children.emplace(name, child).second)
+    return Status(ErrorCode::kAlreadyExists, name);
+  return Status::ok();
+}
+
+Status Namespace::create(const Fid& parent, const std::string& name, NodeType type,
+                         const Fid& new_fid, std::uint32_t mdt_index) {
+  if (type == NodeType::kSymlink)
+    return Status(ErrorCode::kInvalid, "use symlink() for symlinks");
+  auto dir = dir_checked(parent);
+  if (!dir) return dir.status();
+  if (inodes_.count(new_fid) != 0) return Status(ErrorCode::kAlreadyExists, "fid reuse");
+  if (auto s = insert_entry(**dir, name, new_fid); !s.is_ok()) return s;
+  Inode node;
+  node.fid = new_fid;
+  node.type = type;
+  node.links.push_back({parent, name});
+  node.mode = type == NodeType::kDirectory ? 0755 : 0644;
+  node.mdt_index = mdt_index;
+  inodes_.emplace(new_fid, std::move(node));
+  return Status::ok();
+}
+
+Status Namespace::symlink(const Fid& parent, const std::string& name,
+                          const std::string& target_path, const Fid& new_fid,
+                          std::uint32_t mdt_index) {
+  auto dir = dir_checked(parent);
+  if (!dir) return dir.status();
+  if (inodes_.count(new_fid) != 0) return Status(ErrorCode::kAlreadyExists, "fid reuse");
+  if (auto s = insert_entry(**dir, name, new_fid); !s.is_ok()) return s;
+  Inode node;
+  node.fid = new_fid;
+  node.type = NodeType::kSymlink;
+  node.links.push_back({parent, name});
+  node.symlink_target = target_path;
+  node.mdt_index = mdt_index;
+  inodes_.emplace(new_fid, std::move(node));
+  return Status::ok();
+}
+
+Status Namespace::hardlink(const Fid& fid, const Fid& parent, const std::string& name) {
+  Inode* target = find(fid);
+  if (target == nullptr) return Status(ErrorCode::kNotFound, to_string(fid));
+  if (target->is_dir()) return Status(ErrorCode::kIsADirectory, "hardlink to directory");
+  auto dir = dir_checked(parent);
+  if (!dir) return dir.status();
+  if (auto s = insert_entry(**dir, name, fid); !s.is_ok()) return s;
+  target->links.push_back({parent, name});
+  return Status::ok();
+}
+
+void Namespace::remove_link(Inode& inode, const Fid& parent, const std::string& name) {
+  auto it = std::find(inode.links.begin(), inode.links.end(), LinkLocation{parent, name});
+  if (it != inode.links.end()) inode.links.erase(it);
+}
+
+Status Namespace::unlink(const Fid& parent, const std::string& name) {
+  auto dir = dir_checked(parent);
+  if (!dir) return dir.status();
+  auto entry = (*dir)->children.find(name);
+  if (entry == (*dir)->children.end()) return Status(ErrorCode::kNotFound, name);
+  Inode* node = find(entry->second);
+  if (node == nullptr) return Status(ErrorCode::kNotFound, "dangling entry");
+  if (node->is_dir()) return Status(ErrorCode::kIsADirectory, name);
+  const Fid fid = node->fid;
+  (*dir)->children.erase(entry);
+  remove_link(*node, parent, name);
+  if (node->links.empty()) inodes_.erase(fid);
+  return Status::ok();
+}
+
+Status Namespace::rmdir(const Fid& parent, const std::string& name) {
+  auto dir = dir_checked(parent);
+  if (!dir) return dir.status();
+  auto entry = (*dir)->children.find(name);
+  if (entry == (*dir)->children.end()) return Status(ErrorCode::kNotFound, name);
+  Inode* node = find(entry->second);
+  if (node == nullptr) return Status(ErrorCode::kNotFound, "dangling entry");
+  if (!node->is_dir()) return Status(ErrorCode::kNotADirectory, name);
+  if (!node->children.empty()) return Status(ErrorCode::kNotEmpty, name);
+  const Fid fid = node->fid;
+  (*dir)->children.erase(entry);
+  inodes_.erase(fid);
+  return Status::ok();
+}
+
+Result<Fid> Namespace::rename(const Fid& src_parent, const std::string& src_name,
+                              const Fid& dst_parent, const std::string& dst_name) {
+  auto src_dir = dir_checked(src_parent);
+  if (!src_dir) return src_dir.status();
+  auto dst_dir = dir_checked(dst_parent);
+  if (!dst_dir) return dst_dir.status();
+  auto src_entry = (*src_dir)->children.find(src_name);
+  if (src_entry == (*src_dir)->children.end()) return Status(ErrorCode::kNotFound, src_name);
+  const Fid moving = src_entry->second;
+  Inode* moving_node = find(moving);
+  if (moving_node == nullptr) return Status(ErrorCode::kNotFound, "dangling entry");
+
+  Fid replaced = kNullFid;
+  auto dst_entry = (*dst_dir)->children.find(dst_name);
+  if (dst_entry != (*dst_dir)->children.end()) {
+    Inode* victim = find(dst_entry->second);
+    if (victim == nullptr) return Status(ErrorCode::kNotFound, "dangling destination");
+    if (victim->is_dir()) {
+      if (!victim->children.empty()) return Status(ErrorCode::kNotEmpty, dst_name);
+      if (!moving_node->is_dir()) return Status(ErrorCode::kIsADirectory, dst_name);
+      replaced = victim->fid;
+      inodes_.erase(victim->fid);
+    } else {
+      if (moving_node->is_dir()) return Status(ErrorCode::kNotADirectory, dst_name);
+      replaced = victim->fid;
+      remove_link(*victim, dst_parent, dst_name);
+      if (victim->links.empty()) inodes_.erase(replaced);
+    }
+    (*dst_dir)->children.erase(dst_name);
+  }
+
+  (*src_dir)->children.erase(src_entry);
+  (*dst_dir)->children.emplace(dst_name, moving);
+  // Update the link record (primary link if that is the one that moved).
+  auto link = std::find(moving_node->links.begin(), moving_node->links.end(),
+                        LinkLocation{src_parent, src_name});
+  if (link != moving_node->links.end()) {
+    link->parent = dst_parent;
+    link->name = dst_name;
+  } else {
+    moving_node->links.push_back({dst_parent, dst_name});
+  }
+  return replaced;
+}
+
+Status Namespace::rebind_fid(const Fid& old_fid, const Fid& new_fid) {
+  auto it = inodes_.find(old_fid);
+  if (it == inodes_.end()) return Status(ErrorCode::kNotFound, to_string(old_fid));
+  if (it->second.is_dir())
+    return Status(ErrorCode::kIsADirectory, "cannot rebind a directory FID");
+  if (inodes_.count(new_fid) != 0) return Status(ErrorCode::kAlreadyExists, to_string(new_fid));
+  Inode node = std::move(it->second);
+  inodes_.erase(it);
+  node.fid = new_fid;
+  for (const auto& link : node.links) {
+    Inode* dir = find(link.parent);
+    if (dir != nullptr) {
+      auto entry = dir->children.find(link.name);
+      if (entry != dir->children.end()) entry->second = new_fid;
+    }
+  }
+  inodes_.emplace(new_fid, std::move(node));
+  return Status::ok();
+}
+
+Status Namespace::write(const Fid& fid, std::uint64_t new_size) {
+  Inode* node = find(fid);
+  if (node == nullptr) return Status(ErrorCode::kNotFound, to_string(fid));
+  if (node->is_dir()) return Status(ErrorCode::kIsADirectory, to_string(fid));
+  node->size = new_size;
+  return Status::ok();
+}
+
+Status Namespace::truncate(const Fid& fid, std::uint64_t new_size) {
+  Inode* node = find(fid);
+  if (node == nullptr) return Status(ErrorCode::kNotFound, to_string(fid));
+  if (node->is_dir()) return Status(ErrorCode::kIsADirectory, to_string(fid));
+  node->size = std::min(node->size, new_size);
+  return Status::ok();
+}
+
+Status Namespace::set_mode(const Fid& fid, std::uint32_t mode) {
+  Inode* node = find(fid);
+  if (node == nullptr) return Status(ErrorCode::kNotFound, to_string(fid));
+  node->mode = mode;
+  return Status::ok();
+}
+
+Status Namespace::add_xattr(const Fid& fid) {
+  Inode* node = find(fid);
+  if (node == nullptr) return Status(ErrorCode::kNotFound, to_string(fid));
+  ++node->xattr_count;
+  return Status::ok();
+}
+
+Result<std::vector<std::string>> Namespace::list(const Fid& dir) const {
+  const Inode* node = find(dir);
+  if (node == nullptr) return Status(ErrorCode::kNotFound, to_string(dir));
+  if (!node->is_dir()) return Status(ErrorCode::kNotADirectory, to_string(dir));
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, fid] : node->children) names.push_back(name);
+  return names;
+}
+
+}  // namespace fsmon::lustre

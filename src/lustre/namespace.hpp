@@ -1,0 +1,130 @@
+// Metadata namespace for the simulated Lustre file system.
+//
+// A hierarchical inode tree keyed by FID. This is what the MDTs manage:
+// directories, file names, layouts and permissions (paper Section II-B1).
+// The namespace supports the full set of operations that produce
+// Changelog record types — create/mkdir/mknod, hard and soft links,
+// unlink/rmdir, rename (with replaced-target semantics), attribute,
+// xattr, truncate, and modification updates — and implements the
+// FID-to-path resolution underlying Lustre's `fid2path` tool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/lustre/fid.hpp"
+
+namespace fsmon::lustre {
+
+enum class NodeType : std::uint8_t { kFile, kDirectory, kSymlink, kDevice };
+
+std::string_view to_string(NodeType type);
+
+/// One directory entry: where a link to an inode lives.
+struct LinkLocation {
+  Fid parent;
+  std::string name;
+
+  friend bool operator==(const LinkLocation&, const LinkLocation&) = default;
+};
+
+struct Inode {
+  Fid fid;
+  NodeType type = NodeType::kFile;
+  /// All directory entries referencing this inode. links[0] is the
+  /// primary link used by path_of. Directories always have exactly one.
+  std::vector<LinkLocation> links;
+  /// Children by name; only for directories.
+  std::map<std::string, Fid> children;
+  std::uint64_t size = 0;
+  std::uint32_t mode = 0644;
+  std::uint32_t xattr_count = 0;
+  std::string symlink_target;  ///< Only for kSymlink.
+  /// MDT that owns this inode (DNE placement); index into the fs's MDTs.
+  std::uint32_t mdt_index = 0;
+
+  std::uint32_t nlink() const { return static_cast<std::uint32_t>(links.size()); }
+  bool is_dir() const { return type == NodeType::kDirectory; }
+};
+
+class Namespace {
+ public:
+  /// Creates the root directory with a well-known FID on MDT0.
+  Namespace();
+
+  const Fid& root_fid() const { return root_; }
+
+  /// Resolve a normalized absolute path to a FID.
+  common::Result<Fid> lookup(std::string_view path) const;
+
+  /// Inode metadata by FID (kNotFound when the FID was deleted).
+  common::Result<const Inode*> stat(const Fid& fid) const;
+
+  bool exists(const Fid& fid) const { return inodes_.count(fid) != 0; }
+
+  /// Absolute path of `fid` via its primary link — the core of fid2path.
+  common::Result<std::string> path_of(const Fid& fid) const;
+
+  // ---- Mutations. The caller (Mds) allocates FIDs and assigns MDT
+  // ownership; the namespace enforces structural invariants.
+
+  /// Create a file/directory/device entry `name` under `parent`.
+  common::Status create(const Fid& parent, const std::string& name, NodeType type,
+                        const Fid& new_fid, std::uint32_t mdt_index);
+
+  /// Create a symlink whose body is `target_path`.
+  common::Status symlink(const Fid& parent, const std::string& name,
+                         const std::string& target_path, const Fid& new_fid,
+                         std::uint32_t mdt_index);
+
+  /// Add a hard link to existing file `fid` as `parent`/`name`.
+  common::Status hardlink(const Fid& fid, const Fid& parent, const std::string& name);
+
+  /// Remove the file link `parent`/`name`; the inode is destroyed when its
+  /// last link goes. Fails with kIsADirectory on directories.
+  common::Status unlink(const Fid& parent, const std::string& name);
+
+  /// Remove the empty directory `parent`/`name`.
+  common::Status rmdir(const Fid& parent, const std::string& name);
+
+  /// Move `src_parent`/`src_name` to `dst_parent`/`dst_name`. An existing
+  /// non-directory destination is replaced (its FID is returned so the
+  /// caller can record the victim); returns kNullFid when nothing was
+  /// replaced.
+  common::Result<Fid> rename(const Fid& src_parent, const std::string& src_name,
+                             const Fid& dst_parent, const std::string& dst_name);
+
+  /// Append/extend a file (MTIME source).
+  common::Status write(const Fid& fid, std::uint64_t new_size);
+
+  /// Re-key a non-directory inode from `old_fid` to `new_fid`, updating
+  /// every directory entry that references it. Models the paper's rename
+  /// semantics where the RENME record carries an old (sp=) and a new (s=)
+  /// FID for the renamed file.
+  common::Status rebind_fid(const Fid& old_fid, const Fid& new_fid);
+
+  common::Status truncate(const Fid& fid, std::uint64_t new_size);
+  common::Status set_mode(const Fid& fid, std::uint32_t mode);
+  common::Status add_xattr(const Fid& fid);
+
+  std::size_t inode_count() const { return inodes_.size(); }
+
+  /// Children names of a directory (test/inspection helper).
+  common::Result<std::vector<std::string>> list(const Fid& dir) const;
+
+ private:
+  Inode* find(const Fid& fid);
+  const Inode* find(const Fid& fid) const;
+  common::Result<Inode*> dir_checked(const Fid& fid);
+  common::Status insert_entry(Inode& parent, const std::string& name, const Fid& child);
+  void remove_link(Inode& inode, const Fid& parent, const std::string& name);
+
+  Fid root_;
+  std::unordered_map<Fid, Inode> inodes_;
+};
+
+}  // namespace fsmon::lustre

@@ -1,0 +1,85 @@
+#include "src/lustre/ost.hpp"
+
+#include <stdexcept>
+
+namespace fsmon::lustre {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+OstPool::OstPool(std::uint32_t oss_count, std::uint32_t osts_per_oss,
+                 std::uint64_t ost_capacity_bytes)
+    : oss_count_(oss_count) {
+  if (oss_count == 0 || osts_per_oss == 0)
+    throw std::invalid_argument("OstPool: need at least one OSS and OST");
+  osts_.resize(static_cast<std::size_t>(oss_count) * osts_per_oss);
+  for (auto& ost : osts_) ost.capacity_bytes = ost_capacity_bytes;
+}
+
+std::uint64_t OstPool::total_capacity_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& ost : osts_) total += ost.capacity_bytes;
+  return total;
+}
+
+std::uint64_t OstPool::total_used_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& ost : osts_) total += ost.used_bytes;
+  return total;
+}
+
+Status OstPool::allocate_objects(const Fid& fid, std::uint32_t stripe_count) {
+  if (stripe_count == 0 || stripe_count > osts_.size())
+    return Status(ErrorCode::kInvalid, "bad stripe count");
+  if (files_.count(fid) != 0) return Status(ErrorCode::kAlreadyExists, to_string(fid));
+  FileObjects objects;
+  objects.ost_indices.reserve(stripe_count);
+  for (std::uint32_t i = 0; i < stripe_count; ++i) {
+    const std::uint32_t idx = next_ost_;
+    next_ost_ = (next_ost_ + 1) % osts_.size();
+    objects.ost_indices.push_back(idx);
+    ++osts_[idx].object_count;
+  }
+  files_.emplace(fid, std::move(objects));
+  return Status::ok();
+}
+
+Status OstPool::write(const Fid& fid, std::uint64_t bytes) {
+  auto it = files_.find(fid);
+  if (it == files_.end()) return Status(ErrorCode::kNotFound, to_string(fid));
+  auto& objects = it->second;
+  const std::uint64_t per_stripe = bytes / objects.ost_indices.size();
+  std::uint64_t remainder = bytes % objects.ost_indices.size();
+  for (std::uint32_t idx : objects.ost_indices) {
+    const std::uint64_t chunk = per_stripe + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    osts_[idx].used_bytes += chunk;
+  }
+  objects.bytes += bytes;
+  return Status::ok();
+}
+
+Status OstPool::release(const Fid& fid) {
+  auto it = files_.find(fid);
+  if (it == files_.end()) return Status(ErrorCode::kNotFound, to_string(fid));
+  auto& objects = it->second;
+  const std::uint64_t per_stripe = objects.bytes / objects.ost_indices.size();
+  std::uint64_t remainder = objects.bytes % objects.ost_indices.size();
+  for (std::uint32_t idx : objects.ost_indices) {
+    const std::uint64_t chunk = per_stripe + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    osts_[idx].used_bytes -= std::min(osts_[idx].used_bytes, chunk);
+    --osts_[idx].object_count;
+  }
+  files_.erase(it);
+  return Status::ok();
+}
+
+Result<std::vector<std::uint32_t>> OstPool::stripes_of(const Fid& fid) const {
+  auto it = files_.find(fid);
+  if (it == files_.end()) return Status(ErrorCode::kNotFound, to_string(fid));
+  return it->second.ost_indices;
+}
+
+}  // namespace fsmon::lustre

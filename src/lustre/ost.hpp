@@ -1,0 +1,65 @@
+// Object Storage Servers / Targets.
+//
+// File *contents* live on OSTs as stripe objects. The monitor never reads
+// file data, but the simulator models object allocation and capacity so
+// testbed profiles can state real sizes (AWS 20 GB, Thor 500 GB, Iota
+// 897 TB) and workloads consume space realistically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/lustre/fid.hpp"
+
+namespace fsmon::lustre {
+
+struct OstStats {
+  std::uint64_t capacity_bytes = 0;
+  std::uint64_t used_bytes = 0;
+  std::uint64_t object_count = 0;
+};
+
+/// A pool of OSTs spread over OSSs with round-robin stripe allocation.
+class OstPool {
+ public:
+  /// `oss_count` servers each hosting `osts_per_oss` targets of
+  /// `ost_capacity_bytes` each.
+  OstPool(std::uint32_t oss_count, std::uint32_t osts_per_oss,
+          std::uint64_t ost_capacity_bytes);
+
+  std::uint32_t ost_count() const { return static_cast<std::uint32_t>(osts_.size()); }
+  std::uint32_t oss_count() const { return oss_count_; }
+  std::uint64_t total_capacity_bytes() const;
+  std::uint64_t total_used_bytes() const;
+
+  /// Allocate `stripe_count` stripe objects for file `fid`, round-robin
+  /// from the next OST. Fails if stripe_count exceeds the pool size.
+  common::Status allocate_objects(const Fid& fid, std::uint32_t stripe_count);
+
+  /// Account `bytes` of data written to `fid`, spread over its stripes.
+  common::Status write(const Fid& fid, std::uint64_t bytes);
+
+  /// Release the objects of `fid` (file deletion).
+  common::Status release(const Fid& fid);
+
+  /// Stripe OST indices for a file (empty result if unknown fid).
+  common::Result<std::vector<std::uint32_t>> stripes_of(const Fid& fid) const;
+
+  const OstStats& ost(std::uint32_t index) const { return osts_.at(index); }
+
+ private:
+  struct FileObjects {
+    std::vector<std::uint32_t> ost_indices;
+    std::uint64_t bytes = 0;
+  };
+
+  std::uint32_t oss_count_;
+  std::vector<OstStats> osts_;
+  std::unordered_map<Fid, FileObjects> files_;
+  std::uint32_t next_ost_ = 0;
+};
+
+}  // namespace fsmon::lustre

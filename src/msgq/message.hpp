@@ -1,0 +1,43 @@
+// Wire message: a topic frame plus an opaque payload, following the
+// ZeroMQ pub/sub convention the paper's scalable monitor uses
+// (Section IV: "Collectors use a publisher-subscriber message queue
+// (implemented with ZeroMQ) to report events to an aggregator").
+//
+// Topic matching is prefix-based exactly like ZMQ_SUBSCRIBE; the empty
+// filter subscribes to everything.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fsmon::msgq {
+
+struct Message {
+  std::string topic;
+  std::string payload;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// ZMQ-style prefix subscription match.
+bool topic_matches(std::string_view filter, std::string_view topic);
+
+/// Length-prefixed binary framing with CRC-32 trailer, used by the TCP
+/// transport and as the durable representation in tests:
+///   u32 topic_len | topic | u32 payload_len | payload | u32 crc
+std::vector<std::byte> encode_frame(const Message& message);
+
+/// Decode one frame from the front of `buffer`. Returns the message and
+/// the number of bytes consumed, or nullopt when the buffer does not yet
+/// hold a complete frame. Throws std::runtime_error on CRC mismatch or a
+/// structurally invalid frame.
+std::optional<std::pair<Message, std::size_t>> decode_frame(
+    std::span<const std::byte> buffer);
+
+}  // namespace fsmon::msgq

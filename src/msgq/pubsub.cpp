@@ -1,0 +1,123 @@
+#include "src/msgq/pubsub.hpp"
+
+#include <algorithm>
+
+namespace fsmon::msgq {
+
+std::size_t Publisher::publish(const Message& message) {
+  std::vector<std::shared_ptr<Subscriber>> targets;
+  {
+    std::lock_guard lock(mu_);
+    ++published_;
+    targets.reserve(subscribers_.size());
+    bool any_dead = false;
+    for (const auto& weak : subscribers_) {
+      if (auto sub = weak.lock()) {
+        targets.push_back(std::move(sub));
+      } else {
+        any_dead = true;
+      }
+    }
+    if (any_dead) {
+      std::erase_if(subscribers_, [](const auto& weak) { return weak.expired(); });
+    }
+  }
+  // Deliver outside the lock: Block-policy subscribers may wait for
+  // space, and holding mu_ there would stall unrelated publishes.
+  std::size_t accepted = 0;
+  for (const auto& sub : targets) {
+    if (sub->accepts(message.topic) && sub->deliver(message)) ++accepted;
+  }
+  return accepted;
+}
+
+void Publisher::connect(const std::shared_ptr<Subscriber>& subscriber) {
+  std::lock_guard lock(mu_);
+  for (const auto& weak : subscribers_) {
+    if (auto existing = weak.lock(); existing && existing.get() == subscriber.get()) return;
+  }
+  subscribers_.push_back(subscriber);
+}
+
+void Publisher::disconnect(const std::string& subscriber_name) {
+  std::lock_guard lock(mu_);
+  std::erase_if(subscribers_, [&](const auto& weak) {
+    auto sub = weak.lock();
+    return !sub || sub->name() == subscriber_name;
+  });
+}
+
+std::size_t Publisher::subscriber_count() const {
+  std::lock_guard lock(mu_);
+  std::size_t alive = 0;
+  for (const auto& weak : subscribers_) {
+    if (!weak.expired()) ++alive;
+  }
+  return alive;
+}
+
+std::uint64_t Publisher::published() const {
+  std::lock_guard lock(mu_);
+  return published_;
+}
+
+void Subscriber::subscribe(std::string prefix) {
+  std::lock_guard lock(filter_mu_);
+  if (std::find(filters_.begin(), filters_.end(), prefix) == filters_.end())
+    filters_.push_back(std::move(prefix));
+}
+
+void Subscriber::unsubscribe(const std::string& prefix) {
+  std::lock_guard lock(filter_mu_);
+  std::erase(filters_, prefix);
+}
+
+bool Subscriber::accepts(std::string_view topic) const {
+  std::lock_guard lock(filter_mu_);
+  for (const auto& filter : filters_) {
+    if (topic_matches(filter, topic)) return true;
+  }
+  return false;
+}
+
+std::shared_ptr<Publisher> Bus::make_publisher(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto pub = std::make_shared<Publisher>(name);
+  publishers_.push_back(pub);
+  return pub;
+}
+
+std::shared_ptr<Subscriber> Bus::make_subscriber(const std::string& name,
+                                                 std::size_t high_water_mark,
+                                                 common::OverflowPolicy policy) {
+  std::lock_guard lock(mu_);
+  auto sub = std::make_shared<Subscriber>(name, high_water_mark, policy);
+  subscribers_.push_back(sub);
+  return sub;
+}
+
+bool Bus::connect(const std::string& publisher_name, const std::string& subscriber_name) {
+  auto pub = find_publisher(publisher_name);
+  auto sub = find_subscriber(subscriber_name);
+  if (!pub || !sub) return false;
+  pub->connect(sub);
+  return true;
+}
+
+std::shared_ptr<Publisher> Bus::find_publisher(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  for (const auto& pub : publishers_) {
+    if (pub->name() == name) return pub;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<Subscriber> Bus::find_subscriber(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  for (const auto& sub : subscribers_) {
+    if (sub->name() == name) return sub;
+  }
+  return nullptr;
+}
+
+}  // namespace fsmon::msgq

@@ -1,0 +1,276 @@
+#include "src/msgq/tcp.hpp"
+
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/common/logging.hpp"
+
+namespace fsmon::msgq {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+namespace {
+
+Status errno_status(const std::string& what) {
+  return Status(ErrorCode::kUnavailable, what + ": " + std::strerror(errno));
+}
+
+bool write_all(int fd, const std::byte* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpConnection::~TcpConnection() { close(); }
+
+void TcpConnection::close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+Status TcpConnection::send(const Message& message) {
+  const int fd = fd_.load();
+  if (fd < 0) return Status(ErrorCode::kUnavailable, "connection closed");
+  const auto frame = encode_frame(message);
+  std::lock_guard lock(send_mu_);
+  if (!write_all(fd, frame.data(), frame.size())) {
+    close();
+    return errno_status("send");
+  }
+  return Status::ok();
+}
+
+Result<Message> TcpConnection::recv() {
+  std::byte chunk[4096];
+  for (;;) {
+    // Try to decode what we already have.
+    try {
+      if (auto decoded = decode_frame(std::span(recv_buffer_.data(), recv_buffer_.size()))) {
+        Message message = std::move(decoded->first);
+        recv_buffer_.erase(recv_buffer_.begin(),
+                           recv_buffer_.begin() + static_cast<std::ptrdiff_t>(decoded->second));
+        return message;
+      }
+    } catch (const std::runtime_error& error) {
+      close();
+      return Status(ErrorCode::kCorrupt, error.what());
+    }
+    const int fd = fd_.load();
+    if (fd < 0) return Status(ErrorCode::kUnavailable, "connection closed");
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      close();
+      return Status(ErrorCode::kUnavailable, "peer closed");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return errno_status("recv");
+    }
+    recv_buffer_.insert(recv_buffer_.end(), chunk, chunk + n);
+  }
+}
+
+TcpPublisher::~TcpPublisher() { stop(); }
+
+Status TcpPublisher::start(std::uint16_t port) {
+  if (running_.load()) return Status::ok();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return errno_status("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return errno_status("bind");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return errno_status("listen");
+  }
+  running_.store(true);
+  accept_thread_ = std::jthread([this](std::stop_token stop) { accept_loop(stop); });
+  return Status::ok();
+}
+
+void TcpPublisher::stop() {
+  if (!running_.exchange(false)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.request_stop();
+    accept_thread_.join();
+  }
+  std::vector<std::unique_ptr<Remote>> remotes;
+  {
+    std::lock_guard lock(mu_);
+    remotes.swap(remotes_);
+  }
+  for (auto& remote : remotes) {
+    remote->connection->close();
+    if (remote->reader.joinable()) {
+      remote->reader.request_stop();
+      remote->reader.join();
+    }
+  }
+}
+
+void TcpPublisher::accept_loop(std::stop_token stop) {
+  while (!stop.stop_requested()) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto remote = std::make_unique<Remote>();
+    remote->connection = std::make_shared<TcpConnection>(fd);
+    std::size_t index;
+    {
+      std::lock_guard lock(mu_);
+      index = remotes_.size();
+      remotes_.push_back(std::move(remote));
+    }
+    std::lock_guard lock(mu_);
+    remotes_[index]->reader =
+        std::jthread([this, connection = remotes_[index]->connection, index](
+                         std::stop_token reader_stop) {
+          control_loop(reader_stop, connection, index);
+        });
+  }
+}
+
+void TcpPublisher::control_loop(std::stop_token stop,
+                                std::shared_ptr<TcpConnection> connection,
+                                std::size_t index) {
+  while (!stop.stop_requested()) {
+    auto message = connection->recv();
+    if (!message) break;  // closed or corrupt
+    const Message& control = message.value();
+    if (control.topic.empty() || control.topic[0] != kControlPrefix) continue;
+    std::lock_guard lock(mu_);
+    if (index >= remotes_.size() || remotes_[index] == nullptr) break;
+    auto& filters = remotes_[index]->filters;
+    if (control.topic == std::string(1, kControlPrefix) + "sub") {
+      filters.push_back(control.payload);
+    } else if (control.topic == std::string(1, kControlPrefix) + "unsub") {
+      std::erase(filters, control.payload);
+    }
+  }
+}
+
+std::size_t TcpPublisher::connection_count() const {
+  std::lock_guard lock(mu_);
+  std::size_t alive = 0;
+  for (const auto& remote : remotes_) {
+    if (remote != nullptr && !remote->connection->closed()) ++alive;
+  }
+  return alive;
+}
+
+std::size_t TcpPublisher::publish(const Message& message) {
+  std::vector<std::shared_ptr<TcpConnection>> targets;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& remote : remotes_) {
+      if (remote == nullptr || remote->connection->closed()) continue;
+      for (const auto& filter : remote->filters) {
+        if (topic_matches(filter, message.topic)) {
+          targets.push_back(remote->connection);
+          break;
+        }
+      }
+    }
+  }
+  std::size_t delivered = 0;
+  for (const auto& connection : targets) {
+    if (connection->send(message).is_ok()) ++delivered;
+  }
+  return delivered;
+}
+
+TcpSubscriber::~TcpSubscriber() { disconnect(); }
+
+Status TcpSubscriber::connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return errno_status("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status(ErrorCode::kInvalid, "bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return errno_status("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  connection_ = std::make_shared<TcpConnection>(fd);
+  reader_ = std::jthread([this](std::stop_token stop) { reader_loop(stop); });
+  return Status::ok();
+}
+
+void TcpSubscriber::disconnect() {
+  if (connection_ != nullptr) connection_->close();
+  if (reader_.joinable()) {
+    reader_.request_stop();
+    reader_.join();
+  }
+  inbox_.close();
+}
+
+Status TcpSubscriber::subscribe(const std::string& prefix) {
+  if (connection_ == nullptr) return Status(ErrorCode::kUnavailable, "not connected");
+  return connection_->send(Message{std::string(1, kControlPrefix) + "sub", prefix});
+}
+
+Status TcpSubscriber::unsubscribe(const std::string& prefix) {
+  if (connection_ == nullptr) return Status(ErrorCode::kUnavailable, "not connected");
+  return connection_->send(Message{std::string(1, kControlPrefix) + "unsub", prefix});
+}
+
+void TcpSubscriber::reader_loop(std::stop_token stop) {
+  while (!stop.stop_requested()) {
+    auto message = connection_->recv();
+    if (!message) break;
+    if (!message.value().topic.empty() && message.value().topic[0] == kControlPrefix)
+      continue;  // control echoes are not user data
+    inbox_.push(std::move(message).take());
+  }
+  inbox_.close();
+}
+
+}  // namespace fsmon::msgq

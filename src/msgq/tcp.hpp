@@ -1,0 +1,133 @@
+// TCP transport for the pub/sub message queue.
+//
+// The in-process Bus covers single-process deployments; this transport
+// carries the same CRC-framed messages over sockets so collectors on
+// MDS nodes can publish to an aggregator on the MGS across hosts, like
+// the paper's ZeroMQ deployment. The protocol is deliberately minimal:
+//
+//   subscriber -> publisher:  control frame, topic "\x01sub",   payload = prefix
+//                             control frame, topic "\x01unsub", payload = prefix
+//   publisher -> subscriber:  data frames (topic + payload)
+//
+// A TcpPublisher accepts any number of subscriber connections and
+// forwards each published message to every connection whose filter set
+// matches. A TcpSubscriber connects, registers its filters, and exposes
+// the familiar recv()/try_recv() inbox.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/bounded_queue.hpp"
+#include "src/common/status.hpp"
+#include "src/msgq/message.hpp"
+
+namespace fsmon::msgq {
+
+/// Topics with this prefix are transport control frames, never user data.
+inline constexpr char kControlPrefix = '\x01';
+
+/// Framed, blocking, length-prefixed message I/O over one socket.
+class TcpConnection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  common::Status send(const Message& message);
+
+  /// Blocking receive of one frame; kUnavailable on orderly close,
+  /// kCorrupt on framing/CRC errors.
+  common::Result<Message> recv();
+
+  void close();
+  bool closed() const { return fd_.load() < 0; }
+
+ private:
+  std::atomic<int> fd_;
+  std::mutex send_mu_;
+  std::vector<std::byte> recv_buffer_;
+};
+
+/// Publishing endpoint: listens on a port and fans out to connected,
+/// filtered subscribers.
+class TcpPublisher {
+ public:
+  TcpPublisher() = default;
+  ~TcpPublisher();
+
+  TcpPublisher(const TcpPublisher&) = delete;
+  TcpPublisher& operator=(const TcpPublisher&) = delete;
+
+  /// Bind and listen on 127.0.0.1:`port` (0 = ephemeral) and start the
+  /// accept thread.
+  common::Status start(std::uint16_t port = 0);
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+  std::size_t connection_count() const;
+
+  /// Send to every connection with a matching filter; returns receivers.
+  std::size_t publish(const Message& message);
+  std::size_t publish(std::string topic, std::string payload) {
+    return publish(Message{std::move(topic), std::move(payload)});
+  }
+
+ private:
+  struct Remote {
+    std::shared_ptr<TcpConnection> connection;
+    std::vector<std::string> filters;
+    std::jthread reader;  // consumes control frames
+  };
+
+  void accept_loop(std::stop_token stop);
+  void control_loop(std::stop_token stop, std::shared_ptr<TcpConnection> connection,
+                    std::size_t index);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::jthread accept_thread_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Remote>> remotes_;
+  std::atomic<bool> running_{false};
+};
+
+/// Subscribing endpoint: connects to a TcpPublisher and buffers incoming
+/// data frames.
+class TcpSubscriber {
+ public:
+  explicit TcpSubscriber(std::size_t high_water_mark = 1 << 16,
+                         common::OverflowPolicy policy = common::OverflowPolicy::kBlock)
+      : inbox_(high_water_mark, policy) {}
+  ~TcpSubscriber();
+
+  TcpSubscriber(const TcpSubscriber&) = delete;
+  TcpSubscriber& operator=(const TcpSubscriber&) = delete;
+
+  common::Status connect(const std::string& host, std::uint16_t port);
+  void disconnect();
+
+  common::Status subscribe(const std::string& prefix);
+  common::Status unsubscribe(const std::string& prefix);
+
+  std::optional<Message> recv() { return inbox_.pop(); }
+  std::optional<Message> try_recv() { return inbox_.try_pop(); }
+  std::size_t pending() const { return inbox_.size(); }
+  bool connected() const { return connection_ != nullptr && !connection_->closed(); }
+
+ private:
+  void reader_loop(std::stop_token stop);
+
+  std::shared_ptr<TcpConnection> connection_;
+  std::jthread reader_;
+  common::BoundedQueue<Message> inbox_;
+};
+
+}  // namespace fsmon::msgq

@@ -1,0 +1,132 @@
+#include "src/scalable/aggregator.hpp"
+
+#include "src/common/logging.hpp"
+
+namespace fsmon::scalable {
+
+using common::Result;
+using common::Status;
+
+Aggregator::Aggregator(msgq::Bus& bus, std::string name, AggregatorOptions options,
+                       common::Clock& clock)
+    : bus_(bus),
+      name_(std::move(name)),
+      options_(std::move(options)),
+      clock_(clock),
+      inbox_(bus_.make_subscriber(name_ + "/inbox", options_.inbox_high_water_mark)),
+      output_(bus_.make_publisher(name_ + "/out")),
+      persist_queue_(options_.persist_queue_capacity),
+      meter_(clock) {
+  inbox_->subscribe("");  // fan-in: accept every collector topic
+  if (options_.store) {
+    store_ = std::make_unique<eventstore::EventStore>(*options_.store);
+    next_id_.store(store_->last_id() + 1);
+  }
+}
+
+Aggregator::~Aggregator() { stop(); }
+
+Status Aggregator::start() {
+  if (running_.load()) return Status::ok();
+  running_.store(true);
+  pump_thread_ = std::jthread([this](std::stop_token stop) { pump_loop(stop); });
+  if (store_ != nullptr) {
+    persist_thread_ = std::jthread([this](std::stop_token stop) { persist_loop(stop); });
+    if (options_.purge_interval.count() > 0)
+      purge_thread_ = std::jthread([this](std::stop_token stop) { purge_loop(stop); });
+  }
+  return Status::ok();
+}
+
+void Aggregator::stop() {
+  if (!running_.load()) return;
+  inbox_->close();
+  if (pump_thread_.joinable()) {
+    pump_thread_.request_stop();
+    pump_thread_.join();
+  }
+  persist_queue_.close();
+  if (persist_thread_.joinable()) {
+    persist_thread_.request_stop();
+    persist_thread_.join();
+  }
+  if (purge_thread_.joinable()) {
+    purge_thread_.request_stop();
+    purge_thread_.join();
+  }
+  running_.store(false);
+}
+
+void Aggregator::pump_loop(std::stop_token) {
+  // Publishing thread: drain the fan-in inbox, assign ids, forward to
+  // consumers, and hand a copy to the persister.
+  for (;;) {
+    auto message = inbox_->recv();
+    if (!message) break;  // closed and drained
+    auto decoded = core::deserialize_event(
+        std::as_bytes(std::span(message->payload.data(), message->payload.size())));
+    if (!decoded) {
+      FSMON_WARN("aggregator", "dropping corrupt event frame: ",
+                 decoded.status().to_string());
+      continue;
+    }
+    core::StdEvent event = std::move(decoded.value().first);
+    event.id = next_id_.fetch_add(1);
+    aggregated_.fetch_add(1);
+    meter_.record();
+    const auto bytes = core::serialize_event(event);
+    output_->publish(options_.output_topic,
+                     std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+    if (store_ != nullptr) persist_queue_.push(std::move(event));
+  }
+}
+
+void Aggregator::persist_loop(std::stop_token) {
+  std::vector<std::byte> buffer;
+  for (;;) {
+    auto event = persist_queue_.pop();
+    if (!event) break;
+    buffer.clear();
+    core::serialize_event(*event, buffer);
+    if (auto s = store_->append(event->id, buffer); !s.is_ok()) {
+      FSMON_ERROR("aggregator", "event store append failed: ", s.to_string());
+    } else {
+      persisted_.fetch_add(1);
+    }
+  }
+}
+
+void Aggregator::purge_loop(std::stop_token stop) {
+  // Sliced waiting so shutdown is prompt even with long purge intervals.
+  const auto slice = std::chrono::milliseconds(10);
+  auto remaining = options_.purge_interval;
+  while (!stop.stop_requested()) {
+    clock_.sleep_for(std::min<common::Duration>(slice, remaining));
+    remaining -= slice;
+    if (remaining.count() > 0) continue;
+    remaining = options_.purge_interval;
+    store_->purge_reported();
+    purge_cycles_.fetch_add(1);
+  }
+}
+
+Result<std::vector<core::StdEvent>> Aggregator::events_since(common::EventId after_id,
+                                                             std::size_t max_events) const {
+  if (store_ == nullptr)
+    return Status(common::ErrorCode::kUnavailable, "aggregator has no event store");
+  std::vector<core::StdEvent> out;
+  for (const auto& stored : store_->events_since(after_id, max_events)) {
+    auto decoded = core::deserialize_event(stored.payload);
+    if (!decoded) return decoded.status();
+    out.push_back(std::move(decoded.value().first));
+  }
+  return out;
+}
+
+void Aggregator::acknowledge(common::EventId up_to_id) {
+  if (store_ != nullptr) store_->mark_reported(up_to_id);
+}
+
+std::size_t Aggregator::purge() { return store_ == nullptr ? 0 : store_->purge_reported(); }
+
+}  // namespace fsmon::scalable

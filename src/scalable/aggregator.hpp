@@ -1,0 +1,97 @@
+// Aggregator service: runs on the MGS (paper Section IV "Aggregation").
+//
+// Subscribes to every collector's publisher (fan-in), assigns global
+// event ids, and runs two worker threads exactly as the paper describes:
+// "one thread is responsible for publishing the aggregated file system
+// events to the subscribed consumers, and the other thread stores the
+// events into a local database to enable fault tolerance." The database
+// is the reliable event store; consumers replay from it via
+// events_since().
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/common/bounded_queue.hpp"
+#include "src/common/clock.hpp"
+#include "src/common/rate_meter.hpp"
+#include "src/core/event.hpp"
+#include "src/eventstore/store.hpp"
+#include "src/msgq/pubsub.hpp"
+
+namespace fsmon::scalable {
+
+struct AggregatorOptions {
+  std::size_t inbox_high_water_mark = 1 << 16;
+  std::size_t persist_queue_capacity = 1 << 16;
+  /// Topic the aggregator publishes resolved events under.
+  std::string output_topic = "fsmon/events";
+  /// Reliable store configuration; nullopt disables fault tolerance.
+  std::optional<eventstore::EventStoreOptions> store;
+  /// Period of the automatic purge cycle removing acknowledged events
+  /// ("events ... can be removed from the data store when next data
+  /// purge cycle is initiated", Section IV). Zero disables the cycle;
+  /// purge() can always be called manually.
+  common::Duration purge_interval{};
+};
+
+class Aggregator {
+ public:
+  Aggregator(msgq::Bus& bus, std::string name, AggregatorOptions options,
+             common::Clock& clock);
+  ~Aggregator();
+
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+  common::Status start();
+  void stop();
+
+  /// Collectors connect their publishers here.
+  const std::shared_ptr<msgq::Subscriber>& inbox() const { return inbox_; }
+  /// Consumers connect their subscribers here.
+  const std::shared_ptr<msgq::Publisher>& output() const { return output_; }
+
+  /// Historic replay from the reliable store (consumer fault recovery).
+  common::Result<std::vector<core::StdEvent>> events_since(
+      common::EventId after_id, std::size_t max_events = SIZE_MAX) const;
+
+  /// Consumers acknowledge delivery; acknowledged events are removed at
+  /// the next purge cycle.
+  void acknowledge(common::EventId up_to_id);
+  std::size_t purge();
+
+  common::EventId last_event_id() const { return next_id_.load() - 1; }
+  std::uint64_t aggregated() const { return aggregated_.load(); }
+  std::uint64_t persisted() const { return persisted_.load(); }
+  std::uint64_t purge_cycles() const { return purge_cycles_.load(); }
+  double publish_rate() const { return meter_.average_rate(); }
+  const eventstore::EventStore* store() const { return store_.get(); }
+
+ private:
+  void pump_loop(std::stop_token stop);
+  void persist_loop(std::stop_token stop);
+  void purge_loop(std::stop_token stop);
+
+  msgq::Bus& bus_;
+  std::string name_;
+  AggregatorOptions options_;
+  common::Clock& clock_;
+  std::shared_ptr<msgq::Subscriber> inbox_;
+  std::shared_ptr<msgq::Publisher> output_;
+  std::unique_ptr<eventstore::EventStore> store_;
+  common::BoundedQueue<core::StdEvent> persist_queue_;
+  common::RateMeter meter_;
+  std::jthread pump_thread_;
+  std::jthread persist_thread_;
+  std::jthread purge_thread_;
+  std::atomic<common::EventId> next_id_{1};
+  std::atomic<std::uint64_t> aggregated_{0};
+  std::atomic<std::uint64_t> persisted_{0};
+  std::atomic<std::uint64_t> purge_cycles_{0};
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace fsmon::scalable

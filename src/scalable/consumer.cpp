@@ -1,0 +1,91 @@
+#include "src/scalable/consumer.hpp"
+
+#include "src/common/logging.hpp"
+
+namespace fsmon::scalable {
+
+using common::Result;
+using common::Status;
+
+Consumer::Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
+                   ConsumerOptions options, EventCallback callback)
+    : bus_(bus),
+      aggregator_(aggregator),
+      name_(std::move(name)),
+      options_(std::move(options)),
+      callback_(std::move(callback)),
+      subscriber_(bus_.make_subscriber(name_, options_.high_water_mark,
+                                       options_.overflow_policy)) {
+  subscriber_->subscribe("");  // receive everything; filter locally
+  aggregator_.output()->connect(subscriber_);
+}
+
+Consumer::~Consumer() { stop(); }
+
+bool Consumer::matches(const core::StdEvent& event) const {
+  if (options_.rules.empty()) return true;
+  for (const auto& rule : options_.rules) {
+    if (rule.matches(event)) return true;
+  }
+  return false;
+}
+
+void Consumer::deliver(const core::StdEvent& event) {
+  last_seen_.store(event.id);
+  if (!matches(event)) {
+    filtered_.fetch_add(1);
+    return;
+  }
+  delivered_.fetch_add(1);
+  if (callback_) callback_(event);
+  if (options_.ack_interval > 0 &&
+      event.id - last_acked_.load() >= options_.ack_interval) {
+    aggregator_.acknowledge(event.id);
+    last_acked_.store(event.id);
+  }
+}
+
+Status Consumer::start() {
+  if (running_.load()) return Status::ok();
+  running_.store(true);
+  worker_ = std::jthread([this](std::stop_token stop) { run(stop); });
+  return Status::ok();
+}
+
+void Consumer::stop() {
+  if (!running_.load()) return;
+  subscriber_->close();
+  if (worker_.joinable()) {
+    worker_.request_stop();
+    worker_.join();
+  }
+  running_.store(false);
+}
+
+void Consumer::run(std::stop_token) {
+  for (;;) {
+    auto message = subscriber_->recv();
+    if (!message) break;
+    auto decoded = core::deserialize_event(
+        std::as_bytes(std::span(message->payload.data(), message->payload.size())));
+    if (!decoded) {
+      FSMON_WARN("consumer", "corrupt event frame: ", decoded.status().to_string());
+      continue;
+    }
+    deliver(decoded.value().first);
+  }
+}
+
+Result<std::size_t> Consumer::replay_historic(std::optional<common::EventId> after_id) {
+  const common::EventId from = after_id.value_or(last_acked_.load());
+  auto events = aggregator_.events_since(from);
+  if (!events) return events.status();
+  std::size_t count = 0;
+  for (const auto& event : events.value()) {
+    deliver(event);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace fsmon::scalable

@@ -1,0 +1,86 @@
+// Consumer service (paper Section IV "Consumption").
+//
+// Subscribes to the aggregator, filters locally ("this filtering of
+// events is not done at the aggregator in order to alleviate potential
+// overheads if a large number of consumers were to ask to monitor
+// different files and directories"), and delivers matching events to the
+// application callback. After a failure, a consumer resumes by replaying
+// historic events from the aggregator's reliable store starting at its
+// last acknowledged event id.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/filter.hpp"
+#include "src/scalable/aggregator.hpp"
+
+namespace fsmon::scalable {
+
+struct ConsumerOptions {
+  std::size_t high_water_mark = 1 << 16;
+  /// What happens when this consumer falls behind the aggregator: kBlock
+  /// (lossless back-pressure, the default) or kDropNewest (a slow
+  /// consumer loses events rather than stalling the publisher — it can
+  /// recover them later via replay_historic, the paper's fault-tolerance
+  /// path).
+  common::OverflowPolicy overflow_policy = common::OverflowPolicy::kBlock;
+  /// Paths/rules this consumer cares about; empty = everything.
+  std::vector<core::FilterRule> rules;
+  /// Acknowledge to the aggregator every N delivered events.
+  std::size_t ack_interval = 1024;
+};
+
+class Consumer {
+ public:
+  using EventCallback = std::function<void(const core::StdEvent&)>;
+
+  Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
+           ConsumerOptions options, EventCallback callback);
+  ~Consumer();
+
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
+
+  common::Status start();
+  void stop();
+
+  /// Replay events since `after_id` (or since the last acknowledged id
+  /// when nullopt) from the reliable store, through the same filter and
+  /// callback. Returns the number of events delivered.
+  common::Result<std::size_t> replay_historic(
+      std::optional<common::EventId> after_id = std::nullopt);
+
+  bool matches(const core::StdEvent& event) const;
+
+  std::uint64_t delivered() const { return delivered_.load(); }
+  std::uint64_t filtered_out() const { return filtered_.load(); }
+  /// Events lost to the high-water mark (only with kDropNewest).
+  std::uint64_t dropped() const { return subscriber_->dropped(); }
+  common::EventId last_seen_id() const { return last_seen_.load(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  void run(std::stop_token stop);
+  void deliver(const core::StdEvent& event);
+
+  msgq::Bus& bus_;
+  Aggregator& aggregator_;
+  std::string name_;
+  ConsumerOptions options_;
+  EventCallback callback_;
+  std::shared_ptr<msgq::Subscriber> subscriber_;
+  std::jthread worker_;
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> filtered_{0};
+  std::atomic<common::EventId> last_seen_{0};
+  std::atomic<common::EventId> last_acked_{0};
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace fsmon::scalable

@@ -1,0 +1,84 @@
+#include "src/scalable/robinhood.hpp"
+
+#include "src/common/logging.hpp"
+
+namespace fsmon::scalable {
+
+using common::Status;
+
+RobinhoodPoller::RobinhoodPoller(lustre::LustreFs& fs, RobinhoodOptions options,
+                                 common::Clock& clock)
+    : fs_(fs),
+      options_(std::move(options)),
+      clock_(clock),
+      resolver_(fs, options_.resolver, /*clock=*/nullptr),
+      cache_(options_.cache_size > 0
+                 ? std::make_unique<EventProcessor::FidCache>(options_.cache_size)
+                 : nullptr),
+      processor_(resolver_, cache_.get(), options_.costs, "robinhood"),
+      meter_(clock) {
+  for (std::uint32_t i = 0; i < fs_.mdt_count(); ++i) {
+    user_ids_.push_back(fs_.mds(i).register_changelog_user());
+    per_mds_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+}
+
+RobinhoodPoller::~RobinhoodPoller() {
+  stop();
+  for (std::uint32_t i = 0; i < fs_.mdt_count(); ++i)
+    fs_.mds(i).deregister_changelog_user(user_ids_[i]);
+}
+
+Status RobinhoodPoller::start() {
+  if (running_.load()) return Status::ok();
+  running_.store(true);
+  worker_ = std::jthread([this](std::stop_token stop) { run(stop); });
+  return Status::ok();
+}
+
+void RobinhoodPoller::stop() {
+  if (worker_.joinable()) {
+    worker_.request_stop();
+    worker_.join();
+  }
+  running_.store(false);
+}
+
+std::size_t RobinhoodPoller::poll_mds(std::uint32_t index) {
+  auto records = fs_.mds(index).changelog_read(user_ids_[index], options_.batch_size);
+  if (!records || records.value().empty()) return 0;
+  std::uint64_t last_index = 0;
+  for (const auto& record : records.value()) {
+    auto output = processor_.process(record);
+    if (output.latency.count() > 0 && options_.costs.base_latency.count() > 0)
+      clock_.sleep_for(output.latency);
+    for (auto& event : output.events) database_.push_back(std::move(event));
+    last_index = record.index;
+  }
+  const std::size_t n = records.value().size();
+  records_.fetch_add(n);
+  per_mds_[index]->fetch_add(n);
+  meter_.record(n);
+  if (auto s = fs_.mds(index).changelog_clear(user_ids_[index], last_index); !s.is_ok())
+    FSMON_WARN("robinhood", "changelog_clear failed: ", s.to_string());
+  return n;
+}
+
+std::size_t RobinhoodPoller::sweep_once() {
+  std::size_t total = 0;
+  for (std::uint32_t i = 0; i < fs_.mdt_count(); ++i) total += poll_mds(i);
+  return total;
+}
+
+void RobinhoodPoller::run(std::stop_token stop) {
+  std::uint32_t next = 0;
+  while (!stop.stop_requested()) {
+    // Round-robin: visit exactly one MDS per iteration, as Robinhood does.
+    const std::size_t n = poll_mds(next);
+    next = (next + 1) % fs_.mdt_count();
+    if (n == 0) clock_.sleep_for(options_.poll_interval);
+  }
+  sweep_once();  // final drain
+}
+
+}  // namespace fsmon::scalable

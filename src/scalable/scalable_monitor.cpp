@@ -1,0 +1,98 @@
+#include "src/scalable/scalable_monitor.hpp"
+
+namespace fsmon::scalable {
+
+using common::Status;
+
+ScalableMonitor::ScalableMonitor(lustre::LustreFs& fs, ScalableMonitorOptions options,
+                                 common::Clock& clock)
+    : fs_(fs), options_(std::move(options)), clock_(clock) {
+  aggregator_ = std::make_unique<Aggregator>(bus_, "aggregator", options_.aggregator, clock_);
+  for (std::uint32_t i = 0; i < fs_.mdt_count(); ++i) {
+    auto publisher =
+        bus_.make_publisher(options_.collector.topic_prefix + "collector" + std::to_string(i));
+    publisher->connect(aggregator_->inbox());
+    collectors_.push_back(
+        std::make_unique<Collector>(fs_, i, std::move(publisher), options_.collector, clock_));
+    fs_.mgs().register_service(
+        {"collector-" + std::to_string(i), "collector", "msgq://collector" + std::to_string(i)});
+  }
+  fs_.mgs().register_service({"aggregator", "aggregator", "msgq://aggregator"});
+}
+
+Status ScalableMonitor::start() {
+  if (running_) return Status::ok();
+  if (auto s = aggregator_->start(); !s.is_ok()) return s;
+  for (auto& collector : collectors_) {
+    if (auto s = collector->start(); !s.is_ok()) return s;
+  }
+  running_ = true;
+  return Status::ok();
+}
+
+void ScalableMonitor::stop() {
+  if (!running_) return;
+  for (auto& collector : collectors_) collector->stop();
+  aggregator_->stop();
+  running_ = false;
+}
+
+std::unique_ptr<Consumer> ScalableMonitor::make_consumer(std::string name,
+                                                         ConsumerOptions options,
+                                                         Consumer::EventCallback callback) {
+  auto consumer = std::make_unique<Consumer>(bus_, *aggregator_, std::move(name),
+                                             std::move(options), std::move(callback));
+  if (running_) consumer->start();
+  return consumer;
+}
+
+std::size_t ScalableMonitor::drain_collectors_once() {
+  std::size_t total = 0;
+  for (auto& collector : collectors_) total += collector->drain_once();
+  return total;
+}
+
+std::uint64_t ScalableMonitor::total_records_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& collector : collectors_) total += collector->records_processed();
+  return total;
+}
+
+ScalableDsi::ScalableDsi(lustre::LustreFs& fs, ScalableMonitorOptions options,
+                         common::Clock& clock)
+    : monitor_(fs, std::move(options), clock) {}
+
+Status ScalableDsi::start(EventCallback callback) {
+  if (running_) return Status::ok();
+  consumer_ = monitor_.make_consumer(
+      "dsi-consumer", ConsumerOptions{},
+      [callback = std::move(callback)](const core::StdEvent& event) { callback(event); });
+  if (auto s = monitor_.start(); !s.is_ok()) return s;
+  if (auto s = consumer_->start(); !s.is_ok()) return s;
+  running_ = true;
+  return Status::ok();
+}
+
+void ScalableDsi::stop() {
+  if (!running_) return;
+  monitor_.stop();
+  if (consumer_ != nullptr) consumer_->stop();
+  running_ = false;
+}
+
+void register_lustre_dsi(core::DsiRegistry& registry, lustre::LustreFs& fs,
+                         common::Clock& clock, ScalableMonitorOptions options) {
+  registry.register_dsi(
+      "lustre",
+      [&fs, &clock, options](const core::StorageDescriptor& descriptor)
+          -> common::Result<std::unique_ptr<core::DsiBase>> {
+        ScalableMonitorOptions opts = options;
+        opts.collector.cache_size = static_cast<std::size_t>(
+            descriptor.params.get_int("lustre.cache_size",
+                                      static_cast<std::int64_t>(opts.collector.cache_size)));
+        return common::Result<std::unique_ptr<core::DsiBase>>(
+            std::make_unique<ScalableDsi>(fs, std::move(opts), clock));
+      });
+}
+
+}  // namespace fsmon::scalable

@@ -1,0 +1,82 @@
+// ScalableMonitor: the assembled scalable Lustre DSI (paper Figure 4).
+//
+// Wires one Collector per MDS, the Aggregator on the MGS, and any number
+// of Consumers over the pub/sub bus. Also provides ScalableDsi, the
+// core::DsiBase adapter that lets the FsMonitor facade treat an entire
+// Lustre deployment as just another storage backend (scheme "lustre").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/dsi.hpp"
+#include "src/scalable/aggregator.hpp"
+#include "src/scalable/collector.hpp"
+#include "src/scalable/consumer.hpp"
+
+namespace fsmon::scalable {
+
+struct ScalableMonitorOptions {
+  CollectorOptions collector;
+  AggregatorOptions aggregator;
+};
+
+class ScalableMonitor {
+ public:
+  ScalableMonitor(lustre::LustreFs& fs, ScalableMonitorOptions options,
+                  common::Clock& clock);
+
+  common::Status start();
+  void stop();
+
+  /// Create (and start, if the monitor is running) a consumer attached to
+  /// this monitor's aggregator.
+  std::unique_ptr<Consumer> make_consumer(std::string name, ConsumerOptions options,
+                                          Consumer::EventCallback callback);
+
+  Aggregator& aggregator() { return *aggregator_; }
+  Collector& collector(std::size_t i) { return *collectors_.at(i); }
+  std::size_t collector_count() const { return collectors_.size(); }
+  msgq::Bus& bus() { return bus_; }
+
+  /// Synchronously pump every collector once (deterministic tests).
+  std::size_t drain_collectors_once();
+
+  std::uint64_t total_records_processed() const;
+
+ private:
+  lustre::LustreFs& fs_;
+  ScalableMonitorOptions options_;
+  common::Clock& clock_;
+  msgq::Bus bus_;
+  std::unique_ptr<Aggregator> aggregator_;
+  std::vector<std::unique_ptr<Collector>> collectors_;
+  bool running_ = false;
+};
+
+/// core::DsiBase adapter: monitors the whole Lustre store and forwards
+/// every aggregated event to the FSMonitor callback via an internal
+/// consumer.
+class ScalableDsi final : public core::DsiBase {
+ public:
+  ScalableDsi(lustre::LustreFs& fs, ScalableMonitorOptions options, common::Clock& clock);
+
+  std::string name() const override { return "lustre"; }
+  common::Status start(EventCallback callback) override;
+  void stop() override;
+  bool running() const override { return running_; }
+
+  ScalableMonitor& monitor() { return monitor_; }
+
+ private:
+  ScalableMonitor monitor_;
+  std::unique_ptr<Consumer> consumer_;
+  bool running_ = false;
+};
+
+/// Register the "lustre" scheme against a specific simulated deployment.
+void register_lustre_dsi(core::DsiRegistry& registry, lustre::LustreFs& fs,
+                         common::Clock& clock,
+                         ScalableMonitorOptions options = {});
+
+}  // namespace fsmon::scalable

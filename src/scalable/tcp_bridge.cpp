@@ -1,0 +1,91 @@
+#include "src/scalable/tcp_bridge.hpp"
+
+#include "src/common/logging.hpp"
+
+namespace fsmon::scalable {
+
+using common::Status;
+
+AggregatorTcpBridge::AggregatorTcpBridge(Aggregator& aggregator, msgq::Bus& bus)
+    : aggregator_(aggregator) {
+  tap_ = bus.make_subscriber("tcp-bridge-tap", 1 << 16);
+  tap_->subscribe("");
+  aggregator_.output()->connect(tap_);
+}
+
+AggregatorTcpBridge::~AggregatorTcpBridge() { stop(); }
+
+Status AggregatorTcpBridge::start(std::uint16_t port) {
+  if (running_.load()) return Status::ok();
+  if (auto s = tcp_.start(port); !s.is_ok()) return s;
+  running_.store(true);
+  pump_ = std::jthread([this](std::stop_token stop) { pump_loop(stop); });
+  return Status::ok();
+}
+
+void AggregatorTcpBridge::stop() {
+  if (!running_.exchange(false)) return;
+  tap_->close();
+  if (pump_.joinable()) {
+    pump_.request_stop();
+    pump_.join();
+  }
+  tcp_.stop();
+}
+
+void AggregatorTcpBridge::pump_loop(std::stop_token) {
+  for (;;) {
+    auto message = tap_->recv();
+    if (!message) break;  // closed and drained
+    tcp_.publish(*message);
+    forwarded_.fetch_add(1);
+  }
+}
+
+RemoteConsumer::~RemoteConsumer() { stop(); }
+
+Status RemoteConsumer::connect(const std::string& host, std::uint16_t port) {
+  if (auto s = subscriber_.connect(host, port); !s.is_ok()) return s;
+  if (auto s = subscriber_.subscribe(options_.topic); !s.is_ok()) return s;
+  worker_ = std::jthread([this](std::stop_token stop) { run(stop); });
+  return Status::ok();
+}
+
+void RemoteConsumer::stop() {
+  subscriber_.disconnect();
+  if (worker_.joinable()) {
+    worker_.request_stop();
+    worker_.join();
+  }
+}
+
+bool RemoteConsumer::matches(const core::StdEvent& event) const {
+  if (options_.rules.empty()) return true;
+  for (const auto& rule : options_.rules) {
+    if (rule.matches(event)) return true;
+  }
+  return false;
+}
+
+void RemoteConsumer::run(std::stop_token) {
+  for (;;) {
+    auto message = subscriber_.recv();
+    if (!message) break;
+    auto decoded = core::deserialize_event(
+        std::as_bytes(std::span(message->payload.data(), message->payload.size())));
+    if (!decoded) {
+      FSMON_WARN("remote-consumer", "corrupt frame: ", decoded.status().to_string());
+      continue;
+    }
+    const core::StdEvent& event = decoded.value().first;
+    last_seen_.store(event.id);
+    if (!matches(event)) {
+      filtered_.fetch_add(1);
+      continue;
+    }
+    delivered_.fetch_add(1);
+    if (callback_) callback_(event);
+  }
+}
+
+}  // namespace fsmon::scalable

@@ -1,0 +1,92 @@
+// Cross-host deployment of the scalable monitor.
+//
+// In the paper's deployment the collectors run on MDS nodes, the
+// aggregator on the MGS, and consumers on Lustre clients — separate
+// hosts connected by ZeroMQ. This module provides the equivalent wiring
+// for this library's pipeline using the msgq TCP transport:
+//
+//   AggregatorTcpBridge  — attaches to an Aggregator and re-publishes
+//                          every aggregated event frame on a TCP port.
+//   RemoteConsumer       — runs on another host (or process): connects
+//                          to the bridge, filters locally (the paper's
+//                          consumer-side filtering), and delivers events
+//                          to a callback, with the same counters as the
+//                          in-process Consumer.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/filter.hpp"
+#include "src/msgq/tcp.hpp"
+#include "src/scalable/aggregator.hpp"
+
+namespace fsmon::scalable {
+
+class AggregatorTcpBridge {
+ public:
+  AggregatorTcpBridge(Aggregator& aggregator, msgq::Bus& bus);
+  ~AggregatorTcpBridge();
+
+  AggregatorTcpBridge(const AggregatorTcpBridge&) = delete;
+  AggregatorTcpBridge& operator=(const AggregatorTcpBridge&) = delete;
+
+  /// Listen on 127.0.0.1:`port` (0 = ephemeral) and start forwarding.
+  common::Status start(std::uint16_t port = 0);
+  void stop();
+
+  std::uint16_t port() const { return tcp_.port(); }
+  std::uint64_t forwarded() const { return forwarded_.load(); }
+
+ private:
+  void pump_loop(std::stop_token stop);
+
+  Aggregator& aggregator_;
+  std::shared_ptr<msgq::Subscriber> tap_;  ///< Local tap on the aggregator output.
+  msgq::TcpPublisher tcp_;
+  std::jthread pump_;
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<bool> running_{false};
+};
+
+struct RemoteConsumerOptions {
+  std::vector<core::FilterRule> rules;  ///< Empty = everything.
+  std::size_t high_water_mark = 1 << 16;
+  std::string topic = "fsmon/events";
+};
+
+class RemoteConsumer {
+ public:
+  using EventCallback = std::function<void(const core::StdEvent&)>;
+
+  RemoteConsumer(RemoteConsumerOptions options, EventCallback callback)
+      : options_(std::move(options)),
+        callback_(std::move(callback)),
+        subscriber_(options_.high_water_mark) {}
+  ~RemoteConsumer();
+
+  common::Status connect(const std::string& host, std::uint16_t port);
+  void stop();
+
+  bool matches(const core::StdEvent& event) const;
+
+  std::uint64_t delivered() const { return delivered_.load(); }
+  std::uint64_t filtered_out() const { return filtered_.load(); }
+  common::EventId last_seen_id() const { return last_seen_.load(); }
+
+ private:
+  void run(std::stop_token stop);
+
+  RemoteConsumerOptions options_;
+  EventCallback callback_;
+  msgq::TcpSubscriber subscriber_;
+  std::jthread worker_;
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> filtered_{0};
+  std::atomic<common::EventId> last_seen_{0};
+};
+
+}  // namespace fsmon::scalable

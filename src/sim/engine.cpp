@@ -1,0 +1,49 @@
+#include "src/sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace fsmon::sim {
+
+void Engine::schedule(common::Duration delay, std::function<void()> fn) {
+  if (delay.count() < 0) throw std::invalid_argument("Engine::schedule: negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Engine::schedule_at(common::TimePoint when, std::function<void()> fn) {
+  if (when < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
+  queue_.push(Scheduled{when, next_seq_++, std::move(fn)});
+}
+
+std::uint64_t Engine::run() {
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    // Move out of the queue before running: the callback may schedule.
+    auto item = queue_.top();
+    queue_.pop();
+    now_ = item.when;
+    item.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+std::uint64_t Engine::run_until(common::TimePoint until) {
+  if (until < now_) throw std::invalid_argument("Engine::run_until: time in the past");
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    auto item = queue_.top();
+    queue_.pop();
+    now_ = item.when;
+    item.fn();
+    ++executed;
+  }
+  now_ = until;
+  return executed;
+}
+
+void Engine::ClockView::sleep_for(common::Duration) {
+  throw std::logic_error(
+      "sim::Engine clock does not support sleep_for; schedule a continuation instead");
+}
+
+}  // namespace fsmon::sim

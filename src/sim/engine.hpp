@@ -1,0 +1,88 @@
+// Discrete-event simulation engine.
+//
+// The Lustre-scale experiments (Tables V-VIII, the 4-MDS aggregate, and
+// the Robinhood comparison) run the monitoring pipeline in virtual time:
+// modeled costs (metadata-op service time, fid2path latency, queue
+// transfer costs) are charged against this engine's clock, making every
+// benchmark deterministic and independent of the host machine.
+//
+// The engine is single-threaded: callbacks run inline in timestamp order
+// (FIFO among equal timestamps). Components built for the real-threaded
+// pipeline (LRU cache, Algorithm 1 processor, changelog) are pure and are
+// reused unchanged inside simulation callbacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/clock.hpp"
+#include "src/common/types.hpp"
+
+namespace fsmon::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  common::TimePoint now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` after the current time (>= 0).
+  void schedule(common::Duration delay, std::function<void()> fn);
+
+  /// Schedule `fn` at an absolute virtual time (>= now()).
+  void schedule_at(common::TimePoint when, std::function<void()> fn);
+
+  /// Run callbacks until the event queue is empty. Returns the number of
+  /// callbacks executed.
+  std::uint64_t run();
+
+  /// Run callbacks with timestamp <= `until`; afterwards now() == until
+  /// (even if the queue drained earlier). Returns callbacks executed.
+  std::uint64_t run_until(common::TimePoint until);
+
+  /// Convenience: run for `d` of virtual time from now().
+  std::uint64_t run_for(common::Duration d) { return run_until(now_ + d); }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// A Clock view of this engine. sleep_for is unsupported (callbacks must
+  /// schedule continuations instead) and throws.
+  common::Clock& clock() { return clock_view_; }
+  const common::Clock& clock() const { return clock_view_; }
+
+ private:
+  struct Scheduled {
+    common::TimePoint when;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  class ClockView final : public common::Clock {
+   public:
+    explicit ClockView(const Engine& engine) : engine_(engine) {}
+    common::TimePoint now() const override { return engine_.now(); }
+    [[noreturn]] void sleep_for(common::Duration) override;
+
+   private:
+    const Engine& engine_;
+  };
+
+  common::TimePoint now_{};
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  ClockView clock_view_{*this};
+};
+
+}  // namespace fsmon::sim

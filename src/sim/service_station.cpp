@@ -1,0 +1,34 @@
+#include "src/sim/service_station.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fsmon::sim {
+
+ServiceStation::ServiceStation(Engine& engine, std::string name)
+    : engine_(engine), name_(std::move(name)) {}
+
+void ServiceStation::submit(common::Duration service_time, std::function<void()> on_done) {
+  if (service_time.count() < 0)
+    throw std::invalid_argument("ServiceStation::submit: negative service time");
+  queue_.push_back(Job{service_time, std::move(on_done)});
+  peak_depth_ = std::max(peak_depth_, queue_depth());
+  if (!busy_) start_next();
+}
+
+void ServiceStation::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  engine_.schedule(job.service_time, [this, done = std::move(job.on_done)]() {
+    ++completed_;
+    if (done) done();
+    start_next();
+  });
+}
+
+}  // namespace fsmon::sim

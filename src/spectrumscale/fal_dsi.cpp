@@ -1,0 +1,102 @@
+#include "src/spectrumscale/fal_dsi.hpp"
+
+namespace fsmon::spectrumscale {
+
+using core::EventKind;
+using core::StdEvent;
+
+std::vector<StdEvent> standardize_audit_record(const AuditRecord& record) {
+  StdEvent event;
+  event.path = record.path;
+  event.is_dir = record.is_dir;
+  event.timestamp = record.timestamp;
+  event.source = "spectrumscale:" + record.node;
+  event.cookie = record.sequence;
+  switch (record.event) {
+    case AuditEventType::kCreate: event.kind = EventKind::kCreate; break;
+    case AuditEventType::kMkdir:
+      event.kind = EventKind::kCreate;
+      event.is_dir = true;
+      break;
+    case AuditEventType::kOpen: event.kind = EventKind::kOpen; break;
+    case AuditEventType::kClose: event.kind = EventKind::kClose; break;
+    case AuditEventType::kDestroy: event.kind = EventKind::kDelete; break;
+    case AuditEventType::kRmdir:
+      event.kind = EventKind::kDelete;
+      event.is_dir = true;
+      break;
+    case AuditEventType::kXattrChange:
+    case AuditEventType::kAclChange:
+    case AuditEventType::kGpfsAttrChange: event.kind = EventKind::kAttrib; break;
+    case AuditEventType::kRename: {
+      // One FAL RENAME record carries both paths: expand to the standard
+      // MOVED_FROM / MOVED_TO pair.
+      StdEvent from = event;
+      from.kind = EventKind::kMovedFrom;
+      StdEvent to = event;
+      to.kind = EventKind::kMovedTo;
+      to.path = record.dest_path;
+      return {std::move(from), std::move(to)};
+    }
+  }
+  return {std::move(event)};
+}
+
+std::size_t SpectrumScaleDsi::poll_batch() {
+  if (options_.pump_cluster) cluster_.pump();
+  auto records = cluster_.fileset().read(last_sequence_, options_.batch_size);
+  for (const auto& record : records) {
+    last_sequence_ = record.sequence;
+    for (auto& event : standardize_audit_record(record)) {
+      if (callback_) callback_(std::move(event));
+    }
+  }
+  consumed_.fetch_add(records.size());
+  return records.size();
+}
+
+std::size_t SpectrumScaleDsi::drain_once() {
+  std::size_t total = 0;
+  for (;;) {
+    const std::size_t n = poll_batch();
+    if (n == 0) break;
+    total += n;
+  }
+  return total;
+}
+
+common::Status SpectrumScaleDsi::start(EventCallback callback) {
+  if (running_.load()) return common::Status::ok();
+  callback_ = std::move(callback);
+  running_.store(true);
+  worker_ = std::jthread([this](std::stop_token stop) { run(stop); });
+  return common::Status::ok();
+}
+
+void SpectrumScaleDsi::stop() {
+  if (worker_.joinable()) {
+    worker_.request_stop();
+    worker_.join();
+  }
+  running_.store(false);
+}
+
+void SpectrumScaleDsi::run(std::stop_token stop) {
+  while (!stop.stop_requested()) {
+    if (poll_batch() == 0) clock_.sleep_for(options_.poll_interval);
+  }
+  drain_once();
+}
+
+void register_spectrumscale_dsi(core::DsiRegistry& registry, GpfsCluster& cluster,
+                                common::Clock& clock, SpectrumScaleDsiOptions options) {
+  registry.register_dsi(
+      "spectrumscale",
+      [&cluster, &clock, options](const core::StorageDescriptor&)
+          -> common::Result<std::unique_ptr<core::DsiBase>> {
+        return common::Result<std::unique_ptr<core::DsiBase>>(
+            std::make_unique<SpectrumScaleDsi>(cluster, options, clock));
+      });
+}
+
+}  // namespace fsmon::spectrumscale

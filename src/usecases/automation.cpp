@@ -1,0 +1,97 @@
+#include "src/usecases/automation.hpp"
+
+#include <sstream>
+
+#include "src/common/string_util.hpp"
+
+namespace fsmon::usecases {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string file_type_of(const std::string& path) {
+  const std::string name = common::base_name(path);
+  const auto dot = name.rfind('.');
+  if (dot == std::string::npos || dot + 1 == name.size()) return "unknown";
+  return name.substr(dot + 1);
+}
+
+}  // namespace
+
+std::string event_metadata_json(const core::StdEvent& event) {
+  std::ostringstream os;
+  os << "{"
+     << "\"event\":\"" << to_string(event.kind) << "\","
+     << "\"location\":\"" << json_escape(event.full_path()) << "\","
+     << "\"file_type\":\"" << json_escape(file_type_of(event.path)) << "\","
+     << "\"is_dir\":" << (event.is_dir ? "true" : "false") << ","
+     << "\"event_id\":" << event.id << ","
+     << "\"timestamp_ns\":" << event.timestamp.time_since_epoch().count() << ","
+     << "\"source\":\"" << json_escape(event.source) << "\""
+     << "}";
+  return os.str();
+}
+
+void FlowRunner::register_service(std::string name, ServiceHandler handler) {
+  services_[std::move(name)] = std::move(handler);
+}
+
+bool FlowRunner::has_service(const std::string& name) const {
+  return services_.count(name) != 0;
+}
+
+FlowExecution FlowRunner::execute(const Flow& flow, const core::StdEvent& trigger) {
+  FlowExecution execution;
+  execution.flow_name = flow.name;
+  execution.trigger_path = trigger.full_path();
+  for (const auto& step : flow.steps) {
+    auto it = services_.find(step.service);
+    if (it == services_.end()) return execution;  // unknown service aborts
+    bool step_ok = false;
+    for (std::size_t attempt = 0; attempt <= max_retries_; ++attempt) {
+      if (attempt > 0) ++execution.retries;
+      if (it->second(step, trigger).is_ok()) {
+        step_ok = true;
+        break;
+      }
+    }
+    if (!step_ok) return execution;  // exhausted retries
+    ++execution.steps_completed;
+  }
+  execution.succeeded = execution.steps_completed == flow.steps.size();
+  return execution;
+}
+
+void AutomationClient::add_rule(core::FilterRule filter, Flow flow) {
+  rules_.push_back(Rule{std::move(filter), std::move(flow)});
+}
+
+std::vector<FlowExecution> AutomationClient::on_event(const core::StdEvent& event) {
+  ++events_seen_;
+  std::vector<FlowExecution> executions;
+  for (const auto& rule : rules_) {
+    if (!rule.filter.matches(event)) continue;
+    ++flows_started_;
+    auto execution = runner_.execute(rule.flow, event);
+    if (!execution.succeeded) ++flows_failed_;
+    history_.push_back(execution);
+    executions.push_back(std::move(execution));
+  }
+  return executions;
+}
+
+}  // namespace fsmon::usecases

@@ -1,0 +1,104 @@
+// Research-automation use case (paper Section VI-A).
+//
+// "We have developed a client to enable Globus Automate flows to be
+// initiated in response to data events ... When a data event is captured
+// by FSMonitor, our client constructs a JSON document of metadata, such
+// as the file type, size, owner, and location and transmits the data to
+// a pre-defined Globus Automate flow. The flow is then reliably
+// executed."
+//
+// This module implements that client against the FSMonitor event stream:
+// rules bind event filters to flows; a flow is a pipeline of service
+// invocations (transfer, catalog, execution, ...) executed reliably with
+// bounded retries. Service backends are pluggable handlers — the example
+// wires in-process stand-ins for the remote web services.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/core/filter.hpp"
+
+namespace fsmon::usecases {
+
+/// One step of a flow: an invocation of a named remote service.
+struct FlowStep {
+  std::string service;  ///< e.g. "transfer", "catalog", "funcx"
+  std::string action;   ///< service-specific action string
+};
+
+struct Flow {
+  std::string name;
+  std::vector<FlowStep> steps;
+};
+
+/// Record of one flow execution.
+struct FlowExecution {
+  std::string flow_name;
+  std::string trigger_path;
+  std::size_t steps_completed = 0;
+  std::size_t retries = 0;
+  bool succeeded = false;
+};
+
+/// Build the metadata JSON document the client transmits with a flow
+/// (file type, size placeholder, location, event kind, timestamp).
+std::string event_metadata_json(const core::StdEvent& event);
+
+/// Executes flows step-by-step with bounded retries per step.
+class FlowRunner {
+ public:
+  /// A handler performs one step; transient failures return non-OK and
+  /// are retried up to `max_retries` times.
+  using ServiceHandler =
+      std::function<common::Status(const FlowStep&, const core::StdEvent&)>;
+
+  explicit FlowRunner(std::size_t max_retries = 3) : max_retries_(max_retries) {}
+
+  void register_service(std::string name, ServiceHandler handler);
+  bool has_service(const std::string& name) const;
+
+  /// Run every step in order; a step that keeps failing aborts the flow.
+  FlowExecution execute(const Flow& flow, const core::StdEvent& trigger);
+
+ private:
+  std::size_t max_retries_;
+  std::map<std::string, ServiceHandler> services_;
+};
+
+/// Binds event filters to flows and dispatches incoming events.
+class AutomationClient {
+ public:
+  explicit AutomationClient(FlowRunner& runner) : runner_(runner) {}
+
+  void add_rule(core::FilterRule filter, Flow flow);
+  std::size_t rule_count() const { return rules_.size(); }
+
+  /// Feed one event; every matching rule's flow executes. Returns the
+  /// executions started by this event.
+  std::vector<FlowExecution> on_event(const core::StdEvent& event);
+
+  std::uint64_t events_seen() const { return events_seen_; }
+  std::uint64_t flows_started() const { return flows_started_; }
+  std::uint64_t flows_failed() const { return flows_failed_; }
+  const std::vector<FlowExecution>& history() const { return history_; }
+
+ private:
+  struct Rule {
+    core::FilterRule filter;
+    Flow flow;
+  };
+
+  FlowRunner& runner_;
+  std::vector<Rule> rules_;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t flows_failed_ = 0;
+  std::vector<FlowExecution> history_;
+};
+
+}  // namespace fsmon::usecases

@@ -1,0 +1,151 @@
+#include "src/usecases/catalog.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/common/string_util.hpp"
+
+namespace fsmon::usecases {
+
+namespace {
+
+const std::map<std::string, std::string>& type_map() {
+  static const std::map<std::string, std::string> kTypes = {
+      {"csv", "tabular"},  {"tsv", "tabular"}, {"h5", "hdf5"},     {"hdf5", "hdf5"},
+      {"nc", "netcdf"},    {"txt", "text"},    {"md", "text"},     {"json", "structured"},
+      {"xml", "structured"}, {"png", "image"}, {"jpg", "image"},   {"tif", "image"},
+      {"dat", "binary"},   {"bin", "binary"},  {"fits", "astronomy"}};
+  return kTypes;
+}
+
+}  // namespace
+
+std::string MetadataExtractor::infer_type(const std::string& path) const {
+  const std::string name = common::base_name(path);
+  const auto dot = name.rfind('.');
+  if (dot == std::string::npos || dot + 1 == name.size()) return "unknown";
+  std::string ext = name.substr(dot + 1);
+  std::transform(ext.begin(), ext.end(), ext.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  auto it = type_map().find(ext);
+  return it == type_map().end() ? ext : it->second;
+}
+
+std::vector<std::string> MetadataExtractor::extract_keywords(const std::string& path) const {
+  std::vector<std::string> keywords;
+  std::string token;
+  auto flush = [&] {
+    if (token.size() >= 2) keywords.push_back(token);
+    token.clear();
+  };
+  for (char c : path) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      token.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  std::sort(keywords.begin(), keywords.end());
+  keywords.erase(std::unique(keywords.begin(), keywords.end()), keywords.end());
+  return keywords;
+}
+
+CatalogEntry MetadataExtractor::extract(const core::StdEvent& event) {
+  ++extractions_;
+  CatalogEntry entry;
+  entry.path = event.path;
+  entry.file_type = infer_type(event.path);
+  entry.keywords = extract_keywords(event.path);
+  entry.created = event.timestamp;
+  entry.modified = event.timestamp;
+  return entry;
+}
+
+void Catalog::apply(const core::StdEvent& event) {
+  ++events_applied_;
+  switch (event.kind) {
+    case core::EventKind::kCreate: {
+      entries_[event.path] = extractor_.extract(event);
+      break;
+    }
+    case core::EventKind::kModify:
+    case core::EventKind::kAttrib:
+    case core::EventKind::kClose: {
+      auto it = entries_.find(event.path);
+      if (it == entries_.end()) {
+        // Event for a file we never saw created (e.g. catalog attached
+        // mid-stream): index it now.
+        entries_[event.path] = extractor_.extract(event);
+      } else if (event.kind == core::EventKind::kModify) {
+        it->second.modified = event.timestamp;
+        ++it->second.version;
+      }
+      break;
+    }
+    case core::EventKind::kDelete: {
+      entries_.erase(event.path);
+      break;
+    }
+    case core::EventKind::kMovedFrom: {
+      auto it = entries_.find(event.path);
+      if (it != entries_.end()) {
+        pending_moves_[event.cookie] = std::move(it->second);
+        entries_.erase(it);
+      }
+      break;
+    }
+    case core::EventKind::kMovedTo: {
+      auto pending = pending_moves_.find(event.cookie);
+      if (pending != pending_moves_.end()) {
+        CatalogEntry entry = std::move(pending->second);
+        pending_moves_.erase(pending);
+        entry.path = event.path;
+        // Re-extract name-derived metadata; version survives the move.
+        entry.file_type = extractor_.infer_type(event.path);
+        entry.keywords = extractor_.extract_keywords(event.path);
+        entry.modified = event.timestamp;
+        entries_[event.path] = std::move(entry);
+        ++moves_joined_;
+      } else {
+        entries_[event.path] = extractor_.extract(event);
+      }
+      break;
+    }
+    case core::EventKind::kOpen:
+      break;  // opens do not change the catalog
+  }
+}
+
+std::optional<CatalogEntry> Catalog::lookup(const std::string& path) const {
+  auto it = entries_.find(path);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<CatalogEntry> Catalog::search_path(const std::string& glob) const {
+  std::vector<CatalogEntry> out;
+  for (const auto& [path, entry] : entries_) {
+    if (common::glob_match(glob, path)) out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<CatalogEntry> Catalog::search_keyword(const std::string& keyword) const {
+  std::vector<CatalogEntry> out;
+  for (const auto& [path, entry] : entries_) {
+    if (std::binary_search(entry.keywords.begin(), entry.keywords.end(), keyword))
+      out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<CatalogEntry> Catalog::search_type(const std::string& file_type) const {
+  std::vector<CatalogEntry> out;
+  for (const auto& [path, entry] : entries_) {
+    if (entry.file_type == file_type) out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace fsmon::usecases

@@ -1,0 +1,83 @@
+#include "src/workloads/filebench.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace fsmon::workloads {
+
+FilebenchReport run_filebench_create(FsTarget& target, const std::string& base_dir,
+                                     const FilebenchOptions& options) {
+  FilebenchReport report;
+  common::Rng rng(options.seed);
+
+  const std::string root = base_dir + "/" + options.fileset_name;
+  if (target.mkdir(root).is_ok()) {
+    ++report.footprint.mkdirs;
+    ++report.directories;
+  }
+
+  // Build the directory tree: levels of directories with widths sampled
+  // gamma-like around the mean width, to the integer depth bracketing
+  // the requested mean (Filebench's meandirwidth/meandirdepth model).
+  const int full_levels = static_cast<int>(std::floor(options.mean_dir_depth)) - 1;
+  std::vector<std::string> current{root};
+  std::vector<std::string> leaves;
+  std::uint64_t needed_leaves = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(static_cast<double>(options.files) / options.mean_dir_width)));
+  int depth = 0;
+  while (depth < full_levels || leaves.size() < needed_leaves) {
+    std::vector<std::string> next;
+    for (const auto& dir : current) {
+      // Width sampled around the mean; at least 1.
+      const double w = rng.next_gamma(4.0, options.mean_dir_width / 4.0);
+      const auto width = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(w + 0.5));
+      for (std::uint64_t i = 0; i < width; ++i) {
+        const std::string sub = dir + "/d" + std::to_string(i);
+        if (target.mkdir(sub).is_ok()) {
+          ++report.footprint.mkdirs;
+          ++report.directories;
+          next.push_back(sub);
+        }
+      }
+      if (leaves.size() + next.size() >= needed_leaves && depth >= full_levels) break;
+    }
+    if (next.empty()) break;
+    current = std::move(next);
+    ++depth;
+    if (depth >= full_levels) {
+      leaves.insert(leaves.end(), current.begin(), current.end());
+      if (leaves.size() >= needed_leaves) break;
+    }
+  }
+  if (leaves.empty()) leaves.push_back(root);
+
+  // Place the files over the leaves with gamma-distributed sizes.
+  const double scale = options.mean_file_size / options.gamma_shape;
+  std::uint64_t depth_sum = 0;
+  for (std::uint64_t i = 0; i < options.files; ++i) {
+    const std::string& leaf = leaves[rng.next_below(leaves.size())];
+    char name[24];
+    std::snprintf(name, sizeof(name), "%08llu", static_cast<unsigned long long>(i + 1));
+    const std::string path = leaf + "/" + name;
+    if (target.create(path).is_ok()) ++report.footprint.creates;
+    const auto size = static_cast<std::uint64_t>(
+        std::max(1.0, rng.next_gamma(options.gamma_shape, scale)));
+    if (target.write(path, size).is_ok()) {
+      ++report.footprint.modifies;
+      report.footprint.bytes_written += size;
+    }
+    if (target.close(path).is_ok()) ++report.footprint.closes;
+    depth_sum += static_cast<std::uint64_t>(
+        std::count(path.begin(), path.end(), '/'));
+  }
+  report.mean_depth =
+      options.files == 0
+          ? 0.0
+          : static_cast<double>(depth_sum) / static_cast<double>(options.files);
+  return report;
+}
+
+}  // namespace fsmon::workloads

@@ -1,0 +1,42 @@
+// Filebench-like workload (Section V-B).
+//
+// "We used Filebench to create 50 000 files with sizes following a gamma
+// distribution (mean 16 384 bytes and gamma 1.5), a mean directory width
+// of 20, and mean directory depth of 3.6. The total size of all files
+// generated is 782.8 MB."
+//
+// The generator reproduces Filebench's fileset construction: a directory
+// tree whose widths are sampled around the mean width until the leaf
+// count supports the requested file count at the target mean depth, then
+// files ("bigfileset/00000001"...) placed uniformly over the leaves with
+// gamma-distributed sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/random.hpp"
+#include "src/workloads/target.hpp"
+
+namespace fsmon::workloads {
+
+struct FilebenchOptions {
+  std::uint64_t files = 50'000;
+  double mean_file_size = 16'384;
+  double gamma_shape = 1.5;
+  double mean_dir_width = 20;
+  double mean_dir_depth = 3.6;
+  std::string fileset_name = "bigfileset";
+  std::uint64_t seed = 1;
+};
+
+struct FilebenchReport {
+  WorkloadFootprint footprint;
+  std::uint64_t directories = 0;
+  double mean_depth = 0;  ///< Achieved mean file depth.
+};
+
+FilebenchReport run_filebench_create(FsTarget& target, const std::string& base_dir,
+                                     const FilebenchOptions& options);
+
+}  // namespace fsmon::workloads

@@ -1,0 +1,39 @@
+#include "src/workloads/hacc.hpp"
+
+#include <cstdio>
+
+namespace fsmon::workloads {
+
+std::string hacc_file_name(std::uint32_t rank, std::uint32_t processes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "FPP1-Part%08u-of-%08u.data", rank, processes);
+  return buf;
+}
+
+WorkloadFootprint run_hacc_io(FsTarget& target, const std::string& base_dir,
+                              const HaccIoOptions& options) {
+  WorkloadFootprint fp;
+  const std::string dir = base_dir + "/hacc-io";
+  if (target.mkdir(dir).is_ok()) ++fp.mkdirs;
+
+  const std::uint64_t per_rank_bytes =
+      options.particles / options.processes * options.bytes_per_particle;
+  for (std::uint32_t rank = 0; rank < options.processes; ++rank) {
+    const std::string path = dir + "/" + hacc_file_name(rank, options.processes);
+    if (target.create(path).is_ok()) ++fp.creates;
+    if (target.write(path, per_rank_bytes).is_ok()) {
+      ++fp.modifies;
+      fp.bytes_written += per_rank_bytes;
+    }
+    if (target.close(path).is_ok()) ++fp.closes;
+  }
+  if (options.cleanup) {
+    for (std::uint32_t rank = 0; rank < options.processes; ++rank) {
+      const std::string path = dir + "/" + hacc_file_name(rank, options.processes);
+      if (target.remove(path).is_ok()) ++fp.deletes;
+    }
+  }
+  return fp;
+}
+
+}  // namespace fsmon::workloads

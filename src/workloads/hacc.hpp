@@ -1,0 +1,31 @@
+// HACC-I/O-like workload (Section V-B).
+//
+// "We run HACC-IO for 4 096 000 particles under file-per-process mode
+// with 256 processes" — each rank creates one
+// FPP1-Part<rank>-of-<nranks>.data file, writes its particle slab, and
+// closes it; the benchmark deletes the files when done (Table IX shows
+// 256 CREATE/CLOSE pairs followed by 256 DELETE/CLOSE pairs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/workloads/target.hpp"
+
+namespace fsmon::workloads {
+
+struct HaccIoOptions {
+  std::uint32_t processes = 256;
+  std::uint64_t particles = 4'096'000;
+  /// HACC-I/O stores 38 bytes per particle (9 floats + 1 int64 + align).
+  std::uint64_t bytes_per_particle = 38;
+  bool cleanup = true;  ///< Delete the files after the run.
+};
+
+/// Name of rank `rank`'s file, matching the paper's Table IX listing.
+std::string hacc_file_name(std::uint32_t rank, std::uint32_t processes);
+
+WorkloadFootprint run_hacc_io(FsTarget& target, const std::string& base_dir,
+                              const HaccIoOptions& options);
+
+}  // namespace fsmon::workloads

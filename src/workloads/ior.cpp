@@ -1,0 +1,48 @@
+#include "src/workloads/ior.hpp"
+
+namespace fsmon::workloads {
+
+WorkloadFootprint run_ior(FsTarget& target, const std::string& base_dir,
+                          const IorOptions& options) {
+  WorkloadFootprint fp;
+  if (target.mkdir(base_dir + "/ior").is_ok()) ++fp.mkdirs;
+  if (target.mkdir(base_dir + "/ior/src").is_ok()) ++fp.mkdirs;
+
+  if (options.single_shared_file) {
+    const std::string path = base_dir + "/ior/src/" + options.file_name;
+    if (target.create(path).is_ok()) ++fp.creates;
+    // Every rank writes its block(s) into the shared file.
+    std::uint64_t offset_bytes = 0;
+    for (std::uint32_t seg = 0; seg < options.segments; ++seg) {
+      for (std::uint32_t rank = 0; rank < options.processes; ++rank) {
+        offset_bytes += options.block_bytes;
+        if (target.write(path, offset_bytes).is_ok()) {
+          ++fp.modifies;
+          fp.bytes_written += options.block_bytes;
+        }
+      }
+    }
+    if (target.close(path).is_ok()) ++fp.closes;
+    if (target.remove(path).is_ok()) ++fp.deletes;
+    if (target.close(path).is_ok()) ++fp.closes;  // paper shows CLOSE after DELETE
+  } else {
+    for (std::uint32_t rank = 0; rank < options.processes; ++rank) {
+      const std::string path =
+          base_dir + "/ior/src/" + options.file_name + "." + std::to_string(rank);
+      if (target.create(path).is_ok()) ++fp.creates;
+      if (target.write(path, options.block_bytes * options.segments).is_ok()) {
+        ++fp.modifies;
+        fp.bytes_written += options.block_bytes * options.segments;
+      }
+      if (target.close(path).is_ok()) ++fp.closes;
+    }
+    for (std::uint32_t rank = 0; rank < options.processes; ++rank) {
+      const std::string path =
+          base_dir + "/ior/src/" + options.file_name + "." + std::to_string(rank);
+      if (target.remove(path).is_ok()) ++fp.deletes;
+    }
+  }
+  return fp;
+}
+
+}  // namespace fsmon::workloads

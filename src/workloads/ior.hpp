@@ -1,0 +1,29 @@
+// IOR-like workload (Section V-B).
+//
+// "IOR is executed with single shared file mode and 128 processes" —
+// so the metadata footprint the monitor observes is one create of
+// testFileSSF, per-rank writes into the shared file, closes, and one
+// delete (Table IX shows exactly the single CREATE/CLOSE ... DELETE/CLOSE
+// pair for /ior/src/testFileSSF). File-per-process mode is also
+// implemented for completeness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/workloads/target.hpp"
+
+namespace fsmon::workloads {
+
+struct IorOptions {
+  std::uint32_t processes = 128;
+  bool single_shared_file = true;  ///< SSF vs FPP.
+  std::uint64_t block_bytes = 1 << 20;
+  std::uint32_t segments = 1;
+  std::string file_name = "testFileSSF";
+};
+
+WorkloadFootprint run_ior(FsTarget& target, const std::string& base_dir,
+                          const IorOptions& options);
+
+}  // namespace fsmon::workloads

@@ -1,0 +1,46 @@
+#include "src/workloads/scripts.hpp"
+
+namespace fsmon::workloads {
+
+WorkloadFootprint run_evaluate_output_script(FsTarget& target,
+                                             const std::string& base_dir) {
+  WorkloadFootprint fp;
+  const std::string hello = base_dir + "/hello.txt";
+  const std::string hi = base_dir + "/hi.txt";
+  const std::string okdir = base_dir + "/okdir";
+  const std::string moved = okdir + "/hi.txt";
+
+  if (target.create(hello).is_ok()) ++fp.creates;
+  if (target.write(hello, 64).is_ok()) {
+    ++fp.modifies;
+    fp.bytes_written += 64;
+  }
+  if (target.close(hello).is_ok()) ++fp.closes;
+  if (target.rename(hello, hi).is_ok()) ++fp.renames;
+  if (target.mkdir(okdir).is_ok()) ++fp.mkdirs;
+  if (target.rename(hi, moved).is_ok()) ++fp.renames;
+  if (target.remove(moved).is_ok()) ++fp.deletes;
+  if (target.rmdir(okdir).is_ok()) ++fp.rmdirs;
+  return fp;
+}
+
+WorkloadFootprint run_performance_script(FsTarget& target, const std::string& base_dir,
+                                         const PerformanceScriptOptions& options) {
+  WorkloadFootprint fp;
+  for (std::uint64_t i = 0; i < options.iterations; ++i) {
+    // Without deletion the name must be unique per iteration or creates
+    // would fail with ALREADY_EXISTS.
+    const std::string path = options.do_delete
+                                 ? base_dir + "/hello.txt"
+                                 : base_dir + "/hello" + std::to_string(i) + ".txt";
+    if (options.do_create && target.create(path).is_ok()) ++fp.creates;
+    if (options.do_modify && target.write(path, options.write_bytes).is_ok()) {
+      ++fp.modifies;
+      fp.bytes_written += options.write_bytes;
+    }
+    if (options.do_delete && target.remove(path).is_ok()) ++fp.deletes;
+  }
+  return fp;
+}
+
+}  // namespace fsmon::workloads

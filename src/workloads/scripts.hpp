@@ -1,0 +1,35 @@
+// The paper's two evaluation scripts (Section V-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/workloads/target.hpp"
+
+namespace fsmon::workloads {
+
+/// Evaluate_Output_Script: "first creates a file hello.txt, then
+/// modifies it. It then renames the file from hello.txt to hi.txt.
+/// After that, it creates a new directory called okdir. Next, it moves
+/// hi.txt to the newly created directory okdir. Finally, it deletes the
+/// directory okdir and its contents." Used for the Table II output
+/// comparison.
+WorkloadFootprint run_evaluate_output_script(FsTarget& target,
+                                             const std::string& base_dir);
+
+struct PerformanceScriptOptions {
+  std::uint64_t iterations = 1000;
+  bool do_create = true;
+  bool do_modify = true;  ///< false = the Section V-D3 create+delete variant.
+  bool do_delete = true;  ///< false = the Section V-D3 create+modify variant.
+  std::uint64_t write_bytes = 1024;
+};
+
+/// Evaluate_Performance_Script: "repeatedly creates, modifies, and
+/// deletes a file hello.txt, in an infinite loop" — bounded here by
+/// `iterations`. With do_delete=false, files are created under unique
+/// names (the create+modify variant must not collide).
+WorkloadFootprint run_performance_script(FsTarget& target, const std::string& base_dir,
+                                         const PerformanceScriptOptions& options);
+
+}  // namespace fsmon::workloads

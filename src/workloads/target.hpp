@@ -1,0 +1,92 @@
+// Workload target abstraction.
+//
+// The paper runs the same scripts against local file systems and Lustre
+// testbeds (Section V-B). FsTarget is the minimal op surface those
+// workloads need; adapters exist for the in-memory local FS and the
+// simulated Lustre deployment (and writing one for a real POSIX tree is
+// trivial).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.hpp"
+#include "src/localfs/memfs.hpp"
+#include "src/lustre/filesystem.hpp"
+
+namespace fsmon::workloads {
+
+class FsTarget {
+ public:
+  virtual ~FsTarget() = default;
+
+  virtual common::Status create(const std::string& path) = 0;
+  virtual common::Status mkdir(const std::string& path) = 0;
+  virtual common::Status write(const std::string& path, std::uint64_t bytes) = 0;
+  virtual common::Status close(const std::string& path) = 0;
+  virtual common::Status rename(const std::string& from, const std::string& to) = 0;
+  virtual common::Status remove(const std::string& path) = 0;
+  virtual common::Status rmdir(const std::string& path) = 0;
+};
+
+class MemFsTarget final : public FsTarget {
+ public:
+  explicit MemFsTarget(localfs::MemFs& fs) : fs_(fs) {}
+
+  common::Status create(const std::string& path) override { return fs_.create(path); }
+  common::Status mkdir(const std::string& path) override { return fs_.mkdir(path); }
+  common::Status write(const std::string& path, std::uint64_t) override {
+    return fs_.write(path);
+  }
+  common::Status close(const std::string& path) override { return fs_.close(path); }
+  common::Status rename(const std::string& from, const std::string& to) override {
+    return fs_.rename(from, to);
+  }
+  common::Status remove(const std::string& path) override { return fs_.remove(path); }
+  common::Status rmdir(const std::string& path) override { return fs_.rmdir(path); }
+
+ private:
+  localfs::MemFs& fs_;
+};
+
+class LustreTarget final : public FsTarget {
+ public:
+  explicit LustreTarget(lustre::LustreFs& fs) : fs_(fs) {}
+
+  common::Status create(const std::string& path) override {
+    return fs_.create(path).status();
+  }
+  common::Status mkdir(const std::string& path) override { return fs_.mkdir(path).status(); }
+  common::Status write(const std::string& path, std::uint64_t bytes) override {
+    return fs_.modify(path, bytes).status();
+  }
+  common::Status close(const std::string& path) override { return fs_.close(path).status(); }
+  common::Status rename(const std::string& from, const std::string& to) override {
+    return fs_.rename(from, to).status();
+  }
+  common::Status remove(const std::string& path) override {
+    return fs_.unlink(path).status();
+  }
+  common::Status rmdir(const std::string& path) override { return fs_.rmdir(path).status(); }
+
+ private:
+  lustre::LustreFs& fs_;
+};
+
+/// Operation footprint of a workload run (for Table IX-style accounting).
+struct WorkloadFootprint {
+  std::uint64_t creates = 0;
+  std::uint64_t mkdirs = 0;
+  std::uint64_t modifies = 0;
+  std::uint64_t closes = 0;
+  std::uint64_t renames = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t rmdirs = 0;
+  std::uint64_t bytes_written = 0;
+
+  std::uint64_t total_ops() const {
+    return creates + mkdirs + modifies + closes + renames + deletes + rmdirs;
+  }
+};
+
+}  // namespace fsmon::workloads

@@ -1,0 +1,122 @@
+#include "src/common/bounded_queue.hpp"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::common {
+namespace {
+
+TEST(BoundedQueueTest, PushPopFifo) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(BoundedQueueTest, TryPopEmptyReturnsNullopt) {
+  BoundedQueue<int> queue(4);
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(BoundedQueueTest, DropNewestRejectsWhenFull) {
+  BoundedQueue<int> queue(2, OverflowPolicy::kDropNewest);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_FALSE(queue.push(3));
+  EXPECT_EQ(queue.dropped(), 1u);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksPoppers) {
+  BoundedQueue<int> queue(4);
+  std::jthread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+  });
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseDrainsRemainingItems) {
+  BoundedQueue<int> queue(4);
+  queue.push(1);
+  queue.push(2);
+  queue.close();
+  EXPECT_FALSE(queue.push(3));
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueueTest, PopBatchTakesUpToMax) {
+  BoundedQueue<int> queue(16);
+  for (int i = 0; i < 10; ++i) queue.push(i);
+  auto batch = queue.pop_batch(4);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0], 0);
+  EXPECT_EQ(batch[3], 3);
+  EXPECT_EQ(queue.size(), 6u);
+}
+
+TEST(BoundedQueueTest, PopBatchAfterCloseReturnsEmpty) {
+  BoundedQueue<int> queue(4);
+  queue.close();
+  EXPECT_TRUE(queue.pop_batch(8).empty());
+}
+
+TEST(BoundedQueueTest, BlockingPushWaitsForSpace) {
+  BoundedQueue<int> queue(1);
+  queue.push(1);
+  std::jthread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.pop();
+  });
+  // Blocks until the consumer pops, then succeeds.
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(BoundedQueueTest, MpmcNoLossNoDuplication) {
+  constexpr int kProducers = 4;
+  constexpr int kItemsEach = 2000;
+  BoundedQueue<int> queue(64);
+  std::atomic<int> consumed{0};
+  std::vector<std::atomic<int>> seen(kProducers * kItemsEach);
+
+  std::vector<std::jthread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = queue.pop()) {
+        seen[static_cast<std::size_t>(*v)].fetch_add(1);
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  {
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kItemsEach; ++i)
+          ASSERT_TRUE(queue.push(p * kItemsEach + i));
+      });
+    }
+  }
+  queue.close();
+  consumers.clear();
+  EXPECT_EQ(consumed.load(), kProducers * kItemsEach);
+  for (const auto& count : seen) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(BoundedQueueTest, CountersTrackTraffic) {
+  BoundedQueue<int> queue(4);
+  queue.push(1);
+  queue.push(2);
+  queue.pop();
+  EXPECT_EQ(queue.pushed(), 2u);
+  EXPECT_EQ(queue.popped(), 1u);
+}
+
+}  // namespace
+}  // namespace fsmon::common

@@ -1,0 +1,57 @@
+#include "src/common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::common {
+namespace {
+
+TEST(RealClockTest, Monotonic) {
+  RealClock clock;
+  const auto a = clock.now();
+  const auto b = clock.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(RealClockTest, SleepForAdvancesAtLeastDuration) {
+  RealClock clock;
+  const auto start = clock.now();
+  clock.sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(clock.now() - start, std::chrono::milliseconds(10));
+}
+
+TEST(ManualClockTest, StartsAtGivenTime) {
+  ManualClock clock(TimePoint{std::chrono::seconds(5)});
+  EXPECT_EQ(clock.now().time_since_epoch(), std::chrono::seconds(5));
+}
+
+TEST(ManualClockTest, AdvanceMovesForward) {
+  ManualClock clock;
+  clock.advance(std::chrono::milliseconds(100));
+  EXPECT_EQ(clock.now().time_since_epoch(), std::chrono::milliseconds(100));
+}
+
+TEST(ManualClockTest, SleepForAdvances) {
+  ManualClock clock;
+  clock.sleep_for(std::chrono::seconds(1));
+  EXPECT_EQ(clock.now().time_since_epoch(), std::chrono::seconds(1));
+}
+
+TEST(ManualClockTest, NegativeAdvanceIsNoOp) {
+  ManualClock clock;
+  clock.advance(std::chrono::seconds(-1));
+  EXPECT_EQ(clock.now().time_since_epoch(), Duration::zero());
+}
+
+TEST(ManualClockTest, SetForwardOk) {
+  ManualClock clock;
+  clock.set(TimePoint{std::chrono::seconds(3)});
+  EXPECT_EQ(clock.now().time_since_epoch(), std::chrono::seconds(3));
+}
+
+TEST(ManualClockTest, SetBackwardThrows) {
+  ManualClock clock(TimePoint{std::chrono::seconds(10)});
+  EXPECT_THROW(clock.set(TimePoint{std::chrono::seconds(1)}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsmon::common

@@ -1,0 +1,49 @@
+#include "src/common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::common {
+namespace {
+
+TEST(ConfigTest, ParseArgsSplitsPairsAndPositionals) {
+  const char* argv[] = {"prog", "key=value", "positional", "n=42"};
+  Config config;
+  const auto positional = config.parse_args(4, argv);
+  ASSERT_EQ(positional.size(), 1u);
+  EXPECT_EQ(positional[0], "positional");
+  EXPECT_EQ(config.get_or("key", ""), "value");
+  EXPECT_EQ(config.get_int("n", 0), 42);
+}
+
+TEST(ConfigTest, ParseTextWithCommentsAndBlanks) {
+  Config config;
+  config.parse_text("# comment\n\nrate = 9593\nname= iota \n");
+  EXPECT_EQ(config.get_int("rate", 0), 9593);
+  EXPECT_EQ(config.get_or("name", ""), "iota");
+}
+
+TEST(ConfigTest, MalformedLineThrows) {
+  Config config;
+  EXPECT_THROW(config.parse_text("no_equals_here"), std::invalid_argument);
+}
+
+TEST(ConfigTest, TypedAccessors) {
+  Config config;
+  config.set("d", "2.5");
+  config.set("b1", "true");
+  config.set("b2", "off");
+  EXPECT_DOUBLE_EQ(config.get_double("d", 0), 2.5);
+  EXPECT_TRUE(config.get_bool("b1", false));
+  EXPECT_FALSE(config.get_bool("b2", true));
+  EXPECT_EQ(config.get_int("missing", 7), 7);
+  EXPECT_FALSE(config.get("missing").has_value());
+}
+
+TEST(ConfigTest, BadBoolThrows) {
+  Config config;
+  config.set("b", "maybe");
+  EXPECT_THROW(config.get_bool("b", false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsmon::common

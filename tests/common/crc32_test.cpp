@@ -1,0 +1,35 @@
+#include "src/common/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::common {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard CRC-32 test vectors.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("abc"), 0x352441C2u);
+}
+
+TEST(Crc32Test, ChunkedEqualsWhole) {
+  const std::string_view text = "the quick brown fox jumps over the lazy dog";
+  const auto whole = crc32(text);
+  const auto first = crc32(text.substr(0, 10));
+  const auto chunked = crc32(text.substr(10), first);
+  EXPECT_EQ(whole, chunked);
+}
+
+TEST(Crc32Test, DifferentInputsDiffer) {
+  EXPECT_NE(crc32("hello"), crc32("hellp"));
+  EXPECT_NE(crc32("hello"), crc32("hello "));
+}
+
+TEST(Crc32Test, BinaryData) {
+  const std::byte data[] = {std::byte{0x00}, std::byte{0xFF}, std::byte{0x7F}};
+  EXPECT_NE(crc32(std::span<const std::byte>(data, 3)), 0u);
+}
+
+}  // namespace
+}  // namespace fsmon::common

@@ -1,0 +1,69 @@
+#include "src/common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::common {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (std::uint64_t v : {10, 20, 30, 40}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 40u);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+}
+
+TEST(HistogramTest, QuantileWithinBucketBounds) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(100);
+  // 100 falls in bucket [64, 128).
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LE(p50, 128.0);
+}
+
+TEST(HistogramTest, QuantileOrdering) {
+  Histogram h;
+  for (std::uint64_t i = 1; i <= 10'000; ++i) h.record(i);
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.record(5);
+  b.record(500);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 500u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, SummaryContainsFields) {
+  Histogram h;
+  h.record(7);
+  const auto s = h.summary("ns");
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsmon::common

@@ -1,0 +1,56 @@
+#include "src/common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::common {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = log_level();
+    set_log_sink([this](LogLevel level, const std::string& line) {
+      captured_.emplace_back(level, line);
+    });
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(saved_level_);
+  }
+
+  LogLevel saved_level_ = LogLevel::kWarn;
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, LevelFiltering) {
+  set_log_level(LogLevel::kWarn);
+  FSMON_DEBUG("test", "dropped");
+  FSMON_INFO("test", "dropped too");
+  FSMON_WARN("test", "kept");
+  FSMON_ERROR("test", "kept too");
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kWarn);
+  EXPECT_EQ(captured_[1].first, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  FSMON_ERROR("test", "nope");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, MessageFormatting) {
+  set_log_level(LogLevel::kDebug);
+  FSMON_INFO("component", "value=", 42, " rate=", 1.5);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "component: value=42 rate=1.5");
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace fsmon::common

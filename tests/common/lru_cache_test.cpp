@@ -1,0 +1,133 @@
+#include "src/common/lru_cache.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::common {
+namespace {
+
+TEST(LruCacheTest, RejectsZeroCapacity) {
+  EXPECT_THROW((LruCache<int, int>(0)), std::invalid_argument);
+}
+
+TEST(LruCacheTest, MissOnEmpty) {
+  LruCache<int, std::string> cache(4);
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(LruCacheTest, PutThenGet) {
+  LruCache<int, std::string> cache(4);
+  cache.put(1, "one");
+  auto v = cache.get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "one");
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(LruCacheTest, OverwriteUpdatesValue) {
+  LruCache<int, std::string> cache(4);
+  cache.put(1, "one");
+  cache.put(1, "uno");
+  EXPECT_EQ(*cache.get(1), "uno");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(3);
+  cache.put(1, 1);
+  cache.put(2, 2);
+  cache.put(3, 3);
+  cache.get(1);     // 1 becomes most recent; 2 is now LRU
+  cache.put(4, 4);  // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, PutPromotesExistingEntry) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 1);
+  cache.put(2, 2);
+  cache.put(1, 10);  // promotes 1; 2 is LRU
+  cache.put(3, 3);   // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(LruCacheTest, EraseRemovesEntry) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 1);
+  EXPECT_TRUE(cache.erase(1));
+  EXPECT_FALSE(cache.erase(1));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, PeekDoesNotPromoteOrCount) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 1);
+  cache.put(2, 2);
+  EXPECT_EQ(*cache.peek(1), 1);  // does not promote 1
+  const auto hits = cache.stats().hits;
+  cache.put(3, 3);  // evicts 1 (still LRU despite peek)
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.stats().hits, hits);
+}
+
+TEST(LruCacheTest, LruKeyTracksOrder) {
+  LruCache<int, int> cache(3);
+  cache.put(1, 1);
+  cache.put(2, 2);
+  EXPECT_EQ(cache.lru_key(), 1);
+  cache.get(1);
+  EXPECT_EQ(cache.lru_key(), 2);
+}
+
+TEST(LruCacheTest, ClearEmptiesCache) {
+  LruCache<int, int> cache(3);
+  cache.put(1, 1);
+  cache.put(2, 2);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(LruCacheTest, HitRateComputation) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 1);
+  cache.get(1);
+  cache.get(1);
+  cache.get(2);  // miss
+  EXPECT_NEAR(cache.stats().hit_rate(), 2.0 / 3.0, 1e-9);
+}
+
+// Property: a cache of capacity C never holds more than C entries, and a
+// sequential scan over K > C keys evicts in strict insertion order.
+class LruCapacityTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LruCapacityTest, NeverExceedsCapacityAndEvictsInOrder) {
+  const std::size_t capacity = GetParam();
+  LruCache<std::size_t, std::size_t> cache(capacity);
+  const std::size_t total = capacity * 3;
+  for (std::size_t i = 0; i < total; ++i) {
+    cache.put(i, i);
+    EXPECT_LE(cache.size(), capacity);
+    if (i >= capacity) {
+      // Oldest surviving key is exactly i - capacity + 1.
+      EXPECT_EQ(cache.lru_key(), i - capacity + 1);
+      EXPECT_FALSE(cache.contains(i - capacity));
+    }
+  }
+  EXPECT_EQ(cache.stats().evictions, total - capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, LruCapacityTest,
+                         ::testing::Values(1, 2, 3, 8, 64, 1000));
+
+}  // namespace
+}  // namespace fsmon::common

@@ -1,0 +1,133 @@
+#include "src/common/random.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::common {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.next_range(3, 2), std::invalid_argument);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  const double rate = 4.0;
+  double sum = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(RngTest, GammaMeanAndVariance) {
+  // Filebench's file-size distribution: shape 1.5, mean 16384.
+  Rng rng(13);
+  const double shape = 1.5;
+  const double scale = 16384.0 / shape;
+  const int n = 60'000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_gamma(shape, scale);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 16384.0, 16384.0 * 0.03);
+  EXPECT_NEAR(var, shape * scale * scale, shape * scale * scale * 0.10);
+}
+
+TEST(RngTest, GammaShapeBelowOne) {
+  Rng rng(17);
+  const int n = 40'000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.next_gamma(0.5, 2.0);
+  EXPECT_NEAR(sum / n, 1.0, 0.05);  // mean = shape * scale
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  const int n = 60'000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(ZipfSamplerTest, RankOneMostPopular) {
+  Rng rng(23);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50'000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(ZipfSamplerTest, SkewZeroIsUniform) {
+  Rng rng(29);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(ZipfSamplerTest, ZipfFrequencyRatio) {
+  // With skew 1, rank-1 should be ~2x rank-2.
+  Rng rng(31);
+  ZipfSampler zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 400'000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.25);
+}
+
+TEST(ZipfSamplerTest, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsmon::common

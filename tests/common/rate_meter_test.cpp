@@ -1,0 +1,52 @@
+#include "src/common/rate_meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::common {
+namespace {
+
+TEST(RateMeterTest, AverageRateOverManualClock) {
+  ManualClock clock;
+  RateMeter meter(clock);
+  clock.advance(std::chrono::seconds(1));
+  meter.record(100);
+  clock.advance(std::chrono::seconds(1));
+  meter.record(100);
+  EXPECT_NEAR(meter.average_rate(), 100.0, 1e-9);  // 200 events over 2s
+  EXPECT_EQ(meter.count(), 200u);
+}
+
+TEST(RateMeterTest, WindowedRateEvictsOldSamples) {
+  ManualClock clock;
+  RateMeter meter(clock, std::chrono::seconds(1));
+  meter.record(50);
+  clock.advance(std::chrono::milliseconds(500));
+  meter.record(50);
+  EXPECT_NEAR(meter.windowed_rate(), 100.0, 1e-9);
+  clock.advance(std::chrono::milliseconds(600));  // first sample now stale
+  EXPECT_NEAR(meter.windowed_rate(), 50.0, 1e-9);
+  clock.advance(std::chrono::seconds(2));
+  EXPECT_NEAR(meter.windowed_rate(), 0.0, 1e-9);
+}
+
+TEST(RateMeterTest, ResetClearsState) {
+  ManualClock clock;
+  RateMeter meter(clock);
+  meter.record(10);
+  clock.advance(std::chrono::seconds(1));
+  meter.reset();
+  EXPECT_EQ(meter.count(), 0u);
+  clock.advance(std::chrono::seconds(1));
+  meter.record(5);
+  EXPECT_NEAR(meter.average_rate(), 5.0, 1e-9);
+}
+
+TEST(RateMeterTest, ZeroElapsedGivesZeroRate) {
+  ManualClock clock;
+  RateMeter meter(clock);
+  meter.record(10);
+  EXPECT_EQ(meter.average_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace fsmon::common

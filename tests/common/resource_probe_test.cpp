@@ -1,0 +1,43 @@
+#include "src/common/resource_probe.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::common {
+namespace {
+
+TEST(RealResourceProbeTest, SamplesRssAndCpu) {
+  if (!RealResourceProbe::available()) GTEST_SKIP() << "/proc unavailable";
+  RealResourceProbe probe;
+  auto first = probe.sample();
+  EXPECT_GT(first.rss_bytes, 0u);  // this process certainly has pages
+  // Burn some CPU, then the second sample must attribute it.
+  volatile double sink = 0;
+  for (int i = 0; i < 8'000'000; ++i) sink += static_cast<double>(i) * 1e-9;
+  auto second = probe.sample();
+  EXPECT_GT(second.cpu_percent, 0.0);
+  (void)sink;
+}
+
+TEST(ModeledUsageTest, CpuPercentArithmetic) {
+  ModeledUsage usage;
+  usage.charge_busy(std::chrono::milliseconds(250));
+  usage.charge_busy(std::chrono::milliseconds(250));
+  EXPECT_NEAR(usage.cpu_percent(std::chrono::seconds(1)), 50.0, 1e-9);
+  EXPECT_EQ(usage.busy(), std::chrono::milliseconds(500));
+  EXPECT_EQ(usage.cpu_percent(Duration::zero()), 0.0);
+}
+
+TEST(ModeledUsageTest, PeakMemoryTracksMaximum) {
+  ModeledUsage usage;
+  usage.note_memory(100);
+  usage.note_memory(50);
+  usage.note_memory(200);
+  usage.note_memory(150);
+  EXPECT_EQ(usage.peak_memory_bytes(), 200u);
+  usage.reset();
+  EXPECT_EQ(usage.peak_memory_bytes(), 0u);
+  EXPECT_EQ(usage.busy(), Duration::zero());
+}
+
+}  // namespace
+}  // namespace fsmon::common

@@ -1,0 +1,63 @@
+#include "src/common/spsc_ring.hpp"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::common {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  SpscRing<int> tiny(1);
+  EXPECT_EQ(tiny.capacity(), 2u);
+}
+
+TEST(SpscRingTest, PushPopSingle) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.try_push(42));
+  auto v = ring.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRingTest, FullRingRejectsPush) {
+  SpscRing<int> ring(2);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_FALSE(ring.try_push(3));
+  ring.try_pop();
+  EXPECT_TRUE(ring.try_push(3));
+}
+
+TEST(SpscRingTest, PreservesFifoOrder) {
+  SpscRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) ring.try_push(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ring.try_pop(), i);
+}
+
+TEST(SpscRingTest, CrossThreadTransferIsLossless) {
+  constexpr std::size_t kCount = 200'000;
+  SpscRing<std::size_t> ring(1024);
+  std::uint64_t sum = 0;
+  std::jthread consumer([&] {
+    std::size_t received = 0;
+    while (received < kCount) {
+      if (auto v = ring.try_pop()) {
+        sum += *v;
+        ++received;
+      }
+    }
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    while (!ring.try_push(i)) {
+    }
+  }
+  consumer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace fsmon::common

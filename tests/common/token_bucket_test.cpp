@@ -1,0 +1,49 @@
+#include "src/common/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::common {
+namespace {
+
+TEST(TokenBucketTest, StartsFull) {
+  ManualClock clock;
+  TokenBucket bucket(clock, 10.0, 5.0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bucket.try_acquire());
+  EXPECT_FALSE(bucket.try_acquire());
+}
+
+TEST(TokenBucketTest, RefillsAtRate) {
+  ManualClock clock;
+  TokenBucket bucket(clock, 10.0, 5.0);  // 10 tokens/s
+  while (bucket.try_acquire()) {
+  }
+  clock.advance(std::chrono::milliseconds(100));  // +1 token
+  EXPECT_TRUE(bucket.try_acquire());
+  EXPECT_FALSE(bucket.try_acquire());
+}
+
+TEST(TokenBucketTest, BurstCapsAccumulation) {
+  ManualClock clock;
+  TokenBucket bucket(clock, 100.0, 3.0);
+  clock.advance(std::chrono::seconds(10));  // would be 1000 tokens; capped at 3
+  EXPECT_TRUE(bucket.try_acquire(3.0));
+  EXPECT_FALSE(bucket.try_acquire(0.5));
+}
+
+TEST(TokenBucketTest, TimeUntilAvailable) {
+  ManualClock clock;
+  TokenBucket bucket(clock, 10.0, 1.0);
+  EXPECT_EQ(bucket.time_until_available(1.0), Duration::zero());
+  bucket.try_acquire(1.0);
+  const auto wait = bucket.time_until_available(1.0);
+  EXPECT_NEAR(to_seconds(wait), 0.1, 1e-6);
+}
+
+TEST(TokenBucketTest, InvalidParamsThrow) {
+  ManualClock clock;
+  EXPECT_THROW(TokenBucket(clock, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(clock, 1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsmon::common

@@ -1,0 +1,95 @@
+#include "src/core/dialects.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::core {
+namespace {
+
+StdEvent event_of(EventKind kind, bool is_dir = false) {
+  StdEvent event;
+  event.kind = kind;
+  event.is_dir = is_dir;
+  event.watch_root = "/w";
+  event.path = "/f.txt";
+  return event;
+}
+
+TEST(DialectTest, NameRoundTrip) {
+  for (auto d : {Dialect::kInotify, Dialect::kKqueue, Dialect::kFsEvents,
+                 Dialect::kFileSystemWatcher}) {
+    EXPECT_EQ(parse_dialect(to_string(d)), d);
+  }
+  EXPECT_FALSE(parse_dialect("nope").has_value());
+}
+
+TEST(DialectTest, InotifyTokens) {
+  // Section II-A: creating/modifying a file raises IN_CREATE, IN_MODIFY...
+  EXPECT_EQ(native_tokens(Dialect::kInotify, event_of(EventKind::kCreate)),
+            (std::vector<std::string>{"IN_CREATE"}));
+  EXPECT_EQ(native_tokens(Dialect::kInotify, event_of(EventKind::kOpen)),
+            (std::vector<std::string>{"IN_OPEN"}));
+  EXPECT_EQ(native_tokens(Dialect::kInotify, event_of(EventKind::kCreate, true)),
+            (std::vector<std::string>{"IN_CREATE", "IN_ISDIR"}));
+}
+
+TEST(DialectTest, KqueueTokens) {
+  // Section II-A: "NOTE_OPEN, NOTE_EXTEND, NOTE_WRITE, NOTE_CLOSE".
+  EXPECT_EQ(native_tokens(Dialect::kKqueue, event_of(EventKind::kCreate)),
+            (std::vector<std::string>{"NOTE_WRITE", "NOTE_EXTEND"}));
+  EXPECT_EQ(native_tokens(Dialect::kKqueue, event_of(EventKind::kModify)),
+            (std::vector<std::string>{"NOTE_WRITE"}));
+  EXPECT_EQ(native_tokens(Dialect::kKqueue, event_of(EventKind::kDelete)),
+            (std::vector<std::string>{"NOTE_DELETE"}));
+}
+
+TEST(DialectTest, FsEventsTokens) {
+  // Section II-A: "ItemCreated and ItemModified events".
+  auto created = native_tokens(Dialect::kFsEvents, event_of(EventKind::kCreate));
+  ASSERT_EQ(created.size(), 2u);
+  EXPECT_EQ(created[0], "kFSEventStreamEventFlagItemCreated");
+  EXPECT_EQ(created[1], "kFSEventStreamEventFlagItemIsFile");
+  auto dir_removed = native_tokens(Dialect::kFsEvents, event_of(EventKind::kDelete, true));
+  EXPECT_EQ(dir_removed[1], "kFSEventStreamEventFlagItemIsDir");
+}
+
+TEST(DialectTest, FswFourEventTypes) {
+  // Section II-A: "Four event types are reported: Changed, Created,
+  // Deleted, and Renamed."
+  EXPECT_EQ(native_tokens(Dialect::kFileSystemWatcher, event_of(EventKind::kCreate)),
+            (std::vector<std::string>{"Created"}));
+  EXPECT_EQ(native_tokens(Dialect::kFileSystemWatcher, event_of(EventKind::kModify)),
+            (std::vector<std::string>{"Changed"}));
+  EXPECT_EQ(native_tokens(Dialect::kFileSystemWatcher, event_of(EventKind::kAttrib)),
+            (std::vector<std::string>{"Changed"}));
+  EXPECT_EQ(native_tokens(Dialect::kFileSystemWatcher, event_of(EventKind::kDelete)),
+            (std::vector<std::string>{"Deleted"}));
+  EXPECT_EQ(native_tokens(Dialect::kFileSystemWatcher, event_of(EventKind::kMovedFrom)),
+            (std::vector<std::string>{"Renamed"}));
+}
+
+TEST(DialectTest, RenderFormats) {
+  EXPECT_EQ(render(Dialect::kInotify, event_of(EventKind::kCreate)),
+            "/w CREATE /f.txt");
+  EXPECT_EQ(render(Dialect::kKqueue, event_of(EventKind::kCreate)),
+            "/w/f.txt NOTE_WRITE|NOTE_EXTEND");
+  EXPECT_EQ(render(Dialect::kFileSystemWatcher, event_of(EventKind::kDelete)),
+            "Deleted: /w/f.txt");
+  const auto fse = render(Dialect::kFsEvents, event_of(EventKind::kModify));
+  EXPECT_NE(fse.find("ItemModified"), std::string::npos);
+  EXPECT_NE(fse.find("/w/f.txt"), std::string::npos);
+}
+
+TEST(DialectTest, EveryKindRendersInEveryDialect) {
+  for (auto dialect : {Dialect::kInotify, Dialect::kKqueue, Dialect::kFsEvents,
+                       Dialect::kFileSystemWatcher}) {
+    for (auto kind : {EventKind::kCreate, EventKind::kModify, EventKind::kAttrib,
+                      EventKind::kClose, EventKind::kDelete, EventKind::kMovedFrom,
+                      EventKind::kMovedTo}) {
+      EXPECT_FALSE(render(dialect, event_of(kind)).empty())
+          << to_string(dialect) << "/" << to_string(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsmon::core

@@ -1,0 +1,115 @@
+#include "src/core/dsi.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::core {
+namespace {
+
+/// Minimal DSI that emits a fixed number of events synchronously.
+class FakeDsi final : public DsiBase {
+ public:
+  explicit FakeDsi(std::string name, int events = 0)
+      : name_(std::move(name)), events_(events) {}
+
+  std::string name() const override { return name_; }
+
+  common::Status start(EventCallback callback) override {
+    running_ = true;
+    for (int i = 0; i < events_; ++i) {
+      StdEvent event;
+      event.path = "/f" + std::to_string(i);
+      callback(std::move(event));
+    }
+    return common::Status::ok();
+  }
+
+  void stop() override { running_ = false; }
+  bool running() const override { return running_; }
+
+ private:
+  std::string name_;
+  int events_;
+  bool running_ = false;
+};
+
+common::Result<std::unique_ptr<DsiBase>> make_fake(const std::string& name) {
+  return common::Result<std::unique_ptr<DsiBase>>(std::make_unique<FakeDsi>(name));
+}
+
+TEST(DsiRegistryTest, CreateByScheme) {
+  DsiRegistry registry;
+  registry.register_dsi("fake", [](const StorageDescriptor&) { return make_fake("fake"); });
+  StorageDescriptor descriptor;
+  descriptor.scheme = "fake";
+  auto dsi = registry.create(descriptor);
+  ASSERT_TRUE(dsi.is_ok());
+  EXPECT_EQ(dsi.value()->name(), "fake");
+}
+
+TEST(DsiRegistryTest, UnknownSchemeFails) {
+  DsiRegistry registry;
+  StorageDescriptor descriptor;
+  descriptor.scheme = "missing";
+  EXPECT_EQ(registry.create(descriptor).code(), common::ErrorCode::kNotFound);
+}
+
+TEST(DsiRegistryTest, ProbeSelectsHighestScore) {
+  DsiRegistry registry;
+  registry.register_dsi(
+      "low", [](const StorageDescriptor&) { return make_fake("low"); },
+      [](const StorageDescriptor&) { return 1; });
+  registry.register_dsi(
+      "high", [](const StorageDescriptor&) { return make_fake("high"); },
+      [](const StorageDescriptor&) { return 10; });
+  StorageDescriptor descriptor;  // no scheme: auto-detect
+  auto dsi = registry.create(descriptor);
+  ASSERT_TRUE(dsi.is_ok());
+  EXPECT_EQ(dsi.value()->name(), "high");
+}
+
+TEST(DsiRegistryTest, ProbeScoreZeroMeansUnusable) {
+  DsiRegistry registry;
+  registry.register_dsi(
+      "never", [](const StorageDescriptor&) { return make_fake("never"); },
+      [](const StorageDescriptor&) { return 0; });
+  StorageDescriptor descriptor;
+  EXPECT_EQ(registry.create(descriptor).code(), common::ErrorCode::kNotFound);
+}
+
+TEST(DsiRegistryTest, ProbeCanInspectDescriptor) {
+  DsiRegistry registry;
+  registry.register_dsi(
+      "lustre", [](const StorageDescriptor&) { return make_fake("lustre"); },
+      [](const StorageDescriptor& d) { return d.root == "/mnt/lustre" ? 100 : 0; });
+  registry.register_dsi(
+      "local", [](const StorageDescriptor&) { return make_fake("local"); },
+      [](const StorageDescriptor&) { return 1; });
+  StorageDescriptor lustre_root;
+  lustre_root.root = "/mnt/lustre";
+  EXPECT_EQ(registry.create(lustre_root).value()->name(), "lustre");
+  StorageDescriptor other;
+  other.root = "/home";
+  EXPECT_EQ(registry.create(other).value()->name(), "local");
+}
+
+TEST(DsiRegistryTest, ReRegisterReplaces) {
+  DsiRegistry registry;
+  registry.register_dsi("x", [](const StorageDescriptor&) { return make_fake("v1"); });
+  registry.register_dsi("x", [](const StorageDescriptor&) { return make_fake("v2"); });
+  StorageDescriptor descriptor;
+  descriptor.scheme = "x";
+  EXPECT_EQ(registry.create(descriptor).value()->name(), "v2");
+  EXPECT_EQ(registry.schemes().size(), 1u);
+}
+
+TEST(DsiRegistryTest, SchemesListing) {
+  DsiRegistry registry;
+  registry.register_dsi("a", [](const StorageDescriptor&) { return make_fake("a"); });
+  registry.register_dsi("b", [](const StorageDescriptor&) { return make_fake("b"); });
+  EXPECT_TRUE(registry.has_scheme("a"));
+  EXPECT_FALSE(registry.has_scheme("c"));
+  EXPECT_EQ(registry.schemes().size(), 2u);
+}
+
+}  // namespace
+}  // namespace fsmon::core

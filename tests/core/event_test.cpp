@@ -1,0 +1,110 @@
+#include "src/core/event.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::core {
+namespace {
+
+StdEvent sample_event() {
+  StdEvent event;
+  event.id = 42;
+  event.kind = EventKind::kMovedTo;
+  event.is_dir = true;
+  event.watch_root = "/mnt/lustre";
+  event.path = "/okdir/hi.txt";
+  event.cookie = 7;
+  event.timestamp = common::TimePoint{std::chrono::nanoseconds(123456789)};
+  event.source = "lustre:MDT2";
+  return event;
+}
+
+TEST(EventKindTest, NamesMatchPaperTableTwo) {
+  EXPECT_EQ(to_string(EventKind::kCreate), "CREATE");
+  EXPECT_EQ(to_string(EventKind::kModify), "MODIFY");
+  EXPECT_EQ(to_string(EventKind::kClose), "CLOSE");
+  EXPECT_EQ(to_string(EventKind::kDelete), "DELETE");
+  EXPECT_EQ(to_string(EventKind::kMovedFrom), "MOVED_FROM");
+  EXPECT_EQ(to_string(EventKind::kMovedTo), "MOVED_TO");
+}
+
+TEST(EventKindTest, ParseRoundTrip) {
+  for (auto kind : {EventKind::kCreate, EventKind::kModify, EventKind::kAttrib,
+                    EventKind::kClose, EventKind::kOpen, EventKind::kDelete,
+                    EventKind::kMovedFrom, EventKind::kMovedTo}) {
+    EXPECT_EQ(parse_event_kind(to_string(kind)), kind);
+  }
+  EXPECT_FALSE(parse_event_kind("BOGUS").has_value());
+}
+
+TEST(StdEventTest, InotifyLineFormat) {
+  // Table II format: "<root> <KIND>[,ISDIR] <path>".
+  StdEvent event;
+  event.kind = EventKind::kCreate;
+  event.watch_root = "/home/arnab/test";
+  event.path = "/hello.txt";
+  EXPECT_EQ(to_inotify_line(event), "/home/arnab/test CREATE /hello.txt");
+  event.kind = EventKind::kCreate;
+  event.is_dir = true;
+  event.path = "/okdir";
+  EXPECT_EQ(to_inotify_line(event), "/home/arnab/test CREATE,ISDIR /okdir");
+}
+
+TEST(StdEventTest, FullPathJoinsRootAndPath) {
+  StdEvent event;
+  event.watch_root = "/mnt/lustre";
+  event.path = "/a/b";
+  EXPECT_EQ(event.full_path(), "/mnt/lustre/a/b");
+  event.watch_root = "/";
+  EXPECT_EQ(event.full_path(), "/a/b");
+}
+
+TEST(SerializationTest, RoundTripPreservesAllFields) {
+  const StdEvent original = sample_event();
+  const auto bytes = serialize_event(original);
+  auto decoded = deserialize_event(bytes);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().first, original);
+  EXPECT_EQ(decoded.value().second, bytes.size());
+}
+
+TEST(SerializationTest, EmptyStringsRoundTrip) {
+  StdEvent event;
+  const auto bytes = serialize_event(event);
+  auto decoded = deserialize_event(bytes);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().first, event);
+}
+
+TEST(SerializationTest, TruncatedInputFails) {
+  const auto bytes = serialize_event(sample_event());
+  for (std::size_t len = 0; len + 1 < bytes.size(); len += 7) {
+    auto decoded = deserialize_event(std::span(bytes.data(), len));
+    EXPECT_FALSE(decoded.is_ok()) << "len=" << len;
+    EXPECT_EQ(decoded.code(), common::ErrorCode::kCorrupt);
+  }
+}
+
+TEST(SerializationTest, BadKindRejected) {
+  auto bytes = serialize_event(sample_event());
+  bytes[8] = std::byte{0xEE};  // kind byte follows the 8-byte id
+  EXPECT_EQ(deserialize_event(bytes).code(), common::ErrorCode::kCorrupt);
+}
+
+TEST(SerializationTest, ConsecutiveEventsDecodeSequentially) {
+  std::vector<std::byte> buffer;
+  StdEvent a = sample_event();
+  StdEvent b = sample_event();
+  b.id = 43;
+  b.path = "/other";
+  serialize_event(a, buffer);
+  serialize_event(b, buffer);
+  auto first = deserialize_event(buffer);
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(first.value().first.id, 42u);
+  auto second = deserialize_event(std::span(buffer).subspan(first.value().second));
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second.value().first.path, "/other");
+}
+
+}  // namespace
+}  // namespace fsmon::core

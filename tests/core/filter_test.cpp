@@ -1,0 +1,82 @@
+#include "src/core/filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::core {
+namespace {
+
+StdEvent event_at(const std::string& path, EventKind kind = EventKind::kCreate) {
+  StdEvent event;
+  event.kind = kind;
+  event.path = path;
+  return event;
+}
+
+TEST(FilterRuleTest, DefaultMatchesEverything) {
+  FilterRule rule;
+  EXPECT_TRUE(rule.matches(event_at("/any/path")));
+  EXPECT_TRUE(rule.matches(event_at("/x")));
+}
+
+TEST(FilterRuleTest, SubtreeRoot) {
+  FilterRule rule;
+  rule.root = "/project";
+  EXPECT_TRUE(rule.matches(event_at("/project/file")));
+  EXPECT_TRUE(rule.matches(event_at("/project/deep/er/file")));
+  EXPECT_FALSE(rule.matches(event_at("/other/file")));
+  EXPECT_FALSE(rule.matches(event_at("/projectile")));  // boundary check
+}
+
+TEST(FilterRuleTest, NonRecursiveIsDirectChildrenOnly) {
+  // This is inotify's single-directory semantics, implemented as a
+  // filtering rule (Section V-C1).
+  FilterRule rule;
+  rule.root = "/dir";
+  rule.recursive = false;
+  EXPECT_TRUE(rule.matches(event_at("/dir/file")));
+  EXPECT_FALSE(rule.matches(event_at("/dir/sub/file")));
+  EXPECT_FALSE(rule.matches(event_at("/dir")));
+}
+
+TEST(FilterRuleTest, RecursiveSeesSubdirectories) {
+  FilterRule rule;
+  rule.root = "/dir";
+  rule.recursive = true;
+  EXPECT_TRUE(rule.matches(event_at("/dir/sub/deeper/file")));
+}
+
+TEST(FilterRuleTest, NamePattern) {
+  FilterRule rule;
+  rule.name_pattern = "*.h5";
+  EXPECT_TRUE(rule.matches(event_at("/data/run1.h5")));
+  EXPECT_FALSE(rule.matches(event_at("/data/run1.txt")));
+}
+
+TEST(FilterRuleTest, KindRestriction) {
+  FilterRule rule;
+  rule.kinds = std::set<EventKind>{EventKind::kCreate, EventKind::kDelete};
+  EXPECT_TRUE(rule.matches(event_at("/f", EventKind::kCreate)));
+  EXPECT_TRUE(rule.matches(event_at("/f", EventKind::kDelete)));
+  EXPECT_FALSE(rule.matches(event_at("/f", EventKind::kModify)));
+}
+
+TEST(FilterRuleTest, CombinedConstraints) {
+  FilterRule rule;
+  rule.root = "/data";
+  rule.recursive = false;
+  rule.name_pattern = "*.csv";
+  rule.kinds = std::set<EventKind>{EventKind::kClose};
+  EXPECT_TRUE(rule.matches(event_at("/data/x.csv", EventKind::kClose)));
+  EXPECT_FALSE(rule.matches(event_at("/data/sub/x.csv", EventKind::kClose)));
+  EXPECT_FALSE(rule.matches(event_at("/data/x.csv", EventKind::kCreate)));
+  EXPECT_FALSE(rule.matches(event_at("/data/x.txt", EventKind::kClose)));
+}
+
+TEST(FilterRuleTest, PathNormalizationApplied) {
+  FilterRule rule;
+  rule.root = "/dir/";
+  EXPECT_TRUE(rule.matches(event_at("/dir//file")));
+}
+
+}  // namespace
+}  // namespace fsmon::core

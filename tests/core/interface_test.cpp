@@ -1,0 +1,150 @@
+#include "src/core/interface.hpp"
+
+#include <filesystem>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::core {
+namespace {
+
+StdEvent event_at(const std::string& path, EventKind kind = EventKind::kCreate) {
+  StdEvent event;
+  event.kind = kind;
+  event.path = path;
+  event.watch_root = "/w";
+  return event;
+}
+
+class InterfaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fsmon_iface_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  InterfaceOptions with_store() {
+    InterfaceOptions options;
+    eventstore::EventStoreOptions store;
+    store.directory = dir_;
+    options.store = store;
+    return options;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(InterfaceTest, AssignsMonotonicIds) {
+  InterfaceLayer layer(InterfaceOptions{});
+  std::vector<common::EventId> ids;
+  layer.subscribe(FilterRule{}, [&](const std::vector<StdEvent>& batch) {
+    for (const auto& event : batch) ids.push_back(event.id);
+  });
+  layer.ingest({event_at("/a"), event_at("/b")});
+  layer.ingest({event_at("/c")});
+  EXPECT_EQ(ids, (std::vector<common::EventId>{1, 2, 3}));
+  EXPECT_EQ(layer.last_event_id(), 3u);
+  EXPECT_EQ(layer.ingested(), 3u);
+}
+
+TEST_F(InterfaceTest, FiltersPerSubscriber) {
+  InterfaceLayer layer(InterfaceOptions{});
+  int csv_count = 0, all_count = 0;
+  FilterRule csv_rule;
+  csv_rule.name_pattern = "*.csv";
+  layer.subscribe(csv_rule, [&](const std::vector<StdEvent>& batch) {
+    csv_count += static_cast<int>(batch.size());
+  });
+  layer.subscribe(FilterRule{}, [&](const std::vector<StdEvent>& batch) {
+    all_count += static_cast<int>(batch.size());
+  });
+  layer.ingest({event_at("/a.csv"), event_at("/b.txt")});
+  EXPECT_EQ(csv_count, 1);
+  EXPECT_EQ(all_count, 2);
+  EXPECT_EQ(layer.subscriber_count(), 2u);
+}
+
+TEST_F(InterfaceTest, UnsubscribeStopsDelivery) {
+  InterfaceLayer layer(InterfaceOptions{});
+  int count = 0;
+  auto id = layer.subscribe(FilterRule{}, [&](const std::vector<StdEvent>& batch) {
+    count += static_cast<int>(batch.size());
+  });
+  layer.ingest({event_at("/a")});
+  layer.unsubscribe(id);
+  layer.ingest({event_at("/b")});
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(InterfaceTest, DeliveryBatchSplitsLargeBatches) {
+  InterfaceOptions options;
+  options.delivery_batch = 2;
+  InterfaceLayer layer(options);
+  std::vector<std::size_t> batch_sizes;
+  layer.subscribe(FilterRule{}, [&](const std::vector<StdEvent>& batch) {
+    batch_sizes.push_back(batch.size());
+  });
+  layer.ingest({event_at("/a"), event_at("/b"), event_at("/c"), event_at("/d"),
+                event_at("/e")});
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{2, 2, 1}));
+}
+
+TEST_F(InterfaceTest, EventsSinceRequiresStore) {
+  InterfaceLayer layer(InterfaceOptions{});
+  EXPECT_FALSE(layer.has_store());
+  EXPECT_EQ(layer.events_since(0).code(), common::ErrorCode::kUnavailable);
+}
+
+TEST_F(InterfaceTest, ReplaySinceEventId) {
+  InterfaceLayer layer(with_store());
+  layer.ingest({event_at("/a"), event_at("/b"), event_at("/c")});
+  auto replay = layer.events_since(1);
+  ASSERT_TRUE(replay.is_ok());
+  ASSERT_EQ(replay.value().size(), 2u);
+  EXPECT_EQ(replay.value()[0].path, "/b");
+  EXPECT_EQ(replay.value()[0].id, 2u);
+}
+
+TEST_F(InterfaceTest, AcknowledgeAndPurge) {
+  InterfaceLayer layer(with_store());
+  layer.ingest({event_at("/a"), event_at("/b")});
+  layer.acknowledge(1);
+  EXPECT_EQ(layer.purge(), 1u);
+  auto replay = layer.events_since(0);
+  ASSERT_TRUE(replay.is_ok());
+  ASSERT_EQ(replay.value().size(), 1u);
+  EXPECT_EQ(replay.value()[0].path, "/b");
+}
+
+TEST_F(InterfaceTest, IdNumberingContinuesAfterRecovery) {
+  {
+    InterfaceLayer layer(with_store());
+    layer.ingest({event_at("/a"), event_at("/b")});
+  }
+  InterfaceLayer recovered(with_store());
+  int delivered = 0;
+  recovered.subscribe(FilterRule{}, [&](const std::vector<StdEvent>& batch) {
+    for (const auto& event : batch) {
+      EXPECT_EQ(event.id, 3u);
+      ++delivered;
+    }
+  });
+  recovered.ingest({event_at("/c")});
+  EXPECT_EQ(delivered, 1);
+  auto all = recovered.events_since(0);
+  ASSERT_TRUE(all.is_ok());
+  EXPECT_EQ(all.value().size(), 3u);
+}
+
+TEST_F(InterfaceTest, EmptyIngestIsNoOp) {
+  InterfaceLayer layer(InterfaceOptions{});
+  layer.ingest({});
+  EXPECT_EQ(layer.last_event_id(), 0u);
+}
+
+}  // namespace
+}  // namespace fsmon::core

@@ -1,0 +1,98 @@
+#include "src/core/monitor.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include <gtest/gtest.h>
+
+#include "src/localfs/memfs.hpp"
+#include "src/localfs/sim_dsi.hpp"
+
+namespace fsmon::core {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest() { localfs::register_sim_dsis(registry, fs, clock); }
+
+  MonitorOptions options(const std::string& scheme) {
+    MonitorOptions o;
+    o.storage.scheme = scheme;
+    o.storage.root = "/watched";
+    return o;
+  }
+
+  common::ManualClock clock;
+  localfs::MemFs fs;
+  DsiRegistry registry;
+};
+
+TEST_F(MonitorTest, StartSelectsDsiByScheme) {
+  FsMonitor monitor(options("sim-inotify"), &registry, &clock);
+  ASSERT_TRUE(monitor.start().is_ok());
+  EXPECT_EQ(monitor.dsi_name(), "sim-inotify");
+  EXPECT_TRUE(monitor.running());
+  monitor.stop();
+  EXPECT_FALSE(monitor.running());
+}
+
+TEST_F(MonitorTest, UnknownSchemeFailsToStart) {
+  FsMonitor monitor(options("no-such-dsi"), &registry, &clock);
+  EXPECT_EQ(monitor.start().code(), common::ErrorCode::kNotFound);
+}
+
+TEST_F(MonitorTest, EndToEndEventDelivery) {
+  fs.mkdir("/watched");
+  FsMonitor monitor(options("sim-inotify"), &registry, &clock);
+  std::vector<std::string> lines;
+  std::mutex mu;
+  monitor.subscribe(FilterRule{}, [&](const std::vector<StdEvent>& batch) {
+    std::lock_guard lock(mu);
+    for (const auto& event : batch) lines.push_back(to_inotify_line(event));
+  });
+  ASSERT_TRUE(monitor.start().is_ok());
+  fs.create("/watched/hello.txt");
+  fs.write("/watched/hello.txt");
+  monitor.stop();  // drains the resolution queue
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "/watched CREATE /hello.txt");
+  EXPECT_EQ(lines[1], "/watched MODIFY /hello.txt");
+}
+
+TEST_F(MonitorTest, RenderLineUsesConfiguredDialect) {
+  MonitorOptions o = options("sim-inotify");
+  o.output_dialect = Dialect::kFileSystemWatcher;
+  FsMonitor monitor(o, &registry, &clock);
+  StdEvent event;
+  event.kind = EventKind::kCreate;
+  event.watch_root = "/watched";
+  event.path = "/f";
+  EXPECT_EQ(monitor.render_line(event), "Created: /watched/f");
+}
+
+TEST_F(MonitorTest, SubscriptionFilteringAppliesThroughFacade) {
+  fs.mkdir("/watched");
+  fs.mkdir("/watched/interesting");
+  FsMonitor monitor(options("sim-inotify"), &registry, &clock);
+  std::atomic<int> count{0};
+  FilterRule rule;
+  rule.root = "/interesting";
+  monitor.subscribe(rule, [&](const std::vector<StdEvent>& batch) {
+    count += static_cast<int>(batch.size());
+  });
+  ASSERT_TRUE(monitor.start().is_ok());
+  fs.create("/watched/interesting/a");
+  fs.create("/watched/boring");
+  monitor.stop();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST_F(MonitorTest, StartIsIdempotent) {
+  FsMonitor monitor(options("sim-inotify"), &registry, &clock);
+  ASSERT_TRUE(monitor.start().is_ok());
+  EXPECT_TRUE(monitor.start().is_ok());
+  monitor.stop();
+}
+
+}  // namespace
+}  // namespace fsmon::core

@@ -1,0 +1,129 @@
+#include "src/core/resolution.hpp"
+
+#include <condition_variable>
+#include <mutex>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::core {
+namespace {
+
+class ResolutionTest : public ::testing::Test {
+ protected:
+  ResolutionOptions options(const std::string& root = "/watch") {
+    ResolutionOptions o;
+    o.watch_root = root;
+    o.batch_size = 4;
+    return o;
+  }
+  common::RealClock clock;
+};
+
+TEST_F(ResolutionTest, ResolveRelativizesAgainstRoot) {
+  ResolutionLayer layer(options(), clock);
+  StdEvent event;
+  event.path = "/watch/sub/file.txt";
+  layer.resolve(event);
+  EXPECT_EQ(event.path, "/sub/file.txt");
+  EXPECT_EQ(event.watch_root, "/watch");
+}
+
+TEST_F(ResolutionTest, ResolveKeepsAlreadyRelativePaths) {
+  ResolutionLayer layer(options(), clock);
+  StdEvent event;
+  event.path = "/file.txt";  // not under /watch: treated as store-relative
+  layer.resolve(event);
+  EXPECT_EQ(event.path, "/file.txt");
+  EXPECT_EQ(event.watch_root, "/watch");
+}
+
+TEST_F(ResolutionTest, ResolveNormalizesMessyPaths) {
+  ResolutionLayer layer(options(), clock);
+  StdEvent event;
+  event.path = "/watch//a/./b/../c";
+  layer.resolve(event);
+  EXPECT_EQ(event.path, "/a/c");
+}
+
+TEST_F(ResolutionTest, ResolveRootItself) {
+  ResolutionLayer layer(options(), clock);
+  StdEvent event;
+  event.path = "/watch";
+  layer.resolve(event);
+  EXPECT_EQ(event.path, "/");
+}
+
+TEST_F(ResolutionTest, StampsMissingTimestamp) {
+  ResolutionLayer layer(options(), clock);
+  StdEvent event;
+  layer.resolve(event);
+  EXPECT_NE(event.timestamp, common::TimePoint{});
+}
+
+TEST_F(ResolutionTest, PreservesExistingTimestamp) {
+  ResolutionLayer layer(options(), clock);
+  StdEvent event;
+  event.timestamp = common::TimePoint{std::chrono::nanoseconds(1)};
+  layer.resolve(event);
+  EXPECT_EQ(event.timestamp.time_since_epoch(), std::chrono::nanoseconds(1));
+}
+
+TEST_F(ResolutionTest, WorkerDeliversBatchesToSink) {
+  ResolutionLayer layer(options(), clock);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<StdEvent> received;
+  layer.start([&](std::vector<StdEvent> batch) {
+    std::lock_guard lock(mu);
+    for (auto& event : batch) received.push_back(std::move(event));
+    cv.notify_one();
+  });
+  for (int i = 0; i < 10; ++i) {
+    StdEvent event;
+    event.path = "/watch/f" + std::to_string(i);
+    ASSERT_TRUE(layer.submit(std::move(event)));
+  }
+  {
+    std::unique_lock lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(5), [&] { return received.size() == 10; });
+  }
+  layer.stop();
+  ASSERT_EQ(received.size(), 10u);
+  EXPECT_EQ(received[0].path, "/f0");
+  EXPECT_EQ(received[9].path, "/f9");
+  EXPECT_EQ(layer.processed(), 10u);
+  EXPECT_GE(layer.batches(), 3u);  // batch_size=4 -> at least ceil(10/4)
+}
+
+TEST_F(ResolutionTest, StopDrainsQueue) {
+  ResolutionLayer layer(options(), clock);
+  std::atomic<int> count{0};
+  layer.start([&](std::vector<StdEvent> batch) {
+    count += static_cast<int>(batch.size());
+  });
+  for (int i = 0; i < 100; ++i) layer.submit(StdEvent{});
+  layer.stop();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST_F(ResolutionTest, SubmitAfterStopFails) {
+  ResolutionLayer layer(options(), clock);
+  layer.start([](std::vector<StdEvent>) {});
+  layer.stop();
+  EXPECT_FALSE(layer.submit(StdEvent{}));
+}
+
+TEST_F(ResolutionTest, DropNewestPolicyCountsDrops) {
+  ResolutionOptions o = options();
+  o.queue_capacity = 2;
+  o.overflow_policy = common::OverflowPolicy::kDropNewest;
+  ResolutionLayer layer(o, clock);
+  // Worker not started: queue fills and drops.
+  EXPECT_TRUE(layer.submit(StdEvent{}));
+  EXPECT_TRUE(layer.submit(StdEvent{}));
+  EXPECT_FALSE(layer.submit(StdEvent{}));
+  EXPECT_EQ(layer.dropped(), 1u);
+}
+
+}  // namespace
+}  // namespace fsmon::core

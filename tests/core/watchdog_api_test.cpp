@@ -1,0 +1,172 @@
+#include "src/core/watchdog_api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/localfs/memfs.hpp"
+#include "src/localfs/sim_dsi.hpp"
+
+namespace fsmon::core {
+namespace {
+
+/// Records every hook invocation.
+class RecordingHandler : public EventHandler {
+ public:
+  void on_created(const StdEvent& event) override { log("created:" + event.path); }
+  void on_modified(const StdEvent& event) override { log("modified:" + event.path); }
+  void on_deleted(const StdEvent& event) override { log("deleted:" + event.path); }
+  void on_closed(const StdEvent& event) override { log("closed:" + event.path); }
+  void on_attrib(const StdEvent& event) override { log("attrib:" + event.path); }
+  void on_moved(const StdEvent& from, const StdEvent& to) override {
+    log("moved:" + from.path + "->" + to.path);
+  }
+  void on_moved_away(const StdEvent& from) override { log("moved_away:" + from.path); }
+  void on_moved_in(const StdEvent& to) override { log("moved_in:" + to.path); }
+
+  std::vector<std::string> entries;
+
+ private:
+  void log(std::string entry) { entries.push_back(std::move(entry)); }
+};
+
+StdEvent event_of(EventKind kind, const std::string& path, std::uint64_t cookie = 0) {
+  StdEvent event;
+  event.kind = kind;
+  event.path = path;
+  event.cookie = cookie;
+  return event;
+}
+
+TEST(HandlerDispatcherTest, RoutesKindsToHooks) {
+  RecordingHandler handler;
+  HandlerDispatcher dispatcher(handler);
+  dispatcher.dispatch(event_of(EventKind::kCreate, "/a"));
+  dispatcher.dispatch(event_of(EventKind::kModify, "/a"));
+  dispatcher.dispatch(event_of(EventKind::kClose, "/a"));
+  dispatcher.dispatch(event_of(EventKind::kAttrib, "/a"));
+  dispatcher.dispatch(event_of(EventKind::kDelete, "/a"));
+  EXPECT_EQ(handler.entries,
+            (std::vector<std::string>{"created:/a", "modified:/a", "closed:/a",
+                                      "attrib:/a", "deleted:/a"}));
+  EXPECT_EQ(dispatcher.dispatched(), 5u);
+}
+
+TEST(HandlerDispatcherTest, PairsRenamesOnCookie) {
+  RecordingHandler handler;
+  HandlerDispatcher dispatcher(handler);
+  dispatcher.dispatch(event_of(EventKind::kMovedFrom, "/old", 7));
+  EXPECT_TRUE(handler.entries.empty());  // held until the pair completes
+  dispatcher.dispatch(event_of(EventKind::kMovedTo, "/new", 7));
+  EXPECT_EQ(handler.entries, (std::vector<std::string>{"moved:/old->/new"}));
+}
+
+TEST(HandlerDispatcherTest, InterleavedRenamePairs) {
+  RecordingHandler handler;
+  HandlerDispatcher dispatcher(handler);
+  dispatcher.dispatch(event_of(EventKind::kMovedFrom, "/a", 1));
+  dispatcher.dispatch(event_of(EventKind::kMovedFrom, "/b", 2));
+  dispatcher.dispatch(event_of(EventKind::kMovedTo, "/b2", 2));
+  dispatcher.dispatch(event_of(EventKind::kMovedTo, "/a2", 1));
+  EXPECT_EQ(handler.entries,
+            (std::vector<std::string>{"moved:/b->/b2", "moved:/a->/a2"}));
+}
+
+TEST(HandlerDispatcherTest, UnpairedMoves) {
+  RecordingHandler handler;
+  HandlerDispatcher dispatcher(handler);
+  dispatcher.dispatch(event_of(EventKind::kMovedTo, "/incoming", 9));
+  EXPECT_EQ(handler.entries, (std::vector<std::string>{"moved_in:/incoming"}));
+  dispatcher.dispatch(event_of(EventKind::kMovedFrom, "/outgoing", 10));
+  dispatcher.flush_pending_moves();
+  EXPECT_EQ(handler.entries.back(), "moved_away:/outgoing");
+  // Cookie 0 means the backend could not pair at all.
+  dispatcher.dispatch(event_of(EventKind::kMovedFrom, "/nocookie", 0));
+  EXPECT_EQ(handler.entries.back(), "moved_away:/nocookie");
+}
+
+TEST(HandlerDispatcherTest, DefaultHandlerIgnoresEverything) {
+  EventHandler handler;  // no overrides
+  HandlerDispatcher dispatcher(handler);
+  dispatcher.dispatch(event_of(EventKind::kCreate, "/a"));
+  dispatcher.dispatch(event_of(EventKind::kOpen, "/a"));
+  EXPECT_EQ(dispatcher.dispatched(), 2u);
+}
+
+class ObserverTest : public ::testing::Test {
+ protected:
+  ObserverTest() {
+    localfs::register_sim_dsis(registry, fs, clock);
+    fs.mkdir("/data");
+    MonitorOptions options;
+    options.storage.scheme = "sim-inotify";
+    options.storage.root = "/";
+    monitor = std::make_unique<FsMonitor>(options, &registry, &clock);
+  }
+
+  common::ManualClock clock;
+  localfs::MemFs fs;
+  DsiRegistry registry;
+  std::unique_ptr<FsMonitor> monitor;
+};
+
+TEST_F(ObserverTest, HandlerReceivesLiveEvents) {
+  RecordingHandler handler;
+  Observer observer;
+  observer.schedule(handler, *monitor, "/data", true);
+  ASSERT_TRUE(monitor->start().is_ok());
+  fs.create("/data/f.txt");
+  fs.rename("/data/f.txt", "/data/g.txt");
+  fs.remove("/data/g.txt");
+  monitor->stop();
+  EXPECT_EQ(handler.entries,
+            (std::vector<std::string>{"created:/data/f.txt",
+                                      "moved:/data/f.txt->/data/g.txt",
+                                      "deleted:/data/g.txt"}));
+}
+
+TEST_F(ObserverTest, NonRecursiveWatchScopesEvents) {
+  fs.mkdir("/data/sub");
+  RecordingHandler handler;
+  Observer observer;
+  observer.schedule(handler, *monitor, "/data", /*recursive=*/false);
+  ASSERT_TRUE(monitor->start().is_ok());
+  fs.create("/data/direct");
+  fs.create("/data/sub/nested");
+  monitor->stop();
+  EXPECT_EQ(handler.entries, (std::vector<std::string>{"created:/data/direct"}));
+}
+
+TEST_F(ObserverTest, UnscheduleStopsDelivery) {
+  RecordingHandler handler;
+  Observer observer;
+  const auto id = observer.schedule(handler, *monitor, "/data", true);
+  ASSERT_TRUE(monitor->start().is_ok());
+  fs.create("/data/one");
+  monitor->stop();
+  observer.unschedule(id);
+  EXPECT_EQ(observer.watch_count(), 0u);
+  ASSERT_TRUE(monitor->start().is_ok());
+  fs.create("/data/two");
+  monitor->stop();
+  EXPECT_EQ(handler.entries, (std::vector<std::string>{"created:/data/one"}));
+}
+
+TEST_F(ObserverTest, MultipleHandlersIndependent) {
+  RecordingHandler a, b;
+  Observer observer;
+  fs.mkdir("/data/a");
+  fs.mkdir("/data/b");
+  observer.schedule(a, *monitor, "/data/a", true);
+  observer.schedule(b, *monitor, "/data/b", true);
+  EXPECT_EQ(observer.watch_count(), 2u);
+  ASSERT_TRUE(monitor->start().is_ok());
+  fs.create("/data/a/x");
+  fs.create("/data/b/y");
+  monitor->stop();
+  EXPECT_EQ(a.entries, (std::vector<std::string>{"created:/data/a/x"}));
+  EXPECT_EQ(b.entries, (std::vector<std::string>{"created:/data/b/y"}));
+  observer.unschedule_all();
+  EXPECT_EQ(observer.watch_count(), 0u);
+}
+
+}  // namespace
+}  // namespace fsmon::core

@@ -1,0 +1,160 @@
+#include "src/eventstore/store.hpp"
+
+#include <filesystem>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::eventstore {
+namespace {
+
+std::vector<std::byte> bytes_of(std::string_view text) {
+  std::vector<std::byte> out;
+  for (char c : text) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+class EventStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fsmon_store_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  EventStoreOptions options() {
+    EventStoreOptions o;
+    o.directory = dir_;
+    return o;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(EventStoreTest, AppendAndQuery) {
+  EventStore store(options());
+  ASSERT_TRUE(store.append(1, bytes_of("a")).is_ok());
+  ASSERT_TRUE(store.append(2, bytes_of("b")).is_ok());
+  EXPECT_EQ(store.live_records(), 2u);
+  EXPECT_EQ(store.last_id(), 2u);
+  EXPECT_EQ(store.first_id(), 1u);
+  auto events = store.events_since(0);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].payload, bytes_of("a"));
+}
+
+TEST_F(EventStoreTest, EventsSinceSkipsOlder) {
+  EventStore store(options());
+  for (common::EventId id = 1; id <= 10; ++id) store.append(id, bytes_of("x"));
+  auto events = store.events_since(7);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].id, 8u);
+  EXPECT_EQ(store.events_since(7, 2).size(), 2u);
+  EXPECT_TRUE(store.events_since(10).empty());
+}
+
+TEST_F(EventStoreTest, NonMonotonicIdRejected) {
+  EventStore store(options());
+  store.append(5, bytes_of("a"));
+  EXPECT_EQ(store.append(5, bytes_of("b")).code(), common::ErrorCode::kInvalid);
+  EXPECT_EQ(store.append(4, bytes_of("b")).code(), common::ErrorCode::kInvalid);
+}
+
+TEST_F(EventStoreTest, MarkAndPurgeReported) {
+  EventStore store(options());
+  for (common::EventId id = 1; id <= 5; ++id) store.append(id, bytes_of("x"));
+  store.mark_reported(3);
+  EXPECT_EQ(store.purge_reported(), 3u);
+  EXPECT_EQ(store.live_records(), 2u);
+  EXPECT_EQ(store.first_id(), 4u);
+  // Purge only removes a reported prefix.
+  store.mark_reported(5);
+  EXPECT_EQ(store.purge_reported(), 2u);
+  EXPECT_EQ(store.live_records(), 0u);
+}
+
+TEST_F(EventStoreTest, PurgeStopsAtFirstUnreported) {
+  EventStore store(options());
+  for (common::EventId id = 1; id <= 4; ++id) store.append(id, bytes_of("x"));
+  // Only id 2..3 reported: nothing can be purged while id 1 is live.
+  store.mark_reported(0);
+  EXPECT_EQ(store.purge_reported(), 0u);
+  EXPECT_EQ(store.live_records(), 4u);
+}
+
+TEST_F(EventStoreTest, RecoveryAfterReopen) {
+  {
+    EventStore store(options());
+    for (common::EventId id = 1; id <= 20; ++id) store.append(id, bytes_of("payload"));
+    store.flush();
+  }
+  EventStore reopened(options());
+  EXPECT_EQ(reopened.live_records(), 20u);
+  EXPECT_EQ(reopened.last_id(), 20u);
+  // Ids continue after recovery.
+  EXPECT_TRUE(reopened.append(21, bytes_of("new")).is_ok());
+}
+
+TEST_F(EventStoreTest, SegmentRotation) {
+  auto o = options();
+  o.segment_bytes = 64;  // force frequent rotation
+  EventStore store(o);
+  for (common::EventId id = 1; id <= 30; ++id)
+    store.append(id, bytes_of("0123456789abcdef"));
+  EXPECT_GT(store.segment_count(), 3u);
+  // All records still readable.
+  EXPECT_EQ(store.events_since(0).size(), 30u);
+}
+
+TEST_F(EventStoreTest, RecoveryAcrossManySegments) {
+  auto o = options();
+  o.segment_bytes = 64;
+  {
+    EventStore store(o);
+    for (common::EventId id = 1; id <= 25; ++id) store.append(id, bytes_of("0123456789"));
+    store.flush();
+  }
+  EventStore reopened(o);
+  EXPECT_EQ(reopened.live_records(), 25u);
+  auto events = reopened.events_since(20);
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[4].id, 25u);
+}
+
+TEST_F(EventStoreTest, SizeCapEvictsOldest) {
+  auto o = options();
+  o.max_bytes = 100;
+  EventStore store(o);
+  for (common::EventId id = 1; id <= 50; ++id)
+    store.append(id, bytes_of("ten bytes!"));  // 10 bytes each
+  EXPECT_LE(store.live_bytes(), 100u);
+  EXPECT_GT(store.first_id(), 1u);  // oldest evicted
+  EXPECT_EQ(store.last_id(), 50u);  // newest kept
+}
+
+TEST_F(EventStoreTest, PurgeDeletesEmptySegmentFiles) {
+  auto o = options();
+  o.segment_bytes = 64;
+  EventStore store(o);
+  for (common::EventId id = 1; id <= 30; ++id)
+    store.append(id, bytes_of("0123456789abcdef"));
+  const auto before = store.segment_count();
+  store.mark_reported(30);
+  store.purge_reported();
+  EXPECT_LT(store.segment_count(), before);
+}
+
+TEST_F(EventStoreTest, MarkReportedSurvivesQuery) {
+  EventStore store(options());
+  store.append(1, bytes_of("a"));
+  store.mark_reported(1);
+  auto events = store.events_since(0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].reported);
+}
+
+}  // namespace
+}  // namespace fsmon::eventstore

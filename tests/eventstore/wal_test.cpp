@@ -1,0 +1,113 @@
+#include "src/eventstore/wal.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::eventstore {
+namespace {
+
+std::vector<std::byte> bytes_of(std::string_view text) {
+  std::vector<std::byte> out;
+  for (char c : text) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fsmon_wal_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(WalTest, AppendAndScanRoundTrip) {
+  const auto path = dir_ / "seg.wal";
+  {
+    WalSegment segment(path);
+    EXPECT_TRUE(segment.append(1, bytes_of("first")).is_ok());
+    EXPECT_TRUE(segment.append(2, bytes_of("second")).is_ok());
+    EXPECT_TRUE(segment.flush().is_ok());
+  }
+  auto records = WalSegment::scan(path);
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0].id, 1u);
+  EXPECT_EQ(records.value()[0].payload, bytes_of("first"));
+  EXPECT_EQ(records.value()[1].id, 2u);
+}
+
+TEST_F(WalTest, EmptyPayloadAllowed) {
+  const auto path = dir_ / "seg.wal";
+  {
+    WalSegment segment(path);
+    segment.append(7, {});
+  }
+  auto records = WalSegment::scan(path);
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_TRUE(records.value()[0].payload.empty());
+}
+
+TEST_F(WalTest, ScanMissingFileFails) {
+  EXPECT_EQ(WalSegment::scan(dir_ / "nope.wal").code(), common::ErrorCode::kNotFound);
+}
+
+TEST_F(WalTest, TornTailIsTruncatedNotFatal) {
+  const auto path = dir_ / "seg.wal";
+  {
+    WalSegment segment(path);
+    segment.append(1, bytes_of("keep me"));
+    segment.append(2, bytes_of("torn"));
+  }
+  // Chop bytes off the end, simulating a crash mid-write.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 3);
+  auto records = WalSegment::scan(path);
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0].id, 1u);
+}
+
+TEST_F(WalTest, MidFileCorruptionIsFatal) {
+  const auto path = dir_ / "seg.wal";
+  {
+    WalSegment segment(path);
+    segment.append(1, bytes_of("aaaa"));
+    segment.append(2, bytes_of("bbbb"));
+  }
+  // Flip a byte inside the FIRST record's payload.
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  file.seekp(13);
+  file.put('X');
+  file.close();
+  EXPECT_EQ(WalSegment::scan(path).code(), common::ErrorCode::kCorrupt);
+}
+
+TEST_F(WalTest, ReopenAppendsAfterExistingRecords) {
+  const auto path = dir_ / "seg.wal";
+  {
+    WalSegment segment(path);
+    segment.append(1, bytes_of("one"));
+  }
+  {
+    WalSegment segment(path);
+    EXPECT_GT(segment.bytes_written(), 0u);  // sees prior size
+    segment.append(2, bytes_of("two"));
+  }
+  auto records = WalSegment::scan(path);
+  ASSERT_TRUE(records.is_ok());
+  EXPECT_EQ(records.value().size(), 2u);
+}
+
+}  // namespace
+}  // namespace fsmon::eventstore

@@ -1,0 +1,140 @@
+// Tests against the REAL Linux inotify facility. Skipped automatically
+// when the kernel does not expose inotify (some sandboxes).
+#include "src/localfs/inotify_dsi.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::localfs {
+namespace {
+
+using core::EventKind;
+using core::StdEvent;
+
+class InotifyDsiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!InotifyDsi::available()) GTEST_SKIP() << "inotify unavailable on this host";
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fsmon_inotify_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void touch(const std::filesystem::path& path) {
+    std::ofstream out(path);
+    out << "data";
+  }
+
+  /// Wait until the predicate holds over captured events or timeout.
+  bool wait_for(const std::function<bool()>& predicate) {
+    std::unique_lock lock(mu_);
+    return cv_.wait_for(lock, std::chrono::seconds(5), predicate);
+  }
+
+  std::vector<StdEvent> snapshot() {
+    std::lock_guard lock(mu_);
+    return events_;
+  }
+
+  core::DsiBase::EventCallback collector() {
+    return [this](StdEvent event) {
+      std::lock_guard lock(mu_);
+      events_.push_back(std::move(event));
+      cv_.notify_all();
+    };
+  }
+
+  bool saw(EventKind kind, const std::string& suffix) {
+    for (const auto& event : events_) {
+      if (event.kind == kind && event.path.ends_with(suffix)) return true;
+    }
+    return false;
+  }
+
+  std::filesystem::path dir_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<StdEvent> events_;
+};
+
+TEST_F(InotifyDsiTest, DetectsCreateModifyDelete) {
+  InotifyDsi dsi({dir_.string(), true});
+  ASSERT_TRUE(dsi.start(collector()).is_ok());
+  touch(dir_ / "hello.txt");
+  ASSERT_TRUE(wait_for([&] { return saw(EventKind::kClose, "hello.txt"); }));
+  std::filesystem::remove(dir_ / "hello.txt");
+  ASSERT_TRUE(wait_for([&] { return saw(EventKind::kDelete, "hello.txt"); }));
+  dsi.stop();
+  EXPECT_TRUE(saw(EventKind::kCreate, "hello.txt"));
+  EXPECT_TRUE(saw(EventKind::kModify, "hello.txt"));
+}
+
+TEST_F(InotifyDsiTest, RecursiveWatchCoversNewSubdirectories) {
+  InotifyDsi dsi({dir_.string(), true});
+  ASSERT_TRUE(dsi.start(collector()).is_ok());
+  const std::size_t initial = dsi.watch_count();
+  std::filesystem::create_directories(dir_ / "sub");
+  ASSERT_TRUE(wait_for([&] { return saw(EventKind::kCreate, "sub"); }));
+  // Give the DSI a beat to add the watch, then create inside it.
+  ASSERT_TRUE(wait_for([&] { return dsi.watch_count() > initial; }));
+  touch(dir_ / "sub" / "inner.txt");
+  EXPECT_TRUE(wait_for([&] { return saw(EventKind::kCreate, "inner.txt"); }));
+  dsi.stop();
+}
+
+TEST_F(InotifyDsiTest, DetectsRenamePair) {
+  touch(dir_ / "old.txt");
+  InotifyDsi dsi({dir_.string(), true});
+  ASSERT_TRUE(dsi.start(collector()).is_ok());
+  std::filesystem::rename(dir_ / "old.txt", dir_ / "new.txt");
+  ASSERT_TRUE(wait_for([&] {
+    return saw(EventKind::kMovedFrom, "old.txt") && saw(EventKind::kMovedTo, "new.txt");
+  }));
+  dsi.stop();
+  // The rename pair shares a kernel cookie.
+  std::uint64_t from_cookie = 0, to_cookie = 0;
+  for (const auto& event : snapshot()) {
+    if (event.kind == EventKind::kMovedFrom) from_cookie = event.cookie;
+    if (event.kind == EventKind::kMovedTo) to_cookie = event.cookie;
+  }
+  EXPECT_NE(from_cookie, 0u);
+  EXPECT_EQ(from_cookie, to_cookie);
+}
+
+TEST_F(InotifyDsiTest, NonRecursiveIgnoresSubdirectories) {
+  std::filesystem::create_directories(dir_ / "sub");
+  InotifyDsi dsi({dir_.string(), false});
+  ASSERT_TRUE(dsi.start(collector()).is_ok());
+  EXPECT_EQ(dsi.watch_count(), 1u);
+  dsi.stop();
+}
+
+TEST_F(InotifyDsiTest, StartStopRestart) {
+  InotifyDsi dsi({dir_.string(), true});
+  ASSERT_TRUE(dsi.start(collector()).is_ok());
+  dsi.stop();
+  EXPECT_FALSE(dsi.running());
+  ASSERT_TRUE(dsi.start(collector()).is_ok());
+  EXPECT_TRUE(dsi.running());
+  touch(dir_ / "again.txt");
+  EXPECT_TRUE(wait_for([&] { return saw(EventKind::kCreate, "again.txt"); }));
+  dsi.stop();
+}
+
+TEST_F(InotifyDsiTest, StartFailsOnMissingRoot) {
+  InotifyDsi dsi({(dir_ / "does-not-exist").string(), true});
+  EXPECT_FALSE(dsi.start(collector()).is_ok());
+}
+
+}  // namespace
+}  // namespace fsmon::localfs

@@ -1,0 +1,134 @@
+#include "src/localfs/memfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::localfs {
+namespace {
+
+class MemFsTest : public ::testing::Test {
+ protected:
+  MemFsTest() {
+    fs.add_listener([this](const FsAction& action) { actions.push_back(action); });
+  }
+  MemFs fs;
+  std::vector<FsAction> actions;
+};
+
+TEST_F(MemFsTest, CreateEmitsAction) {
+  ASSERT_TRUE(fs.create("/f.txt").is_ok());
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].kind, FsOpKind::kCreate);
+  EXPECT_EQ(actions[0].path, "/f.txt");
+  EXPECT_FALSE(actions[0].is_dir);
+  EXPECT_TRUE(fs.exists("/f.txt"));
+}
+
+TEST_F(MemFsTest, MkdirAndNesting) {
+  ASSERT_TRUE(fs.mkdir("/d").is_ok());
+  ASSERT_TRUE(fs.create("/d/f").is_ok());
+  EXPECT_TRUE(fs.is_directory("/d"));
+  EXPECT_FALSE(fs.is_directory("/d/f"));
+  EXPECT_EQ(fs.create("/nodir/f").code(), common::ErrorCode::kNotFound);
+}
+
+TEST_F(MemFsTest, DuplicateCreateFails) {
+  fs.create("/f");
+  EXPECT_EQ(fs.create("/f").code(), common::ErrorCode::kAlreadyExists);
+  EXPECT_EQ(actions.size(), 1u);  // failed ops emit nothing
+}
+
+TEST_F(MemFsTest, WriteRequiresExistingFile) {
+  EXPECT_EQ(fs.write("/missing").code(), common::ErrorCode::kNotFound);
+  fs.mkdir("/d");
+  EXPECT_EQ(fs.write("/d").code(), common::ErrorCode::kIsADirectory);
+  fs.create("/f");
+  EXPECT_TRUE(fs.write("/f").is_ok());
+  EXPECT_EQ(actions.back().kind, FsOpKind::kModify);
+}
+
+TEST_F(MemFsTest, RemoveFileAndRmdir) {
+  fs.create("/f");
+  ASSERT_TRUE(fs.remove("/f").is_ok());
+  EXPECT_FALSE(fs.exists("/f"));
+  fs.mkdir("/d");
+  fs.create("/d/f");
+  EXPECT_EQ(fs.rmdir("/d").code(), common::ErrorCode::kNotEmpty);
+  fs.remove("/d/f");
+  EXPECT_TRUE(fs.rmdir("/d").is_ok());
+  EXPECT_EQ(fs.remove("/d").code(), common::ErrorCode::kNotFound);
+}
+
+TEST_F(MemFsTest, RemoveDirectoryWithRemoveFails) {
+  fs.mkdir("/d");
+  EXPECT_EQ(fs.remove("/d").code(), common::ErrorCode::kIsADirectory);
+  fs.create("/f");
+  EXPECT_EQ(fs.rmdir("/f").code(), common::ErrorCode::kNotADirectory);
+}
+
+TEST_F(MemFsTest, RenameFile) {
+  fs.create("/hello.txt");
+  ASSERT_TRUE(fs.rename("/hello.txt", "/hi.txt").is_ok());
+  EXPECT_FALSE(fs.exists("/hello.txt"));
+  EXPECT_TRUE(fs.exists("/hi.txt"));
+  EXPECT_EQ(actions.back().kind, FsOpKind::kRename);
+  EXPECT_EQ(actions.back().path, "/hello.txt");
+  EXPECT_EQ(actions.back().dest_path, "/hi.txt");
+}
+
+TEST_F(MemFsTest, RenameDirectoryMovesChildren) {
+  fs.mkdir("/a");
+  fs.mkdir("/a/sub");
+  fs.create("/a/sub/f");
+  ASSERT_TRUE(fs.rename("/a", "/b").is_ok());
+  EXPECT_TRUE(fs.exists("/b/sub/f"));
+  EXPECT_FALSE(fs.exists("/a/sub/f"));
+  EXPECT_TRUE(fs.is_directory("/b/sub"));
+}
+
+TEST_F(MemFsTest, RenameOntoExistingFails) {
+  fs.create("/a");
+  fs.create("/b");
+  EXPECT_EQ(fs.rename("/a", "/b").code(), common::ErrorCode::kAlreadyExists);
+}
+
+TEST_F(MemFsTest, ChmodEmitsAttrib) {
+  fs.create("/f");
+  ASSERT_TRUE(fs.chmod("/f", 0600).is_ok());
+  EXPECT_EQ(actions.back().kind, FsOpKind::kAttrib);
+}
+
+TEST_F(MemFsTest, OpenCloseEmit) {
+  fs.create("/f");
+  fs.open("/f");
+  EXPECT_EQ(actions.back().kind, FsOpKind::kOpen);
+  fs.close("/f");
+  EXPECT_EQ(actions.back().kind, FsOpKind::kClose);
+}
+
+TEST_F(MemFsTest, ListDirectChildren) {
+  fs.mkdir("/d");
+  fs.create("/d/b");
+  fs.mkdir("/d/a");
+  fs.create("/d/a/deep");  // must not appear in /d listing
+  auto entries = fs.list("/d");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, "a");
+  EXPECT_TRUE(entries[0].second);
+  EXPECT_EQ(entries[1].first, "b");
+  EXPECT_FALSE(entries[1].second);
+  // Root listing.
+  EXPECT_EQ(fs.list("/").size(), 1u);
+}
+
+TEST_F(MemFsTest, SequenceNumbersMonotonic) {
+  fs.create("/a");
+  fs.create("/b");
+  fs.write("/a");
+  ASSERT_EQ(actions.size(), 3u);
+  EXPECT_EQ(actions[0].sequence, 0u);
+  EXPECT_EQ(actions[1].sequence, 1u);
+  EXPECT_EQ(actions[2].sequence, 2u);
+}
+
+}  // namespace
+}  // namespace fsmon::localfs

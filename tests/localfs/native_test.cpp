@@ -1,0 +1,163 @@
+#include "src/localfs/native.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::localfs {
+namespace {
+
+using common::TimePoint;
+
+FsAction action_of(FsOpKind kind, const std::string& path, bool is_dir = false,
+                   const std::string& dest = {}) {
+  FsAction action;
+  action.kind = kind;
+  action.path = path;
+  action.is_dir = is_dir;
+  action.dest_path = dest;
+  return action;
+}
+
+TEST(InotifyEmitterTest, CreateModifyDeleteMasks) {
+  InotifyEmitter emitter;
+  auto created = emitter.on_action(action_of(FsOpKind::kCreate, "/f"), TimePoint{});
+  ASSERT_EQ(created.size(), 1u);
+  EXPECT_EQ(created[0].flags, kInCreate);
+  auto mkdir = emitter.on_action(action_of(FsOpKind::kMkdir, "/d", true), TimePoint{});
+  EXPECT_EQ(mkdir[0].flags, kInCreate | kInIsDir);
+  auto removed = emitter.on_action(action_of(FsOpKind::kDelete, "/f"), TimePoint{});
+  EXPECT_EQ(removed[0].flags, kInDelete);
+}
+
+TEST(InotifyEmitterTest, RenameEmitsPairWithSharedCookie) {
+  InotifyEmitter emitter;
+  auto pair = emitter.on_action(action_of(FsOpKind::kRename, "/a", false, "/b"), TimePoint{});
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_EQ(pair[0].flags, kInMovedFrom);
+  EXPECT_EQ(pair[0].path, "/a");
+  EXPECT_EQ(pair[1].flags, kInMovedTo);
+  EXPECT_EQ(pair[1].path, "/b");
+  EXPECT_EQ(pair[0].cookie, pair[1].cookie);
+  EXPECT_NE(pair[0].cookie, 0u);
+  // A second rename uses a different cookie.
+  auto pair2 = emitter.on_action(action_of(FsOpKind::kRename, "/c", false, "/d"), TimePoint{});
+  EXPECT_NE(pair2[0].cookie, pair[0].cookie);
+}
+
+TEST(KqueueEmitterTest, CreateSignalsParentVnode) {
+  // kqueue cannot name the new child: the only signal is NOTE_WRITE|
+  // NOTE_EXTEND on the parent directory vnode.
+  KqueueEmitter emitter;
+  auto events = emitter.on_action(action_of(FsOpKind::kCreate, "/dir/f"), TimePoint{});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].flags, kNoteWrite | kNoteExtend);
+  EXPECT_EQ(events[0].path, "/dir");
+}
+
+TEST(KqueueEmitterTest, DeleteSignalsFileAndParent) {
+  KqueueEmitter emitter;
+  auto events = emitter.on_action(action_of(FsOpKind::kDelete, "/dir/f"), TimePoint{});
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].flags, kNoteDelete);
+  EXPECT_EQ(events[0].path, "/dir/f");
+  EXPECT_EQ(events[1].path, "/dir");
+}
+
+TEST(KqueueEmitterTest, CrossDirectoryRenameTouchesBothParents) {
+  KqueueEmitter emitter;
+  auto events =
+      emitter.on_action(action_of(FsOpKind::kRename, "/a/f", false, "/b/f"), TimePoint{});
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].flags, kNoteRename);
+  EXPECT_EQ(events[0].dest_path, "/b/f");
+  EXPECT_EQ(events[1].path, "/a");
+  EXPECT_EQ(events[2].path, "/b");
+}
+
+TEST(FsEventsEmitterTest, NoWindowPassesThrough) {
+  FsEventsEmitter emitter;  // window 0
+  auto events = emitter.on_action(action_of(FsOpKind::kCreate, "/f"), TimePoint{});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].flags, kFseCreated | kFseIsFile);
+  EXPECT_EQ(emitter.coalesced(), 0u);
+}
+
+TEST(FsEventsEmitterTest, CoalescesSamePathWithinWindow) {
+  FsEventsEmitter emitter(std::chrono::milliseconds(100));
+  TimePoint t0{};
+  EXPECT_TRUE(emitter.on_action(action_of(FsOpKind::kCreate, "/f"), t0).empty());
+  EXPECT_TRUE(
+      emitter.on_action(action_of(FsOpKind::kModify, "/f"), t0 + std::chrono::milliseconds(10))
+          .empty());
+  EXPECT_EQ(emitter.coalesced(), 1u);
+  // After the window ages out, a single merged record appears.
+  auto flushed = emitter.flush(t0 + std::chrono::milliseconds(200));
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0].flags & kFseCreated, kFseCreated);
+  EXPECT_EQ(flushed[0].flags & kFseModified, kFseModified);
+}
+
+TEST(FsEventsEmitterTest, AgedEventsReleasedOnNextAction) {
+  FsEventsEmitter emitter(std::chrono::milliseconds(50));
+  TimePoint t0{};
+  emitter.on_action(action_of(FsOpKind::kCreate, "/a"), t0);
+  auto released = emitter.on_action(action_of(FsOpKind::kCreate, "/b"),
+                                    t0 + std::chrono::milliseconds(100));
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].path, "/a");
+}
+
+TEST(FsEventsEmitterTest, DifferentPathsDoNotCoalesce) {
+  FsEventsEmitter emitter(std::chrono::milliseconds(100));
+  TimePoint t0{};
+  emitter.on_action(action_of(FsOpKind::kCreate, "/a"), t0);
+  emitter.on_action(action_of(FsOpKind::kCreate, "/b"), t0);
+  EXPECT_EQ(emitter.coalesced(), 0u);
+  EXPECT_EQ(emitter.flush(t0).size(), 2u);
+}
+
+TEST(FsEventsEmitterTest, OpensNotReported) {
+  FsEventsEmitter emitter;
+  EXPECT_TRUE(emitter.on_action(action_of(FsOpKind::kOpen, "/f"), TimePoint{}).empty());
+}
+
+TEST(FswEmitterTest, FourChangeTypes) {
+  FswEmitter emitter;
+  emitter.on_action(action_of(FsOpKind::kCreate, "/f"), TimePoint{});
+  emitter.on_action(action_of(FsOpKind::kModify, "/f"), TimePoint{});
+  emitter.on_action(action_of(FsOpKind::kDelete, "/f"), TimePoint{});
+  emitter.on_action(action_of(FsOpKind::kRename, "/f", false, "/g"), TimePoint{});
+  auto events = emitter.drain();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].flags, kFswCreated);
+  EXPECT_EQ(events[1].flags, kFswChanged);
+  EXPECT_EQ(events[2].flags, kFswDeleted);
+  EXPECT_EQ(events[3].flags, kFswRenamed);
+  EXPECT_EQ(events[3].dest_path, "/g");
+}
+
+TEST(FswEmitterTest, BufferOverflowLosesEvents) {
+  // The paper: "The buffer can overflow when many file system changes
+  // occur in a short period of time, causing event loss."
+  FswEmitter emitter(64);
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (emitter.on_action(action_of(FsOpKind::kCreate, "/some/longish/path"), TimePoint{}))
+      ++accepted;
+  }
+  EXPECT_LT(accepted, 10);
+  EXPECT_GT(emitter.overflows(), 0u);
+  // Draining frees space again.
+  emitter.drain();
+  EXPECT_TRUE(emitter.on_action(action_of(FsOpKind::kCreate, "/f"), TimePoint{}));
+}
+
+TEST(FswEmitterTest, DrainRespectsMaxEvents) {
+  FswEmitter emitter;
+  for (int i = 0; i < 5; ++i)
+    emitter.on_action(action_of(FsOpKind::kCreate, "/f" + std::to_string(i)), TimePoint{});
+  EXPECT_EQ(emitter.drain(2).size(), 2u);
+  EXPECT_EQ(emitter.drain().size(), 3u);
+}
+
+}  // namespace
+}  // namespace fsmon::localfs

@@ -1,0 +1,49 @@
+#include "src/localfs/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::localfs {
+namespace {
+
+TEST(PlatformProfileTest, PaperBaselineRates) {
+  // Table III generation rates.
+  EXPECT_EQ(PlatformProfile::macos().generation_rate, 4503);
+  EXPECT_EQ(PlatformProfile::ubuntu().generation_rate, 4007);
+  EXPECT_EQ(PlatformProfile::centos().generation_rate, 3894);
+}
+
+TEST(PlatformProfileTest, ComparatorToolsPerPlatform) {
+  EXPECT_EQ(PlatformProfile::macos().other_tool, "FSWatch");
+  EXPECT_EQ(PlatformProfile::ubuntu().other_tool, "inotifywait");
+  EXPECT_EQ(PlatformProfile::centos().other_tool, "inotifywait");
+}
+
+TEST(PlatformProfileTest, FsWatchIsSlowerOnMacos) {
+  // The paper's key local result: FSWatch trails FSMonitor on macOS while
+  // inotifywait marginally leads it on Linux.
+  const auto macos = PlatformProfile::macos();
+  EXPECT_GT(macos.other_event_cost, macos.fsmonitor_event_cost);
+  const auto ubuntu = PlatformProfile::ubuntu();
+  EXPECT_LT(ubuntu.other_event_cost, ubuntu.fsmonitor_event_cost);
+}
+
+TEST(PlatformProfileTest, MemoryIsFractionOfRam) {
+  for (const auto& profile : {PlatformProfile::macos(), PlatformProfile::ubuntu(),
+                              PlatformProfile::centos()}) {
+    // Table IV: 0.01% of machine RAM.
+    EXPECT_NEAR(10000.0 * profile.fsmonitor_rss_bytes / profile.ram_bytes, 1.0, 0.01)
+        << profile.name;
+  }
+}
+
+TEST(PlatformProfileTest, ServiceCostsImplyPaperReportingRates) {
+  // 1/cost must land at the paper's reported events/sec (saturated).
+  const auto macos = PlatformProfile::macos();
+  EXPECT_NEAR(1.0 / common::to_seconds(macos.fsmonitor_event_cost), 4467, 10);
+  EXPECT_NEAR(1.0 / common::to_seconds(macos.other_event_cost), 3004, 10);
+  const auto centos = PlatformProfile::centos();
+  EXPECT_NEAR(1.0 / common::to_seconds(centos.fsmonitor_event_cost), 3875, 10);
+}
+
+}  // namespace
+}  // namespace fsmon::localfs

@@ -1,0 +1,164 @@
+#include "src/localfs/sim_dsi.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::localfs {
+namespace {
+
+using core::EventKind;
+using core::StdEvent;
+
+class SimDsiTest : public ::testing::Test {
+ protected:
+  std::vector<StdEvent> capture_with(core::DsiBase& dsi, const std::function<void()>& ops) {
+    std::vector<StdEvent> events;
+    EXPECT_TRUE(dsi.start([&](StdEvent event) { events.push_back(std::move(event)); }).is_ok());
+    ops();
+    dsi.stop();
+    return events;
+  }
+
+  common::ManualClock clock;
+  MemFs fs;
+};
+
+TEST_F(SimDsiTest, InotifyDsiStandardizesBasicOps) {
+  SimInotifyDsi dsi(fs, clock);
+  auto events = capture_with(dsi, [&] {
+    fs.create("/hello.txt");
+    fs.write("/hello.txt");
+    fs.remove("/hello.txt");
+  });
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kCreate);
+  EXPECT_EQ(events[1].kind, EventKind::kModify);
+  EXPECT_EQ(events[2].kind, EventKind::kDelete);
+  EXPECT_EQ(events[0].path, "/hello.txt");
+  EXPECT_EQ(events[0].source, "sim-inotify");
+}
+
+TEST_F(SimDsiTest, InotifyDsiRenamePair) {
+  fs.create("/hello.txt");
+  SimInotifyDsi dsi(fs, clock);
+  auto events = capture_with(dsi, [&] { fs.rename("/hello.txt", "/hi.txt"); });
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kMovedFrom);
+  EXPECT_EQ(events[0].path, "/hello.txt");
+  EXPECT_EQ(events[1].kind, EventKind::kMovedTo);
+  EXPECT_EQ(events[1].path, "/hi.txt");
+  EXPECT_EQ(events[0].cookie, events[1].cookie);
+}
+
+TEST_F(SimDsiTest, KqueueDsiRecoversChildNamesViaDiff) {
+  // kqueue only reports NOTE_WRITE on the parent; the DSI must diff the
+  // directory to produce named CREATE/DELETE events.
+  fs.mkdir("/dir");
+  SimKqueueDsi dsi(fs, clock);
+  auto events = capture_with(dsi, [&] {
+    fs.create("/dir/a.txt");
+    fs.remove("/dir/a.txt");
+  });
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kCreate);
+  EXPECT_EQ(events[0].path, "/dir/a.txt");
+  EXPECT_EQ(events[1].kind, EventKind::kDelete);
+  EXPECT_EQ(events[1].path, "/dir/a.txt");
+}
+
+TEST_F(SimDsiTest, KqueueDsiModifyOnFileVnode) {
+  fs.create("/f");
+  SimKqueueDsi dsi(fs, clock);
+  auto events = capture_with(dsi, [&] { fs.write("/f"); });
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kModify);
+}
+
+TEST_F(SimDsiTest, KqueueDsiRename) {
+  fs.create("/a");
+  SimKqueueDsi dsi(fs, clock);
+  auto events = capture_with(dsi, [&] { fs.rename("/a", "/b"); });
+  // NOTE_RENAME -> MOVED_FROM/MOVED_TO; parent NOTE_WRITEs produce no
+  // duplicate create/delete because snapshots were refreshed.
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kMovedFrom);
+  EXPECT_EQ(events[1].kind, EventKind::kMovedTo);
+}
+
+TEST_F(SimDsiTest, FsEventsDsiStandardizes) {
+  SimFsEventsDsi dsi(fs, clock);
+  auto events = capture_with(dsi, [&] {
+    fs.create("/f");
+    fs.write("/f");
+    fs.remove("/f");
+  });
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kCreate);
+  EXPECT_EQ(events[1].kind, EventKind::kModify);
+  EXPECT_EQ(events[2].kind, EventKind::kDelete);
+  EXPECT_EQ(events[0].source, "sim-fsevents");
+}
+
+TEST_F(SimDsiTest, FsEventsDsiRenamePairsAdjacentRecords) {
+  fs.create("/a");
+  SimFsEventsDsi dsi(fs, clock);
+  auto events = capture_with(dsi, [&] { fs.rename("/a", "/b"); });
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kMovedFrom);
+  EXPECT_EQ(events[0].path, "/a");
+  EXPECT_EQ(events[1].kind, EventKind::kMovedTo);
+  EXPECT_EQ(events[1].path, "/b");
+  EXPECT_EQ(events[0].cookie, events[1].cookie);
+}
+
+TEST_F(SimDsiTest, FswDsiStandardizes) {
+  SimFswDsi dsi(fs, clock);
+  auto events = capture_with(dsi, [&] {
+    fs.create("/f");
+    fs.chmod("/f", 0600);
+    fs.remove("/f");
+  });
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kCreate);
+  EXPECT_EQ(events[1].kind, EventKind::kModify);  // FSW folds attrib into Changed
+  EXPECT_EQ(events[2].kind, EventKind::kDelete);
+  EXPECT_EQ(events[0].source, "sim-filesystemwatcher");
+}
+
+TEST_F(SimDsiTest, StopSilencesEvents) {
+  SimInotifyDsi dsi(fs, clock);
+  std::vector<StdEvent> events;
+  dsi.start([&](StdEvent event) { events.push_back(std::move(event)); });
+  fs.create("/a");
+  dsi.stop();
+  fs.create("/b");
+  EXPECT_EQ(events.size(), 1u);
+  // Restart resumes delivery without duplicating the listener.
+  dsi.start([&](StdEvent event) { events.push_back(std::move(event)); });
+  fs.create("/c");
+  dsi.stop();
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST_F(SimDsiTest, RegistryBindsBackend) {
+  core::DsiRegistry registry;
+  register_sim_dsis(registry, fs, clock);
+  for (const char* scheme :
+       {"sim-inotify", "sim-kqueue", "sim-fsevents", "sim-filesystemwatcher"}) {
+    core::StorageDescriptor descriptor;
+    descriptor.scheme = scheme;
+    auto dsi = registry.create(descriptor);
+    ASSERT_TRUE(dsi.is_ok()) << scheme;
+    EXPECT_EQ(dsi.value()->name(), scheme);
+  }
+}
+
+TEST_F(SimDsiTest, TimestampsComeFromInjectedClock) {
+  clock.advance(std::chrono::seconds(42));
+  SimInotifyDsi dsi(fs, clock);
+  auto events = capture_with(dsi, [&] { fs.create("/f"); });
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].timestamp.time_since_epoch(), std::chrono::seconds(42));
+}
+
+}  // namespace
+}  // namespace fsmon::localfs

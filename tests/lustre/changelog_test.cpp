@@ -1,0 +1,122 @@
+#include "src/lustre/changelog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::lustre {
+namespace {
+
+ChangelogRecord make_record(ChangelogType type, const std::string& name) {
+  ChangelogRecord record;
+  record.type = type;
+  record.target = Fid{0x300005716ull, 0x626c, 0};
+  record.parent = Fid{0x300005716ull, 0xe7, 0};
+  record.name = name;
+  return record;
+}
+
+TEST(ChangelogTypeTest, TagsMatchLfsOutput) {
+  // Paper Table I: "01CREAT", "17MTIME", "08RENME", "02MKDIR", "06UNLNK".
+  EXPECT_EQ(type_tag(ChangelogType::kCreat), "01CREAT");
+  EXPECT_EQ(type_tag(ChangelogType::kMtime), "17MTIME");
+  EXPECT_EQ(type_tag(ChangelogType::kRenme), "08RENME");
+  EXPECT_EQ(type_tag(ChangelogType::kMkdir), "02MKDIR");
+  EXPECT_EQ(type_tag(ChangelogType::kUnlnk), "06UNLNK");
+}
+
+TEST(ChangelogTypeTest, ParseAcceptsBothForms) {
+  EXPECT_EQ(parse_changelog_type("CREAT"), ChangelogType::kCreat);
+  EXPECT_EQ(parse_changelog_type("01CREAT"), ChangelogType::kCreat);
+  EXPECT_EQ(parse_changelog_type("17MTIME"), ChangelogType::kMtime);
+  EXPECT_FALSE(parse_changelog_type("NOPE").has_value());
+}
+
+TEST(ChangelogTypeTest, AllPaperEventTypesExist) {
+  // Section IV-1 lists these record types.
+  for (const char* name : {"CREAT", "MKDIR", "HLINK", "SLINK", "MKNOD", "MTIME", "UNLNK",
+                           "RMDIR", "RENME", "RNMTO", "IOCTL", "TRUNC", "SATTR", "XATTR"}) {
+    EXPECT_TRUE(parse_changelog_type(name).has_value()) << name;
+  }
+}
+
+TEST(ChangelogTest, AppendAssignsIncreasingIndices) {
+  Changelog log;
+  EXPECT_EQ(log.append(make_record(ChangelogType::kCreat, "a")), 1u);
+  EXPECT_EQ(log.append(make_record(ChangelogType::kMtime, "a")), 2u);
+  EXPECT_EQ(log.last_index(), 2u);
+  EXPECT_EQ(log.retained(), 2u);
+}
+
+TEST(ChangelogTest, ReadAfterIndex) {
+  Changelog log;
+  for (int i = 0; i < 5; ++i) log.append(make_record(ChangelogType::kCreat, "f"));
+  auto records = log.read(2, 10);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].index, 3u);
+  EXPECT_EQ(records[2].index, 5u);
+}
+
+TEST(ChangelogTest, ReadHonorsMaxRecords) {
+  Changelog log;
+  for (int i = 0; i < 10; ++i) log.append(make_record(ChangelogType::kCreat, "f"));
+  EXPECT_EQ(log.read(0, 4).size(), 4u);
+  EXPECT_TRUE(log.read(0, 0).empty());
+  EXPECT_TRUE(log.read(10, 4).empty());
+}
+
+TEST(ChangelogTest, ClearUptoPurges) {
+  Changelog log;
+  for (int i = 0; i < 5; ++i) log.append(make_record(ChangelogType::kCreat, "f"));
+  EXPECT_TRUE(log.clear_upto(3).is_ok());
+  EXPECT_EQ(log.retained(), 2u);
+  EXPECT_EQ(log.first_retained_index(), 4u);
+  EXPECT_EQ(log.total_purged(), 3u);
+  // Reads past the purge point still work.
+  EXPECT_EQ(log.read(0, 10).size(), 2u);
+}
+
+TEST(ChangelogTest, ClearBeyondLastFails) {
+  Changelog log;
+  log.append(make_record(ChangelogType::kCreat, "f"));
+  EXPECT_EQ(log.clear_upto(5).code(), common::ErrorCode::kOutOfRange);
+}
+
+TEST(ChangelogTest, IndicesContinueAfterPurge) {
+  Changelog log;
+  log.append(make_record(ChangelogType::kCreat, "f"));
+  log.clear_upto(1);
+  EXPECT_EQ(log.append(make_record(ChangelogType::kUnlnk, "f")), 2u);
+}
+
+TEST(ChangelogRecordTest, LineRenderingContainsPaperFields) {
+  ChangelogRecord record = make_record(ChangelogType::kCreat, "hello.txt");
+  record.index = 11332885;
+  const std::string line = record.to_line();
+  EXPECT_NE(line.find("11332885"), std::string::npos);
+  EXPECT_NE(line.find("01CREAT"), std::string::npos);
+  EXPECT_NE(line.find("t=[0x300005716:0x626c:0x0]"), std::string::npos);
+  EXPECT_NE(line.find("p=[0x300005716:0xe7:0x0]"), std::string::npos);
+  EXPECT_NE(line.find("hello.txt"), std::string::npos);
+}
+
+TEST(ChangelogRecordTest, RenameLineShowsSourceAndTargetFids) {
+  ChangelogRecord record = make_record(ChangelogType::kRenme, "hello.txt");
+  record.rename_new = Fid{0x300005716ull, 0x626b, 0};
+  record.rename_old = Fid{0x300005716ull, 0x626c, 0};
+  record.rename_target_name = "hi.txt";
+  const std::string line = record.to_line();
+  EXPECT_NE(line.find("s=[0x300005716:0x626b:0x0]"), std::string::npos);
+  EXPECT_NE(line.find("sp=[0x300005716:0x626c:0x0]"), std::string::npos);
+  EXPECT_NE(line.find("hi.txt"), std::string::npos);
+}
+
+TEST(ChangelogRecordTest, MtimeLineOmitsParent) {
+  ChangelogRecord record = make_record(ChangelogType::kMtime, "hello.txt");
+  record.parent.reset();
+  record.flags = 0x7;
+  const std::string line = record.to_line();
+  EXPECT_EQ(line.find("p=["), std::string::npos);
+  EXPECT_NE(line.find("0x7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsmon::lustre

@@ -1,0 +1,77 @@
+#include "src/lustre/fid_resolver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::lustre {
+namespace {
+
+class FidResolverTest : public ::testing::Test {
+ protected:
+  FidResolverTest() : fs(LustreFsOptions{}, clock) {}
+  common::ManualClock clock;
+  LustreFs fs;
+};
+
+TEST_F(FidResolverTest, ResolvesExistingFid) {
+  auto created = fs.create("/hello.txt");
+  FidResolver resolver(fs, FidResolverOptions{});
+  auto outcome = resolver.resolve(created->fid);
+  ASSERT_TRUE(outcome.path.is_ok());
+  EXPECT_EQ(outcome.path.value(), "/hello.txt");
+  EXPECT_EQ(resolver.calls(), 1u);
+  EXPECT_EQ(resolver.failures(), 0u);
+}
+
+TEST_F(FidResolverTest, FailsForDeletedFid) {
+  auto created = fs.create("/gone");
+  fs.unlink("/gone");
+  FidResolver resolver(fs, FidResolverOptions{});
+  auto outcome = resolver.resolve(created->fid);
+  EXPECT_EQ(outcome.path.code(), common::ErrorCode::kNotFound);
+  EXPECT_EQ(resolver.failures(), 1u);
+  // A failed call still costs time — that is the paper's UNLNK penalty.
+  EXPECT_GT(outcome.cost.count(), 0);
+}
+
+TEST_F(FidResolverTest, CostGrowsWithDepth) {
+  fs.mkdir("/a");
+  fs.mkdir("/a/b");
+  fs.mkdir("/a/b/c");
+  auto shallow = fs.create("/f");
+  auto deep = fs.create("/a/b/c/f");
+  FidResolverOptions options;
+  options.base_cost = std::chrono::microseconds(10);
+  options.per_component_cost = std::chrono::microseconds(5);
+  FidResolver resolver(fs, options);
+  const auto shallow_cost = resolver.resolve(shallow->fid).cost;
+  const auto deep_cost = resolver.resolve(deep->fid).cost;
+  EXPECT_GT(deep_cost, shallow_cost);
+  EXPECT_EQ(shallow_cost, std::chrono::microseconds(15));   // base + 1 component
+  EXPECT_EQ(deep_cost, std::chrono::microseconds(30));      // base + 4 components
+}
+
+TEST_F(FidResolverTest, SleepsOnInjectedClock) {
+  auto created = fs.create("/f");
+  FidResolverOptions options;
+  options.base_cost = std::chrono::microseconds(100);
+  options.per_component_cost = {};
+  FidResolver resolver(fs, options, &clock);
+  const auto before = clock.now();
+  resolver.resolve(created->fid);
+  EXPECT_EQ(clock.now() - before, std::chrono::microseconds(100));
+}
+
+TEST_F(FidResolverTest, AccumulatesTotalCost) {
+  auto created = fs.create("/f");
+  FidResolverOptions options;
+  options.base_cost = std::chrono::microseconds(10);
+  options.per_component_cost = {};
+  FidResolver resolver(fs, options);
+  resolver.resolve(created->fid);
+  resolver.resolve(created->fid);
+  EXPECT_EQ(resolver.total_cost(), std::chrono::microseconds(20));
+  EXPECT_EQ(resolver.calls(), 2u);
+}
+
+}  // namespace
+}  // namespace fsmon::lustre

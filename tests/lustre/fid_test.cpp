@@ -1,0 +1,86 @@
+#include "src/lustre/fid.hpp"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::lustre {
+namespace {
+
+TEST(FidTest, FormatMatchesPaperTableOne) {
+  // The paper's Table I shows FIDs like [0x300005716:0x626c:0x0].
+  const Fid fid{0x300005716ull, 0x626c, 0x0};
+  EXPECT_EQ(to_string(fid), "[0x300005716:0x626c:0x0]");
+}
+
+TEST(FidTest, ParseBracketedForm) {
+  auto fid = parse_fid("[0x300005716:0x626c:0x0]");
+  ASSERT_TRUE(fid.has_value());
+  EXPECT_EQ(fid->seq, 0x300005716ull);
+  EXPECT_EQ(fid->oid, 0x626cu);
+  EXPECT_EQ(fid->ver, 0u);
+}
+
+TEST(FidTest, ParseUnbracketedForm) {
+  auto fid = parse_fid("0x1:0x2:0x3");
+  ASSERT_TRUE(fid.has_value());
+  EXPECT_EQ(*fid, (Fid{1, 2, 3}));
+}
+
+TEST(FidTest, RoundTrip) {
+  const Fid original{0xDEADBEEFull, 0xCAFE, 0x7};
+  EXPECT_EQ(parse_fid(to_string(original)), original);
+}
+
+TEST(FidTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_fid("").has_value());
+  EXPECT_FALSE(parse_fid("[0x1:0x2]").has_value());
+  EXPECT_FALSE(parse_fid("[0x1:0x2:0x3:0x4]").has_value());
+  EXPECT_FALSE(parse_fid("[1:2:3]").has_value());       // missing 0x
+  EXPECT_FALSE(parse_fid("[0x1:0x2:0x3").has_value());  // unbalanced bracket
+  EXPECT_FALSE(parse_fid("[0xZZ:0x2:0x3]").has_value());
+}
+
+TEST(FidTest, NullFid) {
+  EXPECT_TRUE(kNullFid.is_null());
+  EXPECT_FALSE((Fid{1, 0, 0}).is_null());
+}
+
+TEST(FidAllocatorTest, SequenceBaseMatchesPaper) {
+  FidAllocator allocator(0);
+  const Fid first = allocator.next();
+  EXPECT_EQ(first.seq, 0x300005716ull);
+  EXPECT_EQ(first.oid, 1u);
+}
+
+TEST(FidAllocatorTest, DisjointRangesAcrossMdts) {
+  FidAllocator a(0), b(1);
+  std::unordered_set<Fid> seen;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(a.next()).second);
+    EXPECT_TRUE(seen.insert(b.next()).second);
+  }
+  EXPECT_EQ(a.allocated(), 1000u);
+}
+
+TEST(FidAllocatorTest, MonotonicWithinMdt) {
+  FidAllocator allocator(2);
+  Fid prev = allocator.next();
+  for (int i = 0; i < 100; ++i) {
+    const Fid next = allocator.next();
+    EXPECT_NE(next, prev);
+    EXPECT_GE(next.seq, prev.seq);
+    prev = next;
+  }
+}
+
+TEST(FidTest, HashDistribution) {
+  std::unordered_set<std::size_t> hashes;
+  FidAllocator allocator(0);
+  for (int i = 0; i < 1000; ++i) hashes.insert(std::hash<Fid>{}(allocator.next()));
+  // All distinct FIDs should hash to (nearly) all distinct values.
+  EXPECT_GT(hashes.size(), 990u);
+}
+
+}  // namespace
+}  // namespace fsmon::lustre

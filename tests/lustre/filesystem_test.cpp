@@ -1,0 +1,205 @@
+#include "src/lustre/filesystem.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/clock.hpp"
+
+namespace fsmon::lustre {
+namespace {
+
+class LustreFsTest : public ::testing::Test {
+ protected:
+  LustreFsTest() : fs(LustreFsOptions{}, clock) {}
+
+  const ChangelogRecord& last_record(std::uint32_t mdt = 0) {
+    const auto& log = fs.mds(mdt).mdt().changelog();
+    records_ = log.read(log.last_index() - 1, 1);
+    return records_.back();
+  }
+
+  common::ManualClock clock;
+  LustreFs fs;
+  std::vector<ChangelogRecord> records_;
+};
+
+TEST_F(LustreFsTest, CreateEmitsCreatRecord) {
+  auto result = fs.create("/hello.txt");
+  ASSERT_TRUE(result.is_ok());
+  const auto& record = last_record();
+  EXPECT_EQ(record.type, ChangelogType::kCreat);
+  EXPECT_EQ(record.target, result->fid);
+  EXPECT_EQ(record.name, "hello.txt");
+  ASSERT_TRUE(record.parent.has_value());
+  EXPECT_EQ(*record.parent, fs.ns().root_fid());
+}
+
+TEST_F(LustreFsTest, MkdirEmitsMkdirRecord) {
+  auto result = fs.mkdir("/okdir");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(last_record().type, ChangelogType::kMkdir);
+  EXPECT_EQ(last_record().name, "okdir");
+}
+
+TEST_F(LustreFsTest, ModifyEmitsMtimeWithoutParentFid) {
+  fs.create("/f");
+  auto result = fs.modify("/f", 512);
+  ASSERT_TRUE(result.is_ok());
+  const auto& record = last_record();
+  EXPECT_EQ(record.type, ChangelogType::kMtime);
+  EXPECT_FALSE(record.parent.has_value());  // Table I: MTIME has no p=[]
+  EXPECT_EQ(record.flags, 0x7u);
+}
+
+TEST_F(LustreFsTest, RenameAssignsNewFidAndRecordsOldNew) {
+  auto created = fs.create("/hello.txt");
+  ASSERT_TRUE(created.is_ok());
+  auto renamed = fs.rename("/hello.txt", "/hi.txt");
+  ASSERT_TRUE(renamed.is_ok());
+  const auto& record = last_record();
+  EXPECT_EQ(record.type, ChangelogType::kRenme);
+  ASSERT_TRUE(record.rename_old.has_value());
+  ASSERT_TRUE(record.rename_new.has_value());
+  // sp= is the original FID, s= is the new one (paper Table I semantics).
+  EXPECT_EQ(*record.rename_old, created->fid);
+  EXPECT_EQ(*record.rename_new, renamed->fid);
+  EXPECT_NE(*record.rename_old, *record.rename_new);
+  EXPECT_EQ(record.name, "hello.txt");
+  EXPECT_EQ(record.rename_target_name, "hi.txt");
+  // The namespace now resolves the new FID.
+  EXPECT_EQ(fs.lookup("/hi.txt").value(), renamed->fid);
+  EXPECT_EQ(fs.fid2path(renamed->fid).value(), "/hi.txt");
+  EXPECT_EQ(fs.fid2path(created->fid).code(), common::ErrorCode::kNotFound);
+}
+
+TEST_F(LustreFsTest, UnlinkEmitsUnlnkAndDropsFid) {
+  auto created = fs.create("/f");
+  fs.unlink("/f");
+  EXPECT_EQ(last_record().type, ChangelogType::kUnlnk);
+  EXPECT_EQ(fs.fid2path(created->fid).code(), common::ErrorCode::kNotFound);
+}
+
+TEST_F(LustreFsTest, TableOneScriptSequence) {
+  // The exact script from the paper's Table I: create, modify, rename,
+  // mkdir, delete — verify record type sequence.
+  fs.create("/hello.txt");
+  fs.modify("/hello.txt", 10);
+  fs.rename("/hello.txt", "/hi.txt");
+  fs.mkdir("/okdir");
+  fs.unlink("/hi.txt");
+  auto records = fs.mds(0).mdt().changelog().read(0, 100);
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(records[0].type, ChangelogType::kCreat);
+  EXPECT_EQ(records[1].type, ChangelogType::kMtime);
+  EXPECT_EQ(records[2].type, ChangelogType::kRenme);
+  EXPECT_EQ(records[3].type, ChangelogType::kMkdir);
+  EXPECT_EQ(records[4].type, ChangelogType::kUnlnk);
+  // The UNLNK's target is the rename's s= FID, as in Table I.
+  EXPECT_EQ(records[4].target, *records[2].rename_new);
+}
+
+TEST_F(LustreFsTest, HardAndSoftLinksEmitRecords) {
+  fs.create("/orig");
+  fs.hardlink("/orig", "/hl");
+  EXPECT_EQ(last_record().type, ChangelogType::kHlink);
+  fs.softlink("/orig", "/sl");
+  EXPECT_EQ(last_record().type, ChangelogType::kSlink);
+  fs.mknod("/dev0");
+  EXPECT_EQ(last_record().type, ChangelogType::kMknod);
+}
+
+TEST_F(LustreFsTest, AttrXattrTruncIoctlRecords) {
+  fs.create("/f");
+  fs.setattr("/f", 0600);
+  EXPECT_EQ(last_record().type, ChangelogType::kSattr);
+  fs.setxattr("/f");
+  EXPECT_EQ(last_record().type, ChangelogType::kXattr);
+  fs.truncate("/f", 0);
+  EXPECT_EQ(last_record().type, ChangelogType::kTrunc);
+  fs.ioctl("/f");
+  EXPECT_EQ(last_record().type, ChangelogType::kIoctl);
+  fs.close("/f");
+  EXPECT_EQ(last_record().type, ChangelogType::kClose);
+}
+
+TEST_F(LustreFsTest, RecordsCarryClockTimestamps) {
+  clock.advance(std::chrono::seconds(100));
+  fs.create("/f");
+  EXPECT_EQ(last_record().timestamp.time_since_epoch(), std::chrono::seconds(100));
+}
+
+TEST_F(LustreFsTest, ErrorsPropagate) {
+  EXPECT_EQ(fs.create("/no/such/dir/f").code(), common::ErrorCode::kNotFound);
+  EXPECT_EQ(fs.unlink("/missing").code(), common::ErrorCode::kNotFound);
+  EXPECT_EQ(fs.create("/").code(), common::ErrorCode::kInvalid);
+  fs.create("/dup");
+  EXPECT_EQ(fs.create("/dup").code(), common::ErrorCode::kAlreadyExists);
+}
+
+TEST_F(LustreFsTest, OstAccountingFollowsFileLifecycle) {
+  fs.create("/data");
+  fs.modify("/data", 1 << 20);
+  EXPECT_EQ(fs.osts().total_used_bytes(), 1u << 20);
+  fs.unlink("/data");
+  EXPECT_EQ(fs.osts().total_used_bytes(), 0u);
+}
+
+class DneTest : public ::testing::Test {
+ protected:
+  DneTest() : fs(make_options(), clock) {}
+  static LustreFsOptions make_options() {
+    LustreFsOptions options;
+    options.mdt_count = 4;
+    return options;
+  }
+  common::ManualClock clock;
+  LustreFs fs;
+};
+
+TEST_F(DneTest, DirectoriesSpreadAcrossMdts) {
+  std::set<std::uint32_t> used;
+  for (int i = 0; i < 64; ++i) {
+    auto result = fs.mkdir("/dir" + std::to_string(i));
+    ASSERT_TRUE(result.is_ok());
+    used.insert(result->mdt_index);
+  }
+  // Hash placement should reach every MDT with 64 directories.
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST_F(DneTest, FilesInheritDirectoryMdt) {
+  auto dir = fs.mkdir("/d");
+  ASSERT_TRUE(dir.is_ok());
+  auto file = fs.create("/d/f");
+  ASSERT_TRUE(file.is_ok());
+  EXPECT_EQ(file->mdt_index, dir->mdt_index);
+}
+
+TEST_F(DneTest, RecordsLandOnOwningMdtChangelog) {
+  auto dir = fs.mkdir("/d");
+  auto file = fs.create("/d/f");
+  const auto& log = fs.mds(file->mdt_index).mdt().changelog();
+  bool found = false;
+  for (const auto& record : log.read(0, 100)) {
+    if (record.type == ChangelogType::kCreat && record.name == "f") found = true;
+  }
+  EXPECT_TRUE(found);
+  (void)dir;
+}
+
+TEST_F(DneTest, Fid2PathWorksAcrossMdts) {
+  fs.mkdir("/a");
+  fs.mkdir("/a/b");
+  auto f = fs.create("/a/b/c");
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_EQ(fs.fid2path(f->fid).value(), "/a/b/c");
+}
+
+TEST_F(DneTest, MgsKnowsAllMdts) {
+  EXPECT_EQ(fs.mgs().services_of_kind("mds").size(), 4u);
+  EXPECT_EQ(fs.mgs().get_param("mdt.count"), "4");
+}
+
+}  // namespace
+}  // namespace fsmon::lustre

@@ -1,0 +1,99 @@
+#include "src/lustre/mdt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::lustre {
+namespace {
+
+ChangelogRecord record_of(ChangelogType type) {
+  ChangelogRecord record;
+  record.type = type;
+  record.target = Fid{1, 1, 0};
+  record.name = "f";
+  return record;
+}
+
+TEST(MdsTest, RegisterReturnsSequentialUserIds) {
+  Mds mds(0);
+  EXPECT_EQ(mds.register_changelog_user(), "cl1");
+  EXPECT_EQ(mds.register_changelog_user(), "cl2");
+  EXPECT_EQ(mds.changelog_user_count(), 2u);
+}
+
+TEST(MdsTest, NewUserStartsAtLogHead) {
+  Mds mds(0);
+  mds.mdt().changelog().append(record_of(ChangelogType::kCreat));
+  const auto user = mds.register_changelog_user();
+  // Records appended before registration are not delivered.
+  EXPECT_TRUE(mds.changelog_read(user, 10).value().empty());
+  mds.mdt().changelog().append(record_of(ChangelogType::kMtime));
+  EXPECT_EQ(mds.changelog_read(user, 10).value().size(), 1u);
+}
+
+TEST(MdsTest, ReadUnregisteredUserFails) {
+  Mds mds(0);
+  EXPECT_EQ(mds.changelog_read("cl9", 10).code(), common::ErrorCode::kNotFound);
+  EXPECT_EQ(mds.changelog_clear("cl9", 1).code(), common::ErrorCode::kNotFound);
+}
+
+TEST(MdsTest, ClearAdvancesUserPointer) {
+  Mds mds(0);
+  const auto user = mds.register_changelog_user();
+  for (int i = 0; i < 5; ++i) mds.mdt().changelog().append(record_of(ChangelogType::kCreat));
+  auto records = mds.changelog_read(user, 10);
+  ASSERT_EQ(records.value().size(), 5u);
+  EXPECT_TRUE(mds.changelog_clear(user, 3).is_ok());
+  records = mds.changelog_read(user, 10);
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0].index, 4u);
+}
+
+TEST(MdsTest, PurgeWaitsForSlowestUser) {
+  Mds mds(0);
+  const auto fast = mds.register_changelog_user();
+  const auto slow = mds.register_changelog_user();
+  for (int i = 0; i < 4; ++i) mds.mdt().changelog().append(record_of(ChangelogType::kCreat));
+  mds.changelog_clear(fast, 4);
+  // Slow user has cleared nothing; all records must be retained.
+  EXPECT_EQ(mds.mdt().changelog().retained(), 4u);
+  mds.changelog_clear(slow, 2);
+  EXPECT_EQ(mds.mdt().changelog().retained(), 2u);
+  // Slow user still sees records 3-4.
+  EXPECT_EQ(mds.changelog_read(slow, 10).value().size(), 2u);
+}
+
+TEST(MdsTest, ClearBeyondHeadRejected) {
+  Mds mds(0);
+  const auto user = mds.register_changelog_user();
+  mds.mdt().changelog().append(record_of(ChangelogType::kCreat));
+  EXPECT_EQ(mds.changelog_clear(user, 2).code(), common::ErrorCode::kOutOfRange);
+}
+
+TEST(MdsTest, DeregisterRemovesUser) {
+  Mds mds(0);
+  const auto user = mds.register_changelog_user();
+  EXPECT_TRUE(mds.deregister_changelog_user(user).is_ok());
+  EXPECT_EQ(mds.deregister_changelog_user(user).code(), common::ErrorCode::kNotFound);
+  EXPECT_EQ(mds.changelog_user_count(), 0u);
+}
+
+TEST(MdsTest, ClearIsMonotonic) {
+  Mds mds(0);
+  const auto user = mds.register_changelog_user();
+  for (int i = 0; i < 5; ++i) mds.mdt().changelog().append(record_of(ChangelogType::kCreat));
+  mds.changelog_clear(user, 4);
+  mds.changelog_clear(user, 2);  // going backwards must not rewind
+  EXPECT_EQ(mds.changelog_read(user, 10).value().size(), 1u);
+}
+
+TEST(MdtTest, NamesAndAllocator) {
+  Mdt mdt(3);
+  EXPECT_EQ(mdt.name(), "MDT3");
+  Mds mds(3);
+  EXPECT_EQ(mds.name(), "MDS3");
+  const Fid f = mdt.allocator().next();
+  EXPECT_FALSE(f.is_null());
+}
+
+}  // namespace
+}  // namespace fsmon::lustre

@@ -1,0 +1,193 @@
+#include "src/lustre/namespace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::lustre {
+namespace {
+
+class NamespaceTest : public ::testing::Test {
+ protected:
+  Fid fid(std::uint32_t oid) { return Fid{0x1000, oid, 0}; }
+
+  Fid must_create(const Fid& parent, const std::string& name, NodeType type,
+                  std::uint32_t oid) {
+    const Fid f = fid(oid);
+    EXPECT_TRUE(ns.create(parent, name, type, f, 0).is_ok());
+    return f;
+  }
+
+  Namespace ns;
+};
+
+TEST_F(NamespaceTest, RootExists) {
+  EXPECT_TRUE(ns.exists(ns.root_fid()));
+  EXPECT_EQ(ns.path_of(ns.root_fid()).value(), "/");
+  EXPECT_EQ(ns.lookup("/").value(), ns.root_fid());
+}
+
+TEST_F(NamespaceTest, CreateAndLookupFile) {
+  const Fid f = must_create(ns.root_fid(), "hello.txt", NodeType::kFile, 1);
+  EXPECT_EQ(ns.lookup("/hello.txt").value(), f);
+  EXPECT_EQ(ns.path_of(f).value(), "/hello.txt");
+  EXPECT_EQ((*ns.stat(f))->type, NodeType::kFile);
+}
+
+TEST_F(NamespaceTest, NestedPaths) {
+  const Fid d1 = must_create(ns.root_fid(), "a", NodeType::kDirectory, 1);
+  const Fid d2 = must_create(d1, "b", NodeType::kDirectory, 2);
+  const Fid f = must_create(d2, "c.txt", NodeType::kFile, 3);
+  EXPECT_EQ(ns.path_of(f).value(), "/a/b/c.txt");
+  EXPECT_EQ(ns.lookup("/a/b/c.txt").value(), f);
+}
+
+TEST_F(NamespaceTest, DuplicateNameRejected) {
+  must_create(ns.root_fid(), "x", NodeType::kFile, 1);
+  EXPECT_EQ(ns.create(ns.root_fid(), "x", NodeType::kFile, fid(2), 0).code(),
+            common::ErrorCode::kAlreadyExists);
+}
+
+TEST_F(NamespaceTest, FidReuseRejected) {
+  must_create(ns.root_fid(), "x", NodeType::kFile, 1);
+  EXPECT_EQ(ns.create(ns.root_fid(), "y", NodeType::kFile, fid(1), 0).code(),
+            common::ErrorCode::kAlreadyExists);
+}
+
+TEST_F(NamespaceTest, BadNamesRejected) {
+  EXPECT_EQ(ns.create(ns.root_fid(), "", NodeType::kFile, fid(1), 0).code(),
+            common::ErrorCode::kInvalid);
+  EXPECT_EQ(ns.create(ns.root_fid(), "a/b", NodeType::kFile, fid(2), 0).code(),
+            common::ErrorCode::kInvalid);
+}
+
+TEST_F(NamespaceTest, CreateUnderFileFails) {
+  const Fid f = must_create(ns.root_fid(), "file", NodeType::kFile, 1);
+  EXPECT_EQ(ns.create(f, "child", NodeType::kFile, fid(2), 0).code(),
+            common::ErrorCode::kNotADirectory);
+}
+
+TEST_F(NamespaceTest, UnlinkRemovesInode) {
+  const Fid f = must_create(ns.root_fid(), "gone.txt", NodeType::kFile, 1);
+  EXPECT_TRUE(ns.unlink(ns.root_fid(), "gone.txt").is_ok());
+  EXPECT_FALSE(ns.exists(f));
+  EXPECT_EQ(ns.path_of(f).code(), common::ErrorCode::kNotFound);
+  EXPECT_EQ(ns.lookup("/gone.txt").code(), common::ErrorCode::kNotFound);
+}
+
+TEST_F(NamespaceTest, UnlinkDirectoryFails) {
+  must_create(ns.root_fid(), "d", NodeType::kDirectory, 1);
+  EXPECT_EQ(ns.unlink(ns.root_fid(), "d").code(), common::ErrorCode::kIsADirectory);
+}
+
+TEST_F(NamespaceTest, RmdirRequiresEmpty) {
+  const Fid d = must_create(ns.root_fid(), "d", NodeType::kDirectory, 1);
+  must_create(d, "f", NodeType::kFile, 2);
+  EXPECT_EQ(ns.rmdir(ns.root_fid(), "d").code(), common::ErrorCode::kNotEmpty);
+  EXPECT_TRUE(ns.unlink(d, "f").is_ok());
+  EXPECT_TRUE(ns.rmdir(ns.root_fid(), "d").is_ok());
+  EXPECT_FALSE(ns.exists(d));
+}
+
+TEST_F(NamespaceTest, HardlinkSharesInode) {
+  const Fid f = must_create(ns.root_fid(), "orig", NodeType::kFile, 1);
+  EXPECT_TRUE(ns.hardlink(f, ns.root_fid(), "link").is_ok());
+  EXPECT_EQ(ns.lookup("/link").value(), f);
+  EXPECT_EQ((*ns.stat(f))->nlink(), 2u);
+  // Removing one link keeps the inode.
+  EXPECT_TRUE(ns.unlink(ns.root_fid(), "orig").is_ok());
+  EXPECT_TRUE(ns.exists(f));
+  // path_of now resolves via the surviving link.
+  EXPECT_EQ(ns.path_of(f).value(), "/link");
+  EXPECT_TRUE(ns.unlink(ns.root_fid(), "link").is_ok());
+  EXPECT_FALSE(ns.exists(f));
+}
+
+TEST_F(NamespaceTest, HardlinkToDirectoryFails) {
+  const Fid d = must_create(ns.root_fid(), "d", NodeType::kDirectory, 1);
+  EXPECT_EQ(ns.hardlink(d, ns.root_fid(), "dlink").code(),
+            common::ErrorCode::kIsADirectory);
+}
+
+TEST_F(NamespaceTest, SymlinkStoresTarget) {
+  EXPECT_TRUE(ns.symlink(ns.root_fid(), "s", "/some/target", fid(1), 0).is_ok());
+  auto inode = ns.stat(ns.lookup("/s").value());
+  EXPECT_EQ((*inode)->type, NodeType::kSymlink);
+  EXPECT_EQ((*inode)->symlink_target, "/some/target");
+}
+
+TEST_F(NamespaceTest, RenameWithinDirectory) {
+  const Fid f = must_create(ns.root_fid(), "hello.txt", NodeType::kFile, 1);
+  auto replaced = ns.rename(ns.root_fid(), "hello.txt", ns.root_fid(), "hi.txt");
+  ASSERT_TRUE(replaced.is_ok());
+  EXPECT_TRUE(replaced->is_null());
+  EXPECT_EQ(ns.lookup("/hi.txt").value(), f);
+  EXPECT_EQ(ns.path_of(f).value(), "/hi.txt");
+  EXPECT_EQ(ns.lookup("/hello.txt").code(), common::ErrorCode::kNotFound);
+}
+
+TEST_F(NamespaceTest, RenameAcrossDirectories) {
+  const Fid d = must_create(ns.root_fid(), "okdir", NodeType::kDirectory, 1);
+  const Fid f = must_create(ns.root_fid(), "hi.txt", NodeType::kFile, 2);
+  ASSERT_TRUE(ns.rename(ns.root_fid(), "hi.txt", d, "hi.txt").is_ok());
+  EXPECT_EQ(ns.path_of(f).value(), "/okdir/hi.txt");
+}
+
+TEST_F(NamespaceTest, RenameReplacesExistingFile) {
+  must_create(ns.root_fid(), "src", NodeType::kFile, 1);
+  const Fid victim = must_create(ns.root_fid(), "dst", NodeType::kFile, 2);
+  auto replaced = ns.rename(ns.root_fid(), "src", ns.root_fid(), "dst");
+  ASSERT_TRUE(replaced.is_ok());
+  EXPECT_EQ(*replaced, victim);
+  EXPECT_FALSE(ns.exists(victim));
+}
+
+TEST_F(NamespaceTest, RenameOntoNonEmptyDirFails) {
+  must_create(ns.root_fid(), "src", NodeType::kDirectory, 1);
+  const Fid dst = must_create(ns.root_fid(), "dst", NodeType::kDirectory, 2);
+  must_create(dst, "child", NodeType::kFile, 3);
+  EXPECT_EQ(ns.rename(ns.root_fid(), "src", ns.root_fid(), "dst").code(),
+            common::ErrorCode::kNotEmpty);
+}
+
+TEST_F(NamespaceTest, RebindFidRekeysInode) {
+  const Fid old_fid = must_create(ns.root_fid(), "f", NodeType::kFile, 1);
+  const Fid new_fid = fid(99);
+  EXPECT_TRUE(ns.rebind_fid(old_fid, new_fid).is_ok());
+  EXPECT_FALSE(ns.exists(old_fid));
+  EXPECT_EQ(ns.lookup("/f").value(), new_fid);
+  EXPECT_EQ(ns.path_of(new_fid).value(), "/f");
+}
+
+TEST_F(NamespaceTest, RebindDirectoryFails) {
+  const Fid d = must_create(ns.root_fid(), "d", NodeType::kDirectory, 1);
+  EXPECT_EQ(ns.rebind_fid(d, fid(99)).code(), common::ErrorCode::kIsADirectory);
+}
+
+TEST_F(NamespaceTest, WriteAndTruncateAdjustSize) {
+  const Fid f = must_create(ns.root_fid(), "f", NodeType::kFile, 1);
+  EXPECT_TRUE(ns.write(f, 1000).is_ok());
+  EXPECT_EQ((*ns.stat(f))->size, 1000u);
+  EXPECT_TRUE(ns.truncate(f, 100).is_ok());
+  EXPECT_EQ((*ns.stat(f))->size, 100u);
+  EXPECT_TRUE(ns.truncate(f, 5000).is_ok());  // truncate never grows
+  EXPECT_EQ((*ns.stat(f))->size, 100u);
+}
+
+TEST_F(NamespaceTest, ListDirectory) {
+  const Fid d = must_create(ns.root_fid(), "d", NodeType::kDirectory, 1);
+  must_create(d, "a", NodeType::kFile, 2);
+  must_create(d, "b", NodeType::kFile, 3);
+  auto names = ns.list(d);
+  ASSERT_TRUE(names.is_ok());
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(NamespaceTest, InodeCountTracksLifecycle) {
+  EXPECT_EQ(ns.inode_count(), 1u);  // root
+  must_create(ns.root_fid(), "f", NodeType::kFile, 1);
+  EXPECT_EQ(ns.inode_count(), 2u);
+  ns.unlink(ns.root_fid(), "f");
+  EXPECT_EQ(ns.inode_count(), 1u);
+}
+
+}  // namespace
+}  // namespace fsmon::lustre

@@ -1,0 +1,67 @@
+#include "src/lustre/ost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::lustre {
+namespace {
+
+TEST(OstPoolTest, GeometryAndCapacity) {
+  OstPool pool(10, 5, 10ull << 30);  // the Thor testbed: 10 OSS x 5 OST x 10 GB
+  EXPECT_EQ(pool.ost_count(), 50u);
+  EXPECT_EQ(pool.oss_count(), 10u);
+  EXPECT_EQ(pool.total_capacity_bytes(), 500ull << 30);
+}
+
+TEST(OstPoolTest, RoundRobinAllocation) {
+  OstPool pool(1, 4, 1 << 20);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pool.allocate_objects(Fid{1, i + 1, 0}, 1).is_ok());
+  }
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    auto stripes = pool.stripes_of(Fid{1, i + 1, 0});
+    ASSERT_TRUE(stripes.is_ok());
+    EXPECT_EQ(stripes.value()[0], i);
+  }
+}
+
+TEST(OstPoolTest, StripedWriteSpreadsBytes) {
+  OstPool pool(1, 4, 1 << 30);
+  const Fid f{1, 1, 0};
+  ASSERT_TRUE(pool.allocate_objects(f, 4).is_ok());
+  ASSERT_TRUE(pool.write(f, 400).is_ok());
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(pool.ost(i).used_bytes, 100u);
+}
+
+TEST(OstPoolTest, UnevenWriteDistributesRemainder) {
+  OstPool pool(1, 4, 1 << 30);
+  const Fid f{1, 1, 0};
+  pool.allocate_objects(f, 4);
+  pool.write(f, 10);  // 3,3,2,2
+  EXPECT_EQ(pool.total_used_bytes(), 10u);
+}
+
+TEST(OstPoolTest, ReleaseReturnsSpace) {
+  OstPool pool(1, 2, 1 << 30);
+  const Fid f{1, 1, 0};
+  pool.allocate_objects(f, 2);
+  pool.write(f, 1000);
+  EXPECT_TRUE(pool.release(f).is_ok());
+  EXPECT_EQ(pool.total_used_bytes(), 0u);
+  EXPECT_EQ(pool.ost(0).object_count, 0u);
+  EXPECT_EQ(pool.stripes_of(f).code(), common::ErrorCode::kNotFound);
+}
+
+TEST(OstPoolTest, ErrorsOnBadArguments) {
+  OstPool pool(1, 2, 1 << 20);
+  const Fid f{1, 1, 0};
+  EXPECT_EQ(pool.allocate_objects(f, 0).code(), common::ErrorCode::kInvalid);
+  EXPECT_EQ(pool.allocate_objects(f, 3).code(), common::ErrorCode::kInvalid);
+  pool.allocate_objects(f, 1);
+  EXPECT_EQ(pool.allocate_objects(f, 1).code(), common::ErrorCode::kAlreadyExists);
+  EXPECT_EQ(pool.write(Fid{9, 9, 9}, 1).code(), common::ErrorCode::kNotFound);
+  EXPECT_EQ(pool.release(Fid{9, 9, 9}).code(), common::ErrorCode::kNotFound);
+  EXPECT_THROW(OstPool(0, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsmon::lustre

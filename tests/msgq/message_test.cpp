@@ -1,0 +1,84 @@
+#include "src/msgq/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.hpp"
+
+namespace fsmon::msgq {
+namespace {
+
+TEST(TopicMatchTest, PrefixSemantics) {
+  EXPECT_TRUE(topic_matches("", "anything"));
+  EXPECT_TRUE(topic_matches("fsmon/", "fsmon/mdt0"));
+  EXPECT_FALSE(topic_matches("fsmon/mdt1", "fsmon/mdt0"));
+  EXPECT_TRUE(topic_matches("fsmon/mdt0", "fsmon/mdt0"));
+  EXPECT_FALSE(topic_matches("longer-than-topic", "short"));
+}
+
+TEST(FrameTest, EncodeDecodeRoundTrip) {
+  const Message message{"fsmon/mdt0", "payload bytes"};
+  const auto frame = encode_frame(message);
+  auto decoded = decode_frame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->first, message);
+  EXPECT_EQ(decoded->second, frame.size());
+}
+
+TEST(FrameTest, EmptyTopicAndPayload) {
+  const Message message{"", ""};
+  const auto frame = encode_frame(message);
+  EXPECT_EQ(frame.size(), 12u);
+  auto decoded = decode_frame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->first, message);
+}
+
+TEST(FrameTest, PartialFrameReturnsNullopt) {
+  const auto frame = encode_frame(Message{"topic", "payload"});
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_FALSE(decode_frame(std::span(frame.data(), len)).has_value()) << len;
+  }
+}
+
+TEST(FrameTest, CorruptPayloadThrows) {
+  auto frame = encode_frame(Message{"topic", "payload"});
+  frame[6] ^= std::byte{0xFF};  // flip a topic byte
+  EXPECT_THROW(decode_frame(frame), std::runtime_error);
+}
+
+TEST(FrameTest, CorruptCrcThrows) {
+  auto frame = encode_frame(Message{"t", "p"});
+  frame.back() ^= std::byte{0x01};
+  EXPECT_THROW(decode_frame(frame), std::runtime_error);
+}
+
+TEST(FrameTest, BackToBackFramesDecodeSequentially) {
+  auto a = encode_frame(Message{"t1", "p1"});
+  const auto b = encode_frame(Message{"t2", "payload-two"});
+  a.insert(a.end(), b.begin(), b.end());
+  auto first = decode_frame(a);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->first.topic, "t1");
+  auto second = decode_frame(std::span(a).subspan(first->second));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->first.payload, "payload-two");
+}
+
+TEST(FrameTest, FuzzRoundTripRandomPayloads) {
+  common::Rng rng(1234);
+  for (int i = 0; i < 200; ++i) {
+    Message message;
+    const auto topic_len = rng.next_below(32);
+    const auto payload_len = rng.next_below(512);
+    for (std::uint64_t k = 0; k < topic_len; ++k)
+      message.topic.push_back(static_cast<char>(rng.next_below(256)));
+    for (std::uint64_t k = 0; k < payload_len; ++k)
+      message.payload.push_back(static_cast<char>(rng.next_below(256)));
+    auto decoded = decode_frame(encode_frame(message));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->first, message);
+  }
+}
+
+}  // namespace
+}  // namespace fsmon::msgq

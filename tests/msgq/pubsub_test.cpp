@@ -1,0 +1,176 @@
+#include "src/msgq/pubsub.hpp"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::msgq {
+namespace {
+
+TEST(PubSubTest, DeliversToMatchingSubscriber) {
+  Bus bus;
+  auto pub = bus.make_publisher("p");
+  auto sub = bus.make_subscriber("s", 16);
+  sub->subscribe("fsmon/");
+  pub->connect(sub);
+  EXPECT_EQ(pub->publish("fsmon/mdt0", "hello"), 1u);
+  auto message = sub->try_recv();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->payload, "hello");
+}
+
+TEST(PubSubTest, NoFiltersMeansNoDelivery) {
+  Bus bus;
+  auto pub = bus.make_publisher("p");
+  auto sub = bus.make_subscriber("s", 16);
+  pub->connect(sub);
+  EXPECT_EQ(pub->publish("any", "x"), 0u);
+  EXPECT_FALSE(sub->try_recv().has_value());
+}
+
+TEST(PubSubTest, TopicFilterExcludesNonMatching) {
+  Bus bus;
+  auto pub = bus.make_publisher("p");
+  auto sub = bus.make_subscriber("s", 16);
+  sub->subscribe("a/");
+  pub->connect(sub);
+  pub->publish("a/1", "yes");
+  pub->publish("b/1", "no");
+  EXPECT_EQ(sub->pending(), 1u);
+  EXPECT_EQ(sub->try_recv()->payload, "yes");
+}
+
+TEST(PubSubTest, UnsubscribeStopsDelivery) {
+  Bus bus;
+  auto pub = bus.make_publisher("p");
+  auto sub = bus.make_subscriber("s", 16);
+  sub->subscribe("t");
+  pub->connect(sub);
+  pub->publish("t", "1");
+  sub->unsubscribe("t");
+  pub->publish("t", "2");
+  EXPECT_EQ(sub->pending(), 1u);
+}
+
+TEST(PubSubTest, FanOutToMultipleSubscribers) {
+  Bus bus;
+  auto pub = bus.make_publisher("p");
+  auto s1 = bus.make_subscriber("s1", 16);
+  auto s2 = bus.make_subscriber("s2", 16);
+  s1->subscribe("");
+  s2->subscribe("");
+  pub->connect(s1);
+  pub->connect(s2);
+  EXPECT_EQ(pub->publish("t", "x"), 2u);
+  EXPECT_EQ(s1->pending(), 1u);
+  EXPECT_EQ(s2->pending(), 1u);
+}
+
+TEST(PubSubTest, FanInFromMultiplePublishers) {
+  // The aggregator pattern: N collectors -> one inbox.
+  Bus bus;
+  auto inbox = bus.make_subscriber("aggregator", 64);
+  inbox->subscribe("");
+  std::vector<std::shared_ptr<Publisher>> collectors;
+  for (int i = 0; i < 4; ++i) {
+    auto pub = bus.make_publisher("collector" + std::to_string(i));
+    pub->connect(inbox);
+    collectors.push_back(std::move(pub));
+  }
+  for (int i = 0; i < 4; ++i)
+    collectors[static_cast<std::size_t>(i)]->publish("fsmon/mdt" + std::to_string(i), "e");
+  EXPECT_EQ(inbox->pending(), 4u);
+}
+
+TEST(PubSubTest, DropNewestAtHighWaterMark) {
+  Bus bus;
+  auto pub = bus.make_publisher("p");
+  auto sub = bus.make_subscriber("s", 2, common::OverflowPolicy::kDropNewest);
+  sub->subscribe("");
+  pub->connect(sub);
+  EXPECT_EQ(pub->publish("t", "1"), 1u);
+  EXPECT_EQ(pub->publish("t", "2"), 1u);
+  EXPECT_EQ(pub->publish("t", "3"), 0u);  // dropped at HWM
+  EXPECT_EQ(sub->dropped(), 1u);
+}
+
+TEST(PubSubTest, BlockPolicyIsLossless) {
+  Bus bus;
+  auto pub = bus.make_publisher("p");
+  auto sub = bus.make_subscriber("s", 4, common::OverflowPolicy::kBlock);
+  sub->subscribe("");
+  pub->connect(sub);
+  constexpr int kCount = 5000;
+  std::jthread producer([&] {
+    for (int i = 0; i < kCount; ++i) pub->publish("t", std::to_string(i));
+  });
+  int received = 0;
+  while (received < kCount) {
+    if (auto m = sub->recv()) {
+      EXPECT_EQ(m->payload, std::to_string(received));
+      ++received;
+    }
+  }
+  EXPECT_EQ(received, kCount);
+}
+
+TEST(PubSubTest, CloseUnblocksReceiver) {
+  Bus bus;
+  auto sub = bus.make_subscriber("s", 4);
+  sub->subscribe("");
+  std::jthread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    sub->close();
+  });
+  EXPECT_FALSE(sub->recv().has_value());
+}
+
+TEST(PubSubTest, DeadSubscribersArePruned) {
+  Bus bus;
+  auto pub = bus.make_publisher("p");
+  {
+    auto sub = std::make_shared<Subscriber>("ephemeral", 4);
+    sub->subscribe("");
+    pub->connect(sub);
+    EXPECT_EQ(pub->subscriber_count(), 1u);
+  }
+  EXPECT_EQ(pub->subscriber_count(), 0u);
+  EXPECT_EQ(pub->publish("t", "x"), 0u);
+}
+
+TEST(PubSubTest, DisconnectByName) {
+  Bus bus;
+  auto pub = bus.make_publisher("p");
+  auto sub = bus.make_subscriber("s", 4);
+  sub->subscribe("");
+  pub->connect(sub);
+  pub->disconnect("s");
+  EXPECT_EQ(pub->publish("t", "x"), 0u);
+}
+
+TEST(BusTest, ConnectByName) {
+  Bus bus;
+  bus.make_publisher("p");
+  auto sub = bus.make_subscriber("s", 4);
+  sub->subscribe("");
+  EXPECT_TRUE(bus.connect("p", "s"));
+  EXPECT_FALSE(bus.connect("missing", "s"));
+  EXPECT_FALSE(bus.connect("p", "missing"));
+  bus.find_publisher("p")->publish("t", "x");
+  EXPECT_EQ(sub->pending(), 1u);
+}
+
+TEST(PubSubTest, RecvBatchDrains) {
+  Bus bus;
+  auto pub = bus.make_publisher("p");
+  auto sub = bus.make_subscriber("s", 64);
+  sub->subscribe("");
+  pub->connect(sub);
+  for (int i = 0; i < 10; ++i) pub->publish("t", std::to_string(i));
+  auto batch = sub->recv_batch(6);
+  EXPECT_EQ(batch.size(), 6u);
+  EXPECT_EQ(sub->pending(), 4u);
+}
+
+}  // namespace
+}  // namespace fsmon::msgq

@@ -1,0 +1,168 @@
+// Tests for the TCP pub/sub transport (loopback sockets). Skipped when
+// the sandbox forbids socket creation.
+#include "src/msgq/tcp.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::msgq {
+namespace {
+
+bool sockets_available() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+class TcpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!sockets_available()) GTEST_SKIP() << "sockets unavailable in this sandbox";
+    ASSERT_TRUE(publisher.start(0).is_ok());
+    ASSERT_NE(publisher.port(), 0);
+  }
+
+  /// Publish until the subscriber's filter registration has landed
+  /// (registration is asynchronous on the publisher side).
+  void wait_for_delivery(TcpSubscriber& subscriber, const std::string& topic) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (publisher.publish(topic, "ping") > 0) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    FAIL() << "subscription never became active";
+    (void)subscriber;
+  }
+
+  TcpPublisher publisher;
+};
+
+TEST_F(TcpTest, PublishReachesSubscriber) {
+  TcpSubscriber subscriber;
+  ASSERT_TRUE(subscriber.connect("127.0.0.1", publisher.port()).is_ok());
+  ASSERT_TRUE(subscriber.subscribe("fsmon/").is_ok());
+  wait_for_delivery(subscriber, "fsmon/mdt0");
+  publisher.publish("fsmon/mdt0", "event-payload");
+  // Drain the pings, find the payload.
+  for (;;) {
+    auto message = subscriber.recv();
+    ASSERT_TRUE(message.has_value());
+    if (message->payload == "event-payload") {
+      EXPECT_EQ(message->topic, "fsmon/mdt0");
+      break;
+    }
+  }
+}
+
+TEST_F(TcpTest, TopicFilteringAppliesRemotely) {
+  TcpSubscriber subscriber;
+  ASSERT_TRUE(subscriber.connect("127.0.0.1", publisher.port()).is_ok());
+  ASSERT_TRUE(subscriber.subscribe("wanted/").is_ok());
+  wait_for_delivery(subscriber, "wanted/x");
+  EXPECT_EQ(publisher.publish("unwanted/x", "nope"), 0u);
+  publisher.publish("wanted/x", "yes");
+  for (;;) {
+    auto message = subscriber.recv();
+    ASSERT_TRUE(message.has_value());
+    EXPECT_NE(message->payload, "nope");
+    if (message->payload == "yes") break;
+  }
+}
+
+TEST_F(TcpTest, MultipleSubscribersFanOut) {
+  TcpSubscriber a, b;
+  ASSERT_TRUE(a.connect("127.0.0.1", publisher.port()).is_ok());
+  ASSERT_TRUE(b.connect("127.0.0.1", publisher.port()).is_ok());
+  ASSERT_TRUE(a.subscribe("t").is_ok());
+  ASSERT_TRUE(b.subscribe("t").is_ok());
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (publisher.publish("t", "ping") == 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(publisher.publish("t", "final"), 2u);
+  EXPECT_EQ(publisher.connection_count(), 2u);
+}
+
+TEST_F(TcpTest, ManyFramesInOrder) {
+  TcpSubscriber subscriber;
+  ASSERT_TRUE(subscriber.connect("127.0.0.1", publisher.port()).is_ok());
+  ASSERT_TRUE(subscriber.subscribe("seq").is_ok());
+  wait_for_delivery(subscriber, "seq");
+  constexpr int kCount = 2000;
+  for (int i = 0; i < kCount; ++i) publisher.publish("seq", std::to_string(i));
+  int expected = 0;
+  while (expected < kCount) {
+    auto message = subscriber.recv();
+    ASSERT_TRUE(message.has_value());
+    if (message->payload == "ping") continue;
+    EXPECT_EQ(message->payload, std::to_string(expected));
+    ++expected;
+  }
+}
+
+TEST_F(TcpTest, UnsubscribeStopsRemoteDelivery) {
+  TcpSubscriber subscriber;
+  ASSERT_TRUE(subscriber.connect("127.0.0.1", publisher.port()).is_ok());
+  ASSERT_TRUE(subscriber.subscribe("t").is_ok());
+  wait_for_delivery(subscriber, "t");
+  ASSERT_TRUE(subscriber.unsubscribe("t").is_ok());
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (publisher.publish("t", "x") == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(publisher.publish("t", "x"), 0u);
+}
+
+TEST_F(TcpTest, SubscriberDisconnectDetected) {
+  auto subscriber = std::make_unique<TcpSubscriber>();
+  ASSERT_TRUE(subscriber->connect("127.0.0.1", publisher.port()).is_ok());
+  ASSERT_TRUE(subscriber->subscribe("t").is_ok());
+  wait_for_delivery(*subscriber, "t");
+  subscriber.reset();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (publisher.publish("t", "x") == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(publisher.publish("t", "x"), 0u);
+}
+
+TEST_F(TcpTest, LargePayloadRoundTrip) {
+  TcpSubscriber subscriber;
+  ASSERT_TRUE(subscriber.connect("127.0.0.1", publisher.port()).is_ok());
+  ASSERT_TRUE(subscriber.subscribe("big").is_ok());
+  wait_for_delivery(subscriber, "big");
+  std::string payload(512 * 1024, 'x');
+  payload[12345] = 'y';
+  publisher.publish("big", payload);
+  for (;;) {
+    auto message = subscriber.recv();
+    ASSERT_TRUE(message.has_value());
+    if (message->payload.size() == payload.size()) {
+      EXPECT_EQ(message->payload, payload);
+      break;
+    }
+  }
+}
+
+TEST(TcpSubscriberTest, ConnectToNothingFails) {
+  if (!sockets_available()) GTEST_SKIP();
+  TcpSubscriber subscriber;
+  // Port 1 on loopback: connection refused.
+  EXPECT_FALSE(subscriber.connect("127.0.0.1", 1).is_ok());
+  EXPECT_FALSE(subscriber.subscribe("t").is_ok());
+}
+
+TEST(TcpSubscriberTest, BadAddressRejected) {
+  if (!sockets_available()) GTEST_SKIP();
+  TcpSubscriber subscriber;
+  EXPECT_EQ(subscriber.connect("not-an-ip", 1234).code(), common::ErrorCode::kInvalid);
+}
+
+}  // namespace
+}  // namespace fsmon::msgq

@@ -1,0 +1,105 @@
+// A slow consumer with the DropNewest policy loses events at its
+// high-water mark instead of stalling the pipeline — and recovers the
+// gap from the reliable store (paper Section IV "Consumption").
+#include <filesystem>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "src/scalable/scalable_monitor.hpp"
+
+namespace fsmon::scalable {
+namespace {
+
+using lustre::LustreFs;
+using lustre::LustreFsOptions;
+
+class ConsumerOverflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fsmon_overflow_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  common::RealClock clock;
+};
+
+TEST_F(ConsumerOverflowTest, DropNewestLosesAtHwmAndReplayRecovers) {
+  LustreFs fs(LustreFsOptions{}, clock);
+  ScalableMonitorOptions options;
+  eventstore::EventStoreOptions store;
+  store.directory = dir_;
+  options.aggregator.store = store;
+  ScalableMonitor monitor(fs, options, clock);
+
+  // A consumer with a tiny inbox that is never started: its queue fills
+  // and (DropNewest) sheds everything past the HWM.
+  ConsumerOptions consumer_options;
+  consumer_options.high_water_mark = 8;
+  consumer_options.overflow_policy = common::OverflowPolicy::kDropNewest;
+  std::vector<common::EventId> seen;
+  auto slow = monitor.make_consumer("slow", consumer_options,
+                                    [&](const core::StdEvent& event) {
+                                      seen.push_back(event.id);
+                                    });
+  // Suppress auto-start by not starting the monitor until after creation:
+  // make_consumer only starts consumers when the monitor runs.
+  ASSERT_TRUE(monitor.start().is_ok());
+
+  constexpr int kEvents = 64;
+  for (int i = 0; i < kEvents; ++i) fs.create("/f" + std::to_string(i));
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (monitor.aggregator().persisted() < kEvents &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(monitor.aggregator().persisted(), static_cast<std::uint64_t>(kEvents));
+  // The un-started consumer shed most of the burst...
+  EXPECT_GT(slow->dropped(), 0u);
+
+  // ...but the aggregator's store is complete, so starting and replaying
+  // recovers every event exactly once (ids 1..64, in order).
+  ASSERT_TRUE(slow->start().is_ok());
+  auto replayed = slow->replay_historic(0);
+  ASSERT_TRUE(replayed.is_ok());
+  slow->stop();
+  monitor.stop();
+  // Drain order: replay delivered the full history; the queued live
+  // events may add duplicates after it, which real consumers dedupe by
+  // id — verify the replay prefix is complete and ordered.
+  ASSERT_GE(seen.size(), static_cast<std::size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], static_cast<common::EventId>(i + 1));
+  }
+}
+
+TEST_F(ConsumerOverflowTest, BlockPolicyIsLosslessUnderBurst) {
+  LustreFs fs(LustreFsOptions{}, clock);
+  ScalableMonitor monitor(fs, ScalableMonitorOptions{}, clock);
+  ConsumerOptions consumer_options;
+  consumer_options.high_water_mark = 4;  // tiny, but Block never drops
+  std::atomic<int> count{0};
+  auto consumer = monitor.make_consumer("c", consumer_options,
+                                        [&](const core::StdEvent&) {
+                                          count.fetch_add(1);
+                                        });
+  ASSERT_TRUE(monitor.start().is_ok());
+  ASSERT_TRUE(consumer->start().is_ok());
+  constexpr int kEvents = 200;
+  for (int i = 0; i < kEvents; ++i) fs.create("/g" + std::to_string(i));
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (count.load() < kEvents && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  consumer->stop();
+  monitor.stop();
+  EXPECT_EQ(count.load(), kEvents);
+  EXPECT_EQ(consumer->dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace fsmon::scalable

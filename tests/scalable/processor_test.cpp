@@ -1,0 +1,236 @@
+// Unit tests for Algorithm 1 (changelog event processing).
+#include "src/scalable/processor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/clock.hpp"
+
+namespace fsmon::scalable {
+namespace {
+
+using core::EventKind;
+using lustre::ChangelogRecord;
+using lustre::ChangelogType;
+using lustre::LustreFs;
+using lustre::LustreFsOptions;
+
+class ProcessorTest : public ::testing::Test {
+ protected:
+  ProcessorTest()
+      : fs(LustreFsOptions{}, clock),
+        resolver(fs, resolver_options()),
+        cache(5000),
+        processor(resolver, &cache, costs(), "lustre:MDT0") {}
+
+  static lustre::FidResolverOptions resolver_options() {
+    lustre::FidResolverOptions options;
+    options.base_cost = std::chrono::microseconds(100);
+    options.per_component_cost = {};
+    return options;
+  }
+
+  static ProcessorCosts costs() {
+    ProcessorCosts c;
+    c.base_latency = std::chrono::microseconds(10);
+    c.base_cpu = std::chrono::microseconds(1);
+    c.fid2path_cpu = std::chrono::microseconds(5);
+    c.cache_lookup_coeff = std::chrono::nanoseconds(100);
+    return c;
+  }
+
+  /// Fetch the most recent record from MDT0's changelog.
+  ChangelogRecord last_record() {
+    const auto& log = fs.mds(0).mdt().changelog();
+    return log.read(log.last_index() - 1, 1).back();
+  }
+
+  common::ManualClock clock;
+  LustreFs fs;
+  lustre::FidResolver resolver;
+  EventProcessor::FidCache cache;
+  EventProcessor processor;
+};
+
+TEST_F(ProcessorTest, CreateResolvesViaParentAndSeedsCache) {
+  auto created = fs.create("/hello.txt");
+  auto output = processor.process(last_record());
+  ASSERT_EQ(output.events.size(), 1u);
+  EXPECT_EQ(output.events[0].kind, EventKind::kCreate);
+  EXPECT_EQ(output.events[0].path, "/hello.txt");
+  // The target FID mapping was seeded without a fid2path on the target.
+  EXPECT_TRUE(cache.contains(created->fid));
+  EXPECT_EQ(*cache.peek(created->fid), "/hello.txt");
+}
+
+TEST_F(ProcessorTest, MkdirYieldsIsdirCreate) {
+  fs.mkdir("/okdir");
+  auto output = processor.process(last_record());
+  ASSERT_EQ(output.events.size(), 1u);
+  EXPECT_EQ(output.events[0].kind, EventKind::kCreate);
+  EXPECT_TRUE(output.events[0].is_dir);
+  EXPECT_EQ(output.events[0].path, "/okdir");
+}
+
+TEST_F(ProcessorTest, ModifyHitsCacheSeededByCreate) {
+  fs.create("/f");
+  processor.process(last_record());
+  const auto calls_before = processor.stats().fid2path_calls;
+  fs.modify("/f", 100);
+  auto output = processor.process(last_record());
+  EXPECT_EQ(output.events[0].kind, EventKind::kModify);
+  EXPECT_EQ(output.events[0].path, "/f");
+  // Target lookup hit: no new fid2path.
+  EXPECT_EQ(processor.stats().fid2path_calls, calls_before);
+}
+
+TEST_F(ProcessorTest, ModifyWithoutCacheEntryUsesFid2Path) {
+  fs.create("/f");
+  fs.modify("/f", 100);  // process only the MTIME record
+  auto record = last_record();
+  cache.clear();
+  auto output = processor.process(record);
+  EXPECT_EQ(output.events[0].path, "/f");
+  EXPECT_EQ(processor.stats().fid2path_calls, 1u);
+  // Latency includes the resolver's cost.
+  EXPECT_GE(output.latency, std::chrono::microseconds(110));
+}
+
+TEST_F(ProcessorTest, UnlinkUsesStaleCacheEntryAndErasesIt) {
+  // Algorithm 1 line 13: the cached mapping (seeded by CREAT) satisfies
+  // the UNLNK even though the FID is now gone.
+  auto created = fs.create("/gone.txt");
+  processor.process(last_record());
+  fs.unlink("/gone.txt");
+  const auto calls_before = processor.stats().fid2path_calls;
+  auto output = processor.process(last_record());
+  ASSERT_EQ(output.events.size(), 1u);
+  EXPECT_EQ(output.events[0].kind, EventKind::kDelete);
+  EXPECT_EQ(output.events[0].path, "/gone.txt");
+  EXPECT_EQ(processor.stats().fid2path_calls, calls_before);
+  EXPECT_FALSE(cache.contains(created->fid));  // stale mapping dropped
+}
+
+TEST_F(ProcessorTest, UnlinkFallsBackToParentOnCacheMiss) {
+  // Algorithm 1 lines 20-26: fid2path(target) fails -> resolve parent,
+  // append the record's name.
+  fs.mkdir("/dir");
+  fs.create("/dir/f");
+  fs.unlink("/dir/f");
+  auto record = last_record();
+  cache.clear();
+  auto output = processor.process(record);
+  ASSERT_EQ(output.events.size(), 1u);
+  EXPECT_EQ(output.events[0].kind, EventKind::kDelete);
+  EXPECT_EQ(output.events[0].path, "/dir/f");
+  EXPECT_EQ(processor.stats().parent_fallbacks, 1u);
+  // Two fid2path calls: failed target + successful parent.
+  EXPECT_EQ(processor.stats().fid2path_calls, 2u);
+  EXPECT_EQ(processor.stats().fid2path_failures, 1u);
+}
+
+TEST_F(ProcessorTest, RmdirWithDeletedParentReportsParentDirectoryRemoved) {
+  // Algorithm 1 lines 40-42.
+  fs.mkdir("/outer");
+  fs.mkdir("/outer/inner");
+  fs.rmdir("/outer/inner");
+  auto inner_record = last_record();
+  fs.rmdir("/outer");
+  cache.clear();
+  auto output = processor.process(inner_record);
+  ASSERT_EQ(output.events.size(), 1u);
+  EXPECT_EQ(output.events[0].kind, EventKind::kDelete);
+  EXPECT_EQ(output.events[0].path, core::kParentDirectoryRemoved);
+  EXPECT_EQ(processor.stats().unresolved, 1u);
+}
+
+TEST_F(ProcessorTest, RenameResolvesOldAndNewFids) {
+  // Algorithm 1 lines 27-38: RENME resolves sp= (old) and s= (new).
+  fs.create("/hello.txt");
+  processor.process(last_record());  // seed cache with old fid
+  fs.rename("/hello.txt", "/hi.txt");
+  auto output = processor.process(last_record());
+  ASSERT_EQ(output.events.size(), 2u);
+  EXPECT_EQ(output.events[0].kind, EventKind::kMovedFrom);
+  EXPECT_EQ(output.events[0].path, "/hello.txt");
+  EXPECT_EQ(output.events[1].kind, EventKind::kMovedTo);
+  EXPECT_EQ(output.events[1].path, "/hi.txt");
+  EXPECT_EQ(output.events[0].cookie, output.events[1].cookie);
+}
+
+TEST_F(ProcessorTest, RenameWithColdCacheStillResolves) {
+  fs.create("/hello.txt");
+  fs.rename("/hello.txt", "/hi.txt");
+  auto record = last_record();
+  cache.clear();
+  auto output = processor.process(record);
+  ASSERT_EQ(output.events.size(), 2u);
+  // Old FID is gone (re-keyed), so the old path is reconstructed from
+  // the parent + old name.
+  EXPECT_EQ(output.events[0].path, "/hello.txt");
+  EXPECT_EQ(output.events[1].path, "/hi.txt");
+  EXPECT_GE(processor.stats().parent_fallbacks, 1u);
+}
+
+TEST_F(ProcessorTest, EventKindMapping) {
+  struct Case {
+    std::function<void()> op;
+    EventKind expected;
+  };
+  fs.create("/f");
+  processor.process(last_record());
+  const Case cases[] = {
+      {[&] { fs.setattr("/f", 0600); }, EventKind::kAttrib},
+      {[&] { fs.setxattr("/f"); }, EventKind::kAttrib},
+      {[&] { fs.truncate("/f", 0); }, EventKind::kModify},
+      {[&] { fs.ioctl("/f"); }, EventKind::kAttrib},
+      {[&] { fs.close("/f"); }, EventKind::kClose},
+      {[&] { fs.hardlink("/f", "/hl"); }, EventKind::kCreate},
+      {[&] { fs.softlink("/f", "/sl"); }, EventKind::kCreate},
+      {[&] { fs.mknod("/dev0"); }, EventKind::kCreate},
+  };
+  for (const auto& test_case : cases) {
+    test_case.op();
+    auto output = processor.process(last_record());
+    ASSERT_FALSE(output.events.empty());
+    EXPECT_EQ(output.events[0].kind, test_case.expected);
+  }
+}
+
+TEST_F(ProcessorTest, CostsAccumulatePerRecord) {
+  fs.create("/f");
+  auto output = processor.process(last_record());
+  // Base latency (10us) + parent fid2path (100us) + cache ops.
+  EXPECT_GE(output.latency, std::chrono::microseconds(110));
+  EXPECT_GE(output.cpu, std::chrono::microseconds(6));  // base 1 + fid2path 5
+  EXPECT_LT(output.cpu, output.latency);
+}
+
+TEST_F(ProcessorTest, NoCacheModeAlwaysCallsFid2Path) {
+  EventProcessor uncached(resolver, nullptr, costs(), "lustre:MDT0");
+  fs.create("/a");
+  uncached.process(last_record());
+  fs.modify("/a", 1);
+  uncached.process(last_record());
+  EXPECT_EQ(uncached.stats().fid2path_calls, 2u);
+  EXPECT_EQ(uncached.stats().cache_hits, 0u);
+  EXPECT_EQ(uncached.stats().cache_misses, 0u);
+}
+
+TEST_F(ProcessorTest, StatsTrackHitsAndMisses) {
+  fs.create("/f");
+  processor.process(last_record());  // parent miss (root not yet cached)
+  fs.modify("/f", 1);
+  processor.process(last_record());  // target hit
+  EXPECT_EQ(processor.stats().records, 2u);
+  EXPECT_GE(processor.stats().cache_hits, 1u);
+  EXPECT_GE(processor.stats().cache_misses, 1u);
+}
+
+TEST_F(ProcessorTest, SourceTagsEvents) {
+  fs.create("/f");
+  auto output = processor.process(last_record());
+  EXPECT_EQ(output.events[0].source, "lustre:MDT0");
+}
+
+}  // namespace
+}  // namespace fsmon::scalable

@@ -1,0 +1,221 @@
+// Property tests: Algorithm 1's resolved paths against ground truth
+// over randomized operation histories, under both synchronous and
+// deferred (backlogged) processing.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.hpp"
+#include "src/scalable/processor.hpp"
+
+namespace fsmon::scalable {
+namespace {
+
+using core::EventKind;
+using lustre::LustreFs;
+using lustre::LustreFsOptions;
+
+/// Randomized client driving a LustreFs while recording the ground-truth
+/// path of every operation at the moment it happened.
+class RandomHistory {
+ public:
+  RandomHistory(LustreFs& fs, std::uint64_t seed) : fs_(fs), rng_(seed) {
+    fs_.mkdir("/w");
+    dirs_.push_back("/w");
+  }
+
+  struct Expectation {
+    EventKind kind;
+    std::string path;        ///< Ground truth at operation time.
+    std::string dest_path;   ///< Renames only.
+  };
+
+  /// Perform one random operation; returns the expectation, or nullopt
+  /// if the chosen op was not applicable this round.
+  std::optional<Expectation> step() {
+    switch (rng_.next_below(6)) {
+      case 0: {  // create
+        const std::string path =
+            dirs_[rng_.next_below(dirs_.size())] + "/f" + std::to_string(counter_++);
+        if (!fs_.create(path).is_ok()) return std::nullopt;
+        files_.push_back(path);
+        return Expectation{EventKind::kCreate, path, {}};
+      }
+      case 1: {  // mkdir
+        const std::string path =
+            dirs_[rng_.next_below(dirs_.size())] + "/d" + std::to_string(counter_++);
+        if (!fs_.mkdir(path).is_ok()) return std::nullopt;
+        dirs_.push_back(path);
+        return Expectation{EventKind::kCreate, path, {}};
+      }
+      case 2: {  // modify
+        if (files_.empty()) return std::nullopt;
+        const std::string& path = files_[rng_.next_below(files_.size())];
+        if (!fs_.modify(path, 64).is_ok()) return std::nullopt;
+        return Expectation{EventKind::kModify, path, {}};
+      }
+      case 3: {  // unlink
+        if (files_.empty()) return std::nullopt;
+        const std::size_t index = rng_.next_below(files_.size());
+        const std::string path = files_[index];
+        if (!fs_.unlink(path).is_ok()) return std::nullopt;
+        files_.erase(files_.begin() + static_cast<std::ptrdiff_t>(index));
+        return Expectation{EventKind::kDelete, path, {}};
+      }
+      case 4: {  // rename a file within its directory
+        if (files_.empty()) return std::nullopt;
+        const std::size_t index = rng_.next_below(files_.size());
+        const std::string from = files_[index];
+        const std::string to = from + "r";
+        if (!fs_.rename(from, to).is_ok()) return std::nullopt;
+        files_[index] = to;
+        return Expectation{EventKind::kMovedFrom, from, to};
+      }
+      default: {  // close
+        if (files_.empty()) return std::nullopt;
+        const std::string& path = files_[rng_.next_below(files_.size())];
+        if (!fs_.close(path).is_ok()) return std::nullopt;
+        return Expectation{EventKind::kClose, path, {}};
+      }
+    }
+  }
+
+ private:
+  LustreFs& fs_;
+  common::Rng rng_;
+  std::vector<std::string> dirs_;
+  std::vector<std::string> files_;
+  std::uint64_t counter_ = 0;
+};
+
+class Algorithm1PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Algorithm1PropertyTest, SynchronousProcessingMatchesGroundTruthExactly) {
+  // When records are processed as they are produced (no backlog), every
+  // resolved path must equal the path at operation time.
+  common::ManualClock clock;
+  LustreFs fs(LustreFsOptions{}, clock);
+  lustre::FidResolverOptions resolver_options;
+  lustre::FidResolver resolver(fs, resolver_options);
+  EventProcessor::FidCache cache(256);  // small: force evictions too
+  EventProcessor processor(resolver, &cache, ProcessorCosts{}, "mdt0");
+  RandomHistory history(fs, GetParam());
+
+  auto user = fs.mds(0).register_changelog_user();
+  std::uint64_t checked = 0;
+  for (int i = 0; i < 400; ++i) {
+    auto expectation = history.step();
+    auto records = fs.mds(0).changelog_read(user, 16);
+    ASSERT_TRUE(records.is_ok());
+    for (const auto& record : records.value()) {
+      auto output = processor.process(record);
+      ASSERT_FALSE(output.events.empty());
+      if (expectation && output.events[0].kind == EventKind::kMovedFrom) {
+        ASSERT_EQ(output.events.size(), 2u);
+        EXPECT_EQ(output.events[0].path, expectation->path);
+        EXPECT_EQ(output.events[1].path, expectation->dest_path);
+      } else if (expectation) {
+        EXPECT_EQ(output.events[0].kind, expectation->kind);
+        EXPECT_EQ(output.events[0].path, expectation->path);
+      }
+      ++checked;
+      fs.mds(0).changelog_clear(user, record.index);
+    }
+  }
+  EXPECT_GT(checked, 100u);
+  EXPECT_EQ(processor.stats().unresolved, 0u);
+}
+
+TEST_P(Algorithm1PropertyTest, DeferredProcessingNeverLosesEvents) {
+  // With the whole history processed afterwards (maximal staleness),
+  // every record must still produce an event, and paths must be the
+  // ground-truth path (resolution through parents reconstructs deleted
+  // subjects' paths; only multi-rename chains may report a stale name).
+  common::ManualClock clock;
+  LustreFs fs(LustreFsOptions{}, clock);
+  lustre::FidResolverOptions resolver_options;
+  lustre::FidResolver resolver(fs, resolver_options);
+  EventProcessor::FidCache cache(4096);
+  EventProcessor processor(resolver, &cache, ProcessorCosts{}, "mdt0");
+  RandomHistory history(fs, GetParam() + 1000);
+
+  std::vector<RandomHistory::Expectation> expectations;
+  for (int i = 0; i < 400; ++i) {
+    if (auto expectation = history.step()) expectations.push_back(*expectation);
+  }
+  auto records = fs.mds(0).mdt().changelog().read(0, 100000);
+  // One record per op (+1 for the initial /w mkdir handled before the
+  // first expectation).
+  ASSERT_EQ(records.size(), expectations.size() + 1);
+
+  std::size_t events_produced = 0;
+  std::size_t exact_matches = 0;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    auto output = processor.process(records[i]);
+    ASSERT_FALSE(output.events.empty()) << records[i].to_line();
+    events_produced += output.events.size();
+    const auto& expected = expectations[i - 1];
+    if (output.events[0].path == expected.path) ++exact_matches;
+    // Never the catastrophic fallback: parents live in this history.
+    EXPECT_NE(output.events[0].path, core::kParentDirectoryRemoved);
+  }
+  EXPECT_GE(events_produced, expectations.size());
+  // The strong property: deferred resolution still reconstructs >95% of
+  // paths exactly (the remainder are files renamed after the recorded
+  // op, where fid2path returns the *current* name).
+  EXPECT_GT(static_cast<double>(exact_matches) / expectations.size(), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Algorithm1PropertyTest,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+TEST(DnePropertyTest, RecordsPartitionAcrossChangelogs) {
+  // Every operation produces exactly one record, on exactly one MDT.
+  common::ManualClock clock;
+  LustreFsOptions options;
+  options.mdt_count = 4;
+  LustreFs fs(options, clock);
+  RandomHistory history(fs, 5);
+  std::size_t ops = 1;  // the initial /w mkdir
+  for (int i = 0; i < 500; ++i) {
+    if (history.step()) ++ops;
+  }
+  std::uint64_t total = 0;
+  for (std::uint32_t m = 0; m < 4; ++m)
+    total += fs.mds(m).mdt().changelog().total_appended();
+  EXPECT_EQ(total, ops);
+}
+
+TEST(DnePropertyTest, Fid2PathConsistentAcrossAllLiveFids) {
+  // For every live inode, fid2path(lookup(path)) == path.
+  common::ManualClock clock;
+  LustreFsOptions options;
+  options.mdt_count = 4;
+  LustreFs fs(options, clock);
+  common::Rng rng(17);
+  std::vector<std::string> paths{"/"};
+  for (int i = 0; i < 200; ++i) {
+    const std::string parent = paths[rng.next_below(paths.size())];
+    const std::string path =
+        (parent == "/" ? "" : parent) + "/n" + std::to_string(i);
+    if (rng.next_bool(0.4)) {
+      if (fs.mkdir(path).is_ok()) paths.push_back(path);
+    } else {
+      fs.create(path);
+    }
+  }
+  std::size_t verified = 0;
+  for (const auto& path : paths) {
+    if (path == "/") continue;
+    auto fid = fs.lookup(path);
+    ASSERT_TRUE(fid.is_ok()) << path;
+    auto resolved = fs.fid2path(*fid);
+    ASSERT_TRUE(resolved.is_ok()) << path;
+    EXPECT_EQ(resolved.value(), path);
+    ++verified;
+  }
+  EXPECT_GT(verified, 50u);
+}
+
+}  // namespace
+}  // namespace fsmon::scalable

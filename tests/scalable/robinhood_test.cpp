@@ -1,0 +1,80 @@
+#include "src/scalable/robinhood.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::scalable {
+namespace {
+
+using lustre::LustreFs;
+using lustre::LustreFsOptions;
+
+class RobinhoodTest : public ::testing::Test {
+ protected:
+  static LustreFsOptions four_mds() {
+    LustreFsOptions options;
+    options.mdt_count = 4;
+    return options;
+  }
+  common::RealClock clock;
+};
+
+TEST_F(RobinhoodTest, SweepCollectsFromAllMdss) {
+  LustreFs fs(four_mds(), clock);
+  RobinhoodPoller poller(fs, RobinhoodOptions{}, clock);
+  // Spread work across MDTs via directories.
+  for (int i = 0; i < 20; ++i) {
+    fs.mkdir("/d" + std::to_string(i));
+    fs.create("/d" + std::to_string(i) + "/f");
+  }
+  const std::size_t total = poller.sweep_once();
+  EXPECT_EQ(total, 40u);
+  EXPECT_EQ(poller.records_processed(), 40u);
+  EXPECT_EQ(poller.database().size(), 40u);
+  std::uint64_t across = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) across += poller.records_from_mds(i);
+  EXPECT_EQ(across, 40u);
+}
+
+TEST_F(RobinhoodTest, EventsResolvedClientSide) {
+  LustreFs fs(LustreFsOptions{}, clock);
+  RobinhoodPoller poller(fs, RobinhoodOptions{}, clock);
+  fs.create("/hello.txt");
+  fs.unlink("/hello.txt");
+  poller.sweep_once();
+  ASSERT_EQ(poller.database().size(), 2u);
+  EXPECT_EQ(poller.database()[0].path, "/hello.txt");
+  EXPECT_EQ(poller.database()[0].kind, core::EventKind::kCreate);
+  EXPECT_EQ(poller.database()[1].kind, core::EventKind::kDelete);
+}
+
+TEST_F(RobinhoodTest, SweepPurgesChangelogs) {
+  LustreFs fs(four_mds(), clock);
+  RobinhoodPoller poller(fs, RobinhoodOptions{}, clock);
+  for (int i = 0; i < 8; ++i) fs.mkdir("/d" + std::to_string(i));
+  poller.sweep_once();
+  for (std::uint32_t i = 0; i < 4; ++i)
+    EXPECT_EQ(fs.mds(i).mdt().changelog().retained(), 0u);
+  EXPECT_EQ(poller.sweep_once(), 0u);
+}
+
+TEST_F(RobinhoodTest, ThreadedPollerKeepsUp) {
+  LustreFs fs(four_mds(), clock);
+  RobinhoodPoller poller(fs, RobinhoodOptions{}, clock);
+  ASSERT_TRUE(poller.start().is_ok());
+  int expected = 0;
+  for (int i = 0; i < 25; ++i) {
+    fs.mkdir("/dir" + std::to_string(i));
+    fs.create("/dir" + std::to_string(i) + "/f");
+    expected += 2;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (poller.records_processed() < static_cast<std::uint64_t>(expected) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  poller.stop();
+  EXPECT_EQ(poller.records_processed(), static_cast<std::uint64_t>(expected));
+}
+
+}  // namespace
+}  // namespace fsmon::scalable

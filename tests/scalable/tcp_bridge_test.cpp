@@ -1,0 +1,123 @@
+// End-to-end distributed pipeline: LustreFs -> collectors -> aggregator
+// -> TCP bridge -> remote consumer over loopback sockets.
+#include "src/scalable/tcp_bridge.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "src/scalable/scalable_monitor.hpp"
+
+namespace fsmon::scalable {
+namespace {
+
+bool sockets_available() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+class TcpBridgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!sockets_available()) GTEST_SKIP() << "sockets unavailable";
+  }
+  common::RealClock clock;
+};
+
+void wait_until(const std::function<bool()>& predicate) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!predicate() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(predicate());
+}
+
+TEST_F(TcpBridgeTest, EventsReachRemoteConsumer) {
+  lustre::LustreFs fs(lustre::LustreFsOptions{}, clock);
+  ScalableMonitor monitor(fs, ScalableMonitorOptions{}, clock);
+  AggregatorTcpBridge bridge(monitor.aggregator(), monitor.bus());
+  ASSERT_TRUE(bridge.start(0).is_ok());
+  ASSERT_TRUE(monitor.start().is_ok());
+
+  std::mutex mu;
+  std::vector<std::string> paths;
+  RemoteConsumer remote(RemoteConsumerOptions{}, [&](const core::StdEvent& event) {
+    std::lock_guard lock(mu);
+    paths.push_back(event.path);
+  });
+  ASSERT_TRUE(remote.connect("127.0.0.1", bridge.port()).is_ok());
+
+  // Give the TCP subscription a moment to register, then generate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  fs.create("/hello.txt");
+  fs.modify("/hello.txt", 64);
+  fs.unlink("/hello.txt");
+
+  wait_until([&] { return remote.delivered() >= 3; });
+  remote.stop();
+  monitor.stop();
+  bridge.stop();
+
+  std::lock_guard lock(mu);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0], "/hello.txt");
+  EXPECT_GE(bridge.forwarded(), 3u);
+}
+
+TEST_F(TcpBridgeTest, RemoteFilteringApplies) {
+  lustre::LustreFs fs(lustre::LustreFsOptions{}, clock);
+  fs.mkdir("/keep");
+  fs.mkdir("/drop");
+  ScalableMonitor monitor(fs, ScalableMonitorOptions{}, clock);
+  AggregatorTcpBridge bridge(monitor.aggregator(), monitor.bus());
+  ASSERT_TRUE(bridge.start(0).is_ok());
+  ASSERT_TRUE(monitor.start().is_ok());
+
+  RemoteConsumerOptions options;
+  core::FilterRule rule;
+  rule.root = "/keep";
+  options.rules.push_back(rule);
+  std::atomic<int> kept{0};
+  RemoteConsumer remote(options, [&](const core::StdEvent&) { kept.fetch_add(1); });
+  ASSERT_TRUE(remote.connect("127.0.0.1", bridge.port()).is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  fs.create("/keep/a");
+  fs.create("/drop/b");
+  wait_until([&] { return remote.last_seen_id() >= 2; });
+  remote.stop();
+  monitor.stop();
+  bridge.stop();
+  EXPECT_EQ(kept.load(), 1);
+  EXPECT_EQ(remote.filtered_out(), 1u);
+}
+
+TEST_F(TcpBridgeTest, MultipleRemoteConsumersFanOut) {
+  lustre::LustreFs fs(lustre::LustreFsOptions{}, clock);
+  ScalableMonitor monitor(fs, ScalableMonitorOptions{}, clock);
+  AggregatorTcpBridge bridge(monitor.aggregator(), monitor.bus());
+  ASSERT_TRUE(bridge.start(0).is_ok());
+  ASSERT_TRUE(monitor.start().is_ok());
+
+  std::atomic<int> a_count{0}, b_count{0};
+  RemoteConsumer a(RemoteConsumerOptions{}, [&](const core::StdEvent&) { a_count++; });
+  RemoteConsumer b(RemoteConsumerOptions{}, [&](const core::StdEvent&) { b_count++; });
+  ASSERT_TRUE(a.connect("127.0.0.1", bridge.port()).is_ok());
+  ASSERT_TRUE(b.connect("127.0.0.1", bridge.port()).is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  for (int i = 0; i < 10; ++i) fs.create("/f" + std::to_string(i));
+  wait_until([&] { return a_count.load() >= 10 && b_count.load() >= 10; });
+  a.stop();
+  b.stop();
+  monitor.stop();
+  bridge.stop();
+  EXPECT_EQ(a_count.load(), 10);
+  EXPECT_EQ(b_count.load(), 10);
+}
+
+}  // namespace
+}  // namespace fsmon::scalable

@@ -1,0 +1,114 @@
+#include "src/sim/engine.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::sim {
+namespace {
+
+using common::Duration;
+using common::TimePoint;
+using std::chrono::milliseconds;
+
+TEST(EngineTest, RunsCallbacksInTimestampOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(milliseconds(30), [&] { order.push_back(3); });
+  engine.schedule(milliseconds(10), [&] { order.push_back(1); });
+  engine.schedule(milliseconds(20), [&] { order.push_back(2); });
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineTest, FifoAmongEqualTimestamps) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    engine.schedule(milliseconds(5), [&, i] { order.push_back(i); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, NowAdvancesToCallbackTime) {
+  Engine engine;
+  TimePoint seen{};
+  engine.schedule(milliseconds(42), [&] { seen = engine.now(); });
+  engine.run();
+  EXPECT_EQ(seen.time_since_epoch(), milliseconds(42));
+  EXPECT_EQ(engine.now().time_since_epoch(), milliseconds(42));
+}
+
+TEST(EngineTest, CallbacksCanScheduleMore) {
+  Engine engine;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) engine.schedule(milliseconds(1), tick);
+  };
+  engine.schedule(milliseconds(1), tick);
+  engine.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(engine.now().time_since_epoch(), milliseconds(10));
+}
+
+TEST(EngineTest, RunUntilStopsAtBoundaryAndSetsNow) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule(milliseconds(10), [&] { ++fired; });
+  engine.schedule(milliseconds(30), [&] { ++fired; });
+  EXPECT_EQ(engine.run_until(TimePoint{} + milliseconds(20)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now().time_since_epoch(), milliseconds(20));
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, RunUntilInclusiveOfBoundary) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule(milliseconds(20), [&] { fired = true; });
+  engine.run_until(TimePoint{} + milliseconds(20));
+  EXPECT_TRUE(fired);
+}
+
+TEST(EngineTest, NegativeDelayThrows) {
+  Engine engine;
+  EXPECT_THROW(engine.schedule(milliseconds(-1), [] {}), std::invalid_argument);
+}
+
+TEST(EngineTest, SchedulePastThrows) {
+  Engine engine;
+  engine.schedule(milliseconds(10), [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(TimePoint{} + milliseconds(5), [] {}),
+               std::invalid_argument);
+}
+
+TEST(EngineTest, ClockViewTracksEngine) {
+  Engine engine;
+  Duration seen{};
+  engine.schedule(milliseconds(7), [&] { seen = engine.clock().now().time_since_epoch(); });
+  engine.run();
+  EXPECT_EQ(seen, milliseconds(7));
+}
+
+TEST(EngineTest, ClockViewSleepThrows) {
+  Engine engine;
+  EXPECT_THROW(engine.clock().sleep_for(milliseconds(1)), std::logic_error);
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine engine;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i)
+      engine.schedule(milliseconds(i % 7), [&, i] { order.push_back(i); });
+    engine.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace fsmon::sim

@@ -1,0 +1,88 @@
+#include "src/sim/service_station.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::sim {
+namespace {
+
+using common::TimePoint;
+using std::chrono::milliseconds;
+
+TEST(ServiceStationTest, ProcessesJobsSerially) {
+  Engine engine;
+  ServiceStation station(engine, "s");
+  std::vector<common::Duration> completion_times;
+  for (int i = 0; i < 3; ++i) {
+    station.submit(milliseconds(10), [&] {
+      completion_times.push_back(engine.now().time_since_epoch());
+    });
+  }
+  engine.run();
+  ASSERT_EQ(completion_times.size(), 3u);
+  EXPECT_EQ(completion_times[0], milliseconds(10));
+  EXPECT_EQ(completion_times[1], milliseconds(20));
+  EXPECT_EQ(completion_times[2], milliseconds(30));
+  EXPECT_EQ(station.completed(), 3u);
+}
+
+TEST(ServiceStationTest, UsageChargedExplicitlyByCaller) {
+  Engine engine;
+  ServiceStation station(engine, "s");
+  // Occupancy (service time) and CPU are independent: a stage can hold a
+  // job for 25ms of wait while burning only 5ms of cycles.
+  station.usage().charge_busy(milliseconds(5));
+  station.submit(milliseconds(25), nullptr);
+  station.usage().charge_busy(milliseconds(5));
+  station.submit(milliseconds(25), nullptr);
+  engine.run();
+  // 10ms CPU over a 100ms window = 10% of one core.
+  EXPECT_NEAR(station.usage().cpu_percent(milliseconds(100)), 10.0, 1e-9);
+  // Occupancy still advanced virtual time by the full 50ms.
+  EXPECT_EQ(engine.now().time_since_epoch(), milliseconds(50));
+}
+
+TEST(ServiceStationTest, QueueDepthAndPeak) {
+  Engine engine;
+  ServiceStation station(engine, "s");
+  station.submit(milliseconds(10), nullptr);
+  station.submit(milliseconds(10), nullptr);
+  station.submit(milliseconds(10), nullptr);
+  EXPECT_EQ(station.queue_depth(), 3u);
+  EXPECT_EQ(station.peak_queue_depth(), 3u);
+  engine.run();
+  EXPECT_EQ(station.queue_depth(), 0u);
+  EXPECT_EQ(station.peak_queue_depth(), 3u);
+}
+
+TEST(ServiceStationTest, JobsSubmittedDuringRunAreServed) {
+  Engine engine;
+  ServiceStation station(engine, "s");
+  int completions = 0;
+  station.submit(milliseconds(5), [&] {
+    ++completions;
+    station.submit(milliseconds(5), [&] { ++completions; });
+  });
+  engine.run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(engine.now().time_since_epoch(), milliseconds(10));
+}
+
+TEST(ServiceStationTest, ZeroServiceTimeCompletesImmediately) {
+  Engine engine;
+  ServiceStation station(engine, "s");
+  bool done = false;
+  station.submit(common::Duration::zero(), [&] { done = true; });
+  engine.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ServiceStationTest, NegativeServiceTimeThrows) {
+  Engine engine;
+  ServiceStation station(engine, "s");
+  EXPECT_THROW(station.submit(milliseconds(-1), nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsmon::sim

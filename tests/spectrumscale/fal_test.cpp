@@ -1,0 +1,228 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/monitor.hpp"
+#include "src/spectrumscale/fal_dsi.hpp"
+
+namespace fsmon::spectrumscale {
+namespace {
+
+using core::EventKind;
+using core::StdEvent;
+
+TEST(AuditRecordTest, JsonRoundTrip) {
+  AuditRecord record;
+  record.sequence = 42;
+  record.event = AuditEventType::kRename;
+  record.cluster = "gpfs-cluster";
+  record.node = "protocol-node-1";
+  record.fs_name = "gpfs0";
+  record.path = "/old/name.txt";
+  record.dest_path = "/new/name.txt";
+  record.inode = 777;
+  record.is_dir = false;
+  record.timestamp = common::TimePoint{std::chrono::nanoseconds(123456)};
+
+  auto parsed = AuditRecord::from_json(record.to_json());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->sequence, 42u);
+  EXPECT_EQ(parsed->event, AuditEventType::kRename);
+  EXPECT_EQ(parsed->path, "/old/name.txt");
+  EXPECT_EQ(parsed->dest_path, "/new/name.txt");
+  EXPECT_EQ(parsed->inode, 777u);
+  EXPECT_EQ(parsed->timestamp.time_since_epoch(), std::chrono::nanoseconds(123456));
+}
+
+TEST(AuditRecordTest, JsonEscaping) {
+  AuditRecord record;
+  record.event = AuditEventType::kCreate;
+  record.path = "/weird\"na\\me";
+  auto parsed = AuditRecord::from_json(record.to_json());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->path, "/weird\"na\\me");
+}
+
+TEST(AuditRecordTest, MalformedJsonRejected) {
+  EXPECT_EQ(AuditRecord::from_json("{}").code(), common::ErrorCode::kCorrupt);
+  EXPECT_EQ(AuditRecord::from_json("{\"event\":\"BOGUS\",\"path\":\"/x\"}").code(),
+            common::ErrorCode::kCorrupt);
+  EXPECT_EQ(AuditRecord::from_json("{\"event\":\"CREATE\"}").code(),
+            common::ErrorCode::kCorrupt);
+}
+
+TEST(RetentionFilesetTest, AppendReadExpire) {
+  common::ManualClock clock;
+  RetentionFileset fileset(clock, std::chrono::hours(1));
+  AuditRecord record;
+  record.event = AuditEventType::kCreate;
+  record.path = "/a";
+  record.timestamp = clock.now();
+  EXPECT_EQ(fileset.append(record), 1u);
+  clock.advance(std::chrono::minutes(30));
+  record.timestamp = clock.now();
+  EXPECT_EQ(fileset.append(record), 2u);
+  EXPECT_EQ(fileset.read(0, 10).size(), 2u);
+  EXPECT_EQ(fileset.read(1, 10).size(), 1u);
+  // After 45 more minutes the first record exceeds the retention period.
+  clock.advance(std::chrono::minutes(45));
+  EXPECT_EQ(fileset.expire(), 1u);
+  EXPECT_EQ(fileset.retained(), 1u);
+}
+
+class GpfsClusterTest : public ::testing::Test {
+ protected:
+  GpfsClusterTest() : cluster(GpfsClusterOptions{}, clock) {}
+  common::ManualClock clock;
+  GpfsCluster cluster;
+};
+
+TEST_F(GpfsClusterTest, OpsLandInRetentionFileset) {
+  ASSERT_TRUE(cluster.create("/data.txt").is_ok());
+  ASSERT_TRUE(cluster.write("/data.txt").is_ok());
+  ASSERT_TRUE(cluster.unlink("/data.txt").is_ok());
+  EXPECT_EQ(cluster.fileset().retained(), 0u);  // not pumped yet
+  EXPECT_EQ(cluster.pump(), 4u);  // CREATE, OPEN, CLOSE, DESTROY
+  auto records = cluster.fileset().read(0, 10);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].event, AuditEventType::kCreate);
+  EXPECT_EQ(records[1].event, AuditEventType::kOpen);
+  EXPECT_EQ(records[2].event, AuditEventType::kClose);
+  EXPECT_EQ(records[3].event, AuditEventType::kDestroy);
+}
+
+TEST_F(GpfsClusterTest, EventsSpreadAcrossProtocolNodes) {
+  for (int i = 0; i < 9; ++i) cluster.create("/f" + std::to_string(i));
+  cluster.pump();
+  std::set<std::string> nodes;
+  for (const auto& record : cluster.fileset().read(0, 100)) nodes.insert(record.node);
+  EXPECT_EQ(nodes.size(), 3u);  // default node_count
+}
+
+TEST_F(GpfsClusterTest, RenameSingleRecordWithBothPaths) {
+  cluster.create("/a");
+  ASSERT_TRUE(cluster.rename("/a", "/b").is_ok());
+  cluster.pump();
+  auto records = cluster.fileset().read(0, 10);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].event, AuditEventType::kRename);
+  EXPECT_EQ(records[1].path, "/a");
+  EXPECT_EQ(records[1].dest_path, "/b");
+  EXPECT_TRUE(cluster.exists("/b"));
+  EXPECT_FALSE(cluster.exists("/a"));
+}
+
+TEST_F(GpfsClusterTest, ErrorsDoNotEmitRecords) {
+  EXPECT_FALSE(cluster.unlink("/missing").is_ok());
+  EXPECT_FALSE(cluster.open("/missing").is_ok());
+  cluster.create("/f");
+  EXPECT_FALSE(cluster.create("/f").is_ok());
+  cluster.pump();
+  EXPECT_EQ(cluster.fileset().retained(), 1u);
+}
+
+TEST(StandardizeAuditTest, KindMapping) {
+  AuditRecord record;
+  record.path = "/x";
+  const std::pair<AuditEventType, EventKind> cases[] = {
+      {AuditEventType::kCreate, EventKind::kCreate},
+      {AuditEventType::kOpen, EventKind::kOpen},
+      {AuditEventType::kClose, EventKind::kClose},
+      {AuditEventType::kDestroy, EventKind::kDelete},
+      {AuditEventType::kXattrChange, EventKind::kAttrib},
+      {AuditEventType::kAclChange, EventKind::kAttrib},
+  };
+  for (const auto& [audit, kind] : cases) {
+    record.event = audit;
+    auto events = standardize_audit_record(record);
+    ASSERT_EQ(events.size(), 1u) << to_string(audit);
+    EXPECT_EQ(events[0].kind, kind);
+  }
+  record.event = AuditEventType::kMkdir;
+  EXPECT_TRUE(standardize_audit_record(record)[0].is_dir);
+}
+
+TEST(StandardizeAuditTest, RenameExpandsToMovePair) {
+  AuditRecord record;
+  record.sequence = 9;
+  record.event = AuditEventType::kRename;
+  record.path = "/old";
+  record.dest_path = "/new";
+  auto events = standardize_audit_record(record);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kMovedFrom);
+  EXPECT_EQ(events[0].path, "/old");
+  EXPECT_EQ(events[1].kind, EventKind::kMovedTo);
+  EXPECT_EQ(events[1].path, "/new");
+  EXPECT_EQ(events[0].cookie, events[1].cookie);
+}
+
+class SpectrumScaleDsiTest : public ::testing::Test {
+ protected:
+  SpectrumScaleDsiTest() : cluster(GpfsClusterOptions{}, clock) {}
+  common::ManualClock clock;
+  GpfsCluster cluster;
+};
+
+TEST_F(SpectrumScaleDsiTest, DrainStandardizesStream) {
+  SpectrumScaleDsi dsi(cluster, SpectrumScaleDsiOptions{}, clock);
+  std::vector<StdEvent> events;
+  ASSERT_TRUE(dsi.start([&](StdEvent event) { events.push_back(std::move(event)); }).is_ok());
+  dsi.stop();  // stop the poller; use deterministic drains below
+  cluster.create("/hello.txt");
+  cluster.write("/hello.txt");
+  cluster.rename("/hello.txt", "/hi.txt");
+  cluster.unlink("/hi.txt");
+  EXPECT_EQ(dsi.drain_once(), 5u);  // CREATE OPEN CLOSE RENAME DESTROY
+  ASSERT_EQ(events.size(), 6u);     // rename expands into two
+  EXPECT_EQ(events[0].kind, EventKind::kCreate);
+  EXPECT_EQ(events[3].kind, EventKind::kMovedFrom);
+  EXPECT_EQ(events[4].kind, EventKind::kMovedTo);
+  EXPECT_EQ(events[5].kind, EventKind::kDelete);
+  EXPECT_EQ(events[0].source.rfind("spectrumscale:", 0), 0u);
+}
+
+TEST_F(SpectrumScaleDsiTest, IncrementalDrains) {
+  SpectrumScaleDsi dsi(cluster, SpectrumScaleDsiOptions{}, clock);
+  std::vector<StdEvent> events;
+  dsi.start([&](StdEvent event) { events.push_back(std::move(event)); });
+  dsi.stop();
+  cluster.create("/a");
+  EXPECT_EQ(dsi.drain_once(), 1u);
+  cluster.create("/b");
+  EXPECT_EQ(dsi.drain_once(), 1u);  // only the new record
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST_F(SpectrumScaleDsiTest, WorksThroughFsMonitorFacade) {
+  core::DsiRegistry registry;
+  register_spectrumscale_dsi(registry, cluster, clock);
+  core::MonitorOptions options;
+  options.storage.scheme = "spectrumscale";
+  options.storage.root = "/";
+  core::FsMonitor monitor(options, &registry, &clock);
+  std::mutex mu;
+  std::vector<std::string> lines;
+  monitor.subscribe({}, [&](const std::vector<StdEvent>& batch) {
+    std::lock_guard lock(mu);
+    for (const auto& event : batch) lines.push_back(core::to_inotify_line(event));
+  });
+  ASSERT_TRUE(monitor.start().is_ok());
+  EXPECT_EQ(monitor.dsi_name(), "spectrumscale");
+  cluster.create("/dataset.h5");
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    {
+      std::lock_guard lock(mu);
+      if (!lines.empty()) break;
+    }
+    if (std::chrono::steady_clock::now() > deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  monitor.stop();
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0], "/ CREATE /dataset.h5");
+}
+
+}  // namespace
+}  // namespace fsmon::spectrumscale

@@ -1,0 +1,147 @@
+#include "src/usecases/automation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::usecases {
+namespace {
+
+using core::EventKind;
+using core::StdEvent;
+
+StdEvent event_at(const std::string& path, EventKind kind = EventKind::kClose) {
+  StdEvent event;
+  event.id = 7;
+  event.kind = kind;
+  event.watch_root = "/mnt/lustre";
+  event.path = path;
+  event.source = "lustre:MDT0";
+  return event;
+}
+
+TEST(MetadataJsonTest, ContainsPaperFields) {
+  // §VI-A: "constructs a JSON document of metadata, such as the file
+  // type, size, owner, and location".
+  const auto json = event_metadata_json(event_at("/data/scan.h5"));
+  EXPECT_NE(json.find("\"event\":\"CLOSE\""), std::string::npos);
+  EXPECT_NE(json.find("\"location\":\"/mnt/lustre/data/scan.h5\""), std::string::npos);
+  EXPECT_NE(json.find("\"file_type\":\"h5\""), std::string::npos);
+  EXPECT_NE(json.find("\"event_id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"source\":\"lustre:MDT0\""), std::string::npos);
+}
+
+TEST(MetadataJsonTest, EscapesSpecialCharacters) {
+  const auto json = event_metadata_json(event_at("/weird\"name\\file"));
+  EXPECT_NE(json.find("\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\"), std::string::npos);
+}
+
+class FlowRunnerTest : public ::testing::Test {
+ protected:
+  FlowRunner runner{2};
+};
+
+TEST_F(FlowRunnerTest, ExecutesStepsInOrder) {
+  std::vector<std::string> calls;
+  runner.register_service("a", [&](const FlowStep& step, const StdEvent&) {
+    calls.push_back("a:" + step.action);
+    return common::Status::ok();
+  });
+  runner.register_service("b", [&](const FlowStep& step, const StdEvent&) {
+    calls.push_back("b:" + step.action);
+    return common::Status::ok();
+  });
+  Flow flow{"f", {{"a", "one"}, {"b", "two"}, {"a", "three"}}};
+  auto execution = runner.execute(flow, event_at("/x"));
+  EXPECT_TRUE(execution.succeeded);
+  EXPECT_EQ(execution.steps_completed, 3u);
+  EXPECT_EQ(calls, (std::vector<std::string>{"a:one", "b:two", "a:three"}));
+}
+
+TEST_F(FlowRunnerTest, RetriesTransientFailures) {
+  int attempts = 0;
+  runner.register_service("flaky", [&](const FlowStep&, const StdEvent&) {
+    return ++attempts < 3 ? common::Status(common::ErrorCode::kUnavailable, "x")
+                          : common::Status::ok();
+  });
+  auto execution = runner.execute(Flow{"f", {{"flaky", "go"}}}, event_at("/x"));
+  EXPECT_TRUE(execution.succeeded);
+  EXPECT_EQ(execution.retries, 2u);
+}
+
+TEST_F(FlowRunnerTest, AbortsAfterExhaustedRetries) {
+  runner.register_service("dead", [](const FlowStep&, const StdEvent&) {
+    return common::Status(common::ErrorCode::kUnavailable, "always");
+  });
+  bool later_ran = false;
+  runner.register_service("later", [&](const FlowStep&, const StdEvent&) {
+    later_ran = true;
+    return common::Status::ok();
+  });
+  auto execution =
+      runner.execute(Flow{"f", {{"dead", "go"}, {"later", "go"}}}, event_at("/x"));
+  EXPECT_FALSE(execution.succeeded);
+  EXPECT_EQ(execution.steps_completed, 0u);
+  EXPECT_EQ(execution.retries, 2u);  // max_retries
+  EXPECT_FALSE(later_ran);
+}
+
+TEST_F(FlowRunnerTest, UnknownServiceAborts) {
+  auto execution = runner.execute(Flow{"f", {{"ghost", "go"}}}, event_at("/x"));
+  EXPECT_FALSE(execution.succeeded);
+  EXPECT_FALSE(runner.has_service("ghost"));
+}
+
+class AutomationClientTest : public ::testing::Test {
+ protected:
+  AutomationClientTest() : client(runner) {
+    runner.register_service("noop",
+                            [&](const FlowStep&, const StdEvent&) {
+                              ++invocations;
+                              return common::Status::ok();
+                            });
+  }
+  FlowRunner runner;
+  AutomationClient client;
+  int invocations = 0;
+};
+
+TEST_F(AutomationClientTest, TriggersMatchingRulesOnly) {
+  core::FilterRule h5;
+  h5.name_pattern = "*.h5";
+  client.add_rule(h5, Flow{"h5-flow", {{"noop", "x"}}});
+  core::FilterRule csv;
+  csv.name_pattern = "*.csv";
+  client.add_rule(csv, Flow{"csv-flow", {{"noop", "x"}}});
+
+  auto executions = client.on_event(event_at("/data/a.h5"));
+  ASSERT_EQ(executions.size(), 1u);
+  EXPECT_EQ(executions[0].flow_name, "h5-flow");
+  EXPECT_EQ(client.on_event(event_at("/data/a.txt")).size(), 0u);
+  EXPECT_EQ(client.events_seen(), 2u);
+  EXPECT_EQ(client.flows_started(), 1u);
+}
+
+TEST_F(AutomationClientTest, MultipleRulesCanFireForOneEvent) {
+  client.add_rule({}, Flow{"all", {{"noop", "x"}}});
+  core::FilterRule closes;
+  closes.kinds = std::set<EventKind>{EventKind::kClose};
+  client.add_rule(closes, Flow{"closes", {{"noop", "x"}}});
+  auto executions = client.on_event(event_at("/f", EventKind::kClose));
+  EXPECT_EQ(executions.size(), 2u);
+  EXPECT_EQ(invocations, 2);
+}
+
+TEST_F(AutomationClientTest, TracksFailures) {
+  runner.register_service("dead", [](const FlowStep&, const StdEvent&) {
+    return common::Status(common::ErrorCode::kUnavailable, "x");
+  });
+  client.add_rule({}, Flow{"doomed", {{"dead", "x"}}});
+  client.on_event(event_at("/f"));
+  EXPECT_EQ(client.flows_failed(), 1u);
+  ASSERT_EQ(client.history().size(), 1u);
+  EXPECT_FALSE(client.history()[0].succeeded);
+  EXPECT_EQ(client.history()[0].trigger_path, "/mnt/lustre/f");
+}
+
+}  // namespace
+}  // namespace fsmon::usecases

@@ -1,0 +1,137 @@
+#include "src/usecases/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::usecases {
+namespace {
+
+using core::EventKind;
+using core::StdEvent;
+
+StdEvent event_at(const std::string& path, EventKind kind,
+                  std::uint64_t cookie = 0,
+                  common::TimePoint ts = common::TimePoint{std::chrono::seconds(1)}) {
+  StdEvent event;
+  event.kind = kind;
+  event.path = path;
+  event.cookie = cookie;
+  event.timestamp = ts;
+  return event;
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  MetadataExtractor extractor;
+  Catalog catalog{extractor};
+};
+
+TEST_F(CatalogTest, ExtractorInfersTypes) {
+  EXPECT_EQ(extractor.infer_type("/a/b.csv"), "tabular");
+  EXPECT_EQ(extractor.infer_type("/a/b.H5"), "hdf5");
+  EXPECT_EQ(extractor.infer_type("/a/b.png"), "image");
+  EXPECT_EQ(extractor.infer_type("/a/noext"), "unknown");
+  EXPECT_EQ(extractor.infer_type("/a/b.weird"), "weird");
+}
+
+TEST_F(CatalogTest, ExtractorKeywords) {
+  const auto keywords = extractor.extract_keywords("/exp/run1_temperature.csv");
+  EXPECT_NE(std::find(keywords.begin(), keywords.end(), "run1"), keywords.end());
+  EXPECT_NE(std::find(keywords.begin(), keywords.end(), "temperature"), keywords.end());
+  EXPECT_NE(std::find(keywords.begin(), keywords.end(), "csv"), keywords.end());
+  // Deduplicated and sorted.
+  EXPECT_TRUE(std::is_sorted(keywords.begin(), keywords.end()));
+  EXPECT_EQ(std::adjacent_find(keywords.begin(), keywords.end()), keywords.end());
+}
+
+TEST_F(CatalogTest, CreateIndexesEntry) {
+  catalog.apply(event_at("/data/run.csv", EventKind::kCreate));
+  auto entry = catalog.lookup("/data/run.csv");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->file_type, "tabular");
+  EXPECT_EQ(entry->version, 1u);
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST_F(CatalogTest, ModifyBumpsVersion) {
+  catalog.apply(event_at("/f.txt", EventKind::kCreate));
+  catalog.apply(event_at("/f.txt", EventKind::kModify, 0,
+                         common::TimePoint{std::chrono::seconds(9)}));
+  auto entry = catalog.lookup("/f.txt");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->version, 2u);
+  EXPECT_EQ(entry->modified.time_since_epoch(), std::chrono::seconds(9));
+  EXPECT_EQ(entry->created.time_since_epoch(), std::chrono::seconds(1));
+}
+
+TEST_F(CatalogTest, ModifyOfUnknownPathIndexesIt) {
+  // Catalog attached mid-stream: events for unseen files index them.
+  catalog.apply(event_at("/f.txt", EventKind::kModify));
+  EXPECT_TRUE(catalog.lookup("/f.txt").has_value());
+}
+
+TEST_F(CatalogTest, DeleteRemovesEntry) {
+  catalog.apply(event_at("/f.txt", EventKind::kCreate));
+  catalog.apply(event_at("/f.txt", EventKind::kDelete));
+  EXPECT_FALSE(catalog.lookup("/f.txt").has_value());
+  EXPECT_EQ(catalog.size(), 0u);
+}
+
+TEST_F(CatalogTest, MovePreservesVersionAndReExtracts) {
+  catalog.apply(event_at("/old/data.txt", EventKind::kCreate));
+  catalog.apply(event_at("/old/data.txt", EventKind::kModify));
+  catalog.apply(event_at("/old/data.txt", EventKind::kMovedFrom, 42));
+  catalog.apply(event_at("/new/data.csv", EventKind::kMovedTo, 42));
+  EXPECT_FALSE(catalog.lookup("/old/data.txt").has_value());
+  auto moved = catalog.lookup("/new/data.csv");
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_EQ(moved->version, 2u);            // survives the move
+  EXPECT_EQ(moved->file_type, "tabular");   // re-extracted from new name
+  EXPECT_EQ(catalog.moves_joined(), 1u);
+}
+
+TEST_F(CatalogTest, UnpairedMovedToIndexesFresh) {
+  catalog.apply(event_at("/appeared.txt", EventKind::kMovedTo, 99));
+  EXPECT_TRUE(catalog.lookup("/appeared.txt").has_value());
+  EXPECT_EQ(catalog.moves_joined(), 0u);
+}
+
+TEST_F(CatalogTest, SearchByPathGlob) {
+  catalog.apply(event_at("/exp/a.csv", EventKind::kCreate));
+  catalog.apply(event_at("/exp/b.csv", EventKind::kCreate));
+  catalog.apply(event_at("/exp/c.txt", EventKind::kCreate));
+  catalog.apply(event_at("/other/d.csv", EventKind::kCreate));
+  EXPECT_EQ(catalog.search_path("/exp/*.csv").size(), 2u);
+  EXPECT_EQ(catalog.search_path("/exp/*").size(), 3u);
+}
+
+TEST_F(CatalogTest, SearchByKeywordAndType) {
+  catalog.apply(event_at("/exp/run1_temp.csv", EventKind::kCreate));
+  catalog.apply(event_at("/exp/run2_temp.csv", EventKind::kCreate));
+  catalog.apply(event_at("/exp/run1_notes.txt", EventKind::kCreate));
+  EXPECT_EQ(catalog.search_keyword("run1").size(), 2u);
+  EXPECT_EQ(catalog.search_keyword("temp").size(), 2u);
+  EXPECT_EQ(catalog.search_type("tabular").size(), 2u);
+  EXPECT_EQ(catalog.search_type("text").size(), 1u);
+  EXPECT_TRUE(catalog.search_keyword("absent").empty());
+}
+
+TEST_F(CatalogTest, OpenEventsIgnored) {
+  catalog.apply(event_at("/f", EventKind::kOpen));
+  EXPECT_EQ(catalog.size(), 0u);
+  EXPECT_EQ(catalog.events_applied(), 1u);
+}
+
+TEST_F(CatalogTest, EventStreamEquivalentToCrawl) {
+  // Property: applying a create/modify/delete history leaves exactly the
+  // live files indexed.
+  for (int i = 0; i < 100; ++i)
+    catalog.apply(event_at("/d/f" + std::to_string(i), EventKind::kCreate));
+  for (int i = 0; i < 100; i += 2)
+    catalog.apply(event_at("/d/f" + std::to_string(i), EventKind::kDelete));
+  EXPECT_EQ(catalog.size(), 50u);
+  EXPECT_FALSE(catalog.lookup("/d/f0").has_value());
+  EXPECT_TRUE(catalog.lookup("/d/f1").has_value());
+}
+
+}  // namespace
+}  // namespace fsmon::usecases

@@ -1,0 +1,177 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/filebench.hpp"
+#include "src/workloads/hacc.hpp"
+#include "src/workloads/ior.hpp"
+#include "src/workloads/scripts.hpp"
+
+namespace fsmon::workloads {
+namespace {
+
+class WorkloadsTest : public ::testing::Test {
+ protected:
+  WorkloadsTest() : lustre_fs(lustre::LustreFsOptions{}, clock), lustre_target(lustre_fs) {
+    mem_fs.mkdir("/base");
+  }
+  common::ManualClock clock;
+  localfs::MemFs mem_fs;
+  lustre::LustreFs lustre_fs;
+  LustreTarget lustre_target;
+};
+
+TEST_F(WorkloadsTest, OutputScriptFootprintOnMemFs) {
+  MemFsTarget target(mem_fs);
+  auto fp = run_evaluate_output_script(target, "/base");
+  EXPECT_EQ(fp.creates, 1u);
+  EXPECT_EQ(fp.modifies, 1u);
+  EXPECT_EQ(fp.closes, 1u);
+  EXPECT_EQ(fp.renames, 2u);  // hello->hi, hi->okdir/hi
+  EXPECT_EQ(fp.mkdirs, 1u);
+  EXPECT_EQ(fp.deletes, 1u);
+  EXPECT_EQ(fp.rmdirs, 1u);
+  // Everything cleaned up.
+  EXPECT_FALSE(mem_fs.exists("/base/okdir"));
+  EXPECT_FALSE(mem_fs.exists("/base/hello.txt"));
+}
+
+TEST_F(WorkloadsTest, OutputScriptOnLustreEmitsRecords) {
+  lustre_fs.mkdir("/base");
+  auto fp = run_evaluate_output_script(lustre_target, "/base");
+  EXPECT_EQ(fp.renames, 2u);
+  // mkdir(base)+create+mtime+close+renme+mkdir+renme+unlnk+rmdir = 9.
+  EXPECT_EQ(lustre_fs.total_records(), 9u);
+}
+
+TEST_F(WorkloadsTest, PerformanceScriptLoops) {
+  MemFsTarget target(mem_fs);
+  PerformanceScriptOptions options;
+  options.iterations = 50;
+  auto fp = run_performance_script(target, "/base", options);
+  EXPECT_EQ(fp.creates, 50u);
+  EXPECT_EQ(fp.modifies, 50u);
+  EXPECT_EQ(fp.deletes, 50u);
+  EXPECT_FALSE(mem_fs.exists("/base/hello.txt"));
+}
+
+TEST_F(WorkloadsTest, PerformanceScriptNoDeleteVariantUsesUniqueNames) {
+  MemFsTarget target(mem_fs);
+  PerformanceScriptOptions options;
+  options.iterations = 10;
+  options.do_delete = false;
+  auto fp = run_performance_script(target, "/base", options);
+  EXPECT_EQ(fp.creates, 10u);
+  EXPECT_EQ(fp.deletes, 0u);
+  EXPECT_TRUE(mem_fs.exists("/base/hello0.txt"));
+  EXPECT_TRUE(mem_fs.exists("/base/hello9.txt"));
+}
+
+TEST_F(WorkloadsTest, PerformanceScriptNoModifyVariant) {
+  MemFsTarget target(mem_fs);
+  PerformanceScriptOptions options;
+  options.iterations = 10;
+  options.do_modify = false;
+  auto fp = run_performance_script(target, "/base", options);
+  EXPECT_EQ(fp.creates, 10u);
+  EXPECT_EQ(fp.modifies, 0u);
+  EXPECT_EQ(fp.deletes, 10u);
+}
+
+TEST_F(WorkloadsTest, IorSingleSharedFileFootprint) {
+  // Table IX: SSF mode produces exactly one create and one delete.
+  lustre_fs.mkdir("/base");
+  IorOptions options;
+  options.processes = 128;
+  auto fp = run_ior(lustre_target, "/base", options);
+  EXPECT_EQ(fp.creates, 1u);
+  EXPECT_EQ(fp.deletes, 1u);
+  EXPECT_EQ(fp.modifies, 128u);  // every rank writes
+  EXPECT_GE(fp.closes, 1u);
+  EXPECT_FALSE(lustre_fs.exists("/base/ior/src/testFileSSF"));
+}
+
+TEST_F(WorkloadsTest, IorFilePerProcessFootprint) {
+  lustre_fs.mkdir("/base");
+  IorOptions options;
+  options.processes = 16;
+  options.single_shared_file = false;
+  auto fp = run_ior(lustre_target, "/base", options);
+  EXPECT_EQ(fp.creates, 16u);
+  EXPECT_EQ(fp.deletes, 16u);
+}
+
+TEST_F(WorkloadsTest, HaccFileNamesMatchPaperTableNine) {
+  EXPECT_EQ(hacc_file_name(0, 256), "FPP1-Part00000000-of-00000256.data");
+  EXPECT_EQ(hacc_file_name(255, 256), "FPP1-Part00000255-of-00000256.data");
+}
+
+TEST_F(WorkloadsTest, HaccIoFootprint) {
+  // Table IX: 256 files created and deleted in FPP mode.
+  lustre_fs.mkdir("/base");
+  HaccIoOptions options;
+  options.processes = 256;
+  auto fp = run_hacc_io(lustre_target, "/base", options);
+  EXPECT_EQ(fp.creates, 256u);
+  EXPECT_EQ(fp.closes, 256u);
+  EXPECT_EQ(fp.deletes, 256u);
+  EXPECT_EQ(fp.bytes_written, 4'096'000ull / 256 * 38 * 256);
+}
+
+TEST_F(WorkloadsTest, HaccIoWithoutCleanupKeepsFiles) {
+  lustre_fs.mkdir("/base");
+  HaccIoOptions options;
+  options.processes = 8;
+  options.cleanup = false;
+  auto fp = run_hacc_io(lustre_target, "/base", options);
+  EXPECT_EQ(fp.deletes, 0u);
+  EXPECT_TRUE(lustre_fs.exists("/base/hacc-io/" + hacc_file_name(7, 8)));
+}
+
+TEST_F(WorkloadsTest, FilebenchCreatesRequestedFiles) {
+  MemFsTarget target(mem_fs);
+  FilebenchOptions options;
+  options.files = 2000;  // scaled down for unit-test speed
+  auto report = run_filebench_create(target, "/base", options);
+  EXPECT_EQ(report.footprint.creates, 2000u);
+  EXPECT_EQ(report.footprint.modifies, 2000u);
+  EXPECT_EQ(report.footprint.closes, 2000u);
+  EXPECT_GT(report.directories, 10u);
+}
+
+TEST_F(WorkloadsTest, FilebenchFileSizesFollowGamma) {
+  MemFsTarget target(mem_fs);
+  FilebenchOptions options;
+  options.files = 5000;
+  auto report = run_filebench_create(target, "/base", options);
+  // Mean file size should be near 16384 (paper: 50 000 files = 782.8 MB,
+  // i.e. mean approximately 16.4 KB).
+  const double mean = static_cast<double>(report.footprint.bytes_written) /
+                      static_cast<double>(options.files);
+  EXPECT_NEAR(mean, 16384.0, 16384.0 * 0.10);
+}
+
+TEST_F(WorkloadsTest, FilebenchDepthNearConfigured) {
+  MemFsTarget target(mem_fs);
+  FilebenchOptions options;
+  options.files = 3000;
+  auto report = run_filebench_create(target, "/base", options);
+  EXPECT_GE(report.mean_depth, 3.0);
+  EXPECT_LE(report.mean_depth, 7.0);
+}
+
+TEST_F(WorkloadsTest, FilebenchDeterministicForSeed) {
+  MemFsTarget target(mem_fs);
+  FilebenchOptions options;
+  options.files = 500;
+  auto a = run_filebench_create(target, "/base", options);
+  localfs::MemFs fs2;
+  fs2.mkdir("/base");
+  MemFsTarget target2(fs2);
+  auto b = run_filebench_create(target2, "/base", options);
+  EXPECT_EQ(a.footprint.bytes_written, b.footprint.bytes_written);
+  EXPECT_EQ(a.directories, b.directories);
+}
+
+}  // namespace
+}  // namespace fsmon::workloads
