@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_filtering.dir/bench_ablation_filtering.cpp.o"
+  "CMakeFiles/bench_ablation_filtering.dir/bench_ablation_filtering.cpp.o.d"
+  "bench_ablation_filtering"
+  "bench_ablation_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fourmds_aggregate.dir/bench_fourmds_aggregate.cpp.o"
+  "CMakeFiles/bench_fourmds_aggregate.dir/bench_fourmds_aggregate.cpp.o.d"
+  "bench_fourmds_aggregate"
+  "bench_fourmds_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fourmds_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

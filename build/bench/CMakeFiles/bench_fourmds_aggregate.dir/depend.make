@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fourmds_aggregate.
+# This may be replaced when dependencies are built.

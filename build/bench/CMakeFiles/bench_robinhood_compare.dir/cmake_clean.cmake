@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robinhood_compare.dir/bench_robinhood_compare.cpp.o"
+  "CMakeFiles/bench_robinhood_compare.dir/bench_robinhood_compare.cpp.o.d"
+  "bench_robinhood_compare"
+  "bench_robinhood_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robinhood_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

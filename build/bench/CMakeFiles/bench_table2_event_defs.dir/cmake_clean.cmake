@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_event_defs.dir/bench_table2_event_defs.cpp.o"
+  "CMakeFiles/bench_table2_event_defs.dir/bench_table2_event_defs.cpp.o.d"
+  "bench_table2_event_defs"
+  "bench_table2_event_defs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_event_defs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_event_defs.
+# This may be replaced when dependencies are built.

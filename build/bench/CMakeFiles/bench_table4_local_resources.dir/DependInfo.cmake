@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_local_resources.cpp" "bench/CMakeFiles/bench_table4_local_resources.dir/bench_table4_local_resources.cpp.o" "gcc" "bench/CMakeFiles/bench_table4_local_resources.dir/bench_table4_local_resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fsmon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/msgq/CMakeFiles/fsmon_msgq.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventstore/CMakeFiles/fsmon_eventstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/fsmon_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fsmon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/localfs/CMakeFiles/fsmon_localfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalable/CMakeFiles/fsmon_scalable.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/fsmon_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

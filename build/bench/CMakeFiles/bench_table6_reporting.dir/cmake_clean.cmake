@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_reporting.dir/bench_table6_reporting.cpp.o"
+  "CMakeFiles/bench_table6_reporting.dir/bench_table6_reporting.cpp.o.d"
+  "bench_table6_reporting"
+  "bench_table6_reporting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_applications.dir/bench_table9_applications.cpp.o"
+  "CMakeFiles/bench_table9_applications.dir/bench_table9_applications.cpp.o.d"
+  "bench_table9_applications"
+  "bench_table9_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_watch_scaling.dir/bench_watch_scaling.cpp.o"
+  "CMakeFiles/bench_watch_scaling.dir/bench_watch_scaling.cpp.o.d"
+  "bench_watch_scaling"
+  "bench_watch_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_watch_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lustre_site_monitor.dir/lustre_site_monitor.cpp.o"
+  "CMakeFiles/lustre_site_monitor.dir/lustre_site_monitor.cpp.o.d"
+  "lustre_site_monitor"
+  "lustre_site_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lustre_site_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

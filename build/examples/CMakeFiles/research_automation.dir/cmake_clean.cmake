@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/research_automation.dir/research_automation.cpp.o"
+  "CMakeFiles/research_automation.dir/research_automation.cpp.o.d"
+  "research_automation"
+  "research_automation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/research_automation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

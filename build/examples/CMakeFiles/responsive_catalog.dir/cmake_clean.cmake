@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/responsive_catalog.dir/responsive_catalog.cpp.o"
+  "CMakeFiles/responsive_catalog.dir/responsive_catalog.cpp.o.d"
+  "responsive_catalog"
+  "responsive_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/responsive_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

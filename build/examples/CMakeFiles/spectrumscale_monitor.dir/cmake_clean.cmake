@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrumscale_monitor.dir/spectrumscale_monitor.cpp.o"
+  "CMakeFiles/spectrumscale_monitor.dir/spectrumscale_monitor.cpp.o.d"
+  "spectrumscale_monitor"
+  "spectrumscale_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrumscale_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cpp" "src/common/CMakeFiles/fsmon_common.dir/clock.cpp.o" "gcc" "src/common/CMakeFiles/fsmon_common.dir/clock.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/common/CMakeFiles/fsmon_common.dir/config.cpp.o" "gcc" "src/common/CMakeFiles/fsmon_common.dir/config.cpp.o.d"
+  "/root/repo/src/common/crc32.cpp" "src/common/CMakeFiles/fsmon_common.dir/crc32.cpp.o" "gcc" "src/common/CMakeFiles/fsmon_common.dir/crc32.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/fsmon_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/fsmon_common.dir/histogram.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/fsmon_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/fsmon_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/common/CMakeFiles/fsmon_common.dir/random.cpp.o" "gcc" "src/common/CMakeFiles/fsmon_common.dir/random.cpp.o.d"
+  "/root/repo/src/common/rate_meter.cpp" "src/common/CMakeFiles/fsmon_common.dir/rate_meter.cpp.o" "gcc" "src/common/CMakeFiles/fsmon_common.dir/rate_meter.cpp.o.d"
+  "/root/repo/src/common/resource_probe.cpp" "src/common/CMakeFiles/fsmon_common.dir/resource_probe.cpp.o" "gcc" "src/common/CMakeFiles/fsmon_common.dir/resource_probe.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "src/common/CMakeFiles/fsmon_common.dir/string_util.cpp.o" "gcc" "src/common/CMakeFiles/fsmon_common.dir/string_util.cpp.o.d"
+  "/root/repo/src/common/token_bucket.cpp" "src/common/CMakeFiles/fsmon_common.dir/token_bucket.cpp.o" "gcc" "src/common/CMakeFiles/fsmon_common.dir/token_bucket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

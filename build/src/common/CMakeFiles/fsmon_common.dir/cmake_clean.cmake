@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmon_common.dir/clock.cpp.o"
+  "CMakeFiles/fsmon_common.dir/clock.cpp.o.d"
+  "CMakeFiles/fsmon_common.dir/config.cpp.o"
+  "CMakeFiles/fsmon_common.dir/config.cpp.o.d"
+  "CMakeFiles/fsmon_common.dir/crc32.cpp.o"
+  "CMakeFiles/fsmon_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/fsmon_common.dir/histogram.cpp.o"
+  "CMakeFiles/fsmon_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/fsmon_common.dir/logging.cpp.o"
+  "CMakeFiles/fsmon_common.dir/logging.cpp.o.d"
+  "CMakeFiles/fsmon_common.dir/random.cpp.o"
+  "CMakeFiles/fsmon_common.dir/random.cpp.o.d"
+  "CMakeFiles/fsmon_common.dir/rate_meter.cpp.o"
+  "CMakeFiles/fsmon_common.dir/rate_meter.cpp.o.d"
+  "CMakeFiles/fsmon_common.dir/resource_probe.cpp.o"
+  "CMakeFiles/fsmon_common.dir/resource_probe.cpp.o.d"
+  "CMakeFiles/fsmon_common.dir/string_util.cpp.o"
+  "CMakeFiles/fsmon_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/fsmon_common.dir/token_bucket.cpp.o"
+  "CMakeFiles/fsmon_common.dir/token_bucket.cpp.o.d"
+  "libfsmon_common.a"
+  "libfsmon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

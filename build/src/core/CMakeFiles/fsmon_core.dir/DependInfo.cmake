@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dialects.cpp" "src/core/CMakeFiles/fsmon_core.dir/dialects.cpp.o" "gcc" "src/core/CMakeFiles/fsmon_core.dir/dialects.cpp.o.d"
+  "/root/repo/src/core/dsi.cpp" "src/core/CMakeFiles/fsmon_core.dir/dsi.cpp.o" "gcc" "src/core/CMakeFiles/fsmon_core.dir/dsi.cpp.o.d"
+  "/root/repo/src/core/event.cpp" "src/core/CMakeFiles/fsmon_core.dir/event.cpp.o" "gcc" "src/core/CMakeFiles/fsmon_core.dir/event.cpp.o.d"
+  "/root/repo/src/core/filter.cpp" "src/core/CMakeFiles/fsmon_core.dir/filter.cpp.o" "gcc" "src/core/CMakeFiles/fsmon_core.dir/filter.cpp.o.d"
+  "/root/repo/src/core/interface.cpp" "src/core/CMakeFiles/fsmon_core.dir/interface.cpp.o" "gcc" "src/core/CMakeFiles/fsmon_core.dir/interface.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/fsmon_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/fsmon_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/resolution.cpp" "src/core/CMakeFiles/fsmon_core.dir/resolution.cpp.o" "gcc" "src/core/CMakeFiles/fsmon_core.dir/resolution.cpp.o.d"
+  "/root/repo/src/core/watchdog_api.cpp" "src/core/CMakeFiles/fsmon_core.dir/watchdog_api.cpp.o" "gcc" "src/core/CMakeFiles/fsmon_core.dir/watchdog_api.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fsmon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventstore/CMakeFiles/fsmon_eventstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

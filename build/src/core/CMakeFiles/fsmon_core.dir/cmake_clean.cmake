@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmon_core.dir/dialects.cpp.o"
+  "CMakeFiles/fsmon_core.dir/dialects.cpp.o.d"
+  "CMakeFiles/fsmon_core.dir/dsi.cpp.o"
+  "CMakeFiles/fsmon_core.dir/dsi.cpp.o.d"
+  "CMakeFiles/fsmon_core.dir/event.cpp.o"
+  "CMakeFiles/fsmon_core.dir/event.cpp.o.d"
+  "CMakeFiles/fsmon_core.dir/filter.cpp.o"
+  "CMakeFiles/fsmon_core.dir/filter.cpp.o.d"
+  "CMakeFiles/fsmon_core.dir/interface.cpp.o"
+  "CMakeFiles/fsmon_core.dir/interface.cpp.o.d"
+  "CMakeFiles/fsmon_core.dir/monitor.cpp.o"
+  "CMakeFiles/fsmon_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/fsmon_core.dir/resolution.cpp.o"
+  "CMakeFiles/fsmon_core.dir/resolution.cpp.o.d"
+  "CMakeFiles/fsmon_core.dir/watchdog_api.cpp.o"
+  "CMakeFiles/fsmon_core.dir/watchdog_api.cpp.o.d"
+  "libfsmon_core.a"
+  "libfsmon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmon_eventstore.dir/store.cpp.o"
+  "CMakeFiles/fsmon_eventstore.dir/store.cpp.o.d"
+  "CMakeFiles/fsmon_eventstore.dir/wal.cpp.o"
+  "CMakeFiles/fsmon_eventstore.dir/wal.cpp.o.d"
+  "libfsmon_eventstore.a"
+  "libfsmon_eventstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmon_eventstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/localfs/inotify_dsi.cpp" "src/localfs/CMakeFiles/fsmon_localfs.dir/inotify_dsi.cpp.o" "gcc" "src/localfs/CMakeFiles/fsmon_localfs.dir/inotify_dsi.cpp.o.d"
+  "/root/repo/src/localfs/memfs.cpp" "src/localfs/CMakeFiles/fsmon_localfs.dir/memfs.cpp.o" "gcc" "src/localfs/CMakeFiles/fsmon_localfs.dir/memfs.cpp.o.d"
+  "/root/repo/src/localfs/native.cpp" "src/localfs/CMakeFiles/fsmon_localfs.dir/native.cpp.o" "gcc" "src/localfs/CMakeFiles/fsmon_localfs.dir/native.cpp.o.d"
+  "/root/repo/src/localfs/platform.cpp" "src/localfs/CMakeFiles/fsmon_localfs.dir/platform.cpp.o" "gcc" "src/localfs/CMakeFiles/fsmon_localfs.dir/platform.cpp.o.d"
+  "/root/repo/src/localfs/register.cpp" "src/localfs/CMakeFiles/fsmon_localfs.dir/register.cpp.o" "gcc" "src/localfs/CMakeFiles/fsmon_localfs.dir/register.cpp.o.d"
+  "/root/repo/src/localfs/sim_dsi.cpp" "src/localfs/CMakeFiles/fsmon_localfs.dir/sim_dsi.cpp.o" "gcc" "src/localfs/CMakeFiles/fsmon_localfs.dir/sim_dsi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fsmon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fsmon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventstore/CMakeFiles/fsmon_eventstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmon_localfs.dir/inotify_dsi.cpp.o"
+  "CMakeFiles/fsmon_localfs.dir/inotify_dsi.cpp.o.d"
+  "CMakeFiles/fsmon_localfs.dir/memfs.cpp.o"
+  "CMakeFiles/fsmon_localfs.dir/memfs.cpp.o.d"
+  "CMakeFiles/fsmon_localfs.dir/native.cpp.o"
+  "CMakeFiles/fsmon_localfs.dir/native.cpp.o.d"
+  "CMakeFiles/fsmon_localfs.dir/platform.cpp.o"
+  "CMakeFiles/fsmon_localfs.dir/platform.cpp.o.d"
+  "CMakeFiles/fsmon_localfs.dir/register.cpp.o"
+  "CMakeFiles/fsmon_localfs.dir/register.cpp.o.d"
+  "CMakeFiles/fsmon_localfs.dir/sim_dsi.cpp.o"
+  "CMakeFiles/fsmon_localfs.dir/sim_dsi.cpp.o.d"
+  "libfsmon_localfs.a"
+  "libfsmon_localfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmon_localfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

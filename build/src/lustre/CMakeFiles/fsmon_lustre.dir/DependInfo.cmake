@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lustre/changelog.cpp" "src/lustre/CMakeFiles/fsmon_lustre.dir/changelog.cpp.o" "gcc" "src/lustre/CMakeFiles/fsmon_lustre.dir/changelog.cpp.o.d"
+  "/root/repo/src/lustre/fid.cpp" "src/lustre/CMakeFiles/fsmon_lustre.dir/fid.cpp.o" "gcc" "src/lustre/CMakeFiles/fsmon_lustre.dir/fid.cpp.o.d"
+  "/root/repo/src/lustre/fid_resolver.cpp" "src/lustre/CMakeFiles/fsmon_lustre.dir/fid_resolver.cpp.o" "gcc" "src/lustre/CMakeFiles/fsmon_lustre.dir/fid_resolver.cpp.o.d"
+  "/root/repo/src/lustre/filesystem.cpp" "src/lustre/CMakeFiles/fsmon_lustre.dir/filesystem.cpp.o" "gcc" "src/lustre/CMakeFiles/fsmon_lustre.dir/filesystem.cpp.o.d"
+  "/root/repo/src/lustre/mdt.cpp" "src/lustre/CMakeFiles/fsmon_lustre.dir/mdt.cpp.o" "gcc" "src/lustre/CMakeFiles/fsmon_lustre.dir/mdt.cpp.o.d"
+  "/root/repo/src/lustre/mgs.cpp" "src/lustre/CMakeFiles/fsmon_lustre.dir/mgs.cpp.o" "gcc" "src/lustre/CMakeFiles/fsmon_lustre.dir/mgs.cpp.o.d"
+  "/root/repo/src/lustre/namespace.cpp" "src/lustre/CMakeFiles/fsmon_lustre.dir/namespace.cpp.o" "gcc" "src/lustre/CMakeFiles/fsmon_lustre.dir/namespace.cpp.o.d"
+  "/root/repo/src/lustre/ost.cpp" "src/lustre/CMakeFiles/fsmon_lustre.dir/ost.cpp.o" "gcc" "src/lustre/CMakeFiles/fsmon_lustre.dir/ost.cpp.o.d"
+  "/root/repo/src/lustre/profiles.cpp" "src/lustre/CMakeFiles/fsmon_lustre.dir/profiles.cpp.o" "gcc" "src/lustre/CMakeFiles/fsmon_lustre.dir/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fsmon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmon_lustre.dir/changelog.cpp.o"
+  "CMakeFiles/fsmon_lustre.dir/changelog.cpp.o.d"
+  "CMakeFiles/fsmon_lustre.dir/fid.cpp.o"
+  "CMakeFiles/fsmon_lustre.dir/fid.cpp.o.d"
+  "CMakeFiles/fsmon_lustre.dir/fid_resolver.cpp.o"
+  "CMakeFiles/fsmon_lustre.dir/fid_resolver.cpp.o.d"
+  "CMakeFiles/fsmon_lustre.dir/filesystem.cpp.o"
+  "CMakeFiles/fsmon_lustre.dir/filesystem.cpp.o.d"
+  "CMakeFiles/fsmon_lustre.dir/mdt.cpp.o"
+  "CMakeFiles/fsmon_lustre.dir/mdt.cpp.o.d"
+  "CMakeFiles/fsmon_lustre.dir/mgs.cpp.o"
+  "CMakeFiles/fsmon_lustre.dir/mgs.cpp.o.d"
+  "CMakeFiles/fsmon_lustre.dir/namespace.cpp.o"
+  "CMakeFiles/fsmon_lustre.dir/namespace.cpp.o.d"
+  "CMakeFiles/fsmon_lustre.dir/ost.cpp.o"
+  "CMakeFiles/fsmon_lustre.dir/ost.cpp.o.d"
+  "CMakeFiles/fsmon_lustre.dir/profiles.cpp.o"
+  "CMakeFiles/fsmon_lustre.dir/profiles.cpp.o.d"
+  "libfsmon_lustre.a"
+  "libfsmon_lustre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmon_lustre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msgq/message.cpp" "src/msgq/CMakeFiles/fsmon_msgq.dir/message.cpp.o" "gcc" "src/msgq/CMakeFiles/fsmon_msgq.dir/message.cpp.o.d"
+  "/root/repo/src/msgq/pubsub.cpp" "src/msgq/CMakeFiles/fsmon_msgq.dir/pubsub.cpp.o" "gcc" "src/msgq/CMakeFiles/fsmon_msgq.dir/pubsub.cpp.o.d"
+  "/root/repo/src/msgq/tcp.cpp" "src/msgq/CMakeFiles/fsmon_msgq.dir/tcp.cpp.o" "gcc" "src/msgq/CMakeFiles/fsmon_msgq.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fsmon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

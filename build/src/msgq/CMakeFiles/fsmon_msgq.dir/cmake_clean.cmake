@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmon_msgq.dir/message.cpp.o"
+  "CMakeFiles/fsmon_msgq.dir/message.cpp.o.d"
+  "CMakeFiles/fsmon_msgq.dir/pubsub.cpp.o"
+  "CMakeFiles/fsmon_msgq.dir/pubsub.cpp.o.d"
+  "CMakeFiles/fsmon_msgq.dir/tcp.cpp.o"
+  "CMakeFiles/fsmon_msgq.dir/tcp.cpp.o.d"
+  "libfsmon_msgq.a"
+  "libfsmon_msgq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmon_msgq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalable/aggregator.cpp" "src/scalable/CMakeFiles/fsmon_scalable.dir/aggregator.cpp.o" "gcc" "src/scalable/CMakeFiles/fsmon_scalable.dir/aggregator.cpp.o.d"
+  "/root/repo/src/scalable/collector.cpp" "src/scalable/CMakeFiles/fsmon_scalable.dir/collector.cpp.o" "gcc" "src/scalable/CMakeFiles/fsmon_scalable.dir/collector.cpp.o.d"
+  "/root/repo/src/scalable/consumer.cpp" "src/scalable/CMakeFiles/fsmon_scalable.dir/consumer.cpp.o" "gcc" "src/scalable/CMakeFiles/fsmon_scalable.dir/consumer.cpp.o.d"
+  "/root/repo/src/scalable/processor.cpp" "src/scalable/CMakeFiles/fsmon_scalable.dir/processor.cpp.o" "gcc" "src/scalable/CMakeFiles/fsmon_scalable.dir/processor.cpp.o.d"
+  "/root/repo/src/scalable/robinhood.cpp" "src/scalable/CMakeFiles/fsmon_scalable.dir/robinhood.cpp.o" "gcc" "src/scalable/CMakeFiles/fsmon_scalable.dir/robinhood.cpp.o.d"
+  "/root/repo/src/scalable/scalable_monitor.cpp" "src/scalable/CMakeFiles/fsmon_scalable.dir/scalable_monitor.cpp.o" "gcc" "src/scalable/CMakeFiles/fsmon_scalable.dir/scalable_monitor.cpp.o.d"
+  "/root/repo/src/scalable/sim_driver.cpp" "src/scalable/CMakeFiles/fsmon_scalable.dir/sim_driver.cpp.o" "gcc" "src/scalable/CMakeFiles/fsmon_scalable.dir/sim_driver.cpp.o.d"
+  "/root/repo/src/scalable/tcp_bridge.cpp" "src/scalable/CMakeFiles/fsmon_scalable.dir/tcp_bridge.cpp.o" "gcc" "src/scalable/CMakeFiles/fsmon_scalable.dir/tcp_bridge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fsmon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fsmon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/fsmon_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/msgq/CMakeFiles/fsmon_msgq.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventstore/CMakeFiles/fsmon_eventstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsmon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmon_scalable.dir/aggregator.cpp.o"
+  "CMakeFiles/fsmon_scalable.dir/aggregator.cpp.o.d"
+  "CMakeFiles/fsmon_scalable.dir/collector.cpp.o"
+  "CMakeFiles/fsmon_scalable.dir/collector.cpp.o.d"
+  "CMakeFiles/fsmon_scalable.dir/consumer.cpp.o"
+  "CMakeFiles/fsmon_scalable.dir/consumer.cpp.o.d"
+  "CMakeFiles/fsmon_scalable.dir/processor.cpp.o"
+  "CMakeFiles/fsmon_scalable.dir/processor.cpp.o.d"
+  "CMakeFiles/fsmon_scalable.dir/robinhood.cpp.o"
+  "CMakeFiles/fsmon_scalable.dir/robinhood.cpp.o.d"
+  "CMakeFiles/fsmon_scalable.dir/scalable_monitor.cpp.o"
+  "CMakeFiles/fsmon_scalable.dir/scalable_monitor.cpp.o.d"
+  "CMakeFiles/fsmon_scalable.dir/sim_driver.cpp.o"
+  "CMakeFiles/fsmon_scalable.dir/sim_driver.cpp.o.d"
+  "CMakeFiles/fsmon_scalable.dir/tcp_bridge.cpp.o"
+  "CMakeFiles/fsmon_scalable.dir/tcp_bridge.cpp.o.d"
+  "libfsmon_scalable.a"
+  "libfsmon_scalable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmon_scalable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmon_sim.dir/engine.cpp.o"
+  "CMakeFiles/fsmon_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/fsmon_sim.dir/service_station.cpp.o"
+  "CMakeFiles/fsmon_sim.dir/service_station.cpp.o.d"
+  "libfsmon_sim.a"
+  "libfsmon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsmon_sim.a"
+)

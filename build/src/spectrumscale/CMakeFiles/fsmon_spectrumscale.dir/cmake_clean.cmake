@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmon_spectrumscale.dir/fal.cpp.o"
+  "CMakeFiles/fsmon_spectrumscale.dir/fal.cpp.o.d"
+  "CMakeFiles/fsmon_spectrumscale.dir/fal_dsi.cpp.o"
+  "CMakeFiles/fsmon_spectrumscale.dir/fal_dsi.cpp.o.d"
+  "libfsmon_spectrumscale.a"
+  "libfsmon_spectrumscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmon_spectrumscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

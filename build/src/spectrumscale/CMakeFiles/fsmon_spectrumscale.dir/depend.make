@@ -1,0 +1,2 @@
+# Empty dependencies file for fsmon_spectrumscale.
+# This may be replaced when dependencies are built.

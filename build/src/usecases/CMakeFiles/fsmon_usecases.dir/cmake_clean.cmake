@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmon_usecases.dir/automation.cpp.o"
+  "CMakeFiles/fsmon_usecases.dir/automation.cpp.o.d"
+  "CMakeFiles/fsmon_usecases.dir/catalog.cpp.o"
+  "CMakeFiles/fsmon_usecases.dir/catalog.cpp.o.d"
+  "libfsmon_usecases.a"
+  "libfsmon_usecases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmon_usecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fsmon_usecases.
+# This may be replaced when dependencies are built.

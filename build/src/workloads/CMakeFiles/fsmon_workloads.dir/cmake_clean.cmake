@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmon_workloads.dir/filebench.cpp.o"
+  "CMakeFiles/fsmon_workloads.dir/filebench.cpp.o.d"
+  "CMakeFiles/fsmon_workloads.dir/hacc.cpp.o"
+  "CMakeFiles/fsmon_workloads.dir/hacc.cpp.o.d"
+  "CMakeFiles/fsmon_workloads.dir/ior.cpp.o"
+  "CMakeFiles/fsmon_workloads.dir/ior.cpp.o.d"
+  "CMakeFiles/fsmon_workloads.dir/scripts.cpp.o"
+  "CMakeFiles/fsmon_workloads.dir/scripts.cpp.o.d"
+  "libfsmon_workloads.a"
+  "libfsmon_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmon_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,85 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bounded_queue_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/common/bounded_queue_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/common/bounded_queue_test.cpp.o.d"
+  "/root/repo/tests/common/clock_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/common/clock_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/common/clock_test.cpp.o.d"
+  "/root/repo/tests/common/config_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/common/config_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/common/config_test.cpp.o.d"
+  "/root/repo/tests/common/crc32_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/common/crc32_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/common/crc32_test.cpp.o.d"
+  "/root/repo/tests/common/histogram_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/common/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/common/histogram_test.cpp.o.d"
+  "/root/repo/tests/common/logging_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/common/logging_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/common/logging_test.cpp.o.d"
+  "/root/repo/tests/common/lru_cache_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/common/lru_cache_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/common/lru_cache_test.cpp.o.d"
+  "/root/repo/tests/common/random_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/common/random_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/common/random_test.cpp.o.d"
+  "/root/repo/tests/common/rate_meter_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/common/rate_meter_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/common/rate_meter_test.cpp.o.d"
+  "/root/repo/tests/common/resource_probe_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/common/resource_probe_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/common/resource_probe_test.cpp.o.d"
+  "/root/repo/tests/common/spsc_ring_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/common/spsc_ring_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/common/spsc_ring_test.cpp.o.d"
+  "/root/repo/tests/common/string_util_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/common/string_util_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/common/string_util_test.cpp.o.d"
+  "/root/repo/tests/common/token_bucket_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/common/token_bucket_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/common/token_bucket_test.cpp.o.d"
+  "/root/repo/tests/core/dialects_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/core/dialects_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/core/dialects_test.cpp.o.d"
+  "/root/repo/tests/core/dsi_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/core/dsi_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/core/dsi_test.cpp.o.d"
+  "/root/repo/tests/core/event_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/core/event_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/core/event_test.cpp.o.d"
+  "/root/repo/tests/core/filter_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/core/filter_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/core/filter_test.cpp.o.d"
+  "/root/repo/tests/core/interface_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/core/interface_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/core/interface_test.cpp.o.d"
+  "/root/repo/tests/core/monitor_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/core/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/core/monitor_test.cpp.o.d"
+  "/root/repo/tests/core/resolution_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/core/resolution_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/core/resolution_test.cpp.o.d"
+  "/root/repo/tests/core/watchdog_api_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/core/watchdog_api_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/core/watchdog_api_test.cpp.o.d"
+  "/root/repo/tests/eventstore/store_property_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/eventstore/store_property_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/eventstore/store_property_test.cpp.o.d"
+  "/root/repo/tests/eventstore/store_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/eventstore/store_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/eventstore/store_test.cpp.o.d"
+  "/root/repo/tests/eventstore/wal_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/eventstore/wal_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/eventstore/wal_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/fault_tolerance_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/integration/fault_tolerance_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/integration/fault_tolerance_test.cpp.o.d"
+  "/root/repo/tests/integration/local_replay_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/integration/local_replay_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/integration/local_replay_test.cpp.o.d"
+  "/root/repo/tests/localfs/inotify_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/localfs/inotify_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/localfs/inotify_test.cpp.o.d"
+  "/root/repo/tests/localfs/memfs_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/localfs/memfs_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/localfs/memfs_test.cpp.o.d"
+  "/root/repo/tests/localfs/native_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/localfs/native_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/localfs/native_test.cpp.o.d"
+  "/root/repo/tests/localfs/platform_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/localfs/platform_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/localfs/platform_test.cpp.o.d"
+  "/root/repo/tests/localfs/sim_dsi_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/localfs/sim_dsi_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/localfs/sim_dsi_test.cpp.o.d"
+  "/root/repo/tests/lustre/changelog_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/lustre/changelog_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/lustre/changelog_test.cpp.o.d"
+  "/root/repo/tests/lustre/fid_resolver_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/lustre/fid_resolver_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/lustre/fid_resolver_test.cpp.o.d"
+  "/root/repo/tests/lustre/fid_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/lustre/fid_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/lustre/fid_test.cpp.o.d"
+  "/root/repo/tests/lustre/filesystem_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/lustre/filesystem_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/lustre/filesystem_test.cpp.o.d"
+  "/root/repo/tests/lustre/mdt_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/lustre/mdt_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/lustre/mdt_test.cpp.o.d"
+  "/root/repo/tests/lustre/namespace_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/lustre/namespace_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/lustre/namespace_test.cpp.o.d"
+  "/root/repo/tests/lustre/ost_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/lustre/ost_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/lustre/ost_test.cpp.o.d"
+  "/root/repo/tests/msgq/message_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/msgq/message_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/msgq/message_test.cpp.o.d"
+  "/root/repo/tests/msgq/pubsub_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/msgq/pubsub_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/msgq/pubsub_test.cpp.o.d"
+  "/root/repo/tests/msgq/tcp_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/msgq/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/msgq/tcp_test.cpp.o.d"
+  "/root/repo/tests/scalable/collector_costs_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/scalable/collector_costs_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/scalable/collector_costs_test.cpp.o.d"
+  "/root/repo/tests/scalable/consumer_overflow_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/scalable/consumer_overflow_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/scalable/consumer_overflow_test.cpp.o.d"
+  "/root/repo/tests/scalable/pipeline_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/scalable/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/scalable/pipeline_test.cpp.o.d"
+  "/root/repo/tests/scalable/processor_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/scalable/processor_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/scalable/processor_test.cpp.o.d"
+  "/root/repo/tests/scalable/property_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/scalable/property_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/scalable/property_test.cpp.o.d"
+  "/root/repo/tests/scalable/robinhood_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/scalable/robinhood_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/scalable/robinhood_test.cpp.o.d"
+  "/root/repo/tests/scalable/sim_driver_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/scalable/sim_driver_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/scalable/sim_driver_test.cpp.o.d"
+  "/root/repo/tests/scalable/tcp_bridge_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/scalable/tcp_bridge_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/scalable/tcp_bridge_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/sim/engine_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/sim/engine_test.cpp.o.d"
+  "/root/repo/tests/sim/service_station_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/sim/service_station_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/sim/service_station_test.cpp.o.d"
+  "/root/repo/tests/spectrumscale/fal_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/spectrumscale/fal_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/spectrumscale/fal_test.cpp.o.d"
+  "/root/repo/tests/usecases/automation_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/usecases/automation_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/usecases/automation_test.cpp.o.d"
+  "/root/repo/tests/usecases/catalog_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/usecases/catalog_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/usecases/catalog_test.cpp.o.d"
+  "/root/repo/tests/workloads/workloads_test.cpp" "tests/CMakeFiles/fsmon_tests.dir/workloads/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/fsmon_tests.dir/workloads/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fsmon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/msgq/CMakeFiles/fsmon_msgq.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventstore/CMakeFiles/fsmon_eventstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/fsmon_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fsmon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/localfs/CMakeFiles/fsmon_localfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalable/CMakeFiles/fsmon_scalable.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/fsmon_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/usecases/CMakeFiles/fsmon_usecases.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectrumscale/CMakeFiles/fsmon_spectrumscale.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/fsmonitorwait.cpp" "tools/CMakeFiles/fsmonitorwait.dir/fsmonitorwait.cpp.o" "gcc" "tools/CMakeFiles/fsmonitorwait.dir/fsmonitorwait.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fsmon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fsmon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/localfs/CMakeFiles/fsmon_localfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventstore/CMakeFiles/fsmon_eventstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

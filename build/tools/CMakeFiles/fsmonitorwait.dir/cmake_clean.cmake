@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmonitorwait.dir/fsmonitorwait.cpp.o"
+  "CMakeFiles/fsmonitorwait.dir/fsmonitorwait.cpp.o.d"
+  "fsmonitorwait"
+  "fsmonitorwait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmonitorwait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
