@@ -6,6 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/exporters.hpp"
+#include "src/obs/metrics.hpp"
+
 namespace fsmon::bench {
 
 /// Fixed-width table printer.
@@ -67,6 +70,24 @@ inline std::string vs_paper(double measured, double paper, int decimals = 0) {
 
 inline void banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Write a final JSON metrics snapshot next to the bench binary and say
+/// where it went (harness-wide convention: <bench>_metrics.json).
+inline void dump_metrics(obs::MetricsRegistry& registry, const std::string& path) {
+  if (auto s = obs::write_snapshot(registry, path, obs::ExportFormat::kJson); s.is_ok()) {
+    std::printf("metrics snapshot: %s (%zu instruments)\n", path.c_str(),
+                registry.instrument_count());
+  } else {
+    std::printf("metrics snapshot failed: %s\n", s.to_string().c_str());
+  }
+}
+
+/// Cache hit ratio straight from fidcache.* registry counters.
+inline double cache_hit_rate(const obs::MetricsSnapshot& snapshot) {
+  const double hits = static_cast<double>(snapshot.counter_total("fidcache.hits"));
+  const double lookups = hits + static_cast<double>(snapshot.counter_total("fidcache.misses"));
+  return lookups == 0 ? 0.0 : hits / lookups;
 }
 
 }  // namespace fsmon::bench

@@ -62,6 +62,21 @@ void Histogram::merge(const Histogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+std::vector<Histogram::CumulativeBucket> Histogram::cumulative_buckets() const {
+  std::vector<CumulativeBucket> out;
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t c = buckets_[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    cumulative += c;
+    // Bucket i spans [bucket_low(i), bucket_low(i+1)); the inclusive
+    // upper edge is one below the next bucket's low bound.
+    const std::uint64_t upper = i >= 63 ? UINT64_MAX : bucket_low(i + 1) - 1;
+    out.push_back({upper, cumulative});
+  }
+  return out;
+}
+
 void Histogram::reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;

@@ -17,6 +17,7 @@ class Histogram {
   void record(std::uint64_t value);
 
   std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
   std::uint64_t min() const;
   std::uint64_t max() const { return max_; }
   double mean() const;
@@ -27,6 +28,16 @@ class Histogram {
 
   void merge(const Histogram& other);
   void reset();
+
+  /// One cumulative bucket boundary for exporters (Prometheus `le`).
+  struct CumulativeBucket {
+    std::uint64_t upper_bound;      ///< Inclusive upper edge of the bucket.
+    std::uint64_t cumulative_count; ///< Observations <= upper_bound.
+  };
+
+  /// Cumulative counts at every non-empty bucket edge, ascending. Empty
+  /// when nothing has been recorded.
+  std::vector<CumulativeBucket> cumulative_buckets() const;
 
   /// Human-readable multi-line summary.
   std::string summary(const std::string& unit) const;

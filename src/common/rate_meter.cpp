@@ -34,6 +34,19 @@ double RateMeter::windowed_rate() const {
   return w <= 0 ? 0.0 : static_cast<double>(window_total_) / w;
 }
 
+RateMeter::Snapshot RateMeter::snapshot() const {
+  const TimePoint now = clock_.now();
+  std::lock_guard lock(mu_);
+  evict_expired(now);
+  Snapshot snap;
+  snap.count = total_;
+  const double elapsed = to_seconds(now - start_);
+  snap.average_rate = elapsed <= 0 ? 0.0 : static_cast<double>(total_) / elapsed;
+  const double w = to_seconds(window_);
+  snap.windowed_rate = w <= 0 ? 0.0 : static_cast<double>(window_total_) / w;
+  return snap;
+}
+
 void RateMeter::reset() {
   const TimePoint now = clock_.now();
   std::lock_guard lock(mu_);

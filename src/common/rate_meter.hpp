@@ -32,6 +32,14 @@ class RateMeter {
   /// Events/second over the trailing window.
   double windowed_rate() const;
 
+  /// Consistent point-in-time view (one lock) for metrics exporters.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double average_rate = 0;
+    double windowed_rate = 0;
+  };
+  Snapshot snapshot() const;
+
   void reset();
 
  private:

@@ -20,4 +20,35 @@ bool FilterRule::matches(const StdEvent& event) const {
   return true;
 }
 
+FilterMetrics FilterMetrics::create(obs::MetricsRegistry& registry,
+                                    const obs::Labels& labels) {
+  FilterMetrics m;
+  m.evaluations = &registry.counter("filter.evaluations", labels,
+                                    "Events run through a subscriber's rule set",
+                                    "events");
+  m.matches = &registry.counter("filter.matches", labels,
+                                "Events accepted by at least one rule", "events");
+  m.drops = &registry.counter("filter.drops", labels,
+                              "Events rejected by every rule in the set", "events");
+  return m;
+}
+
+bool matches_any(std::span<const FilterRule> rules, const StdEvent& event,
+                 const FilterMetrics* metrics) {
+  bool matched = rules.empty();
+  if (!matched) {
+    for (const auto& rule : rules) {
+      if (rule.matches(event)) {
+        matched = true;
+        break;
+      }
+    }
+  }
+  if (metrics != nullptr) {
+    metrics->evaluations->inc();
+    (matched ? metrics->matches : metrics->drops)->inc();
+  }
+  return matched;
+}
+
 }  // namespace fsmon::core

@@ -9,9 +9,11 @@
 
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 
 #include "src/core/event.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace fsmon::core {
 
@@ -29,5 +31,20 @@ struct FilterRule {
 
   bool matches(const StdEvent& event) const;
 };
+
+/// Instrument handles for one filtering site (filter.*). Created by the
+/// owning subscriber (e.g. a Consumer) with a distinguishing label.
+struct FilterMetrics {
+  obs::Counter* evaluations = nullptr;
+  obs::Counter* matches = nullptr;
+  obs::Counter* drops = nullptr;
+
+  static FilterMetrics create(obs::MetricsRegistry& registry, const obs::Labels& labels);
+};
+
+/// True when any rule matches (or the rule set is empty — match-all, the
+/// consumer default). Counts the outcome against `metrics` when given.
+bool matches_any(std::span<const FilterRule> rules, const StdEvent& event,
+                 const FilterMetrics* metrics = nullptr);
 
 }  // namespace fsmon::core

@@ -13,8 +13,31 @@ using common::ErrorCode;
 using common::Status;
 
 EventStore::EventStore(EventStoreOptions options) : options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    auto& registry = *options_.metrics;
+    wal_metrics_ = WalMetrics::create(registry);
+    purged_counter_ = &registry.counter("store.purged_records", {},
+                                        "Records removed by purge cycles or the size cap",
+                                        "records");
+    live_records_gauge_ = &registry.gauge("store.live_records", {},
+                                          "Records currently retained in the store",
+                                          "records");
+    live_bytes_gauge_ = &registry.gauge("store.live_bytes", {},
+                                        "Payload bytes currently retained in the store",
+                                        "bytes");
+    segments_gauge_ = &registry.gauge("store.segments", {},
+                                      "WAL segment files backing the store", "segments");
+  }
   std::filesystem::create_directories(options_.directory);
   recover();
+  update_gauges_locked();  // safe pre-threading: no lock needed yet
+}
+
+void EventStore::update_gauges_locked() {
+  if (live_records_gauge_ == nullptr) return;
+  live_records_gauge_->set(static_cast<std::int64_t>(records_.size()));
+  live_bytes_gauge_->set(static_cast<std::int64_t>(live_bytes_));
+  segments_gauge_->set(static_cast<std::int64_t>(segments_.size()));
 }
 
 std::filesystem::path EventStore::watermark_path() const {
@@ -96,6 +119,7 @@ Status EventStore::append(common::EventId id, std::span<const std::byte> payload
                                  false});
   live_bytes_ += payload.size();
   enforce_cap_locked();
+  update_gauges_locked();
   return Status::ok();
 }
 
@@ -106,7 +130,8 @@ void EventStore::roll_segment_locked() {
   }
   Segment segment;
   segment.path = segment_path(last_id_ + 1);
-  segment.wal = std::make_unique<WalSegment>(segment.path);
+  segment.wal = std::make_unique<WalSegment>(
+      segment.path, wal_metrics_.appends != nullptr ? &wal_metrics_ : nullptr);
   segments_.push_back(std::move(segment));
 }
 
@@ -126,6 +151,7 @@ void EventStore::drop_record_locked() {
   const common::EventId dropped_id = victim.id;
   dropped_upto_ = std::max(dropped_upto_, dropped_id);
   records_.pop_front();
+  if (purged_counter_ != nullptr) purged_counter_->inc();
   // Delete leading segments whose records are all gone.
   while (!segments_.empty() && segments_.front().wal == nullptr &&
          segments_.front().last_id <= dropped_id &&
@@ -164,6 +190,7 @@ std::size_t EventStore::purge_reported() {
     ++removed;
   }
   if (removed > 0) write_watermark_locked();
+  update_gauges_locked();
   return removed;
 }
 

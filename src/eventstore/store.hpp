@@ -26,6 +26,7 @@
 #include "src/common/status.hpp"
 #include "src/common/types.hpp"
 #include "src/eventstore/wal.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace fsmon::eventstore {
 
@@ -36,6 +37,9 @@ struct EventStoreOptions {
   /// oldest records are evicted regardless of reported flag.
   std::uint64_t max_bytes = 0;
   bool flush_each_append = false;  ///< Durability vs throughput knob.
+  /// Observability registry; null = uninstrumented. Registers wal.* and
+  /// store.* metrics.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct StoredEvent {
@@ -90,7 +94,16 @@ class EventStore {
   std::filesystem::path segment_path(common::EventId first_id) const;
   std::filesystem::path watermark_path() const;
 
+  /// Updates store.* gauges from current locked state; no-op when
+  /// uninstrumented.
+  void update_gauges_locked();
+
   EventStoreOptions options_;
+  WalMetrics wal_metrics_;  ///< Shared by every segment; zeroed when unused.
+  obs::Counter* purged_counter_ = nullptr;
+  obs::Gauge* live_records_gauge_ = nullptr;
+  obs::Gauge* live_bytes_gauge_ = nullptr;
+  obs::Gauge* segments_gauge_ = nullptr;
   mutable std::mutex mu_;
   std::deque<StoredEvent> records_;  // ordered by id
   std::uint64_t live_bytes_ = 0;

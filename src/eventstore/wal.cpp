@@ -1,5 +1,6 @@
 #include "src/eventstore/wal.hpp"
 
+#include <chrono>
 #include <cstring>
 
 #include "src/common/crc32.hpp"
@@ -32,9 +33,34 @@ std::uint64_t get_u64(const std::byte* p) {
   return v;
 }
 
+// Wall-clock microseconds of real I/O work, not simulated time: WAL
+// writes always hit the actual filesystem.
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - start)
+                                        .count());
+}
+
 }  // namespace
 
-WalSegment::WalSegment(std::filesystem::path path) : path_(std::move(path)) {
+WalMetrics WalMetrics::create(obs::MetricsRegistry& registry) {
+  WalMetrics m;
+  m.appends = &registry.counter("wal.appends", {}, "Records appended to WAL segments",
+                                "records");
+  m.append_bytes = &registry.counter("wal.append_bytes", {},
+                                     "Framed bytes written to WAL segments", "bytes");
+  m.append_latency_us = &registry.histogram(
+      "wal.append_latency_us", {}, "Wall-clock latency of one framed WAL append", "us");
+  m.fsyncs = &registry.counter("wal.fsyncs", {},
+                               "Explicit WAL flushes to the OS (durability barrier)",
+                               "flushes");
+  m.fsync_latency_us = &registry.histogram("wal.fsync_latency_us", {},
+                                           "Wall-clock latency of one WAL flush", "us");
+  return m;
+}
+
+WalSegment::WalSegment(std::filesystem::path path, const WalMetrics* metrics)
+    : path_(std::move(path)), metrics_(metrics) {
   std::filesystem::create_directories(path_.parent_path());
   out_.open(path_, std::ios::binary | std::ios::app);
   if (out_) {
@@ -48,6 +74,7 @@ WalSegment::~WalSegment() {
 
 Status WalSegment::append(common::EventId id, std::span<const std::byte> payload) {
   if (!out_) return Status(ErrorCode::kUnavailable, "wal segment not writable: " + path_.string());
+  const auto start = std::chrono::steady_clock::now();
   std::vector<std::byte> record;
   record.reserve(16 + payload.size());
   put_u32(record, static_cast<std::uint32_t>(payload.size()));
@@ -59,12 +86,22 @@ Status WalSegment::append(common::EventId id, std::span<const std::byte> payload
              static_cast<std::streamsize>(record.size()));
   if (!out_) return Status(ErrorCode::kUnavailable, "wal write failed");
   bytes_written_ += record.size();
+  if (metrics_ != nullptr) {
+    metrics_->appends->inc();
+    metrics_->append_bytes->inc(record.size());
+    metrics_->append_latency_us->record(elapsed_us(start));
+  }
   return Status::ok();
 }
 
 Status WalSegment::flush() {
+  const auto start = std::chrono::steady_clock::now();
   out_.flush();
   if (!out_) return Status(ErrorCode::kUnavailable, "wal flush failed");
+  if (metrics_ != nullptr) {
+    metrics_->fsyncs->inc();
+    metrics_->fsync_latency_us->record(elapsed_us(start));
+  }
   return Status::ok();
 }
 

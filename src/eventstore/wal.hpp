@@ -18,6 +18,7 @@
 
 #include "src/common/status.hpp"
 #include "src/common/types.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace fsmon::eventstore {
 
@@ -26,10 +27,23 @@ struct WalRecord {
   std::vector<std::byte> payload;
 };
 
+/// Shared instrument handles for every segment of one store (wal.*).
+/// Owned by the EventStore, outliving its segments.
+struct WalMetrics {
+  obs::Counter* appends = nullptr;
+  obs::Counter* append_bytes = nullptr;
+  obs::HistogramMetric* append_latency_us = nullptr;
+  obs::Counter* fsyncs = nullptr;
+  obs::HistogramMetric* fsync_latency_us = nullptr;
+
+  static WalMetrics create(obs::MetricsRegistry& registry);
+};
+
 class WalSegment {
  public:
   /// Opens (creating if needed) the segment file for appending.
-  explicit WalSegment(std::filesystem::path path);
+  /// `metrics` (optional) must outlive the segment.
+  explicit WalSegment(std::filesystem::path path, const WalMetrics* metrics = nullptr);
   ~WalSegment();
 
   WalSegment(const WalSegment&) = delete;
@@ -52,6 +66,7 @@ class WalSegment {
   std::filesystem::path path_;
   std::ofstream out_;
   std::uint64_t bytes_written_ = 0;
+  const WalMetrics* metrics_ = nullptr;
 };
 
 }  // namespace fsmon::eventstore

@@ -78,9 +78,21 @@ std::string ChangelogRecord::to_line() const {
   return os.str();
 }
 
+void Changelog::attach_metrics(obs::MetricsRegistry& registry, obs::Labels labels) {
+  appended_counter_ = &registry.counter("changelog.records_appended", labels,
+                                        "Changelog records appended on this MDT", "records");
+  purged_counter_ = &registry.counter("changelog.records_purged", labels,
+                                      "Records physically removed by changelog_clear",
+                                      "records");
+  backlog_gauge_ = &registry.gauge("changelog.backlog_records", std::move(labels),
+                                   "Records retained (appended, not yet purged)", "records");
+}
+
 std::uint64_t Changelog::append(ChangelogRecord record) {
   record.index = next_index_++;
   records_.push_back(std::move(record));
+  if (appended_counter_ != nullptr) appended_counter_->inc();
+  if (backlog_gauge_ != nullptr) backlog_gauge_->set(static_cast<std::int64_t>(records_.size()));
   return records_.back().index;
 }
 
@@ -102,10 +114,14 @@ common::Status Changelog::clear_upto(std::uint64_t index) {
     return common::Status(common::ErrorCode::kOutOfRange,
                           "changelog_clear beyond last record");
   }
+  std::uint64_t removed = 0;
   while (!records_.empty() && records_.front().index <= index) {
     records_.pop_front();
     ++purged_;
+    ++removed;
   }
+  if (purged_counter_ != nullptr && removed > 0) purged_counter_->inc(removed);
+  if (backlog_gauge_ != nullptr) backlog_gauge_->set(static_cast<std::int64_t>(records_.size()));
   return common::Status::ok();
 }
 

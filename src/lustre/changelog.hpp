@@ -21,6 +21,7 @@
 #include "src/common/status.hpp"
 #include "src/common/types.hpp"
 #include "src/lustre/fid.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace fsmon::lustre {
 
@@ -102,10 +103,17 @@ class Changelog {
   std::uint64_t total_appended() const { return next_index_ - 1; }
   std::uint64_t total_purged() const { return purged_; }
 
+  /// Register this changelog's metrics (records appended/purged, retained
+  /// backlog) with `labels` qualifying the owning MDT.
+  void attach_metrics(obs::MetricsRegistry& registry, obs::Labels labels);
+
  private:
   std::deque<ChangelogRecord> records_;
   std::uint64_t next_index_ = 1;
   std::uint64_t purged_ = 0;
+  obs::Counter* appended_counter_ = nullptr;
+  obs::Counter* purged_counter_ = nullptr;
+  obs::Gauge* backlog_gauge_ = nullptr;
 };
 
 }  // namespace fsmon::lustre

@@ -4,8 +4,19 @@
 
 namespace fsmon::lustre {
 
+void FidResolver::attach_metrics(obs::MetricsRegistry& registry, obs::Labels labels) {
+  calls_counter_ = &registry.counter("fid2path.calls", labels,
+                                     "fid2path invocations (cache misses fall through here)",
+                                     "calls");
+  failures_counter_ = &registry.counter(
+      "fid2path.failures", labels, "fid2path calls on FIDs that no longer exist", "calls");
+  latency_hist_ = &registry.histogram("fid2path.latency_us", std::move(labels),
+                                      "Per-call fid2path resolve latency", "us");
+}
+
 ResolveOutcome FidResolver::resolve(const Fid& fid) {
   ++calls_;
+  if (calls_counter_ != nullptr) calls_counter_->inc();
   auto path = fs_.fid2path(fid);
   std::size_t components = 1;
   if (path.is_ok()) {
@@ -13,10 +24,14 @@ ResolveOutcome FidResolver::resolve(const Fid& fid) {
         1, static_cast<std::size_t>(std::count(path.value().begin(), path.value().end(), '/')));
   } else {
     ++failures_;
+    if (failures_counter_ != nullptr) failures_counter_->inc();
   }
   const common::Duration cost =
       options_.base_cost + options_.per_component_cost * static_cast<std::int64_t>(components);
   total_cost_ += cost;
+  if (latency_hist_ != nullptr)
+    latency_hist_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(cost).count()));
   if (clock_ != nullptr) clock_->sleep_for(cost);
   return ResolveOutcome(std::move(path), cost);
 }

@@ -14,6 +14,7 @@
 #include "src/common/clock.hpp"
 #include "src/common/status.hpp"
 #include "src/lustre/filesystem.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace fsmon::lustre {
 
@@ -50,6 +51,10 @@ class FidResolver {
   std::uint64_t failures() const { return failures_; }
   common::Duration total_cost() const { return total_cost_; }
 
+  /// Register fid2path call/failure counters and the per-call resolve
+  /// latency histogram (microseconds of modeled cost).
+  void attach_metrics(obs::MetricsRegistry& registry, obs::Labels labels);
+
  private:
   const LustreFs& fs_;
   FidResolverOptions options_;
@@ -57,6 +62,9 @@ class FidResolver {
   std::uint64_t calls_ = 0;
   std::uint64_t failures_ = 0;
   common::Duration total_cost_{};
+  obs::Counter* calls_counter_ = nullptr;
+  obs::Counter* failures_counter_ = nullptr;
+  obs::HistogramMetric* latency_hist_ = nullptr;
 };
 
 }  // namespace fsmon::lustre

@@ -349,4 +349,9 @@ std::uint64_t LustreFs::total_records() const {
   return total;
 }
 
+void LustreFs::attach_metrics(obs::MetricsRegistry& registry) {
+  std::lock_guard lock(mu_);
+  for (const auto& mds : mds_) mds->attach_metrics(registry);
+}
+
 }  // namespace fsmon::lustre

@@ -91,6 +91,9 @@ class LustreFs {
   /// Total records appended across all MDT changelogs.
   std::uint64_t total_records() const;
 
+  /// Register per-MDT changelog metrics for every MDS in the deployment.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
  private:
   struct ParentRef {
     Fid fid;

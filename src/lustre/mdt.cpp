@@ -8,6 +8,19 @@ using common::ErrorCode;
 using common::Result;
 using common::Status;
 
+void Mds::attach_metrics(obs::MetricsRegistry& registry) {
+  const obs::Labels labels{{"mdt", std::to_string(index())}};
+  reads_counter_ = &registry.counter("changelog.reads", labels,
+                                     "changelog_read calls served (lfs changelog)", "calls");
+  records_read_counter_ =
+      &registry.counter("changelog.records_read", labels,
+                        "Records handed to changelog users by changelog_read", "records");
+  records_cleared_counter_ = &registry.counter(
+      "changelog.records_cleared", labels,
+      "Records acknowledged via changelog_clear (lfs changelog_clear)", "records");
+  mdt_.changelog().attach_metrics(registry, labels);
+}
+
 std::string Mds::register_changelog_user() {
   std::string id = "cl" + std::to_string(next_user_++);
   // A new user starts at the log head: it sees only records appended
@@ -26,7 +39,10 @@ Result<std::vector<ChangelogRecord>> Mds::changelog_read(const std::string& user
   auto it = users_.find(user_id);
   if (it == users_.end())
     return Status(ErrorCode::kNotFound, "unregistered changelog user " + user_id);
-  return mdt_.changelog().read(it->second, max_records);
+  auto records = mdt_.changelog().read(it->second, max_records);
+  if (reads_counter_ != nullptr) reads_counter_->inc();
+  if (records_read_counter_ != nullptr) records_read_counter_->inc(records.size());
+  return records;
 }
 
 Status Mds::changelog_clear(const std::string& user_id, std::uint64_t index) {
@@ -35,6 +51,8 @@ Status Mds::changelog_clear(const std::string& user_id, std::uint64_t index) {
     return Status(ErrorCode::kNotFound, "unregistered changelog user " + user_id);
   if (index > mdt_.changelog().last_index())
     return Status(ErrorCode::kOutOfRange, "clear beyond last record");
+  if (records_cleared_counter_ != nullptr && index > it->second)
+    records_cleared_counter_->inc(index - it->second);
   it->second = std::max(it->second, index);
   // Physically purge up to the minimum acknowledged index.
   std::uint64_t min_cleared = index;

@@ -63,10 +63,18 @@ class Mds {
 
   std::size_t changelog_user_count() const { return users_.size(); }
 
+  /// Register this MDS's changelog-protocol metrics (reads, records read,
+  /// records acknowledged) plus the underlying changelog's, labelled
+  /// mdt=<index>.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
  private:
   Mdt mdt_;
   std::map<std::string, std::uint64_t> users_;  // user id -> cleared index
   std::uint32_t next_user_ = 1;
+  obs::Counter* reads_counter_ = nullptr;
+  obs::Counter* records_read_counter_ = nullptr;
+  obs::Counter* records_cleared_counter_ = nullptr;
 };
 
 }  // namespace fsmon::lustre

@@ -37,6 +37,19 @@ bool write_all(int fd, const std::byte* data, std::size_t size) {
 
 }  // namespace
 
+TcpMetrics TcpMetrics::create(obs::MetricsRegistry& registry, const obs::Labels& labels) {
+  TcpMetrics m;
+  m.bytes_sent = &registry.counter("msgq.tcp.bytes_sent", labels,
+                                   "Framed bytes written to TCP peers", "bytes");
+  m.bytes_received = &registry.counter("msgq.tcp.bytes_received", labels,
+                                       "Bytes read from TCP peers", "bytes");
+  m.frames_sent = &registry.counter("msgq.tcp.frames_sent", labels,
+                                    "Messages sent over TCP connections", "frames");
+  m.frames_received = &registry.counter("msgq.tcp.frames_received", labels,
+                                        "Messages decoded from TCP connections", "frames");
+  return m;
+}
+
 TcpConnection::~TcpConnection() { close(); }
 
 void TcpConnection::close() {
@@ -56,6 +69,10 @@ Status TcpConnection::send(const Message& message) {
     close();
     return errno_status("send");
   }
+  if (metrics_ != nullptr) {
+    metrics_->frames_sent->inc();
+    metrics_->bytes_sent->inc(frame.size());
+  }
   return Status::ok();
 }
 
@@ -68,6 +85,7 @@ Result<Message> TcpConnection::recv() {
         Message message = std::move(decoded->first);
         recv_buffer_.erase(recv_buffer_.begin(),
                            recv_buffer_.begin() + static_cast<std::ptrdiff_t>(decoded->second));
+        if (metrics_ != nullptr) metrics_->frames_received->inc();
         return message;
       }
     } catch (const std::runtime_error& error) {
@@ -86,11 +104,21 @@ Result<Message> TcpConnection::recv() {
       close();
       return errno_status("recv");
     }
+    if (metrics_ != nullptr) metrics_->bytes_received->inc(static_cast<std::uint64_t>(n));
     recv_buffer_.insert(recv_buffer_.end(), chunk, chunk + n);
   }
 }
 
 TcpPublisher::~TcpPublisher() { stop(); }
+
+void TcpPublisher::attach_metrics(obs::MetricsRegistry& registry,
+                                  const obs::Labels& labels) {
+  metrics_ = TcpMetrics::create(registry, labels);
+  std::lock_guard lock(mu_);
+  for (auto& remote : remotes_) {
+    if (remote != nullptr) remote->connection->set_metrics(&metrics_);
+  }
+}
 
 Status TcpPublisher::start(std::uint16_t port) {
   if (running_.load()) return Status::ok();
@@ -156,6 +184,7 @@ void TcpPublisher::accept_loop(std::stop_token stop) {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto remote = std::make_unique<Remote>();
     remote->connection = std::make_shared<TcpConnection>(fd);
+    if (metrics_.bytes_sent != nullptr) remote->connection->set_metrics(&metrics_);
     std::size_t index;
     {
       std::lock_guard lock(mu_);
@@ -222,6 +251,12 @@ std::size_t TcpPublisher::publish(const Message& message) {
 
 TcpSubscriber::~TcpSubscriber() { disconnect(); }
 
+void TcpSubscriber::attach_metrics(obs::MetricsRegistry& registry,
+                                   const obs::Labels& labels) {
+  metrics_ = TcpMetrics::create(registry, labels);
+  if (connection_ != nullptr) connection_->set_metrics(&metrics_);
+}
+
 Status TcpSubscriber::connect(const std::string& host, std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return errno_status("socket");
@@ -239,6 +274,7 @@ Status TcpSubscriber::connect(const std::string& host, std::uint16_t port) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   connection_ = std::make_shared<TcpConnection>(fd);
+  if (metrics_.bytes_sent != nullptr) connection_->set_metrics(&metrics_);
   reader_ = std::jthread([this](std::stop_token stop) { reader_loop(stop); });
   return Status::ok();
 }

@@ -26,11 +26,24 @@
 #include "src/common/bounded_queue.hpp"
 #include "src/common/status.hpp"
 #include "src/msgq/message.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace fsmon::msgq {
 
 /// Topics with this prefix are transport control frames, never user data.
 inline constexpr char kControlPrefix = '\x01';
+
+/// Instrument handles shared by every connection of one endpoint
+/// (msgq.tcp.*). Owned by the publisher/subscriber, outliving its
+/// connections.
+struct TcpMetrics {
+  obs::Counter* bytes_sent = nullptr;
+  obs::Counter* bytes_received = nullptr;
+  obs::Counter* frames_sent = nullptr;
+  obs::Counter* frames_received = nullptr;
+
+  static TcpMetrics create(obs::MetricsRegistry& registry, const obs::Labels& labels);
+};
 
 /// Framed, blocking, length-prefixed message I/O over one socket.
 class TcpConnection {
@@ -47,6 +60,9 @@ class TcpConnection {
   /// kCorrupt on framing/CRC errors.
   common::Result<Message> recv();
 
+  /// `metrics` (optional) must outlive the connection.
+  void set_metrics(const TcpMetrics* metrics) { metrics_ = metrics; }
+
   void close();
   bool closed() const { return fd_.load() < 0; }
 
@@ -54,6 +70,7 @@ class TcpConnection {
   std::atomic<int> fd_;
   std::mutex send_mu_;
   std::vector<std::byte> recv_buffer_;
+  const TcpMetrics* metrics_ = nullptr;
 };
 
 /// Publishing endpoint: listens on a port and fans out to connected,
@@ -70,6 +87,10 @@ class TcpPublisher {
   /// accept thread.
   common::Status start(std::uint16_t port = 0);
   void stop();
+
+  /// Register msgq.tcp.* instruments (labelled e.g. endpoint=...). Call
+  /// before start(); connections accepted afterwards are counted.
+  void attach_metrics(obs::MetricsRegistry& registry, const obs::Labels& labels = {});
 
   std::uint16_t port() const { return port_; }
   std::size_t connection_count() const;
@@ -97,6 +118,7 @@ class TcpPublisher {
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Remote>> remotes_;
   std::atomic<bool> running_{false};
+  TcpMetrics metrics_;  ///< Zeroed when uninstrumented.
 };
 
 /// Subscribing endpoint: connects to a TcpPublisher and buffers incoming
@@ -114,6 +136,10 @@ class TcpSubscriber {
   common::Status connect(const std::string& host, std::uint16_t port);
   void disconnect();
 
+  /// Register msgq.tcp.* instruments (labelled e.g. endpoint=...).
+  /// Effective for the current connection and any later connect().
+  void attach_metrics(obs::MetricsRegistry& registry, const obs::Labels& labels = {});
+
   common::Status subscribe(const std::string& prefix);
   common::Status unsubscribe(const std::string& prefix);
 
@@ -128,6 +154,7 @@ class TcpSubscriber {
   std::shared_ptr<TcpConnection> connection_;
   std::jthread reader_;
   common::BoundedQueue<Message> inbox_;
+  TcpMetrics metrics_;  ///< Zeroed when uninstrumented.
 };
 
 }  // namespace fsmon::msgq

@@ -1,0 +1,260 @@
+#include "src/obs/exporters.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fsmon::obs {
+
+using common::ErrorCode;
+using common::Status;
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+std::string json_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+void append_json_labels(std::string& out, const Labels& labels) {
+  out += "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    append_json_escaped(out, k);
+    out += "\":\"";
+    append_json_escaped(out, v);
+    out += "\"";
+  }
+  out += "}";
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; we map '.' and anything
+/// else to '_' and prefix with "fsmon_".
+std::string prometheus_name(std::string_view name) {
+  std::string out = "fsmon_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prometheus_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + v + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Labels plus one extra pair, for histogram quantile/le series.
+std::string prometheus_labels_plus(const Labels& labels, const std::string& key,
+                                   const std::string& value) {
+  Labels extended = labels;
+  extended[key] = value;
+  return prometheus_labels(extended);
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"metrics\":[\n";
+  bool first = true;
+  for (const auto& sample : snapshot.samples) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"name\":\"";
+    append_json_escaped(out, sample.name);
+    out += "\",\"type\":\"";
+    out += to_string(sample.type);
+    out += "\",\"labels\":";
+    append_json_labels(out, sample.labels);
+    if (!sample.unit.empty()) {
+      out += ",\"unit\":\"";
+      append_json_escaped(out, sample.unit);
+      out += "\"";
+    }
+    char buf[96];
+    switch (sample.type) {
+      case MetricType::kCounter:
+        std::snprintf(buf, sizeof(buf), ",\"value\":%" PRIu64, sample.counter);
+        out += buf;
+        break;
+      case MetricType::kGauge:
+        std::snprintf(buf, sizeof(buf), ",\"value\":%" PRId64, sample.gauge);
+        out += buf;
+        break;
+      case MetricType::kHistogram: {
+        const auto& h = sample.histogram;
+        std::snprintf(buf, sizeof(buf), ",\"count\":%" PRIu64 ",\"sum\":%" PRIu64,
+                      h.count(), h.sum());
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"min\":%" PRIu64 ",\"max\":%" PRIu64, h.min(),
+                      h.max());
+        out += buf;
+        out += ",\"mean\":" + json_number(h.mean());
+        out += ",\"p50\":" + json_number(h.quantile(0.5));
+        out += ",\"p90\":" + json_number(h.quantile(0.9));
+        out += ",\"p99\":" + json_number(h.quantile(0.99));
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_name;
+  for (const auto& sample : snapshot.samples) {
+    const std::string name = prometheus_name(sample.name);
+    if (sample.name != last_name) {
+      // HELP/TYPE once per family, even when several label sets follow.
+      if (!sample.help.empty()) out += "# HELP " + name + " " + sample.help + "\n";
+      out += "# TYPE " + name + " " +
+             (sample.type == MetricType::kHistogram
+                  ? "histogram"
+                  : std::string(to_string(sample.type))) +
+             "\n";
+      last_name = sample.name;
+    }
+    char buf[64];
+    switch (sample.type) {
+      case MetricType::kCounter:
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", sample.counter);
+        out += name + prometheus_labels(sample.labels) + buf;
+        break;
+      case MetricType::kGauge:
+        std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", sample.gauge);
+        out += name + prometheus_labels(sample.labels) + buf;
+        break;
+      case MetricType::kHistogram: {
+        const auto& h = sample.histogram;
+        for (const auto& bucket : h.cumulative_buckets()) {
+          std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", bucket.cumulative_count);
+          out += name + "_bucket" +
+                 prometheus_labels_plus(sample.labels, "le",
+                                        std::to_string(bucket.upper_bound)) +
+                 buf;
+        }
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", h.count());
+        out += name + "_bucket" + prometheus_labels_plus(sample.labels, "le", "+Inf") + buf;
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", h.sum());
+        out += name + "_sum" + prometheus_labels(sample.labels) + buf;
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", h.count());
+        out += name + "_count" + prometheus_labels(sample.labels) + buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string format(const MetricsSnapshot& snapshot, ExportFormat fmt) {
+  return fmt == ExportFormat::kJson ? to_json(snapshot) : to_prometheus(snapshot);
+}
+
+Status write_snapshot(const MetricsRegistry& registry, const std::filesystem::path& path,
+                      ExportFormat fmt) {
+  const std::string text = format(registry.snapshot(), fmt);
+  std::error_code ec;
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path(), ec);
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status(ErrorCode::kUnavailable, "cannot write " + tmp.string());
+    out << text;
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status(ErrorCode::kUnavailable, "rename to " + path.string() + " failed");
+  return Status::ok();
+}
+
+SnapshotWriter::SnapshotWriter(const MetricsRegistry& registry, Options options,
+                               common::Clock& clock)
+    : registry_(registry), options_(std::move(options)), clock_(clock) {}
+
+SnapshotWriter::~SnapshotWriter() { stop(); }
+
+Status SnapshotWriter::start() {
+  if (running_.load()) return Status::ok();
+  // Fail fast if the path is unwritable rather than from the thread.
+  if (auto s = write_snapshot(registry_, options_.path, options_.format); !s.is_ok()) return s;
+  writes_.fetch_add(1);
+  running_.store(true);
+  worker_ = std::jthread([this](std::stop_token stop) { run(stop); });
+  return Status::ok();
+}
+
+void SnapshotWriter::stop() {
+  if (!running_.exchange(false)) return;
+  if (worker_.joinable()) {
+    worker_.request_stop();
+    worker_.join();
+  }
+  // Final snapshot so the file reflects end-of-run totals.
+  if (write_snapshot(registry_, options_.path, options_.format).is_ok()) writes_.fetch_add(1);
+}
+
+void SnapshotWriter::run(std::stop_token stop) {
+  // Sliced waiting so shutdown is prompt even with long intervals.
+  const auto slice = std::chrono::milliseconds(10);
+  auto remaining = options_.interval;
+  while (!stop.stop_requested()) {
+    clock_.sleep_for(std::min<common::Duration>(slice, remaining));
+    remaining -= slice;
+    if (remaining.count() > 0) continue;
+    remaining = options_.interval;
+    if (write_snapshot(registry_, options_.path, options_.format).is_ok())
+      writes_.fetch_add(1);
+  }
+}
+
+std::unique_ptr<SnapshotWriter> exporter_from_config(const MetricsRegistry& registry,
+                                                     const common::Config& config,
+                                                     common::Clock& clock) {
+  const std::string path = config.get_or("metrics.path", "");
+  if (path.empty()) return nullptr;
+  SnapshotWriter::Options options;
+  options.path = path;
+  options.format = config.get_or("metrics.format", "json") == "prometheus"
+                       ? ExportFormat::kPrometheus
+                       : ExportFormat::kJson;
+  options.interval =
+      std::chrono::milliseconds(config.get_int("metrics.interval_ms", 1000));
+  return std::make_unique<SnapshotWriter>(registry, std::move(options), clock);
+}
+
+}  // namespace fsmon::obs

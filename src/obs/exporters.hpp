@@ -1,0 +1,91 @@
+// Metrics exporters: JSON snapshots and Prometheus text format.
+//
+// Two consumers of a MetricsSnapshot:
+//   - to_json(): one metric object per line, deterministic order — the
+//     format sim_driver, the benches, and examples/quickstart dump at
+//     exit, and what tools/run_tier1.sh greps.
+//   - to_prometheus(): the Prometheus text exposition format ("fsmon_"
+//     prefix, '.' -> '_', HELP/TYPE comments, cumulative `le` buckets),
+//     for scraping a long-running monitor.
+//
+// SnapshotWriter runs a background thread that re-writes a snapshot file
+// every interval (atomic tmp+rename), so an operator can watch a live
+// pipeline with `watch cat metrics.json`. exporter_from_config() builds
+// one from common::Config keys:
+//
+//   metrics.path         output file ("" disables; "-" = stdout one-shot)
+//   metrics.format       json (default) | prometheus
+//   metrics.interval_ms  rewrite period (default 1000)
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/common/clock.hpp"
+#include "src/common/config.hpp"
+#include "src/common/status.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace fsmon::obs {
+
+enum class ExportFormat { kJson, kPrometheus };
+
+/// Render a snapshot as JSON: {"metrics":[...]} with one sample object
+/// per line, sorted by (name, labels). Histograms carry count/sum/min/
+/// max/mean/p50/p90/p99.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Render a snapshot in the Prometheus text exposition format.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+std::string format(const MetricsSnapshot& snapshot, ExportFormat format);
+
+/// One-shot: snapshot `registry` and write it to `path` (atomically, via
+/// a temp file + rename).
+common::Status write_snapshot(const MetricsRegistry& registry,
+                              const std::filesystem::path& path, ExportFormat format);
+
+/// Periodic snapshot file writer (the "live dashboard file" exporter).
+class SnapshotWriter {
+ public:
+  struct Options {
+    std::filesystem::path path;
+    ExportFormat format = ExportFormat::kJson;
+    common::Duration interval = std::chrono::seconds(1);
+  };
+
+  SnapshotWriter(const MetricsRegistry& registry, Options options,
+                 common::Clock& clock = common::RealClock::instance());
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  common::Status start();
+  /// Stops the thread and writes one final snapshot.
+  void stop();
+
+  std::uint64_t writes() const { return writes_.load(); }
+  const Options& options() const { return options_; }
+
+ private:
+  void run(std::stop_token stop);
+
+  const MetricsRegistry& registry_;
+  Options options_;
+  common::Clock& clock_;
+  std::jthread worker_;
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<bool> running_{false};
+};
+
+/// Build a SnapshotWriter from `metrics.*` config keys; null when
+/// `metrics.path` is unset/empty (exporting disabled).
+std::unique_ptr<SnapshotWriter> exporter_from_config(const MetricsRegistry& registry,
+                                                     const common::Config& config,
+                                                     common::Clock& clock =
+                                                         common::RealClock::instance());
+
+}  // namespace fsmon::obs

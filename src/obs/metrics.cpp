@@ -1,0 +1,137 @@
+#include "src/obs/metrics.hpp"
+
+namespace fsmon::obs {
+
+std::string_view to_string(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string instrument_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  key.push_back('\0');
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key.push_back('=');
+    key += v;
+    key.push_back(',');
+  }
+  return key;
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter_total(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const auto& sample : samples) {
+    if (sample.name == name && sample.type == MetricType::kCounter) total += sample.counter;
+  }
+  return total;
+}
+
+std::int64_t MetricsSnapshot::gauge_total(std::string_view name) const {
+  std::int64_t total = 0;
+  for (const auto& sample : samples) {
+    if (sample.name == name && sample.type == MetricType::kGauge) total += sample.gauge;
+  }
+  return total;
+}
+
+common::Histogram MetricsSnapshot::histogram_merged(std::string_view name) const {
+  common::Histogram merged;
+  for (const auto& sample : samples) {
+    if (sample.name == name && sample.type == MetricType::kHistogram)
+      merged.merge(sample.histogram);
+  }
+  return merged;
+}
+
+bool MetricsSnapshot::contains(std::string_view name) const {
+  for (const auto& sample : samples) {
+    if (sample.name == name) return true;
+  }
+  return false;
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::get_or_create(std::string_view name,
+                                                            Labels&& labels, MetricType type,
+                                                            std::string_view help,
+                                                            std::string_view unit) {
+  std::lock_guard lock(mu_);
+  const std::string key = instrument_key(name, labels);
+  auto it = instruments_.find(key);
+  if (it == instruments_.end()) {
+    Instrument instrument;
+    instrument.name = std::string(name);
+    instrument.labels = std::move(labels);
+    instrument.type = type;
+    instrument.help = std::string(help);
+    instrument.unit = std::string(unit);
+    switch (type) {
+      case MetricType::kCounter: instrument.counter = std::make_unique<Counter>(); break;
+      case MetricType::kGauge: instrument.gauge = std::make_unique<Gauge>(); break;
+      case MetricType::kHistogram:
+        instrument.histogram = std::make_unique<HistogramMetric>();
+        break;
+    }
+    it = instruments_.emplace(key, std::move(instrument)).first;
+  } else if (it->second.type != type) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' re-registered with a different type");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels, std::string_view help,
+                                  std::string_view unit) {
+  return *get_or_create(name, std::move(labels), MetricType::kCounter, help, unit).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels, std::string_view help,
+                              std::string_view unit) {
+  return *get_or_create(name, std::move(labels), MetricType::kGauge, help, unit).gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name, Labels labels,
+                                            std::string_view help, std::string_view unit) {
+  return *get_or_create(name, std::move(labels), MetricType::kHistogram, help, unit).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  snap.samples.reserve(instruments_.size());
+  for (const auto& [key, instrument] : instruments_) {
+    MetricSample sample;
+    sample.name = instrument.name;
+    sample.labels = instrument.labels;
+    sample.type = instrument.type;
+    sample.help = instrument.help;
+    sample.unit = instrument.unit;
+    switch (instrument.type) {
+      case MetricType::kCounter: sample.counter = instrument.counter->value(); break;
+      case MetricType::kGauge: sample.gauge = instrument.gauge->value(); break;
+      case MetricType::kHistogram: sample.histogram = instrument.histogram->snapshot(); break;
+    }
+    snap.samples.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+std::size_t MetricsRegistry::instrument_count() const {
+  std::lock_guard lock(mu_);
+  return instruments_.size();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace fsmon::obs

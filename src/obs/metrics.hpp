@@ -1,0 +1,167 @@
+// Pipeline-wide metrics registry (the observability substrate).
+//
+// The paper's evaluation is a set of per-stage statistics — capture rate
+// (Table III), reporting rate (Tables V/VI), fid2path cache hit ratio
+// (Table VIII), per-stage CPU/memory (Tables IV/VII) — yet each bench
+// used to hand-roll its own counters and the running monitor was a black
+// box. This registry gives every stage a shared, named vocabulary:
+//
+//   - Counter:   monotonic u64 (records read, events published, bytes).
+//   - Gauge:     instantaneous i64 set by its owner (queue depth, lag).
+//   - Histogram: thread-safe wrapper over common::Histogram (latencies,
+//                batch sizes).
+//
+// Design notes:
+//   - Lock-cheap: registration (get-or-create by name+labels) takes the
+//     registry mutex once; the returned handle is a stable reference and
+//     every hot-path update is a relaxed atomic (counters/gauges) or a
+//     short per-instrument mutex (histograms).
+//   - Instruments are identified by a dotted name ("collector.
+//     records_published") plus a label map ({mdt="0"}). The same name
+//     with different labels yields distinct instruments (one per MDT).
+//   - snapshot() returns a deep copy: exporters format it without
+//     holding up the pipeline, and a taken snapshot never changes.
+//
+// Components take an optional `MetricsRegistry*` (null = uninstrumented,
+// zero overhead); docs/OBSERVABILITY.md catalogues every metric name and
+// the paper table it reproduces.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/histogram.hpp"
+
+namespace fsmon::obs {
+
+/// Sorted key=value pairs qualifying an instrument (e.g. {mdt="0"}).
+using Labels = std::map<std::string, std::string>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+std::string_view to_string(MetricType type);
+
+/// Monotonic counter. All updates are relaxed atomics.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous value set by its owning stage (queue depth, lag, size).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  /// Raise to `v` if above the current value (peak tracking).
+  void set_max(std::int64_t v) {
+    std::int64_t current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Thread-safe histogram of values in the caller's unit (exponential
+/// buckets; see common::Histogram).
+class HistogramMetric {
+ public:
+  void record(std::uint64_t value) {
+    std::lock_guard lock(mu_);
+    hist_.record(value);
+  }
+
+  /// Deep copy for exporters; later record() calls do not affect it.
+  common::Histogram snapshot() const {
+    std::lock_guard lock(mu_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  common::Histogram hist_;
+};
+
+/// One exported sample: the state of one instrument at snapshot time.
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  MetricType type = MetricType::kCounter;
+  std::string help;
+  std::string unit;             ///< "us", "bytes", "records", ... ("" = plain count)
+  std::uint64_t counter = 0;    ///< kCounter
+  std::int64_t gauge = 0;       ///< kGauge
+  common::Histogram histogram;  ///< kHistogram
+};
+
+/// Immutable deep copy of a registry's instruments.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  ///< Sorted by (name, labels).
+
+  /// Sum of a counter across all label sets (0 when unregistered).
+  std::uint64_t counter_total(std::string_view name) const;
+  /// Gauge value summed across label sets (0 when unregistered).
+  std::int64_t gauge_total(std::string_view name) const;
+  /// Merged histogram across label sets (empty when unregistered).
+  common::Histogram histogram_merged(std::string_view name) const;
+  bool contains(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. The returned reference stays valid for the registry's
+  /// lifetime. `help`/`unit` are recorded on first registration.
+  Counter& counter(std::string_view name, Labels labels = {}, std::string_view help = "",
+                   std::string_view unit = "");
+  Gauge& gauge(std::string_view name, Labels labels = {}, std::string_view help = "",
+               std::string_view unit = "");
+  HistogramMetric& histogram(std::string_view name, Labels labels = {},
+                             std::string_view help = "", std::string_view unit = "");
+
+  /// Deep, isolated copy of every instrument.
+  MetricsSnapshot snapshot() const;
+
+  std::size_t instrument_count() const;
+
+  /// Process-wide shared registry for tools that do not inject one.
+  static MetricsRegistry& global();
+
+ private:
+  struct Instrument {
+    std::string name;
+    Labels labels;
+    MetricType type;
+    std::string help;
+    std::string unit;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Instrument& get_or_create(std::string_view name, Labels&& labels, MetricType type,
+                            std::string_view help, std::string_view unit);
+
+  mutable std::mutex mu_;
+  // Key: name + '\0' + serialized labels. std::map keeps snapshot order
+  // deterministic (sorted), which the golden-format tests rely on.
+  std::map<std::string, Instrument> instruments_;
+};
+
+}  // namespace fsmon::obs

@@ -19,8 +19,30 @@ Aggregator::Aggregator(msgq::Bus& bus, std::string name, AggregatorOptions optio
       meter_(clock) {
   inbox_->subscribe("");  // fan-in: accept every collector topic
   if (options_.store) {
-    store_ = std::make_unique<eventstore::EventStore>(*options_.store);
+    eventstore::EventStoreOptions store_options = *options_.store;
+    if (store_options.metrics == nullptr) store_options.metrics = options_.metrics;
+    store_ = std::make_unique<eventstore::EventStore>(store_options);
     next_id_.store(store_->last_id() + 1);
+  }
+  if (options_.metrics != nullptr) {
+    auto& registry = *options_.metrics;
+    aggregated_counter_ = &registry.counter(
+        "aggregator.events_aggregated", {},
+        "Events received from collectors and assigned global ids", "events");
+    persisted_counter_ = &registry.counter("aggregator.events_persisted", {},
+                                           "Events appended to the reliable store", "events");
+    queue_depth_gauge_ = &registry.gauge(
+        "aggregator.queue_depth", {},
+        "Fan-in inbox plus persist-queue backlog at last pump", "events");
+    queue_depth_peak_gauge_ = &registry.gauge("aggregator.queue_depth_peak", {},
+                                              "High-water mark of the fan-in backlog",
+                                              "events");
+    publish_rate_gauge_ = &registry.gauge("aggregator.publish_rate", {},
+                                          "Lifetime average events/second published",
+                                          "events/s");
+    fanout_lag_hist_ = &registry.histogram(
+        "aggregator.fanout_lag_us", {},
+        "Operation timestamp to aggregator publish (fan-out lag)", "us");
   }
 }
 
@@ -74,6 +96,18 @@ void Aggregator::pump_loop(std::stop_token) {
     event.id = next_id_.fetch_add(1);
     aggregated_.fetch_add(1);
     meter_.record();
+    if (aggregated_counter_ != nullptr) {
+      aggregated_counter_->inc();
+      const auto depth =
+          static_cast<std::int64_t>(inbox_->pending() + persist_queue_.size());
+      queue_depth_gauge_->set(depth);
+      queue_depth_peak_gauge_->set_max(depth);
+      publish_rate_gauge_->set(static_cast<std::int64_t>(meter_.snapshot().average_rate));
+      const auto lag = clock_.now() - event.timestamp;
+      if (lag.count() >= 0)
+        fanout_lag_hist_->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(lag).count()));
+    }
     const auto bytes = core::serialize_event(event);
     output_->publish(options_.output_topic,
                      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
@@ -92,6 +126,7 @@ void Aggregator::persist_loop(std::stop_token) {
       FSMON_ERROR("aggregator", "event store append failed: ", s.to_string());
     } else {
       persisted_.fetch_add(1);
+      if (persisted_counter_ != nullptr) persisted_counter_->inc();
     }
   }
 }

@@ -20,6 +20,7 @@
 #include "src/core/event.hpp"
 #include "src/eventstore/store.hpp"
 #include "src/msgq/pubsub.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace fsmon::scalable {
 
@@ -35,6 +36,9 @@ struct AggregatorOptions {
   /// purge cycle is initiated", Section IV). Zero disables the cycle;
   /// purge() can always be called manually.
   common::Duration purge_interval{};
+  /// Observability registry; null = uninstrumented. Registers
+  /// aggregator.* and (when a store is configured) wal.* / store.*.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Aggregator {
@@ -92,6 +96,12 @@ class Aggregator {
   std::atomic<std::uint64_t> persisted_{0};
   std::atomic<std::uint64_t> purge_cycles_{0};
   std::atomic<bool> running_{false};
+  obs::Counter* aggregated_counter_ = nullptr;
+  obs::Counter* persisted_counter_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* queue_depth_peak_gauge_ = nullptr;
+  obs::Gauge* publish_rate_gauge_ = nullptr;
+  obs::HistogramMetric* fanout_lag_hist_ = nullptr;
 };
 
 }  // namespace fsmon::scalable

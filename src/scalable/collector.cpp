@@ -23,6 +23,25 @@ Collector::Collector(lustre::LustreFs& fs, std::uint32_t mds_index,
                  "lustre:MDT" + std::to_string(mds_index)),
       meter_(clock) {
   user_id_ = fs_.mds(mds_index_).register_changelog_user();
+  if (options_.metrics != nullptr) {
+    auto& registry = *options_.metrics;
+    const obs::Labels labels{{"mdt", std::to_string(mds_index_)}};
+    batches_counter_ = &registry.counter("collector.batches", labels,
+                                         "Non-empty changelog batches processed", "batches");
+    records_counter_ = &registry.counter("collector.records_processed", labels,
+                                         "Changelog records run through Algorithm 1",
+                                         "records");
+    published_counter_ =
+        &registry.counter("collector.records_published", labels,
+                          "Resolved events published to the aggregator", "events");
+    batch_size_hist_ = &registry.histogram("collector.batch_size", labels,
+                                           "Records per changelog_read batch", "records");
+    publish_rate_gauge_ = &registry.gauge("collector.publish_rate", labels,
+                                          "Lifetime average records/second processed",
+                                          "records/s");
+    resolver_.attach_metrics(registry, labels);
+    processor_.attach_metrics(registry, labels);
+  }
 }
 
 Collector::~Collector() {
@@ -67,6 +86,13 @@ std::size_t Collector::process_batch() {
   records_.fetch_add(records.value().size());
   published_.fetch_add(events);
   meter_.record(records.value().size());
+  if (batches_counter_ != nullptr) {
+    batches_counter_->inc();
+    records_counter_->inc(records.value().size());
+    published_counter_->inc(events);
+    batch_size_hist_->record(records.value().size());
+    publish_rate_gauge_->set(static_cast<std::int64_t>(meter_.snapshot().average_rate));
+  }
   // Purge processed records (lfs changelog_clear).
   if (auto s = fs_.mds(mds_index_).changelog_clear(user_id_, last_index); !s.is_ok())
     FSMON_WARN("collector", "changelog_clear failed: ", s.to_string());

@@ -33,6 +33,9 @@ struct CollectorOptions {
   lustre::FidResolverOptions resolver;
   /// Events are published under topic_prefix + "mdt<i>".
   std::string topic_prefix = "fsmon/";
+  /// Observability registry; null = uninstrumented (zero overhead).
+  /// Registers collector.* / fid2path.* / fidcache.* labelled mdt=<i>.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Collector {
@@ -82,6 +85,11 @@ class Collector {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> records_{0};
   std::atomic<std::uint64_t> published_{0};
+  obs::Counter* batches_counter_ = nullptr;
+  obs::Counter* records_counter_ = nullptr;
+  obs::Counter* published_counter_ = nullptr;
+  obs::HistogramMetric* batch_size_hist_ = nullptr;
+  obs::Gauge* publish_rate_gauge_ = nullptr;
 };
 
 }  // namespace fsmon::scalable

@@ -18,25 +18,47 @@ Consumer::Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
                                        options_.overflow_policy)) {
   subscriber_->subscribe("");  // receive everything; filter locally
   aggregator_.output()->connect(subscriber_);
+  if (options_.metrics != nullptr) {
+    auto& registry = *options_.metrics;
+    const obs::Labels labels{{"consumer", name_}};
+    filter_metrics_ = core::FilterMetrics::create(registry, labels);
+    delivered_counter_ = &registry.counter("consumer.events_delivered", labels,
+                                           "Matching events handed to the callback",
+                                           "events");
+    replayed_counter_ = &registry.counter(
+        "consumer.events_replayed", labels,
+        "Events re-delivered from the reliable store (fault recovery)", "events");
+    delivery_lag_gauge_ = &registry.gauge(
+        "consumer.delivery_lag_events", labels,
+        "Aggregator head id minus last event seen by this consumer", "events");
+    overflow_dropped_gauge_ = &registry.gauge(
+        "consumer.overflow_dropped", labels,
+        "Events lost to the high-water mark (kDropNewest only)", "events");
+  }
 }
 
 Consumer::~Consumer() { stop(); }
 
 bool Consumer::matches(const core::StdEvent& event) const {
-  if (options_.rules.empty()) return true;
-  for (const auto& rule : options_.rules) {
-    if (rule.matches(event)) return true;
-  }
-  return false;
+  return core::matches_any(options_.rules, event);
 }
 
 void Consumer::deliver(const core::StdEvent& event) {
   last_seen_.store(event.id);
-  if (!matches(event)) {
+  if (delivery_lag_gauge_ != nullptr) {
+    const auto head = aggregator_.last_event_id();
+    delivery_lag_gauge_->set(
+        head > event.id ? static_cast<std::int64_t>(head - event.id) : 0);
+    overflow_dropped_gauge_->set(static_cast<std::int64_t>(subscriber_->dropped()));
+  }
+  if (!core::matches_any(options_.rules, event,
+                         filter_metrics_.evaluations != nullptr ? &filter_metrics_
+                                                                : nullptr)) {
     filtered_.fetch_add(1);
     return;
   }
   delivered_.fetch_add(1);
+  if (delivered_counter_ != nullptr) delivered_counter_->inc();
   if (callback_) callback_(event);
   if (options_.ack_interval > 0 &&
       event.id - last_acked_.load() >= options_.ack_interval) {
@@ -85,6 +107,7 @@ Result<std::size_t> Consumer::replay_historic(std::optional<common::EventId> aft
     deliver(event);
     ++count;
   }
+  if (replayed_counter_ != nullptr) replayed_counter_->inc(count);
   return count;
 }
 

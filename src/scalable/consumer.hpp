@@ -34,6 +34,9 @@ struct ConsumerOptions {
   std::vector<core::FilterRule> rules;
   /// Acknowledge to the aggregator every N delivered events.
   std::size_t ack_interval = 1024;
+  /// Observability registry; null = uninstrumented. Registers consumer.*
+  /// and filter.* labelled consumer=<name>.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Consumer {
@@ -81,6 +84,11 @@ class Consumer {
   std::atomic<common::EventId> last_seen_{0};
   std::atomic<common::EventId> last_acked_{0};
   std::atomic<bool> running_{false};
+  core::FilterMetrics filter_metrics_;  ///< Zeroed when uninstrumented.
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* replayed_counter_ = nullptr;
+  obs::Gauge* delivery_lag_gauge_ = nullptr;
+  obs::Gauge* overflow_dropped_gauge_ = nullptr;
 };
 
 }  // namespace fsmon::scalable

@@ -25,6 +25,29 @@ EventProcessor::EventProcessor(lustre::FidResolver& resolver, FidCache* cache,
   }
 }
 
+void EventProcessor::attach_metrics(obs::MetricsRegistry& registry, obs::Labels labels) {
+  hits_counter_ = &registry.counter("fidcache.hits", labels,
+                                    "fid2path cache hits (Algorithm 1 fast path)", "lookups");
+  misses_counter_ = &registry.counter("fidcache.misses", labels,
+                                      "fid2path cache misses (fall through to fid2path)",
+                                      "lookups");
+  evictions_counter_ = &registry.counter("fidcache.evictions", labels,
+                                         "LRU entries evicted at capacity", "entries");
+  size_gauge_ = &registry.gauge("fidcache.size", std::move(labels),
+                                "Entries currently cached", "entries");
+  reported_evictions_ = cache_ == nullptr ? 0 : cache_->stats().evictions;
+}
+
+void EventProcessor::sync_cache_metrics() {
+  if (cache_ == nullptr || size_gauge_ == nullptr) return;
+  size_gauge_->set(static_cast<std::int64_t>(cache_->size()));
+  const std::uint64_t evictions = cache_->stats().evictions;
+  if (evictions > reported_evictions_) {
+    evictions_counter_->inc(evictions - reported_evictions_);
+    reported_evictions_ = evictions;
+  }
+}
+
 void EventProcessor::charge_lookup(Output& out) {
   out.latency += lookup_cost_;
   out.cpu += lookup_cost_;  // hash probing is pure CPU
@@ -35,9 +58,11 @@ EventProcessor::Lookup EventProcessor::cache_only(const Fid& fid, Output& out) {
   charge_lookup(out);
   if (auto hit = cache_->get(fid)) {
     ++stats_.cache_hits;
+    if (hits_counter_ != nullptr) hits_counter_->inc();
     return {true, *hit};
   }
   ++stats_.cache_misses;
+  if (misses_counter_ != nullptr) misses_counter_->inc();
   return {};
 }
 
@@ -89,6 +114,9 @@ EventProcessor::Output EventProcessor::process(const ChangelogRecord& record) {
   out.latency += costs_.base_latency;
   out.cpu += costs_.base_cpu;
   ++stats_.records;
+  // Eviction/size deltas from the previous record's puts; one sync per
+  // record keeps the hot path at two atomics.
+  sync_cache_metrics();
 
   auto make_event = [&](EventKind kind, std::string path) {
     StdEvent event;

@@ -35,6 +35,7 @@
 #include "src/core/event.hpp"
 #include "src/lustre/changelog.hpp"
 #include "src/lustre/fid_resolver.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace fsmon::scalable {
 
@@ -77,6 +78,10 @@ class EventProcessor {
   const ProcessorStats& stats() const { return stats_; }
   void reset_stats() { stats_ = ProcessorStats{}; }
 
+  /// Register fid2path-cache effectiveness metrics (hits/misses/
+  /// evictions, current size) — the Table VI/VIII numbers.
+  void attach_metrics(obs::MetricsRegistry& registry, obs::Labels labels);
+
   /// Estimated cache memory footprint in entries (for the memory model).
   std::size_t cache_entries() const { return cache_ == nullptr ? 0 : cache_->size(); }
 
@@ -95,12 +100,20 @@ class EventProcessor {
   static core::EventKind kind_of(lustre::ChangelogType type);
   static bool is_dir_event(lustre::ChangelogType type);
 
+  /// Push cache eviction/size deltas to the registry after a put().
+  void sync_cache_metrics();
+
   lustre::FidResolver& resolver_;
   FidCache* cache_;
   ProcessorCosts costs_;
   std::string source_;
   common::Duration lookup_cost_{};
   ProcessorStats stats_;
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
+  obs::Gauge* size_gauge_ = nullptr;
+  std::uint64_t reported_evictions_ = 0;
 };
 
 }  // namespace fsmon::scalable

@@ -190,6 +190,11 @@ struct SimState {
   common::Histogram latency_ns;  ///< Operation time -> consumer delivery.
   std::size_t aggregator_peak_queue = 0;
   std::size_t consumer_peak_queue = 0;
+  obs::Counter* generated_counter = nullptr;
+  obs::Counter* reported_counter = nullptr;
+  obs::HistogramMetric* delivery_latency_hist = nullptr;
+  obs::Gauge* aggregator_peak_gauge = nullptr;
+  obs::Gauge* consumer_peak_gauge = nullptr;
 
   explicit SimState(const SimConfig& cfg) : config(cfg) {
     lustre::LustreFsOptions fs_options = cfg.profile.fs_options;
@@ -225,6 +230,31 @@ struct SimState {
     }
     aggregator = std::make_unique<sim::ServiceStation>(engine, "aggregator");
     consumer = std::make_unique<sim::ServiceStation>(engine, "consumer");
+
+    if (cfg.metrics != nullptr) {
+      auto& registry = *cfg.metrics;
+      fs->attach_metrics(registry);
+      for (std::uint32_t i = 0; i < fs_options.mdt_count; ++i) {
+        const obs::Labels labels{{"mdt", std::to_string(i)}};
+        collectors[i].resolver->attach_metrics(registry, labels);
+        collectors[i].processor->attach_metrics(registry, labels);
+      }
+      generated_counter = &registry.counter(
+          "sim.events_generated", {}, "Metadata operations generated by the workload",
+          "events");
+      reported_counter = &registry.counter(
+          "sim.events_reported", {}, "Events delivered to the simulated consumer",
+          "events");
+      delivery_latency_hist = &registry.histogram(
+          "consumer.delivery_latency_us", {},
+          "Operation time to consumer delivery (virtual time)", "us");
+      aggregator_peak_gauge = &registry.gauge("aggregator.queue_depth_peak", {},
+                                              "High-water mark of the fan-in backlog",
+                                              "events");
+      consumer_peak_gauge = &registry.gauge("consumer.queue_depth_peak", {},
+                                            "High-water mark of the consumer inbox",
+                                            "events");
+    }
   }
 
   double per_mds_rate() const {
@@ -241,7 +271,10 @@ struct SimState {
       WorkloadDriver* driver = drivers[d].get();
       *arrival = [this, interval, arrival, driver] {
         if (engine.now().time_since_epoch() >= config.duration) return;
-        if (driver->step()) ++generated;
+        if (driver->step()) {
+          ++generated;
+          if (generated_counter != nullptr) generated_counter->inc();
+        }
         engine.schedule(interval, *arrival);
       };
       engine.schedule(interval * static_cast<std::int64_t>(d) /
@@ -271,13 +304,21 @@ struct SimState {
         if (engine.now().time_since_epoch() <= config.duration) {
           ++reported;
           ++per_mds_reported[mds_index % 16];
-          latency_ns.record(
-              static_cast<std::uint64_t>((engine.now() - op_time).count()));
+          const auto lag_ns = (engine.now() - op_time).count();
+          latency_ns.record(static_cast<std::uint64_t>(lag_ns));
+          if (reported_counter != nullptr) {
+            reported_counter->inc();
+            delivery_latency_hist->record(static_cast<std::uint64_t>(lag_ns / 1000));
+          }
         }
       });
       consumer_peak_queue = std::max(consumer_peak_queue, consumer->queue_depth());
+      if (consumer_peak_gauge != nullptr)
+        consumer_peak_gauge->set_max(static_cast<std::int64_t>(consumer->queue_depth()));
     });
     aggregator_peak_queue = std::max(aggregator_peak_queue, aggregator->queue_depth());
+    if (aggregator_peak_gauge != nullptr)
+      aggregator_peak_gauge->set_max(static_cast<std::int64_t>(aggregator->queue_depth()));
   }
 
   /// Collector tick: batch-read, process (charging serial latency), then

@@ -22,6 +22,7 @@
 
 #include "src/common/types.hpp"
 #include "src/lustre/profiles.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace fsmon::scalable {
 
@@ -56,6 +57,11 @@ struct SimConfig {
   /// amortizes — the subject of the batching ablation bench.
   std::size_t collector_batch = 512;
   common::Duration changelog_read_overhead = std::chrono::microseconds(100);
+  /// Observability registry; null = uninstrumented. The sim registers
+  /// the same changelog.* / fid2path.* / fidcache.* instruments as the
+  /// threaded pipeline plus sim.* totals, so benches can report straight
+  /// from a snapshot.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ComponentReport {

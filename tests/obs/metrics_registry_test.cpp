@@ -1,0 +1,269 @@
+// MetricsRegistry semantics: instrument identity, concurrent updates,
+// snapshot isolation, and golden exporter formats.
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/exporters.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace fsmon::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterGetOrCreateReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("pipeline.records", {}, "records seen", "records");
+  Counter& b = registry.counter("pipeline.records");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc(4);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(registry.instrument_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, SameNameDifferentLabelsAreDistinct) {
+  MetricsRegistry registry;
+  Counter& mdt0 = registry.counter("collector.records", {{"mdt", "0"}});
+  Counter& mdt1 = registry.counter("collector.records", {{"mdt", "1"}});
+  EXPECT_NE(&mdt0, &mdt1);
+  mdt0.inc(10);
+  mdt1.inc(5);
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_total("collector.records"), 15u);
+  EXPECT_EQ(registry.instrument_count(), 2u);
+}
+
+TEST(MetricsRegistryTest, TypeMismatchOnReRegistrationThrows) {
+  MetricsRegistry registry;
+  registry.counter("stage.depth");
+  EXPECT_THROW(registry.gauge("stage.depth"), std::logic_error);
+  EXPECT_THROW(registry.histogram("stage.depth"), std::logic_error);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAddAndPeak) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("queue.depth");
+  gauge.set(10);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  Gauge& peak = registry.gauge("queue.depth_peak");
+  peak.set_max(5);
+  peak.set_max(12);
+  peak.set_max(8);  // lower than current peak: no effect
+  EXPECT_EQ(peak.value(), 12);
+}
+
+TEST(MetricsRegistryTest, HistogramRecordsQuantilesAndSum) {
+  MetricsRegistry registry;
+  HistogramMetric& hist = registry.histogram("latency_us", {}, "", "us");
+  for (std::uint64_t v = 1; v <= 100; ++v) hist.record(v);
+  const auto h = hist.snapshot();
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_GE(h.quantile(0.99), h.quantile(0.5));
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsLoseNothing) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  Counter& counter = registry.counter("hot.counter");
+  HistogramMetric& hist = registry.histogram("hot.hist");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &hist] {
+      for (int i = 0; i < kIncrements; ++i) {
+        counter.inc();
+        hist.record(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(hist.snapshot().count(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationYieldsOneInstrument) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) registry.counter("contended.name").inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.instrument_count(), 1u);
+  EXPECT_EQ(registry.snapshot().counter_total("contended.name"), 8000u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsIsolatedFromLaterUpdates) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("iso.counter");
+  HistogramMetric& hist = registry.histogram("iso.hist");
+  counter.inc(3);
+  hist.record(7);
+  const auto before = registry.snapshot();
+  counter.inc(100);
+  hist.record(9999);
+  EXPECT_EQ(before.counter_total("iso.counter"), 3u);
+  EXPECT_EQ(before.histogram_merged("iso.hist").count(), 1u);
+  const auto after = registry.snapshot();
+  EXPECT_EQ(after.counter_total("iso.counter"), 103u);
+  EXPECT_EQ(after.histogram_merged("iso.hist").count(), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotOrderIsDeterministic) {
+  MetricsRegistry registry;
+  registry.counter("z.last");
+  registry.counter("a.first");
+  registry.counter("m.middle", {{"mdt", "1"}});
+  registry.counter("m.middle", {{"mdt", "0"}});
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.samples.size(), 4u);
+  EXPECT_EQ(snapshot.samples[0].name, "a.first");
+  EXPECT_EQ(snapshot.samples[1].name, "m.middle");
+  EXPECT_EQ(snapshot.samples[1].labels.at("mdt"), "0");
+  EXPECT_EQ(snapshot.samples[2].name, "m.middle");
+  EXPECT_EQ(snapshot.samples[2].labels.at("mdt"), "1");
+  EXPECT_EQ(snapshot.samples[3].name, "z.last");
+}
+
+TEST(MetricsRegistryTest, MissingNamesReadAsZero) {
+  MetricsRegistry registry;
+  const auto snapshot = registry.snapshot();
+  EXPECT_FALSE(snapshot.contains("no.such"));
+  EXPECT_EQ(snapshot.counter_total("no.such"), 0u);
+  EXPECT_EQ(snapshot.gauge_total("no.such"), 0);
+  EXPECT_EQ(snapshot.histogram_merged("no.such").count(), 0u);
+}
+
+TEST(ExporterTest, JsonGolden) {
+  MetricsRegistry registry;
+  registry.counter("a.counter", {{"mdt", "0"}}, "help text", "records").inc(42);
+  registry.gauge("b.gauge", {}, "", "events").set(-7);
+  const auto json = to_json(registry.snapshot());
+  const std::string expected =
+      "{\"metrics\":[\n"
+      "  {\"name\":\"a.counter\",\"type\":\"counter\",\"labels\":{\"mdt\":\"0\"},"
+      "\"unit\":\"records\",\"value\":42},\n"
+      "  {\"name\":\"b.gauge\",\"type\":\"gauge\",\"labels\":{},"
+      "\"unit\":\"events\",\"value\":-7}\n"
+      "]}\n";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(ExporterTest, JsonHistogramFields) {
+  MetricsRegistry registry;
+  auto& hist = registry.histogram("h.lat", {}, "", "us");
+  hist.record(10);
+  hist.record(20);
+  const auto json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":30"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":20"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+}
+
+TEST(ExporterTest, PrometheusGolden) {
+  MetricsRegistry registry;
+  registry.counter("collector.records_published", {{"mdt", "0"}}, "Events published",
+                   "events").inc(5);
+  registry.counter("collector.records_published", {{"mdt", "1"}}).inc(7);
+  registry.gauge("aggregator.queue_depth", {}, "Backlog", "events").set(3);
+  const auto text = to_prometheus(registry.snapshot());
+  const std::string expected =
+      "# HELP fsmon_aggregator_queue_depth Backlog\n"
+      "# TYPE fsmon_aggregator_queue_depth gauge\n"
+      "fsmon_aggregator_queue_depth 3\n"
+      "# HELP fsmon_collector_records_published Events published\n"
+      "# TYPE fsmon_collector_records_published counter\n"
+      "fsmon_collector_records_published{mdt=\"0\"} 5\n"
+      "fsmon_collector_records_published{mdt=\"1\"} 7\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(ExporterTest, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  auto& hist = registry.histogram("wal.fsync_latency_us", {}, "Fsync latency", "us");
+  hist.record(1);
+  hist.record(100);
+  hist.record(100000);
+  const auto text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE fsmon_wal_fsync_latency_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("fsmon_wal_fsync_latency_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("fsmon_wal_fsync_latency_us_sum 100101"), std::string::npos);
+  EXPECT_NE(text.find("fsmon_wal_fsync_latency_us_count 3"), std::string::npos);
+  // Bucket counts must be non-decreasing in le order (cumulative form).
+  std::vector<std::uint64_t> counts;
+  std::size_t pos = 0;
+  const std::string needle = "fsmon_wal_fsync_latency_us_bucket{le=\"";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const std::size_t space = text.find(' ', pos);
+    counts.push_back(std::stoull(text.substr(space + 1)));
+    pos = space;
+  }
+  ASSERT_GE(counts.size(), 2u);
+  for (std::size_t i = 1; i < counts.size(); ++i) EXPECT_GE(counts[i], counts[i - 1]);
+  EXPECT_EQ(counts.back(), 3u);  // +Inf bucket equals total count
+}
+
+TEST(ExporterTest, WriteSnapshotRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("file.counter").inc(9);
+  const auto path = std::filesystem::temp_directory_path() / "fsmon_obs_test.json";
+  std::filesystem::remove(path);
+  ASSERT_TRUE(write_snapshot(registry, path, ExportFormat::kJson).is_ok());
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(text, to_json(registry.snapshot()));
+  std::filesystem::remove(path);
+}
+
+TEST(ExporterTest, SnapshotWriterWritesOnStartAndStop) {
+  MetricsRegistry registry;
+  registry.counter("writer.counter").inc(1);
+  const auto path = std::filesystem::temp_directory_path() / "fsmon_obs_writer.json";
+  std::filesystem::remove(path);
+  SnapshotWriter::Options options;
+  options.path = path;
+  options.interval = std::chrono::hours(1);  // only start/stop writes fire
+  SnapshotWriter writer(registry, options);
+  ASSERT_TRUE(writer.start().is_ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  registry.counter("writer.counter").inc(41);
+  writer.stop();
+  EXPECT_EQ(writer.writes(), 2u);
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"value\":42"), std::string::npos);  // final totals
+  std::filesystem::remove(path);
+}
+
+TEST(ExporterTest, ExporterFromConfigHonoursKeys) {
+  MetricsRegistry registry;
+  common::Config config;
+  EXPECT_EQ(exporter_from_config(registry, config), nullptr);  // no path: disabled
+  const auto path = std::filesystem::temp_directory_path() / "fsmon_obs_cfg.prom";
+  config.set("metrics.path", path.string());
+  config.set("metrics.format", "prometheus");
+  config.set("metrics.interval_ms", "250");
+  auto writer = exporter_from_config(registry, config);
+  ASSERT_NE(writer, nullptr);
+  EXPECT_EQ(writer->options().format, ExportFormat::kPrometheus);
+  EXPECT_EQ(writer->options().interval, std::chrono::milliseconds(250));
+  EXPECT_EQ(writer->options().path, path);
+}
+
+}  // namespace
+}  // namespace fsmon::obs
