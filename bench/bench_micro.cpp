@@ -94,6 +94,43 @@ void BM_PubSubPublish(benchmark::State& state) {
 }
 BENCHMARK(BM_PubSubPublish);
 
+void BM_BatchedHop(benchmark::State& state) {
+  // One serialize->publish->recv->deserialize hop, as the collector ->
+  // aggregator edge does it, at varying publish-batch sizes. Items are
+  // events, so events/s is directly comparable across batch sizes.
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  msgq::Bus bus;
+  auto pub = bus.make_publisher("p");
+  auto sub = bus.make_subscriber("s", 1 << 16, common::OverflowPolicy::kDropNewest);
+  sub->subscribe("");
+  pub->connect(sub);
+  core::StdEvent event;
+  event.kind = core::EventKind::kCreate;
+  event.watch_root = "/mnt/lustre";
+  event.path = "/d123/f45678";  // SSO-sized: isolates framing cost from malloc
+  event.source = "lustre:MDT0";
+  core::EventBatch batch;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    event.id = i + 1;
+    batch.events.push_back(event);
+  }
+  std::vector<std::byte> frame;
+  for (auto _ : state) {
+    frame.clear();
+    core::encode_batch(batch, frame);
+    pub->publish("fsmon/mdt0",
+                 std::string(reinterpret_cast<const char*>(frame.data()),
+                             frame.size()));
+    auto message = sub->try_recv();
+    auto decoded = core::decode_batch(
+        std::as_bytes(std::span<const char>(message->payload)));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_BatchedHop)->Arg(1)->Arg(64)->Arg(512);
+
 void BM_ProcessorAlgorithm1(benchmark::State& state) {
   common::ManualClock clock;
   lustre::LustreFs fs(lustre::LustreFsOptions{}, clock);

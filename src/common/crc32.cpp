@@ -7,24 +7,61 @@ namespace {
 
 constexpr std::uint32_t kPoly = 0xEDB88320u;
 
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slice-by-16: table[0] is the classic byte-wise table; table[k][i] is
+// the CRC of byte i followed by k zero bytes, letting the loop fold
+// sixteen input bytes per iteration. Produces bit-identical results to
+// the byte-wise algorithm (event frames and WAL records checksum this
+// on the hot path, so the table width is worth its 16 KiB).
+constexpr std::size_t kSlices = 16;
+
+constexpr std::array<std::array<std::uint32_t, 256>, kSlices> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, kSlices> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables[0][i];
+    for (std::size_t k = 1; k < kSlices; ++k) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[k][i] = c;
+    }
+  }
+  return tables;
 }
 
-constexpr auto kTable = make_table();
+constexpr auto kTables = make_tables();
+
+inline std::uint32_t load_le32(const std::byte* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
 
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t seed) {
   std::uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (std::byte b : data) {
-    c = kTable[(c ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (c >> 8);
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  while (n >= kSlices) {
+    const std::uint32_t a = c ^ load_le32(p);
+    const std::uint32_t b = load_le32(p + 4);
+    const std::uint32_t d = load_le32(p + 8);
+    const std::uint32_t e = load_le32(p + 12);
+    c = kTables[15][a & 0xFFu] ^ kTables[14][(a >> 8) & 0xFFu] ^
+        kTables[13][(a >> 16) & 0xFFu] ^ kTables[12][a >> 24] ^
+        kTables[11][b & 0xFFu] ^ kTables[10][(b >> 8) & 0xFFu] ^
+        kTables[9][(b >> 16) & 0xFFu] ^ kTables[8][b >> 24] ^
+        kTables[7][d & 0xFFu] ^ kTables[6][(d >> 8) & 0xFFu] ^
+        kTables[5][(d >> 16) & 0xFFu] ^ kTables[4][d >> 24] ^
+        kTables[3][e & 0xFFu] ^ kTables[2][(e >> 8) & 0xFFu] ^
+        kTables[1][(e >> 16) & 0xFFu] ^ kTables[0][e >> 24];
+    p += kSlices;
+    n -= kSlices;
+  }
+  for (; n > 0; --n, ++p) {
+    c = kTables[0][(c ^ static_cast<std::uint8_t>(*p)) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

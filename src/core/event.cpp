@@ -1,6 +1,10 @@
 #include "src/core/event.hpp"
 
+#include <atomic>
+#include <bit>
 #include <cstring>
+
+#include "src/common/crc32.hpp"
 
 namespace fsmon::core {
 
@@ -53,20 +57,47 @@ std::string to_inotify_line(const StdEvent& event) {
 
 namespace {
 
-void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
 }
 
-void put_string(std::vector<std::byte>& out, const std::string& s) {
-  put_u64(out, s.size());
-  for (char c : s) out.push_back(static_cast<std::byte>(c));
+std::uint32_t get_u32_at(std::span<const std::byte> in, std::size_t offset) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(in[offset + static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+void write_u32_at(std::span<std::byte> out, std::size_t offset, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out[offset + static_cast<std::size_t>(i)] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+}
+
+void write_u64_at(std::span<std::byte> out, std::size_t offset, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out[offset + static_cast<std::size_t>(i)] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+}
+
+std::byte* raw_u64(std::byte* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) *p++ = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  return p;
+}
+
+std::byte* raw_string(std::byte* p, const std::string& s) {
+  p = raw_u64(p, s.size());
+  std::memcpy(p, s.data(), s.size());
+  return p + s.size();
 }
 
 bool get_u64(std::span<const std::byte> in, std::size_t& offset, std::uint64_t& v) {
   if (in.size() - offset < 8) return false;
-  v = 0;
-  for (int i = 0; i < 8; ++i)
-    v |= static_cast<std::uint64_t>(in[offset + static_cast<std::size_t>(i)]) << (8 * i);
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(&v, in.data() + offset, 8);
+  } else {
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(in[offset + static_cast<std::size_t>(i)]) << (8 * i);
+  }
   offset += 8;
   return true;
 }
@@ -75,23 +106,48 @@ bool get_string(std::span<const std::byte> in, std::size_t& offset, std::string&
   std::uint64_t len = 0;
   if (!get_u64(in, offset, len)) return false;
   if (len > (1ull << 30) || in.size() - offset < len) return false;
-  s.resize(len);
-  std::memcpy(s.data(), in.data() + offset, len);
+  s.assign(reinterpret_cast<const char*>(in.data() + offset), len);
   offset += len;
   return true;
 }
 
+std::atomic<std::uint64_t> g_serialize_calls{0};
+std::atomic<std::uint64_t> g_deserialize_calls{0};
+
+// Uncounted codec cores. The public entry points bump the per-event
+// counters; the batch codecs call these and account a whole frame with
+// one fetch_add so the counters still advance once per event without an
+// atomic op per event on the hot path.
+void serialize_event_impl(const StdEvent& event, std::vector<std::byte>& out) {
+  // Size once, then write through a raw pointer: per-byte push_back
+  // capacity checks dominate the encode cost on the batched hot path.
+  const std::size_t base = out.size();
+  out.resize(base + 26 + 3 * 8 + event.watch_root.size() + event.path.size() +
+             event.source.size());
+  std::byte* p = out.data() + base;
+  p = raw_u64(p, event.id);
+  *p++ = static_cast<std::byte>(event.kind);
+  *p++ = static_cast<std::byte>(event.is_dir ? 1 : 0);
+  p = raw_u64(p, event.cookie);
+  p = raw_u64(p, static_cast<std::uint64_t>(event.timestamp.time_since_epoch().count()));
+  p = raw_string(p, event.watch_root);
+  p = raw_string(p, event.path);
+  p = raw_string(p, event.source);
+}
+
+Result<std::pair<StdEvent, std::size_t>> deserialize_event_impl(
+    std::span<const std::byte> in);
+
 }  // namespace
 
+CodecCounters codec_counters() {
+  return CodecCounters{g_serialize_calls.load(std::memory_order_relaxed),
+                       g_deserialize_calls.load(std::memory_order_relaxed)};
+}
+
 void serialize_event(const StdEvent& event, std::vector<std::byte>& out) {
-  put_u64(out, event.id);
-  out.push_back(static_cast<std::byte>(event.kind));
-  out.push_back(static_cast<std::byte>(event.is_dir ? 1 : 0));
-  put_u64(out, event.cookie);
-  put_u64(out, static_cast<std::uint64_t>(event.timestamp.time_since_epoch().count()));
-  put_string(out, event.watch_root);
-  put_string(out, event.path);
-  put_string(out, event.source);
+  g_serialize_calls.fetch_add(1, std::memory_order_relaxed);
+  serialize_event_impl(event, out);
 }
 
 std::vector<std::byte> serialize_event(const StdEvent& event) {
@@ -101,6 +157,14 @@ std::vector<std::byte> serialize_event(const StdEvent& event) {
 }
 
 Result<std::pair<StdEvent, std::size_t>> deserialize_event(std::span<const std::byte> in) {
+  g_deserialize_calls.fetch_add(1, std::memory_order_relaxed);
+  return deserialize_event_impl(in);
+}
+
+namespace {
+
+Result<std::pair<StdEvent, std::size_t>> deserialize_event_impl(
+    std::span<const std::byte> in) {
   StdEvent event;
   std::size_t offset = 0;
   std::uint64_t id = 0;
@@ -122,6 +186,110 @@ Result<std::pair<StdEvent, std::size_t>> deserialize_event(std::span<const std::
       !get_string(in, offset, event.source))
     return Status(ErrorCode::kCorrupt, "event: truncated strings");
   return std::make_pair(std::move(event), offset);
+}
+
+}  // namespace
+
+// Fixed layout facts the batch fast path relies on: within one encoded
+// event, the id is bytes [0, 8) and the timestamp bytes [18, 26)
+// (id u64 | kind u8 | is_dir u8 | cookie u64 | timestamp u64 | strings).
+namespace {
+constexpr std::size_t kEventIdOffset = 0;
+constexpr std::size_t kEventTimestampOffset = 18;
+constexpr std::size_t kEventMinBytes = 26 + 3 * 8;  // header + three empty strings
+constexpr std::size_t kBatchHeaderBytes = 8;        // magic + count
+constexpr std::size_t kBatchTrailerBytes = 4;       // crc
+}  // namespace
+
+void encode_batch(const EventBatch& batch, std::vector<std::byte>& out) {
+  const std::size_t start = out.size();
+  put_u32(out, kBatchMagic);
+  put_u32(out, static_cast<std::uint32_t>(batch.events.size()));
+  g_serialize_calls.fetch_add(batch.events.size(), std::memory_order_relaxed);
+  for (const StdEvent& event : batch.events) {
+    const std::size_t len_at = out.size();
+    put_u32(out, 0);  // placeholder, patched below
+    const std::size_t event_start = out.size();
+    serialize_event_impl(event, out);
+    write_u32_at(out, len_at, static_cast<std::uint32_t>(out.size() - event_start));
+  }
+  const std::uint32_t crc =
+      common::crc32(std::span(out.data() + start, out.size() - start));
+  put_u32(out, crc);
+}
+
+std::vector<std::byte> encode_batch(const EventBatch& batch) {
+  std::vector<std::byte> out;
+  encode_batch(batch, out);
+  return out;
+}
+
+Result<EventBatchView> view_batch(std::span<const std::byte> frame, bool verify_crc) {
+  if (frame.size() < kBatchHeaderBytes + kBatchTrailerBytes)
+    return Status(ErrorCode::kCorrupt, "batch: truncated header");
+  if (get_u32_at(frame, 0) != kBatchMagic)
+    return Status(ErrorCode::kCorrupt, "batch: bad magic");
+  EventBatchView view;
+  view.count = get_u32_at(frame, 4);
+  if (view.count > (1u << 24)) return Status(ErrorCode::kCorrupt, "batch: absurd count");
+  std::size_t offset = kBatchHeaderBytes;
+  view.events.reserve(view.count);
+  for (std::uint32_t i = 0; i < view.count; ++i) {
+    if (frame.size() - offset < 4 + kBatchTrailerBytes)
+      return Status(ErrorCode::kCorrupt, "batch: truncated event length");
+    const std::uint32_t len = get_u32_at(frame, offset);
+    offset += 4;
+    if (len < kEventMinBytes || frame.size() - offset < len + kBatchTrailerBytes)
+      return Status(ErrorCode::kCorrupt, "batch: truncated event body");
+    view.events.emplace_back(offset, len);
+    offset += len;
+  }
+  if (frame.size() != offset + kBatchTrailerBytes)
+    return Status(ErrorCode::kCorrupt, "batch: trailing garbage");
+  if (verify_crc) {
+    const std::uint32_t expected = get_u32_at(frame, offset);
+    const std::uint32_t actual = common::crc32(frame.subspan(0, offset));
+    if (expected != actual) return Status(ErrorCode::kCorrupt, "batch: CRC mismatch");
+  }
+  return view;
+}
+
+Result<EventBatch> decode_batch(std::span<const std::byte> in) {
+  auto view = view_batch(in);
+  if (!view) return view.status();
+  EventBatch batch;
+  batch.events.reserve(view.value().count);
+  g_deserialize_calls.fetch_add(view.value().count, std::memory_order_relaxed);
+  for (const auto& [offset, len] : view.value().events) {
+    auto decoded = deserialize_event_impl(in.subspan(offset, len));
+    if (!decoded) return decoded.status();
+    if (decoded.value().second != len)
+      return Status(ErrorCode::kCorrupt, "batch: embedded event length mismatch");
+    batch.events.push_back(std::move(decoded.value().first));
+  }
+  return batch;
+}
+
+Result<std::size_t> patch_batch_ids(std::span<std::byte> frame, common::EventId first_id) {
+  auto view = view_batch(frame, /*verify_crc=*/false);
+  if (!view) return view.status();
+  common::EventId id = first_id;
+  for (const auto& [offset, len] : view.value().events) {
+    (void)len;
+    write_u64_at(frame, offset + kEventIdOffset, id++);
+  }
+  const std::size_t body = frame.size() - kBatchTrailerBytes;
+  write_u32_at(frame, body, common::crc32(std::span<const std::byte>(frame.data(), body)));
+  return static_cast<std::size_t>(view.value().count);
+}
+
+Result<common::TimePoint> peek_event_timestamp(std::span<const std::byte> event_bytes) {
+  if (event_bytes.size() < kEventTimestampOffset + 8)
+    return Status(ErrorCode::kCorrupt, "event: too short for timestamp");
+  std::uint64_t ts = 0;
+  std::size_t offset = kEventTimestampOffset;
+  get_u64(event_bytes, offset, ts);
+  return common::TimePoint{common::Duration{static_cast<std::int64_t>(ts)}};
 }
 
 }  // namespace fsmon::core

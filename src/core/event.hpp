@@ -70,4 +70,68 @@ std::vector<std::byte> serialize_event(const StdEvent& event);
 common::Result<std::pair<StdEvent, std::size_t>> deserialize_event(
     std::span<const std::byte> in);
 
+/// Process-wide codec invocation totals (relaxed atomics). Tests use the
+/// delta across a pipeline run to prove each event is serialized exactly
+/// once end-to-end (the batched path's core invariant).
+struct CodecCounters {
+  std::uint64_t serialize_calls = 0;
+  std::uint64_t deserialize_calls = 0;
+};
+CodecCounters codec_counters();
+
+/// A batch of events moved as one wire frame through the pipeline
+/// (collector -> aggregator -> consumers / store). Batching keeps the
+/// per-event cost of framing, queue hops, and fsyncs off the hot path.
+struct EventBatch {
+  std::vector<StdEvent> events;
+
+  std::size_t size() const { return events.size(); }
+  bool empty() const { return events.empty(); }
+
+  friend bool operator==(const EventBatch&, const EventBatch&) = default;
+};
+
+/// Batch wire format (little-endian):
+///
+///   u32 magic "FBT1" | u32 count | count x { u32 len | event bytes } | u32 crc
+///
+/// The CRC-32 trailer covers every preceding byte. Each embedded event
+/// uses the canonical per-event serialization, so the 8-byte event id is
+/// the first field of every event record — patch_batch_ids exploits that
+/// to renumber an already-encoded batch in place without re-serializing.
+inline constexpr std::uint32_t kBatchMagic = 0x31544246;  // "FBT1"
+
+void encode_batch(const EventBatch& batch, std::vector<std::byte>& out);
+std::vector<std::byte> encode_batch(const EventBatch& batch);
+
+/// Decode a whole batch frame; kCorrupt on bad magic, truncation, CRC
+/// mismatch, or a malformed embedded event. An empty batch is valid.
+common::Result<EventBatch> decode_batch(std::span<const std::byte> in);
+
+/// Structural view of an encoded batch frame: the byte range of each
+/// embedded event record, without decoding any event. The aggregator's
+/// hot path runs on views so it never re-materializes StdEvents.
+struct EventBatchView {
+  std::uint32_t count = 0;
+  /// (offset, length) of each embedded event's bytes within the frame.
+  std::vector<std::pair<std::size_t, std::size_t>> events;
+};
+
+/// Validate and index a batch frame. With `verify_crc` false only the
+/// structure is checked (for buffers whose CRC was already verified).
+common::Result<EventBatchView> view_batch(std::span<const std::byte> frame,
+                                          bool verify_crc = true);
+
+/// Renumber an encoded batch in place: event i gets id `first_id + i`,
+/// and the CRC trailer is recomputed. The frame's CRC must have been
+/// verified beforehand (structure is re-checked; payloads are trusted).
+/// Returns the number of events patched.
+common::Result<std::size_t> patch_batch_ids(std::span<std::byte> frame,
+                                            common::EventId first_id);
+
+/// Read the timestamp of a canonically serialized event without decoding
+/// it (fixed offset: id u64 + kind u8 + is_dir u8 + cookie u64 precede it).
+common::Result<common::TimePoint> peek_event_timestamp(
+    std::span<const std::byte> event_bytes);
+
 }  // namespace fsmon::core

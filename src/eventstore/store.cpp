@@ -97,27 +97,51 @@ void EventStore::recover() {
 }
 
 Status EventStore::append(common::EventId id, std::span<const std::byte> payload) {
+  const std::span<const std::byte> one[] = {payload};
+  return append_batch(id, one);
+}
+
+Status EventStore::append_batch(common::EventId first_id,
+                                std::span<const std::span<const std::byte>> payloads) {
+  if (payloads.empty()) return Status::ok();
   std::lock_guard lock(mu_);
-  if (id <= last_id_)
+  if (first_id <= last_id_)
     return Status(ErrorCode::kInvalid, "event ids must be strictly increasing");
-  if (segments_.empty() || segments_.back().wal == nullptr ||
-      segments_.back().bytes >= options_.segment_bytes) {
-    roll_segment_locked();
+  std::size_t i = 0;
+  while (i < payloads.size()) {
+    if (segments_.empty() || segments_.back().wal == nullptr ||
+        segments_.back().bytes >= options_.segment_bytes) {
+      roll_segment_locked();
+    }
+    Segment& seg = segments_.back();
+    // Take as many payloads as fit before the segment rolls (always >= 1
+    // so oversized records still land somewhere).
+    std::size_t chunk_end = i + 1;
+    std::uint64_t chunk_bytes = payloads[i].size();
+    while (chunk_end < payloads.size() &&
+           seg.bytes + chunk_bytes < options_.segment_bytes) {
+      chunk_bytes += payloads[chunk_end].size();
+      ++chunk_end;
+    }
+    const common::EventId chunk_first = first_id + i;
+    if (auto s = seg.wal->append_batch(chunk_first, payloads.subspan(i, chunk_end - i));
+        !s.is_ok())
+      return s;
+    if (seg.first_id == 0) seg.first_id = chunk_first;
+    seg.last_id = first_id + chunk_end - 1;
+    seg.bytes += chunk_bytes;
+    for (std::size_t j = i; j < chunk_end; ++j) {
+      records_.push_back(StoredEvent{
+          first_id + j, std::vector<std::byte>(payloads[j].begin(), payloads[j].end()),
+          false});
+      live_bytes_ += payloads[j].size();
+    }
+    last_id_ = first_id + chunk_end - 1;
+    i = chunk_end;
   }
-  Segment& active = segments_.back();
-  if (active.wal == nullptr) roll_segment_locked();
-  if (auto s = segments_.back().wal->append(id, payload); !s.is_ok()) return s;
   if (options_.flush_each_append) {
     if (auto s = segments_.back().wal->flush(); !s.is_ok()) return s;
   }
-  Segment& seg = segments_.back();
-  if (seg.first_id == 0) seg.first_id = id;
-  seg.last_id = id;
-  seg.bytes += payload.size();
-  last_id_ = id;
-  records_.push_back(StoredEvent{id, std::vector<std::byte>(payload.begin(), payload.end()),
-                                 false});
-  live_bytes_ += payload.size();
   enforce_cap_locked();
   update_gauges_locked();
   return Status::ok();

@@ -56,6 +56,13 @@ class EventStore {
   /// Append an event; ids must be strictly increasing.
   common::Status append(common::EventId id, std::span<const std::byte> payload);
 
+  /// Group commit: append payloads with consecutive ids starting at
+  /// `first_id` under one lock acquisition, one WAL write per segment
+  /// (batches are chunked across segment rolls), and — when
+  /// `flush_each_append` is set — exactly one flush for the whole batch.
+  common::Status append_batch(common::EventId first_id,
+                              std::span<const std::span<const std::byte>> payloads);
+
   /// Events with id > `after_id`, oldest first, up to `max_events`.
   std::vector<StoredEvent> events_since(common::EventId after_id,
                                         std::size_t max_events = SIZE_MAX) const;

@@ -56,6 +56,9 @@ WalMetrics WalMetrics::create(obs::MetricsRegistry& registry) {
                                "flushes");
   m.fsync_latency_us = &registry.histogram("wal.fsync_latency_us", {},
                                            "Wall-clock latency of one WAL flush", "us");
+  m.batch_size = &registry.histogram("wal.batch_size", {},
+                                     "Records committed per WAL append_batch call",
+                                     "records");
   return m;
 }
 
@@ -73,23 +76,37 @@ WalSegment::~WalSegment() {
 }
 
 Status WalSegment::append(common::EventId id, std::span<const std::byte> payload) {
+  const std::span<const std::byte> one[] = {payload};
+  return append_batch(id, one);
+}
+
+Status WalSegment::append_batch(common::EventId first_id,
+                                std::span<const std::span<const std::byte>> payloads) {
+  if (payloads.empty()) return Status::ok();
   if (!out_) return Status(ErrorCode::kUnavailable, "wal segment not writable: " + path_.string());
   const auto start = std::chrono::steady_clock::now();
-  std::vector<std::byte> record;
-  record.reserve(16 + payload.size());
-  put_u32(record, static_cast<std::uint32_t>(payload.size()));
-  put_u64(record, id);
-  record.insert(record.end(), payload.begin(), payload.end());
-  const std::uint32_t crc = common::crc32(std::span(record.data(), record.size()));
-  put_u32(record, crc);
-  out_.write(reinterpret_cast<const char*>(record.data()),
-             static_cast<std::streamsize>(record.size()));
+  std::size_t total = 0;
+  for (const auto& payload : payloads) total += 16 + payload.size();
+  std::vector<std::byte> buffer;
+  buffer.reserve(total);
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    const std::size_t record_start = buffer.size();
+    put_u32(buffer, static_cast<std::uint32_t>(payloads[i].size()));
+    put_u64(buffer, first_id + i);
+    buffer.insert(buffer.end(), payloads[i].begin(), payloads[i].end());
+    const std::uint32_t crc =
+        common::crc32(std::span(buffer.data() + record_start, buffer.size() - record_start));
+    put_u32(buffer, crc);
+  }
+  out_.write(reinterpret_cast<const char*>(buffer.data()),
+             static_cast<std::streamsize>(buffer.size()));
   if (!out_) return Status(ErrorCode::kUnavailable, "wal write failed");
-  bytes_written_ += record.size();
+  bytes_written_ += buffer.size();
   if (metrics_ != nullptr) {
-    metrics_->appends->inc();
-    metrics_->append_bytes->inc(record.size());
+    metrics_->appends->inc(payloads.size());
+    metrics_->append_bytes->inc(buffer.size());
     metrics_->append_latency_us->record(elapsed_us(start));
+    if (metrics_->batch_size != nullptr) metrics_->batch_size->record(payloads.size());
   }
   return Status::ok();
 }

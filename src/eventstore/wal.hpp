@@ -35,6 +35,7 @@ struct WalMetrics {
   obs::HistogramMetric* append_latency_us = nullptr;
   obs::Counter* fsyncs = nullptr;
   obs::HistogramMetric* fsync_latency_us = nullptr;
+  obs::HistogramMetric* batch_size = nullptr;
 
   static WalMetrics create(obs::MetricsRegistry& registry);
 };
@@ -50,6 +51,13 @@ class WalSegment {
   WalSegment& operator=(const WalSegment&) = delete;
 
   common::Status append(common::EventId id, std::span<const std::byte> payload);
+
+  /// Group commit: frame every payload (record i gets id `first_id + i`)
+  /// into one buffer and issue a single write. Callers that flush after
+  /// this pay one durability barrier for the whole batch instead of one
+  /// per record.
+  common::Status append_batch(common::EventId first_id,
+                              std::span<const std::span<const std::byte>> payloads);
 
   /// Flush buffered appends to the OS.
   common::Status flush();

@@ -79,6 +79,7 @@ std::string ChangelogRecord::to_line() const {
 }
 
 void Changelog::attach_metrics(obs::MetricsRegistry& registry, obs::Labels labels) {
+  std::lock_guard lock(mu_);
   appended_counter_ = &registry.counter("changelog.records_appended", labels,
                                         "Changelog records appended on this MDT", "records");
   purged_counter_ = &registry.counter("changelog.records_purged", labels,
@@ -89,6 +90,7 @@ void Changelog::attach_metrics(obs::MetricsRegistry& registry, obs::Labels label
 }
 
 std::uint64_t Changelog::append(ChangelogRecord record) {
+  std::lock_guard lock(mu_);
   record.index = next_index_++;
   records_.push_back(std::move(record));
   if (appended_counter_ != nullptr) appended_counter_->inc();
@@ -98,6 +100,7 @@ std::uint64_t Changelog::append(ChangelogRecord record) {
 
 std::vector<ChangelogRecord> Changelog::read(std::uint64_t after_index,
                                              std::size_t max_records) const {
+  std::lock_guard lock(mu_);
   std::vector<ChangelogRecord> out;
   if (records_.empty() || max_records == 0) return out;
   // Records are stored in index order; binary search for the start.
@@ -110,6 +113,7 @@ std::vector<ChangelogRecord> Changelog::read(std::uint64_t after_index,
 }
 
 common::Status Changelog::clear_upto(std::uint64_t index) {
+  std::lock_guard lock(mu_);
   if (index >= next_index_) {
     return common::Status(common::ErrorCode::kOutOfRange,
                           "changelog_clear beyond last record");

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -73,7 +74,10 @@ struct ChangelogRecord {
   std::string to_line() const;
 };
 
-/// Append-only record journal with purge, per-MDT.
+/// Append-only record journal with purge, per-MDT. Thread-safe: the
+/// owning MDS serializes writers behind the filesystem lock, but
+/// collector threads read/clear concurrently through Mds directly, so
+/// the journal guards its own state.
 class Changelog {
  public:
   Changelog() = default;
@@ -90,24 +94,38 @@ class Changelog {
   common::Status clear_upto(std::uint64_t index);
 
   /// Number of records currently retained.
-  std::size_t retained() const { return records_.size(); }
+  std::size_t retained() const {
+    std::lock_guard lock(mu_);
+    return records_.size();
+  }
 
   /// Index of the most recently appended record (0 when none yet).
-  std::uint64_t last_index() const { return next_index_ - 1; }
+  std::uint64_t last_index() const {
+    std::lock_guard lock(mu_);
+    return next_index_ - 1;
+  }
 
   /// Lowest retained index (0 when empty).
   std::uint64_t first_retained_index() const {
+    std::lock_guard lock(mu_);
     return records_.empty() ? 0 : records_.front().index;
   }
 
-  std::uint64_t total_appended() const { return next_index_ - 1; }
-  std::uint64_t total_purged() const { return purged_; }
+  std::uint64_t total_appended() const {
+    std::lock_guard lock(mu_);
+    return next_index_ - 1;
+  }
+  std::uint64_t total_purged() const {
+    std::lock_guard lock(mu_);
+    return purged_;
+  }
 
   /// Register this changelog's metrics (records appended/purged, retained
   /// backlog) with `labels` qualifying the owning MDT.
   void attach_metrics(obs::MetricsRegistry& registry, obs::Labels labels);
 
  private:
+  mutable std::mutex mu_;
   std::deque<ChangelogRecord> records_;
   std::uint64_t next_index_ = 1;
   std::uint64_t purged_ = 0;

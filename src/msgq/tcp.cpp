@@ -50,22 +50,20 @@ TcpMetrics TcpMetrics::create(obs::MetricsRegistry& registry, const obs::Labels&
   return m;
 }
 
-TcpConnection::~TcpConnection() { close(); }
+TcpConnection::~TcpConnection() {
+  close();
+  if (fd_ >= 0) ::close(fd_);
+}
 
 void TcpConnection::close() {
-  const int fd = fd_.exchange(-1);
-  if (fd >= 0) {
-    ::shutdown(fd, SHUT_RDWR);
-    ::close(fd);
-  }
+  if (!closed_.exchange(true) && fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 Status TcpConnection::send(const Message& message) {
-  const int fd = fd_.load();
-  if (fd < 0) return Status(ErrorCode::kUnavailable, "connection closed");
+  if (closed_.load()) return Status(ErrorCode::kUnavailable, "connection closed");
   const auto frame = encode_frame(message);
   std::lock_guard lock(send_mu_);
-  if (!write_all(fd, frame.data(), frame.size())) {
+  if (!write_all(fd_, frame.data(), frame.size())) {
     close();
     return errno_status("send");
   }
@@ -92,9 +90,8 @@ Result<Message> TcpConnection::recv() {
       close();
       return Status(ErrorCode::kCorrupt, error.what());
     }
-    const int fd = fd_.load();
-    if (fd < 0) return Status(ErrorCode::kUnavailable, "connection closed");
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (closed_.load()) return Status(ErrorCode::kUnavailable, "connection closed");
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n == 0) {
       close();
       return Status(ErrorCode::kUnavailable, "peer closed");
@@ -150,14 +147,16 @@ Status TcpPublisher::start(std::uint16_t port) {
 
 void TcpPublisher::stop() {
   if (!running_.exchange(false)) return;
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  // Wake the accept thread with shutdown, join it, and only then close
+  // the descriptor — closing while accept4 still blocks on it races.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) {
     accept_thread_.request_stop();
     accept_thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
   std::vector<std::unique_ptr<Remote>> remotes;
   {

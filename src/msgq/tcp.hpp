@@ -63,11 +63,16 @@ class TcpConnection {
   /// `metrics` (optional) must outlive the connection.
   void set_metrics(const TcpMetrics* metrics) { metrics_ = metrics; }
 
+  /// Shut the socket down (wakes any thread blocked in send()/recv()).
+  /// The descriptor itself is released by the destructor, once no other
+  /// thread can still be using it — closing it here would race with a
+  /// concurrent ::recv and could hand that thread a recycled fd.
   void close();
-  bool closed() const { return fd_.load() < 0; }
+  bool closed() const { return closed_.load(); }
 
  private:
-  std::atomic<int> fd_;
+  const int fd_;
+  std::atomic<bool> closed_{false};
   std::mutex send_mu_;
   std::vector<std::byte> recv_buffer_;
   const TcpMetrics* metrics_ = nullptr;

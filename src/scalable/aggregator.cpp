@@ -43,6 +43,14 @@ Aggregator::Aggregator(msgq::Bus& bus, std::string name, AggregatorOptions optio
     fanout_lag_hist_ = &registry.histogram(
         "aggregator.fanout_lag_us", {},
         "Operation timestamp to aggregator publish (fan-out lag)", "us");
+    batch_size_hist_ = &registry.histogram("aggregator.batch_size", {},
+                                           "Events per batch frame pumped through the "
+                                           "aggregator",
+                                           "events");
+    batch_bytes_hist_ = &registry.histogram("aggregator.batch_bytes", {},
+                                            "Encoded bytes per batch frame pumped "
+                                            "through the aggregator",
+                                            "bytes");
   }
 }
 
@@ -80,53 +88,81 @@ void Aggregator::stop() {
 }
 
 void Aggregator::pump_loop(std::stop_token) {
-  // Publishing thread: drain the fan-in inbox, assign ids, forward to
-  // consumers, and hand a copy to the persister.
+  // Publishing thread: drain the fan-in inbox one batch frame at a time,
+  // assign an id block with a single fetch_add, patch the ids into the
+  // already-encoded frame (no re-serialization), fan the frame out, and
+  // hand the same bytes to the persister.
   for (;;) {
     auto message = inbox_->recv();
     if (!message) break;  // closed and drained
-    auto decoded = core::deserialize_event(
-        std::as_bytes(std::span(message->payload.data(), message->payload.size())));
-    if (!decoded) {
-      FSMON_WARN("aggregator", "dropping corrupt event frame: ",
-                 decoded.status().to_string());
+    std::string& payload = message->payload;
+    const auto frame = std::as_writable_bytes(std::span(payload.data(), payload.size()));
+    auto view = core::view_batch(frame);
+    if (!view) {
+      FSMON_WARN("aggregator", "dropping corrupt batch frame: ",
+                 view.status().to_string());
       continue;
     }
-    core::StdEvent event = std::move(decoded.value().first);
-    event.id = next_id_.fetch_add(1);
-    aggregated_.fetch_add(1);
-    meter_.record();
+    const std::size_t count = view.value().count;
+    if (count == 0) continue;
+    const common::EventId first_id = next_id_.fetch_add(count);
+    if (auto patched = core::patch_batch_ids(frame, first_id); !patched) {
+      FSMON_WARN("aggregator", "dropping unpatchable batch frame: ",
+                 patched.status().to_string());
+      continue;
+    }
+    aggregated_.fetch_add(count);
+    meter_.record(count);
     if (aggregated_counter_ != nullptr) {
-      aggregated_counter_->inc();
+      aggregated_counter_->inc(count);
       const auto depth =
           static_cast<std::int64_t>(inbox_->pending() + persist_queue_.size());
       queue_depth_gauge_->set(depth);
       queue_depth_peak_gauge_->set_max(depth);
       publish_rate_gauge_->set(static_cast<std::int64_t>(meter_.snapshot().average_rate));
-      const auto lag = clock_.now() - event.timestamp;
-      if (lag.count() >= 0)
-        fanout_lag_hist_->record(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(lag).count()));
+      batch_size_hist_->record(count);
+      batch_bytes_hist_->record(frame.size());
+      const auto now = clock_.now();
+      for (const auto& [offset, length] : view.value().events) {
+        auto timestamp = core::peek_event_timestamp(frame.subspan(offset, length));
+        if (!timestamp) continue;
+        const auto lag = now - timestamp.value();
+        if (lag.count() >= 0)
+          fanout_lag_hist_->record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(lag).count()));
+      }
     }
-    const auto bytes = core::serialize_event(event);
-    output_->publish(options_.output_topic,
-                     std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
-    if (store_ != nullptr) persist_queue_.push(std::move(event));
+    // publish(const Message&) copies per subscriber, so the frame can be
+    // moved on to the persister afterwards.
+    msgq::Message out{options_.output_topic, std::move(payload)};
+    output_->publish(out);
+    if (store_ != nullptr)
+      persist_queue_.push(PersistBatch{first_id, std::move(out.payload)});
   }
 }
 
 void Aggregator::persist_loop(std::stop_token) {
-  std::vector<std::byte> buffer;
   for (;;) {
-    auto event = persist_queue_.pop();
-    if (!event) break;
-    buffer.clear();
-    core::serialize_event(*event, buffer);
-    if (auto s = store_->append(event->id, buffer); !s.is_ok()) {
+    auto batch = persist_queue_.pop();
+    if (!batch) break;
+    const auto frame =
+        std::as_bytes(std::span(batch->frame.data(), batch->frame.size()));
+    // CRC was verified (and rewritten by the id patch) in the pump; only
+    // the structure is needed to slice out per-event payloads.
+    auto view = core::view_batch(frame, /*verify_crc=*/false);
+    if (!view) {
+      FSMON_ERROR("aggregator", "persist batch unreadable: ", view.status().to_string());
+      continue;
+    }
+    std::vector<std::span<const std::byte>> payloads;
+    payloads.reserve(view.value().count);
+    for (const auto& [offset, length] : view.value().events)
+      payloads.push_back(frame.subspan(offset, length));
+    if (auto s = store_->append_batch(batch->first_id, payloads); !s.is_ok()) {
       FSMON_ERROR("aggregator", "event store append failed: ", s.to_string());
     } else {
-      persisted_.fetch_add(1);
-      if (persisted_counter_ != nullptr) persisted_counter_->inc();
+      persisted_.fetch_add(payloads.size());
+      if (persisted_counter_ != nullptr) persisted_counter_->inc(payloads.size());
     }
   }
 }

@@ -75,6 +75,14 @@ class Aggregator {
   const eventstore::EventStore* store() const { return store_.get(); }
 
  private:
+  /// An id-patched, already-encoded batch frame handed from the pump to
+  /// the persister. The frame bytes are reused verbatim — the persist
+  /// path never re-serializes.
+  struct PersistBatch {
+    common::EventId first_id = 0;
+    std::string frame;
+  };
+
   void pump_loop(std::stop_token stop);
   void persist_loop(std::stop_token stop);
   void purge_loop(std::stop_token stop);
@@ -86,7 +94,7 @@ class Aggregator {
   std::shared_ptr<msgq::Subscriber> inbox_;
   std::shared_ptr<msgq::Publisher> output_;
   std::unique_ptr<eventstore::EventStore> store_;
-  common::BoundedQueue<core::StdEvent> persist_queue_;
+  common::BoundedQueue<PersistBatch> persist_queue_;
   common::RateMeter meter_;
   std::jthread pump_thread_;
   std::jthread persist_thread_;
@@ -102,6 +110,8 @@ class Aggregator {
   obs::Gauge* queue_depth_peak_gauge_ = nullptr;
   obs::Gauge* publish_rate_gauge_ = nullptr;
   obs::HistogramMetric* fanout_lag_hist_ = nullptr;
+  obs::HistogramMetric* batch_size_hist_ = nullptr;
+  obs::HistogramMetric* batch_bytes_hist_ = nullptr;
 };
 
 }  // namespace fsmon::scalable

@@ -36,6 +36,9 @@ Collector::Collector(lustre::LustreFs& fs, std::uint32_t mds_index,
                           "Resolved events published to the aggregator", "events");
     batch_size_hist_ = &registry.histogram("collector.batch_size", labels,
                                            "Records per changelog_read batch", "records");
+    batch_bytes_hist_ = &registry.histogram("collector.batch_bytes", labels,
+                                            "Encoded bytes per published batch frame",
+                                            "bytes");
     publish_rate_gauge_ = &registry.gauge("collector.publish_rate", labels,
                                           "Lifetime average records/second processed",
                                           "records/s");
@@ -64,25 +67,35 @@ void Collector::stop() {
   running_.store(false);
 }
 
+void Collector::publish_events(core::EventBatch& batch) {
+  if (batch.empty()) return;
+  const auto bytes = core::encode_batch(batch);
+  publisher_->publish(topic_, std::string(reinterpret_cast<const char*>(bytes.data()),
+                                          bytes.size()));
+  if (batch_bytes_hist_ != nullptr) batch_bytes_hist_->record(bytes.size());
+  batch.events.clear();
+}
+
 std::size_t Collector::process_batch() {
   auto records = fs_.mds(mds_index_).changelog_read(user_id_, options_.batch_size);
   if (!records || records.value().empty()) return 0;
+  const std::size_t publish_batch = std::max<std::size_t>(1, options_.publish_batch);
   std::uint64_t last_index = 0;
   std::size_t events = 0;
+  core::EventBatch pending;
   for (const auto& record : records.value()) {
     auto output = processor_.process(record);
     // Threaded mode pays modeled latency for real when configured.
     if (output.latency.count() > 0 && options_.costs.base_latency.count() > 0)
       clock_.sleep_for(output.latency);
     for (auto& event : output.events) {
-      const auto bytes = core::serialize_event(event);
-      publisher_->publish(topic_,
-                          std::string(reinterpret_cast<const char*>(bytes.data()),
-                                      bytes.size()));
+      pending.events.push_back(std::move(event));
       ++events;
+      if (pending.size() >= publish_batch) publish_events(pending);
     }
     last_index = record.index;
   }
+  publish_events(pending);
   records_.fetch_add(records.value().size());
   published_.fetch_add(events);
   meter_.record(records.value().size());

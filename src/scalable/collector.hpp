@@ -24,6 +24,10 @@ namespace fsmon::scalable {
 
 struct CollectorOptions {
   std::size_t batch_size = 512;
+  /// Max resolved events per published batch frame. Each changelog batch
+  /// is chunked to this size; 1 degenerates to the old frame-per-event
+  /// path (used by tests and the ablation bench baseline).
+  std::size_t publish_batch = 512;
   /// Poll delay when the changelog is empty.
   common::Duration poll_interval = std::chrono::milliseconds(1);
   /// fid2path cache size; 0 disables caching (the paper's baseline).
@@ -69,6 +73,7 @@ class Collector {
  private:
   void run(std::stop_token stop);
   std::size_t process_batch();
+  void publish_events(core::EventBatch& batch);
 
   lustre::LustreFs& fs_;
   std::uint32_t mds_index_;
@@ -89,6 +94,7 @@ class Collector {
   obs::Counter* records_counter_ = nullptr;
   obs::Counter* published_counter_ = nullptr;
   obs::HistogramMetric* batch_size_hist_ = nullptr;
+  obs::HistogramMetric* batch_bytes_hist_ = nullptr;
   obs::Gauge* publish_rate_gauge_ = nullptr;
 };
 

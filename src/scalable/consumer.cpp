@@ -9,11 +9,23 @@ using common::Status;
 
 Consumer::Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
                    ConsumerOptions options, EventCallback callback)
+    : Consumer(bus, aggregator, std::move(name), std::move(options), std::move(callback),
+               BatchCallback{}) {}
+
+Consumer::Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
+                   ConsumerOptions options, BatchCallback callback)
+    : Consumer(bus, aggregator, std::move(name), std::move(options), EventCallback{},
+               std::move(callback)) {}
+
+Consumer::Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
+                   ConsumerOptions options, EventCallback callback,
+                   BatchCallback batch_callback)
     : bus_(bus),
       aggregator_(aggregator),
       name_(std::move(name)),
       options_(std::move(options)),
       callback_(std::move(callback)),
+      batch_callback_(std::move(batch_callback)),
       subscriber_(bus_.make_subscriber(name_, options_.high_water_mark,
                                        options_.overflow_policy)) {
   subscriber_->subscribe("");  // receive everything; filter locally
@@ -34,6 +46,9 @@ Consumer::Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
     overflow_dropped_gauge_ = &registry.gauge(
         "consumer.overflow_dropped", labels,
         "Events lost to the high-water mark (kDropNewest only)", "events");
+    batch_size_hist_ = &registry.histogram("consumer.batch_size", labels,
+                                           "Events per batch received by this consumer",
+                                           "events");
   }
 }
 
@@ -43,27 +58,42 @@ bool Consumer::matches(const core::StdEvent& event) const {
   return core::matches_any(options_.rules, event);
 }
 
-void Consumer::deliver(const core::StdEvent& event) {
-  last_seen_.store(event.id);
+void Consumer::deliver_batch(const core::EventBatch& batch) {
+  if (batch.empty()) return;
+  std::lock_guard lock(deliver_mu_);
+  const core::StdEvent& last = batch.events.back();
+  last_seen_.store(last.id);
   if (delivery_lag_gauge_ != nullptr) {
     const auto head = aggregator_.last_event_id();
     delivery_lag_gauge_->set(
-        head > event.id ? static_cast<std::int64_t>(head - event.id) : 0);
+        head > last.id ? static_cast<std::int64_t>(head - last.id) : 0);
     overflow_dropped_gauge_->set(static_cast<std::int64_t>(subscriber_->dropped()));
+    batch_size_hist_->record(batch.size());
   }
-  if (!core::matches_any(options_.rules, event,
-                         filter_metrics_.evaluations != nullptr ? &filter_metrics_
-                                                                : nullptr)) {
-    filtered_.fetch_add(1);
-    return;
+  core::EventBatch matched;  // only materialized for batch callbacks
+  std::size_t delivered = 0;
+  for (const core::StdEvent& event : batch.events) {
+    if (!core::matches_any(options_.rules, event,
+                           filter_metrics_.evaluations != nullptr ? &filter_metrics_
+                                                                  : nullptr)) {
+      filtered_.fetch_add(1);
+      continue;
+    }
+    ++delivered;
+    if (batch_callback_)
+      matched.events.push_back(event);
+    else if (callback_)
+      callback_(event);
   }
-  delivered_.fetch_add(1);
-  if (delivered_counter_ != nullptr) delivered_counter_->inc();
-  if (callback_) callback_(event);
+  if (delivered > 0) {
+    delivered_.fetch_add(delivered);
+    if (delivered_counter_ != nullptr) delivered_counter_->inc(delivered);
+  }
+  if (batch_callback_ && !matched.empty()) batch_callback_(matched);
   if (options_.ack_interval > 0 &&
-      event.id - last_acked_.load() >= options_.ack_interval) {
-    aggregator_.acknowledge(event.id);
-    last_acked_.store(event.id);
+      last.id - last_acked_.load() >= options_.ack_interval) {
+    aggregator_.acknowledge(last.id);
+    last_acked_.store(last.id);
   }
 }
 
@@ -88,13 +118,13 @@ void Consumer::run(std::stop_token) {
   for (;;) {
     auto message = subscriber_->recv();
     if (!message) break;
-    auto decoded = core::deserialize_event(
+    auto batch = core::decode_batch(
         std::as_bytes(std::span(message->payload.data(), message->payload.size())));
-    if (!decoded) {
-      FSMON_WARN("consumer", "corrupt event frame: ", decoded.status().to_string());
+    if (!batch) {
+      FSMON_WARN("consumer", "corrupt batch frame: ", batch.status().to_string());
       continue;
     }
-    deliver(decoded.value().first);
+    deliver_batch(batch.value());
   }
 }
 
@@ -102,11 +132,10 @@ Result<std::size_t> Consumer::replay_historic(std::optional<common::EventId> aft
   const common::EventId from = after_id.value_or(last_acked_.load());
   auto events = aggregator_.events_since(from);
   if (!events) return events.status();
-  std::size_t count = 0;
-  for (const auto& event : events.value()) {
-    deliver(event);
-    ++count;
-  }
+  core::EventBatch batch;
+  batch.events = std::move(events.value());
+  const std::size_t count = batch.size();
+  deliver_batch(batch);
   if (replayed_counter_ != nullptr) replayed_counter_->inc(count);
   return count;
 }

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -42,9 +43,15 @@ struct ConsumerOptions {
 class Consumer {
  public:
   using EventCallback = std::function<void(const core::StdEvent&)>;
+  using BatchCallback = std::function<void(const core::EventBatch&)>;
 
   Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
            ConsumerOptions options, EventCallback callback);
+  /// Batch-aware variant: the callback is invoked once per received
+  /// batch with only the events that pass this consumer's filter. The
+  /// per-event constructor is a shim over the same batched path.
+  Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
+           ConsumerOptions options, BatchCallback callback);
   ~Consumer();
 
   Consumer(const Consumer&) = delete;
@@ -55,7 +62,10 @@ class Consumer {
 
   /// Replay events since `after_id` (or since the last acknowledged id
   /// when nullopt) from the reliable store, through the same filter and
-  /// callback. Returns the number of events delivered.
+  /// callback. Runs on the caller's thread; delivery is serialized with
+  /// the live-delivery thread, so the callback is never invoked
+  /// concurrently (but replayed and live batches may interleave).
+  /// Returns the number of events delivered.
   common::Result<std::size_t> replay_historic(
       std::optional<common::EventId> after_id = std::nullopt);
 
@@ -69,15 +79,25 @@ class Consumer {
   const std::string& name() const { return name_; }
 
  private:
+  Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
+           ConsumerOptions options, EventCallback callback, BatchCallback batch_callback);
+
   void run(std::stop_token stop);
-  void deliver(const core::StdEvent& event);
+  /// All delivery (live and replay) funnels through here: per-event
+  /// filtering and counters, one callback invocation per batch (or the
+  /// per-event shim), one ack check per batch. Serialized by
+  /// `deliver_mu_` so the callback sees at most one thread at a time
+  /// even when replay_historic runs concurrently with the worker.
+  void deliver_batch(const core::EventBatch& batch);
 
   msgq::Bus& bus_;
   Aggregator& aggregator_;
   std::string name_;
   ConsumerOptions options_;
   EventCallback callback_;
+  BatchCallback batch_callback_;
   std::shared_ptr<msgq::Subscriber> subscriber_;
+  std::mutex deliver_mu_;  ///< Serializes live and replay deliveries.
   std::jthread worker_;
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> filtered_{0};
@@ -89,6 +109,7 @@ class Consumer {
   obs::Counter* replayed_counter_ = nullptr;
   obs::Gauge* delivery_lag_gauge_ = nullptr;
   obs::Gauge* overflow_dropped_gauge_ = nullptr;
+  obs::HistogramMetric* batch_size_hist_ = nullptr;
 };
 
 }  // namespace fsmon::scalable

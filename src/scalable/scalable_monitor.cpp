@@ -46,6 +46,15 @@ std::unique_ptr<Consumer> ScalableMonitor::make_consumer(std::string name,
   return consumer;
 }
 
+std::unique_ptr<Consumer> ScalableMonitor::make_consumer(std::string name,
+                                                         ConsumerOptions options,
+                                                         Consumer::BatchCallback callback) {
+  auto consumer = std::make_unique<Consumer>(bus_, *aggregator_, std::move(name),
+                                             std::move(options), std::move(callback));
+  if (running_) consumer->start();
+  return consumer;
+}
+
 std::size_t ScalableMonitor::drain_collectors_once() {
   std::size_t total = 0;
   for (auto& collector : collectors_) total += collector->drain_once();

@@ -33,6 +33,9 @@ class ScalableMonitor {
   /// this monitor's aggregator.
   std::unique_ptr<Consumer> make_consumer(std::string name, ConsumerOptions options,
                                           Consumer::EventCallback callback);
+  /// Batch-aware variant: the callback receives each matching batch once.
+  std::unique_ptr<Consumer> make_consumer(std::string name, ConsumerOptions options,
+                                          Consumer::BatchCallback callback);
 
   Aggregator& aggregator() { return *aggregator_; }
   Collector& collector(std::size_t i) { return *collectors_.at(i); }

@@ -195,6 +195,7 @@ struct SimState {
   obs::HistogramMetric* delivery_latency_hist = nullptr;
   obs::Gauge* aggregator_peak_gauge = nullptr;
   obs::Gauge* consumer_peak_gauge = nullptr;
+  obs::HistogramMetric* batch_size_hist = nullptr;
 
   explicit SimState(const SimConfig& cfg) : config(cfg) {
     lustre::LustreFsOptions fs_options = cfg.profile.fs_options;
@@ -254,6 +255,9 @@ struct SimState {
       consumer_peak_gauge = &registry.gauge("consumer.queue_depth_peak", {},
                                             "High-water mark of the consumer inbox",
                                             "events");
+      batch_size_hist = &registry.histogram(
+          "aggregator.batch_size", {},
+          "Events per batch frame pumped through the aggregator", "events");
     }
   }
 
@@ -361,6 +365,8 @@ struct SimState {
         for (auto& event : outputs) col.outbox.push_back(std::move(event));
         col.peak_outbox = std::max(col.peak_outbox, col.outbox.size());
       } else {
+        if (batch_size_hist != nullptr && !outputs.empty())
+          batch_size_hist->record(outputs.size());
         for (auto& event : outputs) submit_downstream(i, event.timestamp);
       }
       sample_collector_memory(i);

@@ -38,7 +38,12 @@ void AggregatorTcpBridge::pump_loop(std::stop_token) {
     auto message = tap_->recv();
     if (!message) break;  // closed and drained
     tcp_.publish(*message);
-    forwarded_.fetch_add(1);
+    // Frames are forwarded opaquely; count the events inside so the
+    // counter stays comparable across batch sizes.
+    auto view = core::view_batch(
+        std::as_bytes(std::span(message->payload.data(), message->payload.size())),
+        /*verify_crc=*/false);
+    forwarded_.fetch_add(view ? view.value().count : 1);
   }
 }
 
@@ -71,20 +76,27 @@ void RemoteConsumer::run(std::stop_token) {
   for (;;) {
     auto message = subscriber_.recv();
     if (!message) break;
-    auto decoded = core::deserialize_event(
+    auto batch = core::decode_batch(
         std::as_bytes(std::span(message->payload.data(), message->payload.size())));
-    if (!decoded) {
-      FSMON_WARN("remote-consumer", "corrupt frame: ", decoded.status().to_string());
+    if (!batch) {
+      FSMON_WARN("remote-consumer", "corrupt batch frame: ", batch.status().to_string());
       continue;
     }
-    const core::StdEvent& event = decoded.value().first;
-    last_seen_.store(event.id);
-    if (!matches(event)) {
-      filtered_.fetch_add(1);
-      continue;
+    if (batch.value().empty()) continue;
+    last_seen_.store(batch.value().events.back().id);
+    core::EventBatch matched;
+    for (const core::StdEvent& event : batch.value().events) {
+      if (!matches(event)) {
+        filtered_.fetch_add(1);
+        continue;
+      }
+      delivered_.fetch_add(1);
+      if (batch_callback_)
+        matched.events.push_back(event);
+      else if (callback_)
+        callback_(event);
     }
-    delivered_.fetch_add(1);
-    if (callback_) callback_(event);
+    if (batch_callback_ && !matched.empty()) batch_callback_(matched);
   }
 }
 

@@ -39,6 +39,7 @@ class AggregatorTcpBridge {
   void stop();
 
   std::uint16_t port() const { return tcp_.port(); }
+  /// Events (not frames) forwarded over TCP.
   std::uint64_t forwarded() const { return forwarded_.load(); }
 
  private:
@@ -61,10 +62,17 @@ struct RemoteConsumerOptions {
 class RemoteConsumer {
  public:
   using EventCallback = std::function<void(const core::StdEvent&)>;
+  using BatchCallback = std::function<void(const core::EventBatch&)>;
 
   RemoteConsumer(RemoteConsumerOptions options, EventCallback callback)
       : options_(std::move(options)),
         callback_(std::move(callback)),
+        subscriber_(options_.high_water_mark) {}
+  /// Batch-aware variant (mirrors Consumer): invoked once per received
+  /// batch with only the matching events.
+  RemoteConsumer(RemoteConsumerOptions options, BatchCallback callback)
+      : options_(std::move(options)),
+        batch_callback_(std::move(callback)),
         subscriber_(options_.high_water_mark) {}
   ~RemoteConsumer();
 
@@ -82,6 +90,7 @@ class RemoteConsumer {
 
   RemoteConsumerOptions options_;
   EventCallback callback_;
+  BatchCallback batch_callback_;
   msgq::TcpSubscriber subscriber_;
   std::jthread worker_;
   std::atomic<std::uint64_t> delivered_{0};

@@ -90,6 +90,110 @@ TEST(SerializationTest, BadKindRejected) {
   EXPECT_EQ(deserialize_event(bytes).code(), common::ErrorCode::kCorrupt);
 }
 
+EventBatch sample_batch(std::size_t n) {
+  EventBatch batch;
+  for (std::size_t i = 0; i < n; ++i) {
+    StdEvent event = sample_event();
+    event.id = 100 + i;
+    event.path = "/file" + std::to_string(i);
+    batch.events.push_back(std::move(event));
+  }
+  return batch;
+}
+
+TEST(BatchCodecTest, RoundTripPreservesAllEvents) {
+  const EventBatch original = sample_batch(5);
+  const auto bytes = encode_batch(original);
+  auto decoded = decode_batch(bytes);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value(), original);
+}
+
+TEST(BatchCodecTest, EmptyBatchIsValid) {
+  const auto bytes = encode_batch(EventBatch{});
+  auto decoded = decode_batch(bytes);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(BatchCodecTest, BadMagicRejected) {
+  auto bytes = encode_batch(sample_batch(2));
+  bytes[0] = std::byte{0x00};
+  EXPECT_EQ(decode_batch(bytes).code(), common::ErrorCode::kCorrupt);
+}
+
+TEST(BatchCodecTest, TruncatedFrameRejectedAtEveryLength) {
+  const auto bytes = encode_batch(sample_batch(3));
+  for (std::size_t len = 0; len < bytes.size(); len += 5) {
+    auto decoded = decode_batch(std::span(bytes.data(), len));
+    EXPECT_FALSE(decoded.is_ok()) << "len=" << len;
+    EXPECT_EQ(decoded.code(), common::ErrorCode::kCorrupt);
+  }
+}
+
+TEST(BatchCodecTest, CrcMismatchRejected) {
+  auto bytes = encode_batch(sample_batch(3));
+  // Flip a payload byte mid-batch; the trailer CRC catches it.
+  bytes[bytes.size() / 2] ^= std::byte{0xFF};
+  EXPECT_EQ(decode_batch(bytes).code(), common::ErrorCode::kCorrupt);
+}
+
+TEST(BatchCodecTest, TrailingGarbageRejected) {
+  auto bytes = encode_batch(sample_batch(1));
+  bytes.push_back(std::byte{0x00});
+  EXPECT_EQ(decode_batch(bytes).code(), common::ErrorCode::kCorrupt);
+}
+
+TEST(BatchCodecTest, ViewIndexesEveryEventWithoutDecoding) {
+  const EventBatch batch = sample_batch(4);
+  const auto bytes = encode_batch(batch);
+  auto view = view_batch(bytes);
+  ASSERT_TRUE(view.is_ok());
+  ASSERT_EQ(view.value().count, 4u);
+  ASSERT_EQ(view.value().events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto [offset, length] = view.value().events[i];
+    auto decoded = deserialize_event(std::span(bytes).subspan(offset, length));
+    ASSERT_TRUE(decoded.is_ok());
+    EXPECT_EQ(decoded.value().first, batch.events[i]);
+  }
+}
+
+TEST(BatchCodecTest, PatchIdsRenumbersInPlaceAndCrcStaysValid) {
+  auto bytes = encode_batch(sample_batch(4));
+  auto patched = patch_batch_ids(bytes, 1000);
+  ASSERT_TRUE(patched.is_ok()) << patched.status().to_string();
+  EXPECT_EQ(patched.value(), 4u);
+  // The patched frame still passes full CRC verification...
+  auto decoded = decode_batch(bytes);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  // ...and only the ids changed, to the consecutive block.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(decoded.value().events[i].id, 1000 + i);
+    EXPECT_EQ(decoded.value().events[i].path, "/file" + std::to_string(i));
+  }
+}
+
+TEST(BatchCodecTest, PeekTimestampMatchesDecodedEvent) {
+  const StdEvent event = sample_event();
+  const auto bytes = serialize_event(event);
+  auto peeked = peek_event_timestamp(bytes);
+  ASSERT_TRUE(peeked.is_ok());
+  EXPECT_EQ(peeked.value(), event.timestamp);
+  EXPECT_EQ(peek_event_timestamp(std::span(bytes.data(), 10)).code(),
+            common::ErrorCode::kCorrupt);
+}
+
+TEST(BatchCodecTest, CodecCountersAdvance) {
+  const auto before = codec_counters();
+  const auto bytes = encode_batch(sample_batch(3));
+  auto decoded = decode_batch(bytes);
+  ASSERT_TRUE(decoded.is_ok());
+  const auto after = codec_counters();
+  EXPECT_EQ(after.serialize_calls - before.serialize_calls, 3u);
+  EXPECT_EQ(after.deserialize_calls - before.deserialize_calls, 3u);
+}
+
 TEST(SerializationTest, ConsecutiveEventsDecodeSequentially) {
   std::vector<std::byte> buffer;
   StdEvent a = sample_event();

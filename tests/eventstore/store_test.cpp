@@ -147,6 +147,49 @@ TEST_F(EventStoreTest, PurgeDeletesEmptySegmentFiles) {
   EXPECT_LT(store.segment_count(), before);
 }
 
+TEST_F(EventStoreTest, AppendBatchAssignsConsecutiveIdsAndRecovers) {
+  const std::vector<std::vector<std::byte>> payloads = {
+      bytes_of("a"), bytes_of("bb"), bytes_of("ccc")};
+  {
+    EventStore store(options());
+    std::vector<std::span<const std::byte>> spans(payloads.begin(), payloads.end());
+    ASSERT_TRUE(store.append_batch(1, spans).is_ok());
+    EXPECT_EQ(store.last_id(), 3u);
+    EXPECT_EQ(store.live_records(), 3u);
+    // A batch whose first id is not past the head is rejected whole.
+    EXPECT_EQ(store.append_batch(3, spans).code(), common::ErrorCode::kInvalid);
+    store.flush();
+  }
+  EventStore reopened(options());
+  ASSERT_EQ(reopened.live_records(), 3u);
+  auto events = reopened.events_since(0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(events[i].id, i + 1);
+    EXPECT_EQ(events[i].payload, payloads[i]);
+  }
+}
+
+TEST_F(EventStoreTest, AppendBatchChunksAcrossSegmentRolls) {
+  auto o = options();
+  o.segment_bytes = 64;
+  o.flush_each_append = true;
+  obs::MetricsRegistry registry;
+  o.metrics = &registry;
+  EventStore store(o);
+  std::vector<std::vector<std::byte>> payloads;
+  for (int i = 0; i < 30; ++i) payloads.push_back(bytes_of("0123456789abcdef"));
+  std::vector<std::span<const std::byte>> spans(payloads.begin(), payloads.end());
+  ASSERT_TRUE(store.append_batch(1, spans).is_ok());
+  EXPECT_GT(store.segment_count(), 3u);
+  EXPECT_EQ(store.events_since(0).size(), 30u);
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_total("wal.appends"), 30u);
+  // Group commit: flushes happen per segment seal plus one per batch —
+  // never one per record.
+  EXPECT_LE(snapshot.counter_total("wal.fsyncs"), store.segment_count() + 1);
+  EXPECT_LT(snapshot.counter_total("wal.fsyncs"), 30u);
+}
+
 TEST_F(EventStoreTest, MarkReportedSurvivesQuery) {
   EventStore store(options());
   store.append(1, bytes_of("a"));

@@ -93,6 +93,56 @@ TEST_F(WalTest, MidFileCorruptionIsFatal) {
   EXPECT_EQ(WalSegment::scan(path).code(), common::ErrorCode::kCorrupt);
 }
 
+TEST_F(WalTest, AppendBatchScansBackIdenticallyToSingleAppends) {
+  const auto path = dir_ / "seg.wal";
+  const std::vector<std::vector<std::byte>> payloads = {
+      bytes_of("alpha"), bytes_of(""), bytes_of("a much longer third payload")};
+  {
+    WalSegment segment(path);
+    std::vector<std::span<const std::byte>> spans(payloads.begin(), payloads.end());
+    ASSERT_TRUE(segment.append_batch(10, spans).is_ok());
+    ASSERT_TRUE(segment.flush().is_ok());
+  }
+  auto records = WalSegment::scan(path);
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(records.value()[i].id, 10 + i);
+    EXPECT_EQ(records.value()[i].payload, payloads[i]);
+  }
+}
+
+TEST_F(WalTest, AppendBatchGroupCommitsOneFlushPerBatch) {
+  obs::MetricsRegistry registry;
+  const WalMetrics metrics = WalMetrics::create(registry);
+  const auto path = dir_ / "seg.wal";
+  const std::vector<std::vector<std::byte>> payloads = {
+      bytes_of("a"), bytes_of("b"), bytes_of("c"), bytes_of("d")};
+  {
+    WalSegment segment(path, &metrics);
+    std::vector<std::span<const std::byte>> spans(payloads.begin(), payloads.end());
+    ASSERT_TRUE(segment.append_batch(1, spans).is_ok());
+    ASSERT_TRUE(segment.flush().is_ok());
+  }
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_total("wal.appends"), 4u);
+  EXPECT_EQ(snapshot.counter_total("wal.fsyncs"), 1u);  // one barrier for the batch
+  const auto batch_hist = snapshot.histogram_merged("wal.batch_size");
+  EXPECT_EQ(batch_hist.count(), 1u);
+  EXPECT_EQ(batch_hist.sum(), 4u);
+}
+
+TEST_F(WalTest, EmptyBatchIsANoOp) {
+  const auto path = dir_ / "seg.wal";
+  {
+    WalSegment segment(path);
+    EXPECT_TRUE(segment.append_batch(1, {}).is_ok());
+  }
+  auto records = WalSegment::scan(path);
+  ASSERT_TRUE(records.is_ok());
+  EXPECT_TRUE(records.value().empty());
+}
+
 TEST_F(WalTest, ReopenAppendsAfterExistingRecords) {
   const auto path = dir_ / "seg.wal";
   {

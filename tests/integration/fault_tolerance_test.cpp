@@ -159,6 +159,48 @@ TEST_F(FaultToleranceTest, StoreSurvivesAggregatorRestart) {
 }
 
 
+TEST_F(FaultToleranceTest, CorruptBatchFrameIsDroppedAndPipelineKeepsFlowing) {
+  LustreFs fs(LustreFsOptions{}, clock);
+  ScalableMonitor monitor(fs, options(), clock);
+  std::atomic<int> received{0};
+  auto consumer = monitor.make_consumer("c", ConsumerOptions{},
+                                        [&](const StdEvent&) { received.fetch_add(1); });
+  ASSERT_TRUE(monitor.start().is_ok());
+  ASSERT_TRUE(consumer->start().is_ok());
+
+  // Inject garbage straight into the aggregator's fan-in inbox, as a
+  // misbehaving collector would: plain junk, a frame whose CRC trailer
+  // is wrong, and a valid-but-empty batch.
+  auto rogue = monitor.bus().make_publisher("rogue");
+  rogue->connect(monitor.aggregator().inbox());
+  rogue->publish("fsmon/rogue", "not a batch frame at all");
+  auto bad_crc = core::encode_batch(core::EventBatch{});
+  bad_crc.back() ^= std::byte{0xFF};
+  rogue->publish("fsmon/rogue",
+                 std::string(reinterpret_cast<const char*>(bad_crc.data()),
+                             bad_crc.size()));
+  const auto empty = core::encode_batch(core::EventBatch{});
+  rogue->publish("fsmon/rogue",
+                 std::string(reinterpret_cast<const char*>(empty.data()), empty.size()));
+
+  // Real events published after the corruption still flow end-to-end,
+  // with ids untouched by the dropped frames.
+  fs.create("/a");
+  fs.create("/b");
+  wait_until([&] {
+    return received.load() >= 2 && monitor.aggregator().persisted() >= 2;
+  });
+  consumer->stop();
+  monitor.stop();
+  EXPECT_EQ(received.load(), 2);
+  EXPECT_EQ(monitor.aggregator().aggregated(), 2u);
+  auto replay = monitor.aggregator().events_since(0);
+  ASSERT_TRUE(replay.is_ok());
+  ASSERT_EQ(replay.value().size(), 2u);
+  EXPECT_EQ(replay.value()[0].id, 1u);
+  EXPECT_EQ(replay.value()[1].id, 2u);
+}
+
 TEST_F(FaultToleranceTest, PeriodicPurgeCycleRemovesAcknowledgedEvents) {
   LustreFs fs(LustreFsOptions{}, clock);
   auto o = options();

@@ -1,5 +1,6 @@
 #include "src/msgq/pubsub.hpp"
 
+#include <atomic>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -158,6 +159,44 @@ TEST(BusTest, ConnectByName) {
   EXPECT_FALSE(bus.connect("p", "missing"));
   bus.find_publisher("p")->publish("t", "x");
   EXPECT_EQ(sub->pending(), 1u);
+}
+
+TEST(PubSubTest, BlockedDeliveryDoesNotHoldPublisherLock) {
+  // Regression: publish must snapshot the subscriber list under the lock
+  // and deliver outside it. A subscriber at HWM with kBlock stalls the
+  // delivering thread; connect/disconnect/subscriber_count and publishes
+  // to other subscribers must still complete while it is stalled.
+  Bus bus;
+  auto pub = bus.make_publisher("p");
+  auto full = bus.make_subscriber("full", 1, common::OverflowPolicy::kBlock);
+  full->subscribe("t");  // not "": the "u" publish below must bypass it
+  pub->connect(full);
+  ASSERT_EQ(pub->publish("t", "fills the inbox"), 1u);
+
+  std::atomic<bool> blocked_publish_done{false};
+  std::jthread blocked([&] {
+    pub->publish("t", "blocks until the inbox drains");
+    blocked_publish_done.store(true);
+  });
+  // Give the blocked publisher time to park inside deliver().
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_FALSE(blocked_publish_done.load());
+
+  // All of these deadlock if publish still holds mu_ while delivering.
+  auto other = bus.make_subscriber("other", 16);
+  other->subscribe("");
+  pub->connect(other);
+  EXPECT_EQ(pub->subscriber_count(), 2u);
+  EXPECT_EQ(pub->publish("u", "reaches the unblocked subscriber"), 1u);
+  EXPECT_EQ(other->pending(), 1u);
+  pub->disconnect("other");
+  EXPECT_EQ(pub->subscriber_count(), 1u);
+
+  // Drain the full inbox so the stalled publish completes.
+  while (!blocked_publish_done.load()) {
+    full->try_recv();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 TEST(PubSubTest, RecvBatchDrains) {

@@ -31,6 +31,9 @@ class ConsumerOverflowTest : public ::testing::Test {
 TEST_F(ConsumerOverflowTest, DropNewestLosesAtHwmAndReplayRecovers) {
   LustreFs fs(LustreFsOptions{}, clock);
   ScalableMonitorOptions options;
+  // One frame per event so the tiny HWM below is actually exceeded (a
+  // batched frame would carry the whole burst in a handful of messages).
+  options.collector.publish_batch = 1;
   eventstore::EventStoreOptions store;
   store.directory = dir_;
   options.aggregator.store = store;
@@ -61,11 +64,13 @@ TEST_F(ConsumerOverflowTest, DropNewestLosesAtHwmAndReplayRecovers) {
   // The un-started consumer shed most of the burst...
   EXPECT_GT(slow->dropped(), 0u);
 
-  // ...but the aggregator's store is complete, so starting and replaying
-  // recovers every event exactly once (ids 1..64, in order).
-  ASSERT_TRUE(slow->start().is_ok());
+  // ...but the aggregator's store is complete, so replaying recovers
+  // every event exactly once (ids 1..64, in order). Replay before
+  // start() so the recovered prefix is deterministic — deliveries are
+  // serialized either way, but live frames could otherwise land first.
   auto replayed = slow->replay_historic(0);
   ASSERT_TRUE(replayed.is_ok());
+  ASSERT_TRUE(slow->start().is_ok());
   slow->stop();
   monitor.stop();
   // Drain order: replay delivered the full history; the queued live

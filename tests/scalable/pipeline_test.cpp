@@ -175,6 +175,83 @@ TEST_F(PipelineTest, AggregatorPersistsForReplay) {
   EXPECT_EQ(replay.value()[1].path, "/b");
 }
 
+TEST_F(PipelineTest, ExactlyOneSerializationPerEventEndToEnd) {
+  // The batched path's core invariant: the collector serializes each
+  // event once; the aggregator patches ids into the encoded bytes and
+  // the persister reuses them, so no further serialize_event calls
+  // happen anywhere in the pipeline. (Each gtest case runs as its own
+  // ctest process, so the process-wide codec counters are isolated.)
+  LustreFs fs(LustreFsOptions{}, clock);
+  obs::MetricsRegistry registry;
+  auto o = options(/*with_store=*/true);
+  o.aggregator.metrics = &registry;
+  ScalableMonitor monitor(fs, o, clock);
+  std::atomic<int> received{0};
+  auto consumer = monitor.make_consumer("c", ConsumerOptions{},
+                                        [&](const StdEvent&) { received.fetch_add(1); });
+  ASSERT_TRUE(monitor.start().is_ok());
+  ASSERT_TRUE(consumer->start().is_ok());
+
+  constexpr int kEvents = 32;
+  const auto before = core::codec_counters();
+  for (int i = 0; i < kEvents; ++i) fs.create("/f" + std::to_string(i));
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((received.load() < kEvents ||
+          monitor.aggregator().persisted() < kEvents) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  consumer->stop();
+  monitor.stop();
+  const auto after = core::codec_counters();
+
+  ASSERT_EQ(received.load(), kEvents);
+  ASSERT_EQ(monitor.aggregator().persisted(), static_cast<std::uint64_t>(kEvents));
+  // One serialization per event, total, across collector + aggregator +
+  // persist path. (The consumer's decode costs deserialize calls, which
+  // are unconstrained here.)
+  EXPECT_EQ(after.serialize_calls - before.serialize_calls,
+            static_cast<std::uint64_t>(kEvents));
+  // And the obs registry agrees every event was persisted.
+  EXPECT_EQ(registry.snapshot().counter_total("aggregator.events_persisted"),
+            static_cast<std::uint64_t>(kEvents));
+}
+
+TEST_F(PipelineTest, BatchCallbackReceivesMatchingEventsOnce) {
+  LustreFs fs(LustreFsOptions{}, clock);
+  ScalableMonitor monitor(fs, options(), clock);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<StdEvent> received;
+  std::size_t batches = 0;
+  auto consumer = monitor.make_consumer(
+      "c", ConsumerOptions{}, [&](const core::EventBatch& batch) {
+        std::lock_guard lock(mu);
+        ++batches;
+        for (const auto& event : batch.events) received.push_back(event);
+        cv.notify_all();
+      });
+  ASSERT_TRUE(monitor.start().is_ok());
+  ASSERT_TRUE(consumer->start().is_ok());
+
+  fs.create("/one");
+  fs.create("/two");
+  fs.create("/three");
+  {
+    std::unique_lock lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return received.size() >= 3; }));
+  }
+  consumer->stop();
+  monitor.stop();
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_EQ(received[0].id, 1u);
+  EXPECT_EQ(received[2].id, 3u);
+  EXPECT_GE(batches, 1u);
+  EXPECT_LE(batches, 3u);
+  EXPECT_EQ(consumer->delivered(), 3u);
+}
+
 TEST_F(PipelineTest, DrainOnceIsDeterministic) {
   LustreFs fs(LustreFsOptions{}, clock);
   ScalableMonitor monitor(fs, options(), clock);

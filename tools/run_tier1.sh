@@ -2,9 +2,21 @@
 # Tier-1 verification: build, run the full test suite, then prove the
 # observability story end to end — the instrumented quickstart pipeline
 # must emit a metrics snapshot with a nonzero publish count.
+#
+# --tsan: additionally build a ThreadSanitizer configuration in
+# build-tsan and run the concurrency-heavy suites (message queue and
+# threaded pipeline) under it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+run_tsan=false
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) run_tsan=true ;;
+    *) echo "usage: $0 [--tsan]" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
@@ -28,3 +40,15 @@ if ! grep '"name":"collector.records_published"' "$snapshot" \
   exit 1
 fi
 echo "OK: tier-1 tests passed and the metrics snapshot shows published records."
+
+if $run_tsan; then
+  echo "Building ThreadSanitizer configuration (build-tsan)..."
+  cmake -B build-tsan -S . -DFSMON_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$(nproc)" --target fsmon_tests
+  tsan_filter="PubSubTest.*:BusTest.*:TopicMatchTest.*:FrameTest.*:TcpTest.*"
+  tsan_filter+=":TcpSubscriberTest.*:PipelineTest.*:FaultToleranceTest.*"
+  tsan_filter+=":ConsumerOverflowTest.*:TcpBridgeTest.*:CollectorCostsTest.*"
+  tsan_filter+=":ProcessorTest.*:SimDriverTest.*"
+  ./build-tsan/tests/fsmon_tests --gtest_filter="$tsan_filter"
+  echo "OK: ThreadSanitizer pass over the concurrency suites is clean."
+fi
