@@ -62,15 +62,16 @@ class LruCache {
   }
 
   /// Insert or overwrite; the entry becomes most-recently-used. Evicts the
-  /// least-recently-used entry when at capacity.
+  /// least-recently-used entry when at capacity. Overwriting an existing
+  /// key is not counted as an insertion.
   void put(const Key& key, Value value) {
-    ++stats_.insertions;
     auto it = map_.find(key);
     if (it != map_.end()) {
       it->second->second = std::move(value);
       order_.splice(order_.begin(), order_, it->second);
       return;
     }
+    ++stats_.insertions;
     if (map_.size() >= capacity_) evict_one();
     order_.emplace_front(key, std::move(value));
     map_.emplace(key, order_.begin());

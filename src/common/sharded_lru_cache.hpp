@@ -1,0 +1,164 @@
+// Sharded LRU cache: N independently-locked LruCache shards.
+//
+// The fid2path cache becomes a contention point once a collector resolves
+// records on a worker pool: every lookup promotes an entry, so a single
+// mutex around one LruCache serializes the resolvers. Sharding by key
+// hash gives each shard its own lock, bounding contention to keys that
+// genuinely collide, while `stats()` aggregates the per-shard counters so
+// the Table VI/VIII cache-effectiveness numbers stay a single series.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "src/common/lru_cache.hpp"
+
+namespace fsmon::common {
+
+/// Thread-safe fixed-capacity LRU cache built from `shards` independently
+/// locked LruCache instances. The requested capacity is split evenly
+/// (rounded up, minimum 1 per shard), so the effective capacity is
+/// shards * ceil(capacity / shards).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  ShardedLruCache(std::size_t capacity, std::size_t shards = 1) {
+    if (capacity == 0) throw std::invalid_argument("ShardedLruCache capacity must be > 0");
+    if (shards == 0) throw std::invalid_argument("ShardedLruCache shard count must be > 0");
+    const std::size_t per_shard = std::max<std::size_t>(1, (capacity + shards - 1) / shards);
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+  }
+
+  std::optional<Value> get(const Key& key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    return shard.cache.get(key);
+  }
+
+  std::optional<Value> peek(const Key& key) const {
+    const Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    return shard.cache.peek(key);
+  }
+
+  void put(const Key& key, Value value) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    shard.cache.put(key, std::move(value));
+  }
+
+  bool erase(const Key& key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    return shard.cache.erase(key);
+  }
+
+  bool contains(const Key& key) const {
+    const Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    return shard.cache.contains(key);
+  }
+
+  void clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard lock(shard->mu);
+      shard->cache.clear();
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard lock(shard->mu);
+      total += shard->cache.size();
+    }
+    return total;
+  }
+
+  /// Effective total capacity (sum of the per-shard capacities).
+  std::size_t capacity() const {
+    return shards_.size() * shards_.front()->cache.capacity();
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Entries in the fullest shard — a skew indicator for the
+  /// fidcache.shard_size_max gauge.
+  std::size_t max_shard_size() const {
+    std::size_t largest = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard lock(shard->mu);
+      largest = std::max(largest, shard->cache.size());
+    }
+    return largest;
+  }
+
+  /// Hit/miss/eviction/insertion counters aggregated across shards.
+  LruStats stats() const {
+    LruStats total;
+    for (const auto& shard : shards_) {
+      std::lock_guard lock(shard->mu);
+      const LruStats& s = shard->cache.stats();
+      total.hits += s.hits;
+      total.misses += s.misses;
+      total.evictions += s.evictions;
+      total.insertions += s.insertions;
+    }
+    return total;
+  }
+
+  void reset_stats() {
+    for (auto& shard : shards_) {
+      std::lock_guard lock(shard->mu);
+      shard->cache.reset_stats();
+    }
+  }
+
+  std::size_t shard_index(const Key& key) const {
+    // Fold the high bits in so shard selection is decorrelated from the
+    // bucket selection the per-shard unordered_map does with the same hash.
+    const std::size_t h = Hash{}(key);
+    return (h ^ (h >> 16)) % shards_.size();
+  }
+
+  /// Run `fn(LruCache&)` under the shard lock for `key`. This is the
+  /// escape hatch for composite read-check-write operations that must be
+  /// atomic with respect to other accesses of the same key (e.g. the fid
+  /// cache's sequence-guarded insert).
+  template <typename Fn>
+  decltype(auto) with_shard(const Key& key, Fn&& fn) {
+    Shard& shard = *shards_[shard_index(key)];
+    std::lock_guard lock(shard.mu);
+    return std::forward<Fn>(fn)(shard.cache);
+  }
+
+  /// Run `fn(LruCache&)` under the lock of shard `index` (whole-cache
+  /// sweeps, e.g. retiring expired invalidation guards shard by shard).
+  template <typename Fn>
+  decltype(auto) with_shard_index(std::size_t index, Fn&& fn) {
+    Shard& shard = *shards_[index];
+    std::lock_guard lock(shard.mu);
+    return std::forward<Fn>(fn)(shard.cache);
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t capacity) : cache(capacity) {}
+    mutable std::mutex mu;
+    LruCache<Key, Value, Hash> cache;
+  };
+
+  Shard& shard_for(const Key& key) { return *shards_[shard_index(key)]; }
+  const Shard& shard_for(const Key& key) const { return *shards_[shard_index(key)]; }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace fsmon::common

@@ -1,0 +1,83 @@
+// Single-flight call coalescing.
+//
+// When several resolver workers miss the fid cache on the same FID at the
+// same time, issuing one fid2path per worker wastes the MDS round trip
+// the cache exists to avoid. SingleFlight keys in-flight computations:
+// the first caller for a key (the leader) runs the function; concurrent
+// callers for the same key block until the leader publishes the result
+// and then share it. Once the leader finishes, the key leaves the table —
+// coalescing applies only to overlapping calls, never to sequential ones.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace fsmon::common {
+
+/// `Value` must be default-constructible and copyable (callers each get a
+/// copy of the leader's result — use shared_ptr payloads for cheap
+/// sharing). The computation must not throw.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class SingleFlight {
+ public:
+  struct Outcome {
+    Value value;
+    bool leader = false;  ///< True when this caller ran the computation.
+  };
+
+  /// Run `fn()` for `key`, or wait for the identical in-flight call and
+  /// share its result.
+  template <typename Fn>
+  Outcome run(const Key& key, Fn&& fn) {
+    std::shared_ptr<Slot> slot;
+    bool leader = false;
+    {
+      std::lock_guard lock(mu_);
+      auto [it, inserted] = inflight_.try_emplace(key);
+      if (inserted) it->second = std::make_shared<Slot>();
+      slot = it->second;
+      leader = inserted;
+    }
+    if (leader) {
+      Value value = std::forward<Fn>(fn)();
+      {
+        std::lock_guard slot_lock(slot->mu);
+        slot->value = std::move(value);
+        slot->done = true;
+      }
+      slot->cv.notify_all();
+      {
+        std::lock_guard lock(mu_);
+        inflight_.erase(key);
+      }
+      std::lock_guard slot_lock(slot->mu);
+      return {slot->value, true};
+    }
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock slot_lock(slot->mu);
+    slot->cv.wait(slot_lock, [&] { return slot->done; });
+    return {slot->value, false};
+  }
+
+  /// Calls that piggybacked on another caller's in-flight computation.
+  std::uint64_t coalesced() const { return coalesced_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Value value{};
+  };
+
+  std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<Slot>, Hash> inflight_;
+  std::atomic<std::uint64_t> coalesced_{0};
+};
+
+}  // namespace fsmon::common

@@ -1,0 +1,46 @@
+// Fixed-size worker pool for the collector's resolver threads.
+//
+// Deliberately minimal: a shared FIFO queue and N workers. Ordering and
+// result reassembly are the caller's concern (the collector pairs this
+// with a sequence-numbered ReorderBuffer), so the pool itself makes no
+// ordering promises beyond FIFO dequeue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fsmon::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Signals shutdown and joins the workers. Tasks already queued are
+  /// still executed before the workers exit.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; runs on some worker in FIFO dispatch order.
+  void submit(std::function<void()> task);
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace fsmon::common

@@ -1,6 +1,9 @@
 #include "src/lustre/fid_resolver.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
 
 namespace fsmon::lustre {
 
@@ -15,7 +18,7 @@ void FidResolver::attach_metrics(obs::MetricsRegistry& registry, obs::Labels lab
 }
 
 ResolveOutcome FidResolver::resolve(const Fid& fid) {
-  ++calls_;
+  calls_.fetch_add(1, std::memory_order_relaxed);
   if (calls_counter_ != nullptr) calls_counter_->inc();
   auto path = fs_.fid2path(fid);
   std::size_t components = 1;
@@ -23,17 +26,43 @@ ResolveOutcome FidResolver::resolve(const Fid& fid) {
     components = std::max<std::size_t>(
         1, static_cast<std::size_t>(std::count(path.value().begin(), path.value().end(), '/')));
   } else {
-    ++failures_;
+    failures_.fetch_add(1, std::memory_order_relaxed);
     if (failures_counter_ != nullptr) failures_counter_->inc();
   }
   const common::Duration cost =
       options_.base_cost + options_.per_component_cost * static_cast<std::int64_t>(components);
-  total_cost_ += cost;
+  total_cost_ns_.fetch_add(cost.count(), std::memory_order_relaxed);
   if (latency_hist_ != nullptr)
     latency_hist_->record(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(cost).count()));
   if (clock_ != nullptr) clock_->sleep_for(cost);
   return ResolveOutcome(std::move(path), cost);
+}
+
+std::vector<ResolveOutcome> FidResolver::resolve_many(const std::vector<Fid>& fids,
+                                                      common::ThreadPool* pool) {
+  std::vector<std::optional<ResolveOutcome>> slots(fids.size());
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < fids.size(); ++i) slots[i].emplace(resolve(fids[i]));
+  } else {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining = fids.size();
+    for (std::size_t i = 0; i < fids.size(); ++i) {
+      pool->submit([this, &fids, &slots, &mu, &cv, &remaining, i] {
+        auto outcome = resolve(fids[i]);
+        std::lock_guard lock(mu);
+        slots[i].emplace(std::move(outcome));
+        if (--remaining == 0) cv.notify_one();
+      });
+    }
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return remaining == 0; });
+  }
+  std::vector<ResolveOutcome> outcomes;
+  outcomes.reserve(fids.size());
+  for (auto& slot : slots) outcomes.push_back(std::move(*slot));
+  return outcomes;
 }
 
 }  // namespace fsmon::lustre

@@ -9,10 +9,13 @@
 // cost to a ServiceStation) model that expense faithfully.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "src/common/clock.hpp"
 #include "src/common/status.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/lustre/filesystem.hpp"
 #include "src/obs/metrics.hpp"
 
@@ -35,6 +38,9 @@ struct ResolveOutcome {
       : path(std::move(p)), cost(c) {}
 };
 
+/// Safe for concurrent callers: the namespace walk locks inside LustreFs,
+/// the counters are atomic, and the metric instruments are thread-safe.
+/// attach_metrics() must still happen before resolution starts.
 class FidResolver {
  public:
   /// `clock` may be null: then resolve() only reports the cost; when set,
@@ -47,9 +53,17 @@ class FidResolver {
   /// FID has been deleted — the condition Algorithm 1 branches on.
   ResolveOutcome resolve(const Fid& fid);
 
-  std::uint64_t calls() const { return calls_; }
-  std::uint64_t failures() const { return failures_; }
-  common::Duration total_cost() const { return total_cost_; }
+  /// Async entry point: fan the resolutions out across `pool`'s workers
+  /// (inline when `pool` is null) and return the outcomes in input order
+  /// regardless of completion order.
+  std::vector<ResolveOutcome> resolve_many(const std::vector<Fid>& fids,
+                                           common::ThreadPool* pool);
+
+  std::uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  std::uint64_t failures() const { return failures_.load(std::memory_order_relaxed); }
+  common::Duration total_cost() const {
+    return common::Duration{total_cost_ns_.load(std::memory_order_relaxed)};
+  }
 
   /// Register fid2path call/failure counters and the per-call resolve
   /// latency histogram (microseconds of modeled cost).
@@ -59,9 +73,9 @@ class FidResolver {
   const LustreFs& fs_;
   FidResolverOptions options_;
   common::Clock* clock_;
-  std::uint64_t calls_ = 0;
-  std::uint64_t failures_ = 0;
-  common::Duration total_cost_{};
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::int64_t> total_cost_ns_{0};
   obs::Counter* calls_counter_ = nullptr;
   obs::Counter* failures_counter_ = nullptr;
   obs::HistogramMetric* latency_hist_ = nullptr;

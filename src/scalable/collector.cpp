@@ -6,6 +6,19 @@ namespace fsmon::scalable {
 
 using common::Status;
 
+namespace {
+
+/// Shards for the fid cache: enough to spread `threads` workers with
+/// headroom, capped so tiny caches don't fragment.
+std::size_t shard_count_for(std::size_t threads) {
+  if (threads <= 1) return 1;
+  std::size_t shards = 1;
+  while (shards < threads * 4 && shards < 64) shards <<= 1;
+  return shards;
+}
+
+}  // namespace
+
 Collector::Collector(lustre::LustreFs& fs, std::uint32_t mds_index,
                      std::shared_ptr<msgq::Publisher> publisher, CollectorOptions options,
                      common::Clock& clock)
@@ -17,12 +30,15 @@ Collector::Collector(lustre::LustreFs& fs, std::uint32_t mds_index,
       topic_(options_.topic_prefix + "mdt" + std::to_string(mds_index)),
       resolver_(fs, options_.resolver, /*clock=*/nullptr),
       cache_(options_.cache_size > 0
-                 ? std::make_unique<EventProcessor::FidCache>(options_.cache_size)
+                 ? std::make_unique<EventProcessor::FidCache>(
+                       options_.cache_size, shard_count_for(options_.resolver_threads))
                  : nullptr),
       processor_(resolver_, cache_.get(), options_.costs,
                  "lustre:MDT" + std::to_string(mds_index)),
       meter_(clock) {
   user_id_ = fs_.mds(mds_index_).register_changelog_user();
+  if (options_.resolver_threads > 1)
+    pool_ = std::make_unique<common::ThreadPool>(options_.resolver_threads);
   if (options_.metrics != nullptr) {
     auto& registry = *options_.metrics;
     const obs::Labels labels{{"mdt", std::to_string(mds_index_)}};
@@ -42,6 +58,13 @@ Collector::Collector(lustre::LustreFs& fs, std::uint32_t mds_index,
     publish_rate_gauge_ = &registry.gauge("collector.publish_rate", labels,
                                           "Lifetime average records/second processed",
                                           "records/s");
+    inflight_gauge_ = &registry.gauge("collector.resolver_inflight", labels,
+                                      "Records currently fanned out to the resolver pool",
+                                      "records");
+    reorder_depth_gauge_ =
+        &registry.gauge("collector.reorder_depth", labels,
+                        "Peak completions parked out of order before in-order publish",
+                        "records");
     resolver_.attach_metrics(registry, labels);
     processor_.attach_metrics(registry, labels);
   }
@@ -76,14 +99,11 @@ void Collector::publish_events(core::EventBatch& batch) {
   batch.events.clear();
 }
 
-std::size_t Collector::process_batch() {
-  auto records = fs_.mds(mds_index_).changelog_read(user_id_, options_.batch_size);
-  if (!records || records.value().empty()) return 0;
+std::size_t Collector::run_batch_serial(const std::vector<lustre::ChangelogRecord>& records) {
   const std::size_t publish_batch = std::max<std::size_t>(1, options_.publish_batch);
-  std::uint64_t last_index = 0;
   std::size_t events = 0;
   core::EventBatch pending;
-  for (const auto& record : records.value()) {
+  for (const auto& record : records) {
     auto output = processor_.process(record);
     // Threaded mode pays modeled latency for real when configured.
     if (output.latency.count() > 0 && options_.costs.base_latency.count() > 0)
@@ -93,23 +113,81 @@ std::size_t Collector::process_batch() {
       ++events;
       if (pending.size() >= publish_batch) publish_events(pending);
     }
-    last_index = record.index;
   }
   publish_events(pending);
-  records_.fetch_add(records.value().size());
+  return events;
+}
+
+std::size_t Collector::run_batch_parallel(
+    const std::vector<lustre::ChangelogRecord>& records) {
+  const std::size_t publish_batch = std::max<std::size_t>(1, options_.publish_batch);
+  const bool pay_latency = options_.costs.base_latency.count() > 0;
+  reorder_.reset(0);
+  // Phase 1 — ordered submission. Delete/rename invalidations are applied
+  // here, at the record's changelog position, so a late-completing earlier
+  // record can never resurrect a path a delete already killed.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& record = records[i];
+    if (cache_ != nullptr) {
+      using lustre::ChangelogType;
+      if (record.type == ChangelogType::kUnlnk || record.type == ChangelogType::kRmdir)
+        cache_->invalidate(record.target, record.index);
+      else if (record.type == ChangelogType::kRenme)
+        cache_->invalidate(record.rename_old.value_or(record.target), record.index);
+    }
+    const auto inflight = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (inflight_gauge_ != nullptr) inflight_gauge_->set(inflight);
+    pool_->submit([this, &record, i, pay_latency] {
+      auto output = processor_.process(record, EventProcessor::ResolveMode::kConcurrent);
+      // The worker pays the record's modeled latency, so resolution cost
+      // overlaps across workers — this is the whole point of the pool.
+      if (pay_latency && output.latency.count() > 0) clock_.sleep_for(output.latency);
+      const auto left = inflight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+      if (inflight_gauge_ != nullptr) inflight_gauge_->set(left);
+      reorder_.push(i, std::move(output));
+    });
+  }
+  // Phase 2 — in-order publish: pop completions in changelog order.
+  std::size_t events = 0;
+  core::EventBatch pending;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    auto output = reorder_.pop();
+    for (auto& event : output.events) {
+      pending.events.push_back(std::move(event));
+      ++events;
+      if (pending.size() >= publish_batch) publish_events(pending);
+    }
+  }
+  publish_events(pending);
+  // Every record of the batch is published: retire the invalidation
+  // guards and refresh the cache gauges from this (single) thread.
+  if (cache_ != nullptr) cache_->retire(records.back().index);
+  processor_.publish_cache_metrics();
+  if (reorder_depth_gauge_ != nullptr)
+    reorder_depth_gauge_->set_max(static_cast<std::int64_t>(reorder_.max_depth()));
+  return events;
+}
+
+std::size_t Collector::process_batch() {
+  auto records = fs_.mds(mds_index_).changelog_read(user_id_, options_.batch_size);
+  if (!records || records.value().empty()) return 0;
+  const auto& batch = records.value();
+  const std::size_t events =
+      pool_ != nullptr ? run_batch_parallel(batch) : run_batch_serial(batch);
+  records_.fetch_add(batch.size());
   published_.fetch_add(events);
-  meter_.record(records.value().size());
+  meter_.record(batch.size());
   if (batches_counter_ != nullptr) {
     batches_counter_->inc();
-    records_counter_->inc(records.value().size());
+    records_counter_->inc(batch.size());
     published_counter_->inc(events);
-    batch_size_hist_->record(records.value().size());
+    batch_size_hist_->record(batch.size());
     publish_rate_gauge_->set(static_cast<std::int64_t>(meter_.snapshot().average_rate));
   }
   // Purge processed records (lfs changelog_clear).
-  if (auto s = fs_.mds(mds_index_).changelog_clear(user_id_, last_index); !s.is_ok())
+  if (auto s = fs_.mds(mds_index_).changelog_clear(user_id_, batch.back().index); !s.is_ok())
     FSMON_WARN("collector", "changelog_clear failed: ", s.to_string());
-  return records.value().size();
+  return batch.size();
 }
 
 std::size_t Collector::drain_once() {

@@ -1,0 +1,106 @@
+#include "src/scalable/fid_cache.hpp"
+
+namespace fsmon::scalable {
+
+using lustre::Fid;
+
+FidPathCache::FidPathCache(std::size_t capacity, std::size_t shards)
+    : shards_(capacity, shards), pending_(shards_.shard_count()) {}
+
+PathPtr FidPathCache::get(const Fid& fid) {
+  auto entry = shards_.get(fid);
+  return entry ? entry->path : nullptr;
+}
+
+PathPtr FidPathCache::peek(const Fid& fid) const {
+  auto entry = shards_.peek(fid);
+  return entry ? entry->path : nullptr;
+}
+
+void FidPathCache::put(const Fid& fid, std::string path) {
+  put(fid, std::make_shared<const std::string>(std::move(path)));
+}
+
+void FidPathCache::put(const Fid& fid, PathPtr path) {
+  shards_.put(fid, Entry{std::move(path)});
+}
+
+bool FidPathCache::erase(const Fid& fid) { return shards_.erase(fid); }
+
+PathPtr FidPathCache::get(const Fid& fid, std::uint64_t seq) {
+  return shards_.with_shard(fid, [&](auto& cache) -> PathPtr {
+    auto entry = cache.get(fid);
+    if (!entry) return nullptr;
+    if (seq >= entry->tombstone_seq) {
+      // Dead for this and every later sequence (FIDs are never reused):
+      // drop the corpse now rather than waiting for eviction.
+      cache.erase(fid);
+      return nullptr;
+    }
+    if (seq < entry->write_seq) return nullptr;  // written by a later record
+    return entry->path;
+  });
+}
+
+void FidPathCache::put(const Fid& fid, PathPtr path, std::uint64_t seq) {
+  const std::size_t index = shards_.shard_index(fid);
+  auto& pending = pending_[index];
+  shards_.with_shard_index(index, [&](auto& cache) {
+    if (auto existing = cache.peek(fid); existing && existing->write_seq > seq)
+      return;  // a later record already wrote a fresher mapping
+    Entry entry{std::move(path), seq};
+    if (auto it = pending.find(fid); it != pending.end() && seq < it->second)
+      entry.tombstone_seq = it->second;  // ordered delete already covers us
+    cache.put(fid, std::move(entry));
+  });
+}
+
+void FidPathCache::invalidate(const Fid& fid, std::uint64_t seq) {
+  const std::size_t index = shards_.shard_index(fid);
+  auto& pending = pending_[index];
+  shards_.with_shard_index(index, [&](auto& cache) {
+    auto [it, inserted] = pending.try_emplace(fid, seq);
+    if (!inserted && it->second < seq) it->second = seq;
+    if (auto existing = cache.peek(fid); existing && existing->write_seq < seq &&
+                                         existing->tombstone_seq > seq) {
+      Entry entry = *existing;
+      entry.tombstone_seq = seq;
+      cache.put(fid, std::move(entry));
+    }
+  });
+}
+
+void FidPathCache::retire(std::uint64_t seq) {
+  for (std::size_t index = 0; index < pending_.size(); ++index) {
+    auto& pending = pending_[index];
+    shards_.with_shard_index(index, [&](auto& cache) {
+      for (auto it = pending.begin(); it != pending.end();) {
+        if (it->second > seq) {
+          ++it;
+          continue;
+        }
+        if (auto entry = cache.peek(it->first);
+            entry && entry->tombstone_seq <= seq)
+          cache.erase(it->first);  // dead for every future sequence
+        it = pending.erase(it);
+      }
+    });
+  }
+}
+
+bool FidPathCache::contains(const Fid& fid) const { return shards_.contains(fid); }
+
+void FidPathCache::clear() {
+  for (std::size_t index = 0; index < pending_.size(); ++index)
+    shards_.with_shard_index(index, [&](auto&) { pending_[index].clear(); });
+  shards_.clear();
+}
+
+std::size_t FidPathCache::size() const { return shards_.size(); }
+std::size_t FidPathCache::capacity() const { return shards_.capacity(); }
+std::size_t FidPathCache::shard_count() const { return shards_.shard_count(); }
+std::size_t FidPathCache::max_shard_size() const { return shards_.max_shard_size(); }
+common::LruStats FidPathCache::stats() const { return shards_.stats(); }
+void FidPathCache::reset_stats() { shards_.reset_stats(); }
+
+}  // namespace fsmon::scalable

@@ -1,0 +1,124 @@
+// FID -> path cache for Algorithm 1, safe for a resolver worker pool.
+//
+// Wraps common::ShardedLruCache with the two things concurrent resolution
+// needs on top of plain LRU semantics:
+//
+//  1. Shared immutable values: paths are stored as
+//     shared_ptr<const string>, so a hit hands out a reference instead of
+//     heap-copying the path for every event.
+//  2. Sequence-guarded invalidation. With workers completing records out
+//     of order, "erase on UNLNK" at completion time is wrong twice over:
+//     a delete completing early would starve earlier in-flight records of
+//     a mapping they were entitled to see, and an earlier record's late
+//     put() could resurrect a path after the delete erased it. Instead
+//     the collector applies invalidate(fid, seq) at the record's ordered
+//     position (submission happens in changelog order): existing entries
+//     get a tombstone sequence rather than being erased, and the fid is
+//     remembered in a pending-invalidation table. A versioned get(fid, seq)
+//     only returns entries whose [write_seq, tombstone_seq) window covers
+//     the reader's sequence — records ordered before the delete still hit
+//     the mapping, records at or after it miss. A versioned put(fid, seq)
+//     consults the pending table so a late insert lands already
+//     tombstoned instead of resurrecting the path. retire(seq) sweeps
+//     guards once the publish pointer passes the delete, erasing entries
+//     that are dead for every future sequence.
+//
+// The serial (unversioned) get/put/erase entry points preserve the exact
+// single-threaded Algorithm 1 semantics the property tests pin down; a
+// collector uses one protocol or the other, never both.
+//
+// Also hosts the single-flight table so concurrent misses on one FID
+// issue exactly one fid2path call (fid2path.coalesced counts the savings).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/sharded_lru_cache.hpp"
+#include "src/common/single_flight.hpp"
+#include "src/common/types.hpp"
+#include "src/lustre/fid.hpp"
+
+namespace fsmon::scalable {
+
+/// Immutable shared path value handed out by the cache.
+using PathPtr = std::shared_ptr<const std::string>;
+
+/// Result shared between coalesced resolvers: the resolved path (null on
+/// failure) and the modeled fid2path cost the leader paid.
+struct FlightResult {
+  PathPtr path;
+  common::Duration cost{};
+};
+
+class FidPathCache {
+ public:
+  /// `capacity` as in LruCache; `shards` independently-locked shards
+  /// (1 for serial collectors, more under a resolver pool).
+  explicit FidPathCache(std::size_t capacity, std::size_t shards = 1);
+
+  // --- Serial protocol: exact single-threaded LRU semantics. ---
+  PathPtr get(const lustre::Fid& fid);
+  PathPtr peek(const lustre::Fid& fid) const;
+  void put(const lustre::Fid& fid, std::string path);
+  void put(const lustre::Fid& fid, PathPtr path);
+  bool erase(const lustre::Fid& fid);
+
+  // --- Versioned protocol: resolver-pool mode. `seq` is the changelog
+  // record index (monotonic per MDT). ---
+
+  /// Hit only when `seq` falls inside the entry's validity window.
+  PathPtr get(const lustre::Fid& fid, std::uint64_t seq);
+
+  /// Insert the mapping as written by record `seq`; lands tombstoned (or
+  /// is superseded) when an ordered invalidation or a newer write already
+  /// covers this fid.
+  void put(const lustre::Fid& fid, PathPtr path, std::uint64_t seq);
+
+  /// Apply record `seq`'s deletion of `fid` at its ordered position:
+  /// tombstones the current entry (if any) and guards future puts from
+  /// records ordered before `seq`.
+  void invalidate(const lustre::Fid& fid, std::uint64_t seq);
+
+  /// Drop invalidation guards with sequence <= `seq` (the publish pointer
+  /// has passed them, so no in-flight record can still put an older
+  /// mapping) and erase entries those guards left permanently dead.
+  void retire(std::uint64_t seq);
+
+  // --- Introspection (both protocols). ---
+  bool contains(const lustre::Fid& fid) const;
+  void clear();
+  std::size_t size() const;
+  std::size_t capacity() const;
+  std::size_t shard_count() const;
+  std::size_t max_shard_size() const;
+  /// Aggregated over shards. In versioned mode an entry found but outside
+  /// the reader's validity window counts as a shard-level hit though the
+  /// caller sees a miss; the processor's fidcache.hits/misses counters
+  /// are the semantically exact series.
+  common::LruStats stats() const;
+  void reset_stats();
+
+  /// Single-flight table for coalescing concurrent fid2path misses.
+  common::SingleFlight<lustre::Fid, FlightResult>& flight() { return flight_; }
+
+ private:
+  static constexpr std::uint64_t kNoTombstone = ~std::uint64_t{0};
+
+  struct Entry {
+    PathPtr path;
+    std::uint64_t write_seq = 0;
+    std::uint64_t tombstone_seq = kNoTombstone;
+  };
+
+  common::ShardedLruCache<lustre::Fid, Entry> shards_;
+  /// Pending ordered invalidations, fid -> delete sequence; slot i is
+  /// only accessed under shard i's lock (via with_shard/with_shard_index).
+  std::vector<std::unordered_map<lustre::Fid, std::uint64_t>> pending_;
+  common::SingleFlight<lustre::Fid, FlightResult> flight_;
+};
+
+}  // namespace fsmon::scalable

@@ -25,6 +25,30 @@ EventProcessor::EventProcessor(lustre::FidResolver& resolver, FidCache* cache,
   }
 }
 
+ProcessorStats EventProcessor::stats() const {
+  ProcessorStats s;
+  s.records = stats_.records.load(std::memory_order_relaxed);
+  s.fid2path_calls = stats_.fid2path_calls.load(std::memory_order_relaxed);
+  s.fid2path_failures = stats_.fid2path_failures.load(std::memory_order_relaxed);
+  s.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = stats_.cache_misses.load(std::memory_order_relaxed);
+  s.parent_fallbacks = stats_.parent_fallbacks.load(std::memory_order_relaxed);
+  s.unresolved = stats_.unresolved.load(std::memory_order_relaxed);
+  s.coalesced = stats_.coalesced.load(std::memory_order_relaxed);
+  return s;
+}
+
+void EventProcessor::reset_stats() {
+  stats_.records.store(0, std::memory_order_relaxed);
+  stats_.fid2path_calls.store(0, std::memory_order_relaxed);
+  stats_.fid2path_failures.store(0, std::memory_order_relaxed);
+  stats_.cache_hits.store(0, std::memory_order_relaxed);
+  stats_.cache_misses.store(0, std::memory_order_relaxed);
+  stats_.parent_fallbacks.store(0, std::memory_order_relaxed);
+  stats_.unresolved.store(0, std::memory_order_relaxed);
+  stats_.coalesced.store(0, std::memory_order_relaxed);
+}
+
 void EventProcessor::attach_metrics(obs::MetricsRegistry& registry, obs::Labels labels) {
   hits_counter_ = &registry.counter("fidcache.hits", labels,
                                     "fid2path cache hits (Algorithm 1 fast path)", "lookups");
@@ -33,14 +57,28 @@ void EventProcessor::attach_metrics(obs::MetricsRegistry& registry, obs::Labels 
                                       "lookups");
   evictions_counter_ = &registry.counter("fidcache.evictions", labels,
                                          "LRU entries evicted at capacity", "entries");
-  size_gauge_ = &registry.gauge("fidcache.size", std::move(labels),
+  coalesced_counter_ = &registry.counter(
+      "fid2path.coalesced", labels,
+      "Concurrent cache misses served by another worker's in-flight fid2path "
+      "(single-flight)",
+      "lookups");
+  size_gauge_ = &registry.gauge("fidcache.size", labels,
                                 "Entries currently cached", "entries");
-  reported_evictions_ = cache_ == nullptr ? 0 : cache_->stats().evictions;
+  shards_gauge_ = &registry.gauge("fidcache.shards", labels,
+                                  "Independently-locked shards in the fid2path cache",
+                                  "shards");
+  shard_size_gauge_ = &registry.gauge("fidcache.shard_size_max", std::move(labels),
+                                      "Entries in the fullest cache shard", "entries");
+  if (cache_ != nullptr) {
+    reported_evictions_ = cache_->stats().evictions;
+    shards_gauge_->set(static_cast<std::int64_t>(cache_->shard_count()));
+  }
 }
 
 void EventProcessor::sync_cache_metrics() {
   if (cache_ == nullptr || size_gauge_ == nullptr) return;
   size_gauge_->set(static_cast<std::int64_t>(cache_->size()));
+  shard_size_gauge_->set(static_cast<std::int64_t>(cache_->max_shard_size()));
   const std::uint64_t evictions = cache_->stats().evictions;
   if (evictions > reported_evictions_) {
     evictions_counter_->inc(evictions - reported_evictions_);
@@ -53,34 +91,75 @@ void EventProcessor::charge_lookup(Output& out) {
   out.cpu += lookup_cost_;  // hash probing is pure CPU
 }
 
-EventProcessor::Lookup EventProcessor::cache_only(const Fid& fid, Output& out) {
+EventProcessor::Lookup EventProcessor::cache_only(const Fid& fid, const Ctx& ctx,
+                                                  Output& out) {
   if (cache_ == nullptr) return {};
   charge_lookup(out);
-  if (auto hit = cache_->get(fid)) {
-    ++stats_.cache_hits;
+  PathPtr hit = ctx.mode == ResolveMode::kConcurrent ? cache_->get(fid, ctx.seq)
+                                                     : cache_->get(fid);
+  if (hit != nullptr) {
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     if (hits_counter_ != nullptr) hits_counter_->inc();
-    return {true, *hit};
+    return {true, std::move(hit)};
   }
-  ++stats_.cache_misses;
+  stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
   if (misses_counter_ != nullptr) misses_counter_->inc();
   return {};
 }
 
-EventProcessor::Lookup EventProcessor::resolve_fid(const Fid& fid, Output& out) {
-  if (auto cached = cache_only(fid, out); cached.ok) return cached;
+void EventProcessor::cache_put(const Fid& fid, PathPtr path, const Ctx& ctx, Output& out) {
+  if (cache_ == nullptr) return;
+  if (ctx.mode == ResolveMode::kConcurrent)
+    cache_->put(fid, std::move(path), ctx.seq);
+  else
+    cache_->put(fid, std::move(path));
+  charge_lookup(out);
+}
+
+EventProcessor::Lookup EventProcessor::resolve_fid(const Fid& fid, const Ctx& ctx,
+                                                   Output& out) {
+  if (auto cached = cache_only(fid, ctx, out); cached.ok) return cached;
+
+  if (ctx.mode == ResolveMode::kConcurrent && cache_ != nullptr) {
+    // Coalesce concurrent misses on the same FID into one fid2path call;
+    // latecomers share the leader's outcome (and its failure).
+    auto flight = cache_->flight().run(fid, [&] {
+      auto outcome = resolver_.resolve(fid);
+      FlightResult result;
+      result.cost = outcome.cost;
+      if (outcome.path.is_ok())
+        result.path = std::make_shared<const std::string>(std::move(outcome.path.value()));
+      return result;
+    });
+    if (flight.leader) {
+      stats_.fid2path_calls.fetch_add(1, std::memory_order_relaxed);
+      out.latency += flight.value.cost;
+      out.cpu += costs_.fid2path_cpu;
+      if (flight.value.path == nullptr) {
+        stats_.fid2path_failures.fetch_add(1, std::memory_order_relaxed);
+        return {};
+      }
+    } else {
+      // The wait overlapped the leader's call: charge no modeled latency.
+      stats_.coalesced.fetch_add(1, std::memory_order_relaxed);
+      if (coalesced_counter_ != nullptr) coalesced_counter_->inc();
+      if (flight.value.path == nullptr) return {};
+    }
+    cache_put(fid, flight.value.path, ctx, out);
+    return {true, flight.value.path};
+  }
+
   auto outcome = resolver_.resolve(fid);
-  ++stats_.fid2path_calls;
+  stats_.fid2path_calls.fetch_add(1, std::memory_order_relaxed);
   out.latency += outcome.cost;
   out.cpu += costs_.fid2path_cpu;
   if (!outcome.path.is_ok()) {
-    ++stats_.fid2path_failures;
+    stats_.fid2path_failures.fetch_add(1, std::memory_order_relaxed);
     return {};
   }
-  if (cache_ != nullptr) {
-    cache_->put(fid, outcome.path.value());
-    charge_lookup(out);
-  }
-  return {true, outcome.path.value()};
+  auto path = std::make_shared<const std::string>(std::move(outcome.path.value()));
+  if (cache_ != nullptr) cache_put(fid, path, ctx, out);
+  return {true, std::move(path)};
 }
 
 EventKind EventProcessor::kind_of(ChangelogType type) {
@@ -109,14 +188,18 @@ bool EventProcessor::is_dir_event(ChangelogType type) {
   return type == ChangelogType::kMkdir || type == ChangelogType::kRmdir;
 }
 
-EventProcessor::Output EventProcessor::process(const ChangelogRecord& record) {
+EventProcessor::Output EventProcessor::process(const ChangelogRecord& record,
+                                               ResolveMode mode) {
+  const Ctx ctx{mode, record.index};
   Output out;
   out.latency += costs_.base_latency;
   out.cpu += costs_.base_cpu;
-  ++stats_.records;
+  stats_.records.fetch_add(1, std::memory_order_relaxed);
   // Eviction/size deltas from the previous record's puts; one sync per
-  // record keeps the hot path at two atomics.
-  sync_cache_metrics();
+  // record keeps the hot path at two atomics. Concurrent mode defers to
+  // the collector's per-batch publish_cache_metrics() — the delta
+  // bookkeeping below is intentionally not worker-safe.
+  if (mode == ResolveMode::kSerial) sync_cache_metrics();
 
   auto make_event = [&](EventKind kind, std::string path) {
     StdEvent event;
@@ -127,6 +210,10 @@ EventProcessor::Output EventProcessor::process(const ChangelogRecord& record) {
     event.cookie = record.index;
     event.source = source_;
     return event;
+  };
+
+  auto join = [](const std::string& parent, const std::string& name) {
+    return parent == "/" ? "/" + name : parent + "/" + name;
   };
 
   const bool creates_namespace_entry =
@@ -140,32 +227,27 @@ EventProcessor::Output EventProcessor::process(const ChangelogRecord& record) {
     const Fid new_fid = record.rename_new.value_or(record.target);
 
     std::string old_path;
-    if (auto o = resolve_fid(old_fid, out); o.ok) {
-      old_path = std::move(o.path);
+    if (auto o = resolve_fid(old_fid, ctx, out); o.ok) {
+      old_path = *o.path;
     } else if (record.parent) {
       // Old FID is gone (the rename re-keyed it): reconstruct from the
       // record's parent + old name.
-      ++stats_.parent_fallbacks;
-      if (auto p = resolve_fid(*record.parent, out); p.ok) {
-        old_path = p.path == "/" ? "/" + record.name : p.path + "/" + record.name;
-      }
+      stats_.parent_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      if (auto p = resolve_fid(*record.parent, ctx, out); p.ok)
+        old_path = join(*p.path, record.name);
     }
     std::string new_path;
-    if (auto n = resolve_fid(new_fid, out); n.ok) {
-      new_path = std::move(n.path);
+    if (auto n = resolve_fid(new_fid, ctx, out); n.ok) {
+      new_path = *n.path;
     } else if (record.parent && !record.rename_target_name.empty()) {
-      ++stats_.parent_fallbacks;
-      if (auto p = resolve_fid(*record.parent, out); p.ok) {
-        new_path = p.path == "/" ? "/" + record.rename_target_name
-                                 : p.path + "/" + record.rename_target_name;
-        if (cache_ != nullptr) {
-          cache_->put(new_fid, new_path);
-          charge_lookup(out);
-        }
+      stats_.parent_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      if (auto p = resolve_fid(*record.parent, ctx, out); p.ok) {
+        new_path = join(*p.path, record.rename_target_name);
+        cache_put(new_fid, std::make_shared<const std::string>(new_path), ctx, out);
       }
     }
     if (old_path.empty() && new_path.empty()) {
-      ++stats_.unresolved;
+      stats_.unresolved.fetch_add(1, std::memory_order_relaxed);
       out.events.push_back(
           make_event(EventKind::kMovedFrom, std::string(core::kParentDirectoryRemoved)));
       return out;
@@ -180,45 +262,42 @@ EventProcessor::Output EventProcessor::process(const ChangelogRecord& record) {
   if (creates_namespace_entry && record.parent) {
     // Extension 1: parent-first construction; seeds the target mapping so
     // the following MTIME/CLOSE/UNLNK on this FID hit the cache.
-    if (auto p = resolve_fid(*record.parent, out); p.ok) {
-      std::string path =
-          p.path == "/" ? "/" + record.name : p.path + "/" + record.name;
-      if (cache_ != nullptr) {
-        cache_->put(record.target, path);
-        charge_lookup(out);
-      }
-      out.events.push_back(make_event(kind_of(record.type), std::move(path)));
+    if (auto p = resolve_fid(*record.parent, ctx, out); p.ok) {
+      auto path = std::make_shared<const std::string>(join(*p.path, record.name));
+      cache_put(record.target, path, ctx, out);
+      out.events.push_back(make_event(kind_of(record.type), *path));
       return out;
     }
-    ++stats_.unresolved;
+    stats_.unresolved.fetch_add(1, std::memory_order_relaxed);
     out.events.push_back(
         make_event(kind_of(record.type), std::string(core::kParentDirectoryRemoved)));
     return out;
   }
 
   // Algorithm 1 line 13: target-first.
-  if (auto t = resolve_fid(record.target, out); t.ok) {
+  if (auto t = resolve_fid(record.target, ctx, out); t.ok) {
     if (record.type == ChangelogType::kUnlnk || record.type == ChangelogType::kRmdir) {
       // The subject is gone; drop the stale mapping to free cache space.
-      if (cache_ != nullptr) cache_->erase(record.target);
+      // Concurrent mode skips this: the collector already applied the
+      // invalidation at the record's ordered position.
+      if (mode == ResolveMode::kSerial && cache_ != nullptr) cache_->erase(record.target);
     }
-    out.events.push_back(make_event(kind_of(record.type), std::move(t.path)));
+    out.events.push_back(make_event(kind_of(record.type), *t.path));
     return out;
   }
 
   // Target resolution failed. Lines 20-26 (generalized, extension 2):
   // fall back to the parent FID + record name.
   if (record.parent) {
-    ++stats_.parent_fallbacks;
-    if (auto p = resolve_fid(*record.parent, out); p.ok) {
-      std::string path = p.path == "/" ? "/" + record.name : p.path + "/" + record.name;
-      out.events.push_back(make_event(kind_of(record.type), std::move(path)));
+    stats_.parent_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    if (auto p = resolve_fid(*record.parent, ctx, out); p.ok) {
+      out.events.push_back(make_event(kind_of(record.type), join(*p.path, record.name)));
       return out;
     }
   }
 
   // Lines 40-42: parent gone as well.
-  ++stats_.unresolved;
+  stats_.unresolved.fetch_add(1, std::memory_order_relaxed);
   out.events.push_back(
       make_event(kind_of(record.type), std::string(core::kParentDirectoryRemoved)));
   return out;

@@ -22,20 +22,33 @@
 //  2. Any record whose target resolution fails falls back to its parent
 //     FID + name when the record carries one, not only deletes.
 //
+// The processor runs in one of two modes per record:
+//  - kSerial (default): the historical single-threaded path — cache
+//    lookups are unversioned and UNLNK/RMDIR erase their target mapping
+//    after resolving it.
+//  - kConcurrent: the record is being processed on a resolver-pool
+//    worker. Cache accesses use the record index as a sequence number
+//    (see FidPathCache), misses coalesce through the cache's
+//    single-flight table, and deletes do NOT erase here — the collector
+//    already applied the invalidation at the record's ordered position.
+//    Stats counters are atomic, so concurrent workers may share one
+//    processor.
+//
 // The processor also accounts the modeled latency and CPU cost of each
 // record so the discrete-event benchmarks charge the right stations.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "src/common/lru_cache.hpp"
 #include "src/common/types.hpp"
 #include "src/core/event.hpp"
 #include "src/lustre/changelog.hpp"
 #include "src/lustre/fid_resolver.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/scalable/fid_cache.hpp"
 
 namespace fsmon::scalable {
 
@@ -56,11 +69,17 @@ struct ProcessorStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t parent_fallbacks = 0;
   std::uint64_t unresolved = 0;  ///< ParentDirectoryRemoved / no-path events.
+  std::uint64_t coalesced = 0;   ///< Misses served by another worker's in-flight fid2path.
 };
 
 class EventProcessor {
  public:
-  using FidCache = common::LruCache<lustre::Fid, std::string>;
+  using FidCache = FidPathCache;
+
+  enum class ResolveMode {
+    kSerial,      ///< Single-threaded Algorithm 1 (erase-on-delete).
+    kConcurrent,  ///< Resolver-pool worker (versioned cache + single-flight).
+  };
 
   /// `cache` may be null (the paper's "without cache" configuration).
   EventProcessor(lustre::FidResolver& resolver, FidCache* cache, ProcessorCosts costs,
@@ -73,14 +92,23 @@ class EventProcessor {
   };
 
   /// Process one record (Algorithm 1).
-  Output process(const lustre::ChangelogRecord& record);
+  Output process(const lustre::ChangelogRecord& record,
+                 ResolveMode mode = ResolveMode::kSerial);
 
-  const ProcessorStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = ProcessorStats{}; }
+  /// Relaxed snapshot of the counters (exact between batches; a worker
+  /// mid-record may not have bumped every field yet).
+  ProcessorStats stats() const;
+  void reset_stats();
 
   /// Register fid2path-cache effectiveness metrics (hits/misses/
-  /// evictions, current size) — the Table VI/VIII numbers.
+  /// evictions, current size, shard layout) — the Table VI/VIII numbers.
   void attach_metrics(obs::MetricsRegistry& registry, obs::Labels labels);
+
+  /// Push cache eviction/size gauges to the registry. Serial mode does
+  /// this once per record; in concurrent mode the collector calls it once
+  /// per batch from its own thread (the delta bookkeeping is not
+  /// worker-safe and doesn't need to be).
+  void publish_cache_metrics() { sync_cache_metrics(); }
 
   /// Estimated cache memory footprint in entries (for the memory model).
   std::size_t cache_entries() const { return cache_ == nullptr ? 0 : cache_->size(); }
@@ -88,19 +116,28 @@ class EventProcessor {
  private:
   struct Lookup {
     bool ok = false;
-    std::string path;
+    PathPtr path;
+  };
+
+  /// Resolution context: mode plus the record's changelog index, which is
+  /// the sequence number for versioned cache accesses.
+  struct Ctx {
+    ResolveMode mode;
+    std::uint64_t seq;
   };
 
   /// Cache -> fid2path -> cache.set; charges costs to `out`.
-  Lookup resolve_fid(const lustre::Fid& fid, Output& out);
+  Lookup resolve_fid(const lustre::Fid& fid, const Ctx& ctx, Output& out);
   /// Cache lookup only (no fid2path); charges lookup cost.
-  Lookup cache_only(const lustre::Fid& fid, Output& out);
+  Lookup cache_only(const lustre::Fid& fid, const Ctx& ctx, Output& out);
+  /// Mode-aware cache insert (seeding and post-resolve puts).
+  void cache_put(const lustre::Fid& fid, PathPtr path, const Ctx& ctx, Output& out);
   void charge_lookup(Output& out);
 
   static core::EventKind kind_of(lustre::ChangelogType type);
   static bool is_dir_event(lustre::ChangelogType type);
 
-  /// Push cache eviction/size deltas to the registry after a put().
+  /// Push cache eviction/size deltas to the registry after puts.
   void sync_cache_metrics();
 
   lustre::FidResolver& resolver_;
@@ -108,11 +145,24 @@ class EventProcessor {
   ProcessorCosts costs_;
   std::string source_;
   common::Duration lookup_cost_{};
-  ProcessorStats stats_;
+  struct AtomicStats {
+    std::atomic<std::uint64_t> records{0};
+    std::atomic<std::uint64_t> fid2path_calls{0};
+    std::atomic<std::uint64_t> fid2path_failures{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> cache_misses{0};
+    std::atomic<std::uint64_t> parent_fallbacks{0};
+    std::atomic<std::uint64_t> unresolved{0};
+    std::atomic<std::uint64_t> coalesced{0};
+  };
+  AtomicStats stats_;
   obs::Counter* hits_counter_ = nullptr;
   obs::Counter* misses_counter_ = nullptr;
   obs::Counter* evictions_counter_ = nullptr;
+  obs::Counter* coalesced_counter_ = nullptr;
   obs::Gauge* size_gauge_ = nullptr;
+  obs::Gauge* shards_gauge_ = nullptr;
+  obs::Gauge* shard_size_gauge_ = nullptr;
   std::uint64_t reported_evictions_ = 0;
 };
 

@@ -1,0 +1,81 @@
+// Sequence-numbered reorder buffer.
+//
+// The resolver pool completes records in arbitrary order; the paper's
+// per-MDT ordering guarantee ("events are reported in the order the MDS
+// serviced them") requires the collector to publish them in changelog
+// order. Workers push (sequence, result) pairs as they finish; the
+// collector thread pops strictly in sequence, blocking until the next
+// expected sequence arrives. Completions that arrive early wait in the
+// buffer — its peak depth is exported as collector.reorder_depth.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace fsmon::scalable {
+
+template <typename T>
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(std::uint64_t first_seq = 0) : head_(first_seq) {}
+
+  /// Restart at `first_seq` for a new batch. The buffer must be empty
+  /// (every pushed completion popped); the peak-depth high-water mark is
+  /// kept across batches.
+  void reset(std::uint64_t first_seq) {
+    std::lock_guard lock(mu_);
+    head_ = first_seq;
+  }
+
+  /// Deliver the completion for `seq` (each sequence exactly once, any
+  /// order at or after the current head).
+  void push(std::uint64_t seq, T value) {
+    {
+      std::lock_guard lock(mu_);
+      slots_.emplace(seq, std::move(value));
+      max_depth_ = std::max(max_depth_, slots_.size());
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until the completion for the current head sequence is
+  /// available, return it, and advance the head.
+  T pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return !slots_.empty() && slots_.begin()->first == head_; });
+    auto node = slots_.extract(slots_.begin());
+    ++head_;
+    return std::move(node.mapped());
+  }
+
+  /// Next sequence pop() will wait for.
+  std::uint64_t head() const {
+    std::lock_guard lock(mu_);
+    return head_;
+  }
+
+  /// Completions currently parked out of order.
+  std::size_t buffered() const {
+    std::lock_guard lock(mu_);
+    return slots_.size();
+  }
+
+  /// Most completions ever parked at once (lifetime high-water mark).
+  std::size_t max_depth() const {
+    std::lock_guard lock(mu_);
+    return max_depth_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, T> slots_;
+  std::uint64_t head_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace fsmon::scalable

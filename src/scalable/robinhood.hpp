@@ -54,7 +54,7 @@ class RobinhoodPoller {
   }
   double process_rate() const { return meter_.average_rate(); }
   const std::vector<core::StdEvent>& database() const { return database_; }
-  const ProcessorStats& processor_stats() const { return processor_.stats(); }
+  ProcessorStats processor_stats() const { return processor_.stats(); }
 
  private:
   void run(std::stop_token stop);

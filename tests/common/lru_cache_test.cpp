@@ -35,6 +35,15 @@ TEST(LruCacheTest, OverwriteUpdatesValue) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+TEST(LruCacheTest, OverwriteIsNotCountedAsInsertion) {
+  LruCache<int, int> cache(4);
+  cache.put(1, 10);
+  cache.put(1, 11);  // overwrite: updates value, not an insertion
+  cache.put(2, 20);
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
 TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
   LruCache<int, int> cache(3);
   cache.put(1, 1);

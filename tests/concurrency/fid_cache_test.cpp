@@ -1,0 +1,117 @@
+// Versioned-window semantics of the fid->path cache under the resolver
+// pool's ordered-invalidation protocol.
+#include "src/scalable/fid_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::scalable {
+namespace {
+
+const lustre::Fid kFid{0x200000401, 1, 0};
+const lustre::Fid kOther{0x200000401, 2, 0};
+
+PathPtr make_path(std::string s) {
+  return std::make_shared<const std::string>(std::move(s));
+}
+
+TEST(FidPathCacheTest, SerialProtocolRoundTrip) {
+  FidPathCache cache(8);
+  EXPECT_EQ(cache.get(kFid), nullptr);
+  cache.put(kFid, "/a");
+  ASSERT_NE(cache.peek(kFid), nullptr);
+  EXPECT_EQ(*cache.peek(kFid), "/a");
+  EXPECT_TRUE(cache.erase(kFid));
+  EXPECT_FALSE(cache.contains(kFid));
+}
+
+TEST(FidPathCacheTest, HitSharesTheStoredString) {
+  FidPathCache cache(8);
+  auto stored = make_path("/shared");
+  cache.put(kFid, stored);
+  auto hit = cache.get(kFid);
+  // The hit hands out the same immutable string, not a heap copy.
+  EXPECT_EQ(hit.get(), stored.get());
+}
+
+TEST(FidPathCacheTest, VersionedGetHonorsValidityWindow) {
+  FidPathCache cache(8, 2);
+  cache.put(kFid, make_path("/a"), /*seq=*/3);
+  EXPECT_EQ(cache.get(kFid, 2), nullptr);  // ordered before the write
+  ASSERT_NE(cache.get(kFid, 3), nullptr);
+  EXPECT_EQ(*cache.get(kFid, 7), "/a");    // no tombstone yet
+}
+
+TEST(FidPathCacheTest, InvalidateTombstonesButKeepsEarlierWindowAlive) {
+  FidPathCache cache(8, 2);
+  cache.put(kFid, make_path("/a"), 3);
+  cache.invalidate(kFid, 10);  // record 10 deletes the file
+  // Records ordered inside [3, 10) still see the mapping...
+  ASSERT_NE(cache.get(kFid, 5), nullptr);
+  EXPECT_EQ(*cache.get(kFid, 9), "/a");
+  // ...records at or after the delete do not.
+  EXPECT_EQ(cache.get(kFid, 10), nullptr);
+  EXPECT_EQ(cache.get(kFid, 12), nullptr);
+}
+
+TEST(FidPathCacheTest, LatePutFromBeforeADeleteLandsTombstoned) {
+  FidPathCache cache(8, 2);
+  cache.invalidate(kFid, 10);  // the delete's position is applied first
+  // A slow worker for record 4 now publishes the pre-delete mapping.
+  cache.put(kFid, make_path("/a"), 4);
+  // In-window readers hit; readers past the delete never see the corpse
+  // resurrected.
+  ASSERT_NE(cache.get(kFid, 6), nullptr);
+  EXPECT_EQ(cache.get(kFid, 11), nullptr);
+}
+
+TEST(FidPathCacheTest, PutAtOrAfterPendingDeleteInsertsAlive) {
+  FidPathCache cache(8, 2);
+  cache.invalidate(kFid, 10);
+  // A record ordered after the delete re-creates the mapping (e.g. the
+  // fid resurfaces via a later hardlink resolution).
+  cache.put(kFid, make_path("/b"), 12);
+  ASSERT_NE(cache.get(kFid, 13), nullptr);
+  EXPECT_EQ(*cache.get(kFid, 13), "/b");
+}
+
+TEST(FidPathCacheTest, OlderPutNeverClobbersNewerWrite) {
+  FidPathCache cache(8, 2);
+  cache.put(kFid, make_path("/new"), 10);
+  cache.put(kFid, make_path("/old"), 3);  // stale straggler
+  ASSERT_NE(cache.get(kFid, 11), nullptr);
+  EXPECT_EQ(*cache.get(kFid, 11), "/new");
+}
+
+TEST(FidPathCacheTest, RetireSweepsGuardsAndDeadEntries) {
+  FidPathCache cache(8, 2);
+  cache.put(kFid, make_path("/a"), 3);
+  cache.put(kOther, make_path("/b"), 4);
+  cache.invalidate(kFid, 10);
+  cache.retire(10);  // publish pointer has passed the delete
+  // The dead entry is gone; the untouched one survives.
+  EXPECT_FALSE(cache.contains(kFid));
+  EXPECT_TRUE(cache.contains(kOther));
+  // With the guard retired, a fresh put for a later batch is alive again.
+  cache.put(kFid, make_path("/a2"), 20);
+  ASSERT_NE(cache.get(kFid, 21), nullptr);
+  EXPECT_EQ(*cache.get(kFid, 21), "/a2");
+}
+
+TEST(FidPathCacheTest, ReadAtOrPastTombstoneErasesTheCorpse) {
+  FidPathCache cache(8, 2);
+  cache.put(kFid, make_path("/a"), 3);
+  cache.invalidate(kFid, 5);
+  EXPECT_EQ(cache.get(kFid, 6), nullptr);  // miss erases the dead entry
+  EXPECT_FALSE(cache.contains(kFid));
+}
+
+TEST(FidPathCacheTest, ShardedConstructionExposesShardCount) {
+  FidPathCache cache(64, 8);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  EXPECT_GE(cache.capacity(), 64u);
+  cache.put(kFid, make_path("/a"), 1);
+  EXPECT_GE(cache.max_shard_size(), 1u);
+}
+
+}  // namespace
+}  // namespace fsmon::scalable

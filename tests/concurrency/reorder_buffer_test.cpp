@@ -1,0 +1,79 @@
+#include "src/scalable/reorder_buffer.hpp"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::scalable {
+namespace {
+
+TEST(ReorderBufferTest, InOrderPushPopsImmediately) {
+  ReorderBuffer<int> buffer(0);
+  buffer.push(0, 10);
+  buffer.push(1, 11);
+  EXPECT_EQ(buffer.pop(), 10);
+  EXPECT_EQ(buffer.pop(), 11);
+  EXPECT_EQ(buffer.head(), 2u);
+  EXPECT_EQ(buffer.buffered(), 0u);
+}
+
+TEST(ReorderBufferTest, OutOfOrderCompletionsPopInSequence) {
+  ReorderBuffer<std::string> buffer(0);
+  buffer.push(2, "two");
+  buffer.push(0, "zero");
+  buffer.push(1, "one");
+  EXPECT_EQ(buffer.pop(), "zero");
+  EXPECT_EQ(buffer.pop(), "one");
+  EXPECT_EQ(buffer.pop(), "two");
+  // 2 and 0 were parked together before the first pop.
+  EXPECT_GE(buffer.max_depth(), 2u);
+}
+
+TEST(ReorderBufferTest, PopBlocksUntilHeadArrives) {
+  ReorderBuffer<int> buffer(0);
+  buffer.push(1, 11);  // head (0) still missing
+  std::jthread producer([&buffer] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    buffer.push(0, 10);
+  });
+  EXPECT_EQ(buffer.pop(), 10);  // blocks until the producer delivers 0
+  EXPECT_EQ(buffer.pop(), 11);
+}
+
+TEST(ReorderBufferTest, ResetStartsNewBatchAndKeepsHighWaterMark) {
+  ReorderBuffer<int> buffer(0);
+  buffer.push(1, 1);
+  buffer.push(0, 0);
+  buffer.pop();
+  buffer.pop();
+  const auto depth = buffer.max_depth();
+  EXPECT_GE(depth, 2u);
+  buffer.reset(0);
+  EXPECT_EQ(buffer.head(), 0u);
+  buffer.push(0, 5);
+  EXPECT_EQ(buffer.pop(), 5);
+  EXPECT_EQ(buffer.max_depth(), depth);  // high-water mark survives reset
+}
+
+TEST(ReorderBufferTest, ManyProducersOneConsumerPreservesSequence) {
+  constexpr std::uint64_t kItems = 2000;
+  ReorderBuffer<std::uint64_t> buffer(0);
+  std::vector<std::jthread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&buffer, t] {
+      // Thread t pushes sequences congruent to t mod 4, scrambled enough
+      // that arrival order differs from sequence order.
+      for (std::uint64_t seq = t; seq < kItems; seq += 4) buffer.push(seq, seq * 3);
+    });
+  }
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(buffer.pop(), i * 3);
+  }
+  producers.clear();
+  EXPECT_EQ(buffer.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace fsmon::scalable

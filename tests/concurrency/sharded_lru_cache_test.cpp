@@ -1,0 +1,117 @@
+#include "src/common/sharded_lru_cache.hpp"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::common {
+namespace {
+
+TEST(ShardedLruCacheTest, RejectsZeroCapacityOrShards) {
+  EXPECT_THROW((ShardedLruCache<int, int>(0, 4)), std::invalid_argument);
+  EXPECT_THROW((ShardedLruCache<int, int>(16, 0)), std::invalid_argument);
+}
+
+TEST(ShardedLruCacheTest, SingleShardBehavesLikeLruCache) {
+  ShardedLruCache<int, std::string> cache(4, 1);
+  EXPECT_EQ(cache.shard_count(), 1u);
+  cache.put(1, "one");
+  cache.put(2, "two");
+  EXPECT_EQ(*cache.get(1), "one");
+  EXPECT_EQ(*cache.peek(2), "two");
+  EXPECT_FALSE(cache.get(3).has_value());
+  EXPECT_TRUE(cache.erase(2));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 2u);
+}
+
+TEST(ShardedLruCacheTest, CapacitySplitsAcrossShardsRoundedUp) {
+  ShardedLruCache<int, int> cache(10, 4);  // ceil(10/4) = 3 per shard
+  EXPECT_EQ(cache.shard_count(), 4u);
+  EXPECT_EQ(cache.capacity(), 12u);
+}
+
+TEST(ShardedLruCacheTest, ShardIndexIsStableAndInRange) {
+  ShardedLruCache<int, int> cache(64, 8);
+  for (int k = 0; k < 1000; ++k) {
+    const auto index = cache.shard_index(k);
+    EXPECT_LT(index, 8u);
+    EXPECT_EQ(index, cache.shard_index(k));
+  }
+}
+
+TEST(ShardedLruCacheTest, EvictionIsPerShard) {
+  ShardedLruCache<int, int> cache(8, 8);  // 1 entry per shard
+  for (int k = 0; k < 64; ++k) cache.put(k, k);
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_LE(cache.max_shard_size(), 1u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(ShardedLruCacheTest, WithShardComposesAtomically) {
+  ShardedLruCache<int, int> cache(16, 4);
+  cache.put(7, 70);
+  // Read-check-write under one shard lock.
+  const int result = cache.with_shard(7, [](LruCache<int, int>& shard) {
+    auto v = shard.peek(7);
+    shard.put(7, *v + 1);
+    return *shard.peek(7);
+  });
+  EXPECT_EQ(result, 71);
+  EXPECT_EQ(*cache.get(7), 71);
+}
+
+TEST(ShardedLruCacheTest, ClearAndResetStats) {
+  ShardedLruCache<int, int> cache(16, 4);
+  cache.put(1, 1);
+  cache.get(1);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+// Hammer the cache from several threads; correctness here is "no data
+// race / no crash / stats add up" — TSan makes this test meaningful.
+TEST(ShardedLruCacheTest, ConcurrentMixedOperations) {
+  ShardedLruCache<int, int> cache(256, 8);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 5000;
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int key = (t * 31 + i * 7) % 512;
+        switch (i % 4) {
+          case 0: cache.put(key, key * 2); break;
+          case 1: {
+            auto v = cache.get(key);
+            if (v.has_value()) {
+              EXPECT_EQ(*v, key * 2);
+            }
+            break;
+          }
+          case 2: cache.contains(key); break;
+          case 3:
+            if (i % 64 == 3) cache.erase(key);
+            break;
+        }
+      }
+    });
+  }
+  threads.clear();  // join
+  EXPECT_LE(cache.size(), cache.capacity());
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.insertions, 0u);
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace fsmon::common

@@ -1,0 +1,84 @@
+#include "src/common/single_flight.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::common {
+namespace {
+
+TEST(SingleFlightTest, SequentialCallsEachLead) {
+  SingleFlight<int, int> flight;
+  int computed = 0;
+  auto first = flight.run(1, [&] { return ++computed; });
+  auto second = flight.run(1, [&] { return ++computed; });
+  EXPECT_TRUE(first.leader);
+  EXPECT_TRUE(second.leader);
+  EXPECT_EQ(first.value, 1);
+  EXPECT_EQ(second.value, 2);  // no coalescing across non-overlapping calls
+  EXPECT_EQ(flight.coalesced(), 0u);
+}
+
+TEST(SingleFlightTest, DistinctKeysDoNotCoalesce) {
+  SingleFlight<int, int> flight;
+  auto a = flight.run(1, [] { return 10; });
+  auto b = flight.run(2, [] { return 20; });
+  EXPECT_TRUE(a.leader);
+  EXPECT_TRUE(b.leader);
+  EXPECT_EQ(flight.coalesced(), 0u);
+}
+
+// Concurrent misses on one key: exactly one caller runs the computation,
+// everyone shares its result. The leader blocks on a gate until all
+// latecomers have joined the flight, so coalescing is deterministic.
+TEST(SingleFlightTest, OverlappingCallsShareOneComputation) {
+  SingleFlight<int, std::string> flight;
+  constexpr int kLatecomers = 3;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int waiting = 0;
+  bool gate_open = false;
+  std::atomic<int> executions{0};
+  std::atomic<int> leaders{0};
+
+  auto worker = [&] {
+    auto outcome = flight.run(42, [&] {
+      executions.fetch_add(1);
+      // Hold the flight open until every latecomer has called run().
+      std::unique_lock lock(mu);
+      cv.wait(lock, [&] { return gate_open; });
+      return std::string("resolved");
+    });
+    if (outcome.leader) leaders.fetch_add(1);
+    EXPECT_EQ(outcome.value, "resolved");
+  };
+
+  std::vector<std::jthread> threads;
+  threads.emplace_back(worker);  // one of these becomes the leader
+  for (int i = 0; i < kLatecomers; ++i) threads.emplace_back(worker);
+
+  // Open the gate once all non-leader threads are accounted for: the
+  // coalesced counter is bumped before a latecomer blocks on the slot.
+  while (flight.coalesced() < kLatecomers) std::this_thread::yield();
+  {
+    std::lock_guard lock(mu);
+    gate_open = true;
+    waiting = 0;  // silence unused warning paths
+    (void)waiting;
+  }
+  cv.notify_all();
+  threads.clear();  // join
+
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_EQ(leaders.load(), 1);
+  EXPECT_EQ(flight.coalesced(), static_cast<std::uint64_t>(kLatecomers));
+}
+
+}  // namespace
+}  // namespace fsmon::common

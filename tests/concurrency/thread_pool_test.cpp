@@ -1,0 +1,66 @@
+#include "src/common/thread_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::common {
+namespace {
+
+TEST(ThreadPoolTest, SpawnsAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  ThreadPool four(4);
+  EXPECT_EQ(four.thread_count(), 4u);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  // mu/cv declared before the pool: the pool's destructor joins the
+  // workers before the sync objects they touch are destroyed.
+  std::mutex mu;
+  std::condition_variable cv;
+  int ran = 0;
+  ThreadPool pool(2);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] {
+      std::lock_guard lock(mu);
+      if (++ran == 100) cv.notify_all();
+    });
+  }
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10), [&] { return ran == 100; }));
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { ran.fetch_add(1); });
+  }  // dtor must finish all 50 before joining
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrentlyAcrossWorkers) {
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  ThreadPool pool(2);
+  // Two tasks that each wait for the other: only completes if the pool
+  // really runs them on distinct threads.
+  auto rendezvous = [&] {
+    std::unique_lock lock(mu);
+    ++arrived;
+    cv.notify_all();
+    cv.wait_for(lock, std::chrono::seconds(10), [&] { return arrived == 2; });
+  };
+  pool.submit(rendezvous);
+  pool.submit(rendezvous);
+  std::unique_lock lock(mu);
+  EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(10), [&] { return arrived == 2; }));
+}
+
+}  // namespace
+}  // namespace fsmon::common

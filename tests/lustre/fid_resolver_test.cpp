@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/thread_pool.hpp"
+
 namespace fsmon::lustre {
 namespace {
 
@@ -71,6 +73,37 @@ TEST_F(FidResolverTest, AccumulatesTotalCost) {
   resolver.resolve(created->fid);
   EXPECT_EQ(resolver.total_cost(), std::chrono::microseconds(20));
   EXPECT_EQ(resolver.calls(), 2u);
+}
+
+TEST_F(FidResolverTest, ResolveManyPreservesInputOrderSerially) {
+  auto a = fs.create("/a");
+  auto b = fs.create("/b");
+  auto c = fs.create("/c");
+  fs.unlink("/b");
+  FidResolver resolver(fs, FidResolverOptions{});
+  const std::vector<Fid> fids{a->fid, b->fid, c->fid};
+  auto outcomes = resolver.resolve_many(fids, /*pool=*/nullptr);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].path.value(), "/a");
+  EXPECT_EQ(outcomes[1].path.code(), common::ErrorCode::kNotFound);
+  EXPECT_EQ(outcomes[2].path.value(), "/c");
+  EXPECT_EQ(resolver.calls(), 3u);
+  EXPECT_EQ(resolver.failures(), 1u);
+}
+
+TEST_F(FidResolverTest, ResolveManyPreservesInputOrderOnPool) {
+  std::vector<Fid> fids;
+  for (int i = 0; i < 32; ++i)
+    fids.push_back(fs.create("/f" + std::to_string(i))->fid);
+  FidResolver resolver(fs, FidResolverOptions{});
+  common::ThreadPool pool(4);
+  auto outcomes = resolver.resolve_many(fids, &pool);
+  ASSERT_EQ(outcomes.size(), fids.size());
+  for (std::size_t i = 0; i < fids.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].path.is_ok());
+    EXPECT_EQ(outcomes[i].path.value(), "/f" + std::to_string(i));
+  }
+  EXPECT_EQ(resolver.calls(), fids.size());
 }
 
 }  // namespace

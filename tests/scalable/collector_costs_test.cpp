@@ -67,14 +67,14 @@ TEST(CollectorCostsTest, CacheStatsExposed) {
   fs.create("/a");
   fs.modify("/a", 1);
   collector.drain_once();
-  ASSERT_NE(collector.cache_stats(), nullptr);
+  ASSERT_TRUE(collector.cache_stats().has_value());
   EXPECT_GE(collector.cache_stats()->hits, 1u);  // the MTIME target hit
   EXPECT_EQ(collector.processor_stats().records, 2u);
 
   CollectorOptions uncached;
   uncached.cache_size = 0;
   Collector bare(fs, 0, publisher, uncached, clock);
-  EXPECT_EQ(bare.cache_stats(), nullptr);
+  EXPECT_FALSE(bare.cache_stats().has_value());
 }
 
 }  // namespace

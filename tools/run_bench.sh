@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build and run the Table VIII cache sweep plus the resolver-pool sweep,
+# and check that the machine-readable BENCH_resolution.json landed.
+#
+# The resolver sweep pays the modeled fid2path cost for real (RealClock
+# nanosleeps), so this takes a few seconds of wall time per row.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target bench_table8_cache_sweep
+
+./build/bench/bench_table8_cache_sweep
+
+if [[ ! -s BENCH_resolution.json ]]; then
+  echo "FAIL: bench did not write BENCH_resolution.json" >&2
+  exit 1
+fi
+echo "OK: BENCH_resolution.json written."

@@ -5,16 +5,22 @@
 #
 # --tsan: additionally build a ThreadSanitizer configuration in
 # build-tsan and run the concurrency-heavy suites (message queue and
-# threaded pipeline) under it.
+# threaded pipeline) plus the ctest `concurrency` label (resolver pool,
+# reorder buffer, single-flight, sharded cache) under it.
+#
+# --asan: additionally build an AddressSanitizer configuration in
+# build-asan and run the `concurrency` label under it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tsan=false
+run_asan=false
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=true ;;
-    *) echo "usage: $0 [--tsan]" >&2; exit 2 ;;
+    --asan) run_asan=true ;;
+    *) echo "usage: $0 [--tsan] [--asan]" >&2; exit 2 ;;
   esac
 done
 
@@ -44,11 +50,22 @@ echo "OK: tier-1 tests passed and the metrics snapshot shows published records."
 if $run_tsan; then
   echo "Building ThreadSanitizer configuration (build-tsan)..."
   cmake -B build-tsan -S . -DFSMON_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j "$(nproc)" --target fsmon_tests
+  # Both test targets must build: ctest's discovery includes error out on
+  # a configured-but-unbuilt gtest executable.
+  cmake --build build-tsan -j "$(nproc)" --target fsmon_tests fsmon_concurrency_tests
   tsan_filter="PubSubTest.*:BusTest.*:TopicMatchTest.*:FrameTest.*:TcpTest.*"
   tsan_filter+=":TcpSubscriberTest.*:PipelineTest.*:FaultToleranceTest.*"
   tsan_filter+=":ConsumerOverflowTest.*:TcpBridgeTest.*:CollectorCostsTest.*"
   tsan_filter+=":ProcessorTest.*:SimDriverTest.*"
   ./build-tsan/tests/fsmon_tests --gtest_filter="$tsan_filter"
+  (cd build-tsan && ctest -L concurrency --output-on-failure)
   echo "OK: ThreadSanitizer pass over the concurrency suites is clean."
+fi
+
+if $run_asan; then
+  echo "Building AddressSanitizer configuration (build-asan)..."
+  cmake -B build-asan -S . -DFSMON_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$(nproc)" --target fsmon_tests fsmon_concurrency_tests
+  (cd build-asan && ctest -L concurrency --output-on-failure)
+  echo "OK: AddressSanitizer pass over the concurrency label is clean."
 fi
