@@ -1,0 +1,364 @@
+// Crash-recovery bench: what fault tolerance costs when nothing fails,
+// what a faulted run pays end to end, and how fast the aggregator comes
+// back as the reliable store grows.
+//
+// Three measurements, all wall-clock (RealClock; the WAL writes real
+// files either way):
+//
+//   1. baseline  — the threaded pipeline with fault injection disarmed
+//                  (every fault point costs one relaxed atomic load).
+//   2. faulted   — the same workload under a seeded fault schedule:
+//                  collector/aggregator crashes, a torn WAL write, flaky
+//                  changelog clears, with a babysitter restarting crashed
+//                  stages. Exactly-once delivery is asserted, and the
+//                  recovery counters report the replay/dedup work done.
+//   3. restart   — aggregator crash + restart latency as a function of
+//                  live store size (WAL segment scan, torn-tail check,
+//                  watermark rebuild).
+//
+// Emits BENCH_recovery.json for the driver / regression tracking.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/chaos/fault.hpp"
+#include "src/common/random.hpp"
+#include "src/lustre/filesystem.hpp"
+#include "src/scalable/scalable_monitor.hpp"
+
+namespace fsmon {
+namespace {
+
+using scalable::ScalableMonitor;
+using scalable::ScalableMonitorOptions;
+
+/// Seeded create/rename/unlink/mkdir mix (DNE hashing spreads the
+/// directories over the MDTs) — the chaos harness workload shape.
+class Workload {
+ public:
+  Workload(lustre::LustreFs& fs, std::uint64_t seed) : fs_(fs), rng_(seed) {
+    for (int i = 0; i < 8; ++i) {
+      const std::string dir = "/d" + std::to_string(i);
+      if (fs_.mkdir(dir).is_ok()) dirs_.push_back(dir);
+    }
+  }
+
+  void step() {
+    const double p = rng_.next_double();
+    if (p < 0.6 || live_.empty()) {
+      const std::string path =
+          dirs_[rng_.next_below(dirs_.size())] + "/f" + std::to_string(next_++);
+      if (fs_.create(path).is_ok()) live_.push_back(path);
+    } else if (p < 0.75) {
+      const std::size_t victim = rng_.next_below(live_.size());
+      const std::string to =
+          dirs_[rng_.next_below(dirs_.size())] + "/r" + std::to_string(next_++);
+      if (fs_.rename(live_[victim], to).is_ok()) live_[victim] = to;
+    } else if (p < 0.9) {
+      const std::size_t victim = rng_.next_below(live_.size());
+      if (fs_.unlink(live_[victim]).is_ok()) {
+        live_[victim] = live_.back();
+        live_.pop_back();
+      }
+    } else {
+      fs_.mkdir("/m" + std::to_string(next_++));
+    }
+  }
+
+ private:
+  lustre::LustreFs& fs_;
+  common::Rng rng_;
+  std::vector<std::string> dirs_;
+  std::vector<std::string> live_;
+  int next_ = 0;
+};
+
+void babysit(ScalableMonitor& monitor) {
+  for (std::size_t i = 0; i < monitor.collector_count(); ++i) {
+    if (monitor.collector(i).crashed()) (void)monitor.restart_collector(i);
+  }
+  if (monitor.aggregator().crashed()) (void)monitor.restart_aggregator();
+}
+
+/// Disarm faults and babysit until every changelog is fully acked and
+/// cleared. Returns false on a 30 s timeout (never expected).
+bool settle(ScalableMonitor& monitor, lustre::LustreFs& fs) {
+  chaos::FaultInjector::instance().disarm();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    babysit(monitor);
+    bool cleared = true;
+    for (std::uint32_t i = 0; i < fs.mdt_count(); ++i) {
+      if (fs.mds(i).mdt().changelog().retained() != 0) {
+        cleared = false;
+        break;
+      }
+    }
+    if (cleared) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+chaos::FaultPlan schedule(std::uint64_t seed) {
+  chaos::FaultPlan plan;
+  plan.seed = seed;
+  chaos::FaultRule rule;
+  rule.point = "collector.before_publish";
+  rule.action = chaos::FaultAction::kCrash;
+  rule.after_hits = 2 + seed % 5;
+  rule.probability = 0.5;
+  rule.max_fires = 2;
+  plan.rules.push_back(rule);
+  rule = {};
+  rule.point = "aggregator.before_persist";
+  rule.action = chaos::FaultAction::kCrash;
+  rule.after_hits = 1 + seed % 7;
+  rule.probability = 0.5;
+  rule.max_fires = 2;
+  plan.rules.push_back(rule);
+  rule = {};
+  rule.point = "wal.torn_write";
+  rule.action = chaos::FaultAction::kFail;
+  rule.after_hits = 3 + seed % 11;
+  rule.max_fires = 1;
+  plan.rules.push_back(rule);
+  rule = {};
+  rule.point = "collector.clear";
+  rule.action = chaos::FaultAction::kFail;
+  rule.probability = 0.3;
+  rule.max_fires = 0;
+  plan.rules.push_back(rule);
+  return plan;
+}
+
+struct RunResult {
+  int ops = 0;
+  double wall_ms = 0;
+  double settle_ms = 0;
+  double ops_per_sec = 0;
+  std::uint64_t store_events = 0;
+  std::uint64_t delivered = 0;
+  bool exactly_once = false;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t replayed_records = 0;
+  std::uint64_t events_deduped = 0;
+  std::uint64_t gapped_frames = 0;
+  std::uint64_t clear_failures = 0;
+};
+
+RunResult run_pipeline(const std::filesystem::path& store_dir, int ops, bool faulted,
+                       std::uint64_t seed) {
+  common::RealClock clock;
+  obs::MetricsRegistry registry;
+  lustre::LustreFsOptions fs_options;
+  fs_options.mdt_count = 4;
+  lustre::LustreFs fs(fs_options, clock);
+
+  ScalableMonitorOptions options;
+  eventstore::EventStoreOptions store;
+  store.directory = store_dir;
+  options.aggregator.store = store;
+  options.aggregator.metrics = &registry;
+  options.collector.metrics = &registry;
+  ScalableMonitor monitor(fs, options, clock);
+
+  std::mutex mu;
+  std::set<std::tuple<std::string, std::uint64_t, int>> delivered_keys;
+  std::uint64_t delivered = 0;
+  auto consumer = monitor.make_consumer(
+      "bench", scalable::ConsumerOptions{}, [&](const core::StdEvent& e) {
+        std::lock_guard lock(mu);
+        ++delivered;
+        delivered_keys.emplace(e.source, e.cookie, static_cast<int>(e.kind));
+      });
+  (void)monitor.start();
+  (void)consumer->start();
+
+  if (faulted) chaos::FaultInjector::instance().arm(schedule(seed), &registry);
+
+  RunResult result;
+  result.ops = ops;
+  Workload workload(fs, seed * 1000 + 17);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < ops; ++i) {
+    workload.step();
+    if (i % 4 == 3) {
+      if (faulted) babysit(monitor);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  const auto produced = std::chrono::steady_clock::now();
+  const bool settled = settle(monitor, fs);
+  const auto done = std::chrono::steady_clock::now();
+
+  result.wall_ms = std::chrono::duration<double, std::milli>(done - start).count();
+  result.settle_ms = std::chrono::duration<double, std::milli>(done - produced).count();
+  result.ops_per_sec = ops / (result.wall_ms / 1000.0);
+
+  // Exactly-once check over the store: every changelog record surfaced,
+  // none twice (store events are unique by construction of the set).
+  auto events = monitor.aggregator().events_since(0);
+  bool exactly_once = settled && events.is_ok();
+  if (events.is_ok()) {
+    std::set<std::pair<std::string, std::uint64_t>> pairs;
+    result.store_events = events.value().size();
+    for (const auto& event : events.value()) pairs.emplace(event.source, event.cookie);
+    for (std::uint32_t i = 0; i < fs.mdt_count(); ++i) {
+      const std::string source = "lustre:MDT" + std::to_string(i);
+      const std::uint64_t last = fs.mds(i).mdt().changelog().last_index();
+      for (std::uint64_t cookie = 1; cookie <= last; ++cookie) {
+        if (pairs.find({source, cookie}) == pairs.end()) exactly_once = false;
+      }
+    }
+  }
+  result.exactly_once = exactly_once;
+
+  const auto snapshot = registry.snapshot();
+  result.faults_injected = snapshot.counter_total("chaos.faults_injected");
+  result.replayed_records = snapshot.counter_total("recovery.replayed_records");
+  result.events_deduped = snapshot.counter_total("recovery.events_deduped");
+  result.gapped_frames = snapshot.counter_total("recovery.gapped_frames");
+  result.clear_failures = snapshot.counter_total("collector.clear_failures");
+  {
+    std::lock_guard lock(mu);
+    result.delivered = delivered;
+  }
+
+  chaos::FaultInjector::instance().disarm();
+  consumer->stop();
+  monitor.stop();
+  return result;
+}
+
+struct RestartResult {
+  std::uint64_t store_events = 0;
+  double restart_ms = 0;
+};
+
+/// Populate a store with ~`ops` records, then measure a full aggregator
+/// crash + restart (WAL recovery, watermark rebuild, thread start).
+RestartResult run_restart(const std::filesystem::path& store_dir, int ops) {
+  common::RealClock clock;
+  lustre::LustreFsOptions fs_options;
+  fs_options.mdt_count = 4;
+  lustre::LustreFs fs(fs_options, clock);
+
+  ScalableMonitorOptions options;
+  eventstore::EventStoreOptions store;
+  store.directory = store_dir;
+  options.aggregator.store = store;
+  ScalableMonitor monitor(fs, options, clock);
+  (void)monitor.start();
+
+  Workload workload(fs, 42);
+  for (int i = 0; i < ops; ++i) workload.step();
+  settle(monitor, fs);
+
+  RestartResult result;
+  result.store_events = monitor.aggregator().store()->live_records();
+  monitor.aggregator().crash();
+  const auto start = std::chrono::steady_clock::now();
+  (void)monitor.restart_aggregator();
+  result.restart_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  monitor.stop();
+  return result;
+}
+
+}  // namespace
+}  // namespace fsmon
+
+int main() {
+  using namespace fsmon;
+
+  const auto root = std::filesystem::temp_directory_path() / "fsmon_bench_recovery";
+  std::filesystem::remove_all(root);
+
+  constexpr int kOps = 2000;
+  bench::banner("recovery bench: baseline vs faulted pipeline");
+  const RunResult baseline = run_pipeline(root / "baseline", kOps, false, 3);
+  const RunResult faulted = run_pipeline(root / "faulted", kOps, true, 3);
+  const double overhead_pct =
+      100.0 * (faulted.wall_ms - baseline.wall_ms) / baseline.wall_ms;
+
+  bench::Table table({"run", "ops", "wall ms", "settle ms", "ops/s", "store events",
+                      "delivered", "exactly-once", "faults", "replayed", "deduped",
+                      "gapped", "clear fails"});
+  for (const auto* row : {&baseline, &faulted}) {
+    table.add_row({row == &baseline ? "baseline" : "faulted", std::to_string(row->ops),
+                   bench::fmt(row->wall_ms, 1), bench::fmt(row->settle_ms, 1),
+                   bench::fmt(row->ops_per_sec, 0), std::to_string(row->store_events),
+                   std::to_string(row->delivered), row->exactly_once ? "yes" : "NO",
+                   std::to_string(row->faults_injected),
+                   std::to_string(row->replayed_records),
+                   std::to_string(row->events_deduped),
+                   std::to_string(row->gapped_frames),
+                   std::to_string(row->clear_failures)});
+  }
+  table.print();
+  std::printf("faulted-run wall overhead vs baseline: %+.1f%%\n", overhead_pct);
+
+  bench::banner("aggregator restart latency vs store size");
+  std::vector<RestartResult> restarts;
+  bench::Table restart_table({"store events", "restart ms"});
+  for (int ops : {500, 2000, 8000}) {
+    restarts.push_back(run_restart(root / ("restart" + std::to_string(ops)), ops));
+    restart_table.add_row({std::to_string(restarts.back().store_events),
+                           bench::fmt(restarts.back().restart_ms, 2)});
+  }
+  restart_table.print();
+
+  if (std::FILE* out = std::fopen("BENCH_recovery.json", "w")) {
+    auto emit_run = [&](const char* name, const RunResult& r, const char* tail) {
+      std::fprintf(out,
+                   "  \"%s\": {\"ops\": %d, \"wall_ms\": %.1f, \"settle_ms\": %.1f, "
+                   "\"ops_per_sec\": %.0f, \"store_events\": %llu, \"delivered\": %llu, "
+                   "\"exactly_once\": %s, \"faults_injected\": %llu, "
+                   "\"replayed_records\": %llu, \"events_deduped\": %llu, "
+                   "\"gapped_frames\": %llu, \"clear_failures\": %llu}%s\n",
+                   name, r.ops, r.wall_ms, r.settle_ms, r.ops_per_sec,
+                   static_cast<unsigned long long>(r.store_events),
+                   static_cast<unsigned long long>(r.delivered),
+                   r.exactly_once ? "true" : "false",
+                   static_cast<unsigned long long>(r.faults_injected),
+                   static_cast<unsigned long long>(r.replayed_records),
+                   static_cast<unsigned long long>(r.events_deduped),
+                   static_cast<unsigned long long>(r.gapped_frames),
+                   static_cast<unsigned long long>(r.clear_failures), tail);
+    };
+    std::fprintf(out, "{\n");
+    emit_run("baseline", baseline, ",");
+    emit_run("faulted", faulted, ",");
+    std::fprintf(out, "  \"faulted_overhead_pct\": %.1f,\n", overhead_pct);
+    std::fprintf(out, "  \"restart\": [\n");
+    for (std::size_t i = 0; i < restarts.size(); ++i) {
+      std::fprintf(out, "    {\"store_events\": %llu, \"restart_ms\": %.2f}%s\n",
+                   static_cast<unsigned long long>(restarts[i].store_events),
+                   restarts[i].restart_ms, i + 1 < restarts.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("results: BENCH_recovery.json\n");
+  }
+
+  std::filesystem::remove_all(root);
+
+  if (!baseline.exactly_once || !faulted.exactly_once) {
+    std::printf("FAIL: a run lost or duplicated events\n");
+    return 1;
+  }
+  if (faulted.faults_injected == 0) {
+    std::printf("FAIL: the fault schedule never fired\n");
+    return 1;
+  }
+  return 0;
+}

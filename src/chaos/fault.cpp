@@ -1,0 +1,141 @@
+#include "src/chaos/fault.hpp"
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/random.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace fsmon::chaos {
+
+std::string_view to_string(FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone:
+      return "none";
+    case FaultAction::kCrash:
+      return "crash";
+    case FaultAction::kDelay:
+      return "delay";
+    case FaultAction::kFail:
+      return "fail";
+    case FaultAction::kDrop:
+      return "drop";
+  }
+  return "unknown";
+}
+
+namespace {
+// The armed flag lives outside Impl so `armed()` never touches the mutex.
+std::atomic<bool> g_armed{false};
+}  // namespace
+
+struct FaultInjector::Impl {
+  struct PointState {
+    common::Rng rng{0};
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+    // Per-rule fire counts, indexed parallel to plan.rules (only entries for
+    // rules naming this point are ever consulted).
+    std::vector<std::uint64_t> rule_fires;
+  };
+
+  mutable std::mutex mu;
+  FaultPlan plan;
+  obs::MetricsRegistry* metrics = nullptr;
+  std::unordered_map<std::string, PointState> points;
+
+  PointState& point_state(std::string_view point) {
+    auto it = points.find(std::string(point));
+    if (it == points.end()) {
+      PointState state;
+      state.rng = common::Rng(plan.seed ^ std::hash<std::string_view>{}(point));
+      state.rule_fires.assign(plan.rules.size(), 0);
+      it = points.emplace(std::string(point), std::move(state)).first;
+    }
+    return it->second;
+  }
+};
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::Impl& FaultInjector::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+bool FaultInjector::armed() { return g_armed.load(std::memory_order_relaxed); }
+
+void FaultInjector::arm(FaultPlan plan, obs::MetricsRegistry* metrics) {
+  Impl& state = impl();
+  std::lock_guard lock(state.mu);
+  state.plan = std::move(plan);
+  state.metrics = metrics;
+  state.points.clear();
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  Impl& state = impl();
+  std::lock_guard lock(state.mu);
+  g_armed.store(false, std::memory_order_relaxed);
+  state.metrics = nullptr;
+}
+
+FaultOutcome FaultInjector::evaluate(std::string_view point) {
+  Impl& state = impl();
+  std::lock_guard lock(state.mu);
+  if (!g_armed.load(std::memory_order_relaxed)) return {};
+
+  Impl::PointState& ps = state.point_state(point);
+  ps.hits += 1;
+  if (state.metrics != nullptr) {
+    state.metrics->counter("chaos.fault_evaluations", {{"point", std::string(point)}},
+                           "Fault-point evaluations while armed").inc();
+  }
+
+  for (std::size_t i = 0; i < state.plan.rules.size(); ++i) {
+    const FaultRule& rule = state.plan.rules[i];
+    if (rule.point != point) continue;
+    if (ps.hits <= rule.after_hits) continue;
+    if (rule.max_fires != 0 && ps.rule_fires[i] >= rule.max_fires) continue;
+    if (rule.probability < 1.0 && ps.rng.next_double() >= rule.probability) continue;
+
+    ps.rule_fires[i] += 1;
+    ps.fires += 1;
+    if (state.metrics != nullptr) {
+      state.metrics->counter("chaos.faults_injected",
+                             {{"point", std::string(point)},
+                              {"action", std::string(to_string(rule.action))}},
+                             "Faults actually injected").inc();
+    }
+    FaultOutcome outcome;
+    outcome.action = rule.action;
+    outcome.delay = rule.delay;
+    outcome.arg = rule.arg;
+    return outcome;
+  }
+  return {};
+}
+
+std::uint64_t FaultInjector::hits(std::string_view point) const {
+  Impl& state = impl();
+  std::lock_guard lock(state.mu);
+  auto it = state.points.find(std::string(point));
+  return it == state.points.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::fires(std::string_view point) const {
+  Impl& state = impl();
+  std::lock_guard lock(state.mu);
+  auto it = state.points.find(std::string(point));
+  return it == state.points.end() ? 0 : it->second.fires;
+}
+
+}  // namespace fsmon::chaos

@@ -108,6 +108,17 @@ class BoundedQueue {
     not_full_.notify_all();
   }
 
+  /// Reopen a closed queue, discarding anything still buffered — the
+  /// crash()/restart() harness primitive. A restarted stage must not see
+  /// items its pre-crash incarnation never drained (a real restart loses
+  /// its process memory), so the backlog is dropped, not replayed here;
+  /// recovery paths (changelog rewind, replay_historic) repopulate it.
+  void reopen() {
+    std::lock_guard lock(mu_);
+    items_.clear();
+    closed_ = false;
+  }
+
   bool closed() const {
     std::lock_guard lock(mu_);
     return closed_;

@@ -195,7 +195,9 @@ Result<std::pair<StdEvent, std::size_t>> deserialize_event_impl(
 // (id u64 | kind u8 | is_dir u8 | cookie u64 | timestamp u64 | strings).
 namespace {
 constexpr std::size_t kEventIdOffset = 0;
+constexpr std::size_t kEventCookieOffset = 10;
 constexpr std::size_t kEventTimestampOffset = 18;
+constexpr std::size_t kEventStringsOffset = 26;
 constexpr std::size_t kEventMinBytes = 26 + 3 * 8;  // header + three empty strings
 constexpr std::size_t kBatchHeaderBytes = 8;        // magic + count
 constexpr std::size_t kBatchTrailerBytes = 4;       // crc
@@ -290,6 +292,51 @@ Result<common::TimePoint> peek_event_timestamp(std::span<const std::byte> event_
   std::size_t offset = kEventTimestampOffset;
   get_u64(event_bytes, offset, ts);
   return common::TimePoint{common::Duration{static_cast<std::int64_t>(ts)}};
+}
+
+Result<std::uint64_t> peek_event_cookie(std::span<const std::byte> event_bytes) {
+  if (event_bytes.size() < kEventCookieOffset + 8)
+    return Status(ErrorCode::kCorrupt, "event: too short for cookie");
+  std::uint64_t cookie = 0;
+  std::size_t offset = kEventCookieOffset;
+  get_u64(event_bytes, offset, cookie);
+  return cookie;
+}
+
+Result<std::string_view> peek_event_source(std::span<const std::byte> event_bytes) {
+  // Skip the fixed header, then watch_root and path (u64 length prefixes).
+  std::size_t offset = kEventStringsOffset;
+  for (int i = 0; i < 2; ++i) {
+    std::uint64_t len = 0;
+    if (!get_u64(event_bytes, offset, len) || len > (1ull << 30) ||
+        event_bytes.size() - offset < len)
+      return Status(ErrorCode::kCorrupt, "event: truncated strings");
+    offset += len;
+  }
+  std::uint64_t len = 0;
+  if (!get_u64(event_bytes, offset, len) || len > (1ull << 30) ||
+      event_bytes.size() - offset < len)
+    return Status(ErrorCode::kCorrupt, "event: truncated source");
+  return std::string_view(reinterpret_cast<const char*>(event_bytes.data() + offset),
+                          len);
+}
+
+std::vector<std::byte> rebuild_batch(
+    std::span<const std::byte> frame,
+    const std::vector<std::pair<std::size_t, std::size_t>>& kept) {
+  std::vector<std::byte> out;
+  std::size_t total = kBatchHeaderBytes + kBatchTrailerBytes;
+  for (const auto& [offset, len] : kept) total += 4 + len;
+  out.reserve(total);
+  put_u32(out, kBatchMagic);
+  put_u32(out, static_cast<std::uint32_t>(kept.size()));
+  for (const auto& [offset, len] : kept) {
+    put_u32(out, static_cast<std::uint32_t>(len));
+    const std::byte* src = frame.data() + offset;
+    out.insert(out.end(), src, src + len);
+  }
+  put_u32(out, common::crc32(std::span<const std::byte>(out.data(), out.size())));
+  return out;
 }
 
 }  // namespace fsmon::core

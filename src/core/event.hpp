@@ -134,4 +134,27 @@ common::Result<std::size_t> patch_batch_ids(std::span<std::byte> frame,
 common::Result<common::TimePoint> peek_event_timestamp(
     std::span<const std::byte> event_bytes);
 
+/// Read the rename/changelog cookie of a serialized event without decoding
+/// it (fixed offset 10: id u64 + kind u8 + is_dir u8 precede it). The Lustre
+/// processor stores the originating changelog record index here, so
+/// (source, cookie) identifies a record across replays — the key the
+/// aggregator dedupes on.
+common::Result<std::uint64_t> peek_event_cookie(
+    std::span<const std::byte> event_bytes);
+
+/// Read the source string ("lustre:MDT0", ...) of a serialized event without
+/// materializing a StdEvent. Walks the two length-prefixed strings that
+/// precede it; still far cheaper than a full decode.
+common::Result<std::string_view> peek_event_source(
+    std::span<const std::byte> event_bytes);
+
+/// Re-frame a subset of an already-encoded batch: `kept` lists (offset,
+/// length) event byte ranges within `frame` (as produced by view_batch),
+/// and the result is a fresh valid batch frame containing exactly those
+/// events, bytes copied verbatim. Used by the aggregator to trim replayed
+/// duplicates out of a frame without re-serializing the survivors.
+std::vector<std::byte> rebuild_batch(
+    std::span<const std::byte> frame,
+    const std::vector<std::pair<std::size_t, std::size_t>>& kept);
+
 }  // namespace fsmon::core

@@ -74,11 +74,23 @@ void EventStore::recover() {
   }
   std::sort(paths.begin(), paths.end());
   for (const auto& path : paths) {
-    auto scanned = WalSegment::scan(path);
+    std::uint64_t intact_bytes = 0;
+    auto scanned = WalSegment::scan(path, &intact_bytes);
     if (!scanned) {
       FSMON_WARN("eventstore", "skipping unreadable segment ", path.string(), ": ",
                  scanned.status().to_string());
       continue;
+    }
+    // Truncate a torn tail now: recovered segments are normally sealed,
+    // but if this path is ever reopened for append (a crash straight
+    // after a roll), appending after torn garbage would corrupt every
+    // later record.
+    std::error_code ec;
+    const auto on_disk = std::filesystem::file_size(path, ec);
+    if (!ec && on_disk > intact_bytes) {
+      std::filesystem::resize_file(path, intact_bytes, ec);
+      FSMON_WARN("eventstore", "truncated torn tail of ", path.string(), ": ",
+                 on_disk - intact_bytes, " bytes");
     }
     Segment segment;
     segment.path = path;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "src/chaos/fault.hpp"
 #include "src/common/crc32.hpp"
 
 namespace fsmon::eventstore {
@@ -89,14 +90,31 @@ Status WalSegment::append_batch(common::EventId first_id,
   for (const auto& payload : payloads) total += 16 + payload.size();
   std::vector<std::byte> buffer;
   buffer.reserve(total);
+  std::size_t last_record_start = 0;
   for (std::size_t i = 0; i < payloads.size(); ++i) {
     const std::size_t record_start = buffer.size();
+    last_record_start = record_start;
     put_u32(buffer, static_cast<std::uint32_t>(payloads[i].size()));
     put_u64(buffer, first_id + i);
     buffer.insert(buffer.end(), payloads[i].begin(), payloads[i].end());
     const std::uint32_t crc =
         common::crc32(std::span(buffer.data() + record_start, buffer.size() - record_start));
     put_u32(buffer, crc);
+  }
+  // Chaos: a torn write persists only a prefix of the batch — the tail
+  // record is cut mid-frame, exactly what a crash between write() and
+  // the disk finishing leaves behind. scan() must recover the intact
+  // prefix and recovery must truncate the torn bytes away.
+  if (auto outcome = chaos::fault("wal.torn_write");
+      outcome && outcome.action == chaos::FaultAction::kFail) {
+    std::size_t cut = last_record_start + (buffer.size() - last_record_start) / 2;
+    if (outcome.arg > 0 && outcome.arg < buffer.size())
+      cut = buffer.size() - static_cast<std::size_t>(outcome.arg);
+    out_.write(reinterpret_cast<const char*>(buffer.data()),
+               static_cast<std::streamsize>(cut));
+    out_.flush();
+    bytes_written_ += cut;
+    return Status(ErrorCode::kUnavailable, "injected torn write");
   }
   out_.write(reinterpret_cast<const char*>(buffer.data()),
              static_cast<std::streamsize>(buffer.size()));
@@ -122,7 +140,8 @@ Status WalSegment::flush() {
   return Status::ok();
 }
 
-Result<std::vector<WalRecord>> WalSegment::scan(const std::filesystem::path& path) {
+Result<std::vector<WalRecord>> WalSegment::scan(const std::filesystem::path& path,
+                                                std::uint64_t* intact_bytes) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status(ErrorCode::kNotFound, path.string());
   std::vector<std::byte> data;
@@ -157,6 +176,7 @@ Result<std::vector<WalRecord>> WalSegment::scan(const std::filesystem::path& pat
     records.push_back(std::move(record));
     offset += total;
   }
+  if (intact_bytes != nullptr) *intact_bytes = offset;
   return records;
 }
 

@@ -68,7 +68,11 @@ class WalSegment {
   /// Read all intact records from a segment file. A torn final record is
   /// ignored (crash recovery); corruption before the tail yields
   /// kCorrupt. The file need not be open for writing by anyone.
-  static common::Result<std::vector<WalRecord>> scan(const std::filesystem::path& path);
+  /// `intact_bytes` (optional) receives the byte length of the intact
+  /// record prefix — recovery truncates the file to it so a reopened
+  /// segment never appends after torn garbage.
+  static common::Result<std::vector<WalRecord>> scan(const std::filesystem::path& path,
+                                                     std::uint64_t* intact_bytes = nullptr);
 
  private:
   std::filesystem::path path_;

@@ -34,15 +34,24 @@ Status Mds::deregister_changelog_user(const std::string& user_id) {
   return Status::ok();
 }
 
-Result<std::vector<ChangelogRecord>> Mds::changelog_read(const std::string& user_id,
-                                                         std::size_t max_records) {
+Result<std::vector<ChangelogRecord>> Mds::changelog_read(
+    const std::string& user_id, std::size_t max_records,
+    std::optional<std::uint64_t> after_index) {
   auto it = users_.find(user_id);
   if (it == users_.end())
     return Status(ErrorCode::kNotFound, "unregistered changelog user " + user_id);
-  auto records = mdt_.changelog().read(it->second, max_records);
+  auto records =
+      mdt_.changelog().read(after_index.value_or(it->second), max_records);
   if (reads_counter_ != nullptr) reads_counter_->inc();
   if (records_read_counter_ != nullptr) records_read_counter_->inc(records.size());
   return records;
+}
+
+Result<std::uint64_t> Mds::cleared_index(const std::string& user_id) const {
+  auto it = users_.find(user_id);
+  if (it == users_.end())
+    return Status(ErrorCode::kNotFound, "unregistered changelog user " + user_id);
+  return it->second;
 }
 
 Status Mds::changelog_clear(const std::string& user_id, std::uint64_t index) {

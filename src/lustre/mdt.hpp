@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,14 +55,23 @@ class Mds {
   common::Status deregister_changelog_user(const std::string& user_id);
 
   /// Read up to `max_records` records newer than the user's cleared index.
-  common::Result<std::vector<ChangelogRecord>> changelog_read(const std::string& user_id,
-                                                              std::size_t max_records);
+  /// With `after_index` set, read records newer than that index instead —
+  /// the read-ahead cursor a collector keeps while clearing lags behind
+  /// at the acknowledged (persisted) watermark.
+  common::Result<std::vector<ChangelogRecord>> changelog_read(
+      const std::string& user_id, std::size_t max_records,
+      std::optional<std::uint64_t> after_index = std::nullopt);
 
   /// Acknowledge records up to `index` for this user. The log purges up
   /// to the minimum cleared index across all registered users.
   common::Status changelog_clear(const std::string& user_id, std::uint64_t index);
 
   std::size_t changelog_user_count() const { return users_.size(); }
+
+  /// The index this user has acknowledged via changelog_clear (0 = none
+  /// beyond registration). Restarting collectors rewind their read cursor
+  /// here: everything past it is unacknowledged and must be re-read.
+  common::Result<std::uint64_t> cleared_index(const std::string& user_id) const;
 
   /// Register this MDS's changelog-protocol metrics (reads, records read,
   /// records acknowledged) plus the underlying changelog's, labelled

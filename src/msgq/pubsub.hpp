@@ -76,6 +76,10 @@ class Subscriber : public std::enable_shared_from_this<Subscriber> {
   std::vector<Message> recv_batch(std::size_t max_items) { return inbox_.pop_batch(max_items); }
 
   void close() { inbox_.close(); }
+  /// Reopen after close(), dropping any undrained backlog. Keeps the
+  /// publishers' weak_ptr connections intact, so a crashed-and-restarted
+  /// stage resumes receiving without rewiring the bus.
+  void reopen() { inbox_.reopen(); }
   bool closed() const { return inbox_.closed(); }
 
   std::size_t pending() const { return inbox_.size(); }

@@ -1,5 +1,6 @@
 #include "src/msgq/tcp.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include <arpa/inet.h>
@@ -20,6 +21,26 @@ namespace {
 
 Status errno_status(const std::string& what) {
   return Status(ErrorCode::kUnavailable, what + ": " + std::strerror(errno));
+}
+
+/// Dial 127.0.0.1-style `host`:`port`; returns the connected fd.
+common::Result<int> open_socket(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return errno_status("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status(ErrorCode::kInvalid, "bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return errno_status("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
 }
 
 bool write_all(int fd, const std::byte* data, std::size_t size) {
@@ -207,12 +228,20 @@ void TcpPublisher::control_loop(std::stop_token stop,
     if (!message) break;  // closed or corrupt
     const Message& control = message.value();
     if (control.topic.empty() || control.topic[0] != kControlPrefix) continue;
+    const bool is_sub = control.topic == std::string(1, kControlPrefix) + "sub";
+    const bool is_unsub = control.topic == std::string(1, kControlPrefix) + "unsub";
+    if (!is_sub && !is_unsub) {
+      // Application-level control frame (e.g. a replay request) — hand it
+      // to the installed handler with the connection for direct replies.
+      if (control_handler_) control_handler_(control, connection);
+      continue;
+    }
     std::lock_guard lock(mu_);
     if (index >= remotes_.size() || remotes_[index] == nullptr) break;
     auto& filters = remotes_[index]->filters;
-    if (control.topic == std::string(1, kControlPrefix) + "sub") {
+    if (is_sub) {
       filters.push_back(control.payload);
-    } else if (control.topic == std::string(1, kControlPrefix) + "unsub") {
+    } else {
       std::erase(filters, control.payload);
     }
   }
@@ -253,33 +282,31 @@ TcpSubscriber::~TcpSubscriber() { disconnect(); }
 void TcpSubscriber::attach_metrics(obs::MetricsRegistry& registry,
                                    const obs::Labels& labels) {
   metrics_ = TcpMetrics::create(registry, labels);
+  reconnects_counter_ =
+      &registry.counter("recovery.tcp_reconnects", labels,
+                        "Successful automatic TCP re-dials after a lost link", "reconnects");
+  std::lock_guard lock(mu_);
   if (connection_ != nullptr) connection_->set_metrics(&metrics_);
 }
 
 Status TcpSubscriber::connect(const std::string& host, std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return errno_status("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status(ErrorCode::kInvalid, "bad host address: " + host);
+  auto fd = open_socket(host, port);
+  if (!fd) return fd.status();
+  host_ = host;
+  port_ = port;
+  disconnecting_.store(false);
+  {
+    std::lock_guard lock(mu_);
+    connection_ = std::make_shared<TcpConnection>(fd.value());
+    if (metrics_.bytes_sent != nullptr) connection_->set_metrics(&metrics_);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return errno_status("connect");
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  connection_ = std::make_shared<TcpConnection>(fd);
-  if (metrics_.bytes_sent != nullptr) connection_->set_metrics(&metrics_);
   reader_ = std::jthread([this](std::stop_token stop) { reader_loop(stop); });
   return Status::ok();
 }
 
 void TcpSubscriber::disconnect() {
-  if (connection_ != nullptr) connection_->close();
+  disconnecting_.store(true);
+  if (auto connection = current_connection()) connection->close();
   if (reader_.joinable()) {
     reader_.request_stop();
     reader_.join();
@@ -288,24 +315,102 @@ void TcpSubscriber::disconnect() {
 }
 
 Status TcpSubscriber::subscribe(const std::string& prefix) {
-  if (connection_ == nullptr) return Status(ErrorCode::kUnavailable, "not connected");
-  return connection_->send(Message{std::string(1, kControlPrefix) + "sub", prefix});
+  std::shared_ptr<TcpConnection> connection;
+  {
+    std::lock_guard lock(mu_);
+    connection = connection_;
+    subscriptions_.push_back(prefix);
+  }
+  if (connection == nullptr) return Status(ErrorCode::kUnavailable, "not connected");
+  return connection->send(Message{std::string(1, kControlPrefix) + "sub", prefix});
 }
 
 Status TcpSubscriber::unsubscribe(const std::string& prefix) {
-  if (connection_ == nullptr) return Status(ErrorCode::kUnavailable, "not connected");
-  return connection_->send(Message{std::string(1, kControlPrefix) + "unsub", prefix});
+  std::shared_ptr<TcpConnection> connection;
+  {
+    std::lock_guard lock(mu_);
+    connection = connection_;
+    std::erase(subscriptions_, prefix);
+  }
+  if (connection == nullptr) return Status(ErrorCode::kUnavailable, "not connected");
+  return connection->send(Message{std::string(1, kControlPrefix) + "unsub", prefix});
+}
+
+Status TcpSubscriber::send_control(const Message& message) {
+  if (message.topic.empty() || message.topic[0] != kControlPrefix)
+    return Status(ErrorCode::kInvalid, "control topic must start with \\x01");
+  auto connection = current_connection();
+  if (connection == nullptr) return Status(ErrorCode::kUnavailable, "not connected");
+  return connection->send(message);
 }
 
 void TcpSubscriber::reader_loop(std::stop_token stop) {
   while (!stop.stop_requested()) {
-    auto message = connection_->recv();
-    if (!message) break;
+    auto connection = current_connection();
+    if (connection == nullptr) break;
+    auto message = connection->recv();
+    if (!message) {
+      if (!options_.auto_reconnect || disconnecting_.load() || stop.stop_requested()) break;
+      if (!run_reconnect(stop)) break;
+      continue;
+    }
     if (!message.value().topic.empty() && message.value().topic[0] == kControlPrefix)
       continue;  // control echoes are not user data
     inbox_.push(std::move(message).take());
   }
   inbox_.close();
+}
+
+bool TcpSubscriber::run_reconnect(const std::stop_token& stop) {
+  common::Duration backoff = options_.backoff_initial;
+  std::size_t attempts = 0;
+  while (!stop.stop_requested() && !disconnecting_.load()) {
+    if (options_.max_attempts != 0 && attempts >= options_.max_attempts) {
+      FSMON_WARN("tcp-subscriber", "giving up reconnect to ", host_, ":", port_, " after ",
+                 attempts, " attempts");
+      return false;
+    }
+    ++attempts;
+    // Deterministic jitter (seeded Rng) keeps chaos runs replayable while
+    // still de-synchronizing a fleet of subscribers re-dialing at once.
+    const double factor =
+        1.0 + options_.backoff_jitter * (backoff_rng_.next_double() * 2.0 - 1.0);
+    auto remaining = std::chrono::duration_cast<common::Duration>(
+        std::chrono::duration<double, std::nano>(
+            static_cast<double>(backoff.count()) * factor));
+    // Sleep in slices so disconnect()/stop can interrupt a long backoff.
+    constexpr auto kSlice = std::chrono::milliseconds(1);
+    while (remaining > common::Duration::zero() && !stop.stop_requested() &&
+           !disconnecting_.load()) {
+      const auto nap = remaining < std::chrono::duration_cast<common::Duration>(kSlice)
+                           ? remaining
+                           : std::chrono::duration_cast<common::Duration>(kSlice);
+      std::this_thread::sleep_for(nap);
+      remaining -= nap;
+    }
+    if (stop.stop_requested() || disconnecting_.load()) return false;
+    auto fd = open_socket(host_, port_);
+    if (!fd) {
+      backoff = std::min(backoff * 2, options_.backoff_max);
+      continue;
+    }
+    auto fresh = std::make_shared<TcpConnection>(fd.value());
+    if (metrics_.bytes_sent != nullptr) fresh->set_metrics(&metrics_);
+    std::vector<std::string> filters;
+    {
+      std::lock_guard lock(mu_);
+      connection_ = fresh;
+      filters = subscriptions_;
+    }
+    for (const auto& prefix : filters) {
+      (void)fresh->send(Message{std::string(1, kControlPrefix) + "sub", prefix});
+    }
+    reconnects_.fetch_add(1);
+    if (reconnects_counter_ != nullptr) reconnects_counter_->inc();
+    if (reconnect_callback_) reconnect_callback_();
+    return true;
+  }
+  return false;
 }
 
 }  // namespace fsmon::msgq

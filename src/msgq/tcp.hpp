@@ -16,7 +16,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -24,7 +26,9 @@
 #include <vector>
 
 #include "src/common/bounded_queue.hpp"
+#include "src/common/random.hpp"
 #include "src/common/status.hpp"
+#include "src/common/types.hpp"
 #include "src/msgq/message.hpp"
 #include "src/obs/metrics.hpp"
 
@@ -106,6 +110,14 @@ class TcpPublisher {
     return publish(Message{std::move(topic), std::move(payload)});
   }
 
+  /// Application-level control frames: any control topic other than
+  /// sub/unsub is handed here (e.g. "\x01replay"), together with the
+  /// originating connection so the handler can reply point-to-point.
+  /// Set before start(); runs on that connection's reader thread.
+  using ControlHandler =
+      std::function<void(const Message&, const std::shared_ptr<TcpConnection>&)>;
+  void set_control_handler(ControlHandler handler) { control_handler_ = std::move(handler); }
+
  private:
   struct Remote {
     std::shared_ptr<TcpConnection> connection;
@@ -124,6 +136,28 @@ class TcpPublisher {
   std::vector<std::unique_ptr<Remote>> remotes_;
   std::atomic<bool> running_{false};
   TcpMetrics metrics_;  ///< Zeroed when uninstrumented.
+  ControlHandler control_handler_;
+};
+
+/// Connection-lifetime knobs for TcpSubscriber. With auto_reconnect the
+/// subscriber survives publisher restarts: when the socket dies it
+/// re-dials with exponential backoff plus deterministic jitter (seeded,
+/// so chaos runs replay identically), re-registers its subscription
+/// filters, and resumes filling the same inbox. Frames the publisher
+/// sent while the link was down are gone — recovering them is the
+/// application's job (RemoteConsumer requests a replay).
+struct TcpSubscriberOptions {
+  std::size_t high_water_mark = 1 << 16;
+  common::OverflowPolicy overflow_policy = common::OverflowPolicy::kBlock;
+  bool auto_reconnect = false;
+  common::Duration backoff_initial = std::chrono::milliseconds(10);
+  common::Duration backoff_max = std::chrono::seconds(1);
+  /// Each wait is scaled by a factor in [1-jitter, 1+jitter].
+  double backoff_jitter = 0.25;
+  std::uint64_t reconnect_seed = 1;
+  /// Consecutive failed dials before giving up; 0 = retry forever
+  /// (until disconnect()).
+  std::size_t max_attempts = 0;
 };
 
 /// Subscribing endpoint: connects to a TcpPublisher and buffers incoming
@@ -132,7 +166,11 @@ class TcpSubscriber {
  public:
   explicit TcpSubscriber(std::size_t high_water_mark = 1 << 16,
                          common::OverflowPolicy policy = common::OverflowPolicy::kBlock)
-      : inbox_(high_water_mark, policy) {}
+      : TcpSubscriber(TcpSubscriberOptions{high_water_mark, policy}) {}
+  explicit TcpSubscriber(TcpSubscriberOptions options)
+      : options_(options),
+        inbox_(options.high_water_mark, options.overflow_policy),
+        backoff_rng_(options.reconnect_seed) {}
   ~TcpSubscriber();
 
   TcpSubscriber(const TcpSubscriber&) = delete;
@@ -145,21 +183,55 @@ class TcpSubscriber {
   /// Effective for the current connection and any later connect().
   void attach_metrics(obs::MetricsRegistry& registry, const obs::Labels& labels = {});
 
+  /// The prefix is remembered so auto-reconnect can re-register it.
   common::Status subscribe(const std::string& prefix);
   common::Status unsubscribe(const std::string& prefix);
+
+  /// Send an application control frame (topic must start with
+  /// kControlPrefix) to the publisher, e.g. a replay request.
+  common::Status send_control(const Message& message);
+
+  /// Invoked on the reader thread after every successful reconnect (the
+  /// subscription filters are already re-registered). Set before
+  /// connect().
+  void set_reconnect_callback(std::function<void()> callback) {
+    reconnect_callback_ = std::move(callback);
+  }
 
   std::optional<Message> recv() { return inbox_.pop(); }
   std::optional<Message> try_recv() { return inbox_.try_pop(); }
   std::size_t pending() const { return inbox_.size(); }
-  bool connected() const { return connection_ != nullptr && !connection_->closed(); }
+  bool connected() const {
+    std::lock_guard lock(mu_);
+    return connection_ != nullptr && !connection_->closed();
+  }
+  /// Successful automatic reconnects since connect().
+  std::uint64_t reconnects() const { return reconnects_.load(); }
 
  private:
   void reader_loop(std::stop_token stop);
+  /// Backoff-dial until a new connection is live (filters re-sent) or
+  /// the subscriber is told to stop. Returns false to end the reader.
+  bool run_reconnect(const std::stop_token& stop);
+  std::shared_ptr<TcpConnection> current_connection() const {
+    std::lock_guard lock(mu_);
+    return connection_;
+  }
 
+  TcpSubscriberOptions options_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  mutable std::mutex mu_;  ///< Guards connection_ and subscriptions_.
   std::shared_ptr<TcpConnection> connection_;
+  std::vector<std::string> subscriptions_;
   std::jthread reader_;
   common::BoundedQueue<Message> inbox_;
+  std::atomic<bool> disconnecting_{false};
+  std::atomic<std::uint64_t> reconnects_{0};
+  common::Rng backoff_rng_;  ///< Only touched by the reader thread.
+  std::function<void()> reconnect_callback_;
   TcpMetrics metrics_;  ///< Zeroed when uninstrumented.
+  obs::Counter* reconnects_counter_ = nullptr;
 };
 
 }  // namespace fsmon::msgq

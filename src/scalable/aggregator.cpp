@@ -1,5 +1,8 @@
 #include "src/scalable/aggregator.hpp"
 
+#include <algorithm>
+
+#include "src/chaos/fault.hpp"
 #include "src/common/logging.hpp"
 
 namespace fsmon::scalable {
@@ -23,6 +26,16 @@ Aggregator::Aggregator(msgq::Bus& bus, std::string name, AggregatorOptions optio
     if (store_options.metrics == nullptr) store_options.metrics = options_.metrics;
     store_ = std::make_unique<eventstore::EventStore>(store_options);
     next_id_.store(store_->last_id() + 1);
+    rebuild_accepted_from_store();
+  }
+  if (options_.metrics != nullptr) {
+    deduped_counter_ = &options_.metrics->counter(
+        "recovery.events_deduped", {},
+        "Replayed duplicate events trimmed by the per-source watermark", "events");
+    gapped_counter_ = &options_.metrics->counter(
+        "recovery.gapped_frames", {},
+        "Frames refused because they opened a hole above the durable watermark",
+        "frames");
   }
   if (options_.metrics != nullptr) {
     auto& registry = *options_.metrics;
@@ -58,6 +71,10 @@ Aggregator::~Aggregator() { stop(); }
 
 Status Aggregator::start() {
   if (running_.load()) return Status::ok();
+  // A prior stop() closed the fan-in queues (they were fully drained by
+  // the exiting loops); reopen them so stop()/start() cycles resume.
+  inbox_->reopen();
+  persist_queue_.reopen();
   running_.store(true);
   pump_thread_ = std::jthread([this](std::stop_token stop) { pump_loop(stop); });
   if (store_ != nullptr) {
@@ -87,82 +104,275 @@ void Aggregator::stop() {
   running_.store(false);
 }
 
+void Aggregator::crash() {
+  crashed_.store(true);
+  if (!running_.load()) return;
+  // Same teardown as stop(), but pump/persist exit on the crashed flag
+  // without draining: whatever was buffered is lost, like process memory.
+  stop();
+}
+
+Status Aggregator::restart() {
+  // A self-inflicted fail-stop (injected crash, store append failure)
+  // exits the worker loops but leaves running_ set; finish the teardown
+  // before recovering.
+  if (crashed_.load() && running_.load()) crash();
+  if (running_.load()) return Status::ok();
+  // The queues stay closed until start() reopens them (empty: a real
+  // restart starts with no process memory). Reopening here would open a
+  // drop window: a rewound collector could replay into the inbox while
+  // store recovery below is still running, and start()'s reopen would
+  // discard that frame as stale backlog — a permanently lost replay,
+  // since the collector saw it accepted and moved on.
+  if (options_.store) {
+    // Release the old handle first (it holds the active WAL segment open),
+    // then run genuine recovery from disk: segment scan, torn-tail
+    // truncation, id resumption.
+    store_.reset();
+    eventstore::EventStoreOptions store_options = *options_.store;
+    if (store_options.metrics == nullptr) store_options.metrics = options_.metrics;
+    store_ = std::make_unique<eventstore::EventStore>(store_options);
+    next_id_.store(store_->last_id() + 1);
+  }
+  rebuild_accepted_from_store();
+  crashed_.store(false);
+  return start();
+}
+
+std::size_t Aggregator::drain_once() {
+  if (running_.load()) return 0;
+  std::size_t frames = 0;
+  while (auto message = inbox_->try_recv()) {
+    if (process_frame(*message)) ++frames;
+    if (crashed_.load(std::memory_order_relaxed)) break;
+  }
+  while (auto batch = persist_queue_.try_pop()) {
+    if (!persist_one(*batch)) break;
+  }
+  return frames;
+}
+
+void Aggregator::ack(std::string_view source, std::uint64_t record_index) {
+  if (ack_callback_ && record_index > 0) ack_callback_(source, record_index);
+}
+
+void Aggregator::rebuild_accepted_from_store() {
+  accepted_seq_.clear();
+  if (store_ == nullptr) return;
+  // Peek (source, cookie) out of each durable payload without decoding
+  // full events: the watermark map must reflect everything already
+  // persisted so replays arriving after a restart are recognized.
+  for (const auto& stored : store_->events_since(0)) {
+    const auto bytes = std::as_bytes(std::span(stored.payload.data(), stored.payload.size()));
+    auto source = core::peek_event_source(bytes);
+    auto cookie = core::peek_event_cookie(bytes);
+    if (!source || !cookie || cookie.value() == 0) continue;
+    auto [it, inserted] = accepted_seq_.emplace(source.value(), cookie.value());
+    if (!inserted) it->second = std::max(it->second, cookie.value());
+  }
+}
+
+bool Aggregator::process_frame(msgq::Message& message) {
+  std::string& payload = message.payload;
+  auto frame = std::as_writable_bytes(std::span(payload.data(), payload.size()));
+  auto view = core::view_batch(frame);
+  if (!view) {
+    FSMON_WARN("aggregator", "dropping corrupt batch frame: ",
+               view.status().to_string());
+    return false;
+  }
+  if (view.value().count == 0) return false;
+
+  // Replay dedup: a collector that restarted re-publishes every record
+  // past its cleared index. Events whose (source, changelog-index) pair
+  // is at or below the accepted watermark are already durable — trim
+  // them so store delivery stays exactly-once. cookie==0 marks events
+  // with no record identity (synthetic producers); never deduped.
+  // Materialized (not a view): the frame buffer may be replaced below.
+  std::string source;
+  if (auto s = core::peek_event_source(frame.subspan(
+          view.value().events[0].first, view.value().events[0].second))) {
+    source.assign(s.value());
+  }
+  std::uint64_t watermark = 0;
+  bool source_known = false;
+  if (!source.empty()) {
+    if (auto it = accepted_seq_.find(source); it != accepted_seq_.end()) {
+      watermark = it->second;
+      source_known = true;
+    }
+  }
+  std::uint64_t frame_max_seq = 0;
+  std::uint64_t frame_min_seq = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> kept;
+  kept.reserve(view.value().events.size());
+  for (const auto& [offset, length] : view.value().events) {
+    auto cookie = core::peek_event_cookie(frame.subspan(offset, length));
+    const std::uint64_t seq = cookie ? cookie.value() : 0;
+    frame_max_seq = std::max(frame_max_seq, seq);
+    if (seq != 0 && (frame_min_seq == 0 || seq < frame_min_seq)) frame_min_seq = seq;
+    if (seq != 0 && seq <= watermark) continue;  // duplicate of a durable event
+    kept.emplace_back(offset, length);
+  }
+  if (store_ != nullptr && source_known && frame_min_seq > watermark + 1) {
+    // A hole between the watermark and this frame means records were lost
+    // upstream — typically published while the inbox was closed across a
+    // crash window. Accepting the frame would let its ack clear changelog
+    // records that never reached the store, so refuse it: the collector
+    // rewind replays the run contiguously, and the refused records stay
+    // retained (visible) rather than lost (silent). A source with no
+    // watermark entry is exempt — its first records may legitimately
+    // start anywhere (changelog users register mid-stream).
+    FSMON_WARN("aggregator", "refusing gapped frame from ", source, ": watermark ",
+               watermark, ", frame starts at record ", frame_min_seq);
+    if (gapped_counter_ != nullptr) gapped_counter_->inc();
+    return false;
+  }
+  const std::size_t dropped = view.value().events.size() - kept.size();
+  if (dropped > 0) {
+    deduped_.fetch_add(dropped);
+    if (deduped_counter_ != nullptr) deduped_counter_->inc(dropped);
+  }
+  if (!source.empty() && frame_max_seq > watermark)
+    accepted_seq_[source] = frame_max_seq;
+  std::string rebuilt;
+  if (kept.empty()) {
+    // Nothing new. The ack still has to flow (a replayed-and-fully-
+    // deduped batch must eventually clear from the changelog), but the
+    // watermark only proves the records were *accepted* — the original
+    // frame may still be waiting in the persist queue. Acking here
+    // would let the changelog clear records that die with the process
+    // if that persist fails, so route the ack through the persist queue
+    // as an ack-only marker: it lands only after everything accepted
+    // before it is durable.
+    if (store_ != nullptr) {
+      persist_queue_.push(PersistBatch{0, std::move(source), frame_max_seq, {}});
+    } else {
+      ack(source, frame_max_seq);
+    }
+    return false;
+  }
+  if (dropped > 0) {
+    auto bytes = core::rebuild_batch(frame, kept);
+    rebuilt.assign(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+    payload = std::move(rebuilt);
+    frame = std::as_writable_bytes(std::span(payload.data(), payload.size()));
+    view = core::view_batch(frame, /*verify_crc=*/false);
+    if (!view) return false;  // unreachable: rebuild produces valid frames
+  }
+
+  if (auto outcome = chaos::fault("aggregator.before_publish")) {
+    if (outcome.action == chaos::FaultAction::kCrash) {
+      crashed_.store(true);
+      return false;
+    }
+    if (outcome.action == chaos::FaultAction::kDelay) clock_.sleep_for(outcome.delay);
+    if (outcome.action == chaos::FaultAction::kDrop) return false;
+  }
+
+  const std::size_t count = view.value().count;
+  const common::EventId first_id = next_id_.fetch_add(count);
+  if (auto patched = core::patch_batch_ids(frame, first_id); !patched) {
+    FSMON_WARN("aggregator", "dropping unpatchable batch frame: ",
+               patched.status().to_string());
+    return false;
+  }
+  aggregated_.fetch_add(count);
+  meter_.record(count);
+  if (aggregated_counter_ != nullptr) {
+    aggregated_counter_->inc(count);
+    const auto depth =
+        static_cast<std::int64_t>(inbox_->pending() + persist_queue_.size());
+    queue_depth_gauge_->set(depth);
+    queue_depth_peak_gauge_->set_max(depth);
+    publish_rate_gauge_->set(static_cast<std::int64_t>(meter_.snapshot().average_rate));
+    batch_size_hist_->record(count);
+    batch_bytes_hist_->record(frame.size());
+    const auto now = clock_.now();
+    for (const auto& [offset, length] : view.value().events) {
+      auto timestamp = core::peek_event_timestamp(frame.subspan(offset, length));
+      if (!timestamp) continue;
+      const auto lag = now - timestamp.value();
+      if (lag.count() >= 0)
+        fanout_lag_hist_->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(lag).count()));
+    }
+  }
+  // publish(const Message&) copies per subscriber, so the frame can be
+  // moved on to the persister afterwards.
+  msgq::Message out{options_.output_topic, std::move(payload)};
+  output_->publish(out);
+  if (store_ != nullptr) {
+    persist_queue_.push(PersistBatch{first_id, std::move(source), frame_max_seq,
+                                     std::move(out.payload)});
+  } else {
+    // No durable store: custody ends at fan-out, ack immediately.
+    ack(source, frame_max_seq);
+  }
+  return true;
+}
+
 void Aggregator::pump_loop(std::stop_token) {
   // Publishing thread: drain the fan-in inbox one batch frame at a time,
   // assign an id block with a single fetch_add, patch the ids into the
   // already-encoded frame (no re-serialization), fan the frame out, and
   // hand the same bytes to the persister.
   for (;;) {
+    if (crashed_.load(std::memory_order_relaxed)) break;
     auto message = inbox_->recv();
     if (!message) break;  // closed and drained
-    std::string& payload = message->payload;
-    const auto frame = std::as_writable_bytes(std::span(payload.data(), payload.size()));
-    auto view = core::view_batch(frame);
-    if (!view) {
-      FSMON_WARN("aggregator", "dropping corrupt batch frame: ",
-                 view.status().to_string());
-      continue;
-    }
-    const std::size_t count = view.value().count;
-    if (count == 0) continue;
-    const common::EventId first_id = next_id_.fetch_add(count);
-    if (auto patched = core::patch_batch_ids(frame, first_id); !patched) {
-      FSMON_WARN("aggregator", "dropping unpatchable batch frame: ",
-                 patched.status().to_string());
-      continue;
-    }
-    aggregated_.fetch_add(count);
-    meter_.record(count);
-    if (aggregated_counter_ != nullptr) {
-      aggregated_counter_->inc(count);
-      const auto depth =
-          static_cast<std::int64_t>(inbox_->pending() + persist_queue_.size());
-      queue_depth_gauge_->set(depth);
-      queue_depth_peak_gauge_->set_max(depth);
-      publish_rate_gauge_->set(static_cast<std::int64_t>(meter_.snapshot().average_rate));
-      batch_size_hist_->record(count);
-      batch_bytes_hist_->record(frame.size());
-      const auto now = clock_.now();
-      for (const auto& [offset, length] : view.value().events) {
-        auto timestamp = core::peek_event_timestamp(frame.subspan(offset, length));
-        if (!timestamp) continue;
-        const auto lag = now - timestamp.value();
-        if (lag.count() >= 0)
-          fanout_lag_hist_->record(static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::microseconds>(lag).count()));
-      }
-    }
-    // publish(const Message&) copies per subscriber, so the frame can be
-    // moved on to the persister afterwards.
-    msgq::Message out{options_.output_topic, std::move(payload)};
-    output_->publish(out);
-    if (store_ != nullptr)
-      persist_queue_.push(PersistBatch{first_id, std::move(out.payload)});
+    process_frame(*message);
   }
+}
+
+bool Aggregator::persist_one(PersistBatch& batch) {
+  if (auto outcome = chaos::fault("aggregator.before_persist")) {
+    if (outcome.action == chaos::FaultAction::kCrash) {
+      crashed_.store(true);
+      return false;
+    }
+    if (outcome.action == chaos::FaultAction::kDelay) clock_.sleep_for(outcome.delay);
+  }
+  if (batch.frame.empty()) {
+    // Ack-only marker from a fully-deduped replay: every frame queued
+    // ahead of it is durable now, so the ack is finally safe.
+    ack(batch.source, batch.last_seq);
+    return true;
+  }
+  const auto frame = std::as_bytes(std::span(batch.frame.data(), batch.frame.size()));
+  // CRC was verified (and rewritten by the id patch) in the pump; only
+  // the structure is needed to slice out per-event payloads.
+  auto view = core::view_batch(frame, /*verify_crc=*/false);
+  if (!view) {
+    FSMON_ERROR("aggregator", "persist batch unreadable: ", view.status().to_string());
+    crashed_.store(true);
+    return false;
+  }
+  std::vector<std::span<const std::byte>> payloads;
+  payloads.reserve(view.value().count);
+  for (const auto& [offset, length] : view.value().events)
+    payloads.push_back(frame.subspan(offset, length));
+  if (auto s = store_->append_batch(batch.first_id, payloads); !s.is_ok()) {
+    // Fail-stop: dropping the batch here would break the "acked implies
+    // durable" invariant, so the stage crashes instead. The events stay
+    // unacked in the changelog and replay after restart.
+    FSMON_ERROR("aggregator", "event store append failed (fail-stop): ", s.to_string());
+    crashed_.store(true);
+    return false;
+  }
+  persisted_.fetch_add(payloads.size());
+  if (persisted_counter_ != nullptr) persisted_counter_->inc(payloads.size());
+  ack(batch.source, batch.last_seq);
+  return true;
 }
 
 void Aggregator::persist_loop(std::stop_token) {
   for (;;) {
+    if (crashed_.load(std::memory_order_relaxed)) break;
     auto batch = persist_queue_.pop();
     if (!batch) break;
-    const auto frame =
-        std::as_bytes(std::span(batch->frame.data(), batch->frame.size()));
-    // CRC was verified (and rewritten by the id patch) in the pump; only
-    // the structure is needed to slice out per-event payloads.
-    auto view = core::view_batch(frame, /*verify_crc=*/false);
-    if (!view) {
-      FSMON_ERROR("aggregator", "persist batch unreadable: ", view.status().to_string());
-      continue;
-    }
-    std::vector<std::span<const std::byte>> payloads;
-    payloads.reserve(view.value().count);
-    for (const auto& [offset, length] : view.value().events)
-      payloads.push_back(frame.subspan(offset, length));
-    if (auto s = store_->append_batch(batch->first_id, payloads); !s.is_ok()) {
-      FSMON_ERROR("aggregator", "event store append failed: ", s.to_string());
-    } else {
-      persisted_.fetch_add(payloads.size());
-      if (persisted_counter_ != nullptr) persisted_counter_->inc(payloads.size());
+    if (!persist_one(*batch)) {
+      if (crashed_.load(std::memory_order_relaxed)) break;
     }
   }
 }

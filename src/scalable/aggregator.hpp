@@ -10,6 +10,8 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -43,6 +45,15 @@ struct AggregatorOptions {
 
 class Aggregator {
  public:
+  /// Durable-custody acknowledgement: every event of `source` whose
+  /// changelog record index is <= `record_index` is persisted (or, with
+  /// no store configured, fanned out). The scalable monitor routes these
+  /// back to the owning collector, which clears the changelog up to the
+  /// acked index. Invoked from the persist thread (or the pump thread
+  /// when storeless / on duplicate drops).
+  using AckCallback = std::function<void(std::string_view source,
+                                         std::uint64_t record_index)>;
+
   Aggregator(msgq::Bus& bus, std::string name, AggregatorOptions options,
              common::Clock& clock);
   ~Aggregator();
@@ -50,8 +61,28 @@ class Aggregator {
   Aggregator(const Aggregator&) = delete;
   Aggregator& operator=(const Aggregator&) = delete;
 
+  /// Must be set before start() / drain_once(); not thread-safe.
+  void set_ack_callback(AckCallback callback) { ack_callback_ = std::move(callback); }
+
   common::Status start();
   void stop();
+
+  /// Fail-stop as a crash harness would: worker threads exit immediately,
+  /// buffered frames (inbox + persist queue) are lost exactly as a real
+  /// process crash would lose them. Unpersisted events were never acked,
+  /// so collectors re-publish them after restart().
+  void crash();
+  /// Restart after crash(): reopen the queues empty, recover the event
+  /// store from disk (WAL torn-tail scan included), resume id assignment
+  /// after the last durable id, rebuild the per-source dedup watermarks
+  /// from the recovered events, and start the worker threads.
+  common::Status restart();
+  bool crashed() const { return crashed_.load(); }
+
+  /// Synchronously pump whatever is buffered (deterministic tests; only
+  /// valid while the worker threads are not running). Returns frames
+  /// processed.
+  std::size_t drain_once();
 
   /// Collectors connect their publishers here.
   const std::shared_ptr<msgq::Subscriber>& inbox() const { return inbox_; }
@@ -71,21 +102,36 @@ class Aggregator {
   std::uint64_t aggregated() const { return aggregated_.load(); }
   std::uint64_t persisted() const { return persisted_.load(); }
   std::uint64_t purge_cycles() const { return purge_cycles_.load(); }
+  /// Replayed events dropped by the per-source (MDT, record-index) dedup.
+  std::uint64_t deduped() const { return deduped_.load(); }
   double publish_rate() const { return meter_.average_rate(); }
   const eventstore::EventStore* store() const { return store_.get(); }
 
  private:
   /// An id-patched, already-encoded batch frame handed from the pump to
   /// the persister. The frame bytes are reused verbatim — the persist
-  /// path never re-serializes.
+  /// path never re-serializes. `source`/`last_seq` carry the durability
+  /// ack the persister owes the originating collector.
   struct PersistBatch {
     common::EventId first_id = 0;
+    std::string source;
+    std::uint64_t last_seq = 0;
     std::string frame;
   };
 
   void pump_loop(std::stop_token stop);
   void persist_loop(std::stop_token stop);
   void purge_loop(std::stop_token stop);
+  /// One pump iteration: dedup replays, assign ids, fan out, enqueue for
+  /// persistence. Returns false if the frame was dropped (corrupt or
+  /// fully duplicate) or the stage crashed.
+  bool process_frame(msgq::Message& message);
+  /// One persister iteration: append to the store and ack. Returns false
+  /// on a store failure (fail-stop: the aggregator marks itself crashed
+  /// rather than dropping the batch silently).
+  bool persist_one(PersistBatch& batch);
+  void ack(std::string_view source, std::uint64_t record_index);
+  void rebuild_accepted_from_store();
 
   msgq::Bus& bus_;
   std::string name_;
@@ -103,7 +149,17 @@ class Aggregator {
   std::atomic<std::uint64_t> aggregated_{0};
   std::atomic<std::uint64_t> persisted_{0};
   std::atomic<std::uint64_t> purge_cycles_{0};
+  std::atomic<std::uint64_t> deduped_{0};
   std::atomic<bool> running_{false};
+  std::atomic<bool> crashed_{false};
+  AckCallback ack_callback_;
+  /// Per-source highest accepted changelog record index. Replayed events
+  /// at or below their source's watermark are duplicates of already-
+  /// accepted (persisted) events and are trimmed before id assignment.
+  /// Touched only by the pump thread (or drain_once when stopped).
+  std::map<std::string, std::uint64_t, std::less<>> accepted_seq_;
+  obs::Counter* deduped_counter_ = nullptr;
+  obs::Counter* gapped_counter_ = nullptr;
   obs::Counter* aggregated_counter_ = nullptr;
   obs::Counter* persisted_counter_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;

@@ -1,0 +1,94 @@
+// Retrying wrapper around Mds::changelog_clear.
+//
+// A failed clear used to be logged and forgotten, leaving the changelog
+// retaining records forever (the server purges only up to the minimum
+// cleared index across users). ClearGuard separates *requesting* a clear
+// watermark from *applying* it: request() raises the monotonic target,
+// advance() attempts the server call and keeps the target pending across
+// failures so the next batch retries it. Failures are counted
+// (`collector.clear_failures` / `robinhood.clear_failures`) instead of
+// dropped, and a chaos fault point lets tests inject them.
+//
+// Not thread-safe: owned and driven by the polling thread of its stage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/chaos/fault.hpp"
+#include "src/common/logging.hpp"
+#include "src/lustre/mdt.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace fsmon::scalable {
+
+class ClearGuard {
+ public:
+  /// `fault_point` names the chaos hook evaluated on every server attempt
+  /// (kFail simulates the RPC failing). `failures` may be null.
+  ClearGuard(lustre::Mds& mds, std::string user_id, std::string fault_point,
+             obs::Counter* failures = nullptr)
+      : mds_(mds),
+        user_id_(std::move(user_id)),
+        fault_point_(std::move(fault_point)),
+        failures_(failures) {}
+
+  /// Raise the clear target to `index` (monotonic; lower requests are
+  /// no-ops). Does not touch the server — call advance() for that.
+  void request(std::uint64_t index) {
+    if (index > target_) target_ = index;
+  }
+
+  /// Attempt any pending clear. Returns true when nothing is pending
+  /// (either nothing was requested or the server accepted the clear);
+  /// false leaves the target pending for the next advance().
+  bool advance() {
+    if (target_ <= cleared_) return true;
+    if (auto outcome = chaos::fault(fault_point_);
+        outcome.action == chaos::FaultAction::kFail) {
+      note_failure(common::Status(common::ErrorCode::kUnavailable, "injected"));
+      return false;
+    }
+    if (auto status = mds_.changelog_clear(user_id_, target_); !status.is_ok()) {
+      note_failure(status);
+      return false;
+    }
+    cleared_ = target_;
+    return true;
+  }
+
+  std::uint64_t target() const { return target_; }
+  std::uint64_t cleared() const { return cleared_; }
+  bool pending() const { return target_ > cleared_; }
+  std::uint64_t failures() const { return failure_count_; }
+
+  /// Forget local progress (after a simulated crash): re-reads the
+  /// server-side cleared index so a restarted stage retries from truth.
+  void reset_from_server() {
+    target_ = 0;
+    cleared_ = 0;
+    if (auto cleared = mds_.cleared_index(user_id_)) {
+      cleared_ = cleared.value();
+      target_ = cleared.value();
+    }
+  }
+
+ private:
+  void note_failure(const common::Status& status) {
+    ++failure_count_;
+    if (failures_ != nullptr) failures_->inc();
+    FSMON_WARN("clear-guard", "changelog_clear(", user_id_, ", ", target_,
+               ") failed (will retry): ", status.to_string());
+  }
+
+  lustre::Mds& mds_;
+  std::string user_id_;
+  std::string fault_point_;
+  obs::Counter* failures_;
+  std::uint64_t target_ = 0;
+  std::uint64_t cleared_ = 0;
+  std::uint64_t failure_count_ = 0;
+};
+
+}  // namespace fsmon::scalable

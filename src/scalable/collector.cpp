@@ -1,5 +1,6 @@
 #include "src/scalable/collector.hpp"
 
+#include "src/chaos/fault.hpp"
 #include "src/common/logging.hpp"
 
 namespace fsmon::scalable {
@@ -39,6 +40,21 @@ Collector::Collector(lustre::LustreFs& fs, std::uint32_t mds_index,
   user_id_ = fs_.mds(mds_index_).register_changelog_user();
   if (options_.resolver_threads > 1)
     pool_ = std::make_unique<common::ThreadPool>(options_.resolver_threads);
+  if (options_.metrics != nullptr) {
+    clear_failures_counter_ = &options_.metrics->counter(
+        "collector.clear_failures", {{"mdt", std::to_string(mds_index_)}},
+        "changelog_clear attempts that failed and were queued for retry", "calls");
+    replayed_counter_ = &options_.metrics->counter(
+        "recovery.replayed_records", {{"mdt", std::to_string(mds_index_)}},
+        "Changelog records re-read after a crash/rewind", "records");
+  }
+  clear_guard_ = std::make_unique<ClearGuard>(fs_.mds(mds_index_), user_id_,
+                                              "collector.clear", clear_failures_counter_);
+  clear_guard_->reset_from_server();
+  read_cursor_ = clear_guard_->cleared();
+  max_read_index_ = read_cursor_;
+  acked_.store(read_cursor_);
+  last_published_index_.store(read_cursor_);
   if (options_.metrics != nullptr) {
     auto& registry = *options_.metrics;
     const obs::Labels labels{{"mdt", std::to_string(mds_index_)}};
@@ -92,9 +108,35 @@ void Collector::stop() {
 
 void Collector::publish_events(core::EventBatch& batch) {
   if (batch.empty()) return;
+  if (crashed_.load(std::memory_order_relaxed) ||
+      rewind_requested_.load(std::memory_order_relaxed)) {
+    // A pending rewind means everything from the cleared index forward
+    // will be re-read; publishing ahead of it now could land frames past
+    // a delivery hole and open a gap above the aggregator's watermark.
+    batch.events.clear();
+    return;
+  }
+  if (auto outcome = chaos::fault("collector.before_publish")) {
+    if (outcome.action == chaos::FaultAction::kCrash) {
+      crashed_.store(true);
+      batch.events.clear();
+      return;
+    }
+    if (outcome.action == chaos::FaultAction::kDelay) clock_.sleep_for(outcome.delay);
+  }
   const auto bytes = core::encode_batch(batch);
-  publisher_->publish(topic_, std::string(reinterpret_cast<const char*>(bytes.data()),
-                                          bytes.size()));
+  const std::size_t accepted = publisher_->publish(
+      topic_, std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  if (accepted == 0 && publisher_->subscriber_count() > 0) {
+    // The inbox refused the frame — it is closed across a downstream
+    // crash window. The records are not lost (they stay unacked in the
+    // changelog), but any later frame that does get through would start
+    // past this hole; rewind so the run replays contiguously once the
+    // downstream is back.
+    rewind_requested_.store(true);
+    batch.events.clear();
+    return;
+  }
   if (batch_bytes_hist_ != nullptr) batch_bytes_hist_->record(bytes.size());
   batch.events.clear();
 }
@@ -111,8 +153,11 @@ std::size_t Collector::run_batch_serial(const std::vector<lustre::ChangelogRecor
     for (auto& event : output.events) {
       pending.events.push_back(std::move(event));
       ++events;
-      if (pending.size() >= publish_batch) publish_events(pending);
     }
+    // Flush at record boundaries only: a record's events (a rename's
+    // MOVED_FROM/MOVED_TO pair) always travel in one frame, which the
+    // recovery path's per-record dedup relies on.
+    if (pending.size() >= publish_batch) publish_events(pending);
   }
   publish_events(pending);
   return events;
@@ -155,8 +200,9 @@ std::size_t Collector::run_batch_parallel(
     for (auto& event : output.events) {
       pending.events.push_back(std::move(event));
       ++events;
-      if (pending.size() >= publish_batch) publish_events(pending);
     }
+    // Record-boundary flush (see run_batch_serial).
+    if (pending.size() >= publish_batch) publish_events(pending);
   }
   publish_events(pending);
   // Every record of the batch is published: retire the invalidation
@@ -169,11 +215,28 @@ std::size_t Collector::run_batch_parallel(
 }
 
 std::size_t Collector::process_batch() {
-  auto records = fs_.mds(mds_index_).changelog_read(user_id_, options_.batch_size);
+  apply_rewind();
+  apply_acked_clear();
+  if (crashed_.load(std::memory_order_relaxed)) return 0;
+  // Read ahead of the cleared index: clearing waits for the aggregator's
+  // persistence ack, but reading must not.
+  auto records =
+      fs_.mds(mds_index_).changelog_read(user_id_, options_.batch_size, read_cursor_);
   if (!records || records.value().empty()) return 0;
   const auto& batch = records.value();
+  std::uint64_t replays = 0;
+  for (const auto& record : batch)
+    if (record.index <= max_read_index_) ++replays;
   const std::size_t events =
       pool_ != nullptr ? run_batch_parallel(batch) : run_batch_serial(batch);
+  if (crashed_.load(std::memory_order_relaxed)) return 0;  // died mid-batch
+  read_cursor_ = batch.back().index;
+  if (read_cursor_ > max_read_index_) max_read_index_ = read_cursor_;
+  last_published_index_.store(read_cursor_, std::memory_order_release);
+  if (replays > 0) {
+    replayed_records_.fetch_add(replays);
+    if (replayed_counter_ != nullptr) replayed_counter_->inc(replays);
+  }
   records_.fetch_add(batch.size());
   published_.fetch_add(events);
   meter_.record(batch.size());
@@ -184,10 +247,69 @@ std::size_t Collector::process_batch() {
     batch_size_hist_->record(batch.size());
     publish_rate_gauge_->set(static_cast<std::int64_t>(meter_.snapshot().average_rate));
   }
-  // Purge processed records (lfs changelog_clear).
-  if (auto s = fs_.mds(mds_index_).changelog_clear(user_id_, batch.back().index); !s.is_ok())
-    FSMON_WARN("collector", "changelog_clear failed: ", s.to_string());
+  // Clear whatever the aggregator has acked by now (lfs changelog_clear
+  // up to the durable watermark, not the read cursor).
+  apply_acked_clear();
   return batch.size();
+}
+
+void Collector::on_persist_ack(std::uint64_t record_index) {
+  auto current = acked_.load(std::memory_order_relaxed);
+  while (record_index > current &&
+         !acked_.compare_exchange_weak(current, record_index,
+                                       std::memory_order_release)) {
+  }
+}
+
+bool Collector::apply_acked_clear() {
+  if (auto outcome = chaos::fault("collector.before_clear")) {
+    if (outcome.action == chaos::FaultAction::kCrash) {
+      crashed_.store(true);
+      return false;
+    }
+    if (outcome.action == chaos::FaultAction::kDelay) clock_.sleep_for(outcome.delay);
+  }
+  clear_guard_->request(acked_.load(std::memory_order_acquire));
+  return clear_guard_->advance();
+}
+
+void Collector::apply_rewind() {
+  if (!rewind_requested_.exchange(false)) return;
+  clear_guard_->reset_from_server();
+  read_cursor_ = clear_guard_->cleared();
+  // acked_ stays: an ack certifies durability, which a rewind (an
+  // aggregator restart recovering its store) does not revoke.
+}
+
+void Collector::crash() {
+  crashed_.store(true);
+  if (worker_.joinable()) {
+    worker_.request_stop();
+    worker_.join();
+  }
+  running_.store(false);
+}
+
+Status Collector::restart() {
+  // A fault-injected self-crash exits the worker loop but leaves
+  // running_ set; finish the fail-stop teardown before resuming.
+  if (crashed_.load() && running_.load()) crash();
+  if (running_.load()) return Status::ok();
+  // In-memory progress died with the stage: resume from the server-side
+  // cleared index. Unacked records are re-read and re-published; the
+  // aggregator's (source, record-index) dedup keeps delivery exactly-once.
+  clear_guard_->reset_from_server();
+  read_cursor_ = clear_guard_->cleared();
+  acked_.store(read_cursor_);
+  last_published_index_.store(read_cursor_);
+  rewind_requested_.store(false);
+  crashed_.store(false);
+  return start();
+}
+
+void Collector::rewind_to_cleared() {
+  rewind_requested_.store(true);
+  if (!running_.load()) apply_rewind();
 }
 
 std::size_t Collector::drain_once() {
@@ -201,11 +323,23 @@ std::size_t Collector::drain_once() {
 }
 
 void Collector::run(std::stop_token stop) {
-  while (!stop.stop_requested()) {
+  while (!stop.stop_requested() && !crashed_.load(std::memory_order_relaxed)) {
     if (process_batch() == 0) clock_.sleep_for(options_.poll_interval);
   }
-  // Final drain so no event is stranded in the changelog at shutdown.
+  if (crashed_.load(std::memory_order_relaxed)) return;  // no graceful flush
+  // Final drain so no event is stranded in the changelog at shutdown,
+  // then wait (bounded) for the aggregator's acks so the clear watermark
+  // catches up with the last published record.
   process_batch();
+  const auto slice = std::chrono::milliseconds(1);
+  auto remaining = options_.stop_flush_timeout;
+  while (remaining.count() > 0 && !crashed_.load(std::memory_order_relaxed)) {
+    if (apply_acked_clear() &&
+        clear_guard_->cleared() >= last_published_index_.load(std::memory_order_acquire))
+      break;
+    clock_.sleep_for(slice);
+    remaining -= slice;
+  }
 }
 
 }  // namespace fsmon::scalable

@@ -3,9 +3,13 @@
 // Registers a changelog user on its MDS, reads records in batches,
 // processes them through Algorithm 1 (EventProcessor + LRU fid2path
 // cache), publishes the resolved events to the aggregator through the
-// pub/sub queue, and purges the changelog up to the last processed
-// record ("a pointer is maintained to the most recently processed event
-// tuple and all previous events are cleared").
+// pub/sub queue, and purges the changelog up to the *acknowledged*
+// record: the aggregator acks each MDT's watermark once the events are
+// durably in its custody, and only then does the collector issue
+// changelog_clear ("a pointer is maintained to the most recently
+// processed event tuple and all previous events are cleared"). A read
+// cursor runs ahead of the cleared index, so a crash between publish
+// and persist re-reads exactly the unacknowledged suffix on restart.
 //
 // With resolver_threads > 1 the per-record resolution fans out to a
 // worker pool: records are submitted in changelog order (applying
@@ -27,6 +31,7 @@
 #include "src/lustre/filesystem.hpp"
 #include "src/lustre/profiles.hpp"
 #include "src/msgq/pubsub.hpp"
+#include "src/scalable/clear_guard.hpp"
 #include "src/scalable/processor.hpp"
 #include "src/scalable/reorder_buffer.hpp"
 
@@ -50,6 +55,11 @@ struct CollectorOptions {
   lustre::FidResolverOptions resolver;
   /// Events are published under topic_prefix + "mdt<i>".
   std::string topic_prefix = "fsmon/";
+  /// How long a stopping collector waits for the aggregator's persistence
+  /// acks to catch up with its last published record before giving up on
+  /// clearing the changelog (the records stay retained and are re-read on
+  /// restart — safe, just not tidy).
+  common::Duration stop_flush_timeout = std::chrono::seconds(2);
   /// Observability registry; null = uninstrumented (zero overhead).
   /// Registers collector.* / fid2path.* / fidcache.* labelled mdt=<i>.
   obs::MetricsRegistry* metrics = nullptr;
@@ -74,6 +84,39 @@ class Collector {
   /// processed.
   std::size_t drain_once();
 
+  /// The aggregator acknowledged durable custody of every record of this
+  /// MDT up to `record_index` (persisted to the store, or fanned out when
+  /// no store is configured). Raises the clear watermark; the collector
+  /// thread applies the actual changelog_clear. Any thread.
+  void on_persist_ack(std::uint64_t record_index);
+
+  /// Request/retry the changelog_clear up to the acked watermark. Called
+  /// by the collector thread each poll and by deterministic drains after
+  /// the aggregator has been pumped. Returns false while a clear is still
+  /// pending (server failure — retried on the next call).
+  bool apply_acked_clear();
+
+  /// Fail-stop this collector as a crash harness would: the polling
+  /// thread exits without the graceful final drain or ack wait, and all
+  /// in-memory progress (read cursor, pending acks) is considered lost.
+  void crash();
+  /// Restart after crash(): rewind the read cursor to the server-side
+  /// cleared index (everything unacknowledged is re-read and
+  /// re-published; the aggregator dedupes) and start the polling thread.
+  common::Status restart();
+  /// Rewind the read cursor to the server-side cleared index. Used when
+  /// the *aggregator* crashed: frames it never persisted are gone, so
+  /// unacked records must be re-published. Safe while running (the
+  /// rewind is applied by the collector thread before its next read).
+  void rewind_to_cleared();
+  bool crashed() const { return crashed_.load(); }
+
+  /// Highest record index acknowledged as durable by the aggregator.
+  std::uint64_t acked_record_index() const { return acked_.load(); }
+  std::uint64_t clear_failures() const { return clear_guard_->failures(); }
+  /// Records re-read (and re-published) after a rewind.
+  std::uint64_t replayed_records() const { return replayed_records_.load(); }
+
   std::uint32_t mds_index() const { return mds_index_; }
   ProcessorStats processor_stats() const { return processor_.stats(); }
   std::optional<common::LruStats> cache_stats() const {
@@ -93,6 +136,7 @@ class Collector {
   std::size_t run_batch_serial(const std::vector<lustre::ChangelogRecord>& records);
   std::size_t run_batch_parallel(const std::vector<lustre::ChangelogRecord>& records);
   void publish_events(core::EventBatch& batch);
+  void apply_rewind();
 
   lustre::LustreFs& fs_;
   std::uint32_t mds_index_;
@@ -111,6 +155,20 @@ class Collector {
   std::atomic<std::uint64_t> records_{0};
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::int64_t> inflight_{0};
+  /// Read-ahead cursor: index of the last record read. Decoupled from the
+  /// server-side cleared index, which lags at the acked watermark.
+  /// Collector-thread-only.
+  std::uint64_t read_cursor_ = 0;
+  /// Highest record index ever read; re-reading below it is a replay.
+  std::uint64_t max_read_index_ = 0;
+  std::unique_ptr<ClearGuard> clear_guard_;
+  std::atomic<std::uint64_t> acked_{0};
+  std::atomic<std::uint64_t> last_published_index_{0};
+  std::atomic<std::uint64_t> replayed_records_{0};
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> rewind_requested_{false};
+  obs::Counter* clear_failures_counter_ = nullptr;
+  obs::Counter* replayed_counter_ = nullptr;
   obs::Counter* batches_counter_ = nullptr;
   obs::Counter* records_counter_ = nullptr;
   obs::Counter* published_counter_ = nullptr;

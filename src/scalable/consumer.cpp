@@ -58,7 +58,7 @@ bool Consumer::matches(const core::StdEvent& event) const {
   return core::matches_any(options_.rules, event);
 }
 
-void Consumer::deliver_batch(const core::EventBatch& batch) {
+void Consumer::deliver_batch(const core::EventBatch& batch, bool dedup_filter) {
   if (batch.empty()) return;
   std::lock_guard lock(deliver_mu_);
   const core::StdEvent& last = batch.events.back();
@@ -70,9 +70,30 @@ void Consumer::deliver_batch(const core::EventBatch& batch) {
     overflow_dropped_gauge_->set(static_cast<std::int64_t>(subscriber_->dropped()));
     batch_size_hist_->record(batch.size());
   }
+  // Duplicate decisions are made for the whole batch before any marking:
+  // a rename's MOVED_FROM/MOVED_TO halves share one cookie and always
+  // travel in one frame, so both are fresh or both are duplicates.
+  std::vector<bool> deliverable(batch.size(), true);
+  if (dedup_filter) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const core::StdEvent& event = batch.events[i];
+      if (event.cookie == 0 || event.source.empty()) continue;
+      auto it = dedup_.find(event.source);
+      if (it != dedup_.end() && !it->second.fresh(event.cookie)) {
+        deliverable[i] = false;
+        duplicates_.fetch_add(1);
+      }
+    }
+  }
+  for (const core::StdEvent& event : batch.events) {
+    if (event.cookie == 0 || event.source.empty()) continue;
+    dedup_[event.source].mark(event.cookie);
+  }
   core::EventBatch matched;  // only materialized for batch callbacks
   std::size_t delivered = 0;
-  for (const core::StdEvent& event : batch.events) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!deliverable[i]) continue;
+    const core::StdEvent& event = batch.events[i];
     if (!core::matches_any(options_.rules, event,
                            filter_metrics_.evaluations != nullptr ? &filter_metrics_
                                                                   : nullptr)) {
@@ -114,6 +135,32 @@ void Consumer::stop() {
   running_.store(false);
 }
 
+void Consumer::crash() {
+  if (!running_.load()) return;
+  // Fail-stop: identical teardown to stop() except semantically abrupt —
+  // frames queued in the inbox die with the process; nothing further is
+  // acknowledged.
+  subscriber_->close();
+  if (worker_.joinable()) {
+    worker_.request_stop();
+    worker_.join();
+  }
+  running_.store(false);
+}
+
+Status Consumer::restart() {
+  if (running_.load()) return Status::ok();
+  subscriber_->reopen();
+  // Replay BEFORE the worker starts: if a live frame arrived first it
+  // would initialize the dedup watermark at a high index and the replayed
+  // prefix would be misread as duplicates (lost events). Replaying first
+  // seeds the window from the oldest unacked record.
+  if (auto replayed = replay_historic(last_acked_.load()); !replayed) {
+    return replayed.status();
+  }
+  return start();
+}
+
 void Consumer::run(std::stop_token) {
   for (;;) {
     auto message = subscriber_->recv();
@@ -135,7 +182,16 @@ Result<std::size_t> Consumer::replay_historic(std::optional<common::EventId> aft
   core::EventBatch batch;
   batch.events = std::move(events.value());
   const std::size_t count = batch.size();
-  deliver_batch(batch);
+  // An explicit after_id is an intentional rewind: reset the dedup
+  // window so the requested range is delivered again, and bypass the
+  // duplicate filter for the replayed batch itself. The batch still
+  // marks the window, so live duplicates of the replayed range are
+  // suppressed afterwards.
+  if (after_id.has_value()) {
+    std::lock_guard lock(deliver_mu_);
+    dedup_.clear();
+  }
+  deliver_batch(batch, /*dedup_filter=*/!after_id.has_value());
   if (replayed_counter_ != nullptr) replayed_counter_->inc(count);
   return count;
 }

@@ -11,15 +11,18 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/core/filter.hpp"
 #include "src/scalable/aggregator.hpp"
+#include "src/scalable/dedup_window.hpp"
 
 namespace fsmon::scalable {
 
@@ -60,11 +63,23 @@ class Consumer {
   common::Status start();
   void stop();
 
+  /// Fail-stop this consumer: the worker exits, queued frames are lost
+  /// with it, nothing further is acked. restart() recovers.
+  void crash();
+  /// Restart after crash(): reopen the inbox (empty — a real restart has
+  /// no process memory), start the worker, and replay from the last
+  /// acknowledged id so nothing delivered-and-acked repeats and nothing
+  /// unacked is lost. Replayed and live deliveries overlapping during
+  /// catch-up are collapsed by the per-source dedup window.
+  common::Status restart();
+
   /// Replay events since `after_id` (or since the last acknowledged id
   /// when nullopt) from the reliable store, through the same filter and
   /// callback. Runs on the caller's thread; delivery is serialized with
   /// the live-delivery thread, so the callback is never invoked
   /// concurrently (but replayed and live batches may interleave).
+  /// Passing an explicit `after_id` is an intentional rewind: the dedup
+  /// window resets so the replayed range is delivered again.
   /// Returns the number of events delivered.
   common::Result<std::size_t> replay_historic(
       std::optional<common::EventId> after_id = std::nullopt);
@@ -73,6 +88,8 @@ class Consumer {
 
   std::uint64_t delivered() const { return delivered_.load(); }
   std::uint64_t filtered_out() const { return filtered_.load(); }
+  /// Duplicate events suppressed by the per-source dedup window.
+  std::uint64_t duplicates_suppressed() const { return duplicates_.load(); }
   /// Events lost to the high-water mark (only with kDropNewest).
   std::uint64_t dropped() const { return subscriber_->dropped(); }
   common::EventId last_seen_id() const { return last_seen_.load(); }
@@ -88,7 +105,10 @@ class Consumer {
   /// per-event shim), one ack check per batch. Serialized by
   /// `deliver_mu_` so the callback sees at most one thread at a time
   /// even when replay_historic runs concurrently with the worker.
-  void deliver_batch(const core::EventBatch& batch);
+  /// With `dedup_filter` false the batch bypasses the duplicate filter
+  /// (an intentional rewind) but still marks the window, so subsequent
+  /// live duplicates of the replayed range are suppressed.
+  void deliver_batch(const core::EventBatch& batch, bool dedup_filter = true);
 
   msgq::Bus& bus_;
   Aggregator& aggregator_;
@@ -98,9 +118,11 @@ class Consumer {
   BatchCallback batch_callback_;
   std::shared_ptr<msgq::Subscriber> subscriber_;
   std::mutex deliver_mu_;  ///< Serializes live and replay deliveries.
+  std::map<std::string, SourceDedupWindow> dedup_;  ///< Guarded by deliver_mu_.
   std::jthread worker_;
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> filtered_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
   std::atomic<common::EventId> last_seen_{0};
   std::atomic<common::EventId> last_acked_{0};
   std::atomic<bool> running_{false};

@@ -20,6 +20,17 @@ RobinhoodPoller::RobinhoodPoller(lustre::LustreFs& fs, RobinhoodOptions options,
   for (std::uint32_t i = 0; i < fs_.mdt_count(); ++i) {
     user_ids_.push_back(fs_.mds(i).register_changelog_user());
     per_mds_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+    obs::Counter* failures = nullptr;
+    if (options_.metrics != nullptr) {
+      failures = &options_.metrics->counter(
+          "robinhood.clear_failures", {{"mds", std::to_string(i)}},
+          "changelog_clear attempts that failed and were retried on a later poll",
+          "failures");
+    }
+    clear_guards_.push_back(std::make_unique<ClearGuard>(
+        fs_.mds(i), user_ids_.back(), "robinhood.clear", failures));
+    clear_guards_.back()->reset_from_server();
+    cursors_.push_back(clear_guards_.back()->cleared());
   }
 }
 
@@ -45,7 +56,12 @@ void RobinhoodPoller::stop() {
 }
 
 std::size_t RobinhoodPoller::poll_mds(std::uint32_t index) {
-  auto records = fs_.mds(index).changelog_read(user_ids_[index], options_.batch_size);
+  // Retry any clear that failed on an earlier poll before reading more.
+  clear_guards_[index]->advance();
+  // Read from the client cursor, not the server cleared index: a failed
+  // clear must not re-feed already-stored records into the database.
+  auto records = fs_.mds(index).changelog_read(user_ids_[index], options_.batch_size,
+                                               cursors_[index]);
   if (!records || records.value().empty()) return 0;
   std::uint64_t last_index = 0;
   for (const auto& record : records.value()) {
@@ -56,12 +72,19 @@ std::size_t RobinhoodPoller::poll_mds(std::uint32_t index) {
     last_index = record.index;
   }
   const std::size_t n = records.value().size();
+  cursors_[index] = last_index;
   records_.fetch_add(n);
   per_mds_[index]->fetch_add(n);
   meter_.record(n);
-  if (auto s = fs_.mds(index).changelog_clear(user_ids_[index], last_index); !s.is_ok())
-    FSMON_WARN("robinhood", "changelog_clear failed: ", s.to_string());
+  clear_guards_[index]->request(last_index);
+  clear_guards_[index]->advance();
   return n;
+}
+
+std::uint64_t RobinhoodPoller::clear_failures() const {
+  std::uint64_t total = 0;
+  for (const auto& guard : clear_guards_) total += guard->failures();
+  return total;
 }
 
 std::size_t RobinhoodPoller::sweep_once() {

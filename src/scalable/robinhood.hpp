@@ -21,6 +21,7 @@
 #include "src/common/clock.hpp"
 #include "src/common/rate_meter.hpp"
 #include "src/lustre/filesystem.hpp"
+#include "src/scalable/clear_guard.hpp"
 #include "src/scalable/processor.hpp"
 
 namespace fsmon::scalable {
@@ -31,6 +32,9 @@ struct RobinhoodOptions {
   common::Duration poll_interval = std::chrono::milliseconds(1);
   ProcessorCosts costs;
   lustre::FidResolverOptions resolver;
+  /// Observability registry; null = uninstrumented. Registers
+  /// robinhood.clear_failures labelled mds=<i>.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class RobinhoodPoller {
@@ -52,6 +56,8 @@ class RobinhoodPoller {
   std::uint64_t records_from_mds(std::uint32_t mds) const {
     return per_mds_.at(mds)->load();
   }
+  /// Failed changelog_clear attempts (each is retried on a later poll).
+  std::uint64_t clear_failures() const;
   double process_rate() const { return meter_.average_rate(); }
   const std::vector<core::StdEvent>& database() const { return database_; }
   ProcessorStats processor_stats() const { return processor_.stats(); }
@@ -64,6 +70,11 @@ class RobinhoodPoller {
   RobinhoodOptions options_;
   common::Clock& clock_;
   std::vector<std::string> user_ids_;
+  /// Client-side read cursors, ahead of the server cleared indices: a
+  /// failed clear must not make the poller re-process records it has
+  /// already stored (that would duplicate them in the database).
+  std::vector<std::uint64_t> cursors_;
+  std::vector<std::unique_ptr<ClearGuard>> clear_guards_;
   lustre::FidResolver resolver_;
   std::unique_ptr<EventProcessor::FidCache> cache_;
   EventProcessor processor_;

@@ -18,6 +18,20 @@ ScalableMonitor::ScalableMonitor(lustre::LustreFs& fs, ScalableMonitorOptions op
         {"collector-" + std::to_string(i), "collector", "msgq://collector" + std::to_string(i)});
   }
   fs_.mgs().register_service({"aggregator", "aggregator", "msgq://aggregator"});
+  // Durable-custody acks flow back here: demux the event source
+  // ("lustre:MDT<i>") to the owning collector, which clears its
+  // changelog up to the acked record index.
+  aggregator_->set_ack_callback([this](std::string_view source, std::uint64_t index) {
+    constexpr std::string_view kPrefix = "lustre:MDT";
+    if (source.size() <= kPrefix.size() || source.substr(0, kPrefix.size()) != kPrefix)
+      return;
+    std::uint32_t mdt = 0;
+    for (char c : source.substr(kPrefix.size())) {
+      if (c < '0' || c > '9') return;
+      mdt = mdt * 10 + static_cast<std::uint32_t>(c - '0');
+    }
+    if (mdt < collectors_.size()) collectors_[mdt]->on_persist_ack(index);
+  });
 }
 
 Status ScalableMonitor::start() {
@@ -58,7 +72,27 @@ std::unique_ptr<Consumer> ScalableMonitor::make_consumer(std::string name,
 std::size_t ScalableMonitor::drain_collectors_once() {
   std::size_t total = 0;
   for (auto& collector : collectors_) total += collector->drain_once();
+  // Pump the aggregator synchronously so persistence acks are generated,
+  // then apply the resulting changelog clears — the deterministic
+  // equivalent of one full publish -> persist -> ack -> clear cycle.
+  if (!running_) aggregator_->drain_once();
+  for (auto& collector : collectors_) collector->apply_acked_clear();
   return total;
+}
+
+common::Status ScalableMonitor::restart_aggregator() {
+  // Ordering matters twice here. First finish the fail-stop teardown: a
+  // self-crashed aggregator exits its loops with the inbox still open,
+  // and a collector that rewound now would replay into that doomed inbox
+  // and lose the replay with the discarded backlog when it closes. Then
+  // set the rewind flags BEFORE the inbox reopens: collectors suppress
+  // publishing the moment the flag is set, so no stale read-ahead frame
+  // can slip into the recovered aggregator and open a gap above its
+  // rebuilt watermark.
+  if (aggregator_->crashed()) aggregator_->crash();
+  for (auto& collector : collectors_) collector->rewind_to_cleared();
+  if (auto s = aggregator_->restart(); !s.is_ok()) return s;
+  return Status::ok();
 }
 
 std::uint64_t ScalableMonitor::total_records_processed() const {

@@ -42,10 +42,23 @@ class ScalableMonitor {
   std::size_t collector_count() const { return collectors_.size(); }
   msgq::Bus& bus() { return bus_; }
 
-  /// Synchronously pump every collector once (deterministic tests).
+  /// Synchronously pump every collector once (deterministic tests):
+  /// collectors publish, the aggregator is drained (when not running) so
+  /// acks flow, then the acked changelog clears are applied.
   std::size_t drain_collectors_once();
 
   std::uint64_t total_records_processed() const;
+
+  /// Crash-recovery harness: fail-stop / restart individual stages.
+  void crash_collector(std::size_t i) { collectors_.at(i)->crash(); }
+  common::Status restart_collector(std::size_t i) {
+    return collectors_.at(i)->restart();
+  }
+  void crash_aggregator() { aggregator_->crash(); }
+  /// Restart the aggregator and rewind every collector to its cleared
+  /// index: frames buffered in the dead aggregator are gone, so unacked
+  /// records must be re-published (the dedup watermark absorbs overlap).
+  common::Status restart_aggregator();
 
  private:
   lustre::LustreFs& fs_;

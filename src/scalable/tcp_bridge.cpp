@@ -1,16 +1,33 @@
 #include "src/scalable/tcp_bridge.hpp"
 
+#include <algorithm>
+#include <charconv>
+
+#include "src/chaos/fault.hpp"
 #include "src/common/logging.hpp"
 
 namespace fsmon::scalable {
 
 using common::Status;
 
+namespace {
+
+/// Events per frame when streaming a replay; bounds peak frame size.
+constexpr std::size_t kReplayChunk = 256;
+
+}  // namespace
+
 AggregatorTcpBridge::AggregatorTcpBridge(Aggregator& aggregator, msgq::Bus& bus)
     : aggregator_(aggregator) {
   tap_ = bus.make_subscriber("tcp-bridge-tap", 1 << 16);
   tap_->subscribe("");
   aggregator_.output()->connect(tap_);
+  tcp_.set_control_handler(
+      [this](const msgq::Message& request,
+             const std::shared_ptr<msgq::TcpConnection>& connection) {
+        if (request.topic == std::string(1, msgq::kControlPrefix) + "replay")
+          serve_replay(request, connection);
+      });
 }
 
 AggregatorTcpBridge::~AggregatorTcpBridge() { stop(); }
@@ -37,6 +54,13 @@ void AggregatorTcpBridge::pump_loop(std::stop_token) {
   for (;;) {
     auto message = tap_->recv();
     if (!message) break;  // closed and drained
+    // Chaos: a dropped frame models the network losing an entire batch
+    // in flight — consumers must detect the id gap and replay.
+    if (auto outcome = chaos::fault("tcp.drop");
+        outcome && outcome.action == chaos::FaultAction::kDrop) {
+      dropped_frames_.fetch_add(1);
+      continue;
+    }
     tcp_.publish(*message);
     // Frames are forwarded opaquely; count the events inside so the
     // counter stays comparable across batch sizes.
@@ -47,13 +71,54 @@ void AggregatorTcpBridge::pump_loop(std::stop_token) {
   }
 }
 
+void AggregatorTcpBridge::serve_replay(const msgq::Message& request,
+                                       const std::shared_ptr<msgq::TcpConnection>& connection) {
+  std::uint64_t after_id = 0;
+  const auto [ptr, ec] = std::from_chars(request.payload.data(),
+                                         request.payload.data() + request.payload.size(),
+                                         after_id);
+  if (ec != std::errc{} || ptr != request.payload.data() + request.payload.size()) {
+    FSMON_WARN("tcp-bridge", "malformed replay request payload: ", request.payload);
+    return;
+  }
+  auto events = aggregator_.events_since(after_id);
+  if (!events) {
+    FSMON_WARN("tcp-bridge", "replay after ", after_id,
+               " failed: ", events.status().to_string());
+    return;
+  }
+  // Stream in bounded chunks on the requesting connection only — other
+  // subscribers never see another consumer's catch-up traffic.
+  auto& all = events.value();
+  for (std::size_t begin = 0; begin < all.size(); begin += kReplayChunk) {
+    const std::size_t end = std::min(begin + kReplayChunk, all.size());
+    core::EventBatch chunk;
+    chunk.events.assign(all.begin() + static_cast<std::ptrdiff_t>(begin),
+                        all.begin() + static_cast<std::ptrdiff_t>(end));
+    auto frame = core::encode_batch(chunk);
+    msgq::Message reply{"fsmon/events",
+                        std::string(reinterpret_cast<const char*>(frame.data()), frame.size())};
+    if (!connection->send(reply).is_ok()) return;  // requester vanished
+    replayed_.fetch_add(end - begin);
+  }
+}
+
 RemoteConsumer::~RemoteConsumer() { stop(); }
 
 Status RemoteConsumer::connect(const std::string& host, std::uint16_t port) {
+  // After a reconnect the frames sent while the link was down are gone:
+  // ask the bridge to replay everything after the last id we saw. Runs
+  // on the transport reader thread, before any new live frame is read.
+  subscriber_.set_reconnect_callback([this] { (void)request_replay(last_seen_.load()); });
   if (auto s = subscriber_.connect(host, port); !s.is_ok()) return s;
   if (auto s = subscriber_.subscribe(options_.topic); !s.is_ok()) return s;
   worker_ = std::jthread([this](std::stop_token stop) { run(stop); });
   return Status::ok();
+}
+
+Status RemoteConsumer::request_replay(common::EventId after_id) {
+  return subscriber_.send_control(msgq::Message{
+      std::string(1, msgq::kControlPrefix) + "replay", std::to_string(after_id)});
 }
 
 void RemoteConsumer::stop() {
@@ -83,9 +148,36 @@ void RemoteConsumer::run(std::stop_token) {
       continue;
     }
     if (batch.value().empty()) continue;
-    last_seen_.store(batch.value().events.back().id);
+    const auto& events = batch.value().events;
+    // A jump in the dense aggregator id sequence means frames were lost
+    // in flight (dropped, or sent while the link was down): fetch the
+    // hole from the reliable store. The replayed frames overlap what
+    // already arrived; the dedup window keeps delivery exactly-once.
+    const common::EventId previous = last_seen_.load();
+    if (previous > 0 && events.front().id > previous + 1) {
+      (void)request_replay(previous);
+    }
+    if (events.back().id > previous) last_seen_.store(events.back().id);
+    // Whole-batch dedup decisions first (a rename pair shares a cookie
+    // and travels in one frame), then mark — mirrors Consumer.
+    std::vector<bool> deliverable(events.size(), true);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const core::StdEvent& event = events[i];
+      if (event.cookie == 0 || event.source.empty()) continue;
+      auto it = dedup_.find(event.source);
+      if (it != dedup_.end() && !it->second.fresh(event.cookie)) {
+        deliverable[i] = false;
+        duplicates_.fetch_add(1);
+      }
+    }
+    for (const core::StdEvent& event : events) {
+      if (event.cookie == 0 || event.source.empty()) continue;
+      dedup_[event.source].mark(event.cookie);
+    }
     core::EventBatch matched;
-    for (const core::StdEvent& event : batch.value().events) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (!deliverable[i]) continue;
+      const core::StdEvent& event = events[i];
       if (!matches(event)) {
         filtered_.fetch_add(1);
         continue;

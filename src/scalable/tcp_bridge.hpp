@@ -7,22 +7,33 @@
 //
 //   AggregatorTcpBridge  — attaches to an Aggregator and re-publishes
 //                          every aggregated event frame on a TCP port.
+//                          Also answers "\x01replay" control frames by
+//                          streaming historic events from the reliable
+//                          store back to the requesting connection, so a
+//                          consumer that lost its link can catch up.
 //   RemoteConsumer       — runs on another host (or process): connects
 //                          to the bridge, filters locally (the paper's
 //                          consumer-side filtering), and delivers events
 //                          to a callback, with the same counters as the
-//                          in-process Consumer.
+//                          in-process Consumer. With auto_reconnect it
+//                          survives bridge restarts: the transport
+//                          re-dials with backoff, a replay is requested
+//                          from the last seen id, and the per-source
+//                          dedup window collapses replay/live overlap.
 #pragma once
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/core/filter.hpp"
 #include "src/msgq/tcp.hpp"
 #include "src/scalable/aggregator.hpp"
+#include "src/scalable/dedup_window.hpp"
 
 namespace fsmon::scalable {
 
@@ -41,15 +52,23 @@ class AggregatorTcpBridge {
   std::uint16_t port() const { return tcp_.port(); }
   /// Events (not frames) forwarded over TCP.
   std::uint64_t forwarded() const { return forwarded_.load(); }
+  /// Events streamed in response to "\x01replay" requests.
+  std::uint64_t replayed() const { return replayed_.load(); }
+  /// Frames dropped by the injected "tcp.drop" fault (chaos runs only).
+  std::uint64_t dropped_frames() const { return dropped_frames_.load(); }
 
  private:
   void pump_loop(std::stop_token stop);
+  void serve_replay(const msgq::Message& request,
+                    const std::shared_ptr<msgq::TcpConnection>& connection);
 
   Aggregator& aggregator_;
   std::shared_ptr<msgq::Subscriber> tap_;  ///< Local tap on the aggregator output.
   msgq::TcpPublisher tcp_;
   std::jthread pump_;
   std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> replayed_{0};
+  std::atomic<std::uint64_t> dropped_frames_{0};
   std::atomic<bool> running_{false};
 };
 
@@ -57,6 +76,13 @@ struct RemoteConsumerOptions {
   std::vector<core::FilterRule> rules;  ///< Empty = everything.
   std::size_t high_water_mark = 1 << 16;
   std::string topic = "fsmon/events";
+  /// Re-dial the bridge when the link dies, then request a replay from
+  /// the last seen event id. Off by default (historic behaviour: a dead
+  /// link ends the consumer).
+  bool auto_reconnect = false;
+  common::Duration backoff_initial = std::chrono::milliseconds(10);
+  common::Duration backoff_max = std::chrono::seconds(1);
+  std::uint64_t reconnect_seed = 1;
 };
 
 class RemoteConsumer {
@@ -67,13 +93,13 @@ class RemoteConsumer {
   RemoteConsumer(RemoteConsumerOptions options, EventCallback callback)
       : options_(std::move(options)),
         callback_(std::move(callback)),
-        subscriber_(options_.high_water_mark) {}
+        subscriber_(transport_options(options_)) {}
   /// Batch-aware variant (mirrors Consumer): invoked once per received
   /// batch with only the matching events.
   RemoteConsumer(RemoteConsumerOptions options, BatchCallback callback)
       : options_(std::move(options)),
         batch_callback_(std::move(callback)),
-        subscriber_(options_.high_water_mark) {}
+        subscriber_(transport_options(options_)) {}
   ~RemoteConsumer();
 
   common::Status connect(const std::string& host, std::uint16_t port);
@@ -81,11 +107,30 @@ class RemoteConsumer {
 
   bool matches(const core::StdEvent& event) const;
 
+  /// Ask the bridge to stream store history after `after_id` to this
+  /// consumer. Fired automatically after a reconnect and on id gaps;
+  /// callable directly for an explicit catch-up.
+  common::Status request_replay(common::EventId after_id);
+
   std::uint64_t delivered() const { return delivered_.load(); }
   std::uint64_t filtered_out() const { return filtered_.load(); }
+  /// Duplicate events suppressed by the per-source dedup window.
+  std::uint64_t duplicates_suppressed() const { return duplicates_.load(); }
+  /// Successful automatic transport reconnects.
+  std::uint64_t reconnects() const { return subscriber_.reconnects(); }
   common::EventId last_seen_id() const { return last_seen_.load(); }
 
  private:
+  static msgq::TcpSubscriberOptions transport_options(const RemoteConsumerOptions& options) {
+    msgq::TcpSubscriberOptions transport;
+    transport.high_water_mark = options.high_water_mark;
+    transport.auto_reconnect = options.auto_reconnect;
+    transport.backoff_initial = options.backoff_initial;
+    transport.backoff_max = options.backoff_max;
+    transport.reconnect_seed = options.reconnect_seed;
+    return transport;
+  }
+
   void run(std::stop_token stop);
 
   RemoteConsumerOptions options_;
@@ -95,7 +140,11 @@ class RemoteConsumer {
   std::jthread worker_;
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> filtered_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
   std::atomic<common::EventId> last_seen_{0};
+  /// Worker-thread-only: live and replayed frames funnel through the one
+  /// inbox, so no lock is needed.
+  std::map<std::string, SourceDedupWindow> dedup_;
 };
 
 }  // namespace fsmon::scalable

@@ -1,0 +1,170 @@
+// Unit tests for the deterministic fault injector: arming, rule
+// matching (after_hits / probability / max_fires), per-seed determinism,
+// independent per-point streams, and the chaos.* metrics.
+#include "src/chaos/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.hpp"
+
+namespace fsmon::chaos {
+namespace {
+
+FaultRule rule_for(std::string point, FaultAction action) {
+  FaultRule rule;
+  rule.point = std::move(point);
+  rule.action = action;
+  return rule;
+}
+
+TEST(FaultInjectorTest, DisarmedIsNoop) {
+  ASSERT_FALSE(FaultInjector::armed());
+  const FaultOutcome outcome = fault("collector.before_publish");
+  EXPECT_FALSE(outcome);
+  EXPECT_EQ(outcome.action, FaultAction::kNone);
+}
+
+TEST(FaultInjectorTest, ScopedPlanArmsAndDisarms) {
+  {
+    ScopedFaultPlan scope(FaultPlan{});
+    EXPECT_TRUE(FaultInjector::armed());
+  }
+  EXPECT_FALSE(FaultInjector::armed());
+}
+
+TEST(FaultInjectorTest, UnmatchedPointNeverFires) {
+  FaultPlan plan;
+  plan.rules.push_back(rule_for("a", FaultAction::kFail));
+  ScopedFaultPlan scope(std::move(plan));
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(fault("b"));
+  EXPECT_EQ(FaultInjector::instance().hits("b"), 10u);
+  EXPECT_EQ(FaultInjector::instance().fires("b"), 0u);
+}
+
+TEST(FaultInjectorTest, AfterHitsSkipsTheWarmup) {
+  FaultPlan plan;
+  auto rule = rule_for("p", FaultAction::kFail);
+  rule.after_hits = 3;
+  rule.max_fires = 0;  // unlimited once past the warmup
+  plan.rules.push_back(rule);
+  ScopedFaultPlan scope(std::move(plan));
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(fault("p"));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(fault("p"));
+  EXPECT_EQ(FaultInjector::instance().hits("p"), 7u);
+  EXPECT_EQ(FaultInjector::instance().fires("p"), 4u);
+}
+
+TEST(FaultInjectorTest, MaxFiresCapsInjections) {
+  FaultPlan plan;
+  auto rule = rule_for("p", FaultAction::kCrash);
+  rule.max_fires = 2;
+  plan.rules.push_back(rule);
+  ScopedFaultPlan scope(std::move(plan));
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (fault("p")) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(FaultInjector::instance().fires("p"), 2u);
+}
+
+TEST(FaultInjectorTest, DelayAndArgPassThrough) {
+  FaultPlan plan;
+  auto rule = rule_for("p", FaultAction::kDelay);
+  rule.delay = std::chrono::milliseconds(7);
+  rule.arg = 42;
+  plan.rules.push_back(rule);
+  ScopedFaultPlan scope(std::move(plan));
+  const FaultOutcome outcome = fault("p");
+  ASSERT_TRUE(outcome);
+  EXPECT_EQ(outcome.action, FaultAction::kDelay);
+  EXPECT_EQ(outcome.delay, std::chrono::milliseconds(7));
+  EXPECT_EQ(outcome.arg, 42u);
+}
+
+std::vector<bool> fire_pattern(std::uint64_t seed, int draws) {
+  FaultPlan plan;
+  plan.seed = seed;
+  auto rule = rule_for("p", FaultAction::kFail);
+  rule.probability = 0.5;
+  rule.max_fires = 0;
+  plan.rules.push_back(rule);
+  ScopedFaultPlan scope(std::move(plan));
+  std::vector<bool> pattern;
+  pattern.reserve(static_cast<std::size_t>(draws));
+  for (int i = 0; i < draws; ++i) pattern.push_back(static_cast<bool>(fault("p")));
+  return pattern;
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysTheSameSchedule) {
+  const auto first = fire_pattern(1234, 200);
+  const auto second = fire_pattern(1234, 200);
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsProduceDifferentSchedules) {
+  // 200 p=0.5 draws collide across seeds with probability 2^-200.
+  EXPECT_NE(fire_pattern(1, 200), fire_pattern(2, 200));
+}
+
+TEST(FaultInjectorTest, PointsDrawFromIndependentStreams) {
+  // Two points under one seed must not share a stream: the pattern at
+  // "a" is unchanged whether or not "b" is interleaved between draws.
+  FaultPlan plan;
+  plan.seed = 99;
+  auto rule = rule_for("a", FaultAction::kFail);
+  rule.probability = 0.5;
+  rule.max_fires = 0;
+  plan.rules.push_back(rule);
+  auto other = rule_for("b", FaultAction::kFail);
+  other.probability = 0.5;
+  other.max_fires = 0;
+  plan.rules.push_back(other);
+
+  std::vector<bool> alone;
+  {
+    ScopedFaultPlan scope(plan);
+    for (int i = 0; i < 100; ++i) alone.push_back(static_cast<bool>(fault("a")));
+  }
+  std::vector<bool> interleaved;
+  {
+    ScopedFaultPlan scope(plan);
+    for (int i = 0; i < 100; ++i) {
+      interleaved.push_back(static_cast<bool>(fault("a")));
+      fault("b");
+    }
+  }
+  EXPECT_EQ(alone, interleaved);
+}
+
+TEST(FaultInjectorTest, RearmResetsCounters) {
+  FaultPlan plan;
+  plan.rules.push_back(rule_for("p", FaultAction::kFail));
+  {
+    ScopedFaultPlan scope(plan);
+    fault("p");
+    EXPECT_EQ(FaultInjector::instance().hits("p"), 1u);
+  }
+  ScopedFaultPlan scope(plan);
+  EXPECT_EQ(FaultInjector::instance().hits("p"), 0u);
+  EXPECT_EQ(FaultInjector::instance().fires("p"), 0u);
+}
+
+TEST(FaultInjectorTest, MetricsCountEvaluationsAndInjections) {
+  obs::MetricsRegistry registry;
+  FaultPlan plan;
+  auto rule = rule_for("p", FaultAction::kFail);
+  rule.after_hits = 1;
+  rule.max_fires = 0;
+  plan.rules.push_back(rule);
+  ScopedFaultPlan scope(std::move(plan), &registry);
+  for (int i = 0; i < 5; ++i) fault("p");
+  EXPECT_EQ(registry.counter("chaos.fault_evaluations", {{"point", "p"}}).value(), 5u);
+  EXPECT_EQ(
+      registry.counter("chaos.faults_injected", {{"point", "p"}, {"action", "fail"}})
+          .value(),
+      4u);
+}
+
+}  // namespace
+}  // namespace fsmon::chaos

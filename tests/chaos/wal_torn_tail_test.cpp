@@ -1,0 +1,177 @@
+// Torn-tail fuzz for the WAL (satellite of the chaos subsystem): a crash
+// mid-write leaves a prefix of the final record on disk. For *every*
+// byte offset inside that final record, scan() must recover exactly the
+// intact prefix, and store recovery must truncate the torn bytes so the
+// segment is clean for whoever opens it next.
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "src/chaos/fault.hpp"
+#include "src/eventstore/store.hpp"
+#include "src/eventstore/wal.hpp"
+
+namespace fsmon::eventstore {
+namespace {
+
+std::vector<std::byte> make_payload(std::size_t size, std::uint8_t fill) {
+  return std::vector<std::byte>(size, static_cast<std::byte>(fill));
+}
+
+class WalTornTailTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fsmon_torn_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    chaos::FaultInjector::instance().disarm();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(WalTornTailTest, EveryTruncationOffsetInsideFinalRecordRecoversThePrefix) {
+  const auto path = dir_ / "seg.wal";
+  constexpr std::size_t kRecords = 5;
+  std::vector<std::vector<std::byte>> payloads;
+  std::uint64_t intact_boundary = 0;  // byte offset where the final record starts
+  std::uint64_t file_size = 0;
+  {
+    WalSegment segment(path);
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      payloads.push_back(make_payload(32 + 7 * i, static_cast<std::uint8_t>(i)));
+      ASSERT_TRUE(segment.append(i + 1, payloads.back()).is_ok());
+      if (i + 1 < kRecords) intact_boundary += 16 + payloads.back().size();
+      file_size += 16 + payloads.back().size();
+    }
+    ASSERT_TRUE(segment.flush().is_ok());
+  }
+  ASSERT_EQ(std::filesystem::file_size(path), file_size);
+
+  for (std::uint64_t cut = intact_boundary; cut < file_size; ++cut) {
+    const auto torn = dir_ / "torn.wal";
+    std::filesystem::copy_file(path, torn,
+                               std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(torn, cut);
+
+    std::uint64_t intact_bytes = 0;
+    auto scanned = WalSegment::scan(torn, &intact_bytes);
+    ASSERT_TRUE(scanned.is_ok()) << "cut at " << cut << ": "
+                                 << scanned.status().to_string();
+    EXPECT_EQ(intact_bytes, intact_boundary) << "cut at " << cut;
+    ASSERT_EQ(scanned.value().size(), kRecords - 1) << "cut at " << cut;
+    for (std::size_t i = 0; i + 1 < kRecords; ++i) {
+      EXPECT_EQ(scanned.value()[i].id, i + 1);
+      EXPECT_EQ(scanned.value()[i].payload, payloads[i]);
+    }
+  }
+
+  // The untouched file scans whole.
+  std::uint64_t intact_bytes = 0;
+  auto scanned = WalSegment::scan(path, &intact_bytes);
+  ASSERT_TRUE(scanned.is_ok());
+  EXPECT_EQ(scanned.value().size(), kRecords);
+  EXPECT_EQ(intact_bytes, file_size);
+}
+
+TEST_F(WalTornTailTest, InjectedTornWriteKeepsOnlyCompleteRecords) {
+  const auto path = dir_ / "seg.wal";
+  WalSegment segment(path);
+  ASSERT_TRUE(segment.append(1, make_payload(24, 1)).is_ok());
+  ASSERT_TRUE(segment.append(2, make_payload(24, 2)).is_ok());
+
+  chaos::FaultPlan plan;
+  chaos::FaultRule rule;
+  rule.point = "wal.torn_write";
+  rule.action = chaos::FaultAction::kFail;
+  plan.rules.push_back(rule);
+  chaos::ScopedFaultPlan scope(std::move(plan));
+
+  // The torn batch loses its final record mid-frame; earlier records of
+  // the same batch were fully written and must survive the scan.
+  const std::vector<std::byte> a = make_payload(24, 3);
+  const std::vector<std::byte> b = make_payload(24, 4);
+  const std::vector<std::byte> c = make_payload(24, 5);
+  const std::span<const std::byte> batch[] = {a, b, c};
+  EXPECT_FALSE(segment.append_batch(3, batch).is_ok());
+  segment.flush();
+
+  std::uint64_t intact_bytes = 0;
+  auto scanned = WalSegment::scan(path, &intact_bytes);
+  ASSERT_TRUE(scanned.is_ok());
+  ASSERT_EQ(scanned.value().size(), 4u);
+  EXPECT_EQ(scanned.value().back().id, 4u);
+  EXPECT_LT(intact_bytes, std::filesystem::file_size(path));
+}
+
+TEST_F(WalTornTailTest, TornWriteArgControlsTheCutPoint) {
+  const auto path = dir_ / "seg.wal";
+  WalSegment segment(path);
+
+  chaos::FaultPlan plan;
+  chaos::FaultRule rule;
+  rule.point = "wal.torn_write";
+  rule.action = chaos::FaultAction::kFail;
+  rule.arg = 5;  // keep all but the last 5 bytes of the framed batch
+  plan.rules.push_back(rule);
+  chaos::ScopedFaultPlan scope(std::move(plan));
+
+  const std::vector<std::byte> payload = make_payload(40, 9);
+  EXPECT_FALSE(segment.append(1, payload).is_ok());
+  segment.flush();
+  EXPECT_EQ(std::filesystem::file_size(path), 16 + payload.size() - 5);
+
+  auto scanned = WalSegment::scan(path);
+  ASSERT_TRUE(scanned.is_ok());
+  EXPECT_TRUE(scanned.value().empty());  // the only record is torn
+}
+
+TEST_F(WalTornTailTest, StoreRecoveryTruncatesTornTailAndResumesAppends) {
+  EventStoreOptions options;
+  options.directory = dir_;
+  const auto payload = make_payload(48, 7);
+  {
+    EventStore store(options);
+    for (common::EventId id = 1; id <= 3; ++id)
+      ASSERT_TRUE(store.append(id, payload).is_ok());
+
+    chaos::FaultPlan plan;
+    chaos::FaultRule rule;
+    rule.point = "wal.torn_write";
+    rule.action = chaos::FaultAction::kFail;
+    plan.rules.push_back(rule);
+    chaos::ScopedFaultPlan scope(std::move(plan));
+    EXPECT_FALSE(store.append(4, payload).is_ok());
+    EXPECT_EQ(store.last_id(), 3u);  // the failed append must not count
+  }
+
+  // Recovery: the torn tail is truncated away, the intact prefix
+  // survives, and the id sequence resumes cleanly.
+  EventStore revived(options);
+  EXPECT_EQ(revived.last_id(), 3u);
+  EXPECT_EQ(revived.events_since(0).size(), 3u);
+  std::uint64_t total_bytes = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".wal") total_bytes += entry.file_size();
+  }
+  EXPECT_EQ(total_bytes, 3 * (16 + payload.size()));
+
+  ASSERT_TRUE(revived.append(4, payload).is_ok());
+  ASSERT_TRUE(revived.flush().is_ok());  // revived stays open; flush for the scan
+  EventStore third(options);
+  EXPECT_EQ(third.last_id(), 4u);
+  EXPECT_EQ(third.events_since(0).size(), 4u);
+}
+
+}  // namespace
+}  // namespace fsmon::eventstore

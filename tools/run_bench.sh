@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Build and run the Table VIII cache sweep plus the resolver-pool sweep,
-# and check that the machine-readable BENCH_resolution.json landed.
+# Build and run the Table VIII cache sweep plus the resolver-pool sweep
+# and the crash-recovery bench, checking that the machine-readable
+# BENCH_resolution.json / BENCH_recovery.json landed.
 #
 # The resolver sweep pays the modeled fid2path cost for real (RealClock
 # nanosleeps), so this takes a few seconds of wall time per row.
@@ -9,7 +10,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target bench_table8_cache_sweep
+cmake --build build -j "$(nproc)" --target bench_table8_cache_sweep bench_recovery
 
 ./build/bench/bench_table8_cache_sweep
 
@@ -18,3 +19,13 @@ if [[ ! -s BENCH_resolution.json ]]; then
   exit 1
 fi
 echo "OK: BENCH_resolution.json written."
+
+# Recovery: baseline-vs-faulted pipeline plus aggregator restart latency.
+# Exits nonzero if any run loses or duplicates events.
+./build/bench/bench_recovery
+
+if [[ ! -s BENCH_recovery.json ]]; then
+  echo "FAIL: bench did not write BENCH_recovery.json" >&2
+  exit 1
+fi
+echo "OK: BENCH_recovery.json written."

@@ -10,19 +10,48 @@
 #
 # --asan: additionally build an AddressSanitizer configuration in
 # build-asan and run the `concurrency` label under it.
+#
+# --chaos N: sweep the chaos verification suite (ctest label `chaos`)
+# over fault-schedule seeds 1..N by exporting FSMON_CHAOS_SEED per run.
+# Combined with --tsan/--asan the same sweep also runs in the sanitizer
+# builds.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tsan=false
 run_asan=false
+chaos_seeds=0
+expect_seeds=false
 for arg in "$@"; do
+  if $expect_seeds; then
+    chaos_seeds="$arg"
+    expect_seeds=false
+    continue
+  fi
   case "$arg" in
     --tsan) run_tsan=true ;;
     --asan) run_asan=true ;;
-    *) echo "usage: $0 [--tsan] [--asan]" >&2; exit 2 ;;
+    --chaos) expect_seeds=true ;;
+    --chaos=*) chaos_seeds="${arg#--chaos=}" ;;
+    *) echo "usage: $0 [--tsan] [--asan] [--chaos N]" >&2; exit 2 ;;
   esac
 done
+if $expect_seeds || ! [[ "$chaos_seeds" =~ ^[0-9]+$ ]]; then
+  echo "usage: $0 [--tsan] [--asan] [--chaos N]" >&2
+  exit 2
+fi
+
+# Sweep the `chaos` ctest label across deterministic fault-schedule
+# seeds in the given build directory.
+chaos_sweep() {
+  local builddir="$1"
+  local seed
+  for seed in $(seq 1 "$chaos_seeds"); do
+    echo "chaos sweep [$builddir]: seed $seed/$chaos_seeds"
+    (cd "$builddir" && FSMON_CHAOS_SEED="$seed" ctest -L chaos --output-on-failure)
+  done
+}
 
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
@@ -47,25 +76,34 @@ if ! grep '"name":"collector.records_published"' "$snapshot" \
 fi
 echo "OK: tier-1 tests passed and the metrics snapshot shows published records."
 
+if (( chaos_seeds > 0 )); then
+  chaos_sweep build
+  echo "OK: chaos sweep over $chaos_seeds seeds reported exactly-once delivery."
+fi
+
 if $run_tsan; then
   echo "Building ThreadSanitizer configuration (build-tsan)..."
   cmake -B build-tsan -S . -DFSMON_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   # Both test targets must build: ctest's discovery includes error out on
   # a configured-but-unbuilt gtest executable.
-  cmake --build build-tsan -j "$(nproc)" --target fsmon_tests fsmon_concurrency_tests
+  cmake --build build-tsan -j "$(nproc)" \
+    --target fsmon_tests fsmon_concurrency_tests fsmon_chaos_tests
   tsan_filter="PubSubTest.*:BusTest.*:TopicMatchTest.*:FrameTest.*:TcpTest.*"
   tsan_filter+=":TcpSubscriberTest.*:PipelineTest.*:FaultToleranceTest.*"
   tsan_filter+=":ConsumerOverflowTest.*:TcpBridgeTest.*:CollectorCostsTest.*"
   tsan_filter+=":ProcessorTest.*:SimDriverTest.*"
   ./build-tsan/tests/fsmon_tests --gtest_filter="$tsan_filter"
   (cd build-tsan && ctest -L concurrency --output-on-failure)
+  if (( chaos_seeds > 0 )); then chaos_sweep build-tsan; fi
   echo "OK: ThreadSanitizer pass over the concurrency suites is clean."
 fi
 
 if $run_asan; then
   echo "Building AddressSanitizer configuration (build-asan)..."
   cmake -B build-asan -S . -DFSMON_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-asan -j "$(nproc)" --target fsmon_tests fsmon_concurrency_tests
+  cmake --build build-asan -j "$(nproc)" \
+    --target fsmon_tests fsmon_concurrency_tests fsmon_chaos_tests
   (cd build-asan && ctest -L concurrency --output-on-failure)
+  if (( chaos_seeds > 0 )); then chaos_sweep build-asan; fi
   echo "OK: AddressSanitizer pass over the concurrency label is clean."
 fi
