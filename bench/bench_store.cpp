@@ -1,0 +1,233 @@
+// Event-store bench: the memory-vs-replay trade behind the sparse
+// on-disk segment index.
+//
+// The store used to keep every live payload in a resident deque, so an
+// unbounded (`max_bytes = 0`) store grew RAM linearly with backlog. Now
+// sealed segments are the replay source and RAM holds only a bounded
+// tail cache. This bench populates unbounded stores of increasing size
+// under three cache configurations —
+//
+//   memory — cache_bytes = infinity: every payload resident, the old
+//            in-memory deque behavior (throughput baseline);
+//   cache  — the 4 MiB default tail cache;
+//   disk   — cache_bytes = 0: everything but the active segment served
+//            from sealed segments through the index
+//
+// — then replays the full range through paged events_since() calls,
+// checksumming every payload byte. It asserts (exit 1 on violation):
+// resident bytes stay bounded by the configured cache (+ active
+// segment) while live bytes grow, all three configurations return
+// byte-identical streams, and disk replay stays within 2x of the
+// in-memory path. Emits BENCH_store.json.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/eventstore/store.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace fsmon {
+namespace {
+
+/// Deterministic payload for an id: both sides of the byte-identity
+/// check regenerate it independently.
+std::vector<std::byte> payload_of(common::EventId id) {
+  const std::size_t len = 96 + id % 32;
+  std::vector<std::byte> out(len);
+  std::uint64_t x = id * 2654435761ull + 0x9E3779B97F4A7C15ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    out[i] = static_cast<std::byte>(x & 0xFF);
+  }
+  return out;
+}
+
+struct RunResult {
+  std::string config;
+  std::uint64_t events = 0;
+  std::uint64_t live_bytes = 0;
+  std::uint64_t resident_bytes = 0;
+  bool cache_bounded = true;
+  double append_eps = 0;
+  double replay_eps = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t disk_records = 0;
+  std::uint64_t cache_records = 0;
+};
+
+RunResult run_config(const std::filesystem::path& dir, const char* name,
+                     std::uint64_t cache_bytes, std::uint64_t events) {
+  obs::MetricsRegistry registry;
+  eventstore::EventStoreOptions options;
+  options.directory = dir;
+  options.max_bytes = 0;  // unlimited retention: the original OOM scenario
+  options.segment_bytes = 1ull << 20;
+  options.cache_bytes = cache_bytes;
+  options.metrics = &registry;
+  eventstore::EventStore store(options);
+
+  RunResult result;
+  result.config = name;
+  result.events = events;
+
+  constexpr std::size_t kAppendBatch = 1024;
+  std::vector<std::vector<std::byte>> payloads;
+  std::vector<std::span<const std::byte>> spans;
+  const auto append_start = std::chrono::steady_clock::now();
+  for (common::EventId next = 1; next <= events;) {
+    payloads.clear();
+    spans.clear();
+    const common::EventId first = next;
+    for (std::size_t i = 0; i < kAppendBatch && next <= events; ++i, ++next)
+      payloads.push_back(payload_of(next));
+    spans.assign(payloads.begin(), payloads.end());
+    if (!store.append_batch(first, spans).is_ok()) {
+      std::printf("FAIL: append_batch at id %llu\n",
+                  static_cast<unsigned long long>(first));
+      std::exit(1);
+    }
+  }
+  const double append_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - append_start)
+                              .count();
+  result.append_eps = static_cast<double>(events) / append_s;
+
+  result.live_bytes = store.live_bytes();
+  result.resident_bytes = store.cache_resident_bytes();
+  // The bound: the configured budget plus the active segment's payload
+  // (always resident because its WAL tail may be unflushed).
+  if (cache_bytes != UINT64_MAX)
+    result.cache_bounded =
+        result.resident_bytes <= cache_bytes + options.segment_bytes;
+
+  // Full-range replay through the public paged API, checksumming every
+  // payload byte (FNV-1a) so configurations can be compared for
+  // byte-identity without holding two copies of the stream.
+  constexpr std::size_t kPage = 8192;
+  std::uint64_t checksum = 1469598103934665603ull;
+  std::uint64_t replayed = 0;
+  const auto replay_start = std::chrono::steady_clock::now();
+  common::EventId cursor = 0;
+  for (;;) {
+    auto page = store.events_since(cursor, kPage);
+    if (page.empty()) break;
+    cursor = page.back().id;
+    for (const auto& event : page) {
+      ++replayed;
+      for (std::byte b : event.payload) {
+        checksum ^= static_cast<std::uint64_t>(b);
+        checksum *= 1099511628211ull;
+      }
+    }
+  }
+  const double replay_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - replay_start)
+                              .count();
+  if (replayed != events) {
+    std::printf("FAIL: %s replayed %llu of %llu events\n", name,
+                static_cast<unsigned long long>(replayed),
+                static_cast<unsigned long long>(events));
+    std::exit(1);
+  }
+  result.replay_eps = static_cast<double>(replayed) / replay_s;
+  result.checksum = checksum;
+  const auto snapshot = registry.snapshot();
+  result.disk_records = snapshot.counter_total("store.replay_disk_records");
+  result.cache_records = snapshot.counter_total("store.replay_cache_records");
+  return result;
+}
+
+}  // namespace
+}  // namespace fsmon
+
+int main() {
+  using namespace fsmon;
+
+  const auto root = std::filesystem::temp_directory_path() / "fsmon_bench_store";
+  std::filesystem::remove_all(root);
+
+  const std::vector<std::uint64_t> sizes = {100000, 500000};
+  struct Config {
+    const char* name;
+    std::uint64_t cache_bytes;
+  };
+  const Config configs[] = {
+      {"memory", UINT64_MAX},      // old resident-deque behavior
+      {"cache", 4ull << 20},       // default tail cache
+      {"disk", 0},                 // active segment only; replay from disk
+  };
+
+  bench::banner("event store: replay throughput + resident bytes vs store size");
+  bench::Table table({"config", "events", "live MB", "resident MB", "bounded",
+                      "append ev/s", "replay ev/s", "disk recs", "cache recs"});
+  std::vector<RunResult> results;
+  results.reserve(sizes.size() * std::size(configs));
+  bool bounded = true;
+  bool identical = true;
+  bool within_2x = true;
+  for (std::uint64_t events : sizes) {
+    const RunResult* memory = nullptr;
+    for (const auto& config : configs) {
+      const auto dir = root / (std::string(config.name) + "_" + std::to_string(events));
+      results.push_back(run_config(dir, config.name, config.cache_bytes, events));
+      const RunResult& r = results.back();
+      if (std::string(config.name) == "memory") memory = &r;
+      bounded = bounded && r.cache_bounded;
+      if (memory != nullptr && &r != memory) {
+        identical = identical && r.checksum == memory->checksum;
+        within_2x = within_2x && r.replay_eps * 2.0 >= memory->replay_eps;
+      }
+      table.add_row({r.config, std::to_string(r.events),
+                     bench::fmt(static_cast<double>(r.live_bytes) / (1 << 20), 1),
+                     bench::fmt(static_cast<double>(r.resident_bytes) / (1 << 20), 2),
+                     r.cache_bounded ? "yes" : "NO", bench::fmt(r.append_eps, 0),
+                     bench::fmt(r.replay_eps, 0), std::to_string(r.disk_records),
+                     std::to_string(r.cache_records)});
+    }
+  }
+  table.print();
+  std::printf("cache bounded: %s | byte-identical: %s | disk replay within 2x: %s\n",
+              bounded ? "yes" : "NO", identical ? "yes" : "NO",
+              within_2x ? "yes" : "NO");
+
+  if (std::FILE* out = std::fopen("BENCH_store.json", "w")) {
+    std::fprintf(out, "{\n  \"runs\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const RunResult& r = results[i];
+      std::fprintf(out,
+                   "    {\"config\": \"%s\", \"events\": %llu, \"live_bytes\": %llu, "
+                   "\"resident_bytes\": %llu, \"cache_bounded\": %s, "
+                   "\"append_eps\": %.0f, \"replay_eps\": %.0f, "
+                   "\"replay_disk_records\": %llu, \"replay_cache_records\": %llu, "
+                   "\"checksum\": %llu}%s\n",
+                   r.config.c_str(), static_cast<unsigned long long>(r.events),
+                   static_cast<unsigned long long>(r.live_bytes),
+                   static_cast<unsigned long long>(r.resident_bytes),
+                   r.cache_bounded ? "true" : "false", r.append_eps, r.replay_eps,
+                   static_cast<unsigned long long>(r.disk_records),
+                   static_cast<unsigned long long>(r.cache_records),
+                   static_cast<unsigned long long>(r.checksum),
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"cache_bounded\": %s,\n", bounded ? "true" : "false");
+    std::fprintf(out, "  \"byte_identical\": %s,\n", identical ? "true" : "false");
+    std::fprintf(out, "  \"disk_replay_within_2x\": %s\n}\n",
+                 within_2x ? "true" : "false");
+    std::fclose(out);
+    std::printf("results: BENCH_store.json\n");
+  }
+
+  std::filesystem::remove_all(root);
+
+  if (!bounded || !identical || !within_2x) {
+    std::printf("FAIL: store bench invariant violated\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "src/eventstore/segment_index.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "src/common/crc32.hpp"
+
+namespace fsmon::eventstore {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x58495346;  // "FSIX" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void SegmentIndex::note_record(common::EventId id, std::uint64_t offset,
+                               std::uint64_t payload_size) {
+  if (stride == 0) stride = kDefaultStride;
+  if (record_count % stride == 0) entries.push_back(SegmentIndexEntry{id, offset});
+  if (record_count == 0) first_id = id;
+  last_id = id;
+  ++record_count;
+  payload_bytes += payload_size;
+  file_bytes = offset + 16 + payload_size;
+}
+
+std::uint64_t SegmentIndex::seek(common::EventId target) const {
+  auto it = std::upper_bound(entries.begin(), entries.end(), target,
+                             [](common::EventId t, const SegmentIndexEntry& e) {
+                               return t < e.id;
+                             });
+  if (it == entries.begin()) return 0;
+  return std::prev(it)->offset;
+}
+
+Status SegmentIndex::save(const std::filesystem::path& path) const {
+  std::vector<std::byte> buffer;
+  buffer.reserve(64 + entries.size() * 16);
+  put_u32(buffer, kMagic);
+  put_u32(buffer, kVersion);
+  put_u32(buffer, stride);
+  put_u32(buffer, 0);  // reserved / alignment
+  put_u64(buffer, record_count);
+  put_u64(buffer, first_id);
+  put_u64(buffer, last_id);
+  put_u64(buffer, payload_bytes);
+  put_u64(buffer, file_bytes);
+  put_u64(buffer, entries.size());
+  for (const auto& entry : entries) {
+    put_u64(buffer, entry.id);
+    put_u64(buffer, entry.offset);
+  }
+  put_u32(buffer, common::crc32(std::span(buffer.data(), buffer.size())));
+
+  const auto tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status(ErrorCode::kUnavailable, "cannot write " + tmp);
+    out.write(reinterpret_cast<const char*>(buffer.data()),
+              static_cast<std::streamsize>(buffer.size()));
+    out.flush();
+    if (!out) return Status(ErrorCode::kUnavailable, "short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status(ErrorCode::kUnavailable, "rename " + tmp + ": " + ec.message());
+  return Status::ok();
+}
+
+Result<SegmentIndex> SegmentIndex::load(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status(ErrorCode::kNotFound, path.string());
+  std::vector<std::byte> data;
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  data.resize(size);
+  in.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(size));
+  if (!in) return Status(ErrorCode::kCorrupt, "short read from " + path.string());
+
+  constexpr std::size_t kHeader = 4 * 4 + 6 * 8;
+  if (size < kHeader + 4)
+    return Status(ErrorCode::kCorrupt, "index too small: " + path.string());
+  const std::uint32_t expected = get_u32(data.data() + size - 4);
+  const std::uint32_t actual = common::crc32(std::span(data.data(), size - 4));
+  if (expected != actual)
+    return Status(ErrorCode::kCorrupt, "index CRC mismatch: " + path.string());
+  if (get_u32(data.data()) != kMagic || get_u32(data.data() + 4) != kVersion)
+    return Status(ErrorCode::kCorrupt, "index magic/version mismatch: " + path.string());
+
+  SegmentIndex index;
+  index.stride = get_u32(data.data() + 8);
+  index.record_count = get_u64(data.data() + 16);
+  index.first_id = get_u64(data.data() + 24);
+  index.last_id = get_u64(data.data() + 32);
+  index.payload_bytes = get_u64(data.data() + 40);
+  index.file_bytes = get_u64(data.data() + 48);
+  const std::uint64_t entry_count = get_u64(data.data() + 56);
+  if (index.stride == 0 || size != kHeader + entry_count * 16 + 4)
+    return Status(ErrorCode::kCorrupt, "index entry table truncated: " + path.string());
+  index.entries.reserve(entry_count);
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    const std::byte* p = data.data() + kHeader + i * 16;
+    index.entries.push_back(SegmentIndexEntry{get_u64(p), get_u64(p + 8)});
+  }
+  return index;
+}
+
+std::filesystem::path SegmentIndex::path_for(const std::filesystem::path& wal_path) {
+  auto idx = wal_path;
+  idx.replace_extension(".idx");
+  return idx;
+}
+
+}  // namespace fsmon::eventstore

@@ -1,0 +1,67 @@
+// Sparse per-segment record index: the seek structure that lets
+// events_since() replay from sealed WAL segments on disk instead of a
+// resident copy of every payload.
+//
+// One SegmentIndex summarizes one WAL segment file: id range, record
+// count, payload bytes, the framed byte length it covers, and a sparse
+// table mapping every K-th record id to its byte offset in the segment.
+// The index is built incrementally while the segment is active (one
+// note_record() per append), persisted as `events-*.idx` next to the
+// segment when it seals, and rebuilt from a full scan at recovery when
+// the file is missing, corrupt, or stale (its recorded file length no
+// longer matches the segment on disk — e.g. after a torn-tail
+// truncation). The index is a pure accelerator: losing it costs one
+// scan, never data.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/common/types.hpp"
+
+namespace fsmon::eventstore {
+
+struct SegmentIndexEntry {
+  common::EventId id = 0;      ///< Id of the indexed record.
+  std::uint64_t offset = 0;    ///< Byte offset of its frame in the segment.
+};
+
+class SegmentIndex {
+ public:
+  /// Index every K-th record. At the default WAL record shape (~100
+  /// framed bytes) this keeps the resident index ~3 orders of magnitude
+  /// smaller than the data while bounding a seek's over-read to K-1
+  /// records.
+  static constexpr std::uint32_t kDefaultStride = 64;
+
+  std::uint32_t stride = kDefaultStride;
+  common::EventId first_id = 0;     ///< 0 = no records.
+  common::EventId last_id = 0;
+  std::uint64_t record_count = 0;
+  std::uint64_t payload_bytes = 0;  ///< Sum of record payload sizes.
+  std::uint64_t file_bytes = 0;     ///< Framed bytes this index covers.
+  std::vector<SegmentIndexEntry> entries;
+
+  /// Account one record appended (or scanned) at `offset`; adds a sparse
+  /// entry for every stride-th record. Must be called in id order.
+  void note_record(common::EventId id, std::uint64_t offset, std::uint64_t payload_size);
+
+  /// Byte offset to start scanning from when looking for `target`: the
+  /// offset of the greatest indexed record with id <= target, else 0.
+  std::uint64_t seek(common::EventId target) const;
+
+  /// Persist to `path` (write temp + rename, CRC-trailed). Best-effort
+  /// durability: a lost index is rebuilt by the next recovery.
+  common::Status save(const std::filesystem::path& path) const;
+
+  /// Load and validate a persisted index. kCorrupt on CRC/format
+  /// mismatch; kNotFound when absent.
+  static common::Result<SegmentIndex> load(const std::filesystem::path& path);
+
+  /// `events-NNN.wal` -> `events-NNN.idx`.
+  static std::filesystem::path path_for(const std::filesystem::path& wal_path);
+};
+
+}  // namespace fsmon::eventstore

@@ -142,42 +142,65 @@ Status WalSegment::flush() {
 
 Result<std::vector<WalRecord>> WalSegment::scan(const std::filesystem::path& path,
                                                 std::uint64_t* intact_bytes) {
+  std::vector<WalRecord> records;
+  auto streamed = stream(path, 0, [&](const WalRecordView& view) {
+    WalRecord record;
+    record.id = view.id;
+    record.payload.assign(view.payload.begin(), view.payload.end());
+    records.push_back(std::move(record));
+    return true;
+  });
+  if (!streamed) return streamed.status();
+  if (intact_bytes != nullptr) *intact_bytes = streamed.value();
+  return records;
+}
+
+Result<std::uint64_t> WalSegment::stream(
+    const std::filesystem::path& path, std::uint64_t offset,
+    const std::function<bool(const WalRecordView&)>& fn) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status(ErrorCode::kNotFound, path.string());
-  std::vector<std::byte> data;
   in.seekg(0, std::ios::end);
-  const auto size = static_cast<std::size_t>(in.tellg());
-  in.seekg(0);
-  data.resize(size);
-  in.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(size));
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  if (offset > size)
+    return Status(ErrorCode::kInvalid, "wal stream offset past EOF in " + path.string());
+  in.seekg(static_cast<std::streamoff>(offset));
 
-  std::vector<WalRecord> records;
-  std::size_t offset = 0;
-  while (offset < data.size()) {
-    if (data.size() - offset < 16) break;  // torn tail header
-    const std::uint32_t len = get_u32(data.data() + offset);
+  std::vector<std::byte> buffer;  // one record frame at a time
+  std::byte header[12];
+  std::uint64_t pos = offset;
+  while (pos < size) {
+    if (size - pos < 16) break;  // torn tail header
+    in.read(reinterpret_cast<char*>(header), sizeof(header));
+    if (!in) return Status(ErrorCode::kUnavailable, "wal read failed in " + path.string());
+    const std::uint32_t len = get_u32(header);
     if (len > (1u << 30))
       return Status(ErrorCode::kCorrupt, "wal record length corrupt in " + path.string());
-    const std::size_t total = 16ull + len;
-    if (data.size() - offset < total) break;  // torn tail body
-    const std::uint32_t expected = get_u32(data.data() + offset + total - 4);
-    const std::uint32_t actual =
-        common::crc32(std::span(data.data() + offset, total - 4));
+    const std::uint64_t total = 16ull + len;
+    if (size - pos < total) break;  // torn tail body
+    buffer.resize(total);
+    std::memcpy(buffer.data(), header, sizeof(header));
+    in.read(reinterpret_cast<char*>(buffer.data() + sizeof(header)),
+            static_cast<std::streamsize>(total - sizeof(header)));
+    if (!in) return Status(ErrorCode::kUnavailable, "wal read failed in " + path.string());
+    const std::uint32_t expected = get_u32(buffer.data() + total - 4);
+    const std::uint32_t actual = common::crc32(std::span(buffer.data(), total - 4));
     if (expected != actual) {
       // A bad CRC at the very end is a torn write; earlier means real
       // corruption.
-      if (offset + total >= data.size()) break;
+      if (pos + total >= size) break;
       return Status(ErrorCode::kCorrupt, "wal CRC mismatch mid-file in " + path.string());
     }
-    WalRecord record;
-    record.id = get_u64(data.data() + offset + 4);
-    record.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(offset + 12),
-                          data.begin() + static_cast<std::ptrdiff_t>(offset + total - 4));
-    records.push_back(std::move(record));
-    offset += total;
+    WalRecordView view;
+    view.id = get_u64(buffer.data() + 4);
+    view.payload = std::span(buffer.data() + 12, len);
+    view.offset = pos;
+    view.framed_size = total;
+    const bool keep_going = fn(view);
+    pos += total;
+    if (!keep_going) break;
   }
-  if (intact_bytes != nullptr) *intact_bytes = offset;
-  return records;
+  return pos;
 }
 
 }  // namespace fsmon::eventstore

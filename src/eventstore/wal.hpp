@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,6 +26,15 @@ namespace fsmon::eventstore {
 struct WalRecord {
   common::EventId id = 0;
   std::vector<std::byte> payload;
+};
+
+/// One record surfaced by stream(): borrowed views, valid only inside
+/// the callback.
+struct WalRecordView {
+  common::EventId id = 0;
+  std::span<const std::byte> payload;
+  std::uint64_t offset = 0;       ///< Byte offset of the record frame.
+  std::uint64_t framed_size = 0;  ///< 16 + payload.size().
 };
 
 /// Shared instrument handles for every segment of one store (wal.*).
@@ -73,6 +83,17 @@ class WalSegment {
   /// segment never appends after torn garbage.
   static common::Result<std::vector<WalRecord>> scan(const std::filesystem::path& path,
                                                      std::uint64_t* intact_bytes = nullptr);
+
+  /// Stream intact records starting at byte `offset` (which must be a
+  /// record boundary, e.g. from SegmentIndex::seek) without materializing
+  /// the whole file. `fn` is called once per record with borrowed views;
+  /// returning false stops early. A torn tail ends the stream cleanly;
+  /// a CRC mismatch before the tail yields kCorrupt. Returns the byte
+  /// offset where streaming stopped (== the intact prefix length when
+  /// `fn` never stops early).
+  static common::Result<std::uint64_t> stream(
+      const std::filesystem::path& path, std::uint64_t offset,
+      const std::function<bool(const WalRecordView&)>& fn);
 
  private:
   std::filesystem::path path_;

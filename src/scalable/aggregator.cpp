@@ -162,14 +162,21 @@ void Aggregator::rebuild_accepted_from_store() {
   // Peek (source, cookie) out of each durable payload without decoding
   // full events: the watermark map must reflect everything already
   // persisted so replays arriving after a restart are recognized.
-  for (const auto& stored : store_->events_since(0)) {
-    const auto bytes = std::as_bytes(std::span(stored.payload.data(), stored.payload.size()));
-    auto source = core::peek_event_source(bytes);
-    auto cookie = core::peek_event_cookie(bytes);
-    if (!source || !cookie || cookie.value() == 0) continue;
-    auto [it, inserted] = accepted_seq_.emplace(source.value(), cookie.value());
-    if (!inserted) it->second = std::max(it->second, cookie.value());
-  }
+  // Streamed via for_each_since — the store may hold far more events
+  // than fit in memory, and only the watermark map needs to survive.
+  auto status = store_->for_each_since(
+      0, SIZE_MAX,
+      [&](common::EventId, std::span<const std::byte> payload, bool) {
+        auto source = core::peek_event_source(payload);
+        auto cookie = core::peek_event_cookie(payload);
+        if (!source || !cookie || cookie.value() == 0) return true;
+        auto [it, inserted] = accepted_seq_.emplace(source.value(), cookie.value());
+        if (!inserted) it->second = std::max(it->second, cookie.value());
+        return true;
+      });
+  if (!status.is_ok())
+    FSMON_WARN("aggregator", "accepted-watermark rebuild stopped early: ",
+               status.to_string());
 }
 
 bool Aggregator::process_frame(msgq::Message& message) {

@@ -176,22 +176,32 @@ void Consumer::run(std::stop_token) {
 }
 
 Result<std::size_t> Consumer::replay_historic(std::optional<common::EventId> after_id) {
-  const common::EventId from = after_id.value_or(last_acked_.load());
-  auto events = aggregator_.events_since(from);
-  if (!events) return events.status();
-  core::EventBatch batch;
-  batch.events = std::move(events.value());
-  const std::size_t count = batch.size();
+  common::EventId cursor = after_id.value_or(last_acked_.load());
   // An explicit after_id is an intentional rewind: reset the dedup
   // window so the requested range is delivered again, and bypass the
-  // duplicate filter for the replayed batch itself. The batch still
-  // marks the window, so live duplicates of the replayed range are
+  // duplicate filter for the replayed batches themselves. The batches
+  // still mark the window, so live duplicates of the replayed range are
   // suppressed afterwards.
   if (after_id.has_value()) {
     std::lock_guard lock(deliver_mu_);
     dedup_.clear();
   }
-  deliver_batch(batch, /*dedup_filter=*/!after_id.has_value());
+  // Page through the store instead of materializing the whole backlog:
+  // a consumer that lagged by millions of events replays in
+  // `replay_page`-sized batches, each fetched (and freed) in turn.
+  const std::size_t page = options_.replay_page > 0 ? options_.replay_page : 4096;
+  std::size_t count = 0;
+  for (;;) {
+    auto events = aggregator_.events_since(cursor, page);
+    if (!events) return events.status();
+    if (events.value().empty()) break;
+    core::EventBatch batch;
+    batch.events = std::move(events.value());
+    cursor = batch.events.back().id;
+    count += batch.size();
+    deliver_batch(batch, /*dedup_filter=*/!after_id.has_value());
+    if (batch.size() < page) break;
+  }
   if (replayed_counter_ != nullptr) replayed_counter_->inc(count);
   return count;
 }

@@ -38,6 +38,10 @@ struct ConsumerOptions {
   std::vector<core::FilterRule> rules;
   /// Acknowledge to the aggregator every N delivered events.
   std::size_t ack_interval = 1024;
+  /// Events fetched per page during replay_historic. Bounds the replay's
+  /// peak memory to one page regardless of how far this consumer lags;
+  /// the store streams each page from disk.
+  std::size_t replay_page = 4096;
   /// Observability registry; null = uninstrumented. Registers consumer.*
   /// and filter.* labelled consumer=<name>.
   obs::MetricsRegistry* metrics = nullptr;

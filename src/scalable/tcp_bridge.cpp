@@ -81,25 +81,28 @@ void AggregatorTcpBridge::serve_replay(const msgq::Message& request,
     FSMON_WARN("tcp-bridge", "malformed replay request payload: ", request.payload);
     return;
   }
-  auto events = aggregator_.events_since(after_id);
-  if (!events) {
-    FSMON_WARN("tcp-bridge", "replay after ", after_id,
-               " failed: ", events.status().to_string());
-    return;
-  }
   // Stream in bounded chunks on the requesting connection only — other
-  // subscribers never see another consumer's catch-up traffic.
-  auto& all = events.value();
-  for (std::size_t begin = 0; begin < all.size(); begin += kReplayChunk) {
-    const std::size_t end = std::min(begin + kReplayChunk, all.size());
+  // subscribers never see another consumer's catch-up traffic. Each
+  // chunk is paged out of the store in turn, so an arbitrarily deep
+  // backlog never materializes in bridge memory.
+  common::EventId cursor = after_id;
+  for (;;) {
+    auto events = aggregator_.events_since(cursor, kReplayChunk);
+    if (!events) {
+      FSMON_WARN("tcp-bridge", "replay after ", cursor,
+                 " failed: ", events.status().to_string());
+      return;
+    }
+    if (events.value().empty()) return;
     core::EventBatch chunk;
-    chunk.events.assign(all.begin() + static_cast<std::ptrdiff_t>(begin),
-                        all.begin() + static_cast<std::ptrdiff_t>(end));
+    chunk.events = std::move(events.value());
+    cursor = chunk.events.back().id;
     auto frame = core::encode_batch(chunk);
     msgq::Message reply{"fsmon/events",
                         std::string(reinterpret_cast<const char*>(frame.data()), frame.size())};
     if (!connection->send(reply).is_ok()) return;  // requester vanished
-    replayed_.fetch_add(end - begin);
+    replayed_.fetch_add(chunk.size());
+    if (chunk.size() < kReplayChunk) return;
   }
 }
 

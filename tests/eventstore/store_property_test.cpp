@@ -43,6 +43,8 @@ class StorePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
     EventStoreOptions o;
     o.directory = dir_;
     o.segment_bytes = 512;  // force rotation under test
+    o.cache_bytes = 1024;   // tiny tail cache: queries must hit the disk path
+    o.index_stride = 4;     // several sparse entries per small segment
     return o;
   }
 
@@ -98,6 +100,7 @@ TEST_P(StorePropertyTest, MatchesReferenceModelAcrossReopen) {
           ASSERT_LT(index, got.size());
           EXPECT_EQ(got[index].id, record.id);
           EXPECT_EQ(got[index].payload, record.payload);
+          EXPECT_EQ(got[index].reported, record.reported);
           ++index;
         }
         EXPECT_EQ(index, got.size());
@@ -107,10 +110,8 @@ TEST_P(StorePropertyTest, MatchesReferenceModelAcrossReopen) {
         store->flush();
         store.reset();
         store = std::make_unique<EventStore>(options());
-        // Recovery loses the reported flags (they are in-memory state,
-        // like the paper's "flagged as having been reported" session
-        // state) but never loses records.
-        for (auto& record : model) record.reported = false;
+        // The reported watermark is persisted alongside the WAL, so
+        // recovery keeps both the records and their reported flags.
         break;
       }
     }

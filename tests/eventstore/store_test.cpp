@@ -1,6 +1,8 @@
 #include "src/eventstore/store.hpp"
 
+#include <algorithm>
 #include <filesystem>
+#include <fstream>
 
 #include <unistd.h>
 
@@ -197,6 +199,169 @@ TEST_F(EventStoreTest, MarkReportedSurvivesQuery) {
   auto events = store.events_since(0);
   ASSERT_EQ(events.size(), 1u);
   EXPECT_TRUE(events[0].reported);
+}
+
+TEST_F(EventStoreTest, AckLoopNeverRescansRecords) {
+  // Regression: mark_reported used to rescan the live deque from begin()
+  // on every ack — O(live) per ack, quadratic under a consumer acking
+  // frequently. The watermark implementation must visit zero records no
+  // matter how many are live or how often acks arrive.
+  EventStore store(options());
+  for (common::EventId id = 1; id <= 2000; ++id) store.append(id, bytes_of("payload"));
+  for (common::EventId id = 1; id <= 2000; ++id) store.mark_reported(id);
+  EXPECT_EQ(store.ack_scan_records(), 0u);
+  EXPECT_EQ(store.purge_reported(), 2000u);
+}
+
+TEST_F(EventStoreTest, ReportedWatermarkSurvivesReopen) {
+  {
+    EventStore store(options());
+    for (common::EventId id = 1; id <= 5; ++id) store.append(id, bytes_of("x"));
+    store.mark_reported(3);
+    store.flush();
+  }
+  EventStore reopened(options());
+  auto events = reopened.events_since(0);
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_TRUE(events[2].reported);
+  EXPECT_FALSE(events[3].reported);
+  // The persisted watermark still drives the purge after a restart.
+  EXPECT_EQ(reopened.purge_reported(), 3u);
+  EXPECT_EQ(reopened.first_id(), 4u);
+}
+
+TEST_F(EventStoreTest, RecoveryDeletesFullyPurgedSegments) {
+  auto o = options();
+  o.segment_bytes = 64;
+  common::EventId cutoff = 0;
+  {
+    EventStore store(o);
+    for (common::EventId id = 1; id <= 30; ++id)
+      store.append(id, bytes_of("0123456789abcdef"));
+    ASSERT_GT(store.segment_count(), 3u);
+    store.flush();
+    // Everything in the first few segments is below this cutoff.
+    cutoff = 10;
+  }
+  // Simulate a purge whose watermark landed but whose segment deletion
+  // did not (crash between the two): recovery must finish the job.
+  {
+    std::ofstream out(dir_ / "purge.watermark", std::ios::trunc);
+    out << cutoff;
+  }
+  obs::MetricsRegistry registry;
+  o.metrics = &registry;
+  EventStore reopened(o);
+  EXPECT_EQ(reopened.live_records(), 30u - cutoff);
+  EXPECT_EQ(reopened.first_id(), cutoff + 1);
+  // No registered segment may be fully below the watermark, and its file
+  // must be gone from disk.
+  std::size_t wal_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".wal") ++wal_files;
+  }
+  EXPECT_EQ(wal_files, reopened.segment_count());
+  EXPECT_EQ(registry.snapshot().gauge_total("store.segments"),
+            static_cast<std::int64_t>(reopened.segment_count()));
+  auto events = reopened.events_since(0);
+  ASSERT_EQ(events.size(), 30u - cutoff);
+  EXPECT_EQ(events.front().id, cutoff + 1);
+}
+
+TEST_F(EventStoreTest, RecoveryRebuildsMissingOrCorruptIndex) {
+  auto o = options();
+  o.segment_bytes = 64;
+  o.cache_bytes = 0;  // queries must come from disk via the index
+  o.index_stride = 4;
+  std::vector<StoredEvent> before;
+  {
+    EventStore store(o);
+    for (common::EventId id = 1; id <= 30; ++id)
+      store.append(id, bytes_of("0123456789abcdef"));
+    ASSERT_GT(store.segment_count(), 3u);
+    store.flush();
+    before = store.events_since(0);
+  }
+  // Delete one index and corrupt another: both must be rebuilt by scan.
+  std::vector<std::filesystem::path> idx_files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".idx") idx_files.push_back(entry.path());
+  }
+  ASSERT_GE(idx_files.size(), 2u);
+  std::sort(idx_files.begin(), idx_files.end());
+  std::filesystem::remove(idx_files[0]);
+  {
+    std::ofstream out(idx_files[1], std::ios::trunc | std::ios::binary);
+    out << "garbage, not an index";
+  }
+  EventStore reopened(o);
+  EXPECT_GE(reopened.index_rebuilds(), 2u);
+  auto after = reopened.events_since(0);
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i].id, before[i].id);
+    EXPECT_EQ(after[i].payload, before[i].payload);
+  }
+}
+
+TEST_F(EventStoreTest, PagedQueriesAcrossSealedSegmentsMatchFullAnswer) {
+  auto o = options();
+  o.segment_bytes = 64;
+  o.cache_bytes = 0;  // sealed records served from disk
+  o.index_stride = 4;
+  EventStore store(o);
+  std::vector<std::vector<std::byte>> payloads;
+  for (common::EventId id = 1; id <= 40; ++id) {
+    payloads.push_back(bytes_of("payload-" + std::to_string(id)));
+    ASSERT_TRUE(store.append(id, payloads.back()).is_ok());
+  }
+  ASSERT_GT(store.segment_count(), 2u);
+  // Page with a max_events that lands mid-segment; stitching the pages
+  // together must reproduce the full in-memory answer byte for byte.
+  std::vector<StoredEvent> paged;
+  common::EventId cursor = 0;
+  for (;;) {
+    auto page = store.events_since(cursor, 7);
+    if (page.empty()) break;
+    cursor = page.back().id;
+    for (auto& event : page) paged.push_back(std::move(event));
+  }
+  ASSERT_EQ(paged.size(), payloads.size());
+  for (std::size_t i = 0; i < paged.size(); ++i) {
+    EXPECT_EQ(paged[i].id, i + 1);
+    EXPECT_EQ(paged[i].payload, payloads[i]);
+  }
+}
+
+TEST_F(EventStoreTest, TailCacheStaysBoundedWithUnlimitedRetention) {
+  auto o = options();
+  o.max_bytes = 0;  // unlimited retention: the original OOM scenario
+  o.segment_bytes = 256;
+  o.cache_bytes = 512;
+  obs::MetricsRegistry registry;
+  o.metrics = &registry;
+  EventStore store(o);
+  std::vector<std::vector<std::byte>> payloads;
+  for (common::EventId id = 1; id <= 2000; ++id) {
+    payloads.push_back(bytes_of("payload-" + std::to_string(id)));
+    ASSERT_TRUE(store.append(id, payloads.back()).is_ok());
+  }
+  // Retained bytes grow without bound, resident bytes do not: the cache
+  // holds at most cache_bytes of sealed payload plus the active segment.
+  EXPECT_GT(store.live_bytes(), 10u * 1024u);
+  EXPECT_LE(store.cache_resident_bytes(), o.cache_bytes + o.segment_bytes);
+  EXPECT_EQ(registry.snapshot().gauge_total("store.cache_bytes"),
+            static_cast<std::int64_t>(store.cache_resident_bytes()));
+  // Every record is still served, byte-identical, from disk + cache.
+  auto events = store.events_since(0);
+  ASSERT_EQ(events.size(), payloads.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, i + 1);
+    EXPECT_EQ(events[i].payload, payloads[i]);
+  }
+  const auto snapshot = registry.snapshot();
+  EXPECT_GT(snapshot.counter_total("store.replay_disk_records"), 0u);
+  EXPECT_GT(snapshot.counter_total("store.replay_cache_records"), 0u);
 }
 
 }  // namespace

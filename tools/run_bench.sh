@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Build and run the Table VIII cache sweep plus the resolver-pool sweep
-# and the crash-recovery bench, checking that the machine-readable
-# BENCH_resolution.json / BENCH_recovery.json landed.
+# Build and run the Table VIII cache sweep plus the resolver-pool sweep,
+# the crash-recovery bench, and the event-store replay bench, checking
+# that the machine-readable BENCH_*.json files landed.
 #
 # The resolver sweep pays the modeled fid2path cost for real (RealClock
 # nanosleeps), so this takes a few seconds of wall time per row.
@@ -10,7 +10,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target bench_table8_cache_sweep bench_recovery
+cmake --build build -j "$(nproc)" --target bench_table8_cache_sweep bench_recovery bench_store
 
 ./build/bench/bench_table8_cache_sweep
 
@@ -29,3 +29,16 @@ if [[ ! -s BENCH_recovery.json ]]; then
   exit 1
 fi
 echo "OK: BENCH_recovery.json written."
+
+# Event store: replay throughput and resident bytes vs store size, with
+# the tail cache on, off, and effectively unbounded (old in-memory path).
+# Exits nonzero if replay is not byte-identical across configurations,
+# the cache bound is violated, or disk replay falls below half the
+# in-memory throughput.
+./build/bench/bench_store
+
+if [[ ! -s BENCH_store.json ]]; then
+  echo "FAIL: bench did not write BENCH_store.json" >&2
+  exit 1
+fi
+echo "OK: BENCH_store.json written."
