@@ -1,0 +1,204 @@
+// Shard scaling bench: aggregate append + fan-out throughput of the
+// aggregator tier at 1, 2 and 4 shards over the same workload.
+//
+// The paper's aggregator commits every batch to a database; that
+// durable-commit round trip — not CPU — is what bounds a single
+// aggregator's append rate, and it is what sharding parallelizes: N
+// shards overlap N independent commit streams. The bench models the
+// commit with AggregatorOptions::commit_latency (slept for real in each
+// shard's persist thread), so the measured scaling is the overlap of
+// genuine wall-clock latency and holds on a single-core host — the same
+// methodology as the resolver-pool bench (see DESIGN.md).
+//
+// Eight MDTs feed the router; the shard map's trailing-index rule gives
+// every shard an equal share of the sources. A run is complete when
+// every event is persisted in its shard's store AND delivered to the
+// tapping consumer (append + fan-out). Emits BENCH_shards.json and
+// fails (exit 1) if 4 shards don't reach 3.0x the 1-shard throughput.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/lustre/filesystem.hpp"
+#include "src/scalable/scalable_monitor.hpp"
+
+namespace fsmon {
+namespace {
+
+using scalable::ScalableMonitor;
+using scalable::ScalableMonitorOptions;
+
+constexpr int kCreates = 6400;
+constexpr auto kCommitLatency = std::chrono::microseconds(1600);
+constexpr std::size_t kPublishBatch = 16;  // many frames: commit latency dominates
+
+/// One directory per MDT, found by probing: DNE-hash 8 candidate dirs
+/// onto 8 MDTs and you get collisions, which skews per-shard load and
+/// lets the slowest shard cap the measured scaling. Instead mkdir
+/// candidates until every MDT owns exactly one, detected by which
+/// changelog a probe create lands in. Round-robin creates over the
+/// result give every source (and so every shard) an equal share.
+std::vector<std::string> one_dir_per_mdt(lustre::LustreFs& fs) {
+  const std::uint32_t n = fs.mdt_count();
+  std::vector<std::string> dirs(n);
+  std::vector<bool> have(n, false);
+  std::uint32_t found = 0;
+  for (int d = 0; found < n && d < 512; ++d) {
+    const std::string dir = "/d" + std::to_string(d);
+    if (!fs.mkdir(dir).is_ok()) continue;
+    std::vector<std::uint64_t> before(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+      before[i] = fs.mds(i).mdt().changelog().last_index();
+    (void)fs.create(dir + "/probe");
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (fs.mds(i).mdt().changelog().last_index() > before[i]) {
+        if (!have[i]) {
+          dirs[i] = dir;
+          have[i] = true;
+          ++found;
+        }
+        break;
+      }
+    }
+  }
+  return dirs;
+}
+
+struct RunResult {
+  std::size_t shards = 0;
+  std::uint64_t events = 0;
+  std::uint64_t frames_routed = 0;
+  double wall_ms = 0;
+  double events_per_sec = 0;
+  bool complete = false;
+};
+
+RunResult run(const std::filesystem::path& store_dir, std::size_t shards) {
+  common::RealClock clock;
+  lustre::LustreFsOptions fs_options;
+  fs_options.mdt_count = 8;
+  lustre::LustreFs fs(fs_options, clock);
+
+  ScalableMonitorOptions options;
+  options.shards = shards;
+  eventstore::EventStoreOptions store;
+  store.directory = store_dir;
+  options.aggregator.store = store;
+  options.aggregator.commit_latency = kCommitLatency;
+  options.collector.publish_batch = kPublishBatch;
+  ScalableMonitor monitor(fs, options, clock);
+
+  std::atomic<std::uint64_t> delivered{0};
+  auto consumer = monitor.make_consumer("bench", scalable::ConsumerOptions{},
+                                        [&](const core::StdEvent&) { ++delivered; });
+  (void)monitor.start();
+  (void)consumer->start();
+
+  const std::vector<std::string> dirs = one_dir_per_mdt(fs);
+
+  RunResult result;
+  result.shards = shards;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kCreates; ++i) {
+    (void)fs.create(dirs[static_cast<std::size_t>(i) % dirs.size()] + "/f" +
+                    std::to_string(i));
+  }
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < fs.mdt_count(); ++i)
+    total += fs.mds(i).mdt().changelog().last_index();
+
+  // Append + fan-out both done: every record persisted in its shard's
+  // store and delivered to the consumer.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while ((monitor.sharded().persisted() < total || delivered.load() < total) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const auto done = std::chrono::steady_clock::now();
+
+  result.events = total;
+  result.frames_routed = monitor.sharded().router().frames_routed();
+  result.wall_ms = std::chrono::duration<double, std::milli>(done - start).count();
+  result.events_per_sec = total / (result.wall_ms / 1000.0);
+  result.complete =
+      monitor.sharded().persisted() >= total && delivered.load() >= total;
+
+  consumer->stop();
+  monitor.stop();
+  return result;
+}
+
+}  // namespace
+}  // namespace fsmon
+
+int main() {
+  using namespace fsmon;
+
+  const auto root = std::filesystem::temp_directory_path() / "fsmon_bench_shards";
+  std::filesystem::remove_all(root);
+
+  bench::banner("shard scaling: append + fan-out throughput vs shard count");
+  std::printf("%d creates over 8 MDTs, %lldus modeled commit latency per batch\n",
+              kCreates, static_cast<long long>(kCommitLatency.count()));
+
+  std::vector<RunResult> results;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    results.push_back(run(root / ("s" + std::to_string(shards)), shards));
+  }
+  const double base = results.front().events_per_sec;
+
+  bench::Table table({"shards", "events", "frames", "wall ms", "events/s",
+                      "scaling", "complete"});
+  for (const auto& r : results) {
+    table.add_row({std::to_string(r.shards), std::to_string(r.events),
+                   std::to_string(r.frames_routed), bench::fmt(r.wall_ms, 1),
+                   bench::fmt(r.events_per_sec, 0),
+                   bench::fmt(r.events_per_sec / base, 2) + "x",
+                   r.complete ? "yes" : "NO"});
+  }
+  table.print();
+
+  const double scaling4 = results.back().events_per_sec / base;
+  if (std::FILE* out = std::fopen("BENCH_shards.json", "w")) {
+    std::fprintf(out, "{\n  \"runs\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(out,
+                   "    {\"shards\": %zu, \"events\": %llu, \"frames_routed\": %llu, "
+                   "\"wall_ms\": %.1f, \"events_per_sec\": %.0f, \"scaling\": %.2f, "
+                   "\"complete\": %s}%s\n",
+                   r.shards, static_cast<unsigned long long>(r.events),
+                   static_cast<unsigned long long>(r.frames_routed), r.wall_ms,
+                   r.events_per_sec, r.events_per_sec / base,
+                   r.complete ? "true" : "false", i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"commit_latency_us\": %lld,\n",
+                 static_cast<long long>(
+                     std::chrono::duration_cast<std::chrono::microseconds>(kCommitLatency)
+                         .count()));
+    std::fprintf(out, "  \"scaling_4_shards\": %.2f\n}\n", scaling4);
+    std::fclose(out);
+    std::printf("results: BENCH_shards.json\n");
+  }
+
+  std::filesystem::remove_all(root);
+
+  for (const auto& r : results) {
+    if (!r.complete) {
+      std::printf("FAIL: %zu-shard run did not persist+deliver every event\n", r.shards);
+      return 1;
+    }
+  }
+  if (scaling4 < 3.0) {
+    std::printf("FAIL: 4-shard scaling %.2fx < 3.0x\n", scaling4);
+    return 1;
+  }
+  std::printf("4-shard scaling: %.2fx (target >= 3.0x)\n", scaling4);
+  return 0;
+}

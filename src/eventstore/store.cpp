@@ -60,34 +60,34 @@ EventStore::EventStore(EventStoreOptions options) : options_(std::move(options))
   if (options_.index_stride == 0) options_.index_stride = SegmentIndex::kDefaultStride;
   if (options_.metrics != nullptr) {
     auto& registry = *options_.metrics;
-    wal_metrics_ = WalMetrics::create(registry);
-    purged_counter_ = &registry.counter("store.purged_records", {},
+    wal_metrics_ = WalMetrics::create(registry, options_.labels);
+    purged_counter_ = &registry.counter("store.purged_records", options_.labels,
                                         "Records removed by purge cycles or the size cap",
                                         "records");
     seal_flush_failures_counter_ =
-        &registry.counter("store.seal_flush_failures", {},
+        &registry.counter("store.seal_flush_failures", options_.labels,
                           "Segment seals whose final WAL flush failed", "seals");
     index_rebuilds_counter_ = &registry.counter(
-        "store.index_rebuilds", {},
+        "store.index_rebuilds", options_.labels,
         "Segment indexes rebuilt by a recovery scan (missing/corrupt/stale .idx)",
         "segments");
     replay_cache_counter_ = &registry.counter(
-        "store.replay_cache_records", {},
+        "store.replay_cache_records", options_.labels,
         "Replayed records served from the in-memory tail cache", "records");
     replay_disk_counter_ =
-        &registry.counter("store.replay_disk_records", {},
+        &registry.counter("store.replay_disk_records", options_.labels,
                           "Replayed records streamed from sealed segments on disk",
                           "records");
-    live_records_gauge_ = &registry.gauge("store.live_records", {},
+    live_records_gauge_ = &registry.gauge("store.live_records", options_.labels,
                                           "Records currently retained in the store",
                                           "records");
-    live_bytes_gauge_ = &registry.gauge("store.live_bytes", {},
+    live_bytes_gauge_ = &registry.gauge("store.live_bytes", options_.labels,
                                         "Payload bytes currently retained in the store",
                                         "bytes");
-    segments_gauge_ = &registry.gauge("store.segments", {},
+    segments_gauge_ = &registry.gauge("store.segments", options_.labels,
                                       "WAL segment files backing the store", "segments");
     cache_bytes_gauge_ = &registry.gauge(
-        "store.cache_bytes", {},
+        "store.cache_bytes", options_.labels,
         "Payload bytes resident in the in-memory tail cache", "bytes");
   }
   std::filesystem::create_directories(options_.directory);

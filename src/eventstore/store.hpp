@@ -58,6 +58,10 @@ struct EventStoreOptions {
   std::uint64_t cache_bytes = 4ull << 20;
   /// Sparse-index granularity: one offset entry every K records.
   std::uint32_t index_stride = SegmentIndex::kDefaultStride;
+  /// Labels on every store.* / wal.* metric this store registers. A
+  /// sharded aggregator runs one store per shard against one registry;
+  /// labels (shard=<k>) keep the per-shard gauges distinct.
+  obs::Labels labels;
   bool flush_each_append = false;  ///< Durability vs throughput knob.
   /// Observability registry; null = uninstrumented. Registers wal.* and
   /// store.* metrics.

@@ -44,20 +44,21 @@ std::uint64_t elapsed_us(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-WalMetrics WalMetrics::create(obs::MetricsRegistry& registry) {
+WalMetrics WalMetrics::create(obs::MetricsRegistry& registry,
+                              const obs::Labels& labels) {
   WalMetrics m;
-  m.appends = &registry.counter("wal.appends", {}, "Records appended to WAL segments",
+  m.appends = &registry.counter("wal.appends", labels, "Records appended to WAL segments",
                                 "records");
-  m.append_bytes = &registry.counter("wal.append_bytes", {},
+  m.append_bytes = &registry.counter("wal.append_bytes", labels,
                                      "Framed bytes written to WAL segments", "bytes");
   m.append_latency_us = &registry.histogram(
-      "wal.append_latency_us", {}, "Wall-clock latency of one framed WAL append", "us");
-  m.fsyncs = &registry.counter("wal.fsyncs", {},
+      "wal.append_latency_us", labels, "Wall-clock latency of one framed WAL append", "us");
+  m.fsyncs = &registry.counter("wal.fsyncs", labels,
                                "Explicit WAL flushes to the OS (durability barrier)",
                                "flushes");
-  m.fsync_latency_us = &registry.histogram("wal.fsync_latency_us", {},
+  m.fsync_latency_us = &registry.histogram("wal.fsync_latency_us", labels,
                                            "Wall-clock latency of one WAL flush", "us");
-  m.batch_size = &registry.histogram("wal.batch_size", {},
+  m.batch_size = &registry.histogram("wal.batch_size", labels,
                                      "Records committed per WAL append_batch call",
                                      "records");
   return m;

@@ -47,7 +47,8 @@ struct WalMetrics {
   obs::HistogramMetric* fsync_latency_us = nullptr;
   obs::HistogramMetric* batch_size = nullptr;
 
-  static WalMetrics create(obs::MetricsRegistry& registry);
+  static WalMetrics create(obs::MetricsRegistry& registry,
+                           const obs::Labels& labels = {});
 };
 
 class WalSegment {

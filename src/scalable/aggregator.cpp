@@ -24,43 +24,45 @@ Aggregator::Aggregator(msgq::Bus& bus, std::string name, AggregatorOptions optio
   if (options_.store) {
     eventstore::EventStoreOptions store_options = *options_.store;
     if (store_options.metrics == nullptr) store_options.metrics = options_.metrics;
+    if (store_options.labels.empty()) store_options.labels = options_.labels;
     store_ = std::make_unique<eventstore::EventStore>(store_options);
     next_id_.store(store_->last_id() + 1);
     rebuild_accepted_from_store();
   }
   if (options_.metrics != nullptr) {
     deduped_counter_ = &options_.metrics->counter(
-        "recovery.events_deduped", {},
+        "recovery.events_deduped", options_.labels,
         "Replayed duplicate events trimmed by the per-source watermark", "events");
     gapped_counter_ = &options_.metrics->counter(
-        "recovery.gapped_frames", {},
+        "recovery.gapped_frames", options_.labels,
         "Frames refused because they opened a hole above the durable watermark",
         "frames");
   }
   if (options_.metrics != nullptr) {
     auto& registry = *options_.metrics;
+    const obs::Labels& labels = options_.labels;
     aggregated_counter_ = &registry.counter(
-        "aggregator.events_aggregated", {},
+        "aggregator.events_aggregated", labels,
         "Events received from collectors and assigned global ids", "events");
-    persisted_counter_ = &registry.counter("aggregator.events_persisted", {},
+    persisted_counter_ = &registry.counter("aggregator.events_persisted", labels,
                                            "Events appended to the reliable store", "events");
     queue_depth_gauge_ = &registry.gauge(
-        "aggregator.queue_depth", {},
+        "aggregator.queue_depth", labels,
         "Fan-in inbox plus persist-queue backlog at last pump", "events");
-    queue_depth_peak_gauge_ = &registry.gauge("aggregator.queue_depth_peak", {},
+    queue_depth_peak_gauge_ = &registry.gauge("aggregator.queue_depth_peak", labels,
                                               "High-water mark of the fan-in backlog",
                                               "events");
-    publish_rate_gauge_ = &registry.gauge("aggregator.publish_rate", {},
+    publish_rate_gauge_ = &registry.gauge("aggregator.publish_rate", labels,
                                           "Lifetime average events/second published",
                                           "events/s");
     fanout_lag_hist_ = &registry.histogram(
-        "aggregator.fanout_lag_us", {},
+        "aggregator.fanout_lag_us", labels,
         "Operation timestamp to aggregator publish (fan-out lag)", "us");
-    batch_size_hist_ = &registry.histogram("aggregator.batch_size", {},
+    batch_size_hist_ = &registry.histogram("aggregator.batch_size", labels,
                                            "Events per batch frame pumped through the "
                                            "aggregator",
                                            "events");
-    batch_bytes_hist_ = &registry.histogram("aggregator.batch_bytes", {},
+    batch_bytes_hist_ = &registry.histogram("aggregator.batch_bytes", labels,
                                             "Encoded bytes per batch frame pumped "
                                             "through the aggregator",
                                             "bytes");
@@ -131,6 +133,7 @@ Status Aggregator::restart() {
     store_.reset();
     eventstore::EventStoreOptions store_options = *options_.store;
     if (store_options.metrics == nullptr) store_options.metrics = options_.metrics;
+    if (store_options.labels.empty()) store_options.labels = options_.labels;
     store_ = std::make_unique<eventstore::EventStore>(store_options);
     next_id_.store(store_->last_id() + 1);
   }
@@ -268,7 +271,12 @@ bool Aggregator::process_frame(msgq::Message& message) {
     if (!view) return false;  // unreachable: rebuild produces valid frames
   }
 
-  if (auto outcome = chaos::fault("aggregator.before_publish")) {
+  // Generic point first, then this instance's scoped point (set per
+  // shard): a fault plan can hit every aggregator or exactly one.
+  auto outcome = chaos::fault("aggregator.before_publish");
+  if (!outcome && !options_.fault_scope.empty())
+    outcome = chaos::fault(options_.fault_scope + "before_publish");
+  if (outcome) {
     if (outcome.action == chaos::FaultAction::kCrash) {
       crashed_.store(true);
       return false;
@@ -333,7 +341,10 @@ void Aggregator::pump_loop(std::stop_token) {
 }
 
 bool Aggregator::persist_one(PersistBatch& batch) {
-  if (auto outcome = chaos::fault("aggregator.before_persist")) {
+  auto outcome = chaos::fault("aggregator.before_persist");
+  if (!outcome && !options_.fault_scope.empty())
+    outcome = chaos::fault(options_.fault_scope + "before_persist");
+  if (outcome) {
     if (outcome.action == chaos::FaultAction::kCrash) {
       crashed_.store(true);
       return false;
@@ -359,6 +370,10 @@ bool Aggregator::persist_one(PersistBatch& batch) {
   payloads.reserve(view.value().count);
   for (const auto& [offset, length] : view.value().events)
     payloads.push_back(frame.subspan(offset, length));
+  // Modeled commit latency (paper: one MySQL commit per stored batch),
+  // paid before the append so the batch is durable only after the
+  // round trip — exactly where a real remote commit would block.
+  if (options_.commit_latency.count() > 0) clock_.sleep_for(options_.commit_latency);
   if (auto s = store_->append_batch(batch.first_id, payloads); !s.is_ok()) {
     // Fail-stop: dropping the batch here would break the "acked implies
     // durable" invariant, so the stage crashes instead. The events stay

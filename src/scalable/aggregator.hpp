@@ -41,6 +41,22 @@ struct AggregatorOptions {
   /// Observability registry; null = uninstrumented. Registers
   /// aggregator.* and (when a store is configured) wal.* / store.*.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Extra labels on every metric this aggregator (and its store)
+  /// registers. A sharded deployment sets {{"shard", "<k>"}} so the N
+  /// instances get distinct instruments instead of fighting over one.
+  obs::Labels labels;
+  /// Chaos fault-point scope, e.g. "aggregator.shard2.". When set, the
+  /// publish/persist paths consult the scoped points
+  /// (<scope>before_publish / <scope>before_persist) *in addition to*
+  /// the generic aggregator.* points, so a fault plan can target one
+  /// shard while fleet-wide plans keep working.
+  std::string fault_scope;
+  /// Modeled durable-commit latency per persisted batch (the paper's
+  /// aggregator commits each batch to MySQL; this stands in for that
+  /// round trip). Slept for real in the persist thread. Zero (default)
+  /// for production paths; the shard scaling bench sets it so the
+  /// per-shard persist threads have genuine latency to overlap.
+  common::Duration commit_latency{};
 };
 
 class Aggregator {

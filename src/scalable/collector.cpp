@@ -2,6 +2,7 @@
 
 #include "src/chaos/fault.hpp"
 #include "src/common/logging.hpp"
+#include "src/scalable/shard_router.hpp"
 
 namespace fsmon::scalable {
 
@@ -125,9 +126,21 @@ void Collector::publish_events(core::EventBatch& batch) {
     if (outcome.action == chaos::FaultAction::kDelay) clock_.sleep_for(outcome.delay);
   }
   const auto bytes = core::encode_batch(batch);
-  const std::size_t accepted = publisher_->publish(
-      topic_, std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
-  if (accepted == 0 && publisher_->subscriber_count() > 0) {
+  std::string frame(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  std::size_t accepted = 0;
+  std::size_t subscribers = 0;
+  if (router_ != nullptr) {
+    // Routed path: the router picks the owning shard and publishes into
+    // its inbox synchronously, so refusal detection below still observes
+    // the real downstream state.
+    const auto routed = router_->route(topic_, std::move(frame));
+    accepted = routed.accepted;
+    subscribers = routed.subscribers;
+  } else {
+    accepted = publisher_->publish(topic_, std::move(frame));
+    subscribers = publisher_->subscriber_count();
+  }
+  if (accepted == 0 && subscribers > 0) {
     // The inbox refused the frame — it is closed across a downstream
     // crash window. The records are not lost (they stay unacked in the
     // changelog), but any later frame that does get through would start

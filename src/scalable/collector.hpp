@@ -37,6 +37,8 @@
 
 namespace fsmon::scalable {
 
+class ShardRouter;
+
 struct CollectorOptions {
   std::size_t batch_size = 512;
   /// Max resolved events per published batch frame. Each changelog batch
@@ -78,6 +80,13 @@ class Collector {
   common::Status start();
   void stop();
   bool running() const { return running_.load(); }
+
+  /// Publish through a shard router instead of the raw publisher: each
+  /// frame is routed (synchronously, on this collector's thread) to the
+  /// aggregator shard owning its source, preserving the refused-publish
+  /// rewind signal. Null (default) keeps the direct publisher path.
+  /// Not thread-safe; set before start().
+  void set_router(ShardRouter* router) { router_ = router; }
 
   /// Drain whatever is currently in the changelog synchronously (used by
   /// deterministic tests instead of the polling thread). Returns records
@@ -141,6 +150,7 @@ class Collector {
   lustre::LustreFs& fs_;
   std::uint32_t mds_index_;
   std::shared_ptr<msgq::Publisher> publisher_;
+  ShardRouter* router_ = nullptr;  ///< Optional; see set_router().
   CollectorOptions options_;
   common::Clock& clock_;
   std::string user_id_;

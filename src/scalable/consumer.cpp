@@ -7,17 +7,17 @@ namespace fsmon::scalable {
 using common::Result;
 using common::Status;
 
-Consumer::Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
+Consumer::Consumer(msgq::Bus& bus, ShardedAggregator& aggregator, std::string name,
                    ConsumerOptions options, EventCallback callback)
     : Consumer(bus, aggregator, std::move(name), std::move(options), std::move(callback),
                BatchCallback{}) {}
 
-Consumer::Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
+Consumer::Consumer(msgq::Bus& bus, ShardedAggregator& aggregator, std::string name,
                    ConsumerOptions options, BatchCallback callback)
     : Consumer(bus, aggregator, std::move(name), std::move(options), EventCallback{},
                std::move(callback)) {}
 
-Consumer::Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
+Consumer::Consumer(msgq::Bus& bus, ShardedAggregator& aggregator, std::string name,
                    ConsumerOptions options, EventCallback callback,
                    BatchCallback batch_callback)
     : bus_(bus),
@@ -27,9 +27,15 @@ Consumer::Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
       callback_(std::move(callback)),
       batch_callback_(std::move(batch_callback)),
       subscriber_(bus_.make_subscriber(name_, options_.high_water_mark,
-                                       options_.overflow_policy)) {
+                                       options_.overflow_policy)),
+      seen_(aggregator.shard_count()),
+      acked_(aggregator.shard_count()) {
   subscriber_->subscribe("");  // receive everything; filter locally
-  aggregator_.output()->connect(subscriber_);
+  // One inbox fed by every shard: frames from different shards
+  // interleave at the queue, but each frame is whole, so per-shard order
+  // is preserved (each shard's publisher pushes in its id order).
+  for (std::size_t k = 0; k < aggregator_.shard_count(); ++k)
+    aggregator_.shard(k).output()->connect(subscriber_);
   if (options_.metrics != nullptr) {
     auto& registry = *options_.metrics;
     const obs::Labels labels{{"consumer", name_}};
@@ -42,7 +48,7 @@ Consumer::Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
         "Events re-delivered from the reliable store (fault recovery)", "events");
     delivery_lag_gauge_ = &registry.gauge(
         "consumer.delivery_lag_events", labels,
-        "Aggregator head id minus last event seen by this consumer", "events");
+        "Sum of shard head ids minus events seen by this consumer", "events");
     overflow_dropped_gauge_ = &registry.gauge(
         "consumer.overflow_dropped", labels,
         "Events lost to the high-water mark (kDropNewest only)", "events");
@@ -58,15 +64,29 @@ bool Consumer::matches(const core::StdEvent& event) const {
   return core::matches_any(options_.rules, event);
 }
 
+VectorCursor Consumer::seen_cursor() const {
+  std::lock_guard lock(deliver_mu_);
+  return seen_;
+}
+
 void Consumer::deliver_batch(const core::EventBatch& batch, bool dedup_filter) {
   if (batch.empty()) return;
   std::lock_guard lock(deliver_mu_);
-  const core::StdEvent& last = batch.events.back();
-  last_seen_.store(last.id);
+  // A live frame carries one shard's events; a merged replay page may
+  // mix shards. Either way the owning shard is recomputed from the
+  // event source through the shared map — the same rule the router
+  // applied on the write path.
+  const std::size_t shard_count = aggregator_.shard_count();
+  for (const core::StdEvent& event : batch.events) {
+    const std::size_t shard =
+        shard_count == 1 ? 0 : aggregator_.map().shard_of(event.source);
+    seen_.advance(shard, event.id);
+  }
+  last_seen_sum_.store(seen_.sum());
   if (delivery_lag_gauge_ != nullptr) {
-    const auto head = aggregator_.last_event_id();
-    delivery_lag_gauge_->set(
-        head > last.id ? static_cast<std::int64_t>(head - last.id) : 0);
+    const auto head = aggregator_.last_event_id_sum();
+    const auto seen = seen_.sum();
+    delivery_lag_gauge_->set(head > seen ? static_cast<std::int64_t>(head - seen) : 0);
     overflow_dropped_gauge_->set(static_cast<std::int64_t>(subscriber_->dropped()));
     batch_size_hist_->record(batch.size());
   }
@@ -112,9 +132,9 @@ void Consumer::deliver_batch(const core::EventBatch& batch, bool dedup_filter) {
   }
   if (batch_callback_ && !matched.empty()) batch_callback_(matched);
   if (options_.ack_interval > 0 &&
-      last.id - last_acked_.load() >= options_.ack_interval) {
-    aggregator_.acknowledge(last.id);
-    last_acked_.store(last.id);
+      seen_.sum() - acked_.sum() >= options_.ack_interval) {
+    aggregator_.acknowledge(seen_);
+    acked_ = seen_;
   }
 }
 
@@ -151,11 +171,16 @@ void Consumer::crash() {
 Status Consumer::restart() {
   if (running_.load()) return Status::ok();
   subscriber_->reopen();
+  VectorCursor resume;
+  {
+    std::lock_guard lock(deliver_mu_);
+    resume = acked_;
+  }
   // Replay BEFORE the worker starts: if a live frame arrived first it
   // would initialize the dedup watermark at a high index and the replayed
   // prefix would be misread as duplicates (lost events). Replaying first
   // seeds the window from the oldest unacked record.
-  if (auto replayed = replay_historic(last_acked_.load()); !replayed) {
+  if (auto replayed = replay_historic(std::move(resume), /*rewind=*/true); !replayed) {
     return replayed.status();
   }
   return start();
@@ -176,19 +201,33 @@ void Consumer::run(std::stop_token) {
 }
 
 Result<std::size_t> Consumer::replay_historic(std::optional<common::EventId> after_id) {
-  common::EventId cursor = after_id.value_or(last_acked_.load());
-  // An explicit after_id is an intentional rewind: reset the dedup
-  // window so the requested range is delivered again, and bypass the
-  // duplicate filter for the replayed batches themselves. The batches
-  // still mark the window, so live duplicates of the replayed range are
-  // suppressed afterwards.
+  VectorCursor cursor(aggregator_.shard_count());
   if (after_id.has_value()) {
+    for (auto& id : cursor.last_ids) id = *after_id;
+    return replay_historic(std::move(cursor), /*rewind=*/true);
+  }
+  {
+    std::lock_guard lock(deliver_mu_);
+    cursor = acked_;
+  }
+  return replay_historic(std::move(cursor), /*rewind=*/false);
+}
+
+Result<std::size_t> Consumer::replay_historic(VectorCursor cursor, bool rewind) {
+  // An intentional rewind resets the dedup window so the requested range
+  // is delivered again, and bypasses the duplicate filter for the
+  // replayed batches themselves. The batches still mark the window, so
+  // live duplicates of the replayed range are suppressed afterwards.
+  if (rewind) {
     std::lock_guard lock(deliver_mu_);
     dedup_.clear();
   }
-  // Page through the store instead of materializing the whole backlog:
-  // a consumer that lagged by millions of events replays in
-  // `replay_page`-sized batches, each fetched (and freed) in turn.
+  // Page through the merged view instead of materializing the whole
+  // backlog: a consumer that lagged by millions of events replays in
+  // `replay_page`-sized merged pages, each fetched (and freed) in turn.
+  // The page fetch never runs under deliver_mu_ — the stores are paged
+  // first, delivery locks second — so a slow callback can stall
+  // delivery but never deadlock the store paging of any shard.
   const std::size_t page = options_.replay_page > 0 ? options_.replay_page : 4096;
   std::size_t count = 0;
   for (;;) {
@@ -197,9 +236,8 @@ Result<std::size_t> Consumer::replay_historic(std::optional<common::EventId> aft
     if (events.value().empty()) break;
     core::EventBatch batch;
     batch.events = std::move(events.value());
-    cursor = batch.events.back().id;
     count += batch.size();
-    deliver_batch(batch, /*dedup_filter=*/!after_id.has_value());
+    deliver_batch(batch, /*dedup_filter=*/!rewind);
     if (batch.size() < page) break;
   }
   if (replayed_counter_ != nullptr) replayed_counter_->inc(count);

@@ -1,12 +1,15 @@
 // Consumer service (paper Section IV "Consumption").
 //
-// Subscribes to the aggregator, filters locally ("this filtering of
-// events is not done at the aggregator in order to alleviate potential
-// overheads if a large number of consumers were to ask to monitor
-// different files and directories"), and delivers matching events to the
-// application callback. After a failure, a consumer resumes by replaying
-// historic events from the aggregator's reliable store starting at its
-// last acknowledged event id.
+// Subscribes to every aggregator shard's output, filters locally ("this
+// filtering of events is not done at the aggregator in order to
+// alleviate potential overheads if a large number of consumers were to
+// ask to monitor different files and directories"), and delivers
+// matching events to the application callback. After a failure, a
+// consumer resumes by replaying historic events from the shards'
+// reliable stores starting at its last acknowledged vector cursor —
+// one watermark per shard, since each shard assigns its own dense id
+// sequence. Replay is the merged, timestamp-ordered view served by
+// ShardedAggregator::events_since.
 #pragma once
 
 #include <atomic>
@@ -21,8 +24,8 @@
 #include <vector>
 
 #include "src/core/filter.hpp"
-#include "src/scalable/aggregator.hpp"
 #include "src/scalable/dedup_window.hpp"
+#include "src/scalable/sharded_aggregator.hpp"
 
 namespace fsmon::scalable {
 
@@ -36,11 +39,12 @@ struct ConsumerOptions {
   common::OverflowPolicy overflow_policy = common::OverflowPolicy::kBlock;
   /// Paths/rules this consumer cares about; empty = everything.
   std::vector<core::FilterRule> rules;
-  /// Acknowledge to the aggregator every N delivered events.
+  /// Acknowledge to the aggregator every N delivered events (counted
+  /// across all shards).
   std::size_t ack_interval = 1024;
-  /// Events fetched per page during replay_historic. Bounds the replay's
-  /// peak memory to one page regardless of how far this consumer lags;
-  /// the store streams each page from disk.
+  /// Events fetched per merged page during replay_historic. Bounds the
+  /// replay's peak memory to one page regardless of how far this
+  /// consumer lags; the stores stream each page from disk.
   std::size_t replay_page = 4096;
   /// Observability registry; null = uninstrumented. Registers consumer.*
   /// and filter.* labelled consumer=<name>.
@@ -52,12 +56,12 @@ class Consumer {
   using EventCallback = std::function<void(const core::StdEvent&)>;
   using BatchCallback = std::function<void(const core::EventBatch&)>;
 
-  Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
+  Consumer(msgq::Bus& bus, ShardedAggregator& aggregator, std::string name,
            ConsumerOptions options, EventCallback callback);
   /// Batch-aware variant: the callback is invoked once per received
   /// batch with only the events that pass this consumer's filter. The
   /// per-event constructor is a shim over the same batched path.
-  Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
+  Consumer(msgq::Bus& bus, ShardedAggregator& aggregator, std::string name,
            ConsumerOptions options, BatchCallback callback);
   ~Consumer();
 
@@ -72,21 +76,26 @@ class Consumer {
   void crash();
   /// Restart after crash(): reopen the inbox (empty — a real restart has
   /// no process memory), start the worker, and replay from the last
-  /// acknowledged id so nothing delivered-and-acked repeats and nothing
-  /// unacked is lost. Replayed and live deliveries overlapping during
-  /// catch-up are collapsed by the per-source dedup window.
+  /// acknowledged cursor so nothing delivered-and-acked repeats and
+  /// nothing unacked is lost. Replayed and live deliveries overlapping
+  /// during catch-up are collapsed by the per-source dedup window.
   common::Status restart();
 
-  /// Replay events since `after_id` (or since the last acknowledged id
-  /// when nullopt) from the reliable store, through the same filter and
-  /// callback. Runs on the caller's thread; delivery is serialized with
-  /// the live-delivery thread, so the callback is never invoked
-  /// concurrently (but replayed and live batches may interleave).
-  /// Passing an explicit `after_id` is an intentional rewind: the dedup
-  /// window resets so the replayed range is delivered again.
-  /// Returns the number of events delivered.
+  /// Replay events since `after_id` (or since the last acknowledged
+  /// cursor when nullopt) from the reliable stores, through the same
+  /// filter and callback. The scalar is applied to every shard's slot —
+  /// exact historic semantics with one shard; with several it is chiefly
+  /// useful as 0 (full rewind). Runs on the caller's thread; delivery is
+  /// serialized with the live-delivery thread, so the callback is never
+  /// invoked concurrently (but replayed and live batches may
+  /// interleave). Passing an explicit `after_id` is an intentional
+  /// rewind: the dedup window resets so the replayed range is delivered
+  /// again. Returns the number of events delivered.
   common::Result<std::size_t> replay_historic(
       std::optional<common::EventId> after_id = std::nullopt);
+  /// Vector-cursor variant: replay everything after `cursor`. `rewind`
+  /// gives the explicit-after_id semantics above (dedup reset + bypass).
+  common::Result<std::size_t> replay_historic(VectorCursor cursor, bool rewind);
 
   bool matches(const core::StdEvent& event) const;
 
@@ -96,11 +105,15 @@ class Consumer {
   std::uint64_t duplicates_suppressed() const { return duplicates_.load(); }
   /// Events lost to the high-water mark (only with kDropNewest).
   std::uint64_t dropped() const { return subscriber_->dropped(); }
-  common::EventId last_seen_id() const { return last_seen_.load(); }
+  /// Sum of the per-shard seen watermarks — total distinct events this
+  /// consumer has observed; equal to the plain last id with one shard.
+  common::EventId last_seen_id() const { return last_seen_sum_.load(); }
+  /// Snapshot of the per-shard seen cursor.
+  VectorCursor seen_cursor() const;
   const std::string& name() const { return name_; }
 
  private:
-  Consumer(msgq::Bus& bus, Aggregator& aggregator, std::string name,
+  Consumer(msgq::Bus& bus, ShardedAggregator& aggregator, std::string name,
            ConsumerOptions options, EventCallback callback, BatchCallback batch_callback);
 
   void run(std::stop_token stop);
@@ -115,20 +128,21 @@ class Consumer {
   void deliver_batch(const core::EventBatch& batch, bool dedup_filter = true);
 
   msgq::Bus& bus_;
-  Aggregator& aggregator_;
+  ShardedAggregator& aggregator_;
   std::string name_;
   ConsumerOptions options_;
   EventCallback callback_;
   BatchCallback batch_callback_;
   std::shared_ptr<msgq::Subscriber> subscriber_;
-  std::mutex deliver_mu_;  ///< Serializes live and replay deliveries.
+  mutable std::mutex deliver_mu_;  ///< Serializes live and replay deliveries.
   std::map<std::string, SourceDedupWindow> dedup_;  ///< Guarded by deliver_mu_.
+  VectorCursor seen_;   ///< Per-shard last seen ids. Guarded by deliver_mu_.
+  VectorCursor acked_;  ///< Per-shard last acked ids. Guarded by deliver_mu_.
   std::jthread worker_;
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> filtered_{0};
   std::atomic<std::uint64_t> duplicates_{0};
-  std::atomic<common::EventId> last_seen_{0};
-  std::atomic<common::EventId> last_acked_{0};
+  std::atomic<std::uint64_t> last_seen_sum_{0};
   std::atomic<bool> running_{false};
   core::FilterMetrics filter_metrics_;  ///< Zeroed when uninstrumented.
   obs::Counter* delivered_counter_ = nullptr;

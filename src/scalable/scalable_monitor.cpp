@@ -7,13 +7,20 @@ using common::Status;
 ScalableMonitor::ScalableMonitor(lustre::LustreFs& fs, ScalableMonitorOptions options,
                                  common::Clock& clock)
     : fs_(fs), options_(std::move(options)), clock_(clock) {
-  aggregator_ = std::make_unique<Aggregator>(bus_, "aggregator", options_.aggregator, clock_);
+  ShardedAggregatorOptions sharded_options;
+  sharded_options.shards = options_.shards;
+  sharded_options.aggregator = options_.aggregator;
+  sharded_ = std::make_unique<ShardedAggregator>(bus_, "aggregator",
+                                                 std::move(sharded_options), clock_);
   for (std::uint32_t i = 0; i < fs_.mdt_count(); ++i) {
+    // Collectors publish through the shard router (which owns the
+    // per-shard inbox connections); the per-collector publisher remains
+    // its bus identity but carries no subscribers.
     auto publisher =
         bus_.make_publisher(options_.collector.topic_prefix + "collector" + std::to_string(i));
-    publisher->connect(aggregator_->inbox());
     collectors_.push_back(
         std::make_unique<Collector>(fs_, i, std::move(publisher), options_.collector, clock_));
+    collectors_.back()->set_router(&sharded_->router());
     fs_.mgs().register_service(
         {"collector-" + std::to_string(i), "collector", "msgq://collector" + std::to_string(i)});
   }
@@ -21,7 +28,7 @@ ScalableMonitor::ScalableMonitor(lustre::LustreFs& fs, ScalableMonitorOptions op
   // Durable-custody acks flow back here: demux the event source
   // ("lustre:MDT<i>") to the owning collector, which clears its
   // changelog up to the acked record index.
-  aggregator_->set_ack_callback([this](std::string_view source, std::uint64_t index) {
+  sharded_->set_ack_callback([this](std::string_view source, std::uint64_t index) {
     constexpr std::string_view kPrefix = "lustre:MDT";
     if (source.size() <= kPrefix.size() || source.substr(0, kPrefix.size()) != kPrefix)
       return;
@@ -36,7 +43,7 @@ ScalableMonitor::ScalableMonitor(lustre::LustreFs& fs, ScalableMonitorOptions op
 
 Status ScalableMonitor::start() {
   if (running_) return Status::ok();
-  if (auto s = aggregator_->start(); !s.is_ok()) return s;
+  if (auto s = sharded_->start(); !s.is_ok()) return s;
   for (auto& collector : collectors_) {
     if (auto s = collector->start(); !s.is_ok()) return s;
   }
@@ -47,14 +54,14 @@ Status ScalableMonitor::start() {
 void ScalableMonitor::stop() {
   if (!running_) return;
   for (auto& collector : collectors_) collector->stop();
-  aggregator_->stop();
+  sharded_->stop();
   running_ = false;
 }
 
 std::unique_ptr<Consumer> ScalableMonitor::make_consumer(std::string name,
                                                          ConsumerOptions options,
                                                          Consumer::EventCallback callback) {
-  auto consumer = std::make_unique<Consumer>(bus_, *aggregator_, std::move(name),
+  auto consumer = std::make_unique<Consumer>(bus_, *sharded_, std::move(name),
                                              std::move(options), std::move(callback));
   if (running_) consumer->start();
   return consumer;
@@ -63,7 +70,7 @@ std::unique_ptr<Consumer> ScalableMonitor::make_consumer(std::string name,
 std::unique_ptr<Consumer> ScalableMonitor::make_consumer(std::string name,
                                                          ConsumerOptions options,
                                                          Consumer::BatchCallback callback) {
-  auto consumer = std::make_unique<Consumer>(bus_, *aggregator_, std::move(name),
+  auto consumer = std::make_unique<Consumer>(bus_, *sharded_, std::move(name),
                                              std::move(options), std::move(callback));
   if (running_) consumer->start();
   return consumer;
@@ -72,27 +79,50 @@ std::unique_ptr<Consumer> ScalableMonitor::make_consumer(std::string name,
 std::size_t ScalableMonitor::drain_collectors_once() {
   std::size_t total = 0;
   for (auto& collector : collectors_) total += collector->drain_once();
-  // Pump the aggregator synchronously so persistence acks are generated,
-  // then apply the resulting changelog clears — the deterministic
-  // equivalent of one full publish -> persist -> ack -> clear cycle.
-  if (!running_) aggregator_->drain_once();
+  // Pump each aggregator shard synchronously so persistence acks are
+  // generated, then apply the resulting changelog clears — the
+  // deterministic equivalent of one full publish -> persist -> ack ->
+  // clear cycle.
+  if (!running_) {
+    for (std::size_t k = 0; k < sharded_->shard_count(); ++k)
+      sharded_->shard(k).drain_once();
+  }
   for (auto& collector : collectors_) collector->apply_acked_clear();
   return total;
 }
 
 common::Status ScalableMonitor::restart_aggregator() {
   // Ordering matters twice here. First finish the fail-stop teardown: a
-  // self-crashed aggregator exits its loops with the inbox still open,
-  // and a collector that rewound now would replay into that doomed inbox
-  // and lose the replay with the discarded backlog when it closes. Then
-  // set the rewind flags BEFORE the inbox reopens: collectors suppress
+  // self-crashed shard exits its loops with the inbox still open, and a
+  // collector that rewound now would replay into that doomed inbox and
+  // lose the replay with the discarded backlog when it closes. Then set
+  // the rewind flags BEFORE any inbox reopens: collectors suppress
   // publishing the moment the flag is set, so no stale read-ahead frame
-  // can slip into the recovered aggregator and open a gap above its
-  // rebuilt watermark.
-  if (aggregator_->crashed()) aggregator_->crash();
+  // can slip into a recovered shard and open a gap above its rebuilt
+  // watermark.
+  for (std::size_t k = 0; k < sharded_->shard_count(); ++k) {
+    if (sharded_->shard(k).crashed()) sharded_->shard(k).crash();
+  }
   for (auto& collector : collectors_) collector->rewind_to_cleared();
-  if (auto s = aggregator_->restart(); !s.is_ok()) return s;
+  for (std::size_t k = 0; k < sharded_->shard_count(); ++k) {
+    if (auto s = sharded_->shard(k).restart(); !s.is_ok()) return s;
+  }
   return Status::ok();
+}
+
+common::Status ScalableMonitor::restart_aggregator_shard(std::size_t k) {
+  // Same two-phase ordering as restart_aggregator(), scoped to one
+  // shard: finish its teardown, rewind exactly the collectors whose
+  // source the map assigns to this shard (their unpersisted frames died
+  // with it), then recover. Collectors owned by other shards keep
+  // publishing throughout.
+  Aggregator& shard = sharded_->shard(k);
+  if (shard.crashed()) shard.crash();
+  for (std::size_t i = 0; i < collectors_.size(); ++i) {
+    if (sharded_->map().shard_of(collector_source(i)) == k)
+      collectors_[i]->rewind_to_cleared();
+  }
+  return shard.restart();
 }
 
 std::uint64_t ScalableMonitor::total_records_processed() const {

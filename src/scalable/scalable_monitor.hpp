@@ -10,15 +10,19 @@
 #include <vector>
 
 #include "src/core/dsi.hpp"
-#include "src/scalable/aggregator.hpp"
 #include "src/scalable/collector.hpp"
 #include "src/scalable/consumer.hpp"
+#include "src/scalable/sharded_aggregator.hpp"
 
 namespace fsmon::scalable {
 
 struct ScalableMonitorOptions {
   CollectorOptions collector;
   AggregatorOptions aggregator;
+  /// Aggregator shard count. 1 (default) is the historic single
+  /// aggregator, byte-for-byte; N partitions the tier by event source
+  /// through the ShardRouter (see docs/ARCHITECTURE.md).
+  std::size_t shards = 1;
 };
 
 class ScalableMonitor {
@@ -37,7 +41,10 @@ class ScalableMonitor {
   std::unique_ptr<Consumer> make_consumer(std::string name, ConsumerOptions options,
                                           Consumer::BatchCallback callback);
 
-  Aggregator& aggregator() { return *aggregator_; }
+  /// Shard 0 — with the default single shard, exactly the historic
+  /// aggregator accessor. Sharded callers use sharded().
+  Aggregator& aggregator() { return sharded_->shard(0); }
+  ShardedAggregator& sharded() { return *sharded_; }
   Collector& collector(std::size_t i) { return *collectors_.at(i); }
   std::size_t collector_count() const { return collectors_.size(); }
   msgq::Bus& bus() { return bus_; }
@@ -54,18 +61,33 @@ class ScalableMonitor {
   common::Status restart_collector(std::size_t i) {
     return collectors_.at(i)->restart();
   }
-  void crash_aggregator() { aggregator_->crash(); }
-  /// Restart the aggregator and rewind every collector to its cleared
-  /// index: frames buffered in the dead aggregator are gone, so unacked
-  /// records must be re-published (the dedup watermark absorbs overlap).
+  /// Crash every aggregator shard (the whole tier fails together).
+  void crash_aggregator() {
+    for (std::size_t k = 0; k < sharded_->shard_count(); ++k) sharded_->shard(k).crash();
+  }
+  /// Restart the aggregator tier and rewind every collector to its
+  /// cleared index: frames buffered in the dead shards are gone, so
+  /// unacked records must be re-published (the dedup watermark absorbs
+  /// overlap).
   common::Status restart_aggregator();
 
+  /// Fail-stop / restart a single shard. Restart rewinds only the
+  /// collectors whose source the shard map assigns to that shard — the
+  /// other shards (and their collectors) keep flowing undisturbed.
+  void crash_aggregator_shard(std::size_t k) { sharded_->shard(k).crash(); }
+  common::Status restart_aggregator_shard(std::size_t k);
+
  private:
+  /// Source string collector i publishes under (the shard-map key).
+  static std::string collector_source(std::size_t i) {
+    return "lustre:MDT" + std::to_string(i);
+  }
+
   lustre::LustreFs& fs_;
   ScalableMonitorOptions options_;
   common::Clock& clock_;
   msgq::Bus bus_;
-  std::unique_ptr<Aggregator> aggregator_;
+  std::unique_ptr<ShardedAggregator> sharded_;
   std::vector<std::unique_ptr<Collector>> collectors_;
   bool running_ = false;
 };

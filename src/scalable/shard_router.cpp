@@ -1,0 +1,96 @@
+#include "src/scalable/shard_router.hpp"
+
+#include "src/chaos/fault.hpp"
+#include "src/common/logging.hpp"
+#include "src/core/event.hpp"
+
+namespace fsmon::scalable {
+
+ShardRouter::ShardRouter(msgq::Bus& bus, const ShardMap& map,
+                         std::vector<std::shared_ptr<msgq::Subscriber>> inboxes,
+                         common::Clock& clock, obs::MetricsRegistry* metrics)
+    : map_(map), clock_(clock) {
+  publishers_.reserve(inboxes.size());
+  frames_counters_.resize(inboxes.size(), nullptr);
+  events_counters_.resize(inboxes.size(), nullptr);
+  for (std::size_t k = 0; k < inboxes.size(); ++k) {
+    auto publisher = bus.make_publisher("router/shard" + std::to_string(k));
+    publisher->connect(inboxes[k]);
+    publishers_.push_back(std::move(publisher));
+    if (metrics != nullptr) {
+      const obs::Labels labels{{"shard", std::to_string(k)}};
+      frames_counters_[k] =
+          &metrics->counter("router.frames_routed", labels,
+                            "Batch frames routed to this aggregator shard", "frames");
+      events_counters_[k] =
+          &metrics->counter("router.events_routed", labels,
+                            "Events inside frames routed to this aggregator shard",
+                            "events");
+    }
+  }
+  if (metrics != nullptr) {
+    refused_counter_ = &metrics->counter(
+        "router.frames_refused", {},
+        "Frames refused at the router (shard inbox closed, or an injected "
+        "router.before_route fault) — the collector rewinds and replays",
+        "frames");
+    unroutable_counter_ = &metrics->counter(
+        "router.frames_unroutable", {},
+        "Frames whose source could not be peeked; routed to shard 0", "frames");
+  }
+}
+
+RouteResult ShardRouter::route(const std::string& topic, std::string payload) {
+  // Peek the routing key out of the encoded frame without decoding
+  // events: the first event's source names the stream, and the map is
+  // stable, so every frame of that stream lands on the same shard.
+  const auto frame = std::as_bytes(std::span(payload.data(), payload.size()));
+  auto view = core::view_batch(frame, /*verify_crc=*/false);
+  std::size_t shard = 0;
+  std::size_t count = 1;
+  bool routable = false;
+  if (view && view.value().count > 0) {
+    count = view.value().count;
+    const auto& [offset, length] = view.value().events[0];
+    if (auto source = core::peek_event_source(frame.subspan(offset, length))) {
+      shard = map_.shard_of(source.value());
+      routable = true;
+    }
+  }
+  if (!routable) {
+    FSMON_WARN("router", "frame source unreadable; routing to shard 0");
+    if (unroutable_counter_ != nullptr) unroutable_counter_->inc();
+  }
+  RouteResult result;
+  result.shard = shard;
+  result.subscribers = publishers_[shard]->subscriber_count();
+  // The injected link fault refuses the frame rather than silently
+  // accepting-and-dropping it: custody has not transferred yet, so a
+  // silent drop here could let a later ack clear changelog records that
+  // never reached any shard. Refusal reuses the documented closed-inbox
+  // path — the collector rewinds and replays the run contiguously.
+  if (auto outcome = chaos::fault("router.before_route")) {
+    if (outcome.action == chaos::FaultAction::kDelay) {
+      clock_.sleep_for(outcome.delay);
+    } else {
+      refused_.fetch_add(1);
+      if (refused_counter_ != nullptr) refused_counter_->inc();
+      if (result.subscribers == 0) result.subscribers = 1;  // force the rewind signal
+      return result;
+    }
+  }
+  result.accepted = publishers_[shard]->publish(topic, std::move(payload));
+  if (result.accepted == 0) {
+    refused_.fetch_add(1);
+    if (refused_counter_ != nullptr) refused_counter_->inc();
+    return result;
+  }
+  frames_.fetch_add(1);
+  if (frames_counters_[shard] != nullptr) {
+    frames_counters_[shard]->inc();
+    events_counters_[shard]->inc(count);
+  }
+  return result;
+}
+
+}  // namespace fsmon::scalable

@@ -1,0 +1,148 @@
+#include "src/scalable/sharded_aggregator.hpp"
+
+namespace fsmon::scalable {
+
+using common::Result;
+using common::Status;
+
+ShardedAggregator::ShardedAggregator(msgq::Bus& bus, const std::string& name,
+                                     ShardedAggregatorOptions options,
+                                     common::Clock& clock)
+    : map_(options.shards) {
+  const std::size_t n = map_.shards();
+  shards_.reserve(n);
+  topics_.reserve(n);
+  std::vector<std::shared_ptr<msgq::Subscriber>> inboxes;
+  inboxes.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    AggregatorOptions shard_options = options.aggregator;
+    std::string shard_name = name;
+    if (n > 1) {
+      const std::string suffix = "shard" + std::to_string(k);
+      shard_name += "/" + suffix;
+      shard_options.output_topic += "/" + suffix;
+      if (shard_options.store)
+        shard_options.store->directory /= suffix;
+      shard_options.labels.emplace("shard", std::to_string(k));
+      shard_options.fault_scope = "aggregator." + suffix + ".";
+    }
+    topics_.push_back(shard_options.output_topic);
+    shards_.push_back(std::make_unique<Aggregator>(bus, std::move(shard_name),
+                                                   std::move(shard_options), clock));
+    inboxes.push_back(shards_.back()->inbox());
+  }
+  router_ = std::make_unique<ShardRouter>(bus, map_, std::move(inboxes), clock,
+                                          options.aggregator.metrics);
+}
+
+Status ShardedAggregator::start() {
+  for (auto& shard : shards_) {
+    if (auto s = shard->start(); !s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+void ShardedAggregator::stop() {
+  for (auto& shard : shards_) shard->stop();
+}
+
+void ShardedAggregator::set_ack_callback(Aggregator::AckCallback callback) {
+  for (auto& shard : shards_) shard->set_ack_callback(callback);
+}
+
+Result<std::vector<core::StdEvent>> ShardedAggregator::events_since(
+    VectorCursor& cursor, std::size_t max_events) const {
+  const std::size_t n = shards_.size();
+  cursor.ensure(n);
+  std::vector<core::StdEvent> out;
+  if (max_events == 0) return out;
+
+  // One buffered page per shard; refilled independently as heads drain,
+  // so an arbitrarily deep merged backlog materializes at most
+  // n * chunk events at a time. No store lock is held between fetches —
+  // each events_since call pages out of the store and returns.
+  const std::size_t chunk =
+      std::min<std::size_t>(4096, std::max<std::size_t>(max_events / n, 1));
+  struct Head {
+    std::vector<core::StdEvent> page;
+    std::size_t pos = 0;
+    bool exhausted = false;
+  };
+  std::vector<Head> heads(n);
+  auto refill = [&](std::size_t k) -> Status {
+    Head& head = heads[k];
+    head.page.clear();
+    head.pos = 0;
+    auto events = shards_[k]->events_since(cursor.last_ids[k], chunk);
+    if (!events) return events.status();
+    head.page = std::move(events.value());
+    if (head.page.size() < chunk) head.exhausted = true;
+    return Status::ok();
+  };
+  for (std::size_t k = 0; k < n; ++k) {
+    if (auto s = refill(k); !s.is_ok()) return s;
+  }
+
+  while (out.size() < max_events) {
+    // Pop the smallest (timestamp, shard) head. Head comparison only:
+    // within a shard the store order (its id order) is never disturbed,
+    // so the merged stream restricted to one shard IS that shard's
+    // replay — the permutation-free contract.
+    std::size_t best = n;
+    for (std::size_t k = 0; k < n; ++k) {
+      const Head& head = heads[k];
+      if (head.pos >= head.page.size()) continue;
+      if (best == n ||
+          head.page[head.pos].timestamp < heads[best].page[heads[best].pos].timestamp)
+        best = k;
+    }
+    if (best == n) break;  // every shard drained
+    core::StdEvent& event = heads[best].page[heads[best].pos++];
+    cursor.last_ids[best] = event.id;
+    out.push_back(std::move(event));
+    if (heads[best].pos >= heads[best].page.size() && !heads[best].exhausted) {
+      if (auto s = refill(best); !s.is_ok()) return s;
+    }
+  }
+  return out;
+}
+
+void ShardedAggregator::acknowledge(const VectorCursor& cursor) {
+  const std::size_t n = std::min(cursor.size(), shards_.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    if (cursor.last_ids[k] > 0) shards_[k]->acknowledge(cursor.last_ids[k]);
+  }
+}
+
+std::size_t ShardedAggregator::purge() {
+  std::size_t purged = 0;
+  for (auto& shard : shards_) purged += shard->purge();
+  return purged;
+}
+
+std::uint64_t ShardedAggregator::last_event_id_sum() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->last_event_id();
+  return total;
+}
+
+std::uint64_t ShardedAggregator::aggregated() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->aggregated();
+  return total;
+}
+
+std::uint64_t ShardedAggregator::persisted() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->persisted();
+  return total;
+}
+
+bool ShardedAggregator::any_crashed() const {
+  for (const auto& shard : shards_) {
+    if (shard->crashed()) return true;
+  }
+  return false;
+}
+
+}  // namespace fsmon::scalable

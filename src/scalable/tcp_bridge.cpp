@@ -15,13 +15,32 @@ namespace {
 /// Events per frame when streaming a replay; bounds peak frame size.
 constexpr std::size_t kReplayChunk = 256;
 
+/// Shard index from a frame topic's "/shard<k>" suffix; 0 when absent
+/// (one-shard deployments publish under the bare base topic).
+std::size_t shard_of_topic(const std::string& topic) {
+  const auto pos = topic.rfind("/shard");
+  if (pos == std::string::npos) return 0;
+  std::size_t shard = 0;
+  bool digits = false;
+  for (std::size_t i = pos + 6; i < topic.size(); ++i) {
+    const char c = topic[i];
+    if (c < '0' || c > '9') return 0;
+    shard = shard * 10 + static_cast<std::size_t>(c - '0');
+    digits = true;
+  }
+  return digits ? shard : 0;
+}
+
 }  // namespace
 
-AggregatorTcpBridge::AggregatorTcpBridge(Aggregator& aggregator, msgq::Bus& bus)
+AggregatorTcpBridge::AggregatorTcpBridge(ShardedAggregator& aggregator, msgq::Bus& bus)
     : aggregator_(aggregator) {
   tap_ = bus.make_subscriber("tcp-bridge-tap", 1 << 16);
   tap_->subscribe("");
-  aggregator_.output()->connect(tap_);
+  // One tap across every shard output: frames keep their per-shard
+  // topics, so remote consumers can attribute each frame to its shard.
+  for (std::size_t k = 0; k < aggregator_.shard_count(); ++k)
+    aggregator_.shard(k).output()->connect(tap_);
   tcp_.set_control_handler(
       [this](const msgq::Message& request,
              const std::shared_ptr<msgq::TcpConnection>& connection) {
@@ -73,36 +92,44 @@ void AggregatorTcpBridge::pump_loop(std::stop_token) {
 
 void AggregatorTcpBridge::serve_replay(const msgq::Message& request,
                                        const std::shared_ptr<msgq::TcpConnection>& connection) {
-  std::uint64_t after_id = 0;
-  const auto [ptr, ec] = std::from_chars(request.payload.data(),
-                                         request.payload.data() + request.payload.size(),
-                                         after_id);
-  if (ec != std::errc{} || ptr != request.payload.data() + request.payload.size()) {
+  // Vector-cursor payload: "id0,id1,...". A single number is a one-shard
+  // cursor (the historic wire format); a shorter vector than the shard
+  // count replays the missing shards from the start (safe over-replay —
+  // the consumer's dedup window collapses it).
+  auto cursor = VectorCursor::decode(
+      std::string_view(request.payload.data(), request.payload.size()));
+  if (!cursor) {
     FSMON_WARN("tcp-bridge", "malformed replay request payload: ", request.payload);
     return;
   }
-  // Stream in bounded chunks on the requesting connection only — other
-  // subscribers never see another consumer's catch-up traffic. Each
-  // chunk is paged out of the store in turn, so an arbitrarily deep
-  // backlog never materializes in bridge memory.
-  common::EventId cursor = after_id;
-  for (;;) {
-    auto events = aggregator_.events_since(cursor, kReplayChunk);
-    if (!events) {
-      FSMON_WARN("tcp-bridge", "replay after ", cursor,
-                 " failed: ", events.status().to_string());
-      return;
+  cursor->ensure(aggregator_.shard_count());
+  // Stream shard by shard in bounded chunks on the requesting connection
+  // only — other subscribers never see another consumer's catch-up
+  // traffic. Each chunk is paged out of the shard's store in turn, so an
+  // arbitrarily deep backlog never materializes in bridge memory. Every
+  // reply carries the shard's topic, so the consumer advances the right
+  // cursor slot; per-shard contiguity is preserved (merging is the
+  // receiver's concern, same as for live traffic).
+  for (std::size_t k = 0; k < aggregator_.shard_count(); ++k) {
+    common::EventId after = cursor->at(k);
+    for (;;) {
+      auto events = aggregator_.shard(k).events_since(after, kReplayChunk);
+      if (!events) {
+        FSMON_WARN("tcp-bridge", "replay shard ", k, " after ", after,
+                   " failed: ", events.status().to_string());
+        return;
+      }
+      if (events.value().empty()) break;
+      core::EventBatch chunk;
+      chunk.events = std::move(events.value());
+      after = chunk.events.back().id;
+      auto frame = core::encode_batch(chunk);
+      msgq::Message reply{aggregator_.output_topic(k),
+                          std::string(reinterpret_cast<const char*>(frame.data()), frame.size())};
+      if (!connection->send(reply).is_ok()) return;  // requester vanished
+      replayed_.fetch_add(chunk.size());
+      if (chunk.size() < kReplayChunk) break;
     }
-    if (events.value().empty()) return;
-    core::EventBatch chunk;
-    chunk.events = std::move(events.value());
-    cursor = chunk.events.back().id;
-    auto frame = core::encode_batch(chunk);
-    msgq::Message reply{"fsmon/events",
-                        std::string(reinterpret_cast<const char*>(frame.data()), frame.size())};
-    if (!connection->send(reply).is_ok()) return;  // requester vanished
-    replayed_.fetch_add(chunk.size());
-    if (chunk.size() < kReplayChunk) return;
   }
 }
 
@@ -110,18 +137,35 @@ RemoteConsumer::~RemoteConsumer() { stop(); }
 
 Status RemoteConsumer::connect(const std::string& host, std::uint16_t port) {
   // After a reconnect the frames sent while the link was down are gone:
-  // ask the bridge to replay everything after the last id we saw. Runs
+  // ask the bridge to replay everything after the per-shard cursor. Runs
   // on the transport reader thread, before any new live frame is read.
-  subscriber_.set_reconnect_callback([this] { (void)request_replay(last_seen_.load()); });
+  subscriber_.set_reconnect_callback([this] { (void)request_replay(); });
   if (auto s = subscriber_.connect(host, port); !s.is_ok()) return s;
   if (auto s = subscriber_.subscribe(options_.topic); !s.is_ok()) return s;
   worker_ = std::jthread([this](std::stop_token stop) { run(stop); });
   return Status::ok();
 }
 
+Status RemoteConsumer::request_replay() {
+  std::string cursor;
+  {
+    std::lock_guard lock(cursor_mu_);
+    cursor = last_seen_.encode();
+  }
+  return subscriber_.send_control(
+      msgq::Message{std::string(1, msgq::kControlPrefix) + "replay", std::move(cursor)});
+}
+
 Status RemoteConsumer::request_replay(common::EventId after_id) {
+  VectorCursor cursor;
+  {
+    std::lock_guard lock(cursor_mu_);
+    cursor = last_seen_;
+  }
+  cursor.ensure(1);
+  cursor.last_ids[0] = after_id;
   return subscriber_.send_control(msgq::Message{
-      std::string(1, msgq::kControlPrefix) + "replay", std::to_string(after_id)});
+      std::string(1, msgq::kControlPrefix) + "replay", cursor.encode()});
 }
 
 void RemoteConsumer::stop() {
@@ -152,15 +196,35 @@ void RemoteConsumer::run(std::stop_token) {
     }
     if (batch.value().empty()) continue;
     const auto& events = batch.value().events;
-    // A jump in the dense aggregator id sequence means frames were lost
-    // in flight (dropped, or sent while the link was down): fetch the
-    // hole from the reliable store. The replayed frames overlap what
-    // already arrived; the dedup window keeps delivery exactly-once.
-    const common::EventId previous = last_seen_.load();
-    if (previous > 0 && events.front().id > previous + 1) {
-      (void)request_replay(previous);
+    // Each frame belongs to one shard (its topic carries the shard
+    // suffix); shard id sequences are independent, so gap detection and
+    // the cursor are per shard. A jump in a shard's dense id sequence
+    // means frames were lost in flight (dropped, or sent while the link
+    // was down): fetch the hole from the reliable store. The replayed
+    // frames overlap what already arrived; the dedup window keeps
+    // delivery exactly-once.
+    const std::size_t shard = shard_of_topic(message->topic);
+    common::EventId previous = 0;
+    VectorCursor replay_cursor;
+    bool gap = false;
+    {
+      std::lock_guard lock(cursor_mu_);
+      previous = last_seen_.at(shard);
+      gap = previous > 0 && events.front().id > previous + 1;
+      if (gap) {
+        // Snapshot the cursor BEFORE advancing past the hole: the
+        // replay must start at the pre-gap watermark of this shard.
+        replay_cursor = last_seen_;
+        replay_cursor.ensure(shard + 1);
+        replay_cursor.last_ids[shard] = previous;
+      }
+      if (events.back().id > previous) last_seen_.advance(shard, events.back().id);
+      last_seen_sum_.store(last_seen_.sum());
     }
-    if (events.back().id > previous) last_seen_.store(events.back().id);
+    if (gap) {
+      (void)subscriber_.send_control(msgq::Message{
+          std::string(1, msgq::kControlPrefix) + "replay", replay_cursor.encode()});
+    }
     // Whole-batch dedup decisions first (a rename pair shares a cookie
     // and travels in one frame), then mark — mirrors Consumer.
     std::vector<bool> deliverable(events.size(), true);

@@ -26,20 +26,25 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/core/filter.hpp"
 #include "src/msgq/tcp.hpp"
-#include "src/scalable/aggregator.hpp"
 #include "src/scalable/dedup_window.hpp"
+#include "src/scalable/sharded_aggregator.hpp"
 
 namespace fsmon::scalable {
 
 class AggregatorTcpBridge {
  public:
-  AggregatorTcpBridge(Aggregator& aggregator, msgq::Bus& bus);
+  /// Taps every shard's output; replay requests carry a vector cursor
+  /// ("id0,id1,..."; a single number is a valid one-shard cursor, so the
+  /// historic wire format still works) and are answered per shard under
+  /// that shard's topic.
+  AggregatorTcpBridge(ShardedAggregator& aggregator, msgq::Bus& bus);
   ~AggregatorTcpBridge();
 
   AggregatorTcpBridge(const AggregatorTcpBridge&) = delete;
@@ -62,8 +67,8 @@ class AggregatorTcpBridge {
   void serve_replay(const msgq::Message& request,
                     const std::shared_ptr<msgq::TcpConnection>& connection);
 
-  Aggregator& aggregator_;
-  std::shared_ptr<msgq::Subscriber> tap_;  ///< Local tap on the aggregator output.
+  ShardedAggregator& aggregator_;
+  std::shared_ptr<msgq::Subscriber> tap_;  ///< Local tap on every shard output.
   msgq::TcpPublisher tcp_;
   std::jthread pump_;
   std::atomic<std::uint64_t> forwarded_{0};
@@ -107,9 +112,13 @@ class RemoteConsumer {
 
   bool matches(const core::StdEvent& event) const;
 
-  /// Ask the bridge to stream store history after `after_id` to this
-  /// consumer. Fired automatically after a reconnect and on id gaps;
-  /// callable directly for an explicit catch-up.
+  /// Ask the bridge to stream store history after this consumer's
+  /// current per-shard cursor. Fired automatically after a reconnect
+  /// and on per-shard id gaps; callable directly for an explicit
+  /// catch-up.
+  common::Status request_replay();
+  /// Scalar compat: replay after `after_id` on shard 0 (the only shard
+  /// of a one-shard deployment), keeping other shards at their cursor.
   common::Status request_replay(common::EventId after_id);
 
   std::uint64_t delivered() const { return delivered_.load(); }
@@ -118,7 +127,8 @@ class RemoteConsumer {
   std::uint64_t duplicates_suppressed() const { return duplicates_.load(); }
   /// Successful automatic transport reconnects.
   std::uint64_t reconnects() const { return subscriber_.reconnects(); }
-  common::EventId last_seen_id() const { return last_seen_.load(); }
+  /// Sum of the per-shard seen watermarks (the plain id with one shard).
+  common::EventId last_seen_id() const { return last_seen_sum_.load(); }
 
  private:
   static msgq::TcpSubscriberOptions transport_options(const RemoteConsumerOptions& options) {
@@ -141,7 +151,12 @@ class RemoteConsumer {
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> filtered_{0};
   std::atomic<std::uint64_t> duplicates_{0};
-  std::atomic<common::EventId> last_seen_{0};
+  /// Per-shard last seen ids; shard index parsed from the frame topic's
+  /// "/shard<k>" suffix (no suffix = shard 0). Written by the worker,
+  /// read by the transport reader's reconnect callback — guarded.
+  VectorCursor last_seen_;
+  std::mutex cursor_mu_;  ///< Guards last_seen_.
+  std::atomic<std::uint64_t> last_seen_sum_{0};
   /// Worker-thread-only: live and replayed frames funnel through the one
   /// inbox, so no lock is needed.
   std::map<std::string, SourceDedupWindow> dedup_;

@@ -1,0 +1,335 @@
+// Sharded-tier chaos: run the exactly-once verification harness with
+// the aggregator partitioned across four shards while individual shards
+// crash — explicitly and through seeded per-shard fault schedules — and
+// the babysitter restarts only the crashed shard (rewinding only the
+// collectors that shard owns). The surviving shards keep flowing
+// throughout; exactly-once per (source, cookie) must hold in the merged
+// store view and at the consumer.
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "src/chaos/fault.hpp"
+#include "src/common/random.hpp"
+#include "src/scalable/scalable_monitor.hpp"
+
+namespace fsmon::scalable {
+namespace {
+
+using core::StdEvent;
+using lustre::LustreFs;
+using lustre::LustreFsOptions;
+
+struct EventKey {
+  std::string source;
+  std::uint64_t cookie = 0;
+  int kind = 0;
+
+  bool operator<(const EventKey& other) const {
+    return std::tie(source, cookie, kind) <
+           std::tie(other.source, other.cookie, other.kind);
+  }
+  bool operator==(const EventKey& other) const = default;
+};
+
+using KeyCounts = std::map<EventKey, int>;
+
+EventKey key_of(const StdEvent& event) {
+  return EventKey{event.source, event.cookie, static_cast<int>(event.kind)};
+}
+
+/// Same seeded workload shape as chaos_pipeline_test: creates / renames /
+/// unlinks / mkdirs spread over the MDTs by DNE hashing.
+class ChaosWorkload {
+ public:
+  ChaosWorkload(LustreFs& fs, std::uint64_t seed) : fs_(fs), rng_(seed) {
+    for (int i = 0; i < 8; ++i) {
+      const std::string dir = "/d" + std::to_string(i);
+      if (fs_.mkdir(dir).is_ok()) dirs_.push_back(dir);
+    }
+  }
+
+  void step() {
+    const double p = rng_.next_double();
+    if (p < 0.6 || live_.empty()) {
+      const std::string path =
+          dirs_[rng_.next_below(dirs_.size())] + "/f" + std::to_string(next_++);
+      if (fs_.create(path).is_ok()) live_.push_back(path);
+    } else if (p < 0.75) {
+      const std::size_t victim = rng_.next_below(live_.size());
+      const std::string to =
+          dirs_[rng_.next_below(dirs_.size())] + "/r" + std::to_string(next_++);
+      if (fs_.rename(live_[victim], to).is_ok()) live_[victim] = to;
+    } else if (p < 0.9) {
+      const std::size_t victim = rng_.next_below(live_.size());
+      if (fs_.unlink(live_[victim]).is_ok()) {
+        live_[victim] = live_.back();
+        live_.pop_back();
+      }
+    } else {
+      fs_.mkdir("/m" + std::to_string(next_++));
+    }
+  }
+
+ private:
+  LustreFs& fs_;
+  common::Rng rng_;
+  std::vector<std::string> dirs_;
+  std::vector<std::string> live_;
+  int next_ = 0;
+};
+
+class ShardChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fsmon_shardchaos_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    chaos::FaultInjector::instance().disarm();
+    std::filesystem::remove_all(dir_);
+  }
+
+  ScalableMonitorOptions options(const std::filesystem::path& store_dir) {
+    ScalableMonitorOptions o;
+    o.shards = 4;
+    eventstore::EventStoreOptions store;
+    store.directory = store_dir;
+    o.aggregator.store = store;
+    return o;
+  }
+
+  /// Per-shard babysitter: a crashed shard is restarted individually —
+  /// restart_aggregator_shard rewinds only that shard's collectors, the
+  /// rest of the tier is never touched.
+  void babysit(ScalableMonitor& monitor) {
+    for (std::size_t i = 0; i < monitor.collector_count(); ++i) {
+      if (monitor.collector(i).crashed()) {
+        EXPECT_TRUE(monitor.restart_collector(i).is_ok());
+      }
+    }
+    for (std::size_t k = 0; k < monitor.sharded().shard_count(); ++k) {
+      if (monitor.sharded().shard(k).crashed()) {
+        EXPECT_TRUE(monitor.restart_aggregator_shard(k).is_ok());
+      }
+    }
+  }
+
+  void run_with_babysitter(ScalableMonitor& monitor, ChaosWorkload& workload,
+                           int ops) {
+    for (int i = 0; i < ops; ++i) {
+      workload.step();
+      if (i % 4 == 3) {
+        babysit(monitor);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+
+  void settle(ScalableMonitor& monitor, LustreFs& fs) {
+    chaos::FaultInjector::instance().disarm();
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+      babysit(monitor);
+      bool cleared = true;
+      for (std::uint32_t i = 0; i < fs.mdt_count(); ++i) {
+        if (fs.mds(i).mdt().changelog().retained() != 0) {
+          cleared = false;
+          break;
+        }
+      }
+      if (cleared) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::string retained;
+    for (std::uint32_t i = 0; i < fs.mdt_count(); ++i)
+      retained += " MDT" + std::to_string(i) + "=" +
+                  std::to_string(fs.mds(i).mdt().changelog().retained());
+    FAIL() << "pipeline did not settle; retained records:" << retained;
+  }
+
+  /// Merged view across all shard stores (the vector-cursor read path —
+  /// the same pages a recovering consumer replays).
+  KeyCounts collect_store(ScalableMonitor& monitor) {
+    KeyCounts counts;
+    VectorCursor cursor;
+    auto events = monitor.sharded().events_since(cursor);
+    EXPECT_TRUE(events.is_ok()) << events.status().to_string();
+    if (!events.is_ok()) return counts;
+    for (const auto& event : events.value()) ++counts[key_of(event)];
+    return counts;
+  }
+
+  void verify_exactly_once(const KeyCounts& observed, LustreFs& fs,
+                           const std::string& what) {
+    for (const auto& [key, count] : observed) {
+      EXPECT_EQ(count, 1) << what << ": (" << key.source << ", cookie " << key.cookie
+                          << ", kind " << key.kind << ") seen " << count << " times";
+    }
+    for (std::uint32_t i = 0; i < fs.mdt_count(); ++i) {
+      const std::string source = "lustre:MDT" + std::to_string(i);
+      std::set<std::uint64_t> seen;
+      for (const auto& [key, count] : observed) {
+        if (key.source == source) seen.insert(key.cookie);
+      }
+      const std::uint64_t last = fs.mds(i).mdt().changelog().last_index();
+      for (std::uint64_t cookie = 1; cookie <= last; ++cookie) {
+        EXPECT_TRUE(seen.count(cookie) > 0)
+            << what << " lost " << source << " record " << cookie;
+      }
+      EXPECT_EQ(seen.size(), last) << what << ": " << source;
+    }
+  }
+
+  void wait_until(const std::function<bool()>& predicate) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!predicate() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(predicate());
+  }
+
+  std::filesystem::path dir_;
+  common::RealClock clock_;
+};
+
+/// Shared verification tail; see chaos_pipeline_test for why the
+/// store/consumer cross-check is (source, cookie)-granular.
+#define VERIFY_PIPELINE(monitor, fs, consumer_counts, consumer_mu)                \
+  do {                                                                            \
+    settle(monitor, fs);                                                          \
+    const KeyCounts store_counts = collect_store(monitor);                        \
+    verify_exactly_once(store_counts, fs, "store");                               \
+    std::set<std::pair<std::string, std::uint64_t>> store_pairs;                  \
+    for (const auto& [key, count] : store_counts)                                 \
+      store_pairs.emplace(key.source, key.cookie);                                \
+    wait_until([&] {                                                              \
+      std::lock_guard lock(consumer_mu);                                          \
+      std::set<std::pair<std::string, std::uint64_t>> pairs;                      \
+      for (const auto& [key, count] : consumer_counts)                            \
+        pairs.emplace(key.source, key.cookie);                                    \
+      return pairs.size() >= store_pairs.size();                                  \
+    });                                                                           \
+    std::lock_guard lock(consumer_mu);                                            \
+    verify_exactly_once(consumer_counts, fs, "consumer");                         \
+    std::set<std::pair<std::string, std::uint64_t>> consumer_pairs;               \
+    for (const auto& [key, count] : consumer_counts)                              \
+      consumer_pairs.emplace(key.source, key.cookie);                             \
+    EXPECT_EQ(consumer_pairs, store_pairs);                                       \
+  } while (0)
+
+TEST_F(ShardChaosTest, SingleShardCrashAndRestartIsExactlyOnce) {
+  LustreFsOptions fs_options;
+  fs_options.mdt_count = 4;  // MDT i -> shard i: every shard owns traffic
+  LustreFs fs(fs_options, clock_);
+  ScalableMonitor monitor(fs, options(dir_), clock_);
+  std::mutex mu;
+  KeyCounts delivered;
+  auto consumer = monitor.make_consumer("c", ConsumerOptions{}, [&](const StdEvent& e) {
+    std::lock_guard lock(mu);
+    ++delivered[key_of(e)];
+  });
+  ASSERT_TRUE(monitor.start().is_ok());
+  ASSERT_TRUE(consumer->start().is_ok());
+
+  ChaosWorkload workload(fs, 42);
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t victim = static_cast<std::size_t>(round) % 4;
+    for (int i = 0; i < 30; ++i) workload.step();
+    // Kill one shard with frames buffered: its unpersisted events die
+    // with it and must be re-published by the rewound owner collectors,
+    // while the other three shards never stop.
+    monitor.crash_aggregator_shard(victim);
+    for (int i = 0; i < 20; ++i) workload.step();
+    ASSERT_TRUE(monitor.restart_aggregator_shard(victim).is_ok());
+  }
+  for (int i = 0; i < 30; ++i) workload.step();
+
+  VERIFY_PIPELINE(monitor, fs, delivered, mu);
+  consumer->stop();
+  monitor.stop();
+}
+
+TEST_F(ShardChaosTest, SeededPerShardFaultSweepIsExactlyOnce) {
+  // One seed per FSMON_CHAOS_SEED when set (tools/run_tier1.sh --chaos N
+  // sweeps 1..N); a small built-in sweep otherwise.
+  std::vector<std::uint64_t> seeds{1, 2, 3};
+  if (const char* env = std::getenv("FSMON_CHAOS_SEED")) {
+    seeds.assign(1, std::strtoull(env, nullptr, 10));
+  }
+  for (const std::uint64_t seed : seeds) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto store_dir = dir_ / ("seed" + std::to_string(seed));
+    LustreFsOptions fs_options;
+    fs_options.mdt_count = 4;
+    LustreFs fs(fs_options, clock_);
+    ScalableMonitor monitor(fs, options(store_dir), clock_);
+    std::mutex mu;
+    KeyCounts delivered;
+    auto consumer =
+        monitor.make_consumer("c", ConsumerOptions{}, [&](const StdEvent& e) {
+          std::lock_guard lock(mu);
+          ++delivered[key_of(e)];
+        });
+    ASSERT_TRUE(monitor.start().is_ok());
+    ASSERT_TRUE(consumer->start().is_ok());
+
+    // Per-shard fault points: two seed-chosen shards crash at different
+    // stages (publish vs persist), plus a routed-link drop that forces
+    // collector rewinds and a torn WAL write in whichever shard hits it.
+    chaos::FaultPlan plan;
+    plan.seed = seed;
+    chaos::FaultRule rule;
+    rule.point = "aggregator.shard" + std::to_string(seed % 4) + ".before_publish";
+    rule.action = chaos::FaultAction::kCrash;
+    rule.after_hits = 1 + seed % 4;
+    rule.probability = 0.5;
+    rule.max_fires = 2;
+    plan.rules.push_back(rule);
+    rule = {};
+    rule.point = "aggregator.shard" + std::to_string((seed + 1) % 4) + ".before_persist";
+    rule.action = chaos::FaultAction::kCrash;
+    rule.after_hits = 1 + seed % 5;
+    rule.probability = 0.5;
+    rule.max_fires = 2;
+    plan.rules.push_back(rule);
+    rule = {};
+    rule.point = "router.before_route";
+    rule.action = chaos::FaultAction::kDrop;
+    rule.probability = 0.1;
+    rule.max_fires = 4;
+    plan.rules.push_back(rule);
+    rule = {};
+    rule.point = "wal.torn_write";
+    rule.action = chaos::FaultAction::kFail;
+    rule.after_hits = 3 + seed % 7;
+    rule.max_fires = 1;
+    plan.rules.push_back(rule);
+    chaos::FaultInjector::instance().arm(std::move(plan));
+
+    ChaosWorkload workload(fs, seed * 1000 + 29);
+    run_with_babysitter(monitor, workload, 240);
+
+    VERIFY_PIPELINE(monitor, fs, delivered, mu);
+    consumer->stop();
+    monitor.stop();
+  }
+}
+
+}  // namespace
+}  // namespace fsmon::scalable

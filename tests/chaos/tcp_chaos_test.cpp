@@ -76,7 +76,7 @@ TEST_F(TcpChaosTest, BridgeRestartMidStreamReconnectsAndReplaysWithoutDuplicates
   LustreFs fs(LustreFsOptions{}, clock_);
   ScalableMonitor monitor(fs, options(), clock_);
   std::optional<AggregatorTcpBridge> bridge;
-  bridge.emplace(monitor.aggregator(), monitor.bus());
+  bridge.emplace(monitor.sharded(), monitor.bus());
   ASSERT_TRUE(bridge->start(0).is_ok());
   const std::uint16_t port = bridge->port();
   ASSERT_TRUE(monitor.start().is_ok());
@@ -108,7 +108,7 @@ TEST_F(TcpChaosTest, BridgeRestartMidStreamReconnectsAndReplaysWithoutDuplicates
   for (int i = 0; i < 5; ++i) fs.create("/mid" + std::to_string(i));
   wait_until([&] { return monitor.aggregator().persisted() >= 10; });
 
-  bridge.emplace(monitor.aggregator(), monitor.bus());
+  bridge.emplace(monitor.sharded(), monitor.bus());
   ASSERT_TRUE(bridge->start(port).is_ok());
 
   wait_until([&] {
@@ -145,7 +145,7 @@ TEST_F(TcpChaosTest, BridgeRestartMidStreamReconnectsAndReplaysWithoutDuplicates
 TEST_F(TcpChaosTest, DroppedFrameTriggersGapReplayExactlyOnce) {
   LustreFs fs(LustreFsOptions{}, clock_);
   ScalableMonitor monitor(fs, options(), clock_);
-  AggregatorTcpBridge bridge(monitor.aggregator(), monitor.bus());
+  AggregatorTcpBridge bridge(monitor.sharded(), monitor.bus());
   ASSERT_TRUE(bridge.start(0).is_ok());
   ASSERT_TRUE(monitor.start().is_ok());
 

@@ -62,6 +62,25 @@ void exercise_all_stages(obs::MetricsRegistry& registry) {
   fs.create("/doc/f");
   monitor.drain_collectors_once();
 
+  // Sharded tier: router.* plus the shard=<k>-labelled per-shard
+  // aggregator/store/wal instruments.
+  const auto sharded_dir =
+      std::filesystem::temp_directory_path() / "fsmon_doc_coverage_shards";
+  std::filesystem::remove_all(sharded_dir);
+  {
+    lustre::LustreFsOptions sharded_fs_options;
+    sharded_fs_options.mdt_count = 2;
+    lustre::LustreFs sharded_fs(sharded_fs_options, clock);
+    scalable::ScalableMonitorOptions sharded_options = options;
+    sharded_options.shards = 2;
+    sharded_options.aggregator.store->directory = sharded_dir;
+    scalable::ScalableMonitor sharded_monitor(sharded_fs, sharded_options, clock);
+    sharded_fs.mkdir("/doc");
+    sharded_fs.create("/doc/f");
+    sharded_monitor.drain_collectors_once();
+  }
+  std::filesystem::remove_all(sharded_dir);
+
   // Simulator-only instruments (sim.*, consumer.delivery_latency_us, ...).
   scalable::SimConfig sim_config;
   sim_config.profile = lustre::TestbedProfile::iota();

@@ -38,7 +38,7 @@ void wait_until(const std::function<bool()>& predicate) {
 TEST_F(TcpBridgeTest, EventsReachRemoteConsumer) {
   lustre::LustreFs fs(lustre::LustreFsOptions{}, clock);
   ScalableMonitor monitor(fs, ScalableMonitorOptions{}, clock);
-  AggregatorTcpBridge bridge(monitor.aggregator(), monitor.bus());
+  AggregatorTcpBridge bridge(monitor.sharded(), monitor.bus());
   ASSERT_TRUE(bridge.start(0).is_ok());
   ASSERT_TRUE(monitor.start().is_ok());
 
@@ -72,7 +72,7 @@ TEST_F(TcpBridgeTest, RemoteFilteringApplies) {
   fs.mkdir("/keep");
   fs.mkdir("/drop");
   ScalableMonitor monitor(fs, ScalableMonitorOptions{}, clock);
-  AggregatorTcpBridge bridge(monitor.aggregator(), monitor.bus());
+  AggregatorTcpBridge bridge(monitor.sharded(), monitor.bus());
   ASSERT_TRUE(bridge.start(0).is_ok());
   ASSERT_TRUE(monitor.start().is_ok());
 
@@ -98,7 +98,7 @@ TEST_F(TcpBridgeTest, RemoteFilteringApplies) {
 TEST_F(TcpBridgeTest, MultipleRemoteConsumersFanOut) {
   lustre::LustreFs fs(lustre::LustreFsOptions{}, clock);
   ScalableMonitor monitor(fs, ScalableMonitorOptions{}, clock);
-  AggregatorTcpBridge bridge(monitor.aggregator(), monitor.bus());
+  AggregatorTcpBridge bridge(monitor.sharded(), monitor.bus());
   ASSERT_TRUE(bridge.start(0).is_ok());
   ASSERT_TRUE(monitor.start().is_ok());
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Build and run the Table VIII cache sweep plus the resolver-pool sweep,
-# the crash-recovery bench, and the event-store replay bench, checking
-# that the machine-readable BENCH_*.json files landed.
+# the crash-recovery bench, the event-store replay bench, and the shard
+# scaling sweep, checking that the machine-readable BENCH_*.json files
+# landed.
 #
 # The resolver sweep pays the modeled fid2path cost for real (RealClock
 # nanosleeps), so this takes a few seconds of wall time per row.
@@ -10,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target bench_table8_cache_sweep bench_recovery bench_store
+cmake --build build -j "$(nproc)" --target bench_table8_cache_sweep bench_recovery bench_store bench_shards
 
 ./build/bench/bench_table8_cache_sweep
 
@@ -42,3 +43,14 @@ if [[ ! -s BENCH_store.json ]]; then
   exit 1
 fi
 echo "OK: BENCH_store.json written."
+
+# Shard scaling: 1/2/4 aggregator shards over the same workload, with
+# the modeled per-batch durable-commit latency the shards overlap.
+# Exits nonzero if any run loses events or 4 shards scale below 3.0x.
+./build/bench/bench_shards
+
+if [[ ! -s BENCH_shards.json ]]; then
+  echo "FAIL: bench did not write BENCH_shards.json" >&2
+  exit 1
+fi
+echo "OK: BENCH_shards.json written."

@@ -92,6 +92,7 @@ if $run_tsan; then
   tsan_filter+=":TcpSubscriberTest.*:PipelineTest.*:FaultToleranceTest.*"
   tsan_filter+=":ConsumerOverflowTest.*:TcpBridgeTest.*:CollectorCostsTest.*"
   tsan_filter+=":ProcessorTest.*:SimDriverTest.*"
+  tsan_filter+=":ShardMapTest.*:VectorCursorTest.*:ShardRouterTest.*:ShardMergeTest.*"
   ./build-tsan/tests/fsmon_tests --gtest_filter="$tsan_filter"
   (cd build-tsan && ctest -L concurrency --output-on-failure)
   if (( chaos_seeds > 0 )); then chaos_sweep build-tsan; fi
