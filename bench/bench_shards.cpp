@@ -90,6 +90,10 @@ RunResult run(const std::filesystem::path& store_dir, std::size_t shards) {
   store.directory = store_dir;
   options.aggregator.store = store;
   options.aggregator.commit_latency = kCommitLatency;
+  // Group commit would coalesce the modeled per-batch commit latency
+  // away; this bench measures per-shard persist-thread overlap, so keep
+  // one commit (and one latency payment) per batch.
+  options.aggregator.wal_group_commit_bytes = 0;
   options.collector.publish_batch = kPublishBatch;
   ScalableMonitor monitor(fs, options, clock);
 

@@ -8,6 +8,7 @@
 // stage uses for clean shutdown.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -59,6 +60,23 @@ class BoundedQueue {
     std::unique_lock lock(mu_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    ++popped_;
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Dequeue one item, waiting at most `timeout`. Returns nullopt on
+  /// timeout or when the queue is closed and drained — the group-commit
+  /// coalescing wait (a persist thread gives later batches `timeout` to
+  /// arrive before fsyncing the group it already holds).
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    not_empty_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
     ++popped_;

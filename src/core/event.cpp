@@ -78,7 +78,20 @@ void write_u64_at(std::span<std::byte> out, std::size_t offset, std::uint64_t v)
     out[offset + static_cast<std::size_t>(i)] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
 }
 
+std::byte* raw_u32(std::byte* p, std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(p, &v, 4);
+    return p + 4;
+  }
+  for (int i = 0; i < 4; ++i) *p++ = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  return p;
+}
+
 std::byte* raw_u64(std::byte* p, std::uint64_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(p, &v, 8);
+    return p + 8;
+  }
   for (int i = 0; i < 8; ++i) *p++ = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
   return p;
 }
@@ -118,13 +131,11 @@ std::atomic<std::uint64_t> g_deserialize_calls{0};
 // counters; the batch codecs call these and account a whole frame with
 // one fetch_add so the counters still advance once per event without an
 // atomic op per event on the hot path.
-void serialize_event_impl(const StdEvent& event, std::vector<std::byte>& out) {
-  // Size once, then write through a raw pointer: per-byte push_back
-  // capacity checks dominate the encode cost on the batched hot path.
-  const std::size_t base = out.size();
-  out.resize(base + 26 + 3 * 8 + event.watch_root.size() + event.path.size() +
-             event.source.size());
-  std::byte* p = out.data() + base;
+std::size_t encoded_event_size(const StdEvent& event) {
+  return 26 + 3 * 8 + event.watch_root.size() + event.path.size() + event.source.size();
+}
+
+std::byte* raw_event(std::byte* p, const StdEvent& event) {
   p = raw_u64(p, event.id);
   *p++ = static_cast<std::byte>(event.kind);
   *p++ = static_cast<std::byte>(event.is_dir ? 1 : 0);
@@ -133,6 +144,15 @@ void serialize_event_impl(const StdEvent& event, std::vector<std::byte>& out) {
   p = raw_string(p, event.watch_root);
   p = raw_string(p, event.path);
   p = raw_string(p, event.source);
+  return p;
+}
+
+void serialize_event_impl(const StdEvent& event, std::vector<std::byte>& out) {
+  // Size once, then write through a raw pointer: per-byte push_back
+  // capacity checks dominate the encode cost on the batched hot path.
+  const std::size_t base = out.size();
+  out.resize(base + encoded_event_size(event));
+  raw_event(out.data() + base, event);
 }
 
 Result<std::pair<StdEvent, std::size_t>> deserialize_event_impl(
@@ -204,20 +224,25 @@ constexpr std::size_t kBatchTrailerBytes = 4;       // crc
 }  // namespace
 
 void encode_batch(const EventBatch& batch, std::vector<std::byte>& out) {
+  // Size the whole frame up front and write through one raw pointer: the
+  // transport path encodes into a fresh buffer per frame, and growing it
+  // incrementally (per-event resize + length-prefix patching) used to
+  // cost more than the byte writes themselves.
   const std::size_t start = out.size();
-  put_u32(out, kBatchMagic);
-  put_u32(out, static_cast<std::uint32_t>(batch.events.size()));
+  std::size_t total = kBatchHeaderBytes + kBatchTrailerBytes;
+  for (const StdEvent& event : batch.events) total += 4 + encoded_event_size(event);
+  out.resize(start + total);
+  std::byte* p = out.data() + start;
+  p = raw_u32(p, kBatchMagic);
+  p = raw_u32(p, static_cast<std::uint32_t>(batch.events.size()));
   g_serialize_calls.fetch_add(batch.events.size(), std::memory_order_relaxed);
   for (const StdEvent& event : batch.events) {
-    const std::size_t len_at = out.size();
-    put_u32(out, 0);  // placeholder, patched below
-    const std::size_t event_start = out.size();
-    serialize_event_impl(event, out);
-    write_u32_at(out, len_at, static_cast<std::uint32_t>(out.size() - event_start));
+    p = raw_u32(p, static_cast<std::uint32_t>(encoded_event_size(event)));
+    p = raw_event(p, event);
   }
   const std::uint32_t crc =
-      common::crc32(std::span(out.data() + start, out.size() - start));
-  put_u32(out, crc);
+      common::crc32(std::span(out.data() + start, total - kBatchTrailerBytes));
+  raw_u32(p, crc);
 }
 
 std::vector<std::byte> encode_batch(const EventBatch& batch) {

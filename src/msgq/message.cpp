@@ -28,15 +28,16 @@ bool topic_matches(std::string_view filter, std::string_view topic) {
 }
 
 std::vector<std::byte> encode_frame(const Message& message) {
+  const std::string_view body = message.bytes();
   if (message.topic.size() > std::numeric_limits<std::uint32_t>::max() ||
-      message.payload.size() > std::numeric_limits<std::uint32_t>::max())
+      body.size() > std::numeric_limits<std::uint32_t>::max())
     throw std::invalid_argument("msgq frame too large");
   std::vector<std::byte> out;
-  out.reserve(12 + message.topic.size() + message.payload.size());
+  out.reserve(12 + message.topic.size() + body.size());
   put_u32(out, static_cast<std::uint32_t>(message.topic.size()));
   for (char c : message.topic) out.push_back(static_cast<std::byte>(c));
-  put_u32(out, static_cast<std::uint32_t>(message.payload.size()));
-  for (char c : message.payload) out.push_back(static_cast<std::byte>(c));
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  for (char c : body) out.push_back(static_cast<std::byte>(c));
   const std::uint32_t crc = common::crc32(std::span(out.data(), out.size()));
   put_u32(out, crc);
   return out;

@@ -16,13 +16,34 @@
 #include <utility>
 #include <vector>
 
+#include "src/transport/frame.hpp"
+
 namespace fsmon::msgq {
 
 struct Message {
+  Message() = default;
+  Message(std::string topic_in, std::string payload_in)
+      : topic(std::move(topic_in)), payload(std::move(payload_in)) {}
+
   std::string topic;
   std::string payload;
+  /// Zero-copy alternative to `payload`: when set, the message's bytes
+  /// live in this ref-counted frame and copying the Message is a
+  /// shared_ptr bump, not a buffer copy. Exactly one of payload/frame
+  /// carries data; bytes() reads whichever does.
+  transport::FrameRef frame;
 
-  friend bool operator==(const Message&, const Message&) = default;
+  /// The message body regardless of which member holds it.
+  std::string_view bytes() const { return frame ? frame.chars() : std::string_view(payload); }
+  std::span<const std::byte> byte_span() const {
+    const auto view = bytes();
+    return {reinterpret_cast<const std::byte*>(view.data()), view.size()};
+  }
+
+  /// Logical equality: same topic, same body bytes (however carried).
+  friend bool operator==(const Message& a, const Message& b) {
+    return a.topic == b.topic && a.bytes() == b.bytes();
+  }
 };
 
 /// ZMQ-style prefix subscription match.

@@ -4,29 +4,52 @@
 
 namespace fsmon::msgq {
 
-std::size_t Publisher::publish(const Message& message) {
+std::vector<std::shared_ptr<Subscriber>> Publisher::snapshot_targets() {
   std::vector<std::shared_ptr<Subscriber>> targets;
-  {
-    std::lock_guard lock(mu_);
-    ++published_;
-    targets.reserve(subscribers_.size());
-    bool any_dead = false;
-    for (const auto& weak : subscribers_) {
-      if (auto sub = weak.lock()) {
-        targets.push_back(std::move(sub));
-      } else {
-        any_dead = true;
-      }
-    }
-    if (any_dead) {
-      std::erase_if(subscribers_, [](const auto& weak) { return weak.expired(); });
+  std::lock_guard lock(mu_);
+  ++published_;
+  targets.reserve(subscribers_.size());
+  bool any_dead = false;
+  for (const auto& weak : subscribers_) {
+    if (auto sub = weak.lock()) {
+      targets.push_back(std::move(sub));
+    } else {
+      any_dead = true;
     }
   }
+  if (any_dead) {
+    std::erase_if(subscribers_, [](const auto& weak) { return weak.expired(); });
+  }
+  return targets;
+}
+
+std::size_t Publisher::publish(const Message& message) {
+  const auto targets = snapshot_targets();
   // Deliver outside the lock: Block-policy subscribers may wait for
   // space, and holding mu_ there would stall unrelated publishes.
   std::size_t accepted = 0;
   for (const auto& sub : targets) {
     if (sub->accepts(message.topic) && sub->deliver(message)) ++accepted;
+  }
+  return accepted;
+}
+
+std::size_t Publisher::publish(Message&& message) {
+  const auto targets = snapshot_targets();
+  std::vector<Subscriber*> matching;
+  matching.reserve(targets.size());
+  for (const auto& sub : targets) {
+    if (sub->accepts(message.topic)) matching.push_back(sub.get());
+  }
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < matching.size(); ++i) {
+    // The last matching subscriber takes the message by move: with one
+    // subscriber no copy is ever made, so a frame payload keeps a
+    // refcount of exactly one end to end.
+    const bool accepted_here = i + 1 == matching.size()
+                                   ? matching[i]->deliver(std::move(message))
+                                   : matching[i]->deliver(message);
+    if (accepted_here) ++accepted;
   }
   return accepted;
 }

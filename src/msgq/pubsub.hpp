@@ -38,8 +38,17 @@ class Publisher {
   /// the number of subscribers that accepted the message (a subscriber at
   /// HWM with DropNewest policy rejects it; Block waits).
   std::size_t publish(const Message& message);
+  /// Move-aware publish: the last matching subscriber receives the
+  /// message itself; only earlier ones get copies. With single-subscriber
+  /// fan-in (the pipeline's hot topology) a frame-bearing message is
+  /// never duplicated and its FrameRef count never exceeds one, so the
+  /// receiving stage can patch the bytes in place.
+  std::size_t publish(Message&& message);
   std::size_t publish(std::string topic, std::string payload) {
-    return publish(Message{std::move(topic), std::move(payload)});
+    Message message;
+    message.topic = std::move(topic);
+    message.payload = std::move(payload);
+    return publish(std::move(message));
   }
 
   void connect(const std::shared_ptr<Subscriber>& subscriber);
@@ -49,6 +58,10 @@ class Publisher {
   std::uint64_t published() const;
 
  private:
+  /// Snapshot live subscribers (pruning dead weak_ptrs) and count the
+  /// publish, under the lock.
+  std::vector<std::shared_ptr<Subscriber>> snapshot_targets();
+
   std::string name_;
   mutable std::mutex mu_;
   std::vector<std::weak_ptr<Subscriber>> subscribers_;
@@ -72,6 +85,10 @@ class Subscriber : public std::enable_shared_from_this<Subscriber> {
 
   /// Blocking receive; nullopt only after close() with a drained inbox.
   std::optional<Message> recv() { return inbox_.pop(); }
+  /// Blocking receive bounded by `timeout` (nullopt on expiry).
+  std::optional<Message> recv_for(std::chrono::milliseconds timeout) {
+    return inbox_.pop_for(timeout);
+  }
   std::optional<Message> try_recv() { return inbox_.try_pop(); }
   std::vector<Message> recv_batch(std::size_t max_items) { return inbox_.pop_batch(max_items); }
 
@@ -89,6 +106,7 @@ class Subscriber : public std::enable_shared_from_this<Subscriber> {
  private:
   friend class Publisher;
   bool deliver(const Message& message) { return inbox_.push(message); }
+  bool deliver(Message&& message) { return inbox_.push(std::move(message)); }
 
   std::string name_;
   mutable std::mutex filter_mu_;

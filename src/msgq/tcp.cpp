@@ -7,8 +7,10 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include "src/common/crc32.hpp"
 #include "src/common/logging.hpp"
 
 namespace fsmon::msgq {
@@ -43,17 +45,35 @@ common::Result<int> open_socket(const std::string& host, std::uint16_t port) {
   return fd;
 }
 
-bool write_all(int fd, const std::byte* data, std::size_t size) {
-  std::size_t written = 0;
-  while (written < size) {
-    const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+/// Scatter-gather write of the whole iovec array, advancing across
+/// partial writes. sendmsg rather than writev so MSG_NOSIGNAL still
+/// suppresses SIGPIPE on a vanished peer.
+bool write_gather(int fd, iovec* iov, std::size_t iovcnt) {
+  while (iovcnt > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iovcnt;
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return false;
     }
-    written += static_cast<std::size_t>(n);
+    std::size_t advanced = static_cast<std::size_t>(n);
+    while (iovcnt > 0 && advanced >= iov->iov_len) {
+      advanced -= iov->iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (iovcnt > 0) {
+      iov->iov_base = static_cast<char*>(iov->iov_base) + advanced;
+      iov->iov_len -= advanced;
+    }
   }
   return true;
+}
+
+void put_u32_le(std::byte* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
 }
 
 }  // namespace
@@ -82,15 +102,36 @@ void TcpConnection::close() {
 
 Status TcpConnection::send(const Message& message) {
   if (closed_.load()) return Status(ErrorCode::kUnavailable, "connection closed");
-  const auto frame = encode_frame(message);
+  // Scatter-gather the wire frame (u32 topic_len | topic | u32 payload_len
+  // | payload | u32 crc) straight from the message's own buffers: only the
+  // 12 header/trailer bytes plus the topic are materialized here — the
+  // payload never passes through an assembly buffer, and the CRC trailer
+  // is computed in chunks over header-then-payload.
+  const std::string_view body = message.bytes();
+  if (message.topic.size() > (1u << 30) || body.size() > (1u << 30))
+    return Status(ErrorCode::kInvalid, "msgq frame too large");
+  std::vector<std::byte> header(8 + message.topic.size());
+  put_u32_le(header.data(), static_cast<std::uint32_t>(message.topic.size()));
+  std::memcpy(header.data() + 4, message.topic.data(), message.topic.size());
+  put_u32_le(header.data() + 4 + message.topic.size(),
+             static_cast<std::uint32_t>(body.size()));
+  std::uint32_t crc = common::crc32(std::span<const std::byte>(header));
+  crc = common::crc32(message.byte_span(), crc);
+  std::byte trailer[4];
+  put_u32_le(trailer, crc);
+  iovec iov[3];
+  iov[0] = {header.data(), header.size()};
+  iov[1] = {const_cast<char*>(body.data()), body.size()};
+  iov[2] = {trailer, sizeof(trailer)};
+  const std::size_t total = header.size() + body.size() + sizeof(trailer);
   std::lock_guard lock(send_mu_);
-  if (!write_all(fd_, frame.data(), frame.size())) {
+  if (!write_gather(fd_, iov, 3)) {
     close();
     return errno_status("send");
   }
   if (metrics_ != nullptr) {
     metrics_->frames_sent->inc();
-    metrics_->bytes_sent->inc(frame.size());
+    metrics_->bytes_sent->inc(total);
   }
   return Status::ok();
 }
@@ -254,6 +295,15 @@ std::size_t TcpPublisher::connection_count() const {
     if (remote != nullptr && !remote->connection->closed()) ++alive;
   }
   return alive;
+}
+
+std::size_t TcpPublisher::subscription_count() const {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const auto& remote : remotes_) {
+    if (remote != nullptr && !remote->connection->closed()) total += remote->filters.size();
+  }
+  return total;
 }
 
 std::size_t TcpPublisher::publish(const Message& message) {

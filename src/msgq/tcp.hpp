@@ -103,6 +103,10 @@ class TcpPublisher {
 
   std::uint16_t port() const { return port_; }
   std::size_t connection_count() const;
+  /// Subscription filters registered across all live connections. Lets a
+  /// caller that just told a subscriber to dial-and-subscribe wait until
+  /// the sub control frames have actually been processed.
+  std::size_t subscription_count() const;
 
   /// Send to every connection with a matching filter; returns receivers.
   std::size_t publish(const Message& message);
@@ -199,6 +203,9 @@ class TcpSubscriber {
   }
 
   std::optional<Message> recv() { return inbox_.pop(); }
+  std::optional<Message> recv_for(std::chrono::milliseconds timeout) {
+    return inbox_.pop_for(timeout);
+  }
   std::optional<Message> try_recv() { return inbox_.try_pop(); }
   std::size_t pending() const { return inbox_.size(); }
   bool connected() const {

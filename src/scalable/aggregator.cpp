@@ -1,9 +1,11 @@
 #include "src/scalable/aggregator.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/chaos/fault.hpp"
 #include "src/common/logging.hpp"
+#include "src/transport/inproc.hpp"
 
 namespace fsmon::scalable {
 
@@ -16,11 +18,18 @@ Aggregator::Aggregator(msgq::Bus& bus, std::string name, AggregatorOptions optio
       name_(std::move(name)),
       options_(std::move(options)),
       clock_(clock),
-      inbox_(bus_.make_subscriber(name_ + "/inbox", options_.inbox_high_water_mark)),
-      output_(bus_.make_publisher(name_ + "/out")),
       persist_queue_(options_.persist_queue_capacity),
       meter_(clock) {
-  inbox_->subscribe("");  // fan-in: accept every collector topic
+  if (options_.transport != nullptr) {
+    transport_ = options_.transport;
+  } else {
+    owned_transport_ = std::make_unique<transport::InProcTransport>(bus_);
+    transport_ = owned_transport_.get();
+  }
+  input_ = transport_->make_receiver(name_ + "/inbox", options_.inbox_high_water_mark,
+                                     transport::OverflowPolicy::kBlock);
+  input_->subscribe("");  // fan-in: accept every collector topic
+  output_ = transport_->make_sender(name_ + "/out");
   if (options_.store) {
     eventstore::EventStoreOptions store_options = *options_.store;
     if (store_options.metrics == nullptr) store_options.metrics = options_.metrics;
@@ -66,16 +75,32 @@ Aggregator::Aggregator(msgq::Bus& bus, std::string name, AggregatorOptions optio
                                             "Encoded bytes per batch frame pumped "
                                             "through the aggregator",
                                             "bytes");
+    group_size_hist_ = &registry.histogram(
+        "wal.group_size", labels,
+        "Batch frames coalesced into one WAL commit group", "batches");
+    group_commit_latency_hist_ = &registry.histogram(
+        "wal.group_commit_latency", labels,
+        "Wall time to commit one group (append + fsync)", "us");
   }
 }
 
 Aggregator::~Aggregator() { stop(); }
 
+std::shared_ptr<msgq::Subscriber> Aggregator::inbox() const {
+  auto inproc = std::dynamic_pointer_cast<transport::InProcReceiver>(input_);
+  return inproc == nullptr ? nullptr : inproc->subscriber();
+}
+
+std::shared_ptr<msgq::Publisher> Aggregator::output() const {
+  auto inproc = std::dynamic_pointer_cast<transport::InProcSender>(output_);
+  return inproc == nullptr ? nullptr : inproc->publisher();
+}
+
 Status Aggregator::start() {
   if (running_.load()) return Status::ok();
   // A prior stop() closed the fan-in queues (they were fully drained by
   // the exiting loops); reopen them so stop()/start() cycles resume.
-  inbox_->reopen();
+  input_->reopen();
   persist_queue_.reopen();
   running_.store(true);
   pump_thread_ = std::jthread([this](std::stop_token stop) { pump_loop(stop); });
@@ -89,7 +114,7 @@ Status Aggregator::start() {
 
 void Aggregator::stop() {
   if (!running_.load()) return;
-  inbox_->close();
+  input_->close();
   if (pump_thread_.joinable()) {
     pump_thread_.request_stop();
     pump_thread_.join();
@@ -145,12 +170,14 @@ Status Aggregator::restart() {
 std::size_t Aggregator::drain_once() {
   if (running_.load()) return 0;
   std::size_t frames = 0;
-  while (auto message = inbox_->try_recv()) {
+  while (auto message = input_->try_recv()) {
     if (process_frame(*message)) ++frames;
     if (crashed_.load(std::memory_order_relaxed)) break;
   }
+  // Persist as groups of one: chaos schedules (crash on the Nth persist)
+  // stay per-batch deterministic under synchronous draining.
   while (auto batch = persist_queue_.try_pop()) {
-    if (!persist_one(*batch)) break;
+    if (!persist_group(std::span(&*batch, 1))) break;
   }
   return frames;
 }
@@ -182,9 +209,12 @@ void Aggregator::rebuild_accepted_from_store() {
                status.to_string());
 }
 
-bool Aggregator::process_frame(msgq::Message& message) {
-  std::string& payload = message.payload;
-  auto frame = std::as_writable_bytes(std::span(payload.data(), payload.size()));
+bool Aggregator::process_frame(transport::Frame& message) {
+  // Sole-owner fast path: the collector adopted the buffer, every hop
+  // since was a refcount move, so this hands out the original bytes for
+  // the in-place id patch. A shared frame (multi-subscriber fan-in)
+  // detaches here — one counted copy, never a torn patch.
+  auto frame = message.payload.mutable_bytes();
   auto view = core::view_batch(frame);
   if (!view) {
     FSMON_WARN("aggregator", "dropping corrupt batch frame: ",
@@ -245,7 +275,6 @@ bool Aggregator::process_frame(msgq::Message& message) {
   }
   if (!source.empty() && frame_max_seq > watermark)
     accepted_seq_[source] = frame_max_seq;
-  std::string rebuilt;
   if (kept.empty()) {
     // Nothing new. The ack still has to flow (a replayed-and-fully-
     // deduped batch must eventually clear from the changelog), but the
@@ -264,9 +293,8 @@ bool Aggregator::process_frame(msgq::Message& message) {
   }
   if (dropped > 0) {
     auto bytes = core::rebuild_batch(frame, kept);
-    rebuilt.assign(reinterpret_cast<const char*>(bytes.data()), bytes.size());
-    payload = std::move(rebuilt);
-    frame = std::as_writable_bytes(std::span(payload.data(), payload.size()));
+    message.payload = transport::FrameRef::adopt(std::move(bytes));
+    frame = message.payload.mutable_bytes();
     view = core::view_batch(frame, /*verify_crc=*/false);
     if (!view) return false;  // unreachable: rebuild produces valid frames
   }
@@ -297,7 +325,7 @@ bool Aggregator::process_frame(msgq::Message& message) {
   if (aggregated_counter_ != nullptr) {
     aggregated_counter_->inc(count);
     const auto depth =
-        static_cast<std::int64_t>(inbox_->pending() + persist_queue_.size());
+        static_cast<std::int64_t>(input_->pending() + persist_queue_.size());
     queue_depth_gauge_->set(depth);
     queue_depth_peak_gauge_->set_max(depth);
     publish_rate_gauge_->set(static_cast<std::int64_t>(meter_.snapshot().average_rate));
@@ -313,13 +341,13 @@ bool Aggregator::process_frame(msgq::Message& message) {
             std::chrono::duration_cast<std::chrono::microseconds>(lag).count()));
     }
   }
-  // publish(const Message&) copies per subscriber, so the frame can be
-  // moved on to the persister afterwards.
-  msgq::Message out{options_.output_topic, std::move(payload)};
-  output_->publish(out);
+  // Fan-out and persist share the same frame bytes: send() bumps the
+  // refcount per subscriber, the persister keeps one more ref. No copy
+  // is made on either path.
+  output_->send(options_.output_topic, message.payload);
   if (store_ != nullptr) {
     persist_queue_.push(PersistBatch{first_id, std::move(source), frame_max_seq,
-                                     std::move(out.payload)});
+                                     std::move(message.payload)});
   } else {
     // No durable store: custody ends at fan-out, ack immediately.
     ack(source, frame_max_seq);
@@ -334,68 +362,167 @@ void Aggregator::pump_loop(std::stop_token) {
   // hand the same bytes to the persister.
   for (;;) {
     if (crashed_.load(std::memory_order_relaxed)) break;
-    auto message = inbox_->recv();
+    auto message = input_->recv();
     if (!message) break;  // closed and drained
     process_frame(*message);
   }
 }
 
-bool Aggregator::persist_one(PersistBatch& batch) {
-  auto outcome = chaos::fault("aggregator.before_persist");
-  if (!outcome && !options_.fault_scope.empty())
-    outcome = chaos::fault(options_.fault_scope + "before_persist");
-  if (outcome) {
+bool Aggregator::persist_group(std::span<PersistBatch> group) {
+  // Per-batch fault points first: chaos schedules count batches, not
+  // groups, so a plan like "crash on the 3rd persist" fires at the same
+  // batch it did under per-batch commit. A crash admits only the prefix
+  // ahead of the firing batch — that prefix commits and acks (it would
+  // have been durable before the crash under the old schedule), the
+  // firing batch and everything after it die unacked.
+  std::size_t admitted = group.size();
+  bool crash_after_commit = false;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    auto outcome = chaos::fault("aggregator.before_persist");
+    if (!outcome && !options_.fault_scope.empty())
+      outcome = chaos::fault(options_.fault_scope + "before_persist");
+    if (!outcome) continue;
     if (outcome.action == chaos::FaultAction::kCrash) {
-      crashed_.store(true);
-      return false;
+      admitted = i;
+      crash_after_commit = true;
+      break;
     }
     if (outcome.action == chaos::FaultAction::kDelay) clock_.sleep_for(outcome.delay);
   }
-  if (batch.frame.empty()) {
-    // Ack-only marker from a fully-deduped replay: every frame queued
-    // ahead of it is durable now, so the ack is finally safe.
-    ack(batch.source, batch.last_seq);
-    return true;
-  }
-  const auto frame = std::as_bytes(std::span(batch.frame.data(), batch.frame.size()));
-  // CRC was verified (and rewritten by the id patch) in the pump; only
-  // the structure is needed to slice out per-event payloads.
-  auto view = core::view_batch(frame, /*verify_crc=*/false);
-  if (!view) {
-    FSMON_ERROR("aggregator", "persist batch unreadable: ", view.status().to_string());
-    crashed_.store(true);
-    return false;
-  }
+  group = group.first(admitted);
+
+  // Slice the admitted group into payload spans. Ids are consecutive
+  // across the whole group (one pump thread assigns them in queue order;
+  // ack-only markers carry no ids so they never break a run), so the
+  // entire group commits with ONE vectored store append and ONE flush.
   std::vector<std::span<const std::byte>> payloads;
-  payloads.reserve(view.value().count);
-  for (const auto& [offset, length] : view.value().events)
-    payloads.push_back(frame.subspan(offset, length));
-  // Modeled commit latency (paper: one MySQL commit per stored batch),
-  // paid before the append so the batch is durable only after the
-  // round trip — exactly where a real remote commit would block.
-  if (options_.commit_latency.count() > 0) clock_.sleep_for(options_.commit_latency);
-  if (auto s = store_->append_batch(batch.first_id, payloads); !s.is_ok()) {
-    // Fail-stop: dropping the batch here would break the "acked implies
-    // durable" invariant, so the stage crashes instead. The events stay
-    // unacked in the changelog and replay after restart.
-    FSMON_ERROR("aggregator", "event store append failed (fail-stop): ", s.to_string());
+  common::EventId first_id = 0;
+  std::size_t data_batches = 0;
+  bool torn_crash = false;
+  std::uint64_t torn_keep = 0;
+  for (auto& batch : group) {
+    if (batch.frame.empty()) continue;  // ack-only marker
+    const auto frame = batch.frame.bytes();
+    // CRC was verified (and rewritten by the id patch) in the pump; only
+    // the structure is needed to slice out per-event payloads.
+    auto view = core::view_batch(frame, /*verify_crc=*/false);
+    if (!view) {
+      FSMON_ERROR("aggregator", "persist batch unreadable: ", view.status().to_string());
+      crashed_.store(true);
+      return false;
+    }
+    if (data_batches == 0) first_id = batch.first_id;
+    ++data_batches;
+    for (const auto& [offset, length] : view.value().events)
+      payloads.push_back(frame.subspan(offset, length));
+  }
+
+  if (data_batches > 0) {
+    // Torn-group fault, evaluated once per commit group: kCrash keeps a
+    // prefix of the group's batches (outcome.arg of them) durable but
+    // crashes before ANY ack is released — the replayed suffix dedups
+    // against the store's watermark after restart. kFail is a fail-stop
+    // with nothing written.
+    auto torn = chaos::fault("wal.group_commit_torn");
+    if (!torn && !options_.fault_scope.empty())
+      torn = chaos::fault(options_.fault_scope + "group_commit_torn");
+    if (torn) {
+      if (torn.action == chaos::FaultAction::kCrash) {
+        torn_crash = true;
+        torn_keep = std::min<std::uint64_t>(torn.arg, data_batches);
+      } else if (torn.action == chaos::FaultAction::kFail ||
+                 torn.action == chaos::FaultAction::kDrop) {
+        FSMON_ERROR("aggregator", "injected group-commit failure (fail-stop)");
+        crashed_.store(true);
+        return false;
+      } else if (torn.action == chaos::FaultAction::kDelay) {
+        clock_.sleep_for(torn.delay);
+      }
+    }
+    if (torn_crash) {
+      // Truncate the commit to the torn prefix: re-slice payloads from
+      // the first `torn_keep` data batches only.
+      payloads.clear();
+      std::size_t kept_batches = 0;
+      for (auto& batch : group) {
+        if (batch.frame.empty()) continue;
+        if (kept_batches == torn_keep) break;
+        const auto frame = batch.frame.bytes();
+        auto view = core::view_batch(frame, /*verify_crc=*/false);
+        for (const auto& [offset, length] : view.value().events)
+          payloads.push_back(frame.subspan(offset, length));
+        ++kept_batches;
+      }
+    }
+
+    // Modeled commit latency (paper: one MySQL commit per stored group),
+    // paid before the append so the group is durable only after the
+    // round trip — exactly where a real remote commit would block.
+    if (options_.commit_latency.count() > 0) clock_.sleep_for(options_.commit_latency);
+    const auto commit_start = std::chrono::steady_clock::now();
+    if (!payloads.empty()) {
+      if (auto s = store_->append_batch(first_id, payloads); !s.is_ok()) {
+        // Fail-stop: dropping the group here would break the "acked
+        // implies durable" invariant, so the stage crashes instead. The
+        // events stay unacked in the changelog and replay after restart.
+        FSMON_ERROR("aggregator", "event store append failed (fail-stop): ", s.to_string());
+        crashed_.store(true);
+        return false;
+      }
+    }
+    if (torn_crash) {
+      // Torn mid-group: a durable prefix exists but the process died
+      // before the group's fsync was acknowledged to anyone — no batch
+      // of this group gets acked.
+      crashed_.store(true);
+      return false;
+    }
+    commit_groups_.fetch_add(1);
+    if (group_size_hist_ != nullptr) group_size_hist_->record(data_batches);
+    if (group_commit_latency_hist_ != nullptr) {
+      const auto commit_us = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - commit_start);
+      group_commit_latency_hist_->record(static_cast<std::uint64_t>(commit_us.count()));
+    }
+    persisted_.fetch_add(payloads.size());
+    if (persisted_counter_ != nullptr) persisted_counter_->inc(payloads.size());
+  }
+
+  // The whole group is durable: release acks in queue order, markers
+  // included (everything queued ahead of a marker committed with or
+  // before this group).
+  for (auto& batch : group) ack(batch.source, batch.last_seq);
+
+  if (crash_after_commit) {
     crashed_.store(true);
     return false;
   }
-  persisted_.fetch_add(payloads.size());
-  if (persisted_counter_ != nullptr) persisted_counter_->inc(payloads.size());
-  ack(batch.source, batch.last_seq);
   return true;
 }
 
 void Aggregator::persist_loop(std::stop_token) {
+  std::vector<PersistBatch> group;
   for (;;) {
     if (crashed_.load(std::memory_order_relaxed)) break;
-    auto batch = persist_queue_.pop();
-    if (!batch) break;
-    if (!persist_one(*batch)) {
-      if (crashed_.load(std::memory_order_relaxed)) break;
+    auto first = persist_queue_.pop();
+    if (!first) break;
+    group.clear();
+    group.push_back(std::move(*first));
+    // Group commit: coalesce whatever is already queued (and optionally
+    // wait wal_group_commit_us for stragglers) up to the byte budget,
+    // then commit the whole group with one vectored append + one fsync.
+    if (options_.wal_group_commit_bytes > 0) {
+      std::size_t bytes = group.back().frame.size();
+      while (bytes < options_.wal_group_commit_bytes) {
+        auto next = persist_queue_.try_pop();
+        if (!next && options_.wal_group_commit_us.count() > 0)
+          next = persist_queue_.pop_for(options_.wal_group_commit_us);
+        if (!next) break;
+        bytes += next->frame.size();
+        group.push_back(std::move(*next));
+      }
     }
+    persist_group(group);
   }
 }
 

@@ -1,20 +1,38 @@
 // Aggregator service: runs on the MGS (paper Section IV "Aggregation").
 //
-// Subscribes to every collector's publisher (fan-in), assigns global
-// event ids, and runs two worker threads exactly as the paper describes:
-// "one thread is responsible for publishing the aggregated file system
-// events to the subscribed consumers, and the other thread stores the
-// events into a local database to enable fault tolerance." The database
-// is the reliable event store; consumers replay from it via
-// events_since().
+// Subscribes to every collector's sender (fan-in), assigns global event
+// ids, and runs two worker threads exactly as the paper describes: "one
+// thread is responsible for publishing the aggregated file system events
+// to the subscribed consumers, and the other thread stores the events
+// into a local database to enable fault tolerance." The database is the
+// reliable event store; consumers replay from it via events_since().
+//
+// Both stage boundaries ride the transport::Transport interface: frames
+// arrive on a Receiver and fan out through a Sender as immutable
+// ref-counted FrameRefs, so the aggregator never copies the encoded
+// batch — id patching happens in place and the persister shares the
+// published bytes. By default the aggregator owns an InProcTransport
+// over the bus it was given (byte-for-byte the historic topology);
+// injecting AggregatorOptions::transport rebases the same pipeline onto
+// shared-memory rings or TCP without the stage noticing.
+//
+// The persist path is an async group commit: the persist thread
+// coalesces whatever batches are already queued (bounded by
+// wal_group_commit_bytes, optionally waiting wal_group_commit_us for
+// stragglers) and commits the whole group with one store append and one
+// flush. Acks — including ack-only markers — are released strictly in
+// queue order, and only after the group's commit, so the exactly-once
+// acked-implies-durable invariant is untouched.
 #pragma once
 
 #include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/common/bounded_queue.hpp"
 #include "src/common/clock.hpp"
@@ -23,6 +41,7 @@
 #include "src/eventstore/store.hpp"
 #include "src/msgq/pubsub.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/transport/transport.hpp"
 
 namespace fsmon::scalable {
 
@@ -31,8 +50,24 @@ struct AggregatorOptions {
   std::size_t persist_queue_capacity = 1 << 16;
   /// Topic the aggregator publishes resolved events under.
   std::string output_topic = "fsmon/events";
+  /// Transport the input/output endpoints are created on. Null (default)
+  /// makes the aggregator own an InProcTransport over its bus — the
+  /// historic in-process topology. The pointer must outlive the
+  /// aggregator.
+  transport::Transport* transport = nullptr;
   /// Reliable store configuration; nullopt disables fault tolerance.
   std::optional<eventstore::EventStoreOptions> store;
+  /// Group-commit byte budget: the persist thread keeps coalescing
+  /// already-queued batches into one commit group until the group holds
+  /// this many frame bytes. 0 commits each batch individually (the
+  /// pre-group-commit behaviour; the shard-scaling bench uses it so its
+  /// modeled per-batch commit latency stays per batch).
+  std::size_t wal_group_commit_bytes = 1 << 20;
+  /// Group-commit time budget: how long the persist thread waits for
+  /// further batches once it holds at least one and the byte budget is
+  /// not yet full. 0 (default) only coalesces what is already queued —
+  /// no added latency, deterministic for drains.
+  common::Duration wal_group_commit_us{};
   /// Period of the automatic purge cycle removing acknowledged events
   /// ("events ... can be removed from the data store when next data
   /// purge cycle is initiated", Section IV). Zero disables the cycle;
@@ -51,11 +86,12 @@ struct AggregatorOptions {
   /// the generic aggregator.* points, so a fault plan can target one
   /// shard while fleet-wide plans keep working.
   std::string fault_scope;
-  /// Modeled durable-commit latency per persisted batch (the paper's
+  /// Modeled durable-commit latency per commit group (the paper's
   /// aggregator commits each batch to MySQL; this stands in for that
-  /// round trip). Slept for real in the persist thread. Zero (default)
-  /// for production paths; the shard scaling bench sets it so the
-  /// per-shard persist threads have genuine latency to overlap.
+  /// round trip). Slept for real in the persist thread, once per group.
+  /// Zero (default) for production paths; the shard scaling bench sets
+  /// it (with group commit off) so the per-shard persist threads have
+  /// genuine latency to overlap.
   common::Duration commit_latency{};
 };
 
@@ -97,13 +133,23 @@ class Aggregator {
 
   /// Synchronously pump whatever is buffered (deterministic tests; only
   /// valid while the worker threads are not running). Returns frames
-  /// processed.
+  /// processed. Persists as groups of one so chaos schedules stay
+  /// per-batch deterministic.
   std::size_t drain_once();
 
-  /// Collectors connect their publishers here.
-  const std::shared_ptr<msgq::Subscriber>& inbox() const { return inbox_; }
-  /// Consumers connect their subscribers here.
-  const std::shared_ptr<msgq::Publisher>& output() const { return output_; }
+  /// Transport this aggregator's endpoints live on.
+  transport::Transport& transport() { return *transport_; }
+  /// Fan-in receiver — the shard router's senders connect here.
+  const std::shared_ptr<transport::Receiver>& input() const { return input_; }
+  /// Connect a downstream receiver (consumer, bridge tap) to the output.
+  void connect_output(const std::shared_ptr<transport::Receiver>& receiver) {
+    output_->connect(receiver);
+  }
+
+  /// Bus-compat splice points (in-proc transport only; null otherwise).
+  /// Tests use these to wire rogue publishers straight into the inbox.
+  std::shared_ptr<msgq::Subscriber> inbox() const;
+  std::shared_ptr<msgq::Publisher> output() const;
 
   /// Historic replay from the reliable store (consumer fault recovery).
   common::Result<std::vector<core::StdEvent>> events_since(
@@ -120,19 +166,22 @@ class Aggregator {
   std::uint64_t purge_cycles() const { return purge_cycles_.load(); }
   /// Replayed events dropped by the per-source (MDT, record-index) dedup.
   std::uint64_t deduped() const { return deduped_.load(); }
+  /// Commit groups flushed by the persist thread.
+  std::uint64_t commit_groups() const { return commit_groups_.load(); }
   double publish_rate() const { return meter_.average_rate(); }
   const eventstore::EventStore* store() const { return store_.get(); }
 
  private:
   /// An id-patched, already-encoded batch frame handed from the pump to
-  /// the persister. The frame bytes are reused verbatim — the persist
-  /// path never re-serializes. `source`/`last_seq` carry the durability
-  /// ack the persister owes the originating collector.
+  /// the persister. The frame bytes are shared with the published copy —
+  /// the persist path never re-serializes and never duplicates.
+  /// `source`/`last_seq` carry the durability ack the persister owes the
+  /// originating collector; an empty frame is an ack-only marker.
   struct PersistBatch {
     common::EventId first_id = 0;
     std::string source;
     std::uint64_t last_seq = 0;
-    std::string frame;
+    transport::FrameRef frame;
   };
 
   void pump_loop(std::stop_token stop);
@@ -141,11 +190,12 @@ class Aggregator {
   /// One pump iteration: dedup replays, assign ids, fan out, enqueue for
   /// persistence. Returns false if the frame was dropped (corrupt or
   /// fully duplicate) or the stage crashed.
-  bool process_frame(msgq::Message& message);
-  /// One persister iteration: append to the store and ack. Returns false
-  /// on a store failure (fail-stop: the aggregator marks itself crashed
-  /// rather than dropping the batch silently).
-  bool persist_one(PersistBatch& batch);
+  bool process_frame(transport::Frame& message);
+  /// Commit one group: per-batch before_persist faults, one torn-group
+  /// fault evaluation, one store append + flush for the whole group,
+  /// then acks in queue order. Returns false when the stage crashed (no
+  /// batch of the group was acked unless its prefix committed first).
+  bool persist_group(std::span<PersistBatch> group);
   void ack(std::string_view source, std::uint64_t record_index);
   void rebuild_accepted_from_store();
 
@@ -153,8 +203,12 @@ class Aggregator {
   std::string name_;
   AggregatorOptions options_;
   common::Clock& clock_;
-  std::shared_ptr<msgq::Subscriber> inbox_;
-  std::shared_ptr<msgq::Publisher> output_;
+  /// Owned fallback when options_.transport is null. Declared before the
+  /// endpoints it creates.
+  std::unique_ptr<transport::Transport> owned_transport_;
+  transport::Transport* transport_ = nullptr;
+  std::shared_ptr<transport::Receiver> input_;
+  std::shared_ptr<transport::Sender> output_;
   std::unique_ptr<eventstore::EventStore> store_;
   common::BoundedQueue<PersistBatch> persist_queue_;
   common::RateMeter meter_;
@@ -166,6 +220,7 @@ class Aggregator {
   std::atomic<std::uint64_t> persisted_{0};
   std::atomic<std::uint64_t> purge_cycles_{0};
   std::atomic<std::uint64_t> deduped_{0};
+  std::atomic<std::uint64_t> commit_groups_{0};
   std::atomic<bool> running_{false};
   std::atomic<bool> crashed_{false};
   AckCallback ack_callback_;
@@ -184,6 +239,8 @@ class Aggregator {
   obs::HistogramMetric* fanout_lag_hist_ = nullptr;
   obs::HistogramMetric* batch_size_hist_ = nullptr;
   obs::HistogramMetric* batch_bytes_hist_ = nullptr;
+  obs::HistogramMetric* group_size_hist_ = nullptr;
+  obs::HistogramMetric* group_commit_latency_hist_ = nullptr;
 };
 
 }  // namespace fsmon::scalable

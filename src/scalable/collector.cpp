@@ -1,8 +1,11 @@
 #include "src/scalable/collector.hpp"
 
+#include <algorithm>
+
 #include "src/chaos/fault.hpp"
 #include "src/common/logging.hpp"
 #include "src/scalable/shard_router.hpp"
+#include "src/transport/inproc.hpp"
 
 namespace fsmon::scalable {
 
@@ -24,9 +27,16 @@ std::size_t shard_count_for(std::size_t threads) {
 Collector::Collector(lustre::LustreFs& fs, std::uint32_t mds_index,
                      std::shared_ptr<msgq::Publisher> publisher, CollectorOptions options,
                      common::Clock& clock)
+    : Collector(fs, mds_index,
+                std::make_shared<transport::InProcSender>(std::move(publisher)),
+                std::move(options), clock) {}
+
+Collector::Collector(lustre::LustreFs& fs, std::uint32_t mds_index,
+                     std::shared_ptr<transport::Sender> sender, CollectorOptions options,
+                     common::Clock& clock)
     : fs_(fs),
       mds_index_(mds_index),
-      publisher_(std::move(publisher)),
+      sender_(std::move(sender)),
       options_(std::move(options)),
       clock_(clock),
       topic_(options_.topic_prefix + "mdt" + std::to_string(mds_index)),
@@ -125,20 +135,25 @@ void Collector::publish_events(core::EventBatch& batch) {
     }
     if (outcome.action == chaos::FaultAction::kDelay) clock_.sleep_for(outcome.delay);
   }
-  const auto bytes = core::encode_batch(batch);
-  std::string frame(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  // Serialize once; from here the encoded bytes ride a ref-counted
+  // FrameRef through every downstream hop — handoffs bump a refcount,
+  // they never duplicate the frame.
+  auto bytes = core::encode_batch(batch);
+  const std::size_t frame_bytes = bytes.size();
+  auto frame = transport::FrameRef::adopt(std::move(bytes));
   std::size_t accepted = 0;
   std::size_t subscribers = 0;
   if (router_ != nullptr) {
-    // Routed path: the router picks the owning shard and publishes into
-    // its inbox synchronously, so refusal detection below still observes
+    // Routed path: the router picks the owning shard and sends into its
+    // inbox synchronously, so refusal detection below still observes
     // the real downstream state.
     const auto routed = router_->route(topic_, std::move(frame));
     accepted = routed.accepted;
     subscribers = routed.subscribers;
   } else {
-    accepted = publisher_->publish(topic_, std::move(frame));
-    subscribers = publisher_->subscriber_count();
+    const auto sent = sender_->send(topic_, std::move(frame));
+    accepted = sent.accepted;
+    subscribers = std::max<std::size_t>(sent.receivers, sender_->receiver_count());
   }
   if (accepted == 0 && subscribers > 0) {
     // The inbox refused the frame — it is closed across a downstream
@@ -150,7 +165,7 @@ void Collector::publish_events(core::EventBatch& batch) {
     batch.events.clear();
     return;
   }
-  if (batch_bytes_hist_ != nullptr) batch_bytes_hist_->record(bytes.size());
+  if (batch_bytes_hist_ != nullptr) batch_bytes_hist_->record(frame_bytes);
   batch.events.clear();
 }
 

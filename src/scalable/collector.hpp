@@ -34,6 +34,7 @@
 #include "src/scalable/clear_guard.hpp"
 #include "src/scalable/processor.hpp"
 #include "src/scalable/reorder_buffer.hpp"
+#include "src/transport/transport.hpp"
 
 namespace fsmon::scalable {
 
@@ -69,6 +70,13 @@ struct CollectorOptions {
 
 class Collector {
  public:
+  /// Transport-agnostic form: the collector publishes through `sender`
+  /// and never learns which transport (in-proc bus, shm ring, TCP) the
+  /// hop rides on.
+  Collector(lustre::LustreFs& fs, std::uint32_t mds_index,
+            std::shared_ptr<transport::Sender> sender, CollectorOptions options,
+            common::Clock& clock);
+  /// Bus compat: wraps the publisher in an InProcSender.
   Collector(lustre::LustreFs& fs, std::uint32_t mds_index,
             std::shared_ptr<msgq::Publisher> publisher, CollectorOptions options,
             common::Clock& clock);
@@ -149,7 +157,7 @@ class Collector {
 
   lustre::LustreFs& fs_;
   std::uint32_t mds_index_;
-  std::shared_ptr<msgq::Publisher> publisher_;
+  std::shared_ptr<transport::Sender> sender_;
   ShardRouter* router_ = nullptr;  ///< Optional; see set_router().
   CollectorOptions options_;
   common::Clock& clock_;

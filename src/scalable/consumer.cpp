@@ -26,16 +26,19 @@ Consumer::Consumer(msgq::Bus& bus, ShardedAggregator& aggregator, std::string na
       options_(std::move(options)),
       callback_(std::move(callback)),
       batch_callback_(std::move(batch_callback)),
-      subscriber_(bus_.make_subscriber(name_, options_.high_water_mark,
-                                       options_.overflow_policy)),
+      receiver_(aggregator.transport().make_receiver(
+          name_, options_.high_water_mark,
+          options_.overflow_policy == common::OverflowPolicy::kDropNewest
+              ? transport::OverflowPolicy::kDropNewest
+              : transport::OverflowPolicy::kBlock)),
       seen_(aggregator.shard_count()),
       acked_(aggregator.shard_count()) {
-  subscriber_->subscribe("");  // receive everything; filter locally
+  receiver_->subscribe("");  // receive everything; filter locally
   // One inbox fed by every shard: frames from different shards
   // interleave at the queue, but each frame is whole, so per-shard order
-  // is preserved (each shard's publisher pushes in its id order).
+  // is preserved (each shard's sender pushes in its id order).
   for (std::size_t k = 0; k < aggregator_.shard_count(); ++k)
-    aggregator_.shard(k).output()->connect(subscriber_);
+    aggregator_.shard(k).connect_output(receiver_);
   if (options_.metrics != nullptr) {
     auto& registry = *options_.metrics;
     const obs::Labels labels{{"consumer", name_}};
@@ -87,7 +90,7 @@ void Consumer::deliver_batch(const core::EventBatch& batch, bool dedup_filter) {
     const auto head = aggregator_.last_event_id_sum();
     const auto seen = seen_.sum();
     delivery_lag_gauge_->set(head > seen ? static_cast<std::int64_t>(head - seen) : 0);
-    overflow_dropped_gauge_->set(static_cast<std::int64_t>(subscriber_->dropped()));
+    overflow_dropped_gauge_->set(static_cast<std::int64_t>(receiver_->dropped()));
     batch_size_hist_->record(batch.size());
   }
   // Duplicate decisions are made for the whole batch before any marking:
@@ -147,7 +150,7 @@ Status Consumer::start() {
 
 void Consumer::stop() {
   if (!running_.load()) return;
-  subscriber_->close();
+  receiver_->close();
   if (worker_.joinable()) {
     worker_.request_stop();
     worker_.join();
@@ -160,7 +163,7 @@ void Consumer::crash() {
   // Fail-stop: identical teardown to stop() except semantically abrupt —
   // frames queued in the inbox die with the process; nothing further is
   // acknowledged.
-  subscriber_->close();
+  receiver_->close();
   if (worker_.joinable()) {
     worker_.request_stop();
     worker_.join();
@@ -170,7 +173,7 @@ void Consumer::crash() {
 
 Status Consumer::restart() {
   if (running_.load()) return Status::ok();
-  subscriber_->reopen();
+  receiver_->reopen();
   VectorCursor resume;
   {
     std::lock_guard lock(deliver_mu_);
@@ -188,10 +191,11 @@ Status Consumer::restart() {
 
 void Consumer::run(std::stop_token) {
   for (;;) {
-    auto message = subscriber_->recv();
+    auto message = receiver_->recv();
     if (!message) break;
-    auto batch = core::decode_batch(
-        std::as_bytes(std::span(message->payload.data(), message->payload.size())));
+    // Decode straight out of the shared frame bytes — over shm this reads
+    // the ring record in place; the FrameRef keeps it alive until here.
+    auto batch = core::decode_batch(message->payload.bytes());
     if (!batch) {
       FSMON_WARN("consumer", "corrupt batch frame: ", batch.status().to_string());
       continue;

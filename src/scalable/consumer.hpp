@@ -104,7 +104,7 @@ class Consumer {
   /// Duplicate events suppressed by the per-source dedup window.
   std::uint64_t duplicates_suppressed() const { return duplicates_.load(); }
   /// Events lost to the high-water mark (only with kDropNewest).
-  std::uint64_t dropped() const { return subscriber_->dropped(); }
+  std::uint64_t dropped() const { return receiver_->dropped(); }
   /// Sum of the per-shard seen watermarks — total distinct events this
   /// consumer has observed; equal to the plain last id with one shard.
   common::EventId last_seen_id() const { return last_seen_sum_.load(); }
@@ -133,7 +133,9 @@ class Consumer {
   ConsumerOptions options_;
   EventCallback callback_;
   BatchCallback batch_callback_;
-  std::shared_ptr<msgq::Subscriber> subscriber_;
+  /// Receiving endpoint on the aggregator tier's transport: every shard's
+  /// output sender connects here, whatever carries the frames.
+  std::shared_ptr<transport::Receiver> receiver_;
   mutable std::mutex deliver_mu_;  ///< Serializes live and replay deliveries.
   std::map<std::string, SourceDedupWindow> dedup_;  ///< Guarded by deliver_mu_.
   VectorCursor seen_;   ///< Per-shard last seen ids. Guarded by deliver_mu_.

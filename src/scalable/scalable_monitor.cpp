@@ -9,17 +9,18 @@ ScalableMonitor::ScalableMonitor(lustre::LustreFs& fs, ScalableMonitorOptions op
     : fs_(fs), options_(std::move(options)), clock_(clock) {
   ShardedAggregatorOptions sharded_options;
   sharded_options.shards = options_.shards;
+  sharded_options.transport = options_.transport;
   sharded_options.aggregator = options_.aggregator;
   sharded_ = std::make_unique<ShardedAggregator>(bus_, "aggregator",
                                                  std::move(sharded_options), clock_);
   for (std::uint32_t i = 0; i < fs_.mdt_count(); ++i) {
     // Collectors publish through the shard router (which owns the
-    // per-shard inbox connections); the per-collector publisher remains
-    // its bus identity but carries no subscribers.
-    auto publisher =
-        bus_.make_publisher(options_.collector.topic_prefix + "collector" + std::to_string(i));
+    // per-shard sender connections); the per-collector sender lives on
+    // the tier's transport but carries no direct receivers.
+    auto sender = sharded_->transport().make_sender(
+        options_.collector.topic_prefix + "collector" + std::to_string(i));
     collectors_.push_back(
-        std::make_unique<Collector>(fs_, i, std::move(publisher), options_.collector, clock_));
+        std::make_unique<Collector>(fs_, i, std::move(sender), options_.collector, clock_));
     collectors_.back()->set_router(&sharded_->router());
     fs_.mgs().register_service(
         {"collector-" + std::to_string(i), "collector", "msgq://collector" + std::to_string(i)});

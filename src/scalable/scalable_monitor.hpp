@@ -23,6 +23,10 @@ struct ScalableMonitorOptions {
   /// aggregator, byte-for-byte; N partitions the tier by event source
   /// through the ShardRouter (see docs/ARCHITECTURE.md).
   std::size_t shards = 1;
+  /// Transport every pipeline hop rides on (collector senders, shard
+  /// inboxes/outputs, consumer receivers). Null (default) = in-process
+  /// over the monitor's bus. Must outlive the monitor.
+  transport::Transport* transport = nullptr;
 };
 
 class ScalableMonitor {

@@ -6,18 +6,14 @@
 
 namespace fsmon::scalable {
 
-ShardRouter::ShardRouter(msgq::Bus& bus, const ShardMap& map,
-                         std::vector<std::shared_ptr<msgq::Subscriber>> inboxes,
+ShardRouter::ShardRouter(const ShardMap& map,
+                         std::vector<std::shared_ptr<transport::Sender>> senders,
                          common::Clock& clock, obs::MetricsRegistry* metrics)
-    : map_(map), clock_(clock) {
-  publishers_.reserve(inboxes.size());
-  frames_counters_.resize(inboxes.size(), nullptr);
-  events_counters_.resize(inboxes.size(), nullptr);
-  for (std::size_t k = 0; k < inboxes.size(); ++k) {
-    auto publisher = bus.make_publisher("router/shard" + std::to_string(k));
-    publisher->connect(inboxes[k]);
-    publishers_.push_back(std::move(publisher));
-    if (metrics != nullptr) {
+    : map_(map), clock_(clock), senders_(std::move(senders)) {
+  frames_counters_.resize(senders_.size(), nullptr);
+  events_counters_.resize(senders_.size(), nullptr);
+  if (metrics != nullptr) {
+    for (std::size_t k = 0; k < senders_.size(); ++k) {
       const obs::Labels labels{{"shard", std::to_string(k)}};
       frames_counters_[k] =
           &metrics->counter("router.frames_routed", labels,
@@ -27,8 +23,6 @@ ShardRouter::ShardRouter(msgq::Bus& bus, const ShardMap& map,
                             "Events inside frames routed to this aggregator shard",
                             "events");
     }
-  }
-  if (metrics != nullptr) {
     refused_counter_ = &metrics->counter(
         "router.frames_refused", {},
         "Frames refused at the router (shard inbox closed, or an injected "
@@ -40,19 +34,19 @@ ShardRouter::ShardRouter(msgq::Bus& bus, const ShardMap& map,
   }
 }
 
-RouteResult ShardRouter::route(const std::string& topic, std::string payload) {
+RouteResult ShardRouter::route(const std::string& topic, transport::FrameRef frame) {
   // Peek the routing key out of the encoded frame without decoding
   // events: the first event's source names the stream, and the map is
   // stable, so every frame of that stream lands on the same shard.
-  const auto frame = std::as_bytes(std::span(payload.data(), payload.size()));
-  auto view = core::view_batch(frame, /*verify_crc=*/false);
+  const auto bytes = frame.bytes();
+  auto view = core::view_batch(bytes, /*verify_crc=*/false);
   std::size_t shard = 0;
   std::size_t count = 1;
   bool routable = false;
   if (view && view.value().count > 0) {
     count = view.value().count;
     const auto& [offset, length] = view.value().events[0];
-    if (auto source = core::peek_event_source(frame.subspan(offset, length))) {
+    if (auto source = core::peek_event_source(bytes.subspan(offset, length))) {
       shard = map_.shard_of(source.value());
       routable = true;
     }
@@ -63,7 +57,7 @@ RouteResult ShardRouter::route(const std::string& topic, std::string payload) {
   }
   RouteResult result;
   result.shard = shard;
-  result.subscribers = publishers_[shard]->subscriber_count();
+  result.subscribers = senders_[shard]->receiver_count();
   // The injected link fault refuses the frame rather than silently
   // accepting-and-dropping it: custody has not transferred yet, so a
   // silent drop here could let a later ack clear changelog records that
@@ -79,7 +73,9 @@ RouteResult ShardRouter::route(const std::string& topic, std::string payload) {
       return result;
     }
   }
-  result.accepted = publishers_[shard]->publish(topic, std::move(payload));
+  const auto sent = senders_[shard]->send(topic, std::move(frame));
+  result.accepted = sent.accepted;
+  if (sent.receivers > result.subscribers) result.subscribers = sent.receivers;
   if (result.accepted == 0) {
     refused_.fetch_add(1);
     if (refused_counter_ != nullptr) refused_counter_->inc();

@@ -4,10 +4,15 @@
 // Sits logically between the collectors and the shard inboxes, but runs
 // *synchronously on the collector's thread* — deliberately not a pump
 // stage with its own queue. The collector's recovery protocol depends on
-// the publish call observing the target inbox directly: a closed inbox
+// the send call observing the target inbox directly: a closed inbox
 // (shard crash window) must surface as "refused" so the collector
 // rewinds to its cleared index. A queue in between would absorb the
 // frame, report success, and lose it with the router's memory.
+//
+// The router is transport-agnostic: it holds one pre-connected
+// transport::Sender per shard and never learns whether the hop is the
+// in-process bus, a shared-memory ring, or a TCP link. Frames travel as
+// immutable FrameRefs, so routing is a refcount bump, never a copy.
 //
 // Routing key: the frame's event source (all events in a frame share
 // one source — collectors flush at record boundaries and each collector
@@ -20,9 +25,9 @@
 #include <vector>
 
 #include "src/common/clock.hpp"
-#include "src/msgq/pubsub.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/scalable/shard_map.hpp"
+#include "src/transport/transport.hpp"
 
 namespace fsmon::scalable {
 
@@ -37,10 +42,10 @@ struct RouteResult {
 
 class ShardRouter {
  public:
-  /// `inboxes[k]` is shard k's fan-in subscriber. The router owns one
-  /// publisher per shard, connected at construction.
-  ShardRouter(msgq::Bus& bus, const ShardMap& map,
-              std::vector<std::shared_ptr<msgq::Subscriber>> inboxes,
+  /// `senders[k]` is shard k's fan-in sender, already connected to that
+  /// shard's input receiver by whoever assembled the tier.
+  ShardRouter(const ShardMap& map,
+              std::vector<std::shared_ptr<transport::Sender>> senders,
               common::Clock& clock, obs::MetricsRegistry* metrics = nullptr);
 
   ShardRouter(const ShardRouter&) = delete;
@@ -52,7 +57,12 @@ class ShardRouter {
   /// link failing: drop/fail outcomes refuse the frame (the collector
   /// rewinds and replays contiguously — never a silent loss), delay
   /// stalls the publishing collector thread.
-  RouteResult route(const std::string& topic, std::string payload);
+  RouteResult route(const std::string& topic, transport::FrameRef frame);
+  /// String compat shim (tests exercise the router with raw payloads):
+  /// adopts the string — a move, not a counted copy.
+  RouteResult route(const std::string& topic, std::string payload) {
+    return route(topic, transport::FrameRef::adopt(std::move(payload)));
+  }
 
   const ShardMap& map() const { return map_; }
   std::uint64_t frames_routed() const { return frames_.load(); }
@@ -61,7 +71,7 @@ class ShardRouter {
  private:
   const ShardMap& map_;
   common::Clock& clock_;
-  std::vector<std::shared_ptr<msgq::Publisher>> publishers_;
+  std::vector<std::shared_ptr<transport::Sender>> senders_;
   std::atomic<std::uint64_t> frames_{0};
   std::atomic<std::uint64_t> refused_{0};
   std::vector<obs::Counter*> frames_counters_;  ///< Per shard, label shard=<k>.

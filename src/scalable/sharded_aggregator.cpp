@@ -1,5 +1,7 @@
 #include "src/scalable/sharded_aggregator.hpp"
 
+#include "src/transport/inproc.hpp"
+
 namespace fsmon::scalable {
 
 using common::Result;
@@ -9,13 +11,20 @@ ShardedAggregator::ShardedAggregator(msgq::Bus& bus, const std::string& name,
                                      ShardedAggregatorOptions options,
                                      common::Clock& clock)
     : map_(options.shards) {
+  if (options.transport != nullptr) {
+    transport_ = options.transport;
+  } else {
+    owned_transport_ = std::make_unique<transport::InProcTransport>(bus);
+    transport_ = owned_transport_.get();
+  }
+  if (options.aggregator.metrics != nullptr)
+    transport_->attach_metrics(options.aggregator.metrics);
   const std::size_t n = map_.shards();
   shards_.reserve(n);
   topics_.reserve(n);
-  std::vector<std::shared_ptr<msgq::Subscriber>> inboxes;
-  inboxes.reserve(n);
   for (std::size_t k = 0; k < n; ++k) {
     AggregatorOptions shard_options = options.aggregator;
+    shard_options.transport = transport_;
     std::string shard_name = name;
     if (n > 1) {
       const std::string suffix = "shard" + std::to_string(k);
@@ -29,9 +38,19 @@ ShardedAggregator::ShardedAggregator(msgq::Bus& bus, const std::string& name,
     topics_.push_back(shard_options.output_topic);
     shards_.push_back(std::make_unique<Aggregator>(bus, std::move(shard_name),
                                                    std::move(shard_options), clock));
-    inboxes.push_back(shards_.back()->inbox());
   }
-  router_ = std::make_unique<ShardRouter>(bus, map_, std::move(inboxes), clock,
+  // One router sender per shard, wired straight to that shard's fan-in
+  // receiver. The router hands each frame to exactly one of these; the
+  // handoff cost is whatever the transport makes it (a refcount bump
+  // in-proc, one ring write over shm).
+  std::vector<std::shared_ptr<transport::Sender>> senders;
+  senders.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    auto sender = transport_->make_sender(name + "/router/shard" + std::to_string(k));
+    sender->connect(shards_[k]->input());
+    senders.push_back(std::move(sender));
+  }
+  router_ = std::make_unique<ShardRouter>(map_, std::move(senders), clock,
                                           options.aggregator.metrics);
 }
 

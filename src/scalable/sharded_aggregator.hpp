@@ -33,6 +33,10 @@ namespace fsmon::scalable {
 struct ShardedAggregatorOptions {
   /// Number of aggregator shards; 1 reproduces the unsharded tier.
   std::size_t shards = 1;
+  /// Transport every stage boundary of the tier rides on (router->shard
+  /// senders, shard inboxes and outputs). Null (default) makes the tier
+  /// own an InProcTransport over its bus. Must outlive the tier.
+  transport::Transport* transport = nullptr;
   /// Template applied to every shard. Per-shard derivations: the store
   /// directory gains a "shard<k>" suffix, the output topic a "/shard<k>"
   /// suffix, metrics a shard=<k> label, and fault points an
@@ -54,6 +58,9 @@ class ShardedAggregator {
   std::size_t shard_count() const { return shards_.size(); }
   Aggregator& shard(std::size_t k) { return *shards_.at(k); }
   const Aggregator& shard(std::size_t k) const { return *shards_.at(k); }
+  /// Transport the tier's endpoints live on (collector senders are made
+  /// here so the whole pipeline shares one carrier).
+  transport::Transport& transport() { return *transport_; }
   ShardRouter& router() { return *router_; }
   ShardMap& map() { return map_; }
   const ShardMap& map() const { return map_; }
@@ -84,6 +91,10 @@ class ShardedAggregator {
 
  private:
   ShardMap map_;
+  /// Owned fallback when options.transport is null. Declared before the
+  /// shards and router whose endpoints it creates.
+  std::unique_ptr<transport::Transport> owned_transport_;
+  transport::Transport* transport_ = nullptr;
   std::vector<std::unique_ptr<Aggregator>> shards_;
   std::vector<std::string> topics_;
   std::unique_ptr<ShardRouter> router_;

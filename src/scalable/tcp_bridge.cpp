@@ -35,12 +35,14 @@ std::size_t shard_of_topic(const std::string& topic) {
 
 AggregatorTcpBridge::AggregatorTcpBridge(ShardedAggregator& aggregator, msgq::Bus& bus)
     : aggregator_(aggregator) {
-  tap_ = bus.make_subscriber("tcp-bridge-tap", 1 << 16);
+  (void)bus;  // kept for API stability; the tap rides the tier's transport
+  tap_ = aggregator_.transport().make_receiver("tcp-bridge-tap", 1 << 16,
+                                               transport::OverflowPolicy::kBlock);
   tap_->subscribe("");
   // One tap across every shard output: frames keep their per-shard
   // topics, so remote consumers can attribute each frame to its shard.
   for (std::size_t k = 0; k < aggregator_.shard_count(); ++k)
-    aggregator_.shard(k).output()->connect(tap_);
+    aggregator_.shard(k).connect_output(tap_);
   tcp_.set_control_handler(
       [this](const msgq::Message& request,
              const std::shared_ptr<msgq::TcpConnection>& connection) {
@@ -71,8 +73,8 @@ void AggregatorTcpBridge::stop() {
 
 void AggregatorTcpBridge::pump_loop(std::stop_token) {
   for (;;) {
-    auto message = tap_->recv();
-    if (!message) break;  // closed and drained
+    auto frame = tap_->recv();
+    if (!frame) break;  // closed and drained
     // Chaos: a dropped frame models the network losing an entire batch
     // in flight — consumers must detect the id gap and replay.
     if (auto outcome = chaos::fault("tcp.drop");
@@ -80,12 +82,16 @@ void AggregatorTcpBridge::pump_loop(std::stop_token) {
       dropped_frames_.fetch_add(1);
       continue;
     }
-    tcp_.publish(*message);
+    // Hand the shared frame bytes straight to the TCP fan-out: the
+    // publisher scatter-gathers header + payload from the FrameRef, so
+    // the bridge never assembles (or copies) a wire buffer.
+    msgq::Message message;
+    message.topic = std::move(frame->topic);
+    message.frame = std::move(frame->payload);
+    tcp_.publish(message);
     // Frames are forwarded opaquely; count the events inside so the
     // counter stays comparable across batch sizes.
-    auto view = core::view_batch(
-        std::as_bytes(std::span(message->payload.data(), message->payload.size())),
-        /*verify_crc=*/false);
+    auto view = core::view_batch(message.byte_span(), /*verify_crc=*/false);
     forwarded_.fetch_add(view ? view.value().count : 1);
   }
 }

@@ -68,7 +68,8 @@ class AggregatorTcpBridge {
                     const std::shared_ptr<msgq::TcpConnection>& connection);
 
   ShardedAggregator& aggregator_;
-  std::shared_ptr<msgq::Subscriber> tap_;  ///< Local tap on every shard output.
+  /// Local tap on every shard output, on the tier's transport.
+  std::shared_ptr<transport::Receiver> tap_;
   msgq::TcpPublisher tcp_;
   std::jthread pump_;
   std::atomic<std::uint64_t> forwarded_{0};

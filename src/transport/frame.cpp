@@ -1,0 +1,66 @@
+#include "src/transport/frame.hpp"
+
+#include <atomic>
+#include <cstring>
+
+namespace fsmon::transport {
+namespace {
+
+std::atomic<std::uint64_t> g_frame_copies{0};
+
+}  // namespace
+
+std::uint64_t frame_copies() {
+  return g_frame_copies.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+void count_frame_copy() {
+  g_frame_copies.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+FrameRef FrameRef::adopt(std::string payload) {
+  auto data = std::make_shared<Data>();
+  data->owned_str = std::move(payload);
+  data->view = std::span<std::byte>(
+      reinterpret_cast<std::byte*>(data->owned_str.data()), data->owned_str.size());
+  return FrameRef(std::move(data));
+}
+
+FrameRef FrameRef::adopt(std::vector<std::byte> payload) {
+  auto data = std::make_shared<Data>();
+  data->owned_vec = std::move(payload);
+  data->view = std::span<std::byte>(data->owned_vec);
+  return FrameRef(std::move(data));
+}
+
+FrameRef FrameRef::copy(std::span<const std::byte> payload) {
+  detail::count_frame_copy();
+  auto data = std::make_shared<Data>();
+  data->owned_vec.assign(payload.begin(), payload.end());
+  data->view = std::span<std::byte>(data->owned_vec);
+  return FrameRef(std::move(data));
+}
+
+FrameRef FrameRef::borrow(std::span<std::byte> region, std::function<void()> release) {
+  auto data = std::make_shared<Data>();
+  data->view = region;
+  data->release = std::move(release);
+  return FrameRef(std::move(data));
+}
+
+std::span<std::byte> FrameRef::mutable_bytes() {
+  if (data_ == nullptr) return {};
+  if (data_.use_count() == 1) return data_->view;
+  // Shared: detach into a private buffer (one counted copy) so other
+  // retainers keep seeing the original bytes.
+  detail::count_frame_copy();
+  auto fresh = std::make_shared<Data>();
+  fresh->owned_vec.assign(data_->view.begin(), data_->view.end());
+  fresh->view = std::span<std::byte>(fresh->owned_vec);
+  data_ = std::move(fresh);
+  return data_->view;
+}
+
+}  // namespace fsmon::transport

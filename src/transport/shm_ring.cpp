@@ -1,0 +1,140 @@
+#include "src/transport/shm_ring.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace fsmon::transport {
+namespace {
+
+constexpr std::size_t align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+}  // namespace
+
+ShmRing::ShmRing(std::size_t min_capacity)
+    : capacity_(std::bit_ceil(std::max<std::size_t>(min_capacity, 1024))),
+      mask_(capacity_ - 1),
+      buffer_(capacity_ / sizeof(std::uint64_t)) {}
+
+std::uint32_t ShmRing::load_u32(std::size_t offset) const {
+  std::uint32_t value;
+  std::memcpy(&value, data() + offset, sizeof(value));
+  return value;
+}
+
+void ShmRing::store_u32(std::size_t offset, std::uint32_t value) {
+  std::memcpy(data() + offset, &value, sizeof(value));
+}
+
+std::uint32_t ShmRing::load_state(std::size_t offset, std::memory_order order) const {
+  const auto* p = reinterpret_cast<const std::uint32_t*>(data() + offset + 4);
+  return std::atomic_ref<const std::uint32_t>(*p).load(order);
+}
+
+void ShmRing::store_state(std::size_t offset, std::uint32_t value,
+                          std::memory_order order) {
+  auto* p = reinterpret_cast<std::uint32_t*>(data() + offset + 4);
+  std::atomic_ref<std::uint32_t>(*p).store(value, order);
+}
+
+bool ShmRing::reclaim_one(std::uint64_t& tail) {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  if (tail == head) return false;
+  const std::size_t pos = tail & mask_;
+  // The acquire pairs with the release hook's store: once we see
+  // kReleased the last reader is gone and the bytes may be overwritten.
+  if (load_state(pos, std::memory_order_acquire) != kStateReleased) return false;
+  tail += load_u32(pos);
+  return true;
+}
+
+ShmRing::PushResult ShmRing::try_push(std::string_view topic,
+                                      std::span<const std::byte> payload) {
+  const std::size_t needed = align8(kHeaderBytes + topic.size() + payload.size());
+  if (needed > capacity_) return PushResult::kTooLarge;
+
+  std::uint64_t head = head_.load(std::memory_order_relaxed);
+  std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  while (true) {
+    const std::size_t pos = head & mask_;
+    const std::size_t pad = pos + needed > capacity_ ? capacity_ - pos : 0;
+    while (capacity_ - (head - tail) < pad + needed) {
+      if (!reclaim_one(tail)) {
+        tail_.store(tail, std::memory_order_relaxed);
+        return PushResult::kFull;
+      }
+    }
+    tail_.store(tail, std::memory_order_relaxed);
+    if (pad == 0) {
+      store_u32(pos, static_cast<std::uint32_t>(needed));
+      store_state(pos, kStateCommitted, std::memory_order_relaxed);
+      store_u32(pos + 8, static_cast<std::uint32_t>(topic.size()));
+      store_u32(pos + 12, static_cast<std::uint32_t>(payload.size()));
+      std::memcpy(data() + pos + kHeaderBytes, topic.data(), topic.size());
+      if (!payload.empty()) {
+        std::memcpy(data() + pos + kHeaderBytes + topic.size(), payload.data(),
+                    payload.size());
+      }
+      pending_.fetch_add(1, std::memory_order_release);
+      // Publishes the record bytes to the consumer's acquire load.
+      head_.store(head + needed, std::memory_order_release);
+      return PushResult::kOk;
+    }
+    // Wrap: fill the remainder with a padding record (8-byte header is
+    // all it needs — record sizes are 8-aligned so pad >= 8) and retry
+    // from the buffer start.
+    store_u32(pos, static_cast<std::uint32_t>(pad));
+    store_state(pos, kStatePadding, std::memory_order_relaxed);
+    head_.store(head + pad, std::memory_order_release);
+    head += pad;
+  }
+}
+
+std::optional<ShmRing::Popped> ShmRing::try_pop() {
+  std::uint64_t read = read_.load(std::memory_order_relaxed);
+  while (true) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (read == head) {
+      read_.store(read, std::memory_order_release);
+      return std::nullopt;
+    }
+    const std::size_t pos = read & mask_;
+    const std::uint32_t total_len = load_u32(pos);
+    if (load_state(pos, std::memory_order_relaxed) == kStatePadding) {
+      // Hand the padding straight back to the producer.
+      store_state(pos, kStateReleased, std::memory_order_release);
+      {
+        std::lock_guard lock(space_mu_);
+      }
+      space_cv_.notify_all();
+      read += total_len;
+      continue;
+    }
+    const std::uint32_t topic_len = load_u32(pos + 8);
+    const std::uint32_t payload_len = load_u32(pos + 12);
+    Popped popped;
+    popped.topic.assign(reinterpret_cast<const char*>(data() + pos + kHeaderBytes),
+                        topic_len);
+    auto self = shared_from_this();
+    popped.payload = FrameRef::borrow(
+        std::span<std::byte>(data() + pos + kHeaderBytes + topic_len, payload_len),
+        [self, pos]() { self->release_record(pos); });
+    pending_.fetch_sub(1, std::memory_order_release);
+    read_.store(read + total_len, std::memory_order_release);
+    return popped;
+  }
+}
+
+void ShmRing::release_record(std::size_t offset) {
+  store_state(offset, kStateReleased, std::memory_order_release);
+  {
+    std::lock_guard lock(space_mu_);
+  }
+  space_cv_.notify_all();
+}
+
+void ShmRing::wait_for_space(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(space_mu_);
+  space_cv_.wait_for(lock, timeout);
+}
+
+}  // namespace fsmon::transport

@@ -1,0 +1,223 @@
+#include "src/transport/tcp.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace fsmon::transport {
+
+// ---------------------------------------------------------------------------
+// TcpReceiver
+
+TcpReceiver::TcpReceiver(std::string name, std::size_t high_water_mark,
+                         OverflowPolicy policy, const TcpTransportOptions& options)
+    : name_(std::move(name)), subscriber_options_(options.subscriber) {
+  subscriber_options_.high_water_mark = high_water_mark;
+  subscriber_options_.overflow_policy = policy == OverflowPolicy::kDropNewest
+                                            ? common::OverflowPolicy::kDropNewest
+                                            : common::OverflowPolicy::kBlock;
+}
+
+std::unique_ptr<msgq::TcpSubscriber> TcpReceiver::make_subscriber() const {
+  return std::make_unique<msgq::TcpSubscriber>(subscriber_options_);
+}
+
+std::optional<Frame> TcpReceiver::to_frame(std::optional<msgq::Message> message) {
+  if (!message) return std::nullopt;
+  Frame frame;
+  frame.topic = std::move(message->topic);
+  // The socket read materialized the payload string; adopting it is a
+  // move. Wire receive is a transfer, not a counted frame copy.
+  frame.payload = message->frame ? std::move(message->frame)
+                                 : FrameRef::adopt(std::move(message->payload));
+  return frame;
+}
+
+std::optional<Frame> TcpReceiver::poll_endpoints() {
+  // Round-robin so one busy shard cannot starve the others' frames.
+  const std::size_t n = endpoints_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& endpoint = endpoints_[(next_poll_ + i) % n];
+    if (endpoint.subscriber == nullptr) continue;
+    if (auto message = endpoint.subscriber->try_recv()) {
+      next_poll_ = (next_poll_ + i + 1) % n;
+      return to_frame(std::move(message));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Frame> TcpReceiver::recv(std::chrono::milliseconds timeout) {
+  const bool bounded = timeout.count() >= 0;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    {
+      std::lock_guard lock(mu_);
+      if (auto frame = poll_endpoints()) return frame;
+      if (closed_) return std::nullopt;  // drained, end of stream
+    }
+    if (bounded && std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    // The per-endpoint inboxes cannot share one condition variable, so
+    // blocking recv is a short poll loop across them.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+std::optional<Frame> TcpReceiver::try_recv() {
+  std::lock_guard lock(mu_);
+  return poll_endpoints();
+}
+
+void TcpReceiver::subscribe(std::string_view prefix) {
+  std::lock_guard lock(mu_);
+  filters_.emplace_back(prefix);
+  for (auto& endpoint : endpoints_) {
+    if (endpoint.subscriber != nullptr)
+      (void)endpoint.subscriber->subscribe(std::string(prefix));
+  }
+}
+
+std::size_t TcpReceiver::dial(const std::string& host, std::uint16_t port) {
+  std::lock_guard lock(mu_);
+  auto subscriber = make_subscriber();
+  const auto status = subscriber->connect(host, port);
+  if (!status.is_ok()) {
+    throw std::runtime_error("TcpReceiver::dial: " + status.message());
+  }
+  for (const auto& prefix : filters_) (void)subscriber->subscribe(prefix);
+  endpoints_.push_back(Endpoint{host, port, std::move(subscriber)});
+  return filters_.size();
+}
+
+void TcpReceiver::undial(std::uint16_t port) {
+  std::lock_guard lock(mu_);
+  for (auto& endpoint : endpoints_) {
+    if (endpoint.port == port && endpoint.subscriber != nullptr) {
+      endpoint.subscriber->disconnect();
+    }
+  }
+  std::erase_if(endpoints_, [&](const Endpoint& e) { return e.port == port; });
+}
+
+void TcpReceiver::close() {
+  std::lock_guard lock(mu_);
+  closed_ = true;
+  // Tear the connections down but remember the endpoints: reopen()
+  // re-dials them (restart semantics — see class comment).
+  for (auto& endpoint : endpoints_) {
+    if (endpoint.subscriber != nullptr) {
+      endpoint.subscriber->disconnect();
+      endpoint.subscriber.reset();
+    }
+  }
+}
+
+void TcpReceiver::reopen() {
+  std::lock_guard lock(mu_);
+  closed_ = false;
+  for (auto& endpoint : endpoints_) {
+    if (endpoint.subscriber != nullptr) continue;
+    auto subscriber = make_subscriber();
+    if (const auto status = subscriber->connect(endpoint.host, endpoint.port);
+        !status.is_ok()) {
+      continue;  // sender gone (stage torn down mid-restart); stay dark
+    }
+    for (const auto& prefix : filters_) (void)subscriber->subscribe(prefix);
+    endpoint.subscriber = std::move(subscriber);
+  }
+}
+
+bool TcpReceiver::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::size_t TcpReceiver::pending() const {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const auto& endpoint : endpoints_) {
+    if (endpoint.subscriber != nullptr) total += endpoint.subscriber->pending();
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// TcpSender
+
+TcpSender::TcpSender(std::string name, TcpTransportOptions options)
+    : name_(std::move(name)), options_(std::move(options)) {
+  const auto status = publisher_.start(0);
+  if (!status.is_ok()) {
+    throw std::runtime_error("TcpSender: failed to listen: " + status.message());
+  }
+}
+
+TcpSender::~TcpSender() { publisher_.stop(); }
+
+void TcpSender::connect(const std::shared_ptr<Receiver>& receiver) {
+  auto tcp = std::dynamic_pointer_cast<TcpReceiver>(receiver);
+  if (tcp == nullptr) {
+    throw std::invalid_argument("TcpSender::connect: receiver is not a TCP receiver");
+  }
+  const std::size_t before = publisher_.subscription_count();
+  const std::size_t expected = tcp->dial(options_.host, publisher_.port());
+  // Block until the subscriber's sub control frames are registered so a
+  // send() issued right after connect() cannot race past the filters.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (publisher_.subscription_count() < before + expected &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void TcpSender::disconnect(const std::shared_ptr<Receiver>& receiver) {
+  auto tcp = std::dynamic_pointer_cast<TcpReceiver>(receiver);
+  if (tcp == nullptr) return;
+  tcp->undial(publisher_.port());
+}
+
+SendResult TcpSender::send(std::string_view topic, FrameRef frame) {
+  SendResult result;
+  if (detail::send_faulted()) {
+    result.receivers = std::max<std::uint64_t>(publisher_.connection_count(), 1);
+    return result;
+  }
+  msgq::Message message;
+  message.topic = topic;
+  message.frame = std::move(frame);
+  const std::size_t bytes = message.frame.size();
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  result.accepted = publisher_.publish(message);
+  result.receivers = publisher_.connection_count();
+  metrics_.on_send(result.accepted, result.accepted * bytes);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+
+TcpTransport::TcpTransport(TcpTransportOptions options) : options_(std::move(options)) {}
+
+std::shared_ptr<Sender> TcpTransport::make_sender(std::string name) {
+  auto sender = std::make_shared<TcpSender>(std::move(name), options_);
+  std::lock_guard lock(mu_);
+  if (metrics_attached_) sender->set_metrics(metrics_);
+  senders_.push_back(sender);
+  return sender;
+}
+
+std::shared_ptr<Receiver> TcpTransport::make_receiver(std::string name,
+                                                      std::size_t high_water_mark,
+                                                      OverflowPolicy policy) {
+  return std::make_shared<TcpReceiver>(std::move(name), high_water_mark, policy, options_);
+}
+
+void TcpTransport::attach_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  std::lock_guard lock(mu_);
+  metrics_ = TransportMetrics::create(*registry, TransportKind::kTcp);
+  metrics_attached_ = true;
+  for (auto& sender : senders_) sender->set_metrics(metrics_);
+}
+
+}  // namespace fsmon::transport

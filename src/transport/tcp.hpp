@@ -1,0 +1,131 @@
+// TcpTransport: the socket endpoints rebased onto the Transport
+// interface.
+//
+// Each sender owns a msgq::TcpPublisher listening on an ephemeral
+// loopback port; connect(receiver) makes the receiver's
+// msgq::TcpSubscriber dial it and blocks until the subscription control
+// frames registered before the connect have been processed by the
+// publisher — after connect() returns, a send() is guaranteed to see
+// the receiver's filters.
+//
+// The hot path is the scatter-gather TcpConnection::send: the frame's
+// payload bytes go straight from the FrameRef into sendmsg with the
+// length-prefix header and CRC trailer as separate iovec entries, so
+// the sender side stays copy-free (the receive side necessarily
+// materializes the bytes off the socket — that is a wire transfer, not
+// a counted frame copy).
+//
+// Like the inproc adapter, this lives under src/transport/ but compiles
+// into fsmon_msgq (it needs msgq's endpoints; fsmon_transport cannot
+// depend on msgq).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/msgq/tcp.hpp"
+#include "src/transport/transport.hpp"
+
+namespace fsmon::transport {
+
+struct TcpTransportOptions {
+  std::string host = "127.0.0.1";
+  msgq::TcpSubscriberOptions subscriber;
+};
+
+/// One receiver, many upstream publishers: a consumer or bridge tap
+/// connects to every shard's output sender, so the receiver keeps one
+/// TcpSubscriber per dialed endpoint and recv() round-robins their
+/// inboxes. close() tears the connections down; reopen() re-dials every
+/// remembered endpoint and re-registers the filters (restart semantics —
+/// frames sent while closed are gone, recovery is replay's job).
+class TcpReceiver : public Receiver {
+ public:
+  TcpReceiver(std::string name, std::size_t high_water_mark, OverflowPolicy policy,
+              const TcpTransportOptions& options);
+
+  std::optional<Frame> recv(std::chrono::milliseconds timeout) override;
+  std::optional<Frame> try_recv() override;
+  void subscribe(std::string_view prefix) override;
+  void close() override;
+  void reopen() override;
+  bool closed() const override;
+  std::size_t pending() const override;
+  std::uint64_t dropped() const override { return 0; }
+  const std::string& name() const override { return name_; }
+
+ private:
+  friend class TcpSender;
+
+  struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+    std::unique_ptr<msgq::TcpSubscriber> subscriber;
+  };
+
+  /// Dial `host`:`port` and register every filter subscribed so far.
+  /// Returns the number of filters sent (the sender waits for them).
+  std::size_t dial(const std::string& host, std::uint16_t port);
+  /// Drop the connection to the sender listening on `port`.
+  void undial(std::uint16_t port);
+
+  std::unique_ptr<msgq::TcpSubscriber> make_subscriber() const;
+  static std::optional<Frame> to_frame(std::optional<msgq::Message> message);
+  /// Round-robin one non-blocking sweep over the endpoints (mu_ held).
+  std::optional<Frame> poll_endpoints();
+
+  const std::string name_;
+  msgq::TcpSubscriberOptions subscriber_options_;
+  mutable std::mutex mu_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<std::string> filters_;
+  std::size_t next_poll_ = 0;
+  bool closed_ = false;
+};
+
+class TcpSender : public Sender {
+ public:
+  TcpSender(std::string name, TcpTransportOptions options);
+  ~TcpSender() override;
+
+  SendResult send(std::string_view topic, FrameRef frame) override;
+  void connect(const std::shared_ptr<Receiver>& receiver) override;
+  void disconnect(const std::shared_ptr<Receiver>& receiver) override;
+  std::size_t receiver_count() const override { return publisher_.connection_count(); }
+  std::uint64_t sent() const override { return sent_.load(); }
+  const std::string& name() const override { return name_; }
+
+  msgq::TcpPublisher& publisher() { return publisher_; }
+  std::uint16_t port() const { return publisher_.port(); }
+
+  void set_metrics(TransportMetrics metrics) { metrics_ = metrics; }
+
+ private:
+  const std::string name_;
+  const TcpTransportOptions options_;
+  msgq::TcpPublisher publisher_;
+  std::atomic<std::uint64_t> sent_{0};
+  TransportMetrics metrics_;
+};
+
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportOptions options = {});
+
+  TransportKind kind() const override { return TransportKind::kTcp; }
+  std::shared_ptr<Sender> make_sender(std::string name) override;
+  std::shared_ptr<Receiver> make_receiver(std::string name, std::size_t high_water_mark,
+                                          OverflowPolicy policy) override;
+  void attach_metrics(obs::MetricsRegistry* registry) override;
+
+ private:
+  const TcpTransportOptions options_;
+  std::mutex mu_;
+  std::vector<std::shared_ptr<TcpSender>> senders_;
+  TransportMetrics metrics_;
+  bool metrics_attached_ = false;
+};
+
+}  // namespace fsmon::transport

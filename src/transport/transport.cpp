@@ -1,0 +1,90 @@
+#include "src/transport/transport.hpp"
+
+#include <thread>
+
+#include "src/chaos/fault.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace fsmon::transport {
+
+std::string_view to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInProc:
+      return "inproc";
+    case TransportKind::kShm:
+      return "shm";
+    case TransportKind::kTcp:
+      return "tcp";
+  }
+  return "unknown";
+}
+
+struct TransportMetrics::Instruments {
+  obs::Counter* frames = nullptr;
+  obs::Counter* bytes = nullptr;
+  obs::Counter* ring_full_waits = nullptr;
+  obs::Gauge* frame_copies = nullptr;
+};
+
+TransportMetrics TransportMetrics::create(obs::MetricsRegistry& registry,
+                                          TransportKind kind) {
+  TransportMetrics metrics;
+  metrics.registry = &registry;
+  const obs::Labels labels{{"transport", std::string(to_string(kind))}};
+  auto instruments = std::make_shared<Instruments>();
+  instruments->frames =
+      &registry.counter("transport.frames", labels,
+                        "Frames accepted by this transport's senders", "frames");
+  instruments->bytes =
+      &registry.counter("transport.bytes", labels,
+                        "Payload bytes accepted by this transport's senders", "bytes");
+  instruments->ring_full_waits = &registry.counter(
+      "transport.ring_full_waits", labels,
+      "Times a shm sender blocked because a receiver's ring was full");
+  instruments->frame_copies = &registry.gauge(
+      "frame.copies", {},
+      "Process-wide count of frame payload heap duplications (0 = zero-copy)",
+      "copies");
+  metrics.instruments_ = std::move(instruments);
+  return metrics;
+}
+
+void TransportMetrics::on_send(std::uint64_t frames, std::uint64_t bytes) {
+  if (instruments_ == nullptr) return;
+  instruments_->frames->inc(frames);
+  instruments_->bytes->inc(bytes);
+  refresh_frame_copies();
+}
+
+void TransportMetrics::on_ring_full_wait() {
+  if (instruments_ == nullptr) return;
+  instruments_->ring_full_waits->inc();
+}
+
+void TransportMetrics::refresh_frame_copies() {
+  if (instruments_ == nullptr) return;
+  instruments_->frame_copies->set(static_cast<std::int64_t>(frame_copies()));
+}
+
+namespace detail {
+
+bool send_faulted() {
+  const auto outcome = chaos::fault("transport.before_send");
+  if (!outcome) return false;
+  switch (outcome.action) {
+    case chaos::FaultAction::kDelay:
+      std::this_thread::sleep_for(outcome.delay);
+      return false;
+    case chaos::FaultAction::kDrop:
+    case chaos::FaultAction::kFail:
+    case chaos::FaultAction::kCrash:
+      return true;
+    case chaos::FaultAction::kNone:
+      break;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+}  // namespace fsmon::transport

@@ -61,8 +61,7 @@ std::vector<StdEvent> run_collector(std::size_t resolver_threads,
 
   std::vector<StdEvent> events;
   while (auto message = inbox->try_recv()) {
-    auto batch = core::decode_batch(
-        std::as_bytes(std::span(message->payload.data(), message->payload.size())));
+    auto batch = core::decode_batch(message->byte_span());
     EXPECT_TRUE(batch.is_ok()) << batch.status().to_string();
     if (!batch.is_ok()) continue;
     for (auto& event : batch.value().events) events.push_back(std::move(event));

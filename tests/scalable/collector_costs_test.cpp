@@ -35,8 +35,7 @@ TEST(CollectorCostsTest, ModeledLatencyAdvancesInjectedClock) {
   // Both events were published (possibly sharing one batch frame).
   std::size_t events = 0;
   while (auto message = inbox->try_recv()) {
-    auto batch = core::decode_batch(
-        std::as_bytes(std::span(message->payload.data(), message->payload.size())));
+    auto batch = core::decode_batch(message->byte_span());
     ASSERT_TRUE(batch.is_ok()) << batch.status().to_string();
     events += batch.value().size();
   }

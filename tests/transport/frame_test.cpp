@@ -1,0 +1,142 @@
+// FrameRef ownership semantics: handoffs are shared_ptr bumps, the
+// frame_copies() counter moves only when payload bytes are actually
+// duplicated, and borrowed regions release exactly once when the last
+// retainer drops.
+#include "src/transport/frame.hpp"
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fsmon::transport {
+namespace {
+
+std::span<const std::byte> as_bytes(std::string_view view) {
+  return {reinterpret_cast<const std::byte*>(view.data()), view.size()};
+}
+
+TEST(FrameRefTest, NullRefIsEmpty) {
+  FrameRef ref;
+  EXPECT_FALSE(ref);
+  EXPECT_TRUE(ref.empty());
+  EXPECT_EQ(ref.size(), 0u);
+  EXPECT_EQ(ref.use_count(), 0);
+  EXPECT_TRUE(ref.bytes().empty());
+}
+
+TEST(FrameRefTest, AdoptTakesBufferWithoutCopying) {
+  const std::uint64_t before = frame_copies();
+  std::string payload = "encoded-batch-bytes";
+  const char* storage = payload.data();
+  auto ref = FrameRef::adopt(std::move(payload));
+  EXPECT_EQ(ref.chars(), "encoded-batch-bytes");
+  // The adopted string's storage is the frame's storage: no duplication.
+  EXPECT_EQ(static_cast<const void*>(ref.chars().data()),
+            static_cast<const void*>(storage));
+  EXPECT_EQ(frame_copies(), before);
+}
+
+TEST(FrameRefTest, AdoptVectorWithoutCopying) {
+  const std::uint64_t before = frame_copies();
+  std::vector<std::byte> payload{std::byte{1}, std::byte{2}, std::byte{3}};
+  const std::byte* storage = payload.data();
+  auto ref = FrameRef::adopt(std::move(payload));
+  ASSERT_EQ(ref.size(), 3u);
+  EXPECT_EQ(ref.bytes().data(), storage);
+  EXPECT_EQ(frame_copies(), before);
+}
+
+TEST(FrameRefTest, HandoffIsRefcountBumpNotCopy) {
+  const std::uint64_t before = frame_copies();
+  auto ref = FrameRef::adopt(std::string("payload"));
+  EXPECT_EQ(ref.use_count(), 1);
+  FrameRef fanout = ref;  // the pipeline handoff
+  EXPECT_EQ(ref.use_count(), 2);
+  EXPECT_EQ(fanout.bytes().data(), ref.bytes().data());  // same storage
+  EXPECT_EQ(frame_copies(), before);
+}
+
+TEST(FrameRefTest, CopyDuplicatesAndCounts) {
+  const std::uint64_t before = frame_copies();
+  const std::string payload = "explicit-slow-path";
+  auto ref = FrameRef::copy(as_bytes(payload));
+  EXPECT_EQ(ref.chars(), payload);
+  EXPECT_NE(static_cast<const void*>(ref.chars().data()),
+            static_cast<const void*>(payload.data()));
+  EXPECT_EQ(frame_copies(), before + 1);
+}
+
+TEST(FrameRefTest, BorrowReleasesExactlyOnceAfterLastDrop) {
+  std::string region = "ring-record-bytes";
+  int released = 0;
+  {
+    auto ref = FrameRef::borrow(
+        {reinterpret_cast<std::byte*>(region.data()), region.size()},
+        [&] { ++released; });
+    EXPECT_EQ(ref.chars(), region);
+    // Retain from a second stage (persist queue) and drop the original:
+    // the region must stay live for the retainer.
+    FrameRef retained = ref;
+    ref = FrameRef();
+    EXPECT_EQ(released, 0);
+    EXPECT_EQ(retained.chars(), "ring-record-bytes");
+  }
+  EXPECT_EQ(released, 1);
+}
+
+TEST(FrameRefTest, MutableBytesInPlaceWhenSoleOwner) {
+  const std::uint64_t before = frame_copies();
+  auto ref = FrameRef::adopt(std::string("abc"));
+  const void* storage = ref.bytes().data();
+  auto bytes = ref.mutable_bytes();
+  bytes[0] = std::byte{'z'};
+  EXPECT_EQ(ref.chars(), "zbc");
+  EXPECT_EQ(static_cast<const void*>(ref.bytes().data()), storage);
+  EXPECT_EQ(frame_copies(), before);  // sole owner: no detach
+}
+
+TEST(FrameRefTest, MutableBytesDetachesWhenShared) {
+  const std::uint64_t before = frame_copies();
+  auto ref = FrameRef::adopt(std::string("abc"));
+  FrameRef other = ref;
+  auto bytes = ref.mutable_bytes();
+  bytes[0] = std::byte{'z'};
+  // Copy-on-write: the patch lands in a private buffer, the other
+  // retainer still sees the original bytes, and the detach was counted.
+  EXPECT_EQ(ref.chars(), "zbc");
+  EXPECT_EQ(other.chars(), "abc");
+  EXPECT_NE(ref.bytes().data(), other.bytes().data());
+  EXPECT_EQ(frame_copies(), before + 1);
+}
+
+TEST(FrameRefTest, BorrowedRecordPatchesInPlaceWhenExclusive) {
+  // The shard aggregator patches ids directly inside the shm ring record
+  // when it is the only retainer (see frame.hpp file comment).
+  const std::uint64_t before = frame_copies();
+  std::string region = "abc";
+  bool released = false;
+  {
+    auto ref = FrameRef::borrow(
+        {reinterpret_cast<std::byte*>(region.data()), region.size()},
+        [&] { released = true; });
+    ref.mutable_bytes()[1] = std::byte{'X'};
+  }
+  EXPECT_EQ(region, "aXc");  // the patch hit the owner's memory
+  EXPECT_TRUE(released);
+  EXPECT_EQ(frame_copies(), before);
+}
+
+TEST(FrameRefTest, EqualityComparesBytesNotStorage) {
+  auto a = FrameRef::adopt(std::string("same"));
+  auto b = FrameRef::copy(as_bytes("same"));
+  auto c = FrameRef::adopt(std::string("different"));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace fsmon::transport

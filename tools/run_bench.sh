@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Build and run the Table VIII cache sweep plus the resolver-pool sweep,
-# the crash-recovery bench, the event-store replay bench, and the shard
-# scaling sweep, checking that the machine-readable BENCH_*.json files
-# landed.
+# the crash-recovery bench, the event-store replay bench, the shard
+# scaling sweep, and the transport hop bench, checking that the
+# machine-readable BENCH_*.json files landed.
 #
 # The resolver sweep pays the modeled fid2path cost for real (RealClock
 # nanosleeps), so this takes a few seconds of wall time per row.
@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target bench_table8_cache_sweep bench_recovery bench_store bench_shards
+cmake --build build -j "$(nproc)" --target bench_table8_cache_sweep bench_recovery bench_store bench_shards bench_transport
 
 ./build/bench/bench_table8_cache_sweep
 
@@ -54,3 +54,16 @@ if [[ ! -s BENCH_shards.json ]]; then
   exit 1
 fi
 echo "OK: BENCH_shards.json written."
+
+# Transport: the zero-copy FrameRef hop over in-proc/shm/TCP against the
+# copy-per-hop msgq baseline (the old BM_BatchedHop loop). Exits nonzero
+# if the in-proc or shm hop falls below 2x the baseline at batch 64, any
+# in-proc/shm hop copies a frame payload, or the one-serialization-per-
+# event codec invariant breaks.
+./build/bench/bench_transport
+
+if [[ ! -s BENCH_transport.json ]]; then
+  echo "FAIL: bench did not write BENCH_transport.json" >&2
+  exit 1
+fi
+echo "OK: BENCH_transport.json written."

@@ -4,12 +4,13 @@
 # must emit a metrics snapshot with a nonzero publish count.
 #
 # --tsan: additionally build a ThreadSanitizer configuration in
-# build-tsan and run the concurrency-heavy suites (message queue and
-# threaded pipeline) plus the ctest `concurrency` label (resolver pool,
-# reorder buffer, single-flight, sharded cache) under it.
+# build-tsan and run the concurrency-heavy suites (message queue,
+# threaded pipeline, transport layer) plus the ctest `concurrency` label
+# (resolver pool, reorder buffer, single-flight, sharded cache) under it.
 #
 # --asan: additionally build an AddressSanitizer configuration in
-# build-asan and run the `concurrency` label under it.
+# build-asan and run the transport suites and the `concurrency` label
+# under it.
 #
 # --chaos N: sweep the chaos verification suite (ctest label `chaos`)
 # over fault-schedule seeds 1..N by exporting FSMON_CHAOS_SEED per run.
@@ -93,6 +94,8 @@ if $run_tsan; then
   tsan_filter+=":ConsumerOverflowTest.*:TcpBridgeTest.*:CollectorCostsTest.*"
   tsan_filter+=":ProcessorTest.*:SimDriverTest.*"
   tsan_filter+=":ShardMapTest.*:VectorCursorTest.*:ShardRouterTest.*:ShardMergeTest.*"
+  tsan_filter+=":FrameRefTest.*:SpscRingTest.*:ShmRingTest.*:*TransportTest.*"
+  tsan_filter+=":ByteIdentityTest.*"
   ./build-tsan/tests/fsmon_tests --gtest_filter="$tsan_filter"
   (cd build-tsan && ctest -L concurrency --output-on-failure)
   if (( chaos_seeds > 0 )); then chaos_sweep build-tsan; fi
@@ -104,6 +107,11 @@ if $run_asan; then
   cmake -B build-asan -S . -DFSMON_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-asan -j "$(nproc)" \
     --target fsmon_tests fsmon_concurrency_tests fsmon_chaos_tests
+  # The transport suites shuttle zero-copy frames across threads and
+  # carriers, so run them under ASan as well as the concurrency label.
+  asan_filter="FrameRefTest.*:SpscRingTest.*:ShmRingTest.*:*TransportTest.*"
+  asan_filter+=":ByteIdentityTest.*"
+  ./build-asan/tests/fsmon_tests --gtest_filter="$asan_filter"
   (cd build-asan && ctest -L concurrency --output-on-failure)
   if (( chaos_seeds > 0 )); then chaos_sweep build-asan; fi
   echo "OK: AddressSanitizer pass over the concurrency label is clean."
