@@ -32,6 +32,9 @@ enum class EventKind : std::uint8_t {
   kMovedTo = 7,    ///< Rename: destination half.
 };
 
+/// Number of EventKind values — the width of a per-kind bitmask.
+inline constexpr std::size_t kEventKindCount = 8;
+
 /// "CREATE", "MODIFY", ... (the names FSMonitor prints, Table II).
 std::string_view to_string(EventKind kind);
 std::optional<EventKind> parse_event_kind(std::string_view text);

@@ -33,6 +33,94 @@ FilterMetrics FilterMetrics::create(obs::MetricsRegistry& registry,
   return m;
 }
 
+KindMask kind_mask(const std::optional<std::set<EventKind>>& kinds) {
+  if (!kinds) return kAllKinds;
+  KindMask mask = 0;
+  for (EventKind kind : *kinds)
+    mask |= static_cast<KindMask>(1u << static_cast<std::uint8_t>(kind));
+  return mask;
+}
+
+std::vector<std::string> path_components(std::string_view normalized_path) {
+  std::vector<std::string> components;
+  std::size_t pos = 0;
+  while (pos < normalized_path.size()) {
+    if (normalized_path[pos] == '/') {
+      ++pos;
+      continue;
+    }
+    std::size_t end = normalized_path.find('/', pos);
+    if (end == std::string_view::npos) end = normalized_path.size();
+    components.emplace_back(normalized_path.substr(pos, end - pos));
+    pos = end;
+  }
+  return components;
+}
+
+CompiledRule CompiledRule::compile(const FilterRule& rule) {
+  CompiledRule compiled;
+  compiled.root = common::normalize_path(rule.root);
+  compiled.components = path_components(compiled.root);
+  compiled.recursive = rule.recursive;
+  compiled.name_pattern = rule.name_pattern;
+  compiled.kinds = kind_mask(rule.kinds);
+  return compiled;
+}
+
+bool CompiledRule::matches(std::string_view normalized_path,
+                           std::string_view base, EventKind kind) const {
+  if (!mask_accepts(kinds, kind)) return false;
+  if (!common::is_under(normalized_path, root)) return false;
+  if (!recursive) {
+    // Direct children only. is_under already established the prefix, so
+    // the parent check reduces to: the remainder after the root holds
+    // exactly one more component. The root "/" quirk — parent_path("/")
+    // is "/" itself, so a non-recursive "/" rule matches the event path
+    // "/" — is preserved (depth(path) == 1, or path == root == "/").
+    if (root.size() == 1) {  // root == "/"
+      if (normalized_path.size() > 1 &&
+          normalized_path.find('/', 1) != std::string_view::npos)
+        return false;
+    } else {
+      if (normalized_path.size() <= root.size()) return false;  // path == root
+      if (normalized_path.find('/', root.size() + 1) != std::string_view::npos)
+        return false;
+    }
+  }
+  if (!name_pattern.empty() && !common::glob_match(name_pattern, base))
+    return false;
+  return true;
+}
+
+CompiledRuleSet::CompiledRuleSet(std::span<const FilterRule> rules,
+                                 FilterMetrics metrics)
+    : metrics_(metrics) {
+  rules_.reserve(rules.size());
+  for (const auto& rule : rules) rules_.push_back(CompiledRule::compile(rule));
+}
+
+bool CompiledRuleSet::matches(const StdEvent& event) const {
+  if (rules_.empty()) return true;
+  const std::string path = common::normalize_path(event.path);
+  const std::string base = common::base_name(path);
+  for (const auto& rule : rules_) {
+    if (rule.matches(path, base, event.kind)) return true;
+  }
+  return false;
+}
+
+void CompiledRuleSet::filter_batch(std::span<const StdEvent> events,
+                                   std::vector<std::uint32_t>& out) const {
+  std::uint64_t matched = 0;
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    if (matches(events[i])) {
+      out.push_back(i);
+      ++matched;
+    }
+  }
+  metrics_.count(matched, events.size() - matched);
+}
+
 bool matches_any(std::span<const FilterRule> rules, const StdEvent& event,
                  const FilterMetrics* metrics) {
   bool matched = rules.empty();

@@ -5,12 +5,31 @@
 // recursively by just modifying the filtering rule in the Interface
 // layer" (Section V-C1) instead of placing per-directory watchers the
 // way inotify must.
+//
+// Two representations exist:
+//
+//   FilterRule      — the user-facing rule, kept verbatim from the
+//                     subscription call. matches() normalizes paths on
+//                     every evaluation: correct, but it allocates per
+//                     (rule, event) pair.
+//   CompiledRule /  — the hot-path form, built once at subscription
+//   CompiledRuleSet   time: root pre-normalized and split into path
+//                     components, the kind set flattened into an 8-bit
+//                     mask, and the filter.* counters resolved up front
+//                     so per-event evaluation does no labelled-metric
+//                     lookups and no per-rule normalization. This is
+//                     also the representation the scalable tier's
+//                     SubscriptionIndex ingests (one trie insertion per
+//                     component list).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <set>
 #include <span>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/core/event.hpp"
 #include "src/obs/metrics.hpp"
@@ -32,6 +51,37 @@ struct FilterRule {
   bool matches(const StdEvent& event) const;
 };
 
+/// Bitmask over the 8 EventKind values: bit (1 << kind) is set when the
+/// kind is accepted. kAllKinds accepts everything.
+using KindMask = std::uint8_t;
+inline constexpr KindMask kAllKinds = 0xFF;
+
+/// Flatten an optional kind set into a mask (nullopt = kAllKinds).
+KindMask kind_mask(const std::optional<std::set<EventKind>>& kinds);
+inline bool mask_accepts(KindMask mask, EventKind kind) {
+  return (mask & static_cast<KindMask>(1u << static_cast<std::uint8_t>(kind))) != 0;
+}
+
+/// Split a normalized path into its components ("/" -> {}).
+std::vector<std::string> path_components(std::string_view normalized_path);
+
+/// A FilterRule compiled once at subscription time. Semantics are
+/// byte-identical to FilterRule::matches (property-tested); only the
+/// per-event cost changes.
+struct CompiledRule {
+  std::string root;                     ///< Normalized ("/a/b", or "/").
+  std::vector<std::string> components;  ///< Split root; empty for "/".
+  bool recursive = true;
+  std::string name_pattern;             ///< Empty = any name.
+  KindMask kinds = kAllKinds;
+
+  static CompiledRule compile(const FilterRule& rule);
+
+  /// Match against a pre-normalized path whose base name is `base`.
+  bool matches(std::string_view normalized_path, std::string_view base,
+               EventKind kind) const;
+};
+
 /// Instrument handles for one filtering site (filter.*). Created by the
 /// owning subscriber (e.g. a Consumer) with a distinguishing label.
 struct FilterMetrics {
@@ -40,10 +90,49 @@ struct FilterMetrics {
   obs::Counter* drops = nullptr;
 
   static FilterMetrics create(obs::MetricsRegistry& registry, const obs::Labels& labels);
+
+  bool wired() const { return evaluations != nullptr; }
+  /// Batched accounting: one atomic add per counter per batch instead of
+  /// one per event (the old per-event hot-path cost).
+  void count(std::uint64_t matched, std::uint64_t dropped) const {
+    if (evaluations == nullptr) return;
+    evaluations->inc(matched + dropped);
+    if (matched > 0) matches->inc(matched);
+    if (dropped > 0) drops->inc(dropped);
+  }
+};
+
+/// A subscriber's whole rule set in compiled form, with its filter.*
+/// counters bound at construction (subscription) time. The empty rule
+/// set matches everything — the consumer default.
+class CompiledRuleSet {
+ public:
+  CompiledRuleSet() = default;
+  explicit CompiledRuleSet(std::span<const FilterRule> rules,
+                           FilterMetrics metrics = {});
+
+  bool empty() const { return rules_.empty(); }
+  std::span<const CompiledRule> rules() const { return rules_; }
+  const FilterMetrics& metrics() const { return metrics_; }
+
+  /// Equivalent to matches_any(rules, event) — normalizes the event path
+  /// once (not once per rule) and never touches counters.
+  bool matches(const StdEvent& event) const;
+
+  /// Filter a batch, appending the indices of matching events to `out`
+  /// (not cleared). Counts the outcome against the bound counters with
+  /// one batched add — no per-event labelled-counter traffic.
+  void filter_batch(std::span<const StdEvent> events,
+                    std::vector<std::uint32_t>& out) const;
+
+ private:
+  std::vector<CompiledRule> rules_;
+  FilterMetrics metrics_;
 };
 
 /// True when any rule matches (or the rule set is empty — match-all, the
 /// consumer default). Counts the outcome against `metrics` when given.
+/// Legacy per-event path; hot paths use CompiledRuleSet instead.
 bool matches_any(std::span<const FilterRule> rules, const StdEvent& event,
                  const FilterMetrics* metrics = nullptr);
 

@@ -64,6 +64,11 @@ Aggregator::Aggregator(msgq::Bus& bus, std::string name, AggregatorOptions optio
     publish_rate_gauge_ = &registry.gauge("aggregator.publish_rate", labels,
                                           "Lifetime average events/second published",
                                           "events/s");
+    fanout_receivers_gauge_ = &registry.gauge(
+        "aggregator.fanout_receivers", labels,
+        "Receivers connected to this shard's output (1 in hub mode, one "
+        "per consumer in the legacy per-consumer topology)",
+        "receivers");
     fanout_lag_hist_ = &registry.histogram(
         "aggregator.fanout_lag_us", labels,
         "Operation timestamp to aggregator publish (fan-out lag)", "us");

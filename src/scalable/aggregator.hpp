@@ -144,6 +144,9 @@ class Aggregator {
   /// Connect a downstream receiver (consumer, bridge tap) to the output.
   void connect_output(const std::shared_ptr<transport::Receiver>& receiver) {
     output_->connect(receiver);
+    if (fanout_receivers_gauge_ != nullptr)
+      fanout_receivers_gauge_->set(
+          static_cast<std::int64_t>(output_->receiver_count()));
   }
 
   /// Bus-compat splice points (in-proc transport only; null otherwise).
@@ -236,6 +239,7 @@ class Aggregator {
   obs::Gauge* queue_depth_gauge_ = nullptr;
   obs::Gauge* queue_depth_peak_gauge_ = nullptr;
   obs::Gauge* publish_rate_gauge_ = nullptr;
+  obs::Gauge* fanout_receivers_gauge_ = nullptr;
   obs::HistogramMetric* fanout_lag_hist_ = nullptr;
   obs::HistogramMetric* batch_size_hist_ = nullptr;
   obs::HistogramMetric* batch_bytes_hist_ = nullptr;

@@ -26,19 +26,23 @@ Consumer::Consumer(msgq::Bus& bus, ShardedAggregator& aggregator, std::string na
       options_(std::move(options)),
       callback_(std::move(callback)),
       batch_callback_(std::move(batch_callback)),
-      receiver_(aggregator.transport().make_receiver(
-          name_, options_.high_water_mark,
-          options_.overflow_policy == common::OverflowPolicy::kDropNewest
-              ? transport::OverflowPolicy::kDropNewest
-              : transport::OverflowPolicy::kBlock)),
+      receiver_(options.hub != nullptr
+                    ? nullptr
+                    : aggregator.transport().make_receiver(
+                          name_, options.high_water_mark,
+                          options.overflow_policy == common::OverflowPolicy::kDropNewest
+                              ? transport::OverflowPolicy::kDropNewest
+                              : transport::OverflowPolicy::kBlock)),
       seen_(aggregator.shard_count()),
       acked_(aggregator.shard_count()) {
-  receiver_->subscribe("");  // receive everything; filter locally
-  // One inbox fed by every shard: frames from different shards
-  // interleave at the queue, but each frame is whole, so per-shard order
-  // is preserved (each shard's sender pushes in its id order).
-  for (std::size_t k = 0; k < aggregator_.shard_count(); ++k)
-    aggregator_.shard(k).connect_output(receiver_);
+  if (receiver_ != nullptr) {
+    receiver_->subscribe("");  // receive everything; filter locally
+    // One inbox fed by every shard: frames from different shards
+    // interleave at the queue, but each frame is whole, so per-shard order
+    // is preserved (each shard's sender pushes in its id order).
+    for (std::size_t k = 0; k < aggregator_.shard_count(); ++k)
+      aggregator_.shard(k).connect_output(receiver_);
+  }
   if (options_.metrics != nullptr) {
     auto& registry = *options_.metrics;
     const obs::Labels labels{{"consumer", name_}};
@@ -59,12 +63,27 @@ Consumer::Consumer(msgq::Bus& bus, ShardedAggregator& aggregator, std::string na
                                            "Events per batch received by this consumer",
                                            "events");
   }
+  // Compile the rule set once at subscription: normalized roots, kind
+  // masks, and the filter.* counters bound up front so the delivery hot
+  // path never does a labelled-counter lookup or a per-rule path
+  // normalization per event.
+  compiled_ = core::CompiledRuleSet(options_.rules, filter_metrics_);
+  if (options_.hub != nullptr)
+    hub_sub_ = options_.hub->subscribe(name_, compiled_.rules());
 }
 
-Consumer::~Consumer() { stop(); }
+Consumer::~Consumer() {
+  stop();
+  if (hub_sub_ != nullptr) options_.hub->unsubscribe(*hub_sub_);
+}
 
 bool Consumer::matches(const core::StdEvent& event) const {
-  return core::matches_any(options_.rules, event);
+  return compiled_.matches(event);
+}
+
+FlowState Consumer::flow_state() const {
+  if (hub_sub_ == nullptr) return FlowState::kLive;
+  return options_.hub->state(*hub_sub_);
 }
 
 VectorCursor Consumer::seen_cursor() const {
@@ -72,7 +91,8 @@ VectorCursor Consumer::seen_cursor() const {
   return seen_;
 }
 
-void Consumer::deliver_batch(const core::EventBatch& batch, bool dedup_filter) {
+void Consumer::deliver_batch(const core::EventBatch& batch, bool dedup_filter,
+                             bool already_filtered) {
   if (batch.empty()) return;
   std::lock_guard lock(deliver_mu_);
   // A live frame carries one shard's events; a merged replay page may
@@ -114,12 +134,12 @@ void Consumer::deliver_batch(const core::EventBatch& batch, bool dedup_filter) {
   }
   core::EventBatch matched;  // only materialized for batch callbacks
   std::size_t delivered = 0;
+  std::size_t dropped = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (!deliverable[i]) continue;
     const core::StdEvent& event = batch.events[i];
-    if (!core::matches_any(options_.rules, event,
-                           filter_metrics_.evaluations != nullptr ? &filter_metrics_
-                                                                  : nullptr)) {
+    if (!already_filtered && !compiled_.matches(event)) {
+      ++dropped;
       filtered_.fetch_add(1);
       continue;
     }
@@ -129,16 +149,29 @@ void Consumer::deliver_batch(const core::EventBatch& batch, bool dedup_filter) {
     else if (callback_)
       callback_(event);
   }
+  // One batched add per counter instead of 2-3 atomic increments per
+  // event. Hub-delivered batches were matched by the shared index and
+  // are not re-counted here.
+  if (!already_filtered) filter_metrics_.count(delivered, dropped);
   if (delivered > 0) {
     delivered_.fetch_add(delivered);
     if (delivered_counter_ != nullptr) delivered_counter_->inc(delivered);
   }
   if (batch_callback_ && !matched.empty()) batch_callback_(matched);
-  if (options_.ack_interval > 0 &&
-      seen_.sum() - acked_.sum() >= options_.ack_interval) {
+  maybe_ack_locked();
+}
+
+void Consumer::maybe_ack_locked() {
+  if (options_.ack_interval == 0 ||
+      seen_.sum() - acked_.sum() < options_.ack_interval)
+    return;
+  if (hub_sub_ != nullptr) {
+    options_.hub->acknowledge(*hub_sub_, seen_, hub_processed_since_ack_);
+    hub_processed_since_ack_ = 0;
+  } else {
     aggregator_.acknowledge(seen_);
-    acked_ = seen_;
   }
+  acked_ = seen_;
 }
 
 Status Consumer::start() {
@@ -150,7 +183,7 @@ Status Consumer::start() {
 
 void Consumer::stop() {
   if (!running_.load()) return;
-  receiver_->close();
+  if (receiver_ != nullptr) receiver_->close();
   if (worker_.joinable()) {
     worker_.request_stop();
     worker_.join();
@@ -163,7 +196,7 @@ void Consumer::crash() {
   // Fail-stop: identical teardown to stop() except semantically abrupt —
   // frames queued in the inbox die with the process; nothing further is
   // acknowledged.
-  receiver_->close();
+  if (receiver_ != nullptr) receiver_->close();
   if (worker_.joinable()) {
     worker_.request_stop();
     worker_.join();
@@ -173,7 +206,7 @@ void Consumer::crash() {
 
 Status Consumer::restart() {
   if (running_.load()) return Status::ok();
-  receiver_->reopen();
+  if (receiver_ != nullptr) receiver_->reopen();
   VectorCursor resume;
   {
     std::lock_guard lock(deliver_mu_);
@@ -189,7 +222,11 @@ Status Consumer::restart() {
   return start();
 }
 
-void Consumer::run(std::stop_token) {
+void Consumer::run(std::stop_token stop) {
+  if (hub_sub_ != nullptr) {
+    run_hub(stop);
+    return;
+  }
   for (;;) {
     auto message = receiver_->recv();
     if (!message) break;
@@ -201,6 +238,126 @@ void Consumer::run(std::stop_token) {
       continue;
     }
     deliver_batch(batch.value());
+  }
+}
+
+void Consumer::run_hub(std::stop_token stop) {
+  while (!stop.stop_requested()) {
+    auto item = options_.hub->pop(*hub_sub_, std::chrono::milliseconds(100));
+    if (!item) {
+      if (evicted_.load()) break;
+      continue;  // timeout (or unsubscribe tearing down) — re-check stop
+    }
+    switch (item->kind) {
+      case HubItem::Kind::kBatch:
+        deliver_hub_item(*item);
+        break;
+      case HubItem::Kind::kDemoted:
+        catch_up(stop);
+        break;
+      case HubItem::Kind::kEvicted:
+        evicted_.store(true);
+        return;
+    }
+  }
+}
+
+void Consumer::deliver_hub_item(const HubItem& item) {
+  core::EventBatch batch;
+  batch.events.reserve(item.indices.size());
+  {
+    std::lock_guard lock(deliver_mu_);
+    // Seam insurance: anything at or below the seen watermark was already
+    // delivered by a catch-up replay — duplicates are structurally
+    // impossible with this guard even if a frame races a promotion.
+    const common::EventId floor = seen_.at(item.shard);
+    for (std::uint32_t index : item.indices) {
+      const core::StdEvent& event = item.batch->events[index];
+      if (event.id <= floor) continue;
+      batch.events.push_back(event);
+    }
+    hub_processed_since_ack_ += item.indices.size();
+  }
+  deliver_batch(batch, /*dedup_filter=*/true, /*already_filtered=*/true);
+  // Advance the watermark over the whole frame (matched or not) so acks
+  // keep progressing for consumers whose rules match sparsely.
+  std::lock_guard lock(deliver_mu_);
+  seen_.advance(item.shard, item.last_id);
+  last_seen_sum_.store(seen_.sum());
+  maybe_ack_locked();
+}
+
+void Consumer::catch_up(std::stop_token stop) {
+  // Demoted: live delivery stopped at the seen watermark. Page the
+  // merged store replay through this consumer's own rules until within
+  // promotion range of the live head, then finish to the promotion
+  // watermark. The paging never runs under deliver_mu_.
+  const std::size_t page = options_.replay_page > 0 ? options_.replay_page : 4096;
+  std::size_t replayed = 0;
+  while (!stop.stop_requested()) {
+    if (options_.hub->state(*hub_sub_) == FlowState::kEvicted) {
+      evicted_.store(true);
+      return;
+    }
+    VectorCursor cursor = seen_cursor();
+    auto events = aggregator_.events_since(cursor, page);
+    if (!events) {
+      FSMON_WARN("consumer", "catch-up replay failed: ",
+                 events.status().to_string());
+      return;
+    }
+    const std::size_t got = events.value().size();
+    if (got > 0) {
+      core::EventBatch batch;
+      batch.events = std::move(events.value());
+      replayed += got;
+      deliver_batch(batch, /*dedup_filter=*/true, /*already_filtered=*/false);
+    }
+    if (got < page) {
+      if (auto target = options_.hub->try_promote(*hub_sub_, seen_cursor())) {
+        replay_to_watermark(*target, stop);
+        if (replayed_counter_ != nullptr && replayed > 0)
+          replayed_counter_->inc(replayed);
+        return;
+      }
+      // Still too far behind (the head keeps moving), or the persister
+      // has not yet caught up with the published head. Keep paging.
+      if (got == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+void Consumer::replay_to_watermark(const VectorCursor& target,
+                                   std::stop_token stop) {
+  // Promotion happened at `target`: frames matched after it are queued
+  // live, so replaying exactly up to it closes the demotion gap with no
+  // overlap. The store may trail the published head briefly (persistence
+  // is async) — retry empty pages until the cursor reaches the target.
+  const std::size_t page = options_.replay_page > 0 ? options_.replay_page : 4096;
+  while (!stop.stop_requested()) {
+    VectorCursor cursor = seen_cursor();
+    bool reached = true;
+    for (std::size_t k = 0; k < target.size(); ++k) {
+      if (cursor.at(k) < target.at(k)) {
+        reached = false;
+        break;
+      }
+    }
+    if (reached) return;
+    auto events = aggregator_.events_since(cursor, page);
+    if (!events) {
+      FSMON_WARN("consumer", "promotion replay failed: ",
+                 events.status().to_string());
+      return;
+    }
+    if (events.value().empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    core::EventBatch batch;
+    batch.events = std::move(events.value());
+    deliver_batch(batch, /*dedup_filter=*/true, /*already_filtered=*/false);
   }
 }
 

@@ -25,6 +25,7 @@
 
 #include "src/core/filter.hpp"
 #include "src/scalable/dedup_window.hpp"
+#include "src/scalable/flow_control.hpp"
 #include "src/scalable/sharded_aggregator.hpp"
 
 namespace fsmon::scalable {
@@ -49,6 +50,14 @@ struct ConsumerOptions {
   /// Observability registry; null = uninstrumented. Registers consumer.*
   /// and filter.* labelled consumer=<name>.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Fan-out hub to ride instead of a private transport receiver. Null
+  /// (default) keeps the legacy topology: own receiver on every shard
+  /// output, per-consumer filtering. Non-null subscribes this consumer's
+  /// compiled rules into the hub's shared index: matching happens once
+  /// per batch hub-side, and the hub's credit window demotes this
+  /// consumer to store replay if it stops draining. Must outlive the
+  /// consumer.
+  FanOutHub* hub = nullptr;
 };
 
 class Consumer {
@@ -104,19 +113,41 @@ class Consumer {
   /// Duplicate events suppressed by the per-source dedup window.
   std::uint64_t duplicates_suppressed() const { return duplicates_.load(); }
   /// Events lost to the high-water mark (only with kDropNewest).
-  std::uint64_t dropped() const { return receiver_->dropped(); }
+  std::uint64_t dropped() const {
+    return receiver_ != nullptr ? receiver_->dropped() : 0;
+  }
   /// Sum of the per-shard seen watermarks — total distinct events this
   /// consumer has observed; equal to the plain last id with one shard.
   common::EventId last_seen_id() const { return last_seen_sum_.load(); }
   /// Snapshot of the per-shard seen cursor.
   VectorCursor seen_cursor() const;
   const std::string& name() const { return name_; }
+  /// Hub mode only: current flow-control state of this consumer's
+  /// subscription (kLive when not in hub mode).
+  FlowState flow_state() const;
+  /// Hub mode only: true once the hub evicted this consumer for never
+  /// draining its backlog.
+  bool evicted() const { return evicted_.load(); }
 
  private:
   Consumer(msgq::Bus& bus, ShardedAggregator& aggregator, std::string name,
            ConsumerOptions options, EventCallback callback, BatchCallback batch_callback);
 
   void run(std::stop_token stop);
+  /// Hub-mode worker loop: pops hub items, delivers matched batches, and
+  /// runs the demotion/promotion protocol on marker items.
+  void run_hub(std::stop_token stop);
+  /// Deliver one hub batch item: the index already matched the events,
+  /// so delivery skips local filtering, guards against ids at or below
+  /// the seen watermark (replay/live seam insurance), and advances the
+  /// per-shard watermark to the frame's unfiltered last id so acks keep
+  /// progressing across frames that matched nothing for this consumer.
+  void deliver_hub_item(const HubItem& item);
+  /// Demoted catch-up: page the merged store replay through this
+  /// consumer's own rules until within promotion range, promote, then
+  /// finish replaying to the promotion watermark (gap-free seam).
+  void catch_up(std::stop_token stop);
+  void replay_to_watermark(const VectorCursor& target, std::stop_token stop);
   /// All delivery (live and replay) funnels through here: per-event
   /// filtering and counters, one callback invocation per batch (or the
   /// per-event shim), one ack check per batch. Serialized by
@@ -124,8 +155,14 @@ class Consumer {
   /// even when replay_historic runs concurrently with the worker.
   /// With `dedup_filter` false the batch bypasses the duplicate filter
   /// (an intentional rewind) but still marks the window, so subsequent
-  /// live duplicates of the replayed range are suppressed.
-  void deliver_batch(const core::EventBatch& batch, bool dedup_filter = true);
+  /// live duplicates of the replayed range are suppressed. With
+  /// `already_filtered` true the events were matched by the shared index
+  /// and local rule evaluation (and its counters) is skipped.
+  void deliver_batch(const core::EventBatch& batch, bool dedup_filter = true,
+                     bool already_filtered = false);
+  /// Ack-interval check; caller holds deliver_mu_. Routes the cursor to
+  /// the hub (min-ack + credit replenish) or straight to the aggregator.
+  void maybe_ack_locked();
 
   msgq::Bus& bus_;
   ShardedAggregator& aggregator_;
@@ -146,7 +183,16 @@ class Consumer {
   std::atomic<std::uint64_t> duplicates_{0};
   std::atomic<std::uint64_t> last_seen_sum_{0};
   std::atomic<bool> running_{false};
+  std::atomic<bool> evicted_{false};
   core::FilterMetrics filter_metrics_;  ///< Zeroed when uninstrumented.
+  /// Rules compiled once at subscription: pre-normalized roots, kind
+  /// masks, counters bound (no per-event labelled-metric lookups).
+  core::CompiledRuleSet compiled_;
+  /// Hub subscription handle (hub mode only).
+  std::shared_ptr<FanOutHub::Subscription> hub_sub_;
+  /// Hub-delivered events processed since the last ack — replenishes the
+  /// credit window at ack time. Guarded by deliver_mu_.
+  std::uint64_t hub_processed_since_ack_ = 0;
   obs::Counter* delivered_counter_ = nullptr;
   obs::Counter* replayed_counter_ = nullptr;
   obs::Gauge* delivery_lag_gauge_ = nullptr;

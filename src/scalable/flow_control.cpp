@@ -1,0 +1,319 @@
+#include "src/scalable/flow_control.hpp"
+
+#include <algorithm>
+
+#include "src/common/logging.hpp"
+
+namespace fsmon::scalable {
+
+using common::Status;
+
+std::string_view to_string(FlowState state) {
+  switch (state) {
+    case FlowState::kLive: return "live";
+    case FlowState::kDemoted: return "demoted";
+    case FlowState::kEvicted: return "evicted";
+  }
+  return "unknown";
+}
+
+FlowMetrics FlowMetrics::create(obs::MetricsRegistry& registry,
+                                const obs::Labels& labels) {
+  FlowMetrics m;
+  m.demotions = &registry.counter(
+      "flow.demotions", labels,
+      "Subscriptions demoted to store replay after exhausting credits",
+      "demotions");
+  m.promotions = &registry.counter(
+      "flow.promotions", labels,
+      "Subscriptions promoted back to live delivery after catch-up",
+      "promotions");
+  m.evictions = &registry.counter(
+      "flow.evictions", labels,
+      "Demoted subscriptions evicted for never draining", "evictions");
+  m.live = &registry.gauge("flow.live_subscribers", labels,
+                           "Subscriptions in live delivery", "subscribers");
+  m.demoted = &registry.gauge("flow.demoted_subscribers", labels,
+                              "Subscriptions catching up from the store",
+                              "subscribers");
+  return m;
+}
+
+FanOutHub::FanOutHub(ShardedAggregator& aggregator, FlowControlOptions options)
+    : aggregator_(aggregator),
+      options_(options),
+      index_(options.metrics != nullptr
+                 ? SubIndexMetrics::create(*options.metrics)
+                 : SubIndexMetrics{}),
+      heads_(aggregator.shard_count()),
+      forwarded_(aggregator.shard_count()) {
+  if (options_.credit_window == 0) options_.credit_window = 1;
+  if (options_.promote_lag == 0)
+    options_.promote_lag = std::max<std::uint64_t>(1, options_.credit_window / 4);
+  if (options_.metrics != nullptr)
+    metrics_ = FlowMetrics::create(*options_.metrics);
+  receiver_ = aggregator_.transport().make_receiver(
+      "fanout-hub", options_.high_water_mark, transport::OverflowPolicy::kBlock);
+  receiver_->subscribe("");
+  for (std::size_t k = 0; k < aggregator_.shard_count(); ++k)
+    aggregator_.shard(k).connect_output(receiver_);
+  // Start from the current live watermark: events published before a
+  // subscription exists are historic, same as a legacy consumer that
+  // connects late.
+  heads_ = aggregator_.head_cursor();
+}
+
+FanOutHub::~FanOutHub() { stop(); }
+
+Status FanOutHub::start() {
+  if (running_.load()) return Status::ok();
+  running_.store(true);
+  pump_thread_ = std::jthread([this](std::stop_token stop) { pump(stop); });
+  return Status::ok();
+}
+
+void FanOutHub::stop() {
+  if (!running_.load()) return;
+  receiver_->close();
+  if (pump_thread_.joinable()) {
+    pump_thread_.request_stop();
+    pump_thread_.join();
+  }
+  running_.store(false);
+}
+
+std::shared_ptr<FanOutHub::Subscription> FanOutHub::subscribe(
+    std::string name, std::span<const core::CompiledRule> rules) {
+  auto sub = std::make_shared<Subscription>();
+  std::lock_guard lock(mu_);
+  sub->name_ = std::move(name);
+  sub->id_ = index_.add_subscriber(rules);
+  sub->state_ = FlowState::kLive;
+  sub->credits_ = static_cast<std::int64_t>(options_.credit_window);
+  sub->acked_ = heads_;
+  if (subs_.size() <= sub->id_) subs_.resize(sub->id_ + 1);
+  subs_[sub->id_] = sub;
+  ++live_count_;
+  update_gauges_locked();
+  return sub;
+}
+
+void FanOutHub::unsubscribe(Subscription& sub) {
+  {
+    std::lock_guard lock(mu_);
+    if (sub.id_ < subs_.size() && subs_[sub.id_].get() == &sub) {
+      if (sub.state_ != FlowState::kEvicted) {
+        index_.remove_subscriber(sub.id_);
+        if (sub.state_ == FlowState::kLive) --live_count_;
+        if (sub.state_ == FlowState::kDemoted) --demoted_count_;
+        std::erase(demoted_, sub.id_);
+        sub.state_ = FlowState::kEvicted;
+      }
+      subs_[sub.id_] = nullptr;
+      forward_acks_locked();
+      update_gauges_locked();
+    }
+  }
+  std::lock_guard qlock(sub.queue_mu_);
+  sub.queue_closed_ = true;
+  sub.queue_cv_.notify_all();
+}
+
+std::optional<HubItem> FanOutHub::pop(Subscription& sub,
+                                      std::chrono::milliseconds timeout) {
+  std::unique_lock lock(sub.queue_mu_);
+  auto ready = [&sub] { return !sub.queue_.empty() || sub.queue_closed_; };
+  if (timeout.count() < 0) {
+    sub.queue_cv_.wait(lock, ready);
+  } else if (!sub.queue_cv_.wait_for(lock, timeout, ready)) {
+    return std::nullopt;
+  }
+  if (sub.queue_.empty()) return std::nullopt;  // closed
+  HubItem item = std::move(sub.queue_.front());
+  sub.queue_.pop_front();
+  return item;
+}
+
+void FanOutHub::acknowledge(Subscription& sub, const VectorCursor& cursor,
+                            std::uint64_t processed_events) {
+  std::lock_guard lock(mu_);
+  if (sub.state_ == FlowState::kEvicted) return;
+  for (std::size_t k = 0; k < cursor.size(); ++k)
+    sub.acked_.advance(k, cursor.at(k));
+  sub.credits_ = std::min<std::int64_t>(
+      static_cast<std::int64_t>(options_.credit_window),
+      sub.credits_ + static_cast<std::int64_t>(processed_events));
+  forward_acks_locked();
+}
+
+std::optional<VectorCursor> FanOutHub::try_promote(Subscription& sub,
+                                                   const VectorCursor& cursor) {
+  std::lock_guard lock(mu_);
+  if (sub.state_ != FlowState::kDemoted) return std::nullopt;
+  const std::uint64_t head = heads_.sum();
+  const std::uint64_t reached = cursor.sum();
+  if (head > reached && head - reached > options_.promote_lag)
+    return std::nullopt;
+  sub.state_ = FlowState::kLive;
+  sub.credits_ = static_cast<std::int64_t>(options_.credit_window);
+  std::erase(demoted_, sub.id_);
+  --demoted_count_;
+  ++live_count_;
+  if (metrics_.promotions != nullptr) metrics_.promotions->inc();
+  update_gauges_locked();
+  // Every frame matched before this point has last_id <= this snapshot;
+  // every frame after it is delivered live. The caller finishes its
+  // replay exactly to the snapshot for a gap-free, duplicate-free seam.
+  return heads_;
+}
+
+FlowState FanOutHub::state(const Subscription& sub) const {
+  std::lock_guard lock(mu_);
+  return sub.state_;
+}
+
+std::int64_t FanOutHub::credits(const Subscription& sub) const {
+  std::lock_guard lock(mu_);
+  return sub.credits_;
+}
+
+VectorCursor FanOutHub::head_cursor() const {
+  std::lock_guard lock(mu_);
+  return heads_;
+}
+
+void FanOutHub::push_item(Subscription& sub, HubItem item) {
+  std::lock_guard lock(sub.queue_mu_);
+  if (sub.queue_closed_) return;
+  sub.queue_.push_back(std::move(item));
+  sub.queue_cv_.notify_one();
+}
+
+void FanOutHub::demote_locked(Subscription& sub) {
+  sub.state_ = FlowState::kDemoted;
+  demoted_.push_back(sub.id_);
+  --live_count_;
+  ++demoted_count_;
+  if (metrics_.demotions != nullptr) metrics_.demotions->inc();
+  update_gauges_locked();
+  HubItem marker;
+  marker.kind = HubItem::Kind::kDemoted;
+  push_item(sub, std::move(marker));
+}
+
+void FanOutHub::evict_overdue_locked() {
+  if (options_.eviction_lag == 0 || demoted_.empty()) return;
+  const std::uint64_t head = heads_.sum();
+  for (std::size_t i = 0; i < demoted_.size();) {
+    auto& sub = subs_[demoted_[i]];
+    const std::uint64_t acked = sub->acked_.sum();
+    if (head > acked && head - acked > options_.eviction_lag) {
+      index_.remove_subscriber(sub->id_);
+      sub->state_ = FlowState::kEvicted;
+      --demoted_count_;
+      if (metrics_.evictions != nullptr) metrics_.evictions->inc();
+      HubItem marker;
+      marker.kind = HubItem::Kind::kEvicted;
+      push_item(*sub, std::move(marker));
+      demoted_[i] = demoted_.back();
+      demoted_.pop_back();
+      forward_acks_locked();
+      update_gauges_locked();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void FanOutHub::forward_acks_locked() {
+  VectorCursor min_cursor = heads_;
+  bool any = false;
+  for (const auto& sub : subs_) {
+    if (!sub || sub->state_ == FlowState::kEvicted) continue;
+    any = true;
+    min_cursor.ensure(sub->acked_.size());
+    for (std::size_t k = 0; k < min_cursor.size(); ++k)
+      min_cursor.last_ids[k] = std::min(min_cursor.last_ids[k], sub->acked_.at(k));
+  }
+  if (!any) return;
+  bool advanced = false;
+  for (std::size_t k = 0; k < min_cursor.size(); ++k) {
+    if (min_cursor.at(k) > forwarded_.at(k)) {
+      advanced = true;
+      break;
+    }
+  }
+  if (!advanced) return;
+  for (std::size_t k = 0; k < min_cursor.size(); ++k)
+    forwarded_.advance(k, min_cursor.at(k));
+  aggregator_.acknowledge(forwarded_);
+}
+
+std::size_t FanOutHub::shard_of_topic(std::string_view topic) const {
+  // Shard outputs publish under "<base>/shard<k>" when sharded, or the
+  // bare base topic with one shard.
+  if (aggregator_.shard_count() == 1) return 0;
+  const std::size_t pos = topic.rfind("/shard");
+  if (pos == std::string_view::npos) return 0;
+  std::size_t shard = 0;
+  for (char c : topic.substr(pos + 6)) {
+    if (c < '0' || c > '9') return 0;
+    shard = shard * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return shard < aggregator_.shard_count() ? shard : 0;
+}
+
+void FanOutHub::update_gauges_locked() {
+  if (metrics_.live != nullptr) {
+    metrics_.live->set(static_cast<std::int64_t>(live_count_));
+    metrics_.demoted->set(static_cast<std::int64_t>(demoted_count_));
+  }
+}
+
+void FanOutHub::pump(std::stop_token stop) {
+  DeliverySet delivery;
+  while (!stop.stop_requested()) {
+    auto frame = receiver_->recv();
+    if (!frame) break;
+    auto decoded = core::decode_batch(frame->payload.bytes());
+    if (!decoded) {
+      FSMON_WARN("fanout", "corrupt batch frame: ", decoded.status().to_string());
+      continue;
+    }
+    if (decoded.value().empty()) continue;
+    auto batch =
+        std::make_shared<const core::EventBatch>(std::move(decoded.value()));
+    const std::size_t shard = shard_of_topic(frame->topic);
+    // The index has its own lock; matching runs outside the hub mutex so
+    // subscribe/ack calls are never blocked behind a large batch.
+    index_.match_batch(batch->events, delivery);
+    frames_.fetch_add(1);
+
+    std::lock_guard lock(mu_);
+    heads_.advance(shard, batch->events.back().id);
+    for (SubscriberId id : delivery.touched()) {
+      if (id >= subs_.size() || !subs_[id]) continue;
+      Subscription& sub = *subs_[id];
+      if (sub.state_ != FlowState::kLive) continue;
+      if (sub.credits_ <= 0) {
+        // The window went negative on an earlier frame (frames are
+        // delivered whole); this one is not delivered — the catch-up
+        // replay will cover it.
+        demote_locked(sub);
+        continue;
+      }
+      const auto indices = delivery.indices_for(id);
+      HubItem item;
+      item.batch = batch;
+      item.indices.assign(indices.begin(), indices.end());
+      item.shard = shard;
+      item.first_id = batch->events.front().id;
+      item.last_id = batch->events.back().id;
+      sub.credits_ -= static_cast<std::int64_t>(indices.size());
+      push_item(sub, std::move(item));
+    }
+    evict_overdue_locked();
+  }
+}
+
+}  // namespace fsmon::scalable

@@ -1,0 +1,202 @@
+// FanOutHub: subscription-indexed fan-out with credit-based
+// per-consumer flow control (ROADMAP item 2).
+//
+// The legacy topology gives every consumer its own transport receiver on
+// every shard output: frame delivery is a refcount bump, but each
+// consumer then decodes every batch and runs its own rule set over every
+// event — O(consumers × events) matching work, and one slow consumer
+// with kBlock back-pressure can stall the shard's sender.
+//
+// The hub collapses that to one receiver: a single pump thread decodes
+// each frame once, runs the shared SubscriptionIndex once per batch, and
+// pushes {shared decoded batch, matched indices} items into per-consumer
+// queues. Matching cost grows with matched events, not subscriber count.
+//
+// Flow control is credit-based: each subscription carries a credit
+// window counted in delivered events; credits are consumed when a batch
+// is queued (a frame may drive the window one batch negative so frames
+// stay atomic) and replenished when the consumer acknowledges processed
+// events. A consumer that exhausts its window is demoted: live delivery
+// stops (a marker item tells the consumer), and the consumer catches up
+// by paging the reliable store (the for_each_since/replay_page path)
+// through its own rules. When it reaches the live watermark it asks to
+// be promoted; promotion hands it a fresh window and the watermark to
+// replay up to, so the hand-off is gap-free and duplicate-free. A
+// demoted consumer whose lag keeps growing past `eviction_lag` is
+// evicted — it stops holding the store's retention window hostage.
+//
+// Acknowledgement forwarding: the hub forwards the element-wise MINIMUM
+// acked cursor across all non-evicted subscriptions to the shard stores,
+// so a purge can never drop an event a demoted consumer still needs for
+// catch-up. (Legacy consumers ack independently, which lets the fastest
+// consumer's watermark race ahead of the slowest's replay needs.)
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/scalable/sharded_aggregator.hpp"
+#include "src/scalable/sub_index.hpp"
+
+namespace fsmon::scalable {
+
+/// Delivery state of one hub subscription.
+enum class FlowState : std::uint8_t {
+  kLive,     ///< Receiving live matched batches, credits remaining.
+  kDemoted,  ///< Window exhausted; catching up from the store.
+  kEvicted,  ///< Never drained; removed from the index and the min-ack.
+};
+
+std::string_view to_string(FlowState state);
+
+/// One entry in a subscription's queue. kBatch carries the shared
+/// decoded frame plus the indices of this subscriber's matched events;
+/// kDemoted / kEvicted are state-change markers enqueued in stream
+/// position, so the consumer learns exactly where live delivery stopped.
+struct HubItem {
+  enum class Kind : std::uint8_t { kBatch, kDemoted, kEvicted };
+  Kind kind = Kind::kBatch;
+  std::shared_ptr<const core::EventBatch> batch;
+  std::vector<std::uint32_t> indices;  ///< Matched event indices, batch order.
+  std::size_t shard = 0;
+  common::EventId first_id = 0;  ///< Unfiltered frame id range (watermarks).
+  common::EventId last_id = 0;
+};
+
+struct FlowControlOptions {
+  /// Credit window per subscription, in delivered events. Must exceed
+  /// the consumer's ack interval or a healthy consumer would demote
+  /// itself between acks.
+  std::uint64_t credit_window = 1 << 15;
+  /// A demoted consumer may be promoted once its replay cursor is within
+  /// this many events of the live watermark. 0 = credit_window / 4.
+  std::uint64_t promote_lag = 0;
+  /// Evict a demoted subscription whose acknowledged cursor lags the
+  /// live watermark by more than this many events. 0 disables eviction.
+  std::uint64_t eviction_lag = 0;
+  /// Pump inbox high-water mark (frames).
+  std::size_t high_water_mark = 1 << 16;
+  /// Observability registry; null = uninstrumented. Registers flow.* and
+  /// subidx.*.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Instruments for the flow-control tier (flow.*). All optional.
+struct FlowMetrics {
+  obs::Counter* demotions = nullptr;
+  obs::Counter* promotions = nullptr;
+  obs::Counter* evictions = nullptr;
+  obs::Gauge* live = nullptr;
+  obs::Gauge* demoted = nullptr;
+
+  static FlowMetrics create(obs::MetricsRegistry& registry,
+                            const obs::Labels& labels = {});
+};
+
+class FanOutHub {
+ public:
+  /// Opaque per-consumer handle. All state is owned and mutated by the
+  /// hub; consumers interact through the hub methods below.
+  class Subscription {
+   private:
+    friend class FanOutHub;
+    std::string name_;
+    SubscriberId id_ = 0;
+    FlowState state_ = FlowState::kLive;
+    std::int64_t credits_ = 0;
+    VectorCursor acked_;        ///< Last cursor the consumer acknowledged.
+    std::mutex queue_mu_;
+    std::condition_variable queue_cv_;
+    std::deque<HubItem> queue_;
+    bool queue_closed_ = false;
+  };
+
+  FanOutHub(ShardedAggregator& aggregator, FlowControlOptions options);
+  ~FanOutHub();
+
+  FanOutHub(const FanOutHub&) = delete;
+  FanOutHub& operator=(const FanOutHub&) = delete;
+
+  common::Status start();
+  void stop();
+
+  /// Register a consumer with its compiled rules (empty = everything).
+  /// The subscription starts live with a full credit window, positioned
+  /// at the current live watermark.
+  std::shared_ptr<Subscription> subscribe(
+      std::string name, std::span<const core::CompiledRule> rules);
+
+  /// Remove a subscription: detaches it from the index, closes its queue
+  /// and releases its hold on the min-ack watermark.
+  void unsubscribe(Subscription& sub);
+
+  /// Pop the next item for this subscription. Blocks up to `timeout`
+  /// (<= 0 waits indefinitely); nullopt on timeout or after unsubscribe.
+  std::optional<HubItem> pop(
+      Subscription& sub,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(-1));
+
+  /// Consumer progress report: `cursor` is the consumer's per-shard seen
+  /// watermark (forwarded to the stores as the min across subscriptions),
+  /// `processed_events` the number of hub-delivered events the consumer
+  /// has finished with since its last call (replenishes credits).
+  void acknowledge(Subscription& sub, const VectorCursor& cursor,
+                   std::uint64_t processed_events);
+
+  /// Ask to re-enter live delivery after catch-up. `cursor` is where the
+  /// consumer's replay has reached. Succeeds when the cursor is within
+  /// promote_lag of the live watermark: the subscription re-enters kLive
+  /// with a fresh window and the call returns the watermark snapshot the
+  /// consumer must finish replaying up to — every frame the hub matched
+  /// before the promotion has last_id <= that snapshot, every frame after
+  /// it is queued live, so replaying exactly to the snapshot is gap-free
+  /// and duplicate-free.
+  std::optional<VectorCursor> try_promote(Subscription& sub,
+                                          const VectorCursor& cursor);
+
+  FlowState state(const Subscription& sub) const;
+  std::int64_t credits(const Subscription& sub) const;
+  /// Live watermark: last id the hub has seen per shard.
+  VectorCursor head_cursor() const;
+
+  SubscriptionIndex& index() { return index_; }
+  std::uint64_t frames_pumped() const { return frames_.load(); }
+
+ private:
+  void pump(std::stop_token stop);
+  void push_item(Subscription& sub, HubItem item);
+  void demote_locked(Subscription& sub);
+  void evict_overdue_locked();
+  /// Forward the min acked cursor across non-evicted subs to the stores.
+  void forward_acks_locked();
+  std::size_t shard_of_topic(std::string_view topic) const;
+  void update_gauges_locked();
+
+  ShardedAggregator& aggregator_;
+  FlowControlOptions options_;
+  SubscriptionIndex index_;
+  FlowMetrics metrics_;
+  std::shared_ptr<transport::Receiver> receiver_;
+  std::jthread pump_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> frames_{0};
+
+  mutable std::mutex mu_;
+  /// Subscriptions indexed by SubscriberId (dense, reused).
+  std::vector<std::shared_ptr<Subscription>> subs_;
+  std::vector<SubscriberId> demoted_;  ///< Ids to check for eviction.
+  VectorCursor heads_;                 ///< Per-shard last pumped id.
+  VectorCursor forwarded_;             ///< Last min cursor sent to stores.
+  std::size_t live_count_ = 0;
+  std::size_t demoted_count_ = 0;
+};
+
+}  // namespace fsmon::scalable

@@ -40,11 +40,19 @@ ScalableMonitor::ScalableMonitor(lustre::LustreFs& fs, ScalableMonitorOptions op
     }
     if (mdt < collectors_.size()) collectors_[mdt]->on_persist_ack(index);
   });
+  if (options_.fanout_hub) {
+    FlowControlOptions flow = options_.flow;
+    flow.metrics = options_.aggregator.metrics;
+    hub_ = std::make_unique<FanOutHub>(*sharded_, flow);
+  }
 }
 
 Status ScalableMonitor::start() {
   if (running_) return Status::ok();
   if (auto s = sharded_->start(); !s.is_ok()) return s;
+  if (hub_ != nullptr) {
+    if (auto s = hub_->start(); !s.is_ok()) return s;
+  }
   for (auto& collector : collectors_) {
     if (auto s = collector->start(); !s.is_ok()) return s;
   }
@@ -55,6 +63,7 @@ Status ScalableMonitor::start() {
 void ScalableMonitor::stop() {
   if (!running_) return;
   for (auto& collector : collectors_) collector->stop();
+  if (hub_ != nullptr) hub_->stop();
   sharded_->stop();
   running_ = false;
 }
@@ -62,6 +71,7 @@ void ScalableMonitor::stop() {
 std::unique_ptr<Consumer> ScalableMonitor::make_consumer(std::string name,
                                                          ConsumerOptions options,
                                                          Consumer::EventCallback callback) {
+  if (hub_ != nullptr && options.hub == nullptr) options.hub = hub_.get();
   auto consumer = std::make_unique<Consumer>(bus_, *sharded_, std::move(name),
                                              std::move(options), std::move(callback));
   if (running_) consumer->start();
@@ -71,6 +81,7 @@ std::unique_ptr<Consumer> ScalableMonitor::make_consumer(std::string name,
 std::unique_ptr<Consumer> ScalableMonitor::make_consumer(std::string name,
                                                          ConsumerOptions options,
                                                          Consumer::BatchCallback callback) {
+  if (hub_ != nullptr && options.hub == nullptr) options.hub = hub_.get();
   auto consumer = std::make_unique<Consumer>(bus_, *sharded_, std::move(name),
                                              std::move(options), std::move(callback));
   if (running_) consumer->start();

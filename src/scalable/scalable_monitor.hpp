@@ -27,6 +27,14 @@ struct ScalableMonitorOptions {
   /// inboxes/outputs, consumer receivers). Null (default) = in-process
   /// over the monitor's bus. Must outlive the monitor.
   transport::Transport* transport = nullptr;
+  /// Create a FanOutHub on the aggregator tier and subscribe every
+  /// make_consumer() through it: one shared receiver, one decode and one
+  /// index evaluation per batch, credit-based flow control per consumer.
+  /// Off (default) keeps the legacy per-consumer topology.
+  bool fanout_hub = false;
+  /// Flow-control tuning for the hub (used when fanout_hub is true; the
+  /// metrics field is overridden by the aggregator's registry).
+  FlowControlOptions flow;
 };
 
 class ScalableMonitor {
@@ -49,6 +57,8 @@ class ScalableMonitor {
   /// aggregator accessor. Sharded callers use sharded().
   Aggregator& aggregator() { return sharded_->shard(0); }
   ShardedAggregator& sharded() { return *sharded_; }
+  /// The shared fan-out hub; null unless options.fanout_hub was set.
+  FanOutHub* hub() { return hub_.get(); }
   Collector& collector(std::size_t i) { return *collectors_.at(i); }
   std::size_t collector_count() const { return collectors_.size(); }
   msgq::Bus& bus() { return bus_; }
@@ -92,6 +102,7 @@ class ScalableMonitor {
   common::Clock& clock_;
   msgq::Bus bus_;
   std::unique_ptr<ShardedAggregator> sharded_;
+  std::unique_ptr<FanOutHub> hub_;
   std::vector<std::unique_ptr<Collector>> collectors_;
   bool running_ = false;
 };

@@ -85,6 +85,14 @@ class ShardedAggregator {
   /// Sum of per-shard head ids: total events assigned ids so far
   /// (delivery-lag arithmetic against VectorCursor::sum()).
   std::uint64_t last_event_id_sum() const;
+  /// Per-shard head ids as a cursor (lag and promotion arithmetic for
+  /// the fan-out hub's flow control).
+  VectorCursor head_cursor() const {
+    VectorCursor cursor(shards_.size());
+    for (std::size_t k = 0; k < shards_.size(); ++k)
+      cursor.last_ids[k] = shards_[k]->last_event_id();
+    return cursor;
+  }
   std::uint64_t aggregated() const;
   std::uint64_t persisted() const;
   bool any_crashed() const;

@@ -183,11 +183,7 @@ void RemoteConsumer::stop() {
 }
 
 bool RemoteConsumer::matches(const core::StdEvent& event) const {
-  if (options_.rules.empty()) return true;
-  for (const auto& rule : options_.rules) {
-    if (rule.matches(event)) return true;
-  }
-  return false;
+  return compiled_.matches(event);
 }
 
 void RemoteConsumer::run(std::stop_token) {

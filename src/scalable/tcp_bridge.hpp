@@ -98,12 +98,14 @@ class RemoteConsumer {
 
   RemoteConsumer(RemoteConsumerOptions options, EventCallback callback)
       : options_(std::move(options)),
+        compiled_(std::span<const core::FilterRule>(options_.rules)),
         callback_(std::move(callback)),
         subscriber_(transport_options(options_)) {}
   /// Batch-aware variant (mirrors Consumer): invoked once per received
   /// batch with only the matching events.
   RemoteConsumer(RemoteConsumerOptions options, BatchCallback callback)
       : options_(std::move(options)),
+        compiled_(std::span<const core::FilterRule>(options_.rules)),
         batch_callback_(std::move(callback)),
         subscriber_(transport_options(options_)) {}
   ~RemoteConsumer();
@@ -145,6 +147,9 @@ class RemoteConsumer {
   void run(std::stop_token stop);
 
   RemoteConsumerOptions options_;
+  /// Rules compiled once at construction (normalized roots, kind masks)
+  /// so the receive loop never re-normalizes per (rule, event).
+  core::CompiledRuleSet compiled_;
   EventCallback callback_;
   BatchCallback batch_callback_;
   msgq::TcpSubscriber subscriber_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/string_util.hpp"
+
 namespace fsmon::core {
 namespace {
 
@@ -76,6 +78,82 @@ TEST(FilterRuleTest, PathNormalizationApplied) {
   FilterRule rule;
   rule.root = "/dir/";
   EXPECT_TRUE(rule.matches(event_at("/dir//file")));
+}
+
+// Boundary regressions pinned for both the legacy matcher and the
+// compiled rule the subscription index is built from: the two paths must
+// agree byte-for-byte on every edge case.
+
+bool compiled_matches(const FilterRule& rule, const StdEvent& event) {
+  const CompiledRule compiled = CompiledRule::compile(rule);
+  const std::string path = common::normalize_path(event.path);
+  return compiled.matches(path, common::base_name(path), event.kind);
+}
+
+void expect_both(const FilterRule& rule, const std::string& path, bool expected,
+                 bool recursive) {
+  FilterRule r = rule;
+  r.recursive = recursive;
+  EXPECT_EQ(r.matches(event_at(path)), expected)
+      << "legacy root=" << r.root << " path=" << path << " recursive=" << recursive;
+  EXPECT_EQ(compiled_matches(r, event_at(path)), expected)
+      << "compiled root=" << r.root << " path=" << path << " recursive=" << recursive;
+}
+
+TEST(FilterBoundaryTest, PrefixRuleDoesNotMatchSiblingWithSharedPrefix) {
+  FilterRule rule;
+  rule.root = "/foo";
+  for (bool recursive : {true, false}) {
+    expect_both(rule, "/foobar", false, recursive);
+    expect_both(rule, "/foobar/x", false, recursive);
+  }
+  expect_both(rule, "/foo/x", true, true);
+  expect_both(rule, "/foo/x", true, false);
+}
+
+TEST(FilterBoundaryTest, TrailingSlashRootIsEquivalent) {
+  FilterRule plain;
+  plain.root = "/foo";
+  FilterRule slashed;
+  slashed.root = "/foo/";
+  for (bool recursive : {true, false}) {
+    for (const std::string path : {"/foo", "/foo/x", "/foo/x/y", "/foobar"}) {
+      FilterRule a = plain;
+      a.recursive = recursive;
+      FilterRule b = slashed;
+      b.recursive = recursive;
+      EXPECT_EQ(a.matches(event_at(path)), b.matches(event_at(path)))
+          << path << " recursive=" << recursive;
+      EXPECT_EQ(compiled_matches(a, event_at(path)),
+                compiled_matches(b, event_at(path)))
+          << path << " recursive=" << recursive;
+    }
+  }
+}
+
+TEST(FilterBoundaryTest, RootSlashRecursiveMatchesEverything) {
+  FilterRule rule;
+  rule.root = "/";
+  expect_both(rule, "/", true, true);
+  expect_both(rule, "/a", true, true);
+  expect_both(rule, "/a/b/c", true, true);
+}
+
+TEST(FilterBoundaryTest, RootSlashNonRecursiveMatchesRootAndDirectChildren) {
+  // Legacy quirk, deliberately preserved: parent_path("/") == "/", so a
+  // non-recursive "/" rule matches the root path itself.
+  FilterRule rule;
+  rule.root = "/";
+  expect_both(rule, "/", true, false);
+  expect_both(rule, "/a", true, false);
+  expect_both(rule, "/a/b", false, false);
+}
+
+TEST(FilterBoundaryTest, NonRecursiveRootNeverMatchesItself) {
+  FilterRule rule;
+  rule.root = "/foo";
+  expect_both(rule, "/foo", false, false);
+  expect_both(rule, "/foo", true, true);
 }
 
 }  // namespace

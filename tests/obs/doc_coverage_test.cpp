@@ -52,6 +52,9 @@ void exercise_all_stages(obs::MetricsRegistry& registry) {
   store.directory = store_dir;
   store.flush_each_append = true;
   options.aggregator.store = store;
+  // Hub mode registers the subscription-index (subidx.*) and
+  // flow-control (flow.*) instruments, plus aggregator.fanout_receivers.
+  options.fanout_hub = true;
   scalable::ScalableMonitor monitor(fs, options, clock);
   scalable::ConsumerOptions consumer_options;
   consumer_options.metrics = &registry;

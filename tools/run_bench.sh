@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target bench_table8_cache_sweep bench_recovery bench_store bench_shards bench_transport
+cmake --build build -j "$(nproc)" --target bench_table8_cache_sweep bench_recovery bench_store bench_shards bench_transport bench_fanout
 
 ./build/bench/bench_table8_cache_sweep
 
@@ -67,3 +67,16 @@ if [[ ! -s BENCH_transport.json ]]; then
   exit 1
 fi
 echo "OK: BENCH_transport.json written."
+
+# Fan-out: shared subscription index vs per-consumer matching across a
+# 10 -> 10k subscriber sweep at fixed matched volume, plus the hub's
+# stalled-consumer isolation run. Exits nonzero if the index cost at 10k
+# subscribers exceeds 2x the 10-subscriber cost or a stalled sibling
+# cuts healthy throughput below 0.9x baseline.
+./build/bench/bench_fanout
+
+if [[ ! -s BENCH_fanout.json ]]; then
+  echo "FAIL: bench did not write BENCH_fanout.json" >&2
+  exit 1
+fi
+echo "OK: BENCH_fanout.json written."

@@ -96,6 +96,7 @@ if $run_tsan; then
   tsan_filter+=":ShardMapTest.*:VectorCursorTest.*:ShardRouterTest.*:ShardMergeTest.*"
   tsan_filter+=":FrameRefTest.*:SpscRingTest.*:ShmRingTest.*:*TransportTest.*"
   tsan_filter+=":ByteIdentityTest.*"
+  tsan_filter+=":SubIndexTest.*:SubIndexPropertyTest.*:FlowControlTest.*"
   ./build-tsan/tests/fsmon_tests --gtest_filter="$tsan_filter"
   (cd build-tsan && ctest -L concurrency --output-on-failure)
   if (( chaos_seeds > 0 )); then chaos_sweep build-tsan; fi
@@ -111,6 +112,7 @@ if $run_asan; then
   # carriers, so run them under ASan as well as the concurrency label.
   asan_filter="FrameRefTest.*:SpscRingTest.*:ShmRingTest.*:*TransportTest.*"
   asan_filter+=":ByteIdentityTest.*"
+  asan_filter+=":SubIndexTest.*:SubIndexPropertyTest.*:FlowControlTest.*"
   ./build-asan/tests/fsmon_tests --gtest_filter="$asan_filter"
   (cd build-asan && ctest -L concurrency --output-on-failure)
   if (( chaos_seeds > 0 )); then chaos_sweep build-asan; fi
