@@ -1,5 +1,7 @@
 #include "src/scalable/consumer.hpp"
 
+#include <algorithm>
+
 #include "src/common/logging.hpp"
 
 namespace fsmon::scalable {
@@ -110,7 +112,10 @@ void Consumer::deliver_batch(const core::EventBatch& batch, bool dedup_filter,
     const auto head = aggregator_.last_event_id_sum();
     const auto seen = seen_.sum();
     delivery_lag_gauge_->set(head > seen ? static_cast<std::int64_t>(head - seen) : 0);
-    overflow_dropped_gauge_->set(static_cast<std::int64_t>(receiver_->dropped()));
+    // Hub mode has no private receiver (receiver_ is null): overflow is
+    // the hub's credit window, not a transport high-water mark.
+    overflow_dropped_gauge_->set(
+        receiver_ != nullptr ? static_cast<std::int64_t>(receiver_->dropped()) : 0);
     batch_size_hist_->record(batch.size());
   }
   // Duplicate decisions are made for the whole batch before any marking:
@@ -294,6 +299,7 @@ void Consumer::catch_up(std::stop_token stop) {
   // watermark. The paging never runs under deliver_mu_.
   const std::size_t page = options_.replay_page > 0 ? options_.replay_page : 4096;
   std::size_t replayed = 0;
+  auto backoff = std::chrono::milliseconds(1);
   while (!stop.stop_requested()) {
     if (options_.hub->state(*hub_sub_) == FlowState::kEvicted) {
       evicted_.store(true);
@@ -302,10 +308,18 @@ void Consumer::catch_up(std::stop_token stop) {
     VectorCursor cursor = seen_cursor();
     auto events = aggregator_.events_since(cursor, page);
     if (!events) {
-      FSMON_WARN("consumer", "catch-up replay failed: ",
+      // A transient store error (a shard mid-restart, a paged read
+      // racing a purge) must not end catch-up: the hub sends the
+      // kDemoted marker exactly once, so returning while still demoted
+      // would strand this consumer — never promoted, pinning the
+      // min-ack cursor forever. Back off and retry until stopped.
+      FSMON_WARN("consumer", "catch-up replay failed (retrying): ",
                  events.status().to_string());
-      return;
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, std::chrono::milliseconds(100));
+      continue;
     }
+    backoff = std::chrono::milliseconds(1);
     const std::size_t got = events.value().size();
     if (got > 0) {
       core::EventBatch batch;
@@ -335,6 +349,7 @@ void Consumer::replay_to_watermark(const VectorCursor& target,
   // overlap. The store may trail the published head briefly (persistence
   // is async) — retry empty pages until the cursor reaches the target.
   const std::size_t page = options_.replay_page > 0 ? options_.replay_page : 4096;
+  auto backoff = std::chrono::milliseconds(1);
   while (!stop.stop_requested()) {
     VectorCursor cursor = seen_cursor();
     bool reached = true;
@@ -347,10 +362,17 @@ void Consumer::replay_to_watermark(const VectorCursor& target,
     if (reached) return;
     auto events = aggregator_.events_since(cursor, page);
     if (!events) {
-      FSMON_WARN("consumer", "promotion replay failed: ",
+      // Giving up short of the promotion watermark would leave a silent
+      // gap: the hub already resumed live delivery above `target`, so
+      // the unreplayed remainder would never arrive. Retry — the seam
+      // is only closed once the cursor reaches the target.
+      FSMON_WARN("consumer", "promotion replay failed (retrying): ",
                  events.status().to_string());
-      return;
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, std::chrono::milliseconds(100));
+      continue;
     }
+    backoff = std::chrono::milliseconds(1);
     if (events.value().empty()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       continue;

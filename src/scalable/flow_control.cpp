@@ -8,6 +8,12 @@ namespace fsmon::scalable {
 
 using common::Status;
 
+namespace {
+/// Pump frames between unsolicited min-ack forwards (covers the
+/// nobody-is-acking case; every consumer ack still forwards eagerly).
+constexpr std::size_t kIdleForwardInterval = 64;
+}  // namespace
+
 std::string_view to_string(FlowState state) {
   switch (state) {
     case FlowState::kLive: return "live";
@@ -73,8 +79,12 @@ Status FanOutHub::start() {
 }
 
 void FanOutHub::stop() {
-  if (!running_.load()) return;
+  // Close unconditionally: the constructor already connected this
+  // receiver to every shard, so a hub destroyed without start() (or
+  // stopped twice) would otherwise leave a kBlock inbox open that can
+  // fill up and wedge the shard senders. close() is idempotent.
   receiver_->close();
+  if (!running_.load()) return;
   if (pump_thread_.joinable()) {
     pump_thread_.request_stop();
     pump_thread_.join();
@@ -91,6 +101,13 @@ std::shared_ptr<FanOutHub::Subscription> FanOutHub::subscribe(
   sub->state_ = FlowState::kLive;
   sub->credits_ = static_cast<std::int64_t>(options_.credit_window);
   sub->acked_ = heads_;
+  // A frame the pump has already matched (without this subscriber in
+  // the index) but not yet committed to heads_ would otherwise sit
+  // above the recorded watermark while never being delivered or
+  // replayed — count it as historic. If add_subscriber instead won the
+  // race on the index lock, the frame arrives live as an early
+  // (pre-watermark) delivery, which is harmless: fresh, deduped, no gap.
+  if (pending_valid_) sub->acked_.advance(pending_shard_, pending_last_id_);
   if (subs_.size() <= sub->id_) subs_.resize(sub->id_ + 1);
   subs_[sub->id_] = sub;
   ++live_count_;
@@ -231,6 +248,19 @@ void FanOutHub::forward_acks_locked() {
   for (const auto& sub : subs_) {
     if (!sub || sub->state_ == FlowState::kEvicted) continue;
     any = true;
+    // A live subscriber whose rules match nothing never appears in a
+    // delivery set, so its acked_ cursor would pin the min forever at
+    // its subscribe-time watermark. A full credit window means every
+    // event ever queued for it has been processed AND acknowledged —
+    // pushes debit the window under mu_ and only acks replenish it, so
+    // full credits imply an empty queue — and everything at or below
+    // heads_ is therefore either acked or failed its rules: the
+    // effective watermark IS heads_ and it contributes nothing to the
+    // min. Demoted subscribers keep their real cursor — they still
+    // need the store for catch-up replay.
+    if (sub->state_ == FlowState::kLive &&
+        sub->credits_ >= static_cast<std::int64_t>(options_.credit_window))
+      continue;
     min_cursor.ensure(sub->acked_.size());
     for (std::size_t k = 0; k < min_cursor.size(); ++k)
       min_cursor.last_ids[k] = std::min(min_cursor.last_ids[k], sub->acked_.at(k));
@@ -284,12 +314,21 @@ void FanOutHub::pump(std::stop_token stop) {
     auto batch =
         std::make_shared<const core::EventBatch>(std::move(decoded.value()));
     const std::size_t shard = shard_of_topic(frame->topic);
+    {
+      // Publish the frame as in-flight so subscribe() can order itself
+      // against it (see the pending_* comment in the header).
+      std::lock_guard lock(mu_);
+      pending_shard_ = shard;
+      pending_last_id_ = batch->events.back().id;
+      pending_valid_ = true;
+    }
     // The index has its own lock; matching runs outside the hub mutex so
     // subscribe/ack calls are never blocked behind a large batch.
     index_.match_batch(batch->events, delivery);
     frames_.fetch_add(1);
 
     std::lock_guard lock(mu_);
+    pending_valid_ = false;
     heads_.advance(shard, batch->events.back().id);
     for (SubscriberId id : delivery.touched()) {
       if (id >= subs_.size() || !subs_[id]) continue;
@@ -313,6 +352,15 @@ void FanOutHub::pump(std::stop_token stop) {
       push_item(sub, std::move(item));
     }
     evict_overdue_locked();
+    // Amortized min-ack forwarding: acknowledge() already forwards on
+    // every consumer ack, but when no subscription's rules match (so no
+    // consumer ever acks) retention would still grow with heads_. The
+    // periodic forward lets idle subscribers' effective cursors (see
+    // forward_acks_locked) release the stores.
+    if (++frames_since_forward_ >= kIdleForwardInterval) {
+      frames_since_forward_ = 0;
+      forward_acks_locked();
+    }
   }
 }
 

@@ -197,6 +197,17 @@ class FanOutHub {
   VectorCursor forwarded_;             ///< Last min cursor sent to stores.
   std::size_t live_count_ = 0;
   std::size_t demoted_count_ = 0;
+  /// The frame the pump is currently matching but has not yet committed
+  /// to heads_ (all guarded by mu_). subscribe() counts it as historic:
+  /// a subscription added mid-match may miss the index evaluation, so
+  /// its start watermark must sit at or above the frame or those events
+  /// would be neither delivered nor replayed.
+  std::size_t pending_shard_ = 0;
+  common::EventId pending_last_id_ = 0;
+  bool pending_valid_ = false;
+  /// Frames since the pump last forwarded the min-ack (guarded by mu_);
+  /// keeps retention moving when no consumer is acking.
+  std::size_t frames_since_forward_ = 0;
 };
 
 }  // namespace fsmon::scalable

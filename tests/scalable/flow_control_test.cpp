@@ -112,6 +112,110 @@ TEST_F(FlowControlTest, HubDeliversPerConsumerFilteredSubsets) {
   EXPECT_EQ(all_count.load(), 2 * kFiles);
 }
 
+TEST_F(FlowControlTest, HubConsumerWithMetricsDeliversWithoutReceiver) {
+  // Regression: a hub-mode consumer has no private transport receiver,
+  // but a wired metrics registry still creates the overflow gauge — the
+  // instrumented delivery path used to dereference the null receiver on
+  // the first non-empty batch.
+  LustreFs fs(LustreFsOptions{}, clock);
+  obs::MetricsRegistry registry;
+  ScalableMonitor monitor(fs, options(/*with_store=*/false), clock);
+  ASSERT_NE(monitor.hub(), nullptr);
+
+  std::atomic<int> count{0};
+  ConsumerOptions metered_options;
+  metered_options.metrics = &registry;
+  auto consumer = monitor.make_consumer(
+      "metered", metered_options, [&](const StdEvent&) { count.fetch_add(1); });
+  ASSERT_TRUE(monitor.start().is_ok());
+  ASSERT_TRUE(consumer->start().is_ok());
+
+  constexpr int kFiles = 16;
+  for (int i = 0; i < kFiles; ++i)
+    ASSERT_TRUE(fs.create("/f" + std::to_string(i)).is_ok());
+  ASSERT_TRUE(wait_until([&] { return count.load() >= kFiles; }));
+  consumer->stop();
+  monitor.stop();
+
+  const obs::Labels labels{{"consumer", "metered"}};
+  EXPECT_EQ(registry.gauge("consumer.overflow_dropped", labels).value(), 0);
+  EXPECT_EQ(registry.counter("consumer.events_delivered", labels).value(),
+            static_cast<std::uint64_t>(kFiles));
+}
+
+TEST_F(FlowControlTest, IdleSubscriberDoesNotPinStorePurge) {
+  // Regression: a live consumer whose rules match nothing never appears
+  // in a delivery set, so it never acks; its subscribe-time watermark
+  // used to pin the hub's min-ack forever and the store purge reclaimed
+  // nothing. The idle subscriber's effective cursor must track heads.
+  LustreFs fs(LustreFsOptions{}, clock);
+  ScalableMonitorOptions o = options();
+  ScalableMonitor monitor(fs, o, clock);
+
+  std::atomic<int> idle_count{0};
+  std::atomic<int> healthy_count{0};
+  ConsumerOptions idle_options;
+  core::FilterRule never;
+  never.root = "/never-created";
+  idle_options.rules.push_back(never);
+  idle_options.ack_interval = 16;
+  auto idle = monitor.make_consumer("idle", idle_options,
+                                    [&](const StdEvent&) { idle_count.fetch_add(1); });
+  ConsumerOptions healthy_options;
+  healthy_options.ack_interval = 16;
+  auto healthy = monitor.make_consumer("healthy", healthy_options,
+                                       [&](const StdEvent&) { healthy_count.fetch_add(1); });
+  ASSERT_TRUE(monitor.start().is_ok());
+  ASSERT_TRUE(idle->start().is_ok());
+  ASSERT_TRUE(healthy->start().is_ok());
+
+  constexpr int kEvents = 600;
+  for (int i = 0; i < kEvents; ++i)
+    ASSERT_TRUE(fs.create("/f" + std::to_string(i)).is_ok());
+  ASSERT_TRUE(wait_until([&] { return healthy_count.load() >= kEvents; }));
+  EXPECT_EQ(idle->flow_state(), FlowState::kLive);
+
+  // The healthy consumer's acks advance the min watermark because the
+  // untouched idle subscriber no longer contributes to it.
+  ASSERT_TRUE(wait_until([&] { return monitor.sharded().purge() > 0; },
+                         std::chrono::seconds(10)));
+  EXPECT_EQ(idle_count.load(), 0);
+
+  idle->stop();
+  healthy->stop();
+  monitor.stop();
+}
+
+TEST_F(FlowControlTest, HubStoppedBeforeStartDoesNotBlockShardSenders) {
+  // Regression: the constructor connects the hub's kBlock receiver to
+  // every shard, but stop() used to early-return when start() never ran,
+  // leaving the inbox open — once full it wedged the shard senders.
+  LustreFs fs(LustreFsOptions{}, clock);
+  ScalableMonitorOptions o;
+  o.collector.cache_size = 64;  // legacy topology; the dead hub is extra
+  ScalableMonitor monitor(fs, o, clock);
+  FlowControlOptions flow;
+  flow.high_water_mark = 2;  // fills after two frames if left open
+  {
+    FanOutHub dead(monitor.sharded(), flow);
+    dead.stop();  // never started — must still close its inbox
+    dead.stop();  // stopping twice stays safe
+  }
+
+  std::atomic<int> count{0};
+  auto consumer = monitor.make_consumer("c", ConsumerOptions{},
+                                        [&](const StdEvent&) { count.fetch_add(1); });
+  ASSERT_TRUE(monitor.start().is_ok());
+  ASSERT_TRUE(consumer->start().is_ok());
+  constexpr int kFiles = 64;
+  for (int i = 0; i < kFiles; ++i)
+    ASSERT_TRUE(fs.create("/f" + std::to_string(i)).is_ok());
+  ASSERT_TRUE(wait_until([&] { return count.load() >= kFiles; }));
+  consumer->stop();
+  monitor.stop();
+  EXPECT_EQ(count.load(), kFiles);
+}
+
 TEST_F(FlowControlTest, StalledConsumerIsDemotedThenPromotedGapFree) {
   LustreFs fs(LustreFsOptions{}, clock);
   obs::MetricsRegistry registry;
