@@ -1,0 +1,295 @@
+// Namespace-index bench: fold throughput, query latency vs event count,
+// and restart cost vs delta size.
+//
+// Part 1 — fold throughput. Applies a synthetic metadata stream
+// (creates, modifies, renames over a growing tree) straight into the
+// NamespaceIndex and reports events/s for the pure applier.
+//
+// Part 2 — query latency vs event count. The whole point of
+// materializing state is that queries hit the index, never the stream:
+// over a FIXED path population, lookup / list_dir / activity_topk
+// latency must stay flat when the event volume grows 10x (the extra
+// events are modifies over the same paths — node count unchanged).
+// Fails (exit 1) if any query's latency at 10x events exceeds 3x its
+// latency at 1x.
+//
+// Part 3 — restart vs delta. With a fixed 200k-event history
+// checkpointed at different points, recovery = snapshot restore + delta
+// re-fold. Restart time must track the DELTA, not the history: the
+// bench reports snapshot-restore + replay time for deltas of 2k / 20k /
+// 100k events plus the no-snapshot cold fold for contrast.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/nsindex/snapshot.hpp"
+
+namespace fsmon {
+namespace {
+
+using nsindex::NamespaceIndex;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+core::StdEvent make_event(std::uint64_t id, core::EventKind kind,
+                          std::string path, bool is_dir = false,
+                          std::uint64_t cookie = 0) {
+  core::StdEvent event;
+  event.id = id;
+  event.kind = kind;
+  event.is_dir = is_dir;
+  event.watch_root = "/mnt/lustre";
+  event.path = std::move(path);
+  event.cookie = cookie;
+  event.timestamp = common::TimePoint{std::chrono::nanoseconds(id * 1000)};
+  event.source = "lustre:MDT0";
+  return event;
+}
+
+/// Dense-id stream: `dirs` top-level directories created first, then
+/// `count` events cycling create / modify / rename-pair over them.
+std::vector<core::StdEvent> make_stream(std::size_t count, std::size_t dirs) {
+  std::vector<core::StdEvent> events;
+  events.reserve(count + dirs);
+  std::uint64_t id = 0;
+  for (std::size_t d = 0; d < dirs; ++d)
+    events.push_back(make_event(++id, core::EventKind::kCreate,
+                                "/d" + std::to_string(d), /*is_dir=*/true));
+  std::size_t file = 0;
+  while (events.size() < count + dirs) {
+    const std::string dir = "/d" + std::to_string(file % dirs);
+    const std::string path = dir + "/f" + std::to_string(file);
+    switch (file % 4) {
+      case 0:
+      case 1:
+        events.push_back(make_event(++id, core::EventKind::kCreate, path));
+        break;
+      case 2:
+        events.push_back(make_event(++id, core::EventKind::kModify,
+                                    dir + "/f" + std::to_string(file - 1)));
+        break;
+      default: {
+        const std::string from = dir + "/f" + std::to_string(file - 2);
+        const std::uint64_t cookie = 1000000 + file;
+        events.push_back(
+            make_event(++id, core::EventKind::kMovedFrom, from, false, cookie));
+        if (events.size() < count + dirs)
+          events.push_back(make_event(++id, core::EventKind::kMovedTo,
+                                      from + "r", false, cookie));
+        break;
+      }
+    }
+    ++file;
+  }
+  return events;
+}
+
+void apply_all(NamespaceIndex& index, const std::vector<core::StdEvent>& events) {
+  for (const auto& event : events) index.apply(0, event);
+}
+
+/// Fixed population of `files` paths, then `modifies` events over them:
+/// node count is identical regardless of the modify volume.
+std::vector<core::StdEvent> make_fixed_population(std::size_t files,
+                                                  std::size_t modifies,
+                                                  std::size_t dirs) {
+  std::vector<core::StdEvent> events;
+  events.reserve(files + modifies + dirs);
+  std::uint64_t id = 0;
+  for (std::size_t d = 0; d < dirs; ++d)
+    events.push_back(make_event(++id, core::EventKind::kCreate,
+                                "/p" + std::to_string(d), /*is_dir=*/true));
+  for (std::size_t f = 0; f < files; ++f)
+    events.push_back(make_event(
+        ++id, core::EventKind::kCreate,
+        "/p" + std::to_string(f % dirs) + "/f" + std::to_string(f)));
+  for (std::size_t m = 0; m < modifies; ++m)
+    events.push_back(make_event(
+        ++id, core::EventKind::kModify,
+        "/p" + std::to_string(m % dirs) + "/f" + std::to_string(m % files)));
+  return events;
+}
+
+struct QueryCosts {
+  std::uint64_t events = 0;
+  double lookup_ns = 0;
+  double list_dir_ns = 0;
+  double topk_ns = 0;
+};
+
+QueryCosts measure_queries(std::size_t modifies) {
+  constexpr std::size_t kFiles = 2000;
+  constexpr std::size_t kDirs = 50;
+  nsindex::NamespaceIndexOptions options;
+  options.undo_capacity = 1024;  // bounded regardless of volume
+  NamespaceIndex index(options);
+  apply_all(index, make_fixed_population(kFiles, modifies, kDirs));
+
+  QueryCosts costs;
+  costs.events = index.applied_seq();
+  std::uint64_t sink = 0;
+
+  constexpr int kLookups = 200000;
+  auto start = Clock::now();
+  for (int i = 0; i < kLookups; ++i) {
+    auto node = index.lookup("/p" + std::to_string(i % kDirs) + "/f" +
+                             std::to_string(i % kFiles));
+    if (node.has_value()) sink += node->events;
+  }
+  costs.lookup_ns = ms_since(start) * 1e6 / kLookups;
+
+  constexpr int kListings = 20000;
+  start = Clock::now();
+  for (int i = 0; i < kListings; ++i) {
+    auto listing = index.list_dir("/p" + std::to_string(i % kDirs));
+    if (listing.is_ok()) sink += listing.value().size();
+  }
+  costs.list_dir_ns = ms_since(start) * 1e6 / kListings;
+
+  constexpr int kTopks = 2000;
+  start = Clock::now();
+  for (int i = 0; i < kTopks; ++i) sink += index.activity_topk(10).size();
+  costs.topk_ns = ms_since(start) * 1e6 / kTopks;
+
+  if (sink == 0) std::printf("(unexpected zero sink)\n");
+  return costs;
+}
+
+struct RestartCost {
+  std::uint64_t delta = 0;
+  double restore_ms = 0;
+  double replay_ms = 0;
+};
+
+}  // namespace
+}  // namespace fsmon
+
+int main() {
+  using namespace fsmon;
+
+  // --- Part 1: fold throughput -------------------------------------
+  constexpr std::size_t kFoldEvents = 400000;
+  const auto stream = make_stream(kFoldEvents, 64);
+  NamespaceIndex fold_index;
+  auto start = Clock::now();
+  apply_all(fold_index, stream);
+  const double fold_ms = ms_since(start);
+  const double fold_eps = static_cast<double>(fold_index.applied_seq()) /
+                          (fold_ms / 1000.0);
+  std::printf("fold: %llu events in %.0f ms = %.0f events/s (%zu nodes)\n",
+              static_cast<unsigned long long>(fold_index.applied_seq()), fold_ms,
+              fold_eps, fold_index.node_count());
+
+  // --- Part 2: query latency vs event count ------------------------
+  const QueryCosts base = measure_queries(30000);
+  const QueryCosts scaled = measure_queries(300000);
+  const double lookup_ratio = scaled.lookup_ns / std::max(base.lookup_ns, 1e-9);
+  const double list_ratio = scaled.list_dir_ns / std::max(base.list_dir_ns, 1e-9);
+  const double topk_ratio = scaled.topk_ns / std::max(base.topk_ns, 1e-9);
+  std::printf("queries at %llu events: lookup %.0f ns, list_dir %.0f ns, "
+              "topk %.0f ns\n",
+              static_cast<unsigned long long>(base.events), base.lookup_ns,
+              base.list_dir_ns, base.topk_ns);
+  std::printf("queries at %llu events: lookup %.0f ns (%.2fx), list_dir %.0f ns "
+              "(%.2fx), topk %.0f ns (%.2fx)\n",
+              static_cast<unsigned long long>(scaled.events), scaled.lookup_ns,
+              lookup_ratio, scaled.list_dir_ns, list_ratio, scaled.topk_ns,
+              topk_ratio);
+
+  // --- Part 3: restart cost vs delta size --------------------------
+  constexpr std::size_t kHistory = 200000;
+  const auto history = make_stream(kHistory, 64);
+  const auto snap_dir =
+      std::filesystem::temp_directory_path() / "fsmon_bench_nsindex";
+  std::vector<RestartCost> restarts;
+  double cold_ms = 0;
+  {
+    NamespaceIndex reference;
+    apply_all(reference, history);
+    start = Clock::now();
+    NamespaceIndex cold;
+    apply_all(cold, history);
+    cold_ms = ms_since(start);
+  }
+  for (std::size_t delta : {2000u, 20000u, 100000u}) {
+    std::filesystem::remove_all(snap_dir);
+    // Checkpoint the prefix, then "restart": restore + re-fold the tail.
+    NamespaceIndex writer;
+    std::size_t cut = 0;
+    while (cut < history.size() && writer.applied_seq() < history.size() - delta)
+      writer.apply(0, history[cut++]);
+    nsindex::SnapshotStore snapshots({snap_dir, 2, nullptr});
+    if (!snapshots.write(writer).is_ok()) {
+      std::printf("FAIL: snapshot write failed\n");
+      return 1;
+    }
+    RestartCost cost;
+    start = Clock::now();
+    NamespaceIndex recovered;
+    auto seq = snapshots.recover(recovered);
+    cost.restore_ms = ms_since(start);
+    if (!seq.is_ok() || seq.value() == 0) {
+      std::printf("FAIL: snapshot recover failed\n");
+      return 1;
+    }
+    start = Clock::now();
+    for (std::size_t i = recovered.applied_seq(); i < history.size(); ++i)
+      recovered.apply(0, history[i]);
+    cost.replay_ms = ms_since(start);
+    cost.delta = history.size() - seq.value();
+    restarts.push_back(cost);
+    std::printf("restart with %llu-event delta: restore %.1f ms + replay %.1f ms "
+                "(cold fold of full history: %.0f ms)\n",
+                static_cast<unsigned long long>(cost.delta), cost.restore_ms,
+                cost.replay_ms, cold_ms);
+  }
+  std::filesystem::remove_all(snap_dir);
+
+  if (std::FILE* out = std::fopen("BENCH_nsindex.json", "w")) {
+    std::fprintf(out, "{\n  \"fold\": {\"events\": %llu, \"events_per_sec\": %.0f},\n",
+                 static_cast<unsigned long long>(fold_index.applied_seq()),
+                 fold_eps);
+    std::fprintf(out,
+                 "  \"queries\": [\n"
+                 "    {\"events\": %llu, \"lookup_ns\": %.1f, \"list_dir_ns\": "
+                 "%.1f, \"topk_ns\": %.1f},\n"
+                 "    {\"events\": %llu, \"lookup_ns\": %.1f, \"list_dir_ns\": "
+                 "%.1f, \"topk_ns\": %.1f}\n  ],\n",
+                 static_cast<unsigned long long>(base.events), base.lookup_ns,
+                 base.list_dir_ns, base.topk_ns,
+                 static_cast<unsigned long long>(scaled.events), scaled.lookup_ns,
+                 scaled.list_dir_ns, scaled.topk_ns);
+    std::fprintf(out,
+                 "  \"query_latency_ratio_10x\": {\"lookup\": %.2f, \"list_dir\": "
+                 "%.2f, \"topk\": %.2f},\n",
+                 lookup_ratio, list_ratio, topk_ratio);
+    std::fprintf(out, "  \"restart\": {\"cold_fold_ms\": %.1f, \"deltas\": [\n",
+                 cold_ms);
+    for (std::size_t i = 0; i < restarts.size(); ++i)
+      std::fprintf(out,
+                   "    {\"delta_events\": %llu, \"restore_ms\": %.1f, "
+                   "\"replay_ms\": %.1f}%s\n",
+                   static_cast<unsigned long long>(restarts[i].delta),
+                   restarts[i].restore_ms, restarts[i].replay_ms,
+                   i + 1 < restarts.size() ? "," : "");
+    std::fprintf(out, "  ]}\n}\n");
+    std::fclose(out);
+    std::printf("results: BENCH_nsindex.json\n");
+  }
+
+  // The assertion: queries hit materialized state, so 10x the event
+  // volume over the same population must not move latency materially.
+  for (double ratio : {lookup_ratio, list_ratio, topk_ratio}) {
+    if (ratio > 3.0) {
+      std::printf("FAIL: query latency grew %.2fx at 10x events (limit 3x)\n",
+                  ratio);
+      return 1;
+    }
+  }
+  return 0;
+}

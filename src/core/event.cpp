@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/common/crc32.hpp"
+#include "src/common/string_util.hpp"
 
 namespace fsmon::core {
 
@@ -41,6 +42,16 @@ std::optional<EventKind> parse_event_kind(std::string_view text) {
 std::string StdEvent::full_path() const {
   if (watch_root == "/" || watch_root.empty()) return path;
   return watch_root + path;
+}
+
+std::string StdEvent::parent_path() const {
+  if (!has_path()) return "/";
+  return common::parent_path(path);
+}
+
+std::string StdEvent::base_name() const {
+  if (!has_path()) return "";
+  return common::base_name(path);
 }
 
 std::string to_inotify_line(const StdEvent& event) {
@@ -344,6 +355,21 @@ Result<std::string_view> peek_event_source(std::span<const std::byte> event_byte
     return Status(ErrorCode::kCorrupt, "event: truncated source");
   return std::string_view(reinterpret_cast<const char*>(event_bytes.data() + offset),
                           len);
+}
+
+Result<EventKind> peek_event_kind(std::span<const std::byte> event_bytes) {
+  if (event_bytes.size() < kEventMinBytes)
+    return Status(ErrorCode::kCorrupt, "event: too short for kind");
+  const auto raw = static_cast<std::uint8_t>(event_bytes[8]);
+  if (raw > static_cast<std::uint8_t>(EventKind::kMovedTo))
+    return Status(ErrorCode::kCorrupt, "event: bad kind");
+  return static_cast<EventKind>(raw);
+}
+
+Result<bool> peek_event_is_dir(std::span<const std::byte> event_bytes) {
+  if (event_bytes.size() < kEventMinBytes)
+    return Status(ErrorCode::kCorrupt, "event: too short for is_dir");
+  return event_bytes[9] != std::byte{0};
 }
 
 std::vector<std::byte> rebuild_batch(

@@ -57,6 +57,33 @@ struct StdEvent {
   /// Full path (watch_root + path).
   std::string full_path() const;
 
+  /// Rename-half accessors. A RENME changelog record is surfaced as a
+  /// MOVED_FROM / MOVED_TO pair travelling in one batch; the two halves
+  /// carry the same source and the same nonzero cookie, and nothing
+  /// else links them. Consumers that fold renames (the namespace index)
+  /// pair halves on rename_key() instead of re-deriving the convention.
+  bool is_rename_from() const { return kind == EventKind::kMovedFrom; }
+  bool is_rename_to() const { return kind == EventKind::kMovedTo; }
+  bool is_rename_half() const { return is_rename_from() || is_rename_to(); }
+  /// (source, cookie) — identifies the RENME record both halves came
+  /// from. Only meaningful when is_rename_half().
+  std::pair<std::string_view, std::uint64_t> rename_key() const {
+    return {source, cookie};
+  }
+
+  /// True when `path` names a real location: nonempty and not the
+  /// Algorithm 1 "ParentDirectoryRemoved" sentinel. Events that failed
+  /// resolution carry the sentinel and cannot be attributed to a node.
+  bool has_path() const {
+    return !path.empty() && path != kParentDirectoryRemoved;
+  }
+
+  /// Parent directory of `path` ("/a/b" -> "/a", "/a" -> "/"); "/" for
+  /// sentinel paths. The index layers key per-directory state on this.
+  std::string parent_path() const;
+  /// Final component of `path` ("/a/b" -> "b"); "" for sentinel paths.
+  std::string base_name() const;
+
   friend bool operator==(const StdEvent&, const StdEvent&) = default;
 };
 
@@ -150,6 +177,15 @@ common::Result<std::uint64_t> peek_event_cookie(
 /// precede it; still far cheaper than a full decode.
 common::Result<std::string_view> peek_event_source(
     std::span<const std::byte> event_bytes);
+
+/// Read the kind of a serialized event without decoding it (fixed offset
+/// 8: the id u64 precedes it). Lets batch scanners separate rename halves
+/// from plain events without materializing StdEvents; the kind byte was
+/// always encoded but never surfaced.
+common::Result<EventKind> peek_event_kind(std::span<const std::byte> event_bytes);
+
+/// Read the is_dir flag of a serialized event (fixed offset 9).
+common::Result<bool> peek_event_is_dir(std::span<const std::byte> event_bytes);
 
 /// Re-frame a subset of an already-encoded batch: `kept` lists (offset,
 /// length) event byte ranges within `frame` (as produced by view_batch),

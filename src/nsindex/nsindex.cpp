@@ -1,0 +1,763 @@
+#include "src/nsindex/nsindex.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/string_util.hpp"
+
+namespace fsmon::nsindex {
+
+namespace {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+using core::EventKind;
+using core::StdEvent;
+
+// Canonical little-endian state image framing (the snapshot layer adds
+// the file magic/CRC around this).
+constexpr std::uint32_t kStateMagic = 0x49534e46;  // "FNSI"
+constexpr std::uint32_t kStateVersion = 1;
+
+void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+void put_string(std::vector<std::byte>& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  const auto* bytes = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), bytes, bytes + s.size());
+}
+
+struct Reader {
+  std::span<const std::byte> in;
+  std::size_t offset = 0;
+  bool failed = false;
+
+  bool need(std::size_t n) {
+    if (failed || in.size() - offset < n) {
+      failed = true;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return static_cast<std::uint8_t>(in[offset++]);
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[offset + i]) << (8 * i);
+    offset += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[offset + i]) << (8 * i);
+    offset += 8;
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (len > (1u << 28) || !need(len)) {
+      failed = true;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(in.data() + offset), len);
+    offset += len;
+    return s;
+  }
+};
+
+}  // namespace
+
+NamespaceIndex::NamespaceIndex(NamespaceIndexOptions options)
+    : options_(options), cursor_(1) {
+  if (options_.metrics != nullptr) {
+    auto& m = *options_.metrics;
+    applied_counter_ = &m.counter("nsidx.applied_events", {},
+                                  "events folded into the namespace index");
+    duplicates_counter_ = &m.counter("nsidx.duplicate_events", {},
+                                     "events refused as already applied");
+    renames_counter_ = &m.counter("nsidx.renames_applied", {},
+                                  "MOVED_FROM/MOVED_TO pairs folded as moves");
+    subtree_moves_counter_ =
+        &m.counter("nsidx.subtree_moves", {},
+                   "nodes relocated because an ancestor directory was renamed");
+    orphan_renames_counter_ =
+        &m.counter("nsidx.rename_orphans", {},
+                   "MOVED_TO halves applied without a usable MOVED_FROM");
+    unresolved_counter_ =
+        &m.counter("nsidx.unresolved_events", {},
+                   "events skipped because their path was unresolvable");
+    queries_counter_ = &m.counter("nsidx.queries", {}, "index queries served");
+    nodes_gauge_ = &m.gauge("nsidx.nodes", {}, "nodes in the materialized namespace");
+    dirs_gauge_ = &m.gauge("nsidx.dir_nodes", {}, "directory nodes in the namespace");
+    undo_gauge_ = &m.gauge("nsidx.undo_entries", {}, "retained as-of undo records");
+  }
+}
+
+NamespaceIndex::ApplyResult NamespaceIndex::apply(std::size_t shard,
+                                                  const StdEvent& event) {
+  std::lock_guard lock(mu_);
+  cursor_.ensure(shard + 1);
+  common::EventId& slot = cursor_.last_ids[shard];
+  if (event.id <= slot) {
+    if (duplicates_counter_ != nullptr) duplicates_counter_->inc();
+    return ApplyResult::kDuplicate;
+  }
+  if (event.id != slot + 1) return ApplyResult::kOutOfOrder;
+  slot = event.id;
+  ++applied_seq_;
+  if (options_.undo_capacity == 0) as_of_floor_ = applied_seq_;
+  apply_locked(event);
+  if (applied_counter_ != nullptr) applied_counter_->inc();
+  update_gauges_locked();
+  return ApplyResult::kApplied;
+}
+
+void NamespaceIndex::apply_locked(const StdEvent& event) {
+  switch (event.kind) {
+    case EventKind::kCreate:
+      do_create(event);
+      break;
+    case EventKind::kModify:
+    case EventKind::kAttrib:
+    case EventKind::kClose:
+    case EventKind::kOpen:
+      do_touch(event);
+      break;
+    case EventKind::kDelete:
+      do_delete(event);
+      break;
+    case EventKind::kMovedFrom:
+      do_moved_from(event);
+      break;
+    case EventKind::kMovedTo:
+      do_moved_to(event);
+      break;
+  }
+}
+
+void NamespaceIndex::do_create(const StdEvent& event) {
+  if (!event.has_path()) {
+    if (unresolved_counter_ != nullptr) unresolved_counter_->inc();
+    return;
+  }
+  const std::string path = common::normalize_path(event.path);
+  ensure_ancestors_locked(path);
+  bump_activity_locked(common::parent_path(path));
+  auto it = nodes_.find(path);
+  if (it != nodes_.end() && it->second.is_dir != event.is_dir) {
+    // Kind conflict (a delete was missed): the old node is gone.
+    remove_tree_locked(path);
+    it = nodes_.end();
+  }
+  if (it == nodes_.end()) {
+    Node node;
+    node.node_id = next_node_id_++;
+    node.is_dir = event.is_dir;
+    node.create_event = event.id;
+    node.last_event = event.id;
+    node.last_kind = event.kind;
+    node.last_time = event.timestamp;
+    node.events = 1;
+    put_node_locked(path, std::move(node));
+    return;
+  }
+  // Create over a live same-kind node: an implicit node gains its real
+  // create event; an explicit one just records the activity.
+  Node node = it->second;
+  if (node.implicit) {
+    node.implicit = false;
+    node.create_event = event.id;
+  }
+  node.last_event = event.id;
+  node.last_kind = event.kind;
+  node.last_time = event.timestamp;
+  ++node.events;
+  put_node_locked(path, std::move(node));
+}
+
+void NamespaceIndex::do_touch(const StdEvent& event) {
+  if (!event.has_path()) {
+    if (unresolved_counter_ != nullptr) unresolved_counter_->inc();
+    return;
+  }
+  const std::string path = common::normalize_path(event.path);
+  ensure_ancestors_locked(path);
+  bump_activity_locked(common::parent_path(path));
+  auto it = nodes_.find(path);
+  Node node;
+  if (it == nodes_.end()) {
+    // Monitoring joined mid-life: the node exists but its create was
+    // never observed.
+    node.node_id = next_node_id_++;
+    node.implicit = true;
+  } else {
+    node = it->second;
+  }
+  node.is_dir = node.is_dir || event.is_dir;
+  node.last_event = event.id;
+  node.last_kind = event.kind;
+  node.last_time = event.timestamp;
+  ++node.events;
+  put_node_locked(path, std::move(node));
+}
+
+void NamespaceIndex::do_delete(const StdEvent& event) {
+  if (!event.has_path()) {
+    if (unresolved_counter_ != nullptr) unresolved_counter_->inc();
+    return;
+  }
+  const std::string path = common::normalize_path(event.path);
+  bump_activity_locked(common::parent_path(path));
+  if (nodes_.find(path) != nodes_.end()) remove_tree_locked(path);
+}
+
+void NamespaceIndex::do_moved_from(const StdEvent& event) {
+  PendingRename pending;
+  pending.is_dir = event.is_dir;
+  pending.event_id = event.id;
+  if (event.has_path()) {
+    pending.from_path = common::normalize_path(event.path);
+    bump_activity_locked(common::parent_path(pending.from_path));
+  } else if (unresolved_counter_ != nullptr) {
+    unresolved_counter_->inc();
+  }
+  pending_renames_[{event.source, event.cookie}] = std::move(pending);
+}
+
+void NamespaceIndex::do_moved_to(const StdEvent& event) {
+  std::optional<PendingRename> pending;
+  auto pit = pending_renames_.find({event.source, event.cookie});
+  if (pit != pending_renames_.end()) {
+    pending = std::move(pit->second);
+    pending_renames_.erase(pit);
+  }
+  if (!event.has_path()) {
+    // The destination is unresolvable: the source node (if known) is no
+    // longer where it was, and we cannot say where it went.
+    if (unresolved_counter_ != nullptr) unresolved_counter_->inc();
+    if (pending && !pending->from_path.empty() &&
+        nodes_.find(pending->from_path) != nodes_.end())
+      remove_tree_locked(pending->from_path);
+    return;
+  }
+  const std::string to = common::normalize_path(event.path);
+  bump_activity_locked(common::parent_path(to));
+  const bool have_source = pending && !pending->from_path.empty() &&
+                           nodes_.find(pending->from_path) != nodes_.end();
+  if (!have_source) {
+    // Orphan half: fold as a create at the destination so the namespace
+    // still converges on the truth.
+    if (orphan_renames_counter_ != nullptr) orphan_renames_counter_->inc();
+    StdEvent create = event;
+    create.kind = EventKind::kCreate;
+    // do_create re-bumps the destination parent's activity; the bump
+    // above already accounted this event, so compensate afterwards.
+    auto it = dir_activity_.find(common::parent_path(to));
+    do_create(create);
+    if (it != dir_activity_.end()) --it->second;
+    return;
+  }
+  const std::string from = pending->from_path;
+  if (from == to) {
+    StdEvent touch = event;
+    touch.kind = EventKind::kAttrib;
+    auto it = dir_activity_.find(common::parent_path(to));
+    do_touch(touch);
+    if (it != dir_activity_.end()) --it->second;
+    return;
+  }
+  if (renames_counter_ != nullptr) renames_counter_->inc();
+  move_tree_locked(from, to, event);
+}
+
+void NamespaceIndex::move_tree_locked(const std::string& from, const std::string& to,
+                                      const StdEvent& event) {
+  // Overwriting rename: whatever lived at the destination is gone.
+  if (nodes_.find(to) != nodes_.end()) remove_tree_locked(to);
+  ensure_ancestors_locked(to);
+  auto it = nodes_.find(from);
+  if (it == nodes_.end()) return;
+  Node node = it->second;
+  if (node.is_dir) {
+    // Relocate every descendant, recording the implicit hop each one
+    // takes when an ancestor is renamed. Keys are collected first: the
+    // per-node erase/insert would invalidate a live range iterator.
+    std::vector<std::string> keys;
+    const std::string prefix = from + "/";
+    for (auto dit = nodes_.lower_bound(prefix);
+         dit != nodes_.end() && common::starts_with(dit->first, prefix); ++dit)
+      keys.push_back(dit->first);
+    for (const std::string& old_key : keys) {
+      Node child = nodes_.find(old_key)->second;
+      const std::string new_key = to + old_key.substr(from.size());
+      append_hop_locked(child, old_key, event);
+      erase_node_locked(old_key);
+      put_node_locked(new_key, std::move(child));
+      if (subtree_moves_counter_ != nullptr) subtree_moves_counter_->inc();
+    }
+    // The directory's activity history moves with it.
+    std::vector<std::pair<std::string, std::uint64_t>> moved_activity;
+    for (auto ait = dir_activity_.lower_bound(prefix);
+         ait != dir_activity_.end() && common::starts_with(ait->first, prefix);) {
+      moved_activity.emplace_back(to + ait->first.substr(from.size()), ait->second);
+      ait = dir_activity_.erase(ait);
+    }
+    if (auto self = dir_activity_.find(from); self != dir_activity_.end()) {
+      moved_activity.emplace_back(to, self->second);
+      dir_activity_.erase(self);
+    }
+    for (auto& [key, count] : moved_activity) dir_activity_[key] += count;
+  }
+  append_hop_locked(node, from, event);
+  node.last_event = event.id;
+  node.last_kind = EventKind::kMovedTo;
+  node.last_time = event.timestamp;
+  ++node.events;
+  erase_node_locked(from);
+  put_node_locked(to, std::move(node));
+}
+
+void NamespaceIndex::remove_tree_locked(const std::string& path) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return;
+  if (it->second.is_dir) {
+    std::vector<std::string> keys;
+    const std::string prefix = path + "/";
+    for (auto dit = nodes_.lower_bound(prefix);
+         dit != nodes_.end() && common::starts_with(dit->first, prefix); ++dit)
+      keys.push_back(dit->first);
+    for (const std::string& key : keys) erase_node_locked(key);
+    // Activity describes the current namespace: a removed directory's
+    // history goes with it (a later re-creation starts fresh).
+    for (auto ait = dir_activity_.lower_bound(prefix);
+         ait != dir_activity_.end() && common::starts_with(ait->first, prefix);)
+      ait = dir_activity_.erase(ait);
+    dir_activity_.erase(path);
+  }
+  erase_node_locked(path);
+}
+
+void NamespaceIndex::ensure_ancestors_locked(const std::string& path) {
+  // Collect missing ancestors bottom-up, materialize top-down so node
+  // ids are assigned outermost-first (deterministic across folds).
+  std::vector<std::string> missing;
+  for (std::string dir = common::parent_path(path); dir != "/";
+       dir = common::parent_path(dir)) {
+    auto it = nodes_.find(dir);
+    if (it != nodes_.end()) {
+      if (!it->second.is_dir) {
+        // A file where a directory must be: the file is stale state.
+        Node promoted = it->second;
+        promoted.is_dir = true;
+        promoted.implicit = true;
+        ++dir_nodes_;  // erase+put below rebalances; adjust via put path
+        log_undo_locked(dir);
+        --dir_nodes_;  // put_node_locked accounts; neutralize manual bump
+        nodes_.erase(dir);
+        path_by_id_.erase(promoted.node_id);
+        put_node_locked(dir, std::move(promoted));
+      }
+      break;
+    }
+    missing.push_back(dir);
+  }
+  for (auto rit = missing.rbegin(); rit != missing.rend(); ++rit) {
+    Node node;
+    node.node_id = next_node_id_++;
+    node.is_dir = true;
+    node.implicit = true;
+    put_node_locked(*rit, std::move(node));
+  }
+}
+
+void NamespaceIndex::bump_activity_locked(const std::string& dir) {
+  ++dir_activity_[dir];
+}
+
+void NamespaceIndex::put_node_locked(const std::string& path, Node node) {
+  log_undo_locked(path);
+  auto it = nodes_.find(path);
+  if (it != nodes_.end()) {
+    if (it->second.is_dir) --dir_nodes_;
+    if (it->second.node_id != node.node_id) path_by_id_.erase(it->second.node_id);
+  }
+  if (node.is_dir) ++dir_nodes_;
+  path_by_id_[node.node_id] = path;
+  nodes_[path] = std::move(node);
+}
+
+void NamespaceIndex::erase_node_locked(const std::string& path) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return;
+  log_undo_locked(path);
+  if (it->second.is_dir) --dir_nodes_;
+  path_by_id_.erase(it->second.node_id);
+  nodes_.erase(it);
+}
+
+void NamespaceIndex::log_undo_locked(const std::string& path) {
+  if (options_.undo_capacity == 0) return;
+  UndoEntry entry;
+  entry.seq = applied_seq_;
+  entry.path = path;
+  if (auto it = nodes_.find(path); it != nodes_.end()) entry.prior = it->second;
+  undo_.push_back(std::move(entry));
+  while (undo_.size() > options_.undo_capacity) {
+    if (undo_.front().seq > as_of_floor_) as_of_floor_ = undo_.front().seq;
+    undo_.pop_front();
+  }
+}
+
+void NamespaceIndex::append_hop_locked(Node& node, const std::string& old_path,
+                                       const StdEvent& event) {
+  if (options_.chain_cap == 0) {
+    node.chain_truncated = true;
+    return;
+  }
+  if (node.chain.size() >= options_.chain_cap) {
+    node.chain.erase(node.chain.begin());
+    node.chain_truncated = true;
+  }
+  node.chain.push_back(RenameHop{applied_seq_, event.id, old_path});
+}
+
+std::string NamespaceIndex::subtree_end_key(const std::string& dir) {
+  return dir + static_cast<char>('/' + 1);
+}
+
+NodeView NamespaceIndex::view_locked(const std::string& path, const Node& node) const {
+  NodeView view;
+  view.path = path;
+  view.node_id = node.node_id;
+  view.is_dir = node.is_dir;
+  view.implicit = node.implicit;
+  view.create_event = node.create_event;
+  view.last_event = node.last_event;
+  view.last_kind = node.last_kind;
+  view.last_time = node.last_time;
+  view.events = node.events;
+  view.chain_truncated = node.chain_truncated;
+  view.chain = node.chain;
+  return view;
+}
+
+std::optional<NodeView> NamespaceIndex::lookup(std::string_view path) const {
+  std::lock_guard lock(mu_);
+  if (queries_counter_ != nullptr) queries_counter_->inc();
+  const std::string normalized = common::normalize_path(path);
+  auto it = nodes_.find(normalized);
+  if (it == nodes_.end()) return std::nullopt;
+  return view_locked(normalized, it->second);
+}
+
+Result<std::optional<NodeView>> NamespaceIndex::lookup_as_of(
+    std::string_view path, std::uint64_t as_of_seq) const {
+  std::lock_guard lock(mu_);
+  if (queries_counter_ != nullptr) queries_counter_->inc();
+  if (as_of_seq < as_of_floor_)
+    return Status(ErrorCode::kOutOfRange,
+                  "as-of step " + std::to_string(as_of_seq) +
+                      " is older than the retained undo window (floor " +
+                      std::to_string(as_of_floor_) + ")");
+  const std::string normalized = common::normalize_path(path);
+  std::optional<Node> node;
+  if (auto it = nodes_.find(normalized); it != nodes_.end()) node = it->second;
+  // Walk the undo log newest-to-oldest, unapplying every change to this
+  // path made after the requested step. The oldest matching entry with
+  // seq > as_of_seq holds the state the path had at that step.
+  for (auto it = undo_.rbegin(); it != undo_.rend() && it->seq > as_of_seq; ++it)
+    if (it->path == normalized) node = it->prior;
+  if (!node) return std::optional<NodeView>{};
+  return std::optional<NodeView>{view_locked(normalized, *node)};
+}
+
+Result<std::vector<DirEntry>> NamespaceIndex::list_dir(std::string_view path) const {
+  std::lock_guard lock(mu_);
+  if (queries_counter_ != nullptr) queries_counter_->inc();
+  const std::string dir = common::normalize_path(path);
+  if (dir != "/") {
+    auto it = nodes_.find(dir);
+    if (it == nodes_.end())
+      return Status(ErrorCode::kNotFound, "no such directory: " + dir);
+    if (!it->second.is_dir)
+      return Status(ErrorCode::kNotADirectory, dir + " is not a directory");
+  }
+  std::vector<DirEntry> entries;
+  const std::string prefix = dir == "/" ? "/" : dir + "/";
+  auto it = nodes_.lower_bound(prefix);
+  while (it != nodes_.end() && common::starts_with(it->first, prefix)) {
+    const std::string_view rest =
+        std::string_view(it->first).substr(prefix.size());
+    if (rest.find('/') != std::string_view::npos) {
+      // Defensive: a descendant without its intermediate node (ancestors
+      // are always materialized, so this indicates none exist to list).
+      ++it;
+      continue;
+    }
+    entries.push_back(DirEntry{std::string(rest), it->second.is_dir,
+                               it->second.node_id});
+    if (it->second.is_dir) {
+      it = nodes_.lower_bound(subtree_end_key(it->first));
+    } else {
+      ++it;
+    }
+  }
+  return entries;
+}
+
+std::vector<DirActivity> NamespaceIndex::activity_topk(std::size_t n) const {
+  std::lock_guard lock(mu_);
+  if (queries_counter_ != nullptr) queries_counter_->inc();
+  std::vector<DirActivity> all;
+  all.reserve(dir_activity_.size());
+  for (const auto& [dir, events] : dir_activity_)
+    all.push_back(DirActivity{dir, events});
+  const std::size_t k = std::min(n, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                    all.end(), [](const DirActivity& a, const DirActivity& b) {
+                      if (a.events != b.events) return a.events > b.events;
+                      return a.path < b.path;
+                    });
+  all.resize(k);
+  return all;
+}
+
+Result<RenameChain> NamespaceIndex::resolve_rename_chain(std::string_view path) const {
+  std::lock_guard lock(mu_);
+  if (queries_counter_ != nullptr) queries_counter_->inc();
+  const std::string normalized = common::normalize_path(path);
+  auto it = nodes_.find(normalized);
+  if (it == nodes_.end())
+    return Status(ErrorCode::kNotFound, "no node at " + normalized);
+  return RenameChain{it->second.node_id, normalized, it->second.chain_truncated,
+                     it->second.chain};
+}
+
+Result<RenameChain> NamespaceIndex::resolve_rename_chain(std::uint64_t node_id) const {
+  std::lock_guard lock(mu_);
+  if (queries_counter_ != nullptr) queries_counter_->inc();
+  auto it = path_by_id_.find(node_id);
+  if (it == path_by_id_.end())
+    return Status(ErrorCode::kNotFound, "no live node " + std::to_string(node_id));
+  const Node& node = nodes_.at(it->second);
+  return RenameChain{node.node_id, it->second, node.chain_truncated, node.chain};
+}
+
+std::uint64_t NamespaceIndex::applied_seq() const {
+  std::lock_guard lock(mu_);
+  return applied_seq_;
+}
+
+scalable::VectorCursor NamespaceIndex::applied_cursor() const {
+  std::lock_guard lock(mu_);
+  return cursor_;
+}
+
+std::uint64_t NamespaceIndex::as_of_floor() const {
+  std::lock_guard lock(mu_);
+  return as_of_floor_;
+}
+
+std::size_t NamespaceIndex::node_count() const {
+  std::lock_guard lock(mu_);
+  return nodes_.size();
+}
+
+std::size_t NamespaceIndex::dir_count() const {
+  std::lock_guard lock(mu_);
+  return dir_nodes_;
+}
+
+void NamespaceIndex::serialize(std::vector<std::byte>& out) const {
+  std::lock_guard lock(mu_);
+  put_u32(out, kStateMagic);
+  put_u32(out, kStateVersion);
+  put_u32(out, static_cast<std::uint32_t>(cursor_.last_ids.size()));
+  for (common::EventId id : cursor_.last_ids) put_u64(out, id);
+  put_u64(out, applied_seq_);
+  put_u64(out, next_node_id_);
+  put_u64(out, nodes_.size());
+  for (const auto& [path, node] : nodes_) {
+    put_string(out, path);
+    put_u64(out, node.node_id);
+    std::uint8_t flags = 0;
+    if (node.is_dir) flags |= 1;
+    if (node.implicit) flags |= 2;
+    if (node.chain_truncated) flags |= 4;
+    put_u8(out, flags);
+    put_u64(out, node.create_event);
+    put_u64(out, node.last_event);
+    put_u8(out, static_cast<std::uint8_t>(node.last_kind));
+    put_u64(out, static_cast<std::uint64_t>(node.last_time.time_since_epoch().count()));
+    put_u64(out, node.events);
+    put_u32(out, static_cast<std::uint32_t>(node.chain.size()));
+    for (const RenameHop& hop : node.chain) {
+      put_u64(out, hop.seq);
+      put_u64(out, hop.event_id);
+      put_string(out, hop.old_path);
+    }
+  }
+  put_u64(out, dir_activity_.size());
+  for (const auto& [dir, events] : dir_activity_) {
+    put_string(out, dir);
+    put_u64(out, events);
+  }
+  put_u64(out, pending_renames_.size());
+  for (const auto& [key, pending] : pending_renames_) {
+    put_string(out, key.first);
+    put_u64(out, key.second);
+    put_string(out, pending.from_path);
+    put_u8(out, pending.is_dir ? 1 : 0);
+    put_u64(out, pending.event_id);
+  }
+}
+
+Status NamespaceIndex::restore(std::span<const std::byte> in) {
+  std::lock_guard lock(mu_);
+  nodes_.clear();
+  path_by_id_.clear();
+  dir_activity_.clear();
+  pending_renames_.clear();
+  undo_.clear();
+  cursor_ = scalable::VectorCursor(1);
+  applied_seq_ = 0;
+  next_node_id_ = 1;
+  dir_nodes_ = 0;
+  as_of_floor_ = 0;
+
+  Reader r{in};
+  const auto fail = [&](std::string_view what) {
+    nodes_.clear();
+    path_by_id_.clear();
+    dir_activity_.clear();
+    pending_renames_.clear();
+    cursor_ = scalable::VectorCursor(1);
+    applied_seq_ = 0;
+    next_node_id_ = 1;
+    dir_nodes_ = 0;
+    update_gauges_locked();
+    return Status(ErrorCode::kCorrupt, "nsindex state: " + std::string(what));
+  };
+  if (r.u32() != kStateMagic) return fail("bad magic");
+  if (r.u32() != kStateVersion) return fail("unsupported version");
+  const std::uint32_t shard_count = r.u32();
+  if (r.failed || shard_count == 0 || shard_count > (1u << 16))
+    return fail("bad shard count");
+  cursor_ = scalable::VectorCursor(shard_count);
+  for (std::uint32_t k = 0; k < shard_count; ++k) cursor_.last_ids[k] = r.u64();
+  applied_seq_ = r.u64();
+  next_node_id_ = r.u64();
+  const std::uint64_t node_count = r.u64();
+  if (r.failed || node_count > (1ull << 32)) return fail("bad node count");
+  for (std::uint64_t i = 0; i < node_count; ++i) {
+    std::string path = r.str();
+    Node node;
+    node.node_id = r.u64();
+    const std::uint8_t flags = r.u8();
+    node.is_dir = (flags & 1) != 0;
+    node.implicit = (flags & 2) != 0;
+    node.chain_truncated = (flags & 4) != 0;
+    node.create_event = r.u64();
+    node.last_event = r.u64();
+    const std::uint8_t kind = r.u8();
+    if (kind >= core::kEventKindCount) return fail("bad node kind");
+    node.last_kind = static_cast<EventKind>(kind);
+    node.last_time =
+        common::TimePoint{common::Duration{static_cast<std::int64_t>(r.u64())}};
+    node.events = r.u64();
+    const std::uint32_t hops = r.u32();
+    if (r.failed || hops > (1u << 20)) return fail("bad chain length");
+    node.chain.reserve(hops);
+    for (std::uint32_t h = 0; h < hops; ++h) {
+      RenameHop hop;
+      hop.seq = r.u64();
+      hop.event_id = r.u64();
+      hop.old_path = r.str();
+      node.chain.push_back(std::move(hop));
+    }
+    if (r.failed) return fail("truncated node");
+    if (node.is_dir) ++dir_nodes_;
+    path_by_id_[node.node_id] = path;
+    nodes_[std::move(path)] = std::move(node);
+  }
+  const std::uint64_t dir_count = r.u64();
+  if (r.failed || dir_count > (1ull << 32)) return fail("bad activity count");
+  for (std::uint64_t i = 0; i < dir_count; ++i) {
+    std::string dir = r.str();
+    const std::uint64_t events = r.u64();
+    if (r.failed) return fail("truncated activity");
+    dir_activity_[std::move(dir)] = events;
+  }
+  const std::uint64_t pending_count = r.u64();
+  if (r.failed || pending_count > (1ull << 24)) return fail("bad pending count");
+  for (std::uint64_t i = 0; i < pending_count; ++i) {
+    std::string source = r.str();
+    const std::uint64_t cookie = r.u64();
+    PendingRename pending;
+    pending.from_path = r.str();
+    pending.is_dir = r.u8() != 0;
+    pending.event_id = r.u64();
+    if (r.failed) return fail("truncated pending rename");
+    pending_renames_[{std::move(source), cookie}] = std::move(pending);
+  }
+  if (r.failed || r.offset != in.size()) return fail("trailing bytes");
+  // A restored image carries no undo history: as-of reads start at the
+  // restored step.
+  as_of_floor_ = applied_seq_;
+  update_gauges_locked();
+  return Status::ok();
+}
+
+std::string NamespaceIndex::debug_dump() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  out << "cursor=";
+  for (std::size_t k = 0; k < cursor_.last_ids.size(); ++k)
+    out << (k == 0 ? "" : ",") << cursor_.last_ids[k];
+  out << " seq=" << applied_seq_ << " next_id=" << next_node_id_ << "\n";
+  for (const auto& [path, node] : nodes_) {
+    out << path << " id=" << node.node_id << (node.is_dir ? " dir" : " file")
+        << (node.implicit ? " implicit" : "") << " create=" << node.create_event
+        << " last=" << node.last_event << " kind=" << to_string(node.last_kind)
+        << " ts=" << node.last_time.time_since_epoch().count()
+        << " events=" << node.events;
+    if (!node.chain.empty()) {
+      out << " chain=[";
+      for (std::size_t i = 0; i < node.chain.size(); ++i)
+        out << (i == 0 ? "" : " ") << node.chain[i].old_path << "@"
+            << node.chain[i].seq;
+      out << (node.chain_truncated ? " truncated]" : "]");
+    }
+    out << "\n";
+  }
+  for (const auto& [dir, events] : dir_activity_)
+    out << "activity " << dir << "=" << events << "\n";
+  for (const auto& [key, pending] : pending_renames_)
+    out << "pending " << key.first << ":" << key.second << " from="
+        << pending.from_path << "\n";
+  return out.str();
+}
+
+void NamespaceIndex::update_gauges_locked() {
+  if (nodes_gauge_ == nullptr) return;
+  nodes_gauge_->set(static_cast<std::int64_t>(nodes_.size()));
+  dirs_gauge_->set(static_cast<std::int64_t>(dir_nodes_));
+  undo_gauge_->set(static_cast<std::int64_t>(undo_.size()));
+}
+
+}  // namespace fsmon::nsindex

@@ -1,0 +1,228 @@
+#include "src/nsindex/snapshot.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/chaos/fault.hpp"
+#include "src/common/crc32.hpp"
+
+namespace fsmon::nsindex {
+
+namespace {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+constexpr std::uint32_t kSnapMagic = 0x50534e46;  // "FNSP"
+constexpr std::uint32_t kSnapVersion = 1;
+constexpr std::string_view kSnapPrefix = "ns-";
+constexpr std::string_view kSnapSuffix = ".snap";
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t read_u32(std::span<const std::byte> in, std::size_t offset) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[offset + i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64(std::span<const std::byte> in, std::size_t offset) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[offset + i]) << (8 * i);
+  return v;
+}
+
+std::string snapshot_name(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ns-%020llu.snap",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+/// Parse the seq out of "ns-<digits>.snap"; nullopt for foreign files.
+std::optional<std::uint64_t> parse_snapshot_name(const std::string& name) {
+  if (name.size() <= kSnapPrefix.size() + kSnapSuffix.size()) return std::nullopt;
+  if (name.rfind(kSnapPrefix, 0) != 0) return std::nullopt;
+  if (name.compare(name.size() - kSnapSuffix.size(), kSnapSuffix.size(),
+                   kSnapSuffix) != 0)
+    return std::nullopt;
+  const char* first = name.data() + kSnapPrefix.size();
+  const char* last = name.data() + name.size() - kSnapSuffix.size();
+  std::uint64_t seq = 0;
+  auto [ptr, ec] = std::from_chars(first, last, seq);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return seq;
+}
+
+/// Frame a state image: header + payload + CRC trailer over all of it.
+std::vector<std::byte> frame_snapshot(const std::vector<std::byte>& payload) {
+  std::vector<std::byte> file;
+  file.reserve(payload.size() + 20);
+  put_u32(file, kSnapMagic);
+  put_u32(file, kSnapVersion);
+  put_u64(file, payload.size());
+  file.insert(file.end(), payload.begin(), payload.end());
+  put_u32(file, common::crc32(std::span<const std::byte>(file)));
+  return file;
+}
+
+/// Validate a snapshot file's framing and return the payload bytes.
+Result<std::span<const std::byte>> unframe_snapshot(
+    std::span<const std::byte> file) {
+  if (file.size() < 20)
+    return Status(ErrorCode::kCorrupt, "snapshot: short file");
+  if (read_u32(file, 0) != kSnapMagic)
+    return Status(ErrorCode::kCorrupt, "snapshot: bad magic");
+  if (read_u32(file, 4) != kSnapVersion)
+    return Status(ErrorCode::kCorrupt, "snapshot: unsupported version");
+  const std::uint64_t payload_len = read_u64(file, 8);
+  if (payload_len != file.size() - 20)
+    return Status(ErrorCode::kCorrupt, "snapshot: truncated payload");
+  const std::uint32_t stored = read_u32(file, file.size() - 4);
+  const std::uint32_t computed = common::crc32(file.first(file.size() - 4));
+  if (stored != computed)
+    return Status(ErrorCode::kCorrupt, "snapshot: CRC mismatch");
+  return file.subspan(16, payload_len);
+}
+
+Result<std::vector<std::byte>> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return Status(ErrorCode::kUnavailable, "snapshot: cannot open " + path.string());
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size < 0)
+    return Status(ErrorCode::kUnavailable, "snapshot: cannot size " + path.string());
+  in.seekg(0, std::ios::beg);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  if (size > 0 && !in.read(reinterpret_cast<char*>(bytes.data()), size))
+    return Status(ErrorCode::kUnavailable, "snapshot: cannot read " + path.string());
+  return bytes;
+}
+
+Status write_file(const std::filesystem::path& path,
+                  std::span<const std::byte> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    return Status(ErrorCode::kUnavailable, "snapshot: cannot create " + path.string());
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out)
+    return Status(ErrorCode::kUnavailable, "snapshot: write failed " + path.string());
+  return Status::ok();
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(SnapshotStoreOptions options)
+    : options_(std::move(options)) {
+  if (options_.keep < 2) options_.keep = 2;
+  if (options_.metrics != nullptr) {
+    auto& m = *options_.metrics;
+    written_counter_ = &m.counter("nsidx.snapshots_written", {},
+                                  "namespace snapshots persisted");
+    bytes_counter_ = &m.counter("nsidx.snapshot_bytes", {},
+                                "bytes written to namespace snapshots", "bytes");
+    rebuilds_counter_ =
+        &m.counter("nsidx.snapshot_rebuilds", {},
+                   "torn/corrupt snapshots discarded during recovery");
+  }
+}
+
+Status SnapshotStore::write(const NamespaceIndex& index) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec)
+    return Status(ErrorCode::kUnavailable,
+                  "snapshot: cannot create dir " + options_.dir.string());
+
+  std::vector<std::byte> payload;
+  index.serialize(payload);
+  const std::vector<std::byte> file = frame_snapshot(payload);
+  const std::uint64_t seq = index.applied_seq();
+  const std::filesystem::path final_path = options_.dir / snapshot_name(seq);
+  const std::filesystem::path tmp_path = final_path.string() + ".tmp";
+
+  if (auto outcome = chaos::fault("nsindex.snapshot_torn")) {
+    // Crash mid-checkpoint: a prefix of the image reached the final name
+    // but the process never confirmed the write. Recovery must detect
+    // the torn file, discard it, and fall back to the previous snapshot.
+    const std::size_t keep_bytes =
+        std::min<std::size_t>(file.size(),
+                              outcome.arg != 0 ? outcome.arg : file.size() / 2);
+    (void)write_file(final_path, std::span<const std::byte>(file).first(keep_bytes));
+    return Status(ErrorCode::kUnavailable, "snapshot: torn write injected");
+  }
+
+  if (Status s = write_file(tmp_path, file); !s.is_ok()) {
+    std::filesystem::remove(tmp_path, ec);
+    return s;
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    return Status(ErrorCode::kUnavailable,
+                  "snapshot: rename failed " + final_path.string());
+  }
+  if (written_counter_ != nullptr) written_counter_->inc();
+  if (bytes_counter_ != nullptr) bytes_counter_->inc(file.size());
+
+  // Retention: newest `keep` survive. Only reached after a successful
+  // write, so the newest valid snapshot is never the one being pruned.
+  auto files = list();
+  while (files.size() > options_.keep) {
+    std::filesystem::remove(files.front(), ec);
+    files.erase(files.begin());
+  }
+  return Status::ok();
+}
+
+Result<std::uint64_t> SnapshotStore::recover(NamespaceIndex& index) {
+  auto files = list();
+  // Newest first: the latest valid snapshot wins.
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    auto bytes = read_file(*it);
+    Status status = bytes.is_ok() ? Status::ok() : bytes.status();
+    if (status.is_ok()) {
+      auto payload = unframe_snapshot(*bytes);
+      status = payload.is_ok() ? index.restore(*payload) : payload.status();
+    }
+    if (status.is_ok()) {
+      const auto seq = parse_snapshot_name(it->filename().string());
+      return seq.value_or(index.applied_seq());
+    }
+    // Torn or corrupt: delete it so the next writer's retention math and
+    // the next recovery never see it again, and count the fallback.
+    std::error_code ec;
+    std::filesystem::remove(*it, ec);
+    if (rebuilds_counter_ != nullptr) rebuilds_counter_->inc();
+  }
+  return std::uint64_t{0};
+}
+
+std::vector<std::filesystem::path> SnapshotStore::list() const {
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(options_.dir, ec);
+  if (ec) return files;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (parse_snapshot_name(entry.path().filename().string()).has_value())
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace fsmon::nsindex

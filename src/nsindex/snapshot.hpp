@@ -1,0 +1,67 @@
+// Snapshot persistence for the namespace index.
+//
+// A snapshot is one self-validating file holding a NamespaceIndex state
+// image (which embeds the applied VectorCursor):
+//
+//   u32 magic "FNSP" | u32 version | u64 payload_len | payload | u32 crc
+//
+// The CRC-32 trailer covers every preceding byte. Files are written
+// temp + flush + rename and named ns-<applied_seq>.snap (zero-padded, so
+// lexicographic order is recency order). Retention keeps the newest
+// `keep` snapshots — at least two, so a snapshot that turns out torn
+// still leaves a valid predecessor to fall back to.
+//
+// Recovery walks snapshots newest-first, restores the first one that
+// validates, and deletes every torn/corrupt file it skips (counted as
+// `nsidx.snapshot_rebuilds`). The fault point `nsindex.snapshot_torn`
+// (docs/FAULTS.md) makes write() persist a truncated final file and
+// report failure — the crash-mid-checkpoint case recovery must survive.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/nsindex/nsindex.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace fsmon::nsindex {
+
+struct SnapshotStoreOptions {
+  std::filesystem::path dir;  ///< Created on demand.
+  /// Newest snapshots retained after each successful write (min 2: the
+  /// newest file may be torn by a crash, the one before it must survive).
+  std::size_t keep = 2;
+  obs::MetricsRegistry* metrics = nullptr;  ///< nsidx.snapshot_* instruments.
+};
+
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(SnapshotStoreOptions options);
+
+  /// Serialize `index` and persist it as ns-<applied_seq>.snap, then
+  /// prune old snapshots. Returns non-OK (and leaves retention alone) on
+  /// any write/flush/rename failure, including an injected torn write —
+  /// the caller must not acknowledge past the previous checkpoint then.
+  common::Status write(const NamespaceIndex& index);
+
+  /// Restore `index` from the newest valid snapshot. Torn or corrupt
+  /// files encountered on the way are deleted and counted
+  /// (nsidx.snapshot_rebuilds). Returns the applied_seq of the loaded
+  /// snapshot, or 0 when no valid snapshot exists (index left empty).
+  common::Result<std::uint64_t> recover(NamespaceIndex& index);
+
+  /// Snapshot files present, oldest first.
+  std::vector<std::filesystem::path> list() const;
+
+  const std::filesystem::path& dir() const { return options_.dir; }
+
+ private:
+  SnapshotStoreOptions options_;
+  obs::Counter* written_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Counter* rebuilds_counter_ = nullptr;
+};
+
+}  // namespace fsmon::nsindex

@@ -36,7 +36,8 @@ Consumer::Consumer(msgq::Bus& bus, ShardedAggregator& aggregator, std::string na
                               ? transport::OverflowPolicy::kDropNewest
                               : transport::OverflowPolicy::kBlock)),
       seen_(aggregator.shard_count()),
-      acked_(aggregator.shard_count()) {
+      acked_(aggregator.shard_count()),
+      ack_floor_(aggregator.shard_count()) {
   if (receiver_ != nullptr) {
     receiver_->subscribe("");  // receive everything; filter locally
     // One inbox fed by every shard: frames from different shards
@@ -167,6 +168,36 @@ void Consumer::deliver_batch(const core::EventBatch& batch, bool dedup_filter,
 }
 
 void Consumer::maybe_ack_locked() {
+  if (options_.manual_acks) {
+    // Durability stays with the application: acknowledge only up to the
+    // published floor, clamped to what was actually seen and never
+    // regressing. Hub credits are still replenished every cadence so
+    // flow control reflects processing, not durability.
+    VectorCursor floor(seen_.size());
+    bool dirty = false;
+    {
+      std::lock_guard lock(ack_floor_mu_);
+      floor = ack_floor_;
+      dirty = ack_floor_dirty_;
+      ack_floor_dirty_ = false;
+    }
+    floor.ensure(seen_.size());
+    for (std::size_t k = 0; k < seen_.size(); ++k) {
+      floor.last_ids[k] = std::min(floor.at(k), seen_.at(k));
+      floor.last_ids[k] = std::max(floor.at(k), acked_.at(k));
+    }
+    if (hub_sub_ != nullptr) {
+      if (hub_processed_since_ack_ >= options_.ack_interval || dirty) {
+        options_.hub->acknowledge(*hub_sub_, floor, hub_processed_since_ack_);
+        hub_processed_since_ack_ = 0;
+        acked_ = floor;
+      }
+    } else if (dirty) {
+      aggregator_.acknowledge(floor);
+      acked_ = floor;
+    }
+    return;
+  }
   if (options_.ack_interval == 0 ||
       seen_.sum() - acked_.sum() < options_.ack_interval)
     return;
@@ -177,6 +208,23 @@ void Consumer::maybe_ack_locked() {
     aggregator_.acknowledge(seen_);
   }
   acked_ = seen_;
+}
+
+void Consumer::acknowledge_processed(const VectorCursor& cursor) {
+  if (!options_.manual_acks) return;
+  {
+    std::lock_guard lock(ack_floor_mu_);
+    ack_floor_.ensure(cursor.size());
+    for (std::size_t k = 0; k < cursor.size(); ++k)
+      ack_floor_.advance(k, cursor.at(k));
+    ack_floor_dirty_ = true;
+  }
+  // Push promptly when the delivery lock is free (e.g. the caller runs
+  // between batches); inside the callback the next delivery pushes it.
+  if (deliver_mu_.try_lock()) {
+    std::lock_guard lock(deliver_mu_, std::adopt_lock);
+    maybe_ack_locked();
+  }
 }
 
 Status Consumer::start() {

@@ -58,6 +58,15 @@ struct ConsumerOptions {
   /// consumer to store replay if it stops draining. Must outlive the
   /// consumer.
   FanOutHub* hub = nullptr;
+  /// Manual acknowledgement: the consumer never advances the store ack
+  /// cursor past what the application has declared durable via
+  /// acknowledge_processed(). A stateful applier (the namespace index)
+  /// needs this — an automatic ack after delivery would let the stores
+  /// purge events the applier has folded but not yet checkpointed, and a
+  /// crash before the checkpoint could then never replay them. Hub
+  /// credits are still replenished at the ack cadence so flow control
+  /// keeps working; only durability stays with the caller.
+  bool manual_acks = false;
 };
 
 class Consumer {
@@ -107,6 +116,13 @@ class Consumer {
   common::Result<std::size_t> replay_historic(VectorCursor cursor, bool rewind);
 
   bool matches(const core::StdEvent& event) const;
+
+  /// Manual-ack mode (ConsumerOptions::manual_acks): publish the cursor
+  /// the application has made durable. The consumer acknowledges up to
+  /// it (clamped to the seen watermark, never regressing) at its normal
+  /// ack cadence, and restart() resumes replay from it. Safe to call
+  /// from inside the delivery callback. No-op when manual_acks is off.
+  void acknowledge_processed(const VectorCursor& cursor);
 
   std::uint64_t delivered() const { return delivered_.load(); }
   std::uint64_t filtered_out() const { return filtered_.load(); }
@@ -177,6 +193,12 @@ class Consumer {
   std::map<std::string, SourceDedupWindow> dedup_;  ///< Guarded by deliver_mu_.
   VectorCursor seen_;   ///< Per-shard last seen ids. Guarded by deliver_mu_.
   VectorCursor acked_;  ///< Per-shard last acked ids. Guarded by deliver_mu_.
+  /// Manual-ack mode: the durable cursor published by the application.
+  /// Own mutex so acknowledge_processed() can be called from inside the
+  /// delivery callback (which already holds deliver_mu_).
+  mutable std::mutex ack_floor_mu_;
+  VectorCursor ack_floor_;
+  bool ack_floor_dirty_ = false;  ///< Guarded by ack_floor_mu_.
   std::jthread worker_;
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> filtered_{0};

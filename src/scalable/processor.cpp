@@ -236,6 +236,14 @@ EventProcessor::Output EventProcessor::process(const ChangelogRecord& record,
       if (auto p = resolve_fid(*record.parent, ctx, out); p.ok)
         old_path = join(*p.path, record.name);
     }
+    // The rename relocated (or re-keyed) the subject, so any cached
+    // mapping for the surviving FID names the OLD location — correct for
+    // the MOVED_FROM half above, stale for the MOVED_TO half. Drop it so
+    // the new path resolves against the post-rename namespace (directory
+    // renames keep their FID and would otherwise stay stale forever).
+    // Concurrent mode skips this: the collector already applied the
+    // invalidation at the record's ordered position.
+    if (mode == ResolveMode::kSerial && cache_ != nullptr) cache_->erase(new_fid);
     std::string new_path;
     if (auto n = resolve_fid(new_fid, ctx, out); n.ok) {
       new_path = *n.path;

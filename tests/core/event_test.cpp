@@ -58,6 +58,49 @@ TEST(StdEventTest, FullPathJoinsRootAndPath) {
   EXPECT_EQ(event.full_path(), "/a/b");
 }
 
+TEST(StdEventTest, RenameHalfAccessorsAndKey) {
+  StdEvent from = sample_event();
+  from.kind = EventKind::kMovedFrom;
+  StdEvent to = sample_event();
+  to.kind = EventKind::kMovedTo;
+  to.path = "/okdir/renamed.txt";
+  EXPECT_TRUE(from.is_rename_from());
+  EXPECT_FALSE(from.is_rename_to());
+  EXPECT_TRUE(to.is_rename_to());
+  EXPECT_TRUE(from.is_rename_half());
+  EXPECT_TRUE(to.is_rename_half());
+  // Both halves of one RENME record share the same (source, cookie) key.
+  EXPECT_EQ(from.rename_key(), to.rename_key());
+  StdEvent other = to;
+  other.cookie = 8;
+  EXPECT_NE(from.rename_key(), other.rename_key());
+  StdEvent create = sample_event();
+  create.kind = EventKind::kCreate;
+  EXPECT_FALSE(create.is_rename_half());
+}
+
+TEST(StdEventTest, HasPathRejectsSentinelAndEmpty) {
+  StdEvent event = sample_event();
+  EXPECT_TRUE(event.has_path());
+  event.path = kParentDirectoryRemoved;
+  EXPECT_FALSE(event.has_path());
+  event.path.clear();
+  EXPECT_FALSE(event.has_path());
+}
+
+TEST(StdEventTest, ParentPathAndBaseName) {
+  StdEvent event = sample_event();
+  event.path = "/a/b/c.txt";
+  EXPECT_EQ(event.parent_path(), "/a/b");
+  EXPECT_EQ(event.base_name(), "c.txt");
+  event.path = "/top";
+  EXPECT_EQ(event.parent_path(), "/");
+  EXPECT_EQ(event.base_name(), "top");
+  event.path = kParentDirectoryRemoved;
+  EXPECT_EQ(event.parent_path(), "/");
+  EXPECT_EQ(event.base_name(), "");
+}
+
 TEST(SerializationTest, RoundTripPreservesAllFields) {
   const StdEvent original = sample_event();
   const auto bytes = serialize_event(original);
@@ -182,6 +225,33 @@ TEST(BatchCodecTest, PeekTimestampMatchesDecodedEvent) {
   EXPECT_EQ(peeked.value(), event.timestamp);
   EXPECT_EQ(peek_event_timestamp(std::span(bytes.data(), 10)).code(),
             common::ErrorCode::kCorrupt);
+}
+
+TEST(BatchCodecTest, PeekKindAndIsDirMatchDecodedEvent) {
+  const StdEvent event = sample_event();  // kMovedTo, is_dir=true
+  const auto bytes = serialize_event(event);
+  auto kind = peek_event_kind(bytes);
+  ASSERT_TRUE(kind.is_ok());
+  EXPECT_EQ(kind.value(), EventKind::kMovedTo);
+  auto is_dir = peek_event_is_dir(bytes);
+  ASSERT_TRUE(is_dir.is_ok());
+  EXPECT_TRUE(is_dir.value());
+
+  StdEvent file = event;
+  file.kind = EventKind::kModify;
+  file.is_dir = false;
+  const auto file_bytes = serialize_event(file);
+  EXPECT_EQ(peek_event_kind(file_bytes).value(), EventKind::kModify);
+  EXPECT_FALSE(peek_event_is_dir(file_bytes).value());
+
+  // Short buffers and corrupt kind bytes are rejected, not misread.
+  EXPECT_EQ(peek_event_kind(std::span(bytes.data(), 8)).code(),
+            common::ErrorCode::kCorrupt);
+  EXPECT_EQ(peek_event_is_dir(std::span(bytes.data(), 9)).code(),
+            common::ErrorCode::kCorrupt);
+  auto corrupt = serialize_event(event);
+  corrupt[8] = std::byte{0xEE};
+  EXPECT_EQ(peek_event_kind(corrupt).code(), common::ErrorCode::kCorrupt);
 }
 
 TEST(BatchCodecTest, CodecCountersAdvance) {

@@ -1,0 +1,421 @@
+// NamespaceIndex applier/query unit tests: ordering contract, create /
+// touch / delete semantics, rename-chain resolution (including subtree
+// moves), as-of reads, and the canonical serialize/restore round trip.
+#include <gtest/gtest.h>
+
+#include "src/nsindex/nsindex.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace fsmon::nsindex {
+namespace {
+
+using core::EventKind;
+using core::StdEvent;
+
+StdEvent make_event(common::EventId id, EventKind kind, std::string path,
+                    bool is_dir = false, std::uint64_t cookie = 0) {
+  StdEvent event;
+  event.id = id;
+  event.kind = kind;
+  event.is_dir = is_dir;
+  event.watch_root = "/mnt/lustre";
+  event.path = std::move(path);
+  event.cookie = cookie != 0 ? cookie : id;
+  event.timestamp = common::TimePoint{common::Duration{static_cast<std::int64_t>(id) * 1000}};
+  event.source = "lustre:MDT0";
+  return event;
+}
+
+/// Apply a dense sequence to shard 0, asserting every event folds.
+void apply_all(NamespaceIndex& index, const std::vector<StdEvent>& events) {
+  for (const StdEvent& event : events)
+    ASSERT_EQ(index.apply(0, event), NamespaceIndex::ApplyResult::kApplied)
+        << "event id " << event.id << " path " << event.path;
+}
+
+TEST(NamespaceIndexTest, CreateLookupAndImplicitAncestors) {
+  NamespaceIndex index;
+  apply_all(index, {make_event(1, EventKind::kCreate, "/a/b/f.txt")});
+
+  auto node = index.lookup("/a/b/f.txt");
+  ASSERT_TRUE(node.has_value());
+  EXPECT_FALSE(node->is_dir);
+  EXPECT_FALSE(node->implicit);
+  EXPECT_EQ(node->create_event, 1u);
+  EXPECT_EQ(node->last_event, 1u);
+  EXPECT_EQ(node->last_kind, EventKind::kCreate);
+  EXPECT_EQ(node->events, 1u);
+
+  // /a and /a/b were materialized as implicit directories.
+  auto a = index.lookup("/a");
+  auto b = index.lookup("/a/b");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(a->is_dir);
+  EXPECT_TRUE(a->implicit);
+  EXPECT_TRUE(b->implicit);
+  EXPECT_EQ(index.node_count(), 3u);
+  EXPECT_EQ(index.dir_count(), 2u);
+
+  // An explicit mkdir later promotes the implicit node.
+  ASSERT_EQ(index.apply(0, make_event(2, EventKind::kCreate, "/a/b", true)),
+            NamespaceIndex::ApplyResult::kApplied);
+  b = index.lookup("/a/b");
+  EXPECT_FALSE(b->implicit);
+  EXPECT_EQ(b->create_event, 2u);
+  EXPECT_EQ(b->node_id, index.lookup("/a/b")->node_id) << "promotion keeps identity";
+}
+
+TEST(NamespaceIndexTest, OrderingContractRefusesDuplicatesAndGaps) {
+  NamespaceIndex index;
+  EXPECT_EQ(index.apply(0, make_event(1, EventKind::kCreate, "/f")),
+            NamespaceIndex::ApplyResult::kApplied);
+  EXPECT_EQ(index.apply(0, make_event(1, EventKind::kCreate, "/f")),
+            NamespaceIndex::ApplyResult::kDuplicate);
+  EXPECT_EQ(index.apply(0, make_event(3, EventKind::kModify, "/f")),
+            NamespaceIndex::ApplyResult::kOutOfOrder);
+  // The refused event left no trace: id 2 then 3 still apply.
+  EXPECT_EQ(index.apply(0, make_event(2, EventKind::kModify, "/f")),
+            NamespaceIndex::ApplyResult::kApplied);
+  EXPECT_EQ(index.apply(0, make_event(3, EventKind::kModify, "/f")),
+            NamespaceIndex::ApplyResult::kApplied);
+  EXPECT_EQ(index.lookup("/f")->events, 3u);
+  // Independent per-shard sequences.
+  EXPECT_EQ(index.apply(1, make_event(1, EventKind::kCreate, "/g")),
+            NamespaceIndex::ApplyResult::kApplied);
+  EXPECT_EQ(index.applied_cursor().at(0), 3u);
+  EXPECT_EQ(index.applied_cursor().at(1), 1u);
+}
+
+TEST(NamespaceIndexTest, ListDirSkipsSubtreesAndRejectsFiles) {
+  NamespaceIndex index;
+  apply_all(index, {
+    make_event(1, EventKind::kCreate, "/d", true),
+    make_event(2, EventKind::kCreate, "/d/a.txt"),
+    make_event(3, EventKind::kCreate, "/d/sub", true),
+    make_event(4, EventKind::kCreate, "/d/sub/deep.txt"),
+    make_event(5, EventKind::kCreate, "/d/z.txt"),
+    make_event(6, EventKind::kCreate, "/top.txt"),
+  });
+
+  auto root = index.list_dir("/");
+  ASSERT_TRUE(root.is_ok());
+  ASSERT_EQ(root.value().size(), 2u);
+  EXPECT_EQ(root.value()[0].name, "d");
+  EXPECT_TRUE(root.value()[0].is_dir);
+  EXPECT_EQ(root.value()[1].name, "top.txt");
+
+  auto d = index.list_dir("/d");
+  ASSERT_TRUE(d.is_ok());
+  ASSERT_EQ(d.value().size(), 3u);
+  EXPECT_EQ(d.value()[0].name, "a.txt");
+  EXPECT_EQ(d.value()[1].name, "sub");
+  EXPECT_EQ(d.value()[2].name, "z.txt");
+
+  EXPECT_EQ(index.list_dir("/missing").status().code(), common::ErrorCode::kNotFound);
+  EXPECT_EQ(index.list_dir("/top.txt").status().code(),
+            common::ErrorCode::kNotADirectory);
+}
+
+TEST(NamespaceIndexTest, DeleteRemovesWholeSubtree) {
+  NamespaceIndex index;
+  apply_all(index, {
+    make_event(1, EventKind::kCreate, "/d", true),
+    make_event(2, EventKind::kCreate, "/d/f"),
+    make_event(3, EventKind::kCreate, "/d/sub/g"),
+    make_event(4, EventKind::kDelete, "/d", true),
+  });
+  EXPECT_FALSE(index.lookup("/d").has_value());
+  EXPECT_FALSE(index.lookup("/d/f").has_value());
+  EXPECT_FALSE(index.lookup("/d/sub/g").has_value());
+  EXPECT_EQ(index.node_count(), 0u);
+  // Key-range discipline: /dz is NOT under /d and must survive a /d wipe.
+  apply_all(index, {
+    make_event(5, EventKind::kCreate, "/e", true),
+    make_event(6, EventKind::kCreate, "/ez.txt"),
+    make_event(7, EventKind::kDelete, "/e", true),
+  });
+  EXPECT_TRUE(index.lookup("/ez.txt").has_value());
+}
+
+TEST(NamespaceIndexTest, RenamePairMovesNodeAndRecordsChain) {
+  NamespaceIndex index;
+  apply_all(index, {
+    make_event(1, EventKind::kCreate, "/old.txt"),
+    make_event(2, EventKind::kMovedFrom, "/old.txt", false, 77),
+    make_event(3, EventKind::kMovedTo, "/new.txt", false, 77),
+  });
+  EXPECT_FALSE(index.lookup("/old.txt").has_value());
+  auto node = index.lookup("/new.txt");
+  ASSERT_TRUE(node.has_value());
+  ASSERT_EQ(node->chain.size(), 1u);
+  EXPECT_EQ(node->chain[0].old_path, "/old.txt");
+  EXPECT_EQ(node->last_kind, EventKind::kMovedTo);
+
+  // Identity survives the rename: chain resolvable by node id.
+  auto chain = index.resolve_rename_chain(node->node_id);
+  ASSERT_TRUE(chain.is_ok());
+  EXPECT_EQ(chain.value().current_path, "/new.txt");
+  ASSERT_EQ(chain.value().hops.size(), 1u);
+  EXPECT_EQ(chain.value().hops[0].old_path, "/old.txt");
+}
+
+TEST(NamespaceIndexTest, DirectoryRenameMovesSubtreeWithHops) {
+  NamespaceIndex index;
+  apply_all(index, {
+    make_event(1, EventKind::kCreate, "/proj", true),
+    make_event(2, EventKind::kCreate, "/proj/src", true),
+    make_event(3, EventKind::kCreate, "/proj/src/main.c"),
+    make_event(4, EventKind::kCreate, "/proj/README"),
+    make_event(5, EventKind::kMovedFrom, "/proj", true, 99),
+    make_event(6, EventKind::kMovedTo, "/archive", true, 99),
+  });
+  EXPECT_FALSE(index.lookup("/proj").has_value());
+  EXPECT_FALSE(index.lookup("/proj/src/main.c").has_value());
+  ASSERT_TRUE(index.lookup("/archive").has_value());
+  ASSERT_TRUE(index.lookup("/archive/src").has_value());
+  auto main_c = index.lookup("/archive/src/main.c");
+  ASSERT_TRUE(main_c.has_value());
+  // The descendant records the hop its ancestor's rename imposed.
+  ASSERT_EQ(main_c->chain.size(), 1u);
+  EXPECT_EQ(main_c->chain[0].old_path, "/proj/src/main.c");
+  // Listing works at the new location.
+  auto listing = index.list_dir("/archive");
+  ASSERT_TRUE(listing.is_ok());
+  ASSERT_EQ(listing.value().size(), 2u);
+  EXPECT_EQ(listing.value()[0].name, "README");
+  EXPECT_EQ(listing.value()[1].name, "src");
+  // A second rename stacks a second hop.
+  apply_all(index, {
+    make_event(7, EventKind::kMovedFrom, "/archive/src/main.c", false, 123),
+    make_event(8, EventKind::kMovedTo, "/archive/src/main_v2.c", false, 123),
+  });
+  auto v2 = index.resolve_rename_chain(std::string_view("/archive/src/main_v2.c"));
+  ASSERT_TRUE(v2.is_ok());
+  ASSERT_EQ(v2.value().hops.size(), 2u);
+  EXPECT_EQ(v2.value().hops[0].old_path, "/proj/src/main.c");
+  EXPECT_EQ(v2.value().hops[1].old_path, "/archive/src/main.c");
+  EXPECT_EQ(v2.value().node_id, main_c->node_id);
+}
+
+TEST(NamespaceIndexTest, OrphanMovedToFoldsAsCreate) {
+  obs::MetricsRegistry registry;
+  NamespaceIndexOptions options;
+  options.metrics = &registry;
+  NamespaceIndex index(options);
+  // MOVED_TO with no stashed MOVED_FROM (source was outside the watch).
+  apply_all(index, {make_event(1, EventKind::kMovedTo, "/imported.txt", false, 5)});
+  auto node = index.lookup("/imported.txt");
+  ASSERT_TRUE(node.has_value());
+  EXPECT_TRUE(node->chain.empty());
+  EXPECT_EQ(registry.counter("nsidx.rename_orphans", {}).value(), 1u);
+}
+
+TEST(NamespaceIndexTest, UnlinkThenRecreateGetsFreshIdentity) {
+  NamespaceIndex index;
+  apply_all(index, {
+    make_event(1, EventKind::kCreate, "/f"),
+    make_event(2, EventKind::kMovedFrom, "/f", false, 42),
+    make_event(3, EventKind::kMovedTo, "/g", false, 42),
+  });
+  const std::uint64_t old_id = index.lookup("/g")->node_id;
+  apply_all(index, {
+    make_event(4, EventKind::kDelete, "/g"),
+    make_event(5, EventKind::kCreate, "/g"),
+  });
+  auto fresh = index.lookup("/g");
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_NE(fresh->node_id, old_id);
+  EXPECT_TRUE(fresh->chain.empty()) << "recreated node must not inherit the chain";
+  EXPECT_EQ(fresh->create_event, 5u);
+  EXPECT_EQ(index.resolve_rename_chain(old_id).status().code(),
+            common::ErrorCode::kNotFound);
+}
+
+TEST(NamespaceIndexTest, ActivityTopkCountsDirectChildren) {
+  NamespaceIndex index;
+  apply_all(index, {
+    make_event(1, EventKind::kCreate, "/hot", true),
+    make_event(2, EventKind::kCreate, "/hot/a"),
+    make_event(3, EventKind::kModify, "/hot/a"),
+    make_event(4, EventKind::kModify, "/hot/a"),
+    make_event(5, EventKind::kCreate, "/cold", true),
+    make_event(6, EventKind::kCreate, "/cold/b"),
+  });
+  auto top = index.activity_topk(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].path, "/hot");
+  EXPECT_EQ(top[0].events, 3u);  // create + 2 modifies of /hot/a
+  EXPECT_EQ(top[1].path, "/");
+  EXPECT_EQ(top[1].events, 2u);  // the two top-level mkdirs
+}
+
+TEST(NamespaceIndexTest, ActivityMovesWithDirectoryRename) {
+  NamespaceIndex index;
+  apply_all(index, {
+    make_event(1, EventKind::kCreate, "/d", true),
+    make_event(2, EventKind::kCreate, "/d/f"),
+    make_event(3, EventKind::kModify, "/d/f"),
+    make_event(4, EventKind::kMovedFrom, "/d", true, 9),
+    make_event(5, EventKind::kMovedTo, "/e", true, 9),
+  });
+  auto top = index.activity_topk(10);
+  for (const auto& entry : top) EXPECT_NE(entry.path, "/d");
+  bool found = false;
+  for (const auto& entry : top)
+    if (entry.path == "/e") {
+      found = true;
+      EXPECT_EQ(entry.events, 2u);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(NamespaceIndexTest, AsOfLookupWalksUndoLog) {
+  NamespaceIndex index;
+  apply_all(index, {
+    make_event(1, EventKind::kCreate, "/f"),        // seq 1
+    make_event(2, EventKind::kModify, "/f"),        // seq 2
+    make_event(3, EventKind::kDelete, "/f"),        // seq 3
+    make_event(4, EventKind::kCreate, "/f"),        // seq 4
+  });
+  // As of seq 1: created, one event.
+  auto at1 = index.lookup_as_of("/f", 1);
+  ASSERT_TRUE(at1.is_ok());
+  ASSERT_TRUE(at1.value().has_value());
+  EXPECT_EQ(at1.value()->events, 1u);
+  EXPECT_EQ(at1.value()->last_kind, EventKind::kCreate);
+  // As of seq 2: modified.
+  auto at2 = index.lookup_as_of("/f", 2);
+  ASSERT_TRUE(at2.is_ok());
+  EXPECT_EQ(at2.value()->events, 2u);
+  EXPECT_EQ(at2.value()->last_kind, EventKind::kModify);
+  // As of seq 3: deleted — no node.
+  auto at3 = index.lookup_as_of("/f", 3);
+  ASSERT_TRUE(at3.is_ok());
+  EXPECT_FALSE(at3.value().has_value());
+  // As of seq 4 (current): the recreated node, with a fresh identity.
+  auto at4 = index.lookup_as_of("/f", 4);
+  ASSERT_TRUE(at4.is_ok());
+  ASSERT_TRUE(at4.value().has_value());
+  EXPECT_NE(at4.value()->node_id, at1.value()->node_id);
+}
+
+TEST(NamespaceIndexTest, AsOfWindowIsBounded) {
+  NamespaceIndexOptions options;
+  options.undo_capacity = 4;
+  NamespaceIndex index(options);
+  std::vector<core::StdEvent> events;
+  for (common::EventId id = 1; id <= 10; ++id)
+    events.push_back(make_event(id, id == 1 ? EventKind::kCreate : EventKind::kModify,
+                                "/f"));
+  apply_all(index, events);
+  EXPECT_GT(index.as_of_floor(), 0u);
+  EXPECT_EQ(index.lookup_as_of("/f", 1).status().code(),
+            common::ErrorCode::kOutOfRange);
+  auto recent = index.lookup_as_of("/f", 9);
+  ASSERT_TRUE(recent.is_ok());
+  EXPECT_EQ(recent.value()->events, 9u);
+}
+
+TEST(NamespaceIndexTest, ChainCapTruncatesOldestHops) {
+  NamespaceIndexOptions options;
+  options.chain_cap = 2;
+  NamespaceIndex index(options);
+  apply_all(index, {make_event(1, EventKind::kCreate, "/n0")});
+  common::EventId id = 2;
+  for (int hop = 0; hop < 4; ++hop) {
+    apply_all(index, {
+      make_event(id, EventKind::kMovedFrom, "/n" + std::to_string(hop), false, 1000 + hop),
+      make_event(id + 1, EventKind::kMovedTo, "/n" + std::to_string(hop + 1), false,
+                 1000 + hop),
+    });
+    id += 2;
+  }
+  auto chain = index.resolve_rename_chain(std::string_view("/n4"));
+  ASSERT_TRUE(chain.is_ok());
+  EXPECT_TRUE(chain.value().truncated);
+  ASSERT_EQ(chain.value().hops.size(), 2u);
+  EXPECT_EQ(chain.value().hops[0].old_path, "/n2");
+  EXPECT_EQ(chain.value().hops[1].old_path, "/n3");
+}
+
+TEST(NamespaceIndexTest, SerializeRestoreRoundTripIsByteExact) {
+  NamespaceIndex index;
+  apply_all(index, {
+    make_event(1, EventKind::kCreate, "/d", true),
+    make_event(2, EventKind::kCreate, "/d/f"),
+    make_event(3, EventKind::kMovedFrom, "/d/f", false, 7),
+    make_event(4, EventKind::kMovedTo, "/d/g", false, 7),
+    make_event(5, EventKind::kModify, "/d/g"),
+    // A dangling MOVED_FROM half: pending state must round-trip too.
+    make_event(6, EventKind::kMovedFrom, "/d/g", false, 8),
+  });
+  std::vector<std::byte> image;
+  index.serialize(image);
+
+  NamespaceIndex restored;
+  ASSERT_TRUE(restored.restore(image).is_ok());
+  EXPECT_EQ(restored.applied_seq(), index.applied_seq());
+  EXPECT_EQ(restored.applied_cursor().at(0), 6u);
+  EXPECT_EQ(restored.debug_dump(), index.debug_dump());
+  std::vector<std::byte> image2;
+  restored.serialize(image2);
+  EXPECT_EQ(image, image2);
+  // The restored index has no undo history: as-of floor is the restored
+  // step, and the pending rename half still resolves.
+  EXPECT_EQ(restored.as_of_floor(), 6u);
+  ASSERT_EQ(restored.apply(0, make_event(7, EventKind::kMovedTo, "/d/h", false, 8)),
+            NamespaceIndex::ApplyResult::kApplied);
+  ASSERT_TRUE(restored.lookup("/d/h").has_value());
+  EXPECT_EQ(restored.lookup("/d/h")->chain.size(), 2u);
+}
+
+TEST(NamespaceIndexTest, RestoreRejectsCorruptImages) {
+  NamespaceIndex index;
+  apply_all(index, {make_event(1, EventKind::kCreate, "/f")});
+  std::vector<std::byte> image;
+  index.serialize(image);
+
+  NamespaceIndex victim;
+  // Truncated image.
+  ASSERT_FALSE(
+      victim.restore(std::span<const std::byte>(image).first(image.size() / 2))
+          .is_ok());
+  EXPECT_EQ(victim.node_count(), 0u);
+  // Flipped magic.
+  std::vector<std::byte> bad = image;
+  bad[0] = static_cast<std::byte>(0xFF);
+  ASSERT_FALSE(victim.restore(bad).is_ok());
+  // Trailing garbage.
+  bad = image;
+  bad.push_back(std::byte{0});
+  ASSERT_FALSE(victim.restore(bad).is_ok());
+  // A valid image still restores after the failures.
+  ASSERT_TRUE(victim.restore(image).is_ok());
+  EXPECT_TRUE(victim.lookup("/f").has_value());
+}
+
+TEST(NamespaceIndexTest, MetricsCountApplierWork) {
+  obs::MetricsRegistry registry;
+  NamespaceIndexOptions options;
+  options.metrics = &registry;
+  NamespaceIndex index(options);
+  apply_all(index, {
+    make_event(1, EventKind::kCreate, "/d", true),
+    make_event(2, EventKind::kCreate, "/d/f"),
+    make_event(3, EventKind::kMovedFrom, "/d", true, 3),
+    make_event(4, EventKind::kMovedTo, "/e", true, 3),
+  });
+  (void)index.apply(0, make_event(4, EventKind::kMovedTo, "/e", true, 3));  // dup
+  EXPECT_EQ(registry.counter("nsidx.applied_events", {}).value(), 4u);
+  EXPECT_EQ(registry.counter("nsidx.duplicate_events", {}).value(), 1u);
+  EXPECT_EQ(registry.counter("nsidx.renames_applied", {}).value(), 1u);
+  EXPECT_EQ(registry.counter("nsidx.subtree_moves", {}).value(), 1u);  // /d/f
+  EXPECT_EQ(registry.gauge("nsidx.nodes", {}).value(), 2);
+  EXPECT_EQ(registry.gauge("nsidx.dir_nodes", {}).value(), 1);
+  (void)index.lookup("/e");
+  EXPECT_EQ(registry.counter("nsidx.queries", {}).value(), 1u);
+}
+
+}  // namespace
+}  // namespace fsmon::nsindex

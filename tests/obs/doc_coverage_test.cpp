@@ -12,6 +12,7 @@
 
 #include "src/lustre/filesystem.hpp"
 #include "src/msgq/tcp.hpp"
+#include "src/nsindex/index_consumer.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/scalable/scalable_monitor.hpp"
 #include "src/scalable/sim_driver.hpp"
@@ -83,6 +84,14 @@ void exercise_all_stages(obs::MetricsRegistry& registry) {
     sharded_monitor.drain_collectors_once();
   }
   std::filesystem::remove_all(sharded_dir);
+
+  // Namespace index (nsidx.*): constructing the consumer registers the
+  // applier, snapshot-store, and recovery instruments.
+  nsindex::IndexConsumerOptions idx_options;
+  idx_options.snapshot_dir = store_dir / "nsidx";
+  idx_options.metrics = &registry;
+  nsindex::IndexConsumer idx_consumer(monitor.bus(), monitor.sharded(),
+                                      "doc-nsidx", std::move(idx_options));
 
   // Simulator-only instruments (sim.*, consumer.delivery_latency_us, ...).
   scalable::SimConfig sim_config;

@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target bench_table8_cache_sweep bench_recovery bench_store bench_shards bench_transport bench_fanout
+cmake --build build -j "$(nproc)" --target bench_table8_cache_sweep bench_recovery bench_store bench_shards bench_transport bench_fanout bench_nsindex
 
 ./build/bench/bench_table8_cache_sweep
 
@@ -80,3 +80,16 @@ if [[ ! -s BENCH_fanout.json ]]; then
   exit 1
 fi
 echo "OK: BENCH_fanout.json written."
+
+# Namespace index: applier fold throughput, query latency at 1x vs 10x
+# event volume over a fixed path population (must stay flat — queries
+# hit materialized state, never the stream), and snapshot + delta
+# restart cost vs delta size. Exits nonzero if any query's latency at
+# 10x events exceeds 3x its 1x latency.
+./build/bench/bench_nsindex
+
+if [[ ! -s BENCH_nsindex.json ]]; then
+  echo "FAIL: bench did not write BENCH_nsindex.json" >&2
+  exit 1
+fi
+echo "OK: BENCH_nsindex.json written."

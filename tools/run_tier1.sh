@@ -12,6 +12,11 @@
 # build-asan and run the transport suites and the `concurrency` label
 # under it.
 #
+# Both sanitizer passes also run the namespace-index suite (ctest label
+# `nsindex`): the applier is queried from application threads while the
+# consumer's delivery thread folds events into it, so it is
+# concurrency-sensitive by construction.
+#
 # --chaos N: sweep the chaos verification suite (ctest label `chaos`)
 # over fault-schedule seeds 1..N by exporting FSMON_CHAOS_SEED per run.
 # Combined with --tsan/--asan the same sweep also runs in the sanitizer
@@ -88,7 +93,7 @@ if $run_tsan; then
   # Both test targets must build: ctest's discovery includes error out on
   # a configured-but-unbuilt gtest executable.
   cmake --build build-tsan -j "$(nproc)" \
-    --target fsmon_tests fsmon_concurrency_tests fsmon_chaos_tests
+    --target fsmon_tests fsmon_concurrency_tests fsmon_chaos_tests fsmon_nsindex_tests
   tsan_filter="PubSubTest.*:BusTest.*:TopicMatchTest.*:FrameTest.*:TcpTest.*"
   tsan_filter+=":TcpSubscriberTest.*:PipelineTest.*:FaultToleranceTest.*"
   tsan_filter+=":ConsumerOverflowTest.*:TcpBridgeTest.*:CollectorCostsTest.*"
@@ -99,6 +104,7 @@ if $run_tsan; then
   tsan_filter+=":SubIndexTest.*:SubIndexPropertyTest.*:FlowControlTest.*"
   ./build-tsan/tests/fsmon_tests --gtest_filter="$tsan_filter"
   (cd build-tsan && ctest -L concurrency --output-on-failure)
+  (cd build-tsan && ctest -L nsindex --output-on-failure)
   if (( chaos_seeds > 0 )); then chaos_sweep build-tsan; fi
   echo "OK: ThreadSanitizer pass over the concurrency suites is clean."
 fi
@@ -107,7 +113,7 @@ if $run_asan; then
   echo "Building AddressSanitizer configuration (build-asan)..."
   cmake -B build-asan -S . -DFSMON_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-asan -j "$(nproc)" \
-    --target fsmon_tests fsmon_concurrency_tests fsmon_chaos_tests
+    --target fsmon_tests fsmon_concurrency_tests fsmon_chaos_tests fsmon_nsindex_tests
   # The transport suites shuttle zero-copy frames across threads and
   # carriers, so run them under ASan as well as the concurrency label.
   asan_filter="FrameRefTest.*:SpscRingTest.*:ShmRingTest.*:*TransportTest.*"
@@ -115,6 +121,7 @@ if $run_asan; then
   asan_filter+=":SubIndexTest.*:SubIndexPropertyTest.*:FlowControlTest.*"
   ./build-asan/tests/fsmon_tests --gtest_filter="$asan_filter"
   (cd build-asan && ctest -L concurrency --output-on-failure)
+  (cd build-asan && ctest -L nsindex --output-on-failure)
   if (( chaos_seeds > 0 )); then chaos_sweep build-asan; fi
   echo "OK: AddressSanitizer pass over the concurrency label is clean."
 fi
