@@ -98,6 +98,9 @@ NamespaceIndex::NamespaceIndex(NamespaceIndexOptions options)
     orphan_renames_counter_ =
         &m.counter("nsidx.rename_orphans", {},
                    "MOVED_TO halves applied without a usable MOVED_FROM");
+    pending_evictions_counter_ =
+        &m.counter("nsidx.pending_rename_evictions", {},
+                   "parked MOVED_FROM halves evicted by the pending-rename cap");
     unresolved_counter_ =
         &m.counter("nsidx.unresolved_events", {},
                    "events skipped because their path was unresolvable");
@@ -105,6 +108,8 @@ NamespaceIndex::NamespaceIndex(NamespaceIndexOptions options)
     nodes_gauge_ = &m.gauge("nsidx.nodes", {}, "nodes in the materialized namespace");
     dirs_gauge_ = &m.gauge("nsidx.dir_nodes", {}, "directory nodes in the namespace");
     undo_gauge_ = &m.gauge("nsidx.undo_entries", {}, "retained as-of undo records");
+    pending_gauge_ = &m.gauge("nsidx.pending_renames", {},
+                              "MOVED_FROM halves parked awaiting their MOVED_TO");
   }
 }
 
@@ -236,7 +241,21 @@ void NamespaceIndex::do_moved_from(const StdEvent& event) {
   } else if (unresolved_counter_ != nullptr) {
     unresolved_counter_->inc();
   }
+  pending.admitted = applied_seq_;
   pending_renames_[{event.source, event.cookie}] = std::move(pending);
+  // Bounded: a half whose partner never arrives must not grow the map
+  // (and every snapshot) forever. Oldest apply step goes first.
+  if (options_.pending_rename_cap > 0) {
+    while (pending_renames_.size() > options_.pending_rename_cap) {
+      auto victim = std::min_element(
+          pending_renames_.begin(), pending_renames_.end(),
+          [](const auto& a, const auto& b) {
+            return a.second.admitted < b.second.admitted;
+          });
+      pending_renames_.erase(victim);
+      if (pending_evictions_counter_ != nullptr) pending_evictions_counter_->inc();
+    }
+  }
 }
 
 void NamespaceIndex::do_moved_to(const StdEvent& event) {
@@ -512,7 +531,17 @@ Result<std::vector<DirEntry>> NamespaceIndex::list_dir(std::string_view path) co
     entries.push_back(DirEntry{std::string(rest), it->second.is_dir,
                                it->second.node_id});
     if (it->second.is_dir) {
-      it = nodes_.lower_bound(subtree_end_key(it->first));
+      // A directory's descendants occupy the contiguous key range
+      // [entry + "/", entry + "0"), but siblings whose names extend the
+      // entry's name with a character below '/' (e.g. "sub.txt" next to
+      // directory "sub") sort between the entry and that range. Step
+      // once, and only jump past the subtree when a descendant is
+      // actually next — a blind jump would skip those siblings.
+      const std::string end_key = subtree_end_key(it->first);
+      const std::string child_prefix = it->first + "/";
+      ++it;
+      if (it != nodes_.end() && common::starts_with(it->first, child_prefix))
+        it = nodes_.lower_bound(end_key);
     } else {
       ++it;
     }
@@ -624,6 +653,7 @@ void NamespaceIndex::serialize(std::vector<std::byte>& out) const {
     put_string(out, pending.from_path);
     put_u8(out, pending.is_dir ? 1 : 0);
     put_u64(out, pending.event_id);
+    put_u64(out, pending.admitted);
   }
 }
 
@@ -712,6 +742,7 @@ Status NamespaceIndex::restore(std::span<const std::byte> in) {
     pending.from_path = r.str();
     pending.is_dir = r.u8() != 0;
     pending.event_id = r.u64();
+    pending.admitted = r.u64();
     if (r.failed) return fail("truncated pending rename");
     pending_renames_[{std::move(source), cookie}] = std::move(pending);
   }
@@ -758,6 +789,7 @@ void NamespaceIndex::update_gauges_locked() {
   nodes_gauge_->set(static_cast<std::int64_t>(nodes_.size()));
   dirs_gauge_->set(static_cast<std::int64_t>(dir_nodes_));
   undo_gauge_->set(static_cast<std::int64_t>(undo_.size()));
+  pending_gauge_->set(static_cast<std::int64_t>(pending_renames_.size()));
 }
 
 }  // namespace fsmon::nsindex

@@ -63,6 +63,13 @@ struct NamespaceIndexOptions {
   /// Rename hops retained per node; older hops are dropped (the chain
   /// reports truncation).
   std::size_t chain_cap = 16;
+  /// MOVED_FROM halves parked awaiting their MOVED_TO. A half whose
+  /// partner never arrives (filtered out, dropped upstream) would
+  /// otherwise sit forever — and be serialized into every snapshot — so
+  /// beyond the cap the oldest half (by apply step) is evicted, counted
+  /// as nsidx.pending_rename_evictions; its MOVED_TO, if it ever shows
+  /// up, folds as an orphan create. 0 = unbounded.
+  std::size_t pending_rename_cap = 1024;
   /// Observability registry; null = uninstrumented (nsidx.* instruments).
   obs::MetricsRegistry* metrics = nullptr;
 };
@@ -204,6 +211,10 @@ class NamespaceIndex {
     std::string from_path;  ///< Empty when the source path was unresolvable.
     bool is_dir = false;
     common::EventId event_id = 0;
+    /// Apply step at insertion — the oldest-first eviction order
+    /// (deterministic given the applied stream, so eviction keeps the
+    /// serialized image canonical).
+    std::uint64_t admitted = 0;
   };
 
   struct UndoEntry {
@@ -261,11 +272,13 @@ class NamespaceIndex {
   obs::Counter* renames_counter_ = nullptr;
   obs::Counter* subtree_moves_counter_ = nullptr;
   obs::Counter* orphan_renames_counter_ = nullptr;
+  obs::Counter* pending_evictions_counter_ = nullptr;
   obs::Counter* unresolved_counter_ = nullptr;
   obs::Counter* queries_counter_ = nullptr;
   obs::Gauge* nodes_gauge_ = nullptr;
   obs::Gauge* dirs_gauge_ = nullptr;
   obs::Gauge* undo_gauge_ = nullptr;
+  obs::Gauge* pending_gauge_ = nullptr;
 };
 
 }  // namespace fsmon::nsindex

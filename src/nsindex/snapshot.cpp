@@ -1,5 +1,8 @@
 #include "src/nsindex/snapshot.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <charconv>
 #include <cstdio>
@@ -110,16 +113,47 @@ Result<std::vector<std::byte>> read_file(const std::filesystem::path& path) {
   return bytes;
 }
 
+/// Write `bytes` to `path`; with `durable` the data is fsynced to the
+/// file before returning (the directory entry still needs its own fsync
+/// after the rename). The torn-write fault path writes non-durably — it
+/// simulates exactly the crash the durable path prevents.
 Status write_file(const std::filesystem::path& path,
-                  std::span<const std::byte> bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out)
+                  std::span<const std::byte> bytes, bool durable) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0)
     return Status(ErrorCode::kUnavailable, "snapshot: cannot create " + path.string());
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out)
-    return Status(ErrorCode::kUnavailable, "snapshot: write failed " + path.string());
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, reinterpret_cast<const char*>(bytes.data()) + written,
+                bytes.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      return Status(ErrorCode::kUnavailable, "snapshot: write failed " + path.string());
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (durable && ::fsync(fd) != 0) {
+    ::close(fd);
+    return Status(ErrorCode::kUnavailable, "snapshot: fsync failed " + path.string());
+  }
+  ::close(fd);
+  return Status::ok();
+}
+
+/// Durability barrier on the directory itself: makes a just-renamed
+/// snapshot's directory entry survive power loss.
+Status fsync_dir(const std::filesystem::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0)
+    return Status(ErrorCode::kUnavailable,
+                  "snapshot: cannot open dir " + dir.string());
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0)
+    return Status(ErrorCode::kUnavailable,
+                  "snapshot: dir fsync failed " + dir.string());
   return Status::ok();
 }
 
@@ -161,11 +195,16 @@ Status SnapshotStore::write(const NamespaceIndex& index) {
     const std::size_t keep_bytes =
         std::min<std::size_t>(file.size(),
                               outcome.arg != 0 ? outcome.arg : file.size() / 2);
-    (void)write_file(final_path, std::span<const std::byte>(file).first(keep_bytes));
+    (void)write_file(final_path, std::span<const std::byte>(file).first(keep_bytes),
+                     /*durable=*/false);
     return Status(ErrorCode::kUnavailable, "snapshot: torn write injected");
   }
 
-  if (Status s = write_file(tmp_path, file); !s.is_ok()) {
+  // temp + fsync + rename + directory fsync: the image is durable before
+  // it becomes visible under the final name, and the rename itself is
+  // durable before write() reports success (the caller acknowledges the
+  // cursor to the stores on that report).
+  if (Status s = write_file(tmp_path, file, /*durable=*/true); !s.is_ok()) {
     std::filesystem::remove(tmp_path, ec);
     return s;
   }
@@ -175,6 +214,7 @@ Status SnapshotStore::write(const NamespaceIndex& index) {
     return Status(ErrorCode::kUnavailable,
                   "snapshot: rename failed " + final_path.string());
   }
+  if (Status s = fsync_dir(options_.dir); !s.is_ok()) return s;
   if (written_counter_ != nullptr) written_counter_->inc();
   if (bytes_counter_ != nullptr) bytes_counter_->inc(file.size());
 

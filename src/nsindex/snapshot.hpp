@@ -6,7 +6,9 @@
 //   u32 magic "FNSP" | u32 version | u64 payload_len | payload | u32 crc
 //
 // The CRC-32 trailer covers every preceding byte. Files are written
-// temp + flush + rename and named ns-<applied_seq>.snap (zero-padded, so
+// temp + fsync + rename (the temp file is fsynced before the rename and
+// the directory after it, so a write() that returned OK survives power
+// loss) and named ns-<applied_seq>.snap (zero-padded, so
 // lexicographic order is recency order). Retention keeps the newest
 // `keep` snapshots — at least two, so a snapshot that turns out torn
 // still leaves a valid predecessor to fall back to.

@@ -98,6 +98,14 @@ void Consumer::deliver_batch(const core::EventBatch& batch, bool dedup_filter,
                              bool already_filtered) {
   if (batch.empty()) return;
   std::lock_guard lock(deliver_mu_);
+  // Record ownership for the duration of the callback so a reentrant
+  // acknowledge_processed() (a checkpoint inside on_batch) can tell it
+  // must not touch deliver_mu_ again on this thread.
+  deliver_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  struct OwnerScope {
+    std::atomic<std::thread::id>& owner;
+    ~OwnerScope() { owner.store(std::thread::id{}, std::memory_order_relaxed); }
+  } owner_scope{deliver_owner_};
   // A live frame carries one shard's events; a merged replay page may
   // mix shards. Either way the owning shard is recomputed from the
   // event source through the shared map — the same rule the router
@@ -219,8 +227,15 @@ void Consumer::acknowledge_processed(const VectorCursor& cursor) {
       ack_floor_.advance(k, cursor.at(k));
     ack_floor_dirty_ = true;
   }
-  // Push promptly when the delivery lock is free (e.g. the caller runs
-  // between batches); inside the callback the next delivery pushes it.
+  // Reentry from inside the delivery callback: this thread already owns
+  // deliver_mu_ (try_lock on an owned std::mutex is UB), and the batch
+  // that invoked the callback runs its own ack check right after the
+  // callback returns, which publishes the floor set above.
+  if (deliver_owner_.load(std::memory_order_relaxed) == std::this_thread::get_id())
+    return;
+  // Foreign thread: push promptly when the delivery lock is free (e.g.
+  // the caller checkpoints between batches); when a delivery is in
+  // flight its ack check picks the floor up instead.
   if (deliver_mu_.try_lock()) {
     std::lock_guard lock(deliver_mu_, std::adopt_lock);
     maybe_ack_locked();

@@ -190,6 +190,11 @@ class Consumer {
   /// output sender connects here, whatever carries the frames.
   std::shared_ptr<transport::Receiver> receiver_;
   mutable std::mutex deliver_mu_;  ///< Serializes live and replay deliveries.
+  /// Thread currently inside deliver_batch (holding deliver_mu_ across
+  /// the application callback), or a default id. Lets
+  /// acknowledge_processed() detect reentry from the callback — a
+  /// try_lock on a std::mutex the calling thread already owns is UB.
+  std::atomic<std::thread::id> deliver_owner_{};
   std::map<std::string, SourceDedupWindow> dedup_;  ///< Guarded by deliver_mu_.
   VectorCursor seen_;   ///< Per-shard last seen ids. Guarded by deliver_mu_.
   VectorCursor acked_;  ///< Per-shard last acked ids. Guarded by deliver_mu_.

@@ -117,6 +117,29 @@ TEST(NamespaceIndexTest, ListDirSkipsSubtreesAndRejectsFiles) {
             common::ErrorCode::kNotADirectory);
 }
 
+TEST(NamespaceIndexTest, ListDirKeepsSiblingsSortingBetweenDirAndItsSubtree) {
+  // "/d/sub.txt" and "/d/sub-x" sort between "/d/sub" and "/d/sub/"
+  // ('.' and '-' are below '/'): a listing that blindly jumps from a
+  // directory entry to the end of its subtree key range skips them.
+  NamespaceIndex index;
+  apply_all(index, {
+    make_event(1, EventKind::kCreate, "/d", true),
+    make_event(2, EventKind::kCreate, "/d/sub", true),
+    make_event(3, EventKind::kCreate, "/d/sub/inner.txt"),
+    make_event(4, EventKind::kCreate, "/d/sub.txt"),
+    make_event(5, EventKind::kCreate, "/d/sub-x"),
+    make_event(6, EventKind::kCreate, "/d/sub0y"),
+  });
+  auto listing = index.list_dir("/d");
+  ASSERT_TRUE(listing.is_ok());
+  ASSERT_EQ(listing.value().size(), 4u);
+  EXPECT_EQ(listing.value()[0].name, "sub");
+  EXPECT_TRUE(listing.value()[0].is_dir);
+  EXPECT_EQ(listing.value()[1].name, "sub-x");
+  EXPECT_EQ(listing.value()[2].name, "sub.txt");
+  EXPECT_EQ(listing.value()[3].name, "sub0y");
+}
+
 TEST(NamespaceIndexTest, DeleteRemovesWholeSubtree) {
   NamespaceIndex index;
   apply_all(index, {
@@ -209,6 +232,40 @@ TEST(NamespaceIndexTest, OrphanMovedToFoldsAsCreate) {
   ASSERT_TRUE(node.has_value());
   EXPECT_TRUE(node->chain.empty());
   EXPECT_EQ(registry.counter("nsidx.rename_orphans", {}).value(), 1u);
+}
+
+TEST(NamespaceIndexTest, PendingRenameCapEvictsOldestHalf) {
+  obs::MetricsRegistry registry;
+  NamespaceIndexOptions options;
+  options.pending_rename_cap = 2;
+  options.metrics = &registry;
+  NamespaceIndex index(options);
+  apply_all(index, {
+    make_event(1, EventKind::kCreate, "/a"),
+    make_event(2, EventKind::kCreate, "/b"),
+    make_event(3, EventKind::kCreate, "/c"),
+    // Three dangling MOVED_FROM halves against a cap of two: the oldest
+    // (cookie 100) is evicted when the third one parks.
+    make_event(4, EventKind::kMovedFrom, "/a", false, 100),
+    make_event(5, EventKind::kMovedFrom, "/b", false, 101),
+    make_event(6, EventKind::kMovedFrom, "/c", false, 102),
+  });
+  EXPECT_EQ(registry.counter("nsidx.pending_rename_evictions", {}).value(), 1u);
+  EXPECT_EQ(registry.gauge("nsidx.pending_renames", {}).value(), 2);
+  // The evicted half's MOVED_TO folds as an orphan create; the source
+  // node stays (its removal would have been the pairing's job).
+  apply_all(index, {make_event(7, EventKind::kMovedTo, "/a2", false, 100)});
+  EXPECT_EQ(registry.counter("nsidx.rename_orphans", {}).value(), 1u);
+  ASSERT_TRUE(index.lookup("/a2").has_value());
+  EXPECT_TRUE(index.lookup("/a2")->chain.empty());
+  // A surviving half still pairs normally.
+  apply_all(index, {make_event(8, EventKind::kMovedTo, "/b2", false, 101)});
+  ASSERT_TRUE(index.lookup("/b2").has_value());
+  ASSERT_EQ(index.lookup("/b2")->chain.size(), 1u);
+  EXPECT_EQ(index.lookup("/b2")->chain[0].old_path, "/b");
+  EXPECT_FALSE(index.lookup("/b").has_value());
+  // Cookie 102's half is still parked; 101's was consumed by the pair.
+  EXPECT_EQ(registry.gauge("nsidx.pending_renames", {}).value(), 1);
 }
 
 TEST(NamespaceIndexTest, UnlinkThenRecreateGetsFreshIdentity) {
