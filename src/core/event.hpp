@@ -43,6 +43,14 @@ std::optional<EventKind> parse_event_kind(std::string_view text);
 /// parent directory are gone before resolution.
 inline constexpr std::string_view kParentDirectoryRemoved = "ParentDirectoryRemoved";
 
+/// Path sentinel for a capture-gap marker: the backend's kernel queue
+/// overflowed and events were lost at the source (inotify IN_Q_OVERFLOW
+/// and kin). The marker's cookie carries the backend's overflow ordinal;
+/// consumers needing completeness must rescan the subtree under
+/// watch_root. Like kParentDirectoryRemoved, the marker names no real
+/// location, so has_path() is false and index layers skip it.
+inline constexpr std::string_view kEventQueueOverflow = "EventQueueOverflow";
+
 struct StdEvent {
   common::EventId id = common::kNoEventId;  ///< Assigned by the interface layer.
   EventKind kind = EventKind::kCreate;
@@ -71,11 +79,13 @@ struct StdEvent {
     return {source, cookie};
   }
 
-  /// True when `path` names a real location: nonempty and not the
-  /// Algorithm 1 "ParentDirectoryRemoved" sentinel. Events that failed
-  /// resolution carry the sentinel and cannot be attributed to a node.
+  /// True when `path` names a real location: nonempty and not one of
+  /// the sentinels (Algorithm 1's "ParentDirectoryRemoved", the
+  /// "EventQueueOverflow" gap marker). Sentinel-carrying events cannot
+  /// be attributed to a node.
   bool has_path() const {
-    return !path.empty() && path != kParentDirectoryRemoved;
+    return !path.empty() && path != kParentDirectoryRemoved &&
+           path != kEventQueueOverflow;
   }
 
   /// Parent directory of `path` ("/a/b" -> "/a", "/a" -> "/"); "/" for

@@ -1,0 +1,195 @@
+#include "src/federation/federated_monitor.hpp"
+
+namespace fsmon::federation {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+FederatedMonitor::FederatedMonitor(FederatedMonitorOptions options)
+    : options_(options) {}
+
+FederatedMonitor::~FederatedMonitor() { stop(); }
+
+Result<std::uint32_t> FederatedMonitor::mount(std::string name, std::string prefix,
+                                              std::unique_ptr<core::DsiBase> dsi) {
+  if (dsi == nullptr) return Status(ErrorCode::kInvalid, "mount: null DSI");
+  std::lock_guard lock(mu_);
+  auto id = table_.add(name, prefix);
+  if (!id) return id.status();
+  auto mount = std::make_unique<Mount>();
+  mount->id = id.value();
+  mount->name = table_.find(id.value())->name;
+  mount->prefix = table_.find(id.value())->prefix;
+  mount->dsi = std::move(dsi);
+  mount->active = true;
+  if (options_.metrics != nullptr) {
+    const obs::Labels labels{{"mount", mount->name}};
+    mount->events = &options_.metrics->counter(
+        "mount.events", labels,
+        "Events federated into the aggregate namespace from this mount", "events");
+    mount->stale = &options_.metrics->counter(
+        "mount.stale_events", labels,
+        "Events dropped because they arrived after the mount was withdrawn "
+        "(unmount while a replay was in flight)",
+        "events");
+    mount->active_gauge = &options_.metrics->gauge(
+        "mount.active", labels, "1 while the mount is in the namespace, 0 after unmount");
+    mount->active_gauge->set(1);
+  }
+  if (running_) {
+    if (auto s = start_mount_locked(*mount); !s.is_ok()) {
+      table_.remove(mount->id);
+      return s;
+    }
+  }
+  mounts_.push_back(std::move(mount));
+  return id;
+}
+
+Status FederatedMonitor::unmount(std::uint32_t id) {
+  core::DsiBase* dsi = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    Mount* found = nullptr;
+    for (auto& mount : mounts_) {
+      if (mount->id == id && mount->active) {
+        found = mount.get();
+        break;
+      }
+    }
+    if (found == nullptr) return Status(ErrorCode::kNotFound, "unmount: unknown mount");
+    // Withdraw from the namespace FIRST: anything the DSI still emits
+    // between here and stop() completing is stale by definition.
+    found->active = false;
+    if (found->active_gauge != nullptr) found->active_gauge->set(0);
+    table_.remove(id);
+    if (found->started) {
+      found->started = false;
+      dsi = found->dsi.get();
+    }
+  }
+  // Stop outside the lock: stop() joins capture threads that may be
+  // blocked in on_event waiting for mu_.
+  if (dsi != nullptr) dsi->stop();
+  return Status::ok();
+}
+
+Status FederatedMonitor::start_mount_locked(Mount& mount) {
+  if (mount.started) return Status::ok();
+  const std::uint32_t id = mount.id;
+  auto status = mount.dsi->start(
+      [this, id](core::StdEvent event) { on_event(id, std::move(event)); });
+  if (status.is_ok()) mount.started = true;
+  return status;
+}
+
+Status FederatedMonitor::start() {
+  std::lock_guard lock(mu_);
+  for (auto& mount : mounts_) {
+    if (!mount->active) continue;
+    if (auto s = start_mount_locked(*mount); !s.is_ok()) return s;
+  }
+  running_ = true;
+  return Status::ok();
+}
+
+void FederatedMonitor::stop() {
+  std::vector<core::DsiBase*> to_stop;
+  {
+    std::lock_guard lock(mu_);
+    if (!running_ && mounts_.empty()) return;
+    running_ = false;
+    for (auto& mount : mounts_) {
+      if (mount->started) {
+        mount->started = false;
+        to_stop.push_back(mount->dsi.get());
+      }
+    }
+  }
+  for (auto* dsi : to_stop) dsi->stop();
+}
+
+std::uint64_t FederatedMonitor::subscribe(EventCallback callback) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t token = next_token_++;
+  subscribers_.emplace_back(token, std::move(callback));
+  return token;
+}
+
+void FederatedMonitor::unsubscribe(std::uint64_t token) {
+  std::lock_guard lock(mu_);
+  std::erase_if(subscribers_, [&](const auto& entry) { return entry.first == token; });
+}
+
+MountTable FederatedMonitor::mounts() const {
+  std::lock_guard lock(mu_);
+  return table_;
+}
+
+std::optional<MountTable::Resolution> FederatedMonitor::resolve(
+    std::string_view path) const {
+  std::lock_guard lock(mu_);
+  return table_.resolve(path);
+}
+
+core::DsiBase* FederatedMonitor::dsi(std::uint32_t id) {
+  std::lock_guard lock(mu_);
+  for (auto& mount : mounts_) {
+    if (mount->id == id) return mount->dsi.get();
+  }
+  return nullptr;
+}
+
+std::size_t FederatedMonitor::mount_count() const {
+  std::lock_guard lock(mu_);
+  return table_.size();
+}
+
+void FederatedMonitor::on_event(std::uint32_t mount_id, core::StdEvent event) {
+  // delivery_mu_ makes (dense id assignment, delivery) atomic across
+  // mounts: the federated id order IS the order subscribers observe.
+  std::lock_guard delivery(delivery_mu_);
+  std::vector<EventCallback> callbacks;
+  {
+    std::lock_guard lock(mu_);
+    Mount* mount = nullptr;
+    for (auto& candidate : mounts_) {
+      if (candidate->id == mount_id) {
+        mount = candidate.get();
+        break;
+      }
+    }
+    if (mount == nullptr || !mount->active) {
+      // Unmount-while-replaying: the DSI's worker was still flushing
+      // when the mount was withdrawn. Count, never deliver.
+      stale_.fetch_add(1, std::memory_order_relaxed);
+      if (mount != nullptr && mount->stale != nullptr) mount->stale->inc();
+      return;
+    }
+    // Translate into the federated namespace. The backend-local FULL
+    // path (watch_root + path) moves under the mount prefix; the prefix
+    // becomes the watch root, so full_path() is the federated path and
+    // `path` stays mount-local. Sentinel paths (ParentDirectoryRemoved,
+    // overflow markers) are not locations and pass through untouched.
+    if (event.has_path()) {
+      std::string local = event.full_path();
+      if (local.empty() || local.front() != '/') local.insert(local.begin(), '/');
+      event.watch_root = mount->prefix == "/" ? "" : mount->prefix;
+      event.path = std::move(local);
+    } else {
+      event.watch_root = mount->prefix == "/" ? "" : mount->prefix;
+    }
+    event.cookie = table_.federate_cookie(mount_id, event.cookie);
+    event.source = mount->name + ":" + event.source;
+    if (mount->events != nullptr) mount->events->inc();
+    callbacks.reserve(subscribers_.size());
+    for (const auto& [token, callback] : subscribers_) callbacks.push_back(callback);
+  }
+  event.id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  events_.fetch_add(1, std::memory_order_relaxed);
+  // Deliver without mu_ so callbacks may subscribe/unsubscribe/mount.
+  for (const auto& callback : callbacks) callback(event);
+}
+
+}  // namespace fsmon::federation

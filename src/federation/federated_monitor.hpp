@@ -1,0 +1,125 @@
+// FederatedMonitor: heterogeneous DSIs under one aggregated namespace.
+//
+// "FSMonitor provides ... a modular architecture via which arbitrary
+// monitoring interfaces can be integrated" (Section III-A1). The
+// federation tier takes that one step further: several DSIs — the
+// scalable Lustre monitor, the Spectrum Scale FAL consumer, the local
+// platform dialects, real inotify — run side by side, each mounted
+// under a federated prefix, and every event they emit is translated
+// into ONE namespace before delivery:
+//
+//   path    -> mount prefix + backend-local full path (watch_root
+//              becomes the mount prefix, so full_path() is federated)
+//   source  -> "mountname:" + backend source
+//   cookie  -> mount-domain-tagged (MountTable::federate_cookie), so
+//              rename cookies / changelog indexes from different
+//              backends can never collide
+//   id      -> one dense federated sequence 1,2,3,... across all
+//              mounts, assigned at delivery
+//
+// Unmount is tombstoned, not erased: a DSI whose worker is still
+// replaying when the mount is withdrawn keeps a live callback for a
+// moment, and those in-flight events must be counted (mount.stale_
+// events), not delivered into the namespace and not crash the monitor.
+//
+// Per-mount instruments (docs/OBSERVABILITY.md): mount.events,
+// mount.stale_events, mount.active.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/dsi.hpp"
+#include "src/federation/mount_table.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace fsmon::federation {
+
+struct FederatedMonitorOptions {
+  /// Observability registry; null = uninstrumented.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class FederatedMonitor {
+ public:
+  using EventCallback = std::function<void(const core::StdEvent&)>;
+
+  explicit FederatedMonitor(FederatedMonitorOptions options = {});
+  ~FederatedMonitor();
+
+  FederatedMonitor(const FederatedMonitor&) = delete;
+  FederatedMonitor& operator=(const FederatedMonitor&) = delete;
+
+  /// Mount `dsi` under `prefix`. The monitor owns the DSI. When the
+  /// monitor is running the DSI is started immediately; otherwise it
+  /// starts with start(). Returns the mount id.
+  common::Result<std::uint32_t> mount(std::string name, std::string prefix,
+                                      std::unique_ptr<core::DsiBase> dsi);
+
+  /// Withdraw a mount from the namespace, then stop its DSI. The order
+  /// matters: events the DSI delivers between withdrawal and the stop
+  /// completing (a replay in flight) are counted as stale and dropped
+  /// rather than delivered under a prefix that no longer exists.
+  common::Status unmount(std::uint32_t id);
+
+  common::Status start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Register a federated-stream subscriber; returns a token for
+  /// unsubscribe(). Callbacks run on the emitting DSI's thread,
+  /// serialized across mounts (the dense id order IS delivery order).
+  std::uint64_t subscribe(EventCallback callback);
+  void unsubscribe(std::uint64_t token);
+
+  /// Namespace map (snapshot semantics: copy taken under the lock).
+  MountTable mounts() const;
+  std::optional<MountTable::Resolution> resolve(std::string_view path) const;
+
+  /// The mounted DSI, or null after unmount / for unknown ids. The
+  /// pointer stays valid until the monitor is destroyed (tombstones
+  /// keep ownership).
+  core::DsiBase* dsi(std::uint32_t id);
+
+  std::uint64_t events_federated() const { return events_.load(); }
+  std::uint64_t stale_events() const { return stale_.load(); }
+  /// Last federated event id assigned (== events_federated()).
+  std::uint64_t last_event_id() const { return next_id_.load(); }
+  std::size_t mount_count() const;
+
+ private:
+  struct Mount {
+    std::uint32_t id = 0;
+    std::string name;
+    std::string prefix;
+    std::unique_ptr<core::DsiBase> dsi;
+    bool active = false;   ///< In the table; events are delivered.
+    bool started = false;  ///< DSI capture running.
+    obs::Counter* events = nullptr;
+    obs::Counter* stale = nullptr;
+    obs::Gauge* active_gauge = nullptr;
+  };
+
+  common::Status start_mount_locked(Mount& mount);
+  void on_event(std::uint32_t mount_id, core::StdEvent event);
+
+  FederatedMonitorOptions options_;
+  mutable std::mutex mu_;         ///< Mount/subscriber bookkeeping.
+  std::mutex delivery_mu_;        ///< Serializes translate + deliver.
+  MountTable table_;
+  std::vector<std::unique_ptr<Mount>> mounts_;  // active and tombstoned
+  std::vector<std::pair<std::uint64_t, EventCallback>> subscribers_;
+  std::uint64_t next_token_ = 1;
+  bool running_ = false;
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> stale_{0};
+};
+
+}  // namespace fsmon::federation

@@ -1,0 +1,144 @@
+#include "src/federation/mount_table.hpp"
+
+namespace fsmon::federation {
+
+using common::ErrorCode;
+using common::Result;
+
+std::optional<std::string> MountTable::normalize_prefix(std::string_view prefix) {
+  if (prefix.empty() || prefix.front() != '/') return std::nullopt;
+  std::string out;
+  out.reserve(prefix.size());
+  std::size_t i = 0;
+  while (i < prefix.size()) {
+    while (i < prefix.size() && prefix[i] == '/') ++i;
+    if (i >= prefix.size()) break;
+    const std::size_t start = i;
+    while (i < prefix.size() && prefix[i] != '/') ++i;
+    const std::string_view component = prefix.substr(start, i - start);
+    if (component == ".") continue;
+    if (component == "..") return std::nullopt;  // no escaping the namespace
+    out += '/';
+    out += component;
+  }
+  if (out.empty()) out = "/";
+  return out;
+}
+
+Result<std::uint32_t> MountTable::add(std::string name, std::string prefix) {
+  if (name.empty() || name.find(':') != std::string::npos ||
+      name.find('/') != std::string::npos) {
+    return common::Status(ErrorCode::kInvalid,
+                          "mount name must be nonempty without ':' or '/': \"" +
+                              name + "\"");
+  }
+  auto normalized = normalize_prefix(prefix);
+  if (!normalized) {
+    return common::Status(ErrorCode::kInvalid,
+                          "mount prefix must be an absolute path: \"" + prefix + "\"");
+  }
+  for (const auto& entry : entries_) {
+    if (entry.name == name)
+      return common::Status(ErrorCode::kAlreadyExists, "mount name in use: " + name);
+    if (entry.prefix == *normalized)
+      return common::Status(ErrorCode::kAlreadyExists,
+                            "mount prefix in use: " + *normalized);
+  }
+  if (next_id_ > kMaxMountId) {
+    return common::Status(ErrorCode::kUnavailable, "mount id space exhausted");
+  }
+  const std::uint32_t id = next_id_++;
+  entries_.push_back(MountEntry{id, std::move(name), std::move(*normalized)});
+  return id;
+}
+
+bool MountTable::remove(std::uint32_t id) {
+  const std::size_t before = entries_.size();
+  std::erase_if(entries_, [&](const MountEntry& e) { return e.id == id; });
+  return entries_.size() != before;
+}
+
+const MountEntry* MountTable::find(std::uint32_t id) const {
+  for (const auto& entry : entries_) {
+    if (entry.id == id) return &entry;
+  }
+  return nullptr;
+}
+
+const MountEntry* MountTable::find_name(std::string_view name) const {
+  for (const auto& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::optional<MountTable::Resolution> MountTable::resolve(
+    std::string_view global_path) const {
+  const MountEntry* best = nullptr;
+  for (const auto& entry : entries_) {
+    const std::string& prefix = entry.prefix;
+    // Component-boundary match: the path IS the prefix, or continues
+    // with '/'. "/mnt/ab" must not fall under "/mnt/a".
+    bool matches = false;
+    if (prefix == "/") {
+      matches = !global_path.empty() && global_path.front() == '/';
+    } else if (global_path.size() == prefix.size()) {
+      matches = global_path == prefix;
+    } else if (global_path.size() > prefix.size()) {
+      matches = global_path.substr(0, prefix.size()) == prefix &&
+                global_path[prefix.size()] == '/';
+    }
+    if (matches && (best == nullptr || prefix.size() > best->prefix.size()))
+      best = &entry;
+  }
+  if (best == nullptr) return std::nullopt;
+  Resolution resolution;
+  resolution.mount_id = best->id;
+  if (best->prefix == "/") {
+    resolution.local_path = std::string(global_path);
+  } else if (global_path.size() == best->prefix.size()) {
+    resolution.local_path = "/";
+  } else {
+    resolution.local_path = std::string(global_path.substr(best->prefix.size()));
+  }
+  return resolution;
+}
+
+std::string MountTable::federate_path(std::uint32_t id,
+                                      std::string_view local_path) const {
+  const MountEntry* entry = find(id);
+  if (entry == nullptr) return std::string(local_path);
+  std::string local(local_path);
+  if (local.empty()) local = "/";
+  if (local.front() != '/') local.insert(local.begin(), '/');
+  if (entry->prefix == "/") return local;
+  if (local == "/") return entry->prefix;  // the mount root collapses
+  return entry->prefix + local;
+}
+
+std::uint64_t MountTable::federate_cookie(std::uint32_t id,
+                                          std::uint64_t cookie) const {
+  if (cookie == 0) return 0;
+  const std::uint64_t domain = static_cast<std::uint64_t>(id) + 1;
+  // Fold any bits above the 48-bit local field back in so two distinct
+  // local cookies in one mount stay distinct with high probability and
+  // two mounts can never collide (their domain tags differ regardless).
+  const std::uint64_t local =
+      (cookie & kLocalCookieMask) ^ (cookie >> kDomainShift);
+  return (domain << kDomainShift) | (local == 0 ? 1 : local);
+}
+
+std::optional<std::uint32_t> MountTable::cookie_domain(std::uint64_t federated) {
+  const std::uint64_t domain = federated >> kDomainShift;
+  if (domain == 0) return std::nullopt;
+  return static_cast<std::uint32_t>(domain - 1);
+}
+
+std::string MountTable::federate_source(std::uint32_t id,
+                                        std::string_view source) const {
+  const MountEntry* entry = find(id);
+  if (entry == nullptr) return std::string(source);
+  return entry->name + ":" + std::string(source);
+}
+
+}  // namespace fsmon::federation

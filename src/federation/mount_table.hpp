@@ -1,0 +1,113 @@
+// Mount table: the namespace map of the federation tier.
+//
+// The paper pitches FSMonitor as "scalable file system monitoring for
+// arbitrary storage systems": one monitoring namespace over whatever
+// mix of backends a site runs — a Lustre scratch system, a Spectrum
+// Scale project store, local scratch disks watched through inotify.
+// The mount table is the piece that makes the mix one namespace: each
+// backend is mounted under a federated prefix ("/mnt/lustre0"), and
+// the table owns the two translations every federated event and query
+// crosses:
+//
+//   - Paths. Backend-local paths are prefixed with the mount point on
+//     the way up; federated paths resolve back to (mount, local path)
+//     on the way down. Resolution is longest-prefix at COMPONENT
+//     boundaries: "/mnt/a" owns "/mnt/a" and "/mnt/a/x" but never
+//     "/mnt/ab/x" (the same class of bug as matching "sub" against
+//     "sub.txt" in the subscription index).
+//
+//   - Cookies. Rename cookies and changelog record indexes are only
+//     unique within one backend; two mounts can both emit cookie 7.
+//     federate_cookie() tags the mount's domain into the top 16 bits
+//     so ids from different backends cannot collide, and cookie 0
+//     (the "no cookie" sentinel every dialect uses) stays 0.
+//
+// Sources are prefixed the same way ("lustre0:lustre:MDT2") so the
+// per-source dedup and ack machinery upstream keeps working per mount.
+//
+// The table itself is a plain value type; FederatedMonitor serializes
+// access to it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.hpp"
+
+namespace fsmon::federation {
+
+struct MountEntry {
+  std::uint32_t id = 0;
+  std::string name;    ///< Unique label, no ':' or '/' (prefixes sources).
+  std::string prefix;  ///< Normalized federated mount point, e.g. "/mnt/a".
+};
+
+class MountTable {
+ public:
+  /// Top 16 bits of a federated cookie carry (mount id + 1); the low 48
+  /// bits carry the backend-local cookie. +1 keeps domain 0 free so an
+  /// untagged cookie is distinguishable from mount 0's.
+  static constexpr int kDomainShift = 48;
+  static constexpr std::uint64_t kLocalCookieMask = (std::uint64_t{1} << kDomainShift) - 1;
+  /// Largest mountable id: (id + 1) must fit the 16-bit domain field.
+  static constexpr std::uint32_t kMaxMountId = 0xFFFE;
+
+  /// Register a mount. Rejects empty/illegal names ("name" becomes a
+  /// source prefix, so ':' and '/' are forbidden), duplicate names,
+  /// unnormalizable prefixes, and a prefix already mounted. Nested
+  /// prefixes ("/mnt" and "/mnt/a") are allowed; resolve() picks the
+  /// longest. Returns the new mount id.
+  common::Result<std::uint32_t> add(std::string name, std::string prefix);
+
+  /// Unregister; false when the id is unknown. Ids are never reused.
+  bool remove(std::uint32_t id);
+
+  const MountEntry* find(std::uint32_t id) const;
+  const MountEntry* find_name(std::string_view name) const;
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<MountEntry>& entries() const { return entries_; }
+
+  struct Resolution {
+    std::uint32_t mount_id = 0;
+    std::string local_path;  ///< Always absolute; "/" for the mount root.
+  };
+
+  /// Map a federated path to the owning mount: longest matching prefix,
+  /// matched only at component boundaries. nullopt when no mount owns
+  /// the path.
+  std::optional<Resolution> resolve(std::string_view global_path) const;
+
+  /// Mount-local absolute path -> federated path (prefix + local, with
+  /// the mount root itself collapsing to the bare prefix).
+  std::string federate_path(std::uint32_t id, std::string_view local_path) const;
+
+  /// Tag the mount's cookie domain into a backend-local cookie; 0 stays
+  /// 0 (no-cookie sentinel). Local cookies wider than 48 bits are
+  /// folded into the local field (XOR of the overflowing high bits) so
+  /// distinct mounts still never collide.
+  std::uint64_t federate_cookie(std::uint32_t id, std::uint64_t cookie) const;
+
+  /// Mount id encoded in a federated cookie; nullopt for 0 / untagged.
+  static std::optional<std::uint32_t> cookie_domain(std::uint64_t federated);
+  /// Backend-local 48-bit cookie field of a federated cookie.
+  static std::uint64_t local_cookie(std::uint64_t federated) {
+    return federated & kLocalCookieMask;
+  }
+
+  /// "name:source" — keeps per-source streams from different mounts
+  /// distinct through every (source, cookie)-keyed layer above.
+  std::string federate_source(std::uint32_t id, std::string_view source) const;
+
+  /// Canonical prefix form: absolute, no trailing slash (except "/"
+  /// itself), no empty or "." components. nullopt when not absolute.
+  static std::optional<std::string> normalize_prefix(std::string_view prefix);
+
+ private:
+  std::vector<MountEntry> entries_;  // sorted by insertion; ids dense from 0
+  std::uint32_t next_id_ = 0;
+};
+
+}  // namespace fsmon::federation

@@ -75,6 +75,13 @@ Status InotifyDsi::add_watch_recursive(const std::string& dir) {
 Status InotifyDsi::start(EventCallback callback) {
   if (running_.load()) return Status::ok();
   callback_ = std::move(callback);
+  if (options_.metrics != nullptr && overflow_counter_ == nullptr) {
+    overflow_counter_ = &options_.metrics->counter(
+        "inotify.queue_overflows", {},
+        "Kernel inotify queue overflows (IN_Q_OVERFLOW); each one emitted a "
+        "synthetic EventQueueOverflow gap marker into the stream",
+        "overflows");
+  }
   fd_ = inotify_init1(IN_NONBLOCK | IN_CLOEXEC);
   if (fd_ < 0)
     return Status(ErrorCode::kUnavailable,
@@ -129,9 +136,23 @@ void InotifyDsi::reader_loop(std::stop_token stop) {
       const auto* raw = reinterpret_cast<const inotify_event*>(buffer + offset);
       offset += static_cast<ssize_t>(sizeof(inotify_event)) + raw->len;
       if (raw->mask & IN_Q_OVERFLOW) {
-        // The kernel dropped events; record it so callers can rescan.
-        overflows_.fetch_add(1);
+        // The kernel dropped events. Counting alone hides the gap from
+        // anyone downstream, so emit an in-stream marker: sentinel path
+        // (has_path() false, skipped by index layers), cookie = overflow
+        // ordinal. Consumers needing completeness rescan watch_root.
+        const std::uint64_t ordinal = overflows_.fetch_add(1) + 1;
+        if (overflow_counter_ != nullptr) overflow_counter_->inc();
         FSMON_WARN("inotify", "kernel event queue overflow; events were lost");
+        if (callback_) {
+          StdEvent marker;
+          marker.kind = EventKind::kModify;
+          marker.watch_root = options_.root;
+          marker.path = std::string(core::kEventQueueOverflow);
+          marker.cookie = ordinal;
+          marker.timestamp = now_tp();
+          marker.source = "inotify";
+          callback_(std::move(marker));
+        }
         continue;
       }
       std::string dir;

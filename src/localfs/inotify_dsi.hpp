@@ -15,12 +15,16 @@
 #include <thread>
 
 #include "src/core/dsi.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace fsmon::localfs {
 
 struct InotifyDsiOptions {
   std::string root;      ///< Real directory to monitor.
   bool recursive = true; ///< Watch the whole subtree.
+  /// When set, registers `inotify.queue_overflows` (kernel queue
+  /// overflow markers emitted). Must outlive the DSI.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class InotifyDsi final : public core::DsiBase {
@@ -38,8 +42,11 @@ class InotifyDsi final : public core::DsiBase {
 
   /// Kernel queue overflows observed (IN_Q_OVERFLOW). The paper:
   /// "inotify ... may suffer a queue overflow error if events are
-  /// generated faster than they are read" (Section II-A). On overflow
-  /// events were lost; consumers needing completeness must rescan.
+  /// generated faster than they are read" (Section II-A). Each overflow
+  /// also emits a synthetic marker event (path sentinel
+  /// core::kEventQueueOverflow, cookie = overflow ordinal) so consumers
+  /// see the gap in-stream instead of silently missing events, and
+  /// bumps `inotify.queue_overflows` when metrics are wired.
   std::uint64_t overflow_count() const { return overflows_.load(); }
 
   /// True when the host kernel supports inotify (compile-time Linux and
@@ -61,6 +68,7 @@ class InotifyDsi final : public core::DsiBase {
   std::jthread reader_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> overflows_{0};
+  obs::Counter* overflow_counter_ = nullptr;
 };
 
 }  // namespace fsmon::localfs

@@ -46,6 +46,12 @@ Aggregator::Aggregator(msgq::Bus& bus, std::string name, AggregatorOptions optio
         "recovery.gapped_frames", options_.labels,
         "Frames refused because they opened a hole above the durable watermark",
         "frames");
+    publish_retried_counter_ = &options_.metrics->counter(
+        "aggregator.publish_retries", options_.labels,
+        "Fan-out sends retried after a refusal with a live audience", "sends");
+    publish_abandoned_counter_ = &options_.metrics->counter(
+        "aggregator.publish_abandoned", options_.labels,
+        "Fan-out frames dropped after exhausting refusal retries", "frames");
   }
   if (options_.metrics != nullptr) {
     auto& registry = *options_.metrics;
@@ -271,6 +277,10 @@ bool Aggregator::process_frame(transport::Frame& message) {
     FSMON_WARN("aggregator", "refusing gapped frame from ", source, ": watermark ",
                watermark, ", frame starts at record ", frame_min_seq);
     if (gapped_counter_ != nullptr) gapped_counter_->inc();
+    // The sender's transport-level send already succeeded, so the refusal
+    // is invisible upstream; nack so the owning collector rewinds and
+    // re-publishes the missing run instead of wedging on the gap.
+    if (nack_callback_) nack_callback_(source, watermark);
     return false;
   }
   const std::size_t dropped = view.value().events.size() - kept.size();
@@ -349,7 +359,27 @@ bool Aggregator::process_frame(transport::Frame& message) {
   // Fan-out and persist share the same frame bytes: send() bumps the
   // refcount per subscriber, the persister keeps one more ref. No copy
   // is made on either path.
-  output_->send(options_.output_topic, message.payload);
+  //
+  // A refusal here (accepted == 0 with a live audience) is the same
+  // suffix-loss hazard the collector tier guards against: the frame is
+  // about to be persisted and acked upstream, so nothing would ever
+  // replay it to consumers. Retry while the audience is alive — the
+  // refusal is a transient (reconnect window, injected drop) — and only
+  // give up after a bounded back-off so a permanently dead consumer
+  // cannot wedge the publish thread. receivers == 0 stays droppable:
+  // nobody is listening, the store has the bytes.
+  auto sent = output_->send(options_.output_topic, message.payload);
+  for (int attempt = 0; sent.accepted == 0 && sent.receivers > 0 && attempt < 50;
+       ++attempt) {
+    if (publish_retried_counter_ != nullptr) publish_retried_counter_->inc();
+    clock_.sleep_for(std::chrono::milliseconds(1));
+    sent = output_->send(options_.output_topic, message.payload);
+  }
+  if (sent.accepted == 0 && sent.receivers > 0) {
+    FSMON_WARN("aggregator", "fan-out still refused after retries; dropping frame ",
+               "for topic ", options_.output_topic);
+    if (publish_abandoned_counter_ != nullptr) publish_abandoned_counter_->inc();
+  }
   if (store_ != nullptr) {
     persist_queue_.push(PersistBatch{first_id, std::move(source), frame_max_seq,
                                      std::move(message.payload)});

@@ -105,6 +105,17 @@ class Aggregator {
   /// when storeless / on duplicate drops).
   using AckCallback = std::function<void(std::string_view source,
                                          std::uint64_t record_index)>;
+  /// Negative acknowledgement: a frame from `source` started above
+  /// `watermark + 1` and was refused (a gap means frames were lost in
+  /// flight — dropped by a faulted or reconnecting transport). The
+  /// refusal alone is invisible to the sender, whose transport-level
+  /// send already succeeded; without a back-channel the gap wedges the
+  /// pipeline forever (every later frame is also above the hole). The
+  /// monitor routes nacks to the owning collector, which rewinds to the
+  /// cleared index and re-publishes the unacked suffix. Invoked from
+  /// the pump thread.
+  using NackCallback = std::function<void(std::string_view source,
+                                          std::uint64_t watermark)>;
 
   Aggregator(msgq::Bus& bus, std::string name, AggregatorOptions options,
              common::Clock& clock);
@@ -115,6 +126,8 @@ class Aggregator {
 
   /// Must be set before start() / drain_once(); not thread-safe.
   void set_ack_callback(AckCallback callback) { ack_callback_ = std::move(callback); }
+  /// Must be set before start() / drain_once(); not thread-safe.
+  void set_nack_callback(NackCallback callback) { nack_callback_ = std::move(callback); }
 
   common::Status start();
   void stop();
@@ -227,6 +240,7 @@ class Aggregator {
   std::atomic<bool> running_{false};
   std::atomic<bool> crashed_{false};
   AckCallback ack_callback_;
+  NackCallback nack_callback_;
   /// Per-source highest accepted changelog record index. Replayed events
   /// at or below their source's watermark are duplicates of already-
   /// accepted (persisted) events and are trimmed before id assignment.
@@ -234,6 +248,8 @@ class Aggregator {
   std::map<std::string, std::uint64_t, std::less<>> accepted_seq_;
   obs::Counter* deduped_counter_ = nullptr;
   obs::Counter* gapped_counter_ = nullptr;
+  obs::Counter* publish_retried_counter_ = nullptr;
+  obs::Counter* publish_abandoned_counter_ = nullptr;
   obs::Counter* aggregated_counter_ = nullptr;
   obs::Counter* persisted_counter_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;

@@ -1,8 +1,28 @@
 #include "src/scalable/scalable_monitor.hpp"
 
+#include <optional>
+
 namespace fsmon::scalable {
 
 using common::Status;
+
+namespace {
+
+/// Collector index from an event source "lustre:MDT<i>"; nullopt for
+/// foreign sources (other mounts ride their own ack channels).
+std::optional<std::uint32_t> mdt_of_source(std::string_view source) {
+  constexpr std::string_view kPrefix = "lustre:MDT";
+  if (source.size() <= kPrefix.size() || source.substr(0, kPrefix.size()) != kPrefix)
+    return std::nullopt;
+  std::uint32_t mdt = 0;
+  for (char c : source.substr(kPrefix.size())) {
+    if (c < '0' || c > '9') return std::nullopt;
+    mdt = mdt * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return mdt;
+}
+
+}  // namespace
 
 ScalableMonitor::ScalableMonitor(lustre::LustreFs& fs, ScalableMonitorOptions options,
                                  common::Clock& clock)
@@ -30,15 +50,16 @@ ScalableMonitor::ScalableMonitor(lustre::LustreFs& fs, ScalableMonitorOptions op
   // ("lustre:MDT<i>") to the owning collector, which clears its
   // changelog up to the acked record index.
   sharded_->set_ack_callback([this](std::string_view source, std::uint64_t index) {
-    constexpr std::string_view kPrefix = "lustre:MDT";
-    if (source.size() <= kPrefix.size() || source.substr(0, kPrefix.size()) != kPrefix)
-      return;
-    std::uint32_t mdt = 0;
-    for (char c : source.substr(kPrefix.size())) {
-      if (c < '0' || c > '9') return;
-      mdt = mdt * 10 + static_cast<std::uint32_t>(c - '0');
-    }
-    if (mdt < collectors_.size()) collectors_[mdt]->on_persist_ack(index);
+    const auto mdt = mdt_of_source(source);
+    if (mdt && *mdt < collectors_.size()) collectors_[*mdt]->on_persist_ack(index);
+  });
+  // A gap-refused frame means the collector advanced past frames the
+  // shard never received (lost across a crash/reconnect window): rewind
+  // it to the cleared index so the unacked suffix is re-published —
+  // without this back-channel the gap would wedge the source forever.
+  sharded_->set_nack_callback([this](std::string_view source, std::uint64_t) {
+    const auto mdt = mdt_of_source(source);
+    if (mdt && *mdt < collectors_.size()) collectors_[*mdt]->rewind_to_cleared();
   });
   if (options_.fanout_hub) {
     FlowControlOptions flow = options_.flow;

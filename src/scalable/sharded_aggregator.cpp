@@ -69,6 +69,10 @@ void ShardedAggregator::set_ack_callback(Aggregator::AckCallback callback) {
   for (auto& shard : shards_) shard->set_ack_callback(callback);
 }
 
+void ShardedAggregator::set_nack_callback(Aggregator::NackCallback callback) {
+  for (auto& shard : shards_) shard->set_nack_callback(callback);
+}
+
 Result<std::vector<core::StdEvent>> ShardedAggregator::events_since(
     VectorCursor& cursor, std::size_t max_events) const {
   const std::size_t n = shards_.size();

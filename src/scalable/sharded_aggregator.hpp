@@ -69,6 +69,8 @@ class ShardedAggregator {
 
   /// Applied to every shard (not thread-safe; set before start()).
   void set_ack_callback(Aggregator::AckCallback callback);
+  /// Applied to every shard (not thread-safe; set before start()).
+  void set_nack_callback(Aggregator::NackCallback callback);
 
   /// Merged historic replay: up to `max_events` across all shards,
   /// k-way merged by (timestamp, shard) with each shard's own order

@@ -1,0 +1,77 @@
+// Declarative scenarios: topology x workload x fault plan x subscribers.
+//
+// A scenario file is a common::Config text (key = value lines) naming a
+// federated topology (which backends, mounted where), a workload from
+// src/workloads/ to drive against every mount, a chaos fault plan, and
+// a subscriber population — the whole matrix the paper's evaluation
+// sweeps by hand, executable as data. run_scenario() builds the
+// federation, runs the workload under the babysitter, settles the
+// pipeline, and verifies the federated stream:
+//
+//   - exactly-once per Lustre mount: every changelog record index of
+//     every MDT appears exactly once per event kind (zero lost, zero
+//     duplicated), across crashes, restarts, and dropped frames;
+//   - zero federation loss per local/FAL mount: events the DSI emitted
+//     equal events delivered (minus counted stale drops);
+//   - dense federated ids: the merged stream's ids are 1..N unique.
+//
+// docs/SCENARIOS.md documents the file format; scenarios/*.scenario are
+// the shipped matrix; tools/run_scenarios.sh sweeps them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/common/status.hpp"
+
+namespace fsmon::scenarios {
+
+struct ScenarioSpec {
+  std::string name;
+  common::Config config;
+
+  /// Parse scenario text (Config lines; `name` key required).
+  static common::Result<ScenarioSpec> parse(std::string_view text);
+  /// Load and parse a scenario file.
+  static common::Result<ScenarioSpec> load_file(const std::string& path);
+};
+
+/// Per-mount verification report.
+struct MountReport {
+  std::string name;
+  std::string backend;
+  std::uint64_t emitted = 0;     ///< Events the mount's DSI produced.
+  std::uint64_t received = 0;    ///< Federated events delivered for it.
+  std::uint64_t lost = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t stale = 0;       ///< Dropped after unmount (expected 0 here).
+  bool skipped = false;          ///< Optional backend unavailable.
+
+  std::string to_line(const std::string& scenario) const;
+};
+
+struct ScenarioResult {
+  std::string name;
+  bool passed = false;
+  std::vector<std::string> failures;  ///< Empty when passed.
+  std::uint64_t events = 0;           ///< Federated events delivered.
+  double events_per_sec = 0;
+  double wall_seconds = 0;
+  double virtual_hours = 0;  ///< Soak scenarios: virtual time covered.
+  std::uint64_t workload_ops = 0;
+  std::uint64_t restarts = 0;           ///< Babysitter stage restarts.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t subscriber_churns = 0;  ///< Federated + hub subscribe/unsubscribe cycles.
+  std::vector<MountReport> mounts;
+
+  /// One machine-readable line: "RESULT scenario=<name> status=... ".
+  std::string to_line() const;
+};
+
+/// Execute one scenario end to end. Never throws; failures are reported
+/// in the result.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+}  // namespace fsmon::scenarios

@@ -161,6 +161,7 @@ void TcpSender::connect(const std::shared_ptr<Receiver>& receiver) {
   }
   const std::size_t before = publisher_.subscription_count();
   const std::size_t expected = tcp->dial(options_.host, publisher_.port());
+  had_receiver_.store(true, std::memory_order_relaxed);
   // Block until the subscriber's sub control frames are registered so a
   // send() issued right after connect() cannot race past the filters.
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
@@ -176,6 +177,15 @@ void TcpSender::disconnect(const std::shared_ptr<Receiver>& receiver) {
   tcp->undial(publisher_.port());
 }
 
+std::size_t TcpSender::receiver_count() const {
+  const std::size_t live = publisher_.connection_count();
+  if (live > 0) {
+    had_receiver_.store(true, std::memory_order_relaxed);
+    return live;
+  }
+  return had_receiver_.load(std::memory_order_relaxed) ? 1 : 0;
+}
+
 SendResult TcpSender::send(std::string_view topic, FrameRef frame) {
   SendResult result;
   if (detail::send_faulted()) {
@@ -189,6 +199,23 @@ SendResult TcpSender::send(std::string_view topic, FrameRef frame) {
   sent_.fetch_add(1, std::memory_order_relaxed);
   result.accepted = publisher_.publish(message);
   result.receivers = publisher_.connection_count();
+  if (result.receivers > 0) {
+    had_receiver_.store(true, std::memory_order_relaxed);
+  } else if (had_receiver_.load(std::memory_order_relaxed)) {
+    // A receiver connected once and every connection is now gone. The
+    // in-proc and shm carriers keep the receiver's inbox object across a
+    // stage crash, so a send into a closed inbox still reports an
+    // audience and is refused; over TCP the crashed stage's socket
+    // simply vanishes and the send would read as "nobody ever listened
+    // — fine to drop". That silent drop is the reconnect suffix-loss
+    // race: a collector replaying an unacked suffix into the window
+    // between a shard's teardown and its re-dial advances past frames
+    // no one received, and the records are unrecoverable once the
+    // changelog clears. Report the vanished audience as one refusing
+    // receiver so the sender's tier rewinds and retries until the
+    // replacement connection lands.
+    result.receivers = 1;
+  }
   metrics_.on_send(result.accepted, result.accepted * bytes);
   return result;
 }

@@ -93,7 +93,9 @@ class TcpSender : public Sender {
   SendResult send(std::string_view topic, FrameRef frame) override;
   void connect(const std::shared_ptr<Receiver>& receiver) override;
   void disconnect(const std::shared_ptr<Receiver>& receiver) override;
-  std::size_t receiver_count() const override { return publisher_.connection_count(); }
+  /// Live connections, or 1 when every previously-connected receiver has
+  /// vanished (see send() — a vanished receiver refuses, never drops).
+  std::size_t receiver_count() const override;
   std::uint64_t sent() const override { return sent_.load(); }
   const std::string& name() const override { return name_; }
 
@@ -107,6 +109,12 @@ class TcpSender : public Sender {
   const TcpTransportOptions options_;
   msgq::TcpPublisher publisher_;
   std::atomic<std::uint64_t> sent_{0};
+  /// Set once a receiver connection has ever been observed. Over sockets
+  /// a crashed receiver and a never-connected one look identical (the
+  /// connection table is simply empty), but the refusal protocol above
+  /// this layer depends on the difference; mutable because the sticky
+  /// observation also happens in const receiver_count().
+  mutable std::atomic<bool> had_receiver_{false};
   TransportMetrics metrics_;
 };
 

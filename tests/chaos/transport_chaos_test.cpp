@@ -329,6 +329,74 @@ TEST_P(TransportChaosTest, RefusedSendsRewindCollectorsExactlyOnce) {
   monitor.stop();
 }
 
+TEST_P(TransportChaosTest, CrashWindowReplayRecoversWithoutBabysitterRewind) {
+  // Deterministic regression for the reconnect suffix-loss race that
+  // made FourShardCrashSweepIsExactlyOnce/tcp flake (~1 in 3 runs): a
+  // collector that publishes into the window between a shard's teardown
+  // and its re-dial used to see receivers == 0 over TCP ("nobody ever
+  // listened") and advance past frames no one received. Once the shard
+  // came back, every later frame sat above the hole and was gap-refused
+  // forever — the suffix was lost from the store AND the consumer, and
+  // the pipeline wedged. This test forces that exact interleaving:
+  // crash a shard, wait until its collector has read and published the
+  // fresh records into the closed window, then restart the shard
+  // *without* the monitor-level babysitter rewind. Recovery must come
+  // from the transport tier itself (vanished-receiver sends surface as
+  // refusals -> collector rewinds) backed by the aggregator's
+  // gap-refusal nack. Pre-fix this fails deterministically on TCP.
+  LustreFsOptions fs_options;
+  fs_options.mdt_count = 4;
+  LustreFs fs(fs_options, clock_);
+  auto transport = make_transport();
+  ScalableMonitor monitor(fs, options(transport.get()), clock_);
+  std::mutex mu;
+  KeyCounts delivered;
+  auto consumer = monitor.make_consumer("c", ConsumerOptions{}, [&](const StdEvent& e) {
+    std::lock_guard lock(mu);
+    ++delivered[key_of(e)];
+  });
+  ASSERT_TRUE(monitor.start().is_ok());
+  ASSERT_TRUE(consumer->start().is_ok());
+
+  // Warm-up traffic, fully acked and cleared: the victim shard's
+  // watermark is established, so any suffix lost in the crash window
+  // opens a detectable gap right above it.
+  ChaosWorkload workload(fs, 17);
+  for (int i = 0; i < 30; ++i) workload.step();
+  settle(monitor, fs);
+
+  const std::size_t victim = 1;
+  const std::uint64_t before = fs.mds(victim).mdt().changelog().last_index();
+  const std::uint64_t processed_before = monitor.collector(victim).records_processed();
+  monitor.crash_aggregator_shard(victim);
+
+  // Generate records for the dead shard and wait until its collector
+  // has read past all of them — every publish of that run lands in the
+  // closed window.
+  for (int i = 0; i < 60; ++i) workload.step();
+  const std::uint64_t added =
+      fs.mds(victim).mdt().changelog().last_index() - before;
+  ASSERT_GT(added, 0u) << "workload never touched the victim MDT";
+  wait_until([&] {
+    return monitor.collector(victim).records_processed() >= processed_before + added;
+  });
+  // The counter advances during processing; give the trailing publish
+  // calls a beat to complete inside the closed window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Restart the shard directly — deliberately NOT through
+  // restart_aggregator_shard, which would rewind the collector and mask
+  // the bug. The unacked suffix must come back on its own.
+  ASSERT_TRUE(monitor.sharded().shard(victim).restart().is_ok());
+  // A little post-restart traffic exercises the gap-refusal nack path
+  // too: frames above the hole are refused until the rewind heals it.
+  for (int i = 0; i < 10; ++i) workload.step();
+
+  VERIFY_PIPELINE(monitor, fs, delivered, mu);
+  consumer->stop();
+  monitor.stop();
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllKinds, TransportChaosTest,
     ::testing::Values(transport::TransportKind::kInProc,

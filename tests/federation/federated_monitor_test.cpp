@@ -1,0 +1,223 @@
+// FederatedMonitor: heterogeneous DSIs mounted under one namespace —
+// path translation under each mount prefix, cookie domain separation
+// across mounts, dense merged ids, per-mount metrics, and the
+// unmount-while-replaying stale path.
+#include "src/federation/federated_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.hpp"
+#include "src/localfs/memfs.hpp"
+#include "src/localfs/sim_dsi.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace fsmon::federation {
+namespace {
+
+using core::EventKind;
+using core::StdEvent;
+
+/// Scripted DSI: emits whatever the test tells it to, including during
+/// stop() — the "replay still in flight" shape of a real backend whose
+/// capture thread drains a backlog while being torn down.
+class ScriptedDsi final : public core::DsiBase {
+ public:
+  std::string name() const override { return "scripted"; }
+  common::Status start(EventCallback callback) override {
+    callback_ = std::move(callback);
+    running_ = true;
+    return common::Status::ok();
+  }
+  void stop() override {
+    // Late replay: one more event escapes while the DSI winds down.
+    if (emit_on_stop_) emit("/late.txt", EventKind::kCreate);
+    running_ = false;
+  }
+  bool running() const override { return running_; }
+
+  void emit(const std::string& path, EventKind kind, std::uint64_t cookie = 0) {
+    if (!callback_) return;
+    StdEvent event;
+    event.kind = kind;
+    event.path = path;
+    event.cookie = cookie;
+    event.source = "scripted";
+    callback_(event);
+  }
+  void set_emit_on_stop(bool on) { emit_on_stop_ = on; }
+
+ private:
+  EventCallback callback_;
+  bool running_ = false;
+  bool emit_on_stop_ = false;
+};
+
+class FederatedMonitorTest : public ::testing::Test {
+ protected:
+  std::vector<StdEvent> events() {
+    std::lock_guard lock(mu_);
+    return events_;
+  }
+
+  void subscribe_capture(FederatedMonitor& fed) {
+    fed.subscribe([this](const StdEvent& event) {
+      std::lock_guard lock(mu_);
+      events_.push_back(event);
+    });
+  }
+
+  common::ManualClock clock_;
+  std::mutex mu_;
+  std::vector<StdEvent> events_;
+};
+
+TEST_F(FederatedMonitorTest, TranslatesPathsUnderMountPrefixes) {
+  localfs::MemFs fs_a;
+  localfs::MemFs fs_b;
+  FederatedMonitor fed;
+  subscribe_capture(fed);
+  ASSERT_TRUE(fed.mount("a", "/mnt/a", std::make_unique<localfs::SimInotifyDsi>(fs_a, clock_)));
+  ASSERT_TRUE(fed.mount("b", "/mnt/b", std::make_unique<localfs::SimKqueueDsi>(fs_b, clock_)));
+  ASSERT_TRUE(fed.start().is_ok());
+
+  ASSERT_TRUE(fs_a.create("/x.txt").is_ok());
+  ASSERT_TRUE(fs_b.create("/y.txt").is_ok());
+  fed.stop();
+
+  const auto seen = events();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].full_path(), "/mnt/a/x.txt");
+  EXPECT_EQ(seen[0].watch_root, "/mnt/a");
+  EXPECT_EQ(seen[0].source, "a:sim-inotify");
+  EXPECT_EQ(seen[1].full_path(), "/mnt/b/y.txt");
+  EXPECT_EQ(seen[1].source, "b:sim-kqueue");
+  // Merged ids are dense and unique across mounts.
+  EXPECT_EQ(seen[0].id, 1u);
+  EXPECT_EQ(seen[1].id, 2u);
+}
+
+TEST_F(FederatedMonitorTest, RenameCookiesStayPairedWithinAMountButNeverAcross) {
+  localfs::MemFs fs_a;
+  localfs::MemFs fs_b;
+  FederatedMonitor fed;
+  subscribe_capture(fed);
+  auto a = fed.mount("a", "/mnt/a", std::make_unique<localfs::SimInotifyDsi>(fs_a, clock_));
+  auto b = fed.mount("b", "/mnt/b", std::make_unique<localfs::SimInotifyDsi>(fs_b, clock_));
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  ASSERT_TRUE(fed.start().is_ok());
+
+  // Both backends run their first rename concurrently: each emits the
+  // same backend-local cookie for its MOVED_FROM/MOVED_TO pair.
+  ASSERT_TRUE(fs_a.create("/f").is_ok());
+  ASSERT_TRUE(fs_b.create("/g").is_ok());
+  ASSERT_TRUE(fs_a.rename("/f", "/f2").is_ok());
+  ASSERT_TRUE(fs_b.rename("/g", "/g2").is_ok());
+  fed.stop();
+
+  std::vector<StdEvent> a_pair;
+  std::vector<StdEvent> b_pair;
+  for (const auto& event : events()) {
+    if (event.kind != EventKind::kMovedFrom && event.kind != EventKind::kMovedTo) continue;
+    (event.source.front() == 'a' ? a_pair : b_pair).push_back(event);
+  }
+  ASSERT_EQ(a_pair.size(), 2u);
+  ASSERT_EQ(b_pair.size(), 2u);
+  // Within a mount the rename halves still pair on the same cookie...
+  EXPECT_EQ(a_pair[0].cookie, a_pair[1].cookie);
+  EXPECT_EQ(b_pair[0].cookie, b_pair[1].cookie);
+  EXPECT_NE(a_pair[0].cookie, 0u);
+  // ...but the two mounts' pairs live in different domains even when the
+  // backend-local cookies collide.
+  EXPECT_NE(a_pair[0].cookie, b_pair[0].cookie);
+  EXPECT_EQ(MountTable::cookie_domain(a_pair[0].cookie), a.value());
+  EXPECT_EQ(MountTable::cookie_domain(b_pair[0].cookie), b.value());
+  EXPECT_EQ(MountTable::local_cookie(a_pair[0].cookie),
+            MountTable::local_cookie(b_pair[0].cookie));
+}
+
+TEST_F(FederatedMonitorTest, UnmountWhileReplayingCountsStaleNeverDelivers) {
+  auto scripted = std::make_unique<ScriptedDsi>();
+  ScriptedDsi* raw = scripted.get();
+  raw->set_emit_on_stop(true);
+
+  obs::MetricsRegistry registry;
+  FederatedMonitor fed({&registry});
+  subscribe_capture(fed);
+  auto id = fed.mount("replay", "/mnt/replay", std::move(scripted));
+  ASSERT_TRUE(id);
+  ASSERT_TRUE(fed.start().is_ok());
+
+  raw->emit("/live.txt", EventKind::kCreate);
+  ASSERT_EQ(events().size(), 1u);
+
+  // Unmount stops the DSI, which emits one last in-flight event — it
+  // must be counted stale, not delivered into the namespace.
+  ASSERT_TRUE(fed.unmount(id.value()).is_ok());
+  auto seen = events();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].full_path(), "/mnt/replay/live.txt");
+  EXPECT_EQ(fed.stale_events(), 1u);
+
+  // And anything a still-running worker emits after the unmount
+  // completes is equally stale.
+  raw->emit("/even-later.txt", EventKind::kModify);
+  EXPECT_EQ(events().size(), 1u);
+  EXPECT_EQ(fed.stale_events(), 2u);
+
+  // The prefix is free again for a replacement mount.
+  EXPECT_FALSE(fed.resolve("/mnt/replay/live.txt").has_value());
+  EXPECT_TRUE(fed.mount("replay2", "/mnt/replay", std::make_unique<ScriptedDsi>()));
+}
+
+TEST_F(FederatedMonitorTest, PerMountMetricsTrackEventsAndStale) {
+  obs::MetricsRegistry registry;
+  auto scripted = std::make_unique<ScriptedDsi>();
+  ScriptedDsi* raw = scripted.get();
+  FederatedMonitor fed({&registry});
+  subscribe_capture(fed);
+  auto id = fed.mount("m", "/mnt/m", std::move(scripted));
+  ASSERT_TRUE(id);
+  ASSERT_TRUE(fed.start().is_ok());
+  raw->emit("/a", EventKind::kCreate);
+  raw->emit("/b", EventKind::kModify);
+
+  auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_total("mount.events"), 2u);
+  EXPECT_EQ(snapshot.counter_total("mount.stale_events"), 0u);
+  EXPECT_EQ(snapshot.gauge_total("mount.active"), 1);
+
+  ASSERT_TRUE(fed.unmount(id.value()).is_ok());
+  raw->emit("/after-unmount", EventKind::kDelete);
+  snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_total("mount.stale_events"), 1u);
+  EXPECT_EQ(snapshot.gauge_total("mount.active"), 0);
+  fed.stop();
+}
+
+TEST_F(FederatedMonitorTest, SentinelPathsPassThroughUntranslated) {
+  auto scripted = std::make_unique<ScriptedDsi>();
+  ScriptedDsi* raw = scripted.get();
+  FederatedMonitor fed;
+  subscribe_capture(fed);
+  ASSERT_TRUE(fed.mount("m", "/mnt/m", std::move(scripted)));
+  ASSERT_TRUE(fed.start().is_ok());
+  raw->emit(std::string(core::kEventQueueOverflow), EventKind::kModify, 3);
+  const auto seen = events();
+  ASSERT_EQ(seen.size(), 1u);
+  // The sentinel is not a location: it keeps its form (has_path() stays
+  // false) while the watch_root still identifies the mount.
+  EXPECT_EQ(seen[0].path, core::kEventQueueOverflow);
+  EXPECT_FALSE(seen[0].has_path());
+  EXPECT_EQ(seen[0].watch_root, "/mnt/m");
+  fed.stop();
+}
+
+}  // namespace
+}  // namespace fsmon::federation

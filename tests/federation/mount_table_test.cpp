@@ -1,0 +1,122 @@
+// MountTable: longest-prefix resolution at component boundaries, cookie
+// domain separation, and the path-translation edge cases a federated
+// namespace has to get right.
+#include "src/federation/mount_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::federation {
+namespace {
+
+TEST(MountTableTest, AddResolveRoundTrip) {
+  MountTable table;
+  auto a = table.add("iota", "/mnt/iota");
+  ASSERT_TRUE(a);
+  const auto hit = table.resolve("/mnt/iota/dir/file.txt");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->mount_id, a.value());
+  EXPECT_EQ(hit->local_path, "/dir/file.txt");
+  EXPECT_EQ(table.federate_path(a.value(), "/dir/file.txt"), "/mnt/iota/dir/file.txt");
+}
+
+TEST(MountTableTest, PrefixAmbiguityIsComponentWise) {
+  // "/mnt/a" must NOT capture "/mnt/ab/..." — the boundary is a path
+  // component, not a string prefix.
+  MountTable table;
+  auto a = table.add("a", "/mnt/a");
+  auto ab = table.add("ab", "/mnt/ab");
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(ab);
+
+  const auto in_a = table.resolve("/mnt/a/f");
+  ASSERT_TRUE(in_a.has_value());
+  EXPECT_EQ(in_a->mount_id, a.value());
+
+  const auto in_ab = table.resolve("/mnt/ab/f");
+  ASSERT_TRUE(in_ab.has_value());
+  EXPECT_EQ(in_ab->mount_id, ab.value());
+  EXPECT_EQ(in_ab->local_path, "/f");
+
+  const auto exact = table.resolve("/mnt/ab");
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->mount_id, ab.value());
+  EXPECT_EQ(exact->local_path, "/");
+
+  EXPECT_FALSE(table.resolve("/mnt/abc").has_value());
+}
+
+TEST(MountTableTest, LongestPrefixWinsOnNestedMounts) {
+  MountTable table;
+  auto outer = table.add("outer", "/mnt");
+  auto inner = table.add("inner", "/mnt/deep");
+  ASSERT_TRUE(outer);
+  ASSERT_TRUE(inner);
+  EXPECT_EQ(table.resolve("/mnt/deep/x")->mount_id, inner.value());
+  EXPECT_EQ(table.resolve("/mnt/shallow/x")->mount_id, outer.value());
+}
+
+TEST(MountTableTest, RejectsDuplicatesAndBadInput) {
+  MountTable table;
+  ASSERT_TRUE(table.add("a", "/mnt/a"));
+  EXPECT_FALSE(table.add("a", "/mnt/b"));        // duplicate name
+  EXPECT_FALSE(table.add("b", "/mnt/a"));        // duplicate prefix
+  EXPECT_FALSE(table.add("x:y", "/mnt/c"));      // ':' collides with source tag
+  EXPECT_FALSE(table.add("x/y", "/mnt/c"));      // '/' not allowed in names
+  EXPECT_FALSE(table.add("", "/mnt/c"));         // empty name
+  EXPECT_FALSE(table.add("c", "relative/p"));    // non-absolute prefix
+  EXPECT_FALSE(table.add("c", "/mnt/../etc"));   // traversal
+}
+
+TEST(MountTableTest, CookieDomainsNeverCollideAcrossMounts) {
+  MountTable table;
+  auto a = table.add("a", "/mnt/a");
+  auto b = table.add("b", "/mnt/b");
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  // The same backend-local cookie lands in different federated domains.
+  const auto fa = table.federate_cookie(a.value(), 42);
+  const auto fb = table.federate_cookie(b.value(), 42);
+  EXPECT_NE(fa, fb);
+  EXPECT_EQ(MountTable::cookie_domain(fa), a.value());
+  EXPECT_EQ(MountTable::cookie_domain(fb), b.value());
+  EXPECT_EQ(MountTable::local_cookie(fa), 42u);
+  EXPECT_EQ(MountTable::local_cookie(fb), 42u);
+  // Zero stays zero: "no cookie" must not acquire a domain.
+  EXPECT_EQ(table.federate_cookie(a.value(), 0), 0u);
+  // A local cookie that folds to zero still gets a nonzero federated
+  // value (it must remain pairable).
+  EXPECT_NE(MountTable::local_cookie(table.federate_cookie(a.value(), 1ull << 48)), 0u);
+}
+
+TEST(MountTableTest, RemoveFreesPrefixButNotName) {
+  MountTable table;
+  auto a = table.add("a", "/mnt/a");
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(table.remove(a.value()));
+  EXPECT_FALSE(table.resolve("/mnt/a/f").has_value());
+  // Prefix is reusable; the new mount gets a fresh id (and with it a
+  // fresh cookie domain, so stale cookies cannot alias the new mount).
+  auto again = table.add("a2", "/mnt/a");
+  ASSERT_TRUE(again);
+  EXPECT_NE(again.value(), a.value());
+}
+
+TEST(MountTableTest, RootPrefixMountCatchesEverything) {
+  MountTable table;
+  auto root = table.add("root", "/");
+  ASSERT_TRUE(root);
+  const auto hit = table.resolve("/any/path");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->local_path, "/any/path");
+  EXPECT_EQ(table.federate_path(root.value(), "/any/path"), "/any/path");
+}
+
+TEST(MountTableTest, FederateSourceTagsMountName) {
+  MountTable table;
+  auto a = table.add("iota", "/mnt/iota");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(table.federate_source(a.value(), "lustre:MDT0"), "iota:lustre:MDT0");
+}
+
+}  // namespace
+}  // namespace fsmon::federation

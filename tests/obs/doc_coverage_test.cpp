@@ -10,6 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include "src/federation/federated_monitor.hpp"
+#include "src/localfs/inotify_dsi.hpp"
+#include "src/localfs/memfs.hpp"
+#include "src/localfs/sim_dsi.hpp"
 #include "src/lustre/filesystem.hpp"
 #include "src/msgq/tcp.hpp"
 #include "src/nsindex/index_consumer.hpp"
@@ -99,6 +103,34 @@ void exercise_all_stages(obs::MetricsRegistry& registry) {
   sim_config.duration = std::chrono::milliseconds(50);
   sim_config.metrics = &registry;
   scalable::run_pipeline_sim(sim_config);
+
+  // Federation tier (mount.events / mount.stale_events / mount.active):
+  // mount a sim DSI, deliver one event, then unmount so the stale path
+  // registers too.
+  {
+    localfs::MemFs memfs;  // declared first: must outlive the monitor
+    federation::FederatedMonitor fed({&registry});
+    auto mount_id = fed.mount(
+        "doc", "/mnt/doc", std::make_unique<localfs::SimInotifyDsi>(memfs, clock));
+    if (mount_id && fed.start().is_ok()) {
+      memfs.create("/f");
+      fed.unmount(mount_id.value());
+    }
+    fed.stop();
+  }
+
+  // Real inotify (inotify.queue_overflows), where the kernel offers it.
+  if (localfs::InotifyDsi::available()) {
+    const auto watch_dir =
+        std::filesystem::temp_directory_path() / "fsmon_doc_coverage_inotify";
+    std::filesystem::create_directories(watch_dir);
+    localfs::InotifyDsiOptions inotify_options;
+    inotify_options.root = watch_dir.string();
+    inotify_options.metrics = &registry;
+    localfs::InotifyDsi inotify_dsi(std::move(inotify_options));
+    if (inotify_dsi.start([](const core::StdEvent&) {}).is_ok()) inotify_dsi.stop();
+    std::filesystem::remove_all(watch_dir);
+  }
 
   // TCP transport instruments.
   msgq::TcpPublisher publisher;

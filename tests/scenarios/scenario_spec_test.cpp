@@ -1,0 +1,64 @@
+// ScenarioSpec: the declarative scenario file format (parse + validation).
+// Execution is covered end-to-end by tools/run_scenarios.sh; these tests
+// pin the parser contract so a malformed file fails loudly, not mid-run.
+#include "src/scenarios/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsmon::scenarios {
+namespace {
+
+TEST(ScenarioSpecTest, ParsesNameAndConfigKeys) {
+  const auto spec = ScenarioSpec::parse(R"(
+# comment
+name = demo
+mounts = alpha,beta
+mount.alpha.backend = lustre
+mount.alpha.prefix = /mnt/alpha
+workload = churn
+workload.steps = 100
+faults = none
+subscribers = 4
+)");
+  ASSERT_TRUE(spec);
+  EXPECT_EQ(spec->name, "demo");
+  EXPECT_EQ(spec->config.get_or("mounts", ""), "alpha,beta");
+  EXPECT_EQ(spec->config.get_or("mount.alpha.backend", ""), "lustre");
+  EXPECT_EQ(spec->config.get_int("workload.steps", 0), 100);
+  EXPECT_EQ(spec->config.get_int("subscribers", 0), 4);
+}
+
+TEST(ScenarioSpecTest, RequiresAName) {
+  const auto spec = ScenarioSpec::parse("mounts = a\nworkload = churn\n");
+  EXPECT_FALSE(spec);
+}
+
+TEST(ScenarioSpecTest, RejectsMalformedLinesAsStatusNotException) {
+  const auto spec = ScenarioSpec::parse("name demo without equals\n");
+  ASSERT_FALSE(spec);
+  EXPECT_EQ(spec.status().code(), common::ErrorCode::kInvalid);
+}
+
+TEST(ScenarioSpecTest, LoadFileReportsMissingFile) {
+  EXPECT_FALSE(ScenarioSpec::load_file("/nonexistent/path.scenario"));
+}
+
+TEST(ScenarioSpecTest, ShippedScenariosAllParse) {
+  // Every scenario in the shipped matrix must load; run_scenarios.sh
+  // depends on the whole directory being valid.
+  const char* files[] = {
+      "smoke_federated_mix", "fed_exactly_once_inproc", "fed_exactly_once_tcp",
+      "lustre_ior_clean",    "localfs_dialects",        "spectrumscale_hacc",
+      "fed_wal_torn",        "fed_tcp_drop",            "soak_24h_subscribers",
+  };
+  for (const char* file : files) {
+    const auto spec = ScenarioSpec::load_file(std::string(FSMON_SOURCE_DIR) +
+                                              "/scenarios/" + file + ".scenario");
+    ASSERT_TRUE(spec) << file;
+    EXPECT_EQ(spec->name, file);
+    EXPECT_FALSE(spec->config.get_or("mounts", "").empty()) << file;
+  }
+}
+
+}  // namespace
+}  // namespace fsmon::scenarios

@@ -1,0 +1,54 @@
+// run_scenario: execute one or more declarative scenario files and print
+// one machine-readable RESULT line per scenario (plus MOUNT detail
+// lines). Exit status is the number of failed scenarios (capped at 125)
+// so shell sweeps can sum failures.
+//
+//   run_scenario scenarios/smoke_federated_mix.scenario [...more files]
+//   run_scenario --list scenarios/*.scenario   # print names, do not run
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/scenarios/scenario.hpp"
+
+int main(int argc, char** argv) {
+  bool list_only = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list_only = true;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: run_scenario [--list] <file.scenario>...\n");
+    return 2;
+  }
+  int failed = 0;
+  for (const auto& file : files) {
+    auto spec = fsmon::scenarios::ScenarioSpec::load_file(file);
+    if (!spec) {
+      std::fprintf(stderr, "ERROR %s\n", spec.status().to_string().c_str());
+      ++failed;
+      continue;
+    }
+    if (list_only) {
+      std::printf("%s\t%s\n", spec.value().name.c_str(), file.c_str());
+      continue;
+    }
+    const auto result = fsmon::scenarios::run_scenario(spec.value());
+    std::printf("%s\n", result.to_line().c_str());
+    for (const auto& mount : result.mounts) {
+      std::printf("%s\n", mount.to_line(result.name).c_str());
+    }
+    for (const auto& failure : result.failures) {
+      std::printf("FAILURE scenario=%s reason=\"%s\"\n", result.name.c_str(),
+                  failure.c_str());
+    }
+    std::fflush(stdout);
+    if (!result.passed) ++failed;
+  }
+  return failed > 125 ? 125 : failed;
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Sweep the declarative scenario matrix (scenarios/*.scenario) through
+# the run_scenario binary and summarize per-scenario pass/fail plus
+# throughput. Output is machine-readable:
+#
+#   RESULT scenario=<name> status=PASS|FAIL events=<n> events_per_sec=<r> ...
+#   MOUNT scenario=<name> mount=<m> backend=<b> emitted=<n> received=<n> ...
+#   SWEEP total=<n> passed=<n> failed=<n>
+#
+# Usage:
+#   tools/run_scenarios.sh                # sweep every scenarios/*.scenario
+#   tools/run_scenarios.sh --smoke        # CI subset (fast, fault-injected)
+#   tools/run_scenarios.sh foo.scenario   # run specific files
+#   FSMON_CHAOS_SEED=7 tools/run_scenarios.sh   # override fault seeds
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+# The smoke subset keeps CI fast while still covering one federated
+# topology (three backend families) under the chaos babysitter, the TCP
+# carrier with drops, and the localfs dialect matrix.
+smoke_set=(
+  scenarios/smoke_federated_mix.scenario
+  scenarios/fed_tcp_drop.scenario
+  scenarios/localfs_dialects.scenario
+)
+
+files=()
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) files+=("${smoke_set[@]}") ;;
+    --help|-h)
+      echo "usage: $0 [--smoke] [file.scenario ...]"
+      exit 0
+      ;;
+    *) files+=("$arg") ;;
+  esac
+done
+if (( ${#files[@]} == 0 )); then
+  files=(scenarios/*.scenario)
+fi
+
+if [[ ! -x build/tools/run_scenario ]]; then
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "$(nproc)" --target run_scenario > /dev/null
+fi
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+failed=0
+total=0
+for file in "${files[@]}"; do
+  total=$((total + 1))
+  if ! timeout 300 ./build/tools/run_scenario "$file" >> "$out" 2>&1; then
+    failed=$((failed + 1))
+  fi
+done
+
+cat "$out"
+passed=$((total - failed))
+echo "SWEEP total=$total passed=$passed failed=$failed"
+(( failed == 0 ))

@@ -21,12 +21,18 @@
 # over fault-schedule seeds 1..N by exporting FSMON_CHAOS_SEED per run.
 # Combined with --tsan/--asan the same sweep also runs in the sanitizer
 # builds.
+#
+# --scenarios: additionally run the scenario smoke subset
+# (tools/run_scenarios.sh --smoke): a federated three-backend topology
+# under the chaos babysitter, the TCP carrier with frame drops, and the
+# localfs dialect matrix. See docs/SCENARIOS.md.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tsan=false
 run_asan=false
+run_scenarios=false
 chaos_seeds=0
 expect_seeds=false
 for arg in "$@"; do
@@ -38,13 +44,14 @@ for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=true ;;
     --asan) run_asan=true ;;
+    --scenarios) run_scenarios=true ;;
     --chaos) expect_seeds=true ;;
     --chaos=*) chaos_seeds="${arg#--chaos=}" ;;
-    *) echo "usage: $0 [--tsan] [--asan] [--chaos N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--tsan] [--asan] [--scenarios] [--chaos N]" >&2; exit 2 ;;
   esac
 done
 if $expect_seeds || ! [[ "$chaos_seeds" =~ ^[0-9]+$ ]]; then
-  echo "usage: $0 [--tsan] [--asan] [--chaos N]" >&2
+  echo "usage: $0 [--tsan] [--asan] [--scenarios] [--chaos N]" >&2
   exit 2
 fi
 
@@ -85,6 +92,11 @@ echo "OK: tier-1 tests passed and the metrics snapshot shows published records."
 if (( chaos_seeds > 0 )); then
   chaos_sweep build
   echo "OK: chaos sweep over $chaos_seeds seeds reported exactly-once delivery."
+fi
+
+if $run_scenarios; then
+  ./tools/run_scenarios.sh --smoke
+  echo "OK: scenario smoke subset passed (federated mix, tcp drops, localfs dialects)."
 fi
 
 if $run_tsan; then
